@@ -1,0 +1,39 @@
+"""Benchmarks F1–F11: regenerate every figure of the paper.
+
+Each benchmark rebuilds one figure from scratch (inputs, operator
+evaluation, intermediates) and asserts that the computed result matches the
+relation printed in the paper.  The timings document that the worked
+examples are trivially cheap — the point of these benches is the exact
+reproduction recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import figures as F
+
+FIGURES = {
+    "figure_1": F.figure_1,
+    "figure_2": F.figure_2,
+    "figure_3": F.figure_3,
+    "figure_4": F.figure_4,
+    "figure_5": F.figure_5,
+    "figure_6": F.figure_6,
+    "figure_7": F.figure_7,
+    "figure_8": F.figure_8,
+    "figure_9": F.figure_9,
+    "figure_10": F.figure_10,
+    "figure_11": F.figure_11,
+}
+
+
+@pytest.mark.parametrize("name", list(FIGURES))
+def test_figure_reproduction(benchmark, name):
+    builder = FIGURES[name]
+    figure = benchmark(builder)
+    assert figure.verify(), f"{figure.figure_id} does not match the paper"
+
+
+def test_all_figures_via_harness(benchmark):
+    figures = benchmark(F.all_figures)
+    assert len(figures) == 11
+    assert all(figure.verify() for figure in figures)

@@ -1,0 +1,30 @@
+"""Benchmarks for the great divide: Theorem 1 definitions and physical algorithms."""
+
+import pytest
+
+from repro.division import GREAT_DIVIDE_DEFINITIONS
+from repro.physical import GREAT_DIVIDE_ALGORITHMS, RelationScan
+
+
+@pytest.mark.parametrize("definition", sorted(GREAT_DIVIDE_DEFINITIONS))
+def test_great_divide_definition(benchmark, great_divide_workload, definition):
+    """Theorem 1: the three published definitions (plus the reference) agree —
+    but their evaluation costs differ wildly, which is why the reference/
+    physical algorithms exist."""
+    divide = GREAT_DIVIDE_DEFINITIONS[definition]
+    result = benchmark(divide, great_divide_workload.dividend, great_divide_workload.divisor)
+    assert len(result) == great_divide_workload.expected_quotient_size
+
+
+@pytest.mark.parametrize("algorithm", sorted(GREAT_DIVIDE_ALGORITHMS))
+def test_great_divide_algorithm(benchmark, great_divide_workload, algorithm):
+    """Physical algorithm comparison (hash vs group-wise vs nested loops)."""
+    operator_class = GREAT_DIVIDE_ALGORITHMS[algorithm]
+    dividend = great_divide_workload.dividend
+    divisor = great_divide_workload.divisor
+
+    def run():
+        return operator_class(RelationScan(dividend), RelationScan(divisor)).execute()
+
+    result = benchmark(run)
+    assert len(result) == great_divide_workload.expected_quotient_size

@@ -1,0 +1,139 @@
+"""Benchmarks L13–L17 / E4: the great-divide laws as execution strategies.
+
+Same methodology as the small-divide law benchmarks: both sides of each
+equivalence are executed through the physical engine; the timings back the
+qualitative claims (parallelizable divisor partitioning, selection
+push-downs, join push-down) recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.algebra import builders as B
+from repro.algebra import predicates as P
+from repro.division import great_divide
+from repro.laws.great_divide import (
+    Example4JoinPushdown,
+    Law13DivisorPartitioning,
+    Law14QuotientSelectionPushdown,
+    Law15GroupSelectionPushdown,
+    Law16SharedSelectionReplication,
+    Law17ProductFactorOut,
+)
+from repro.optimizer import PhysicalPlanner
+from repro.relation import Relation
+
+
+def _execute(expression):
+    return PhysicalPlanner({}).plan(expression).execute()
+
+
+def _lit(relation, label="r"):
+    return B.literal(relation, label=label)
+
+
+@pytest.fixture(scope="module")
+def workload(great_divide_workload):
+    return great_divide_workload
+
+
+# ----------------------------------------------------------------------
+# Law 13 — divisor partitioning on C (the parallelization law)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_law13_divisor_partitioning(benchmark, workload, side):
+    part_a = workload.divisor.select(lambda row: row["c"] % 2 == 0)
+    part_b = workload.divisor.select(lambda row: row["c"] % 2 == 1)
+    lhs, rhs = Law13DivisorPartitioning.sides(_lit(workload.dividend), _lit(part_a), _lit(part_b))
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    assert result == great_divide(workload.dividend, workload.divisor)
+
+
+def test_law13_partition_into_four(benchmark, workload):
+    """Higher-degree partitioning: four divisor partitions instead of two."""
+    partitions = [
+        workload.divisor.select(lambda row, k=k: row["c"] % 4 == k) for k in range(4)
+    ]
+    expressions = [
+        B.great_divide(_lit(workload.dividend), _lit(partition)) for partition in partitions
+    ]
+
+    def run():
+        pieces = [_execute(expression) for expression in expressions]
+        merged = pieces[0]
+        for piece in pieces[1:]:
+            merged = merged.union(piece)
+        return merged
+
+    result = benchmark(run)
+    assert result == great_divide(workload.dividend, workload.divisor)
+
+
+# ----------------------------------------------------------------------
+# Law 14 — selection on the dividend-only attributes A
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_law14_quotient_selection_pushdown(benchmark, workload, side):
+    predicate = P.less_than(P.attr("a"), 50)
+    lhs, rhs = Law14QuotientSelectionPushdown.sides(
+        _lit(workload.dividend), _lit(workload.divisor), predicate
+    )
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    assert result == great_divide(workload.dividend, workload.divisor).select(predicate)
+
+
+# ----------------------------------------------------------------------
+# Law 15 — selection on the divisor-only attributes C
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_law15_group_selection_pushdown(benchmark, workload, side):
+    predicate = P.less_than(P.attr("c"), 5)
+    lhs, rhs = Law15GroupSelectionPushdown.sides(
+        _lit(workload.dividend), _lit(workload.divisor), predicate
+    )
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    assert result == great_divide(workload.dividend, workload.divisor).select(predicate)
+
+
+# ----------------------------------------------------------------------
+# Law 16 — selection on the shared attributes B
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_law16_shared_selection_replication(benchmark, workload, side):
+    predicate = P.less_than(P.attr("b"), 40)
+    lhs, rhs = Law16SharedSelectionReplication.sides(
+        _lit(workload.dividend), _lit(workload.divisor), predicate
+    )
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    assert result == great_divide(workload.dividend, workload.divisor.select(predicate))
+
+
+# ----------------------------------------------------------------------
+# Law 17 — factor a product out of the great divide
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_law17_product_factor_out(benchmark, workload, side):
+    factor = Relation(["k"], [(value,) for value in range(6)])
+    lhs, rhs = Law17ProductFactorOut.sides(_lit(factor), _lit(workload.dividend), _lit(workload.divisor))
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    assert len(result) == 6 * workload.expected_quotient_size
+
+
+# ----------------------------------------------------------------------
+# Example 4 — push an equi-join below the great divide
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_example4_join_pushdown(benchmark, workload, side):
+    outer = Relation(["a1"], [(value,) for value in range(0, 200, 10)])
+    dividend = workload.dividend.rename({"a": "a2"})
+    predicate = P.equals(P.attr("a1"), P.attr("a2"))
+    lhs, rhs = Example4JoinPushdown.sides(_lit(outer), _lit(dividend), _lit(workload.divisor), predicate)
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    reference = great_divide(dividend, workload.divisor)
+    expected = outer.theta_join(reference, predicate)
+    assert result == expected

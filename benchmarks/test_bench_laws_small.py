@@ -1,0 +1,256 @@
+"""Benchmarks L1–L12 / E1–E3: the small-divide laws as execution strategies.
+
+For every law the paper attaches an (informal) efficiency argument; each
+benchmark here executes both sides of the equivalence on a synthetic
+workload through the physical engine and measures them, so the paper-vs-
+measured comparison in EXPERIMENTS.md can state whether the claimed winner
+actually wins on this substrate.  Every benchmark also asserts that both
+sides return identical relations.
+"""
+
+import pytest
+
+from repro.algebra import builders as B
+from repro.algebra import predicates as P
+from repro.laws.small_divide import (
+    Example1DividendRestriction,
+    Example2CommonFactorCancellation,
+    Example3JoinElimination,
+    Law1DivisorUnionSplit,
+    Law2DividendUnionSplit,
+    Law3SelectionPushdown,
+    Law4ReplicateSelection,
+    Law5IntersectionPushdown,
+    Law6DifferencePushdown,
+    Law7DisjointDifferenceElimination,
+    Law8ProductFactorOut,
+    Law9ProductElimination,
+    Law10SemiJoinCommute,
+    law11_divide,
+    law12_divide,
+)
+from repro.division import small_divide
+from repro.physical import RelationScan, SMALL_DIVIDE_ALGORITHMS
+from repro.optimizer import PhysicalPlanner
+from repro.relation import Relation, aggregates
+from repro.workloads import make_divisor, split_dividend_by_quotient, split_horizontal
+
+
+def _execute(expression, catalog=None):
+    planner = PhysicalPlanner(catalog or {})
+    return planner.plan(expression).execute()
+
+
+def _lit(relation, label="r"):
+    return B.literal(relation, label=label)
+
+
+@pytest.fixture(scope="module")
+def workload(small_divide_workload):
+    return small_divide_workload
+
+
+# ----------------------------------------------------------------------
+# Law 1 — divisor union split (pipelined two-stage division)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_law01_divisor_union_split(benchmark, workload, side):
+    part_a, part_b = split_horizontal(workload.divisor, fraction=0.5, seed=9)
+    lhs, rhs = Law1DivisorUnionSplit.sides(_lit(workload.dividend), _lit(part_a), _lit(part_b))
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    assert result == small_divide(workload.dividend, workload.divisor)
+
+
+# ----------------------------------------------------------------------
+# Law 2 — dividend partitioning (degree-2 parallel scan simulation)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_law02_dividend_union_split(benchmark, workload, side):
+    low, high = split_dividend_by_quotient(workload.dividend, "a")
+    lhs, rhs = Law2DividendUnionSplit.sides(_lit(low), _lit(high), _lit(workload.divisor))
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    assert result == small_divide(workload.dividend, workload.divisor)
+
+
+# ----------------------------------------------------------------------
+# Law 3 — selection push-down
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_law03_selection_pushdown(benchmark, workload, side):
+    predicate = P.less_than(P.attr("a"), 40)
+    lhs, rhs = Law3SelectionPushdown.sides(_lit(workload.dividend), _lit(workload.divisor), predicate)
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    assert result == small_divide(workload.dividend, workload.divisor).select(predicate)
+
+
+# ----------------------------------------------------------------------
+# Law 4 — replicate a divisor selection onto the dividend
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_law04_replicate_selection(benchmark, workload, side):
+    predicate = P.less_than(P.attr("b"), 5)
+    lhs, rhs = Law4ReplicateSelection.sides(_lit(workload.dividend), _lit(workload.divisor), predicate)
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    assert result == small_divide(workload.dividend, workload.divisor.select(predicate))
+
+
+# ----------------------------------------------------------------------
+# Example 1 — dividend restriction on B (empty-result short-circuit)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_example1_dividend_restriction(benchmark, workload, side):
+    predicate = P.less_than(P.attr("b"), 5)
+    lhs, rhs = Example1DividendRestriction.sides(
+        _lit(workload.dividend), _lit(workload.divisor), predicate
+    )
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    assert result == small_divide(workload.dividend.select(predicate), workload.divisor)
+
+
+# ----------------------------------------------------------------------
+# Law 5 — intersection push-down
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_law05_intersection_pushdown(benchmark, workload, side):
+    other = workload.dividend.select(lambda row: row["a"] % 3 != 0)
+    lhs, rhs = Law5IntersectionPushdown.sides(
+        _lit(workload.dividend), _lit(other), _lit(workload.divisor)
+    )
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    assert result == small_divide(workload.dividend.intersection(other), workload.divisor)
+
+
+# ----------------------------------------------------------------------
+# Law 6 — difference of A-restrictions
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_law06_difference_pushdown(benchmark, workload, side):
+    outer = P.less_than(P.attr("a"), 300)
+    inner = P.And(P.less_than(P.attr("a"), 300), P.greater_equal(P.attr("a"), 100))
+    lhs, rhs = Law6DifferencePushdown.sides(
+        _lit(workload.dividend), outer, inner, _lit(workload.divisor)
+    )
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    expected = small_divide(
+        workload.dividend.select(outer).difference(workload.dividend.select(inner)),
+        workload.divisor,
+    )
+    assert result == expected
+
+
+# ----------------------------------------------------------------------
+# Law 7 — the short-circuit: skip the second division entirely
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_law07_disjoint_difference_elimination(benchmark, workload, side):
+    low, high = split_dividend_by_quotient(workload.dividend, "a")
+    lhs, rhs = Law7DisjointDifferenceElimination.sides(_lit(low), _lit(high), _lit(workload.divisor))
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    assert result == small_divide(low, workload.divisor)
+
+
+# ----------------------------------------------------------------------
+# Law 8 — factor a product out of the divide
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_law08_product_factor_out(benchmark, workload, side):
+    factor = Relation(["k"], [(value,) for value in range(12)])
+    lhs, rhs = Law8ProductFactorOut.sides(_lit(factor), _lit(workload.dividend), _lit(workload.divisor))
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    assert len(result) == 12 * workload.expected_quotient_size
+
+
+# ----------------------------------------------------------------------
+# Law 9 — drop a factor that only carries divisor attributes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_law09_product_elimination(benchmark, workload, side):
+    drop = Relation(["b2"], [(value,) for value in range(6)])
+    divisor = Relation(
+        ["b", "b2"],
+        [(row["b"], index % 6) for index, row in enumerate(workload.divisor.sorted_rows())],
+    )
+    keep = workload.dividend
+    lhs, rhs = Law9ProductElimination.sides(_lit(keep), _lit(drop), _lit(divisor))
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    assert result == small_divide(keep, divisor.project(["b"]))
+
+
+# ----------------------------------------------------------------------
+# Example 2 — cancel a shared product factor
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_example2_common_factor(benchmark, workload, side):
+    shared = Relation(["s"], [(value,) for value in range(8)])
+    lhs, rhs = Example2CommonFactorCancellation.sides(
+        _lit(workload.dividend), _lit(workload.divisor), _lit(shared)
+    )
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    assert result == small_divide(workload.dividend, workload.divisor)
+
+
+# ----------------------------------------------------------------------
+# Law 10 — semi-join commutation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_law10_semijoin_commute(benchmark, workload, side):
+    filter_relation = Relation(["a"], [(value,) for value in range(25)])
+    lhs, rhs = Law10SemiJoinCommute.sides(
+        _lit(workload.dividend), _lit(workload.divisor), _lit(filter_relation)
+    )
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    assert result == small_divide(workload.dividend, workload.divisor).semijoin(filter_relation)
+
+
+# ----------------------------------------------------------------------
+# Example 3 — join elimination (Figure 9 at workload scale)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", ["original", "rewritten"])
+def test_example3_join_elimination(benchmark, side):
+    keep = Relation(
+        ["a", "b1"],
+        [(group, value) for group in range(150) for value in range(group % 7 + 1)],
+    )
+    drop = Relation(["b2"], [(value,) for value in range(3, 9)])
+    divisor = Relation(["b1", "b2"], [(value, value + 3) for value in range(5)])
+    predicate = P.less_than(P.attr("b1"), P.attr("b2"))
+    lhs, rhs = Example3JoinElimination.sides(_lit(keep), _lit(drop), _lit(divisor), predicate)
+    expression = lhs if side == "original" else rhs
+    result = benchmark(_execute, expression)
+    reference = small_divide(keep.theta_join(drop, predicate), divisor)
+    assert result == reference
+
+
+# ----------------------------------------------------------------------
+# Laws 11 and 12 — grouped dividends: semi-join replaces the divide
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("strategy", ["small_divide", "law11_semijoin"])
+def test_law11_grouped_dividend(benchmark, strategy):
+    base = Relation(["a", "x"], [(group, value) for group in range(500) for value in range(4)])
+    dividend = base.group_by(["a"], {"b": aggregates.sum_of("x")})
+    divisor = Relation(["b"], [(6,)])
+    runner = small_divide if strategy == "small_divide" else law11_divide
+    result = benchmark(runner, dividend, divisor)
+    assert result == small_divide(dividend, divisor)
+
+
+@pytest.mark.parametrize("strategy", ["small_divide", "law12_semijoin"])
+def test_law12_grouped_divisor_key(benchmark, strategy):
+    base = Relation(["x", "b"], [(value, group) for group in range(500) for value in range(3)])
+    dividend = base.group_by(["b"], {"a": aggregates.sum_of("x")})
+    divisor = make_divisor(5, domain=range(500), seed=11)
+    runner = small_divide if strategy == "small_divide" else law12_divide
+    result = benchmark(runner, dividend, divisor)
+    assert result == small_divide(dividend, divisor)

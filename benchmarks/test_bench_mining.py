@@ -1,0 +1,71 @@
+"""Benchmarks for Section 3: frequent itemset discovery via the great divide.
+
+Compares classic in-memory Apriori with the query-based miner whose support
+counting is one great divide per level, plus an isolated comparison of the
+support-counting phase itself across the physical great-divide algorithms.
+"""
+
+import pytest
+
+from repro.mining import (
+    apriori,
+    count_support_by_great_divide,
+    frequent_itemsets_by_great_divide,
+    generate_baskets,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_baskets(
+        num_transactions=250,
+        num_items=40,
+        num_patterns=4,
+        pattern_size=3,
+        noise_items_per_transaction=5,
+        seed=17,
+    )
+
+
+@pytest.fixture(scope="module")
+def min_support(dataset):
+    return max(2, int(0.2 * dataset.num_transactions))
+
+
+@pytest.fixture(scope="module")
+def reference_result(dataset, min_support):
+    return apriori(dataset.baskets, min_support)
+
+
+class TestEndToEndMining:
+    def test_apriori_baseline(self, benchmark, dataset, min_support, reference_result):
+        result = benchmark(apriori, dataset.baskets, min_support)
+        assert result == reference_result
+
+    @pytest.mark.parametrize("algorithm", ["hash", "groupwise", "nested_loops"])
+    def test_great_divide_miner(self, benchmark, dataset, min_support, reference_result, algorithm):
+        result = benchmark(
+            frequent_itemsets_by_great_divide, dataset.relation, min_support, None, algorithm
+        )
+        assert result == reference_result
+
+
+class TestSupportCountingPhase:
+    """The phase the paper expresses as ``transactions ÷* candidates``."""
+
+    @pytest.fixture(scope="class")
+    def candidates(self, dataset, min_support, reference_result):
+        from repro.mining import candidate_generation
+
+        frequent_pairs = [itemset for itemset in reference_result if len(itemset) == 2]
+        generated = candidate_generation(frequent_pairs, 3)
+        return generated or list(dataset.patterns)
+
+    @pytest.mark.parametrize("algorithm", [None, "hash", "groupwise"])
+    def test_support_counting(self, benchmark, dataset, candidates, algorithm):
+        supports = benchmark(count_support_by_great_divide, dataset.relation, candidates, algorithm)
+        brute_force = {
+            candidate: sum(1 for items in dataset.baskets.values() if candidate <= items)
+            for candidate in candidates
+        }
+        assert supports == brute_force

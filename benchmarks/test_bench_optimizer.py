@@ -1,0 +1,57 @@
+"""Ablation benchmarks: the optimizer on and off.
+
+DESIGN.md calls out the design choice of applying the paper's laws as a
+heuristic rewrite phase in front of the planner.  These benchmarks execute
+the same queries with and without the rewrite phase (and with the cost-based
+search), measuring end-to-end evaluation time, and assert the results never
+change.
+"""
+
+import pytest
+
+from repro.algebra import builders as B
+from repro.algebra import predicates as P
+from repro.optimizer import Optimizer
+from repro.physical import execute_plan
+
+
+def _law3_query(catalog):
+    return B.select(
+        B.divide(catalog.ref("r1"), catalog.ref("r2")), P.less_than(P.attr("a"), 50)
+    )
+
+
+def _law7_query(catalog):
+    r1, r2 = catalog.ref("r1"), catalog.ref("r2")
+    low = B.select(r1, P.less_than(P.attr("a"), 200))
+    high = B.select(r1, P.greater_equal(P.attr("a"), 200))
+    return B.difference(B.divide(low, r2), B.divide(high, r2))
+
+
+QUERIES = {"law3_selection": _law3_query, "law7_difference": _law7_query}
+
+
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+@pytest.mark.parametrize("mode", ["unoptimized", "heuristic", "cost_based"])
+def test_optimizer_ablation(benchmark, division_catalog, query_name, mode):
+    query = QUERIES[query_name](division_catalog)
+    optimizer = Optimizer(division_catalog, cost_based=(mode == "cost_based"))
+    reference = query.evaluate(division_catalog)
+
+    if mode == "unoptimized":
+        runner = lambda: execute_plan(optimizer.plan_without_rewriting(query)).relation  # noqa: E731
+    else:
+        plan = optimizer.optimize(query).plan
+        runner = lambda: execute_plan(plan).relation  # noqa: E731
+
+    result = benchmark(runner)
+    assert result == reference
+
+
+@pytest.mark.parametrize("mode", ["heuristic", "cost_based"])
+def test_optimization_time_itself(benchmark, division_catalog, mode):
+    """How long the rewrite phase itself takes (it must stay negligible)."""
+    query = _law7_query(division_catalog)
+    optimizer = Optimizer(division_catalog, cost_based=(mode == "cost_based"))
+    result = benchmark(optimizer.optimize, query)
+    assert result.plan is not None

@@ -1,0 +1,68 @@
+"""Benchmarks for the Section 4 SQL queries.
+
+Compares three execution strategies for the same "for all" query:
+
+* Q1 through the paper's ``DIVIDE BY`` syntax (first-class great divide);
+* Q3 (double ``NOT EXISTS``) with the universal-quantification recognizer —
+  the optimizer detects the pattern and still uses the divide;
+* Q3 translated without the recognizer — the divide-less basic-algebra plan
+  an RDBMS without a division operator has to run.
+
+All three must return the same result; the timing difference is the paper's
+motivation for a first-class operator plus the recognizer.
+"""
+
+import pytest
+
+from repro.experiments import Q1, Q2, Q2_NOT_EXISTS, Q3
+from repro.optimizer import PhysicalPlanner
+from repro.sql import translate_sql
+
+
+def _run(sql, catalog, recognize_division=True):
+    expression = translate_sql(sql, catalog, recognize_division=recognize_division)
+    return PhysicalPlanner(catalog).plan(expression).execute()
+
+
+@pytest.fixture(scope="module")
+def q1_result(suppliers_catalog):
+    return _run(Q1, suppliers_catalog)
+
+
+class TestGreatDivideQueries:
+    def test_q1_divide_by(self, benchmark, suppliers_catalog, q1_result):
+        result = benchmark(_run, Q1, suppliers_catalog)
+        assert result == q1_result
+
+    def test_q3_not_exists_recognized(self, benchmark, suppliers_catalog, q1_result):
+        result = benchmark(_run, Q3, suppliers_catalog, True)
+        assert result == q1_result
+
+    def test_q3_not_exists_divide_less(self, benchmark, suppliers_catalog, q1_result):
+        result = benchmark(_run, Q3, suppliers_catalog, False)
+        assert result == q1_result
+
+
+class TestSmallDivideQueries:
+    def test_q2_divide_by(self, benchmark, suppliers_catalog):
+        result = benchmark(_run, Q2, suppliers_catalog)
+        reference = _run(Q2_NOT_EXISTS, suppliers_catalog)
+        assert result == reference
+
+    def test_q2_not_exists_recognized(self, benchmark, suppliers_catalog):
+        result = benchmark(_run, Q2_NOT_EXISTS, suppliers_catalog, True)
+        assert result == _run(Q2, suppliers_catalog)
+
+    def test_q2_not_exists_divide_less(self, benchmark, suppliers_catalog):
+        result = benchmark(_run, Q2_NOT_EXISTS, suppliers_catalog, False)
+        assert result == _run(Q2, suppliers_catalog)
+
+
+class TestTranslationOverhead:
+    def test_parse_and_translate_q1(self, benchmark, suppliers_catalog):
+        expression = benchmark(translate_sql, Q1, suppliers_catalog)
+        assert expression.contains_division()
+
+    def test_parse_and_translate_q3(self, benchmark, suppliers_catalog):
+        expression = benchmark(translate_sql, Q3, suppliers_catalog)
+        assert expression.contains_division()

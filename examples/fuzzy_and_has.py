@@ -1,0 +1,71 @@
+"""The related-work extensions: fuzzy division and Carlis' HAS operator.
+
+Run with::
+
+    python examples/fuzzy_and_has.py
+
+The example grades a supplier-parts style relation with membership degrees
+(how reliably a supplier delivers a part), compares strict fuzzy division
+with Yager's "almost all" quotient, and then classifies suppliers with the
+six associations of the HAS operator.
+"""
+
+from repro.fuzzy import FuzzyRelation, fuzzy_divide, yager_quotient
+from repro.has import Association, has, has_at_least
+from repro.relation import Relation
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # fuzzy division: how strongly does a supplier cover the required parts?
+    # ------------------------------------------------------------------
+    deliveries = FuzzyRelation(
+        ["supplier", "part"],
+        [
+            (("ace", "bolt"), 1.0),
+            (("ace", "nut"), 0.9),
+            (("ace", "washer"), 0.7),
+            (("bright", "bolt"), 1.0),
+            (("bright", "nut"), 0.3),
+            (("core", "bolt"), 0.8),
+        ],
+    )
+    required = FuzzyRelation(["part"], [(("bolt",), 1.0), (("nut",), 1.0), (("washer",), 0.6)])
+
+    print("=== fuzzy division: supplier covers all required parts ===")
+    strict = fuzzy_divide(deliveries, required, implication="goedel")
+    relaxed = yager_quotient(deliveries, required, strictness=2.0)
+    for supplier in ("ace", "bright", "core"):
+        print(
+            f"  {supplier:<8} strict={strict.membership((supplier,)):.2f}   "
+            f"almost-all={relaxed.membership((supplier,)):.2f}"
+        )
+
+    # ------------------------------------------------------------------
+    # HAS operator: the six associations
+    # ------------------------------------------------------------------
+    suppliers = Relation(["s_no"], [("s1",), ("s2",), ("s3",), ("s4",), ("s5",)])
+    blue_parts = Relation(["p_no"], [("p1",), ("p2",)])
+    supplies = Relation(
+        ["s_no", "p_no"],
+        [
+            ("s1", "p1"), ("s1", "p2"),                # exactly the blue parts
+            ("s2", "p1"), ("s2", "p2"), ("s2", "p9"),  # strictly more
+            ("s3", "p1"),                              # strictly less
+            ("s4", "p7"),                              # none of them plus else
+            #                                            s5: none at all
+        ],
+    )
+
+    print("\n=== HAS operator: suppliers VIA supplies HAS <association> OF blue parts ===")
+    for association in Association:
+        result = has(suppliers, blue_parts, supplies, [association])
+        print(f"  {association.value:<28} -> {sorted(result.to_set('s_no'))}")
+
+    at_least = has_at_least(suppliers, blue_parts, supplies)
+    print("\n'at least' (exactly OR strictly more) — i.e. relational division:")
+    print(" ", sorted(at_least.to_set("s_no")))
+
+
+if __name__ == "__main__":
+    main()

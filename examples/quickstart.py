@@ -1,0 +1,82 @@
+"""Quickstart: relations, small divide, great divide, and one rewrite law.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example rebuilds Figures 1 and 2 of the paper, shows the equivalent
+definitions of the operators agreeing with each other, and applies Law 3
+(selection push-down) through the rewrite-rule API.
+"""
+
+from repro import Relation, great_divide, small_divide
+from repro.algebra import builders as B
+from repro.algebra import predicates as P
+from repro.division import GREAT_DIVIDE_DEFINITIONS, SMALL_DIVIDE_DEFINITIONS
+from repro.laws import get_rule
+from repro.relation.render import render_relation, render_side_by_side
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Figure 1: the small divide
+    # ------------------------------------------------------------------
+    dividend = Relation(
+        ["a", "b"],
+        [(1, 1), (1, 4), (2, 1), (2, 2), (2, 3), (2, 4), (3, 1), (3, 3), (3, 4)],
+    )
+    divisor = Relation(["b"], [(1,), (3,)])
+    quotient = small_divide(dividend, divisor)
+
+    print("=== Figure 1: small divide r1 ÷ r2 ===")
+    print(
+        render_side_by_side(
+            [
+                render_relation(dividend, "r1 (dividend)"),
+                render_relation(divisor, "r2 (divisor)"),
+                render_relation(quotient, "r3 (quotient)"),
+            ]
+        )
+    )
+
+    print("\nAll definitions of the small divide agree:")
+    for name, definition in SMALL_DIVIDE_DEFINITIONS.items():
+        print(f"  {name:<12} -> {sorted(definition(dividend, divisor).to_set('a'))}")
+
+    # ------------------------------------------------------------------
+    # Figure 2: the great divide
+    # ------------------------------------------------------------------
+    great_divisor = Relation(["b", "c"], [(1, 1), (2, 1), (4, 1), (1, 2), (3, 2)])
+    great_quotient = great_divide(dividend, great_divisor)
+
+    print("\n=== Figure 2: great divide r1 ÷* r2 ===")
+    print(
+        render_side_by_side(
+            [
+                render_relation(great_divisor, "r2 (divisor with groups c)"),
+                render_relation(great_quotient, "r3 (quotient)"),
+            ]
+        )
+    )
+
+    print("\nAll definitions of the great divide agree (Theorem 1):")
+    for name, definition in GREAT_DIVIDE_DEFINITIONS.items():
+        result = sorted(definition(dividend, great_divisor).to_tuples(["a", "c"]))
+        print(f"  {name:<16} -> {result}")
+
+    # ------------------------------------------------------------------
+    # Law 3: selection push-down as a rewrite rule
+    # ------------------------------------------------------------------
+    print("\n=== Law 3: selection push-down ===")
+    r1 = B.literal(dividend, label="r1")
+    r2 = B.literal(divisor, label="r2")
+    query = B.select(B.divide(r1, r2), P.equals(P.attr("a"), 2))
+    rule = get_rule("law_03_selection_pushdown")
+    rewritten = rule.apply(query)
+    print(f"before: {query.to_text()}")
+    print(f"after:  {rewritten.to_text()}")
+    print(f"same result: {query.evaluate({}) == rewritten.evaluate({})}")
+
+
+if __name__ == "__main__":
+    main()

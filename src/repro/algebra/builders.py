@@ -1,0 +1,151 @@
+"""Concise constructors for algebra expressions.
+
+The rewrite-rule implementations and the tests build a lot of trees; these
+helpers keep that code close to the paper's notation::
+
+    divide(r1, union(r2a, r2b))          # r1 ÷ (r2' ∪ r2'')
+    project(select(r1, p), ["a"])        # π_a(σ_p(r1))
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.algebra.expressions import (
+    AggregateSpec,
+    AntiJoin,
+    Difference,
+    Expression,
+    GreatDivide,
+    GroupBy,
+    Intersection,
+    LeftOuterJoin,
+    LiteralRelation,
+    NaturalJoin,
+    Product,
+    Project,
+    RelationRef,
+    Rename,
+    Select,
+    SemiJoin,
+    SmallDivide,
+    ThetaJoin,
+    Union,
+)
+from repro.algebra.predicates import Predicate
+from repro.relation.relation import Relation
+from repro.relation.schema import AttributeNames
+
+__all__ = [
+    "ref",
+    "literal",
+    "project",
+    "select",
+    "rename",
+    "group_by",
+    "aggregate",
+    "union",
+    "intersection",
+    "difference",
+    "product",
+    "theta_join",
+    "natural_join",
+    "semijoin",
+    "antijoin",
+    "outer_join",
+    "divide",
+    "great_divide",
+]
+
+
+def ref(name: str, attributes: AttributeNames) -> RelationRef:
+    """A base-relation reference with a declared schema."""
+    return RelationRef(name, attributes)
+
+
+def literal(relation: Relation, label: str = "literal") -> LiteralRelation:
+    """An inline constant relation."""
+    return LiteralRelation(relation, label)
+
+
+def project(child: Expression, attributes: AttributeNames) -> Project:
+    """π_attributes(child)"""
+    return Project(child, attributes)
+
+
+def select(child: Expression, predicate: Predicate) -> Select:
+    """σ_predicate(child)"""
+    return Select(child, predicate)
+
+
+def rename(child: Expression, mapping: Mapping[str, str]) -> Rename:
+    """ρ_mapping(child)"""
+    return Rename(child, mapping)
+
+
+def aggregate(function: str, attribute: str | None, output: str) -> AggregateSpec:
+    """An aggregate specification ``function(attribute) → output``."""
+    return AggregateSpec(function, attribute, output)
+
+
+def group_by(
+    child: Expression, grouping: AttributeNames, aggregates: Sequence[AggregateSpec]
+) -> GroupBy:
+    """Gγ_F(child)"""
+    return GroupBy(child, grouping, aggregates)
+
+
+def union(left: Expression, right: Expression) -> Union:
+    """left ∪ right"""
+    return Union(left, right)
+
+
+def intersection(left: Expression, right: Expression) -> Intersection:
+    """left ∩ right"""
+    return Intersection(left, right)
+
+
+def difference(left: Expression, right: Expression) -> Difference:
+    """left − right"""
+    return Difference(left, right)
+
+
+def product(left: Expression, right: Expression) -> Product:
+    """left × right"""
+    return Product(left, right)
+
+
+def theta_join(left: Expression, right: Expression, predicate: Predicate) -> ThetaJoin:
+    """left ⋈_θ right"""
+    return ThetaJoin(left, right, predicate)
+
+
+def natural_join(left: Expression, right: Expression) -> NaturalJoin:
+    """left ⋈ right"""
+    return NaturalJoin(left, right)
+
+
+def semijoin(left: Expression, right: Expression) -> SemiJoin:
+    """left ⋉ right"""
+    return SemiJoin(left, right)
+
+
+def antijoin(left: Expression, right: Expression) -> AntiJoin:
+    """left ▷ right"""
+    return AntiJoin(left, right)
+
+
+def outer_join(left: Expression, right: Expression) -> LeftOuterJoin:
+    """left ⟕ right"""
+    return LeftOuterJoin(left, right)
+
+
+def divide(dividend: Expression, divisor: Expression) -> SmallDivide:
+    """dividend ÷ divisor"""
+    return SmallDivide(dividend, divisor)
+
+
+def great_divide(dividend: Expression, divisor: Expression) -> GreatDivide:
+    """dividend ÷* divisor"""
+    return GreatDivide(dividend, divisor)

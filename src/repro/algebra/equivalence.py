@@ -1,0 +1,74 @@
+"""Testing-based equivalence checking for algebra expressions.
+
+An algebraic law asserts that two expressions denote the same relation *for
+every database*.  Exhaustive verification is impossible, so the library
+offers the standard engineering substitute: evaluate both sides on one or
+many (randomly generated) databases and compare.  The property-based tests
+in ``tests/laws`` drive this with hypothesis-generated databases; the
+optimizer uses it as a sanity check in its verification mode.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.algebra.expressions import DatabaseLike, Expression
+from repro.relation.relation import Relation
+
+__all__ = ["EquivalenceReport", "equivalent_on", "check_equivalence", "first_counterexample"]
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Outcome of comparing two expressions on a collection of databases."""
+
+    equivalent: bool
+    databases_checked: int
+    counterexample: Optional[Mapping[str, Relation]] = None
+    left_result: Optional[Relation] = None
+    right_result: Optional[Relation] = None
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def equivalent_on(left: Expression, right: Expression, database: DatabaseLike) -> bool:
+    """Evaluate both expressions on one database and compare the results."""
+    return left.evaluate(database) == right.evaluate(database)
+
+
+def check_equivalence(
+    left: Expression,
+    right: Expression,
+    databases: Iterable[DatabaseLike],
+) -> EquivalenceReport:
+    """Compare two expressions on every database in ``databases``.
+
+    Returns a report carrying the first counterexample, if any.
+    """
+    checked = 0
+    for database in databases:
+        checked += 1
+        left_result = left.evaluate(database)
+        right_result = right.evaluate(database)
+        if left_result != right_result:
+            return EquivalenceReport(
+                equivalent=False,
+                databases_checked=checked,
+                counterexample=dict(database),
+                left_result=left_result,
+                right_result=right_result,
+            )
+    return EquivalenceReport(equivalent=True, databases_checked=checked)
+
+
+def first_counterexample(
+    left: Expression,
+    right: Expression,
+    databases: Iterable[DatabaseLike],
+) -> Optional[Mapping[str, Relation]]:
+    """Return the first database on which the expressions differ, or None."""
+    report = check_equivalence(left, right, databases)
+    return None if report.equivalent else report.counterexample

@@ -1,0 +1,56 @@
+"""Division operators: small divide, great divide, set containment join.
+
+The functions exported here are the *logical* (reference) evaluations used
+throughout the library as ground truth; the physical algorithms live in
+:mod:`repro.physical.division`.
+"""
+
+from repro.division.great import (
+    GREAT_DIVIDE_DEFINITIONS,
+    demolombe_divide,
+    great_divide,
+    set_containment_divide,
+    todd_divide,
+)
+from repro.division.schemas import (
+    DivisionSchemas,
+    great_divide_schemas,
+    small_divide_schemas,
+)
+from repro.division.set_containment_join import (
+    containment_join_via_great_divide,
+    nest,
+    set_containment_join,
+    unnest,
+)
+from repro.division.small import (
+    SMALL_DIVIDE_DEFINITIONS,
+    codd_divide,
+    counting_divide,
+    forall_divide,
+    healy_divide,
+    maier_divide,
+    small_divide,
+)
+
+__all__ = [
+    "DivisionSchemas",
+    "small_divide_schemas",
+    "great_divide_schemas",
+    "small_divide",
+    "codd_divide",
+    "healy_divide",
+    "maier_divide",
+    "counting_divide",
+    "forall_divide",
+    "SMALL_DIVIDE_DEFINITIONS",
+    "great_divide",
+    "set_containment_divide",
+    "demolombe_divide",
+    "todd_divide",
+    "GREAT_DIVIDE_DEFINITIONS",
+    "nest",
+    "unnest",
+    "set_containment_join",
+    "containment_join_via_great_divide",
+]

@@ -1,0 +1,124 @@
+"""The great divide operator (generalized division / set containment division).
+
+Section 2.2 of the paper discusses three independently proposed definitions
+and Theorem 1 proves them equivalent.  All three are implemented here and
+cross-checked by the test-suite:
+
+* :func:`set_containment_divide` — Definition 4 (Rantzau et al., ``÷*1``),
+* :func:`demolombe_divide` — Definition 5 (Demolombe's generalized
+  division, ``÷*2``),
+* :func:`todd_divide` — Definition 6 (Todd's great divide, ``÷*3``).
+
+:func:`great_divide` is the library's reference implementation: it groups
+the dividend by ``A`` and the divisor by ``C`` and emits every ``(A, C)``
+combination whose divisor group is contained in the dividend group.  For a
+divisor without ``C`` attributes and at least one tuple it coincides with
+the small divide (Darwen & Date's degeneration remark); for an *empty*
+divisor all definitions of the great divide yield an empty quotient, unlike
+the small divide which yields ``π_A(r1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.division.schemas import great_divide_schemas
+from repro.division.small import small_divide
+from repro.relation.relation import Relation
+
+__all__ = [
+    "great_divide",
+    "set_containment_divide",
+    "demolombe_divide",
+    "todd_divide",
+    "GREAT_DIVIDE_DEFINITIONS",
+]
+
+
+def great_divide(dividend: Relation, divisor: Relation) -> Relation:
+    """Reference implementation of ``dividend ÷* divisor``.
+
+    Examples
+    --------
+    >>> r1 = Relation(["a", "b"], [(1, 1), (1, 4), (2, 1), (2, 2), (2, 3), (2, 4),
+    ...                            (3, 1), (3, 3), (3, 4)])
+    >>> r2 = Relation(["b", "c"], [(1, 1), (2, 1), (4, 1), (1, 2), (3, 2)])
+    >>> sorted(great_divide(r1, r2).to_tuples(["a", "c"]))
+    [(2, 1), (2, 2), (3, 2)]
+    """
+    schemas = great_divide_schemas(dividend, divisor)
+
+    dividend_groups: dict[tuple[Any, ...], set[tuple[Any, ...]]] = {}
+    for row in dividend:
+        dividend_groups.setdefault(row.values_for(schemas.a), set()).add(
+            row.values_for(schemas.b)
+        )
+
+    divisor_groups: dict[tuple[Any, ...], set[tuple[Any, ...]]] = {}
+    for row in divisor:
+        divisor_groups.setdefault(row.values_for(schemas.c), set()).add(
+            row.values_for(schemas.b)
+        )
+
+    quotient_rows = []
+    for c_key, needed in divisor_groups.items():
+        for a_key, available in dividend_groups.items():
+            if needed <= available:
+                values = dict(zip(schemas.a.names, a_key))
+                values.update(zip(schemas.c.names, c_key))
+                quotient_rows.append(values)
+    return Relation(schemas.quotient, quotient_rows)
+
+
+def set_containment_divide(dividend: Relation, divisor: Relation) -> Relation:
+    """Definition 4: ``⋃_{t ∈ π_C(r2)} (r1 ÷ π_B(σ_{C=t}(r2))) × (t)``."""
+    schemas = great_divide_schemas(dividend, divisor)
+    result = Relation.empty(schemas.quotient)
+    for c_row in divisor.project(schemas.c):
+        c_values = c_row.values_for(schemas.c)
+        divisor_group = divisor.select(
+            lambda row, v=c_values: row.values_for(schemas.c) == v
+        ).project(schemas.b)
+        quotient_group = small_divide(dividend, divisor_group)
+        attached = quotient_group.product(Relation.singleton(dict(c_row)))
+        # ``attached`` may order attributes differently; align with the
+        # quotient schema before taking the union.
+        result = result.union(Relation(schemas.quotient, attached.rows))
+    return result
+
+
+def demolombe_divide(dividend: Relation, divisor: Relation) -> Relation:
+    """Definition 5 (Demolombe):
+    ``(π_A(r1) × π_C(r2)) − π_{A∪C}((π_A(r1) × r2) − (r1 × π_C(r2)))``.
+    """
+    schemas = great_divide_schemas(dividend, divisor)
+    candidates = dividend.project(schemas.a).product(divisor.project(schemas.c))
+    full_schema = schemas.a.union(schemas.b).union(schemas.c)
+    left = Relation(full_schema, dividend.project(schemas.a).product(divisor).rows)
+    right = Relation(full_schema, dividend.product(divisor.project(schemas.c)).rows)
+    missing = left.difference(right).project(schemas.a.union(schemas.c))
+    result = candidates.difference(Relation(candidates.schema.names, missing.rows))
+    return Relation(schemas.quotient, result.rows)
+
+
+def todd_divide(dividend: Relation, divisor: Relation) -> Relation:
+    """Definition 6 (Todd):
+    ``(π_A(r1) × π_C(r2)) − π_{A∪C}((π_A(r1) × r2) − (r1 ⋈ r2))``.
+    """
+    schemas = great_divide_schemas(dividend, divisor)
+    candidates = dividend.project(schemas.a).product(divisor.project(schemas.c))
+    full_schema = schemas.a.union(schemas.b).union(schemas.c)
+    left = Relation(full_schema, dividend.project(schemas.a).product(divisor).rows)
+    joined = Relation(full_schema, dividend.natural_join(divisor).rows)
+    missing = left.difference(joined).project(schemas.a.union(schemas.c))
+    result = candidates.difference(Relation(candidates.schema.names, missing.rows))
+    return Relation(schemas.quotient, result.rows)
+
+
+#: All equivalent definitions, keyed by the name used in tests and benches.
+GREAT_DIVIDE_DEFINITIONS = {
+    "reference": great_divide,
+    "set_containment": set_containment_divide,
+    "demolombe": demolombe_divide,
+    "todd": todd_divide,
+}

@@ -1,0 +1,92 @@
+"""Schema analysis for the division operators.
+
+Both division operators are defined over a *dividend* relation ``r1`` and a
+*divisor* relation ``r2``:
+
+* **small divide** (Section 2.1): ``R1(A ∪ B)``, ``R2(B)`` with ``A`` and
+  ``B`` nonempty and disjoint.  The quotient schema is ``R3(A)``.
+* **great divide** (Section 2.2): ``R1(A ∪ B)``, ``R2(B ∪ C)`` with ``A``,
+  ``B`` and ``C`` nonempty and pairwise disjoint.  The quotient schema is
+  ``R3(A ∪ C)``.
+
+This module computes and validates the ``(A, B, C)`` split from the two
+schemas, so every definition and every physical operator shares one notion
+of which attributes play which role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DivisionError
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+__all__ = ["DivisionSchemas", "small_divide_schemas", "great_divide_schemas"]
+
+
+@dataclass(frozen=True)
+class DivisionSchemas:
+    """The attribute split of a division: quotient-only ``A``, shared ``B``,
+    divisor-only ``C`` (empty for the small divide), and the quotient schema.
+    """
+
+    a: Schema
+    b: Schema
+    c: Schema
+    quotient: Schema
+
+    @property
+    def is_small(self) -> bool:
+        """True when the divisor has no extra attributes (small divide)."""
+        return len(self.c) == 0
+
+
+def small_divide_schemas(dividend: Relation, divisor: Relation) -> DivisionSchemas:
+    """Validate and split the schemas of a small divide ``dividend ÷ divisor``.
+
+    Raises
+    ------
+    DivisionError
+        If the divisor attributes are not a nonempty proper subset of the
+        dividend attributes.
+    """
+    b = divisor.schema
+    if len(b) == 0:
+        raise DivisionError("small divide: the divisor schema must be nonempty")
+    if not b.is_subset(dividend.schema):
+        extra = b.difference(dividend.schema).names
+        raise DivisionError(
+            f"small divide: divisor attributes {extra!r} do not appear in the dividend schema "
+            f"{dividend.schema.names!r}"
+        )
+    a = dividend.schema.difference(b)
+    if len(a) == 0:
+        raise DivisionError(
+            "small divide: the dividend must have at least one attribute that is not a divisor "
+            "attribute (the quotient schema A must be nonempty)"
+        )
+    return DivisionSchemas(a=a, b=dividend.schema.intersection(b), c=Schema(()), quotient=a)
+
+
+def great_divide_schemas(dividend: Relation, divisor: Relation) -> DivisionSchemas:
+    """Validate and split the schemas of a great divide ``dividend ÷* divisor``.
+
+    The shared attributes ``B`` are inferred as the intersection of the two
+    schemas.  ``C`` (divisor-only attributes) may be empty, in which case the
+    great divide degenerates to the small divide as observed by Darwen and
+    Date (Section 2.2 of the paper).
+    """
+    b = dividend.schema.intersection(divisor.schema)
+    if len(b) == 0:
+        raise DivisionError(
+            "great divide: dividend and divisor must share at least one attribute (the set B)"
+        )
+    a = dividend.schema.difference(b)
+    if len(a) == 0:
+        raise DivisionError(
+            "great divide: the dividend must have at least one attribute outside B "
+            "(the quotient schema contains A)"
+        )
+    c = divisor.schema.difference(b)
+    return DivisionSchemas(a=a, b=b, c=c, quotient=a.union(c))

@@ -1,0 +1,120 @@
+"""The set containment join and NF² (nested) relation helpers.
+
+Section 2.2 of the paper compares the great divide with the *set containment
+join* ``r1 ⋈_{b1 ⊇ b2} r2``, an operator over relations that are **not** in
+first normal form: the join attributes ``b1`` and ``b2`` hold set values.
+
+This module provides:
+
+* :func:`nest` / :func:`unnest` — convert between the flat (1NF)
+  representation used by division and the nested representation used by the
+  set containment join (Figure 2 vs Figure 3 of the paper);
+* :func:`set_containment_join` — the join itself;
+* :func:`containment_join_via_great_divide` — the bridge the paper
+  describes: solve the same pairs-of-sets problem with the great divide and
+  compare the outputs, taking the documented semantic differences into
+  account (empty sets, preservation of the set-valued attributes).
+"""
+
+from __future__ import annotations
+
+from repro.division.great import great_divide
+from repro.errors import SchemaError
+from repro.relation import aggregates
+from repro.relation.relation import Relation
+from repro.relation.schema import AttributeNames, as_schema
+
+__all__ = [
+    "nest",
+    "unnest",
+    "set_containment_join",
+    "containment_join_via_great_divide",
+]
+
+
+def nest(relation: Relation, element_attribute: str, set_attribute: str) -> Relation:
+    """Nest a 1NF relation into an NF² relation.
+
+    Groups ``relation`` on every attribute except ``element_attribute`` and
+    collects the element values into a frozenset stored in
+    ``set_attribute``.
+
+    >>> flat = Relation(["a", "b"], [(1, 1), (1, 4), (2, 1)])
+    >>> nested = nest(flat, "b", "b1")
+    >>> sorted(nested.to_tuples(["a", "b1"]))
+    [(1, frozenset({1, 4})), (2, frozenset({1}))]
+    """
+    relation.schema.require([element_attribute], "nest")
+    if set_attribute in relation.schema and set_attribute != element_attribute:
+        raise SchemaError(f"nest: target attribute {set_attribute!r} already exists")
+    grouping = relation.schema.difference([element_attribute])
+    return relation.group_by(grouping, {set_attribute: aggregates.collect_set(element_attribute)})
+
+
+def unnest(relation: Relation, set_attribute: str, element_attribute: str) -> Relation:
+    """Unnest an NF² relation back to 1NF (inverse of :func:`nest`).
+
+    Tuples whose set value is empty disappear, mirroring the paper's remark
+    that set containment division "does not have the notion of an empty
+    set".
+    """
+    relation.schema.require([set_attribute], "unnest")
+    if element_attribute in relation.schema and element_attribute != set_attribute:
+        raise SchemaError(f"unnest: target attribute {element_attribute!r} already exists")
+    other = relation.schema.difference([set_attribute])
+    rows = []
+    for row in relation:
+        values = row[set_attribute]
+        for element in values:
+            flat = {name: row[name] for name in other}
+            flat[element_attribute] = element
+            rows.append(flat)
+    return Relation(other.union([element_attribute]), rows)
+
+
+def set_containment_join(
+    left: Relation,
+    right: Relation,
+    left_set_attribute: str,
+    right_set_attribute: str,
+) -> Relation:
+    """Set containment join ``left ⋈_{b1 ⊇ b2} right``.
+
+    Combines every pair of tuples whose ``left_set_attribute`` value (a set)
+    contains the ``right_set_attribute`` value (a set).  All attributes of
+    both inputs are preserved, exactly as in Figure 3 of the paper.  The two
+    relations must not share attribute names.
+    """
+    left.schema.require([left_set_attribute], "set containment join")
+    right.schema.require([right_set_attribute], "set containment join")
+    if not left.schema.is_disjoint(right.schema):
+        shared = left.schema.intersection(right.schema).names
+        raise SchemaError(f"set containment join: attribute sets must be disjoint, got {shared!r}")
+
+    schema = left.schema.union(right.schema)
+    rows = []
+    for left_row in left:
+        container = frozenset(left_row[left_set_attribute])
+        for right_row in right:
+            contained = frozenset(right_row[right_set_attribute])
+            if contained <= container:
+                rows.append(left_row.merge(right_row))
+    return Relation(schema, rows)
+
+
+def containment_join_via_great_divide(
+    flat_dividend: Relation,
+    flat_divisor: Relation,
+    quotient_attributes: AttributeNames | None = None,
+) -> Relation:
+    """Solve the set-containment problem of Figure 3 with the great divide.
+
+    ``flat_dividend`` and ``flat_divisor`` are the 1NF representations
+    (Figure 2); the result is the great-divide quotient, i.e. the
+    ``(A, C)`` pairs, *without* the set-valued join attributes — difference 2
+    in the paper's list of subtle differences between the two operators.
+    """
+    result = great_divide(flat_dividend, flat_divisor)
+    if quotient_attributes is not None:
+        result = result.project(as_schema(quotient_attributes))
+    return result

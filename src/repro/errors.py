@@ -1,0 +1,93 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while the
+more specific subclasses document *why* an operation was rejected.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "RelationError",
+    "DivisionError",
+    "PredicateError",
+    "ExpressionError",
+    "RewriteError",
+    "PlanningError",
+    "ExecutionError",
+    "SQLSyntaxError",
+    "SQLTranslationError",
+    "WorkloadError",
+    "MiningError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or two schemas are incompatible.
+
+    Raised, for example, when a projection references an attribute that is
+    not part of the input schema, or when a union is attempted between
+    relations with different attribute sets.
+    """
+
+
+class RelationError(ReproError):
+    """A relation value is malformed (e.g. a row misses an attribute)."""
+
+
+class DivisionError(SchemaError):
+    """The schemas of dividend and divisor violate the operator definition.
+
+    Small divide requires the divisor attributes ``B`` to be a nonempty
+    proper subset of the dividend attributes ``A ∪ B``; great divide
+    additionally requires a nonempty dividend-only set ``A`` and allows a
+    divisor-only set ``C``.
+    """
+
+
+class PredicateError(ReproError):
+    """A predicate references unknown attributes or cannot be evaluated."""
+
+
+class ExpressionError(ReproError):
+    """A logical algebra expression is malformed."""
+
+
+class RewriteError(ReproError):
+    """A rewrite rule was applied to an expression it does not match."""
+
+
+class PlanningError(ReproError):
+    """The optimizer could not produce a physical plan."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed during execution."""
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL frontend could not tokenize or parse the input text."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class SQLTranslationError(ReproError):
+    """A parsed SQL statement cannot be translated to the logical algebra."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received inconsistent parameters."""
+
+
+class MiningError(ReproError):
+    """A frequent-itemset mining routine received invalid input."""

@@ -1,0 +1,24 @@
+"""Experiment harness: figure regeneration and the Section 4 queries."""
+
+from repro.experiments.figures import FigureReproduction, all_figures
+from repro.experiments.queries import (
+    Q1,
+    Q2,
+    Q2_NOT_EXISTS,
+    Q3,
+    QueryExperiment,
+    q1_equals_q3,
+    run_query,
+)
+
+__all__ = [
+    "FigureReproduction",
+    "all_figures",
+    "Q1",
+    "Q2",
+    "Q3",
+    "Q2_NOT_EXISTS",
+    "QueryExperiment",
+    "run_query",
+    "q1_equals_q3",
+]

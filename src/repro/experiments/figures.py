@@ -1,0 +1,367 @@
+"""Regeneration of every figure of the paper (Figures 1–11).
+
+Each ``figure_N()`` function rebuilds the input relations printed in the
+paper, evaluates the operator or law the figure illustrates, and returns a
+:class:`FigureReproduction` holding all inputs, the intermediates shown in
+the figure, the computed output and the expected output transcribed from
+the paper.  ``verify()`` checks computed == expected; ``render()`` prints
+the relations side by side in the paper's layout.
+
+The benchmark harness (``benchmarks/test_bench_figures.py``) times the
+regeneration of every figure and asserts that it verifies, and
+``EXPERIMENTS.md`` records the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra import predicates as P
+from repro.division import great_divide, small_divide
+from repro.division.set_containment_join import nest, set_containment_join
+from repro.laws.small_divide import law11_divide, law12_divide
+from repro.relation import Relation, aggregates
+from repro.relation.render import render_relation, render_side_by_side
+
+__all__ = ["FigureReproduction", "all_figures"] + [f"figure_{i}" for i in range(1, 12)]
+
+
+@dataclass
+class FigureReproduction:
+    """One regenerated figure: inputs, intermediates, output, expected output."""
+
+    figure_id: str
+    caption: str
+    relations: dict[str, Relation] = field(default_factory=dict)
+    computed: Relation | None = None
+    expected: Relation | None = None
+
+    def verify(self) -> bool:
+        """True if the computed result matches the paper's printed result."""
+        return self.computed == self.expected
+
+    def render(self) -> str:
+        """ASCII rendering of all relations of the figure, side by side."""
+        blocks = [
+            render_relation(relation, title=f"({label})")
+            for label, relation in self.relations.items()
+        ]
+        header = f"{self.figure_id}: {self.caption}"
+        status = "reproduced" if self.verify() else "MISMATCH"
+        return f"{header}  [{status}]\n" + render_side_by_side(blocks)
+
+
+# ----------------------------------------------------------------------
+# shared example relations
+# ----------------------------------------------------------------------
+def _figure1_dividend() -> Relation:
+    return Relation(
+        ["a", "b"],
+        [(1, 1), (1, 4), (2, 1), (2, 2), (2, 3), (2, 4), (3, 1), (3, 3), (3, 4)],
+    )
+
+
+def _figure4_dividend() -> Relation:
+    return Relation(
+        ["a", "b"],
+        [
+            (1, 1), (1, 4),
+            (2, 1), (2, 2), (2, 3), (2, 4),
+            (3, 1), (3, 3), (3, 4),
+            (4, 1), (4, 3),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# figures
+# ----------------------------------------------------------------------
+def figure_1() -> FigureReproduction:
+    """Figure 1: small divide r1 ÷ r2 = r3."""
+    r1 = _figure1_dividend()
+    r2 = Relation(["b"], [(1,), (3,)])
+    expected = Relation(["a"], [(2,), (3,)])
+    computed = small_divide(r1, r2)
+    return FigureReproduction(
+        figure_id="Figure 1",
+        caption="Division: r1 ÷ r2 = r3",
+        relations={"r1 (dividend)": r1, "r2 (divisor)": r2, "r3 (quotient)": computed},
+        computed=computed,
+        expected=expected,
+    )
+
+
+def figure_2() -> FigureReproduction:
+    """Figure 2: generalized division r1 ÷* r2 = r3."""
+    r1 = _figure1_dividend()
+    r2 = Relation(["b", "c"], [(1, 1), (2, 1), (4, 1), (1, 2), (3, 2)])
+    expected = Relation(["a", "c"], [(2, 1), (2, 2), (3, 2)])
+    computed = great_divide(r1, r2)
+    return FigureReproduction(
+        figure_id="Figure 2",
+        caption="Generalized division: r1 ÷* r2 = r3",
+        relations={"r1 (dividend)": r1, "r2 (divisor)": r2, "r3 (quotient)": computed},
+        computed=computed,
+        expected=expected,
+    )
+
+
+def figure_3() -> FigureReproduction:
+    """Figure 3: set containment join over the nested representation."""
+    r1 = nest(_figure1_dividend(), "b", "b1")
+    r2 = nest(Relation(["b", "c"], [(1, 1), (2, 1), (4, 1), (1, 2), (3, 2)]), "b", "b2")
+    computed = set_containment_join(r1, r2, "b1", "b2")
+    expected = Relation(
+        ["a", "b1", "b2", "c"],
+        [
+            (2, frozenset({1, 2, 3, 4}), frozenset({1, 2, 4}), 1),
+            (2, frozenset({1, 2, 3, 4}), frozenset({1, 3}), 2),
+            (3, frozenset({1, 3, 4}), frozenset({1, 3}), 2),
+        ],
+    )
+    return FigureReproduction(
+        figure_id="Figure 3",
+        caption="Set containment join: r1 ⋈_{b1 ⊇ b2} r2 = r3",
+        relations={"r1": r1, "r2": r2, "r3": computed},
+        computed=computed,
+        expected=expected,
+    )
+
+
+def figure_4() -> FigureReproduction:
+    """Figure 4: the worked example of Law 1 (divisor union split)."""
+    r1 = _figure4_dividend()
+    r2_prime = Relation(["b"], [(1,), (3,)])
+    r2_double_prime = Relation(["b"], [(3,), (4,)])
+    r2 = r2_prime.union(r2_double_prime)
+    inner = small_divide(r1, r2_prime)
+    semi = r1.semijoin(inner)
+    computed = small_divide(semi, r2_double_prime)
+    expected = Relation(["a"], [(2,), (3,)])
+    return FigureReproduction(
+        figure_id="Figure 4",
+        caption="Law 1: r1 ÷ (r2' ∪ r2'') = (r1 ⋉ (r1 ÷ r2')) ÷ r2''",
+        relations={
+            "r1": r1,
+            "r2": r2,
+            "r2'": r2_prime,
+            "r2''": r2_double_prime,
+            "r1 ÷ r2'": inner,
+            "r1 ⋉ (r1 ÷ r2')": semi,
+            "r3": computed,
+        },
+        computed=computed,
+        expected=expected,
+    )
+
+
+def figure_5() -> FigureReproduction:
+    """Figure 5: the dividend partitioning that violates condition c1 of Law 2."""
+    r1_prime = Relation(["a", "b"], [(1, 1), (1, 2), (1, 3)])
+    r1_double_prime = Relation(["a", "b"], [(1, 2), (1, 4)])
+    r2 = Relation(["b"], [(1,), (4,)])
+    union_quotient = small_divide(r1_prime.union(r1_double_prime), r2)
+    split_quotient = small_divide(r1_prime, r2).union(small_divide(r1_double_prime, r2))
+    # The figure illustrates the *violation*: the union qualifies a=1 although
+    # neither partition does.  The expected value records the union quotient.
+    return FigureReproduction(
+        figure_id="Figure 5",
+        caption="Law 2 precondition violation: (r1' ∪ r1'') ÷ r2 ≠ (r1' ÷ r2) ∪ (r1'' ÷ r2)",
+        relations={
+            "r1'": r1_prime,
+            "r1''": r1_double_prime,
+            "r2": r2,
+            "(r1' ∪ r1'') ÷ r2": union_quotient,
+            "(r1' ÷ r2) ∪ (r1'' ÷ r2)": split_quotient,
+        },
+        computed=union_quotient.difference(split_quotient),
+        expected=Relation(["a"], [(1,)]),
+    )
+
+
+def figure_6() -> FigureReproduction:
+    """Figure 6: Example 1 — a selection on the dividend's B attributes."""
+    r1 = _figure4_dividend()
+    r2 = Relation(["b"], [(1,), (3,), (4,)])
+    predicate = P.less_than(P.attr("b"), 3)
+    restricted_dividend = r1.select(predicate)
+    restricted_divisor = r2.select(predicate)
+    rejected_divisor = r2.select(predicate.negate())
+    lhs = small_divide(restricted_dividend, r2)
+    first = small_divide(restricted_dividend, restricted_divisor)
+    switch = r1.project(["a"]).product(rejected_divisor).project(["a"])
+    rhs = first.difference(switch)
+    return FigureReproduction(
+        figure_id="Figure 6",
+        caption="Example 1: σ_b<3(r1) ÷ r2 rewritten to expose the empty result",
+        relations={
+            "r1": r1,
+            "σ_b<3(r1)": restricted_dividend,
+            "r2": r2,
+            "σ_b<3(r2)": restricted_divisor,
+            "σ_b<3(r1) ÷ r2": lhs,
+            "σ_b<3(r1) ÷ σ_b<3(r2)": first,
+            "π_a(π_a(r1) × σ_b≥3(r2))": switch,
+            "result": rhs,
+        },
+        computed=rhs,
+        expected=lhs,
+    )
+
+
+def figure_7() -> FigureReproduction:
+    """Figure 7: the worked example of Law 8."""
+    r1_star = Relation(["a1"], [(1,), (2,)])
+    r1_star_star = Relation(
+        ["a2", "b"], [(1, 1), (1, 2), (1, 3), (2, 1), (2, 3), (3, 2), (3, 3)]
+    )
+    r2 = Relation(["b"], [(2,), (3,)])
+    product = r1_star.product(r1_star_star)
+    inner = small_divide(r1_star_star, r2)
+    computed = r1_star.product(inner)
+    expected = Relation(["a1", "a2"], [(1, 1), (1, 3), (2, 1), (2, 3)])
+    lhs = small_divide(product, r2)
+    return FigureReproduction(
+        figure_id="Figure 7",
+        caption="Law 8: (r1* × r1**) ÷ r2 = r1* × (r1** ÷ r2)",
+        relations={
+            "r1*": r1_star,
+            "r1**": r1_star_star,
+            "r2": r2,
+            "r1* × r1**": product,
+            "r1** ÷ r2": inner,
+            "r3": computed,
+            "lhs": lhs,
+        },
+        computed=computed,
+        expected=expected,
+    )
+
+
+def figure_8() -> FigureReproduction:
+    """Figure 8: the worked example of Law 9."""
+    r1_star = Relation(
+        ["a", "b1"], [(1, 1), (1, 2), (1, 3), (2, 2), (2, 3), (3, 1), (3, 3), (3, 4)]
+    )
+    r1_star_star = Relation(["b2"], [(1,), (2,)])
+    r2 = Relation(["b1", "b2"], [(1, 2), (3, 1), (3, 2)])
+    product = r1_star.product(r1_star_star)
+    lhs = small_divide(product, r2)
+    computed = small_divide(r1_star, r2.project(["b1"]))
+    expected = Relation(["a"], [(1,), (3,)])
+    return FigureReproduction(
+        figure_id="Figure 8",
+        caption="Law 9: (r1* × r1**) ÷ r2 = r1* ÷ π_B1(r2)",
+        relations={
+            "r1*": r1_star,
+            "r1**": r1_star_star,
+            "r2": r2,
+            "r1* × r1**": product,
+            "π_b1(r2)": r2.project(["b1"]),
+            "π_b2(r2)": r2.project(["b2"]),
+            "r3": computed,
+            "lhs": lhs,
+        },
+        computed=computed,
+        expected=expected,
+    )
+
+
+def figure_9() -> FigureReproduction:
+    """Figure 9: the worked example of Example 3 (join elimination)."""
+    r1_star = Relation(
+        ["a", "b1"], [(1, 1), (1, 2), (1, 3), (2, 2), (2, 3), (3, 1), (3, 3), (3, 4)]
+    )
+    r1_star_star = Relation(["b2"], [(1,), (2,), (4,)])
+    r2 = Relation(["b1", "b2"], [(1, 4), (3, 4)])
+    predicate = P.less_than(P.attr("b1"), P.attr("b2"))
+    joined = r1_star.theta_join(r1_star_star, predicate)
+    lhs = small_divide(joined, r2)
+    selected = r2.select(predicate).project(["b1"])
+    rejected = r2.select(predicate.negate())
+    computed = small_divide(r1_star, selected).difference(
+        r1_star.project(["a"]).product(rejected).project(["a"])
+    )
+    expected = Relation(["a"], [(1,), (3,)])
+    return FigureReproduction(
+        figure_id="Figure 9",
+        caption="Example 3: (r1* ⋈_{b1<b2} r1**) ÷ r2 rewritten without the join",
+        relations={
+            "r1*": r1_star,
+            "r1**": r1_star_star,
+            "r2": r2,
+            "r1* ⋈ r1**": joined,
+            "π_b1(σ_b1<b2(r2))": selected,
+            "r3": computed,
+            "lhs": lhs,
+        },
+        computed=computed,
+        expected=expected,
+    )
+
+
+def figure_10() -> FigureReproduction:
+    """Figure 10: the worked example of Law 11 (grouped dividend)."""
+    r0 = Relation(
+        ["a", "x"], [(1, 1), (1, 2), (1, 3), (2, 1), (2, 3), (3, 1), (3, 3), (3, 4)]
+    )
+    r1 = r0.group_by(["a"], {"b": aggregates.sum_of("x")})
+    r2 = Relation(["b"], [(4,)])
+    semi = r1.semijoin(r2)
+    computed = law11_divide(r1, r2)
+    expected = Relation(["a"], [(2,)])
+    return FigureReproduction(
+        figure_id="Figure 10",
+        caption="Law 11: r1 = γ_sum(x)→b(r0), quotient via a semi-join",
+        relations={
+            "r0": r0,
+            "r1 = γ(r0)": r1,
+            "r2": r2,
+            "r1 ⋉ r2": semi,
+            "π_a(r1 ⋉ r2)": computed,
+        },
+        computed=computed,
+        expected=expected,
+    )
+
+
+def figure_11() -> FigureReproduction:
+    """Figure 11: the worked example of Law 12 (grouped divisor key)."""
+    r0 = Relation(
+        ["x", "b"], [(1, 1), (1, 2), (1, 3), (2, 1), (2, 3), (3, 1), (3, 3), (3, 4)]
+    )
+    r1 = r0.group_by(["b"], {"a": aggregates.sum_of("x")})
+    r2 = Relation(["b"], [(1,), (3,)])
+    semi = r1.semijoin(r2)
+    computed = law12_divide(r1, r2)
+    expected = Relation(["a"], [(6,)])
+    return FigureReproduction(
+        figure_id="Figure 11",
+        caption="Law 12: r1 = γ_sum(x)→a(r0), quotient via a semi-join and count",
+        relations={
+            "r0": r0,
+            "r1 = γ(r0)": r1,
+            "r2": r2,
+            "r1 ⋉ r2": semi,
+            "π_a(r1 ⋉ r2)": computed,
+        },
+        computed=computed,
+        expected=expected,
+    )
+
+
+def all_figures() -> list[FigureReproduction]:
+    """Regenerate every figure of the paper, in order."""
+    return [
+        figure_1(),
+        figure_2(),
+        figure_3(),
+        figure_4(),
+        figure_5(),
+        figure_6(),
+        figure_7(),
+        figure_8(),
+        figure_9(),
+        figure_10(),
+        figure_11(),
+    ]

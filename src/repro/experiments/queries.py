@@ -1,0 +1,65 @@
+"""The SQL queries of Section 4 (Q1, Q2, Q3) as reusable experiment inputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.catalog import Catalog
+from repro.algebra.expressions import Expression
+from repro.relation.relation import Relation
+from repro.sql import translate_sql
+
+__all__ = ["Q1", "Q2", "Q3", "Q2_NOT_EXISTS", "QueryExperiment", "run_query", "q1_equals_q3"]
+
+#: Query Q1: for each color, the suppliers that supply all parts of that color.
+Q1 = "SELECT s_no, color FROM supplies AS s DIVIDE BY parts AS p ON s.p_no = p.p_no"
+
+#: Query Q2: the suppliers that supply all blue parts.
+Q2 = (
+    "SELECT s_no FROM supplies AS s DIVIDE BY ("
+    "SELECT p_no FROM parts WHERE color = 'blue') AS p ON s.p_no = p.p_no"
+)
+
+#: Query Q3: the double-NOT-EXISTS formulation equivalent to Q1.
+Q3 = """
+    SELECT DISTINCT s_no, color
+    FROM supplies AS s1, parts AS p1
+    WHERE NOT EXISTS (
+        SELECT * FROM parts AS p2
+        WHERE p2.color = p1.color AND NOT EXISTS (
+            SELECT * FROM supplies AS s2
+            WHERE s2.p_no = p2.p_no AND s2.s_no = s1.s_no))
+"""
+
+#: The NOT EXISTS formulation of Q2 (used by the recognizer experiments).
+Q2_NOT_EXISTS = """
+    SELECT DISTINCT s_no
+    FROM supplies AS s1
+    WHERE NOT EXISTS (
+        SELECT * FROM parts AS p2
+        WHERE p2.color = 'blue' AND NOT EXISTS (
+            SELECT * FROM supplies AS s2
+            WHERE s2.p_no = p2.p_no AND s2.s_no = s1.s_no))
+"""
+
+
+@dataclass(frozen=True)
+class QueryExperiment:
+    """One executed query: its translation and its result."""
+
+    sql: str
+    expression: Expression
+    result: Relation
+
+
+def run_query(sql: str, catalog: Catalog, recognize_division: bool = True) -> QueryExperiment:
+    """Translate and evaluate ``sql`` against ``catalog``."""
+    expression = translate_sql(sql, catalog, recognize_division=recognize_division)
+    return QueryExperiment(sql=sql, expression=expression, result=expression.evaluate(catalog))
+
+
+def q1_equals_q3(catalog: Catalog) -> bool:
+    """The paper's claim that Q1 and Q3 denote the same result."""
+    q1 = run_query(Q1, catalog).result
+    q3 = run_query(Q3, catalog).result
+    return q1 == q3

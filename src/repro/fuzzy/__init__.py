@@ -1,0 +1,12 @@
+"""Fuzzy-relation extension: fuzzy relations, fuzzy division, Yager's quotient."""
+
+from repro.fuzzy.quotient import IMPLICATIONS, fuzzy_divide, owa_weights_almost_all, yager_quotient
+from repro.fuzzy.relation import FuzzyRelation
+
+__all__ = [
+    "FuzzyRelation",
+    "fuzzy_divide",
+    "yager_quotient",
+    "owa_weights_almost_all",
+    "IMPLICATIONS",
+]

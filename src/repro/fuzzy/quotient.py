@@ -1,0 +1,143 @@
+"""Fuzzy division and Yager's "almost all" quotient (Section 6 extension).
+
+Two graded interpretations of "a is related to all elements of the divisor":
+
+* :func:`fuzzy_divide` — the implication-based fuzzy division of Bosc et
+  al.: ``μ(a) = min_{b ∈ r2} impl(μ_r2(b), μ_r1(a, b))`` for a chosen fuzzy
+  implication (Gödel, Goguen or Łukasiewicz);
+* :func:`yager_quotient` — Yager's fuzzy quotient based on the relaxed
+  quantifier "almost all", realized by an ordered weighted average (OWA) of
+  the per-element satisfaction degrees.
+
+With crisp inputs and the strict quantifier both reduce to the ordinary
+small divide, which the tests verify.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.errors import DivisionError
+from repro.fuzzy.relation import FuzzyRelation
+from repro.relation.row import Row
+
+__all__ = ["IMPLICATIONS", "fuzzy_divide", "yager_quotient", "owa_weights_almost_all"]
+
+
+def _goedel(premise: float, conclusion: float) -> float:
+    return 1.0 if premise <= conclusion else conclusion
+
+
+def _goguen(premise: float, conclusion: float) -> float:
+    if premise <= conclusion:
+        return 1.0
+    return conclusion / premise if premise > 0 else 1.0
+
+
+def _lukasiewicz(premise: float, conclusion: float) -> float:
+    return min(1.0, 1.0 - premise + conclusion)
+
+
+#: Supported fuzzy implications, keyed by name.
+IMPLICATIONS: dict[str, Callable[[float, float], float]] = {
+    "goedel": _goedel,
+    "goguen": _goguen,
+    "lukasiewicz": _lukasiewicz,
+}
+
+
+def _split_schemas(dividend: FuzzyRelation, divisor: FuzzyRelation):
+    b = divisor.schema
+    if not b.is_subset(dividend.schema):
+        raise DivisionError("fuzzy divide: divisor attributes must appear in the dividend")
+    a = dividend.schema.difference(b)
+    if len(a) == 0 or len(b) == 0:
+        raise DivisionError("fuzzy divide: both A and B must be nonempty")
+    return a, b
+
+
+def fuzzy_divide(
+    dividend: FuzzyRelation,
+    divisor: FuzzyRelation,
+    implication: str = "goedel",
+) -> FuzzyRelation:
+    """Implication-based fuzzy division ``dividend ÷ divisor``."""
+    if implication not in IMPLICATIONS:
+        raise DivisionError(f"unknown implication {implication!r}; choose from {sorted(IMPLICATIONS)}")
+    impl = IMPLICATIONS[implication]
+    a_schema, b_schema = _split_schemas(dividend, divisor)
+
+    candidates: dict[Row, dict[tuple[Any, ...], float]] = {}
+    for row, degree in dividend.rows().items():
+        candidate = row.project(a_schema)
+        candidates.setdefault(candidate, {})[row.values_for(b_schema)] = degree
+
+    divisor_rows = divisor.rows()
+    result: dict[Row, float] = {}
+    for candidate, group in candidates.items():
+        degree = 1.0
+        for divisor_row, divisor_degree in divisor_rows.items():
+            dividend_degree = group.get(divisor_row.values_for(b_schema), 0.0)
+            degree = min(degree, impl(divisor_degree, dividend_degree))
+        if degree > 0.0:
+            result[candidate] = degree
+    return FuzzyRelation(a_schema, result)
+
+
+def owa_weights_almost_all(count: int, strictness: float = 2.0) -> list[float]:
+    """OWA weights realizing the relaxed quantifier "almost all".
+
+    The weights follow Yager's RIM quantifier ``Q(x) = x**strictness``:
+    ``w_i = Q(i/n) − Q((i−1)/n)``.  ``strictness = 1`` gives the arithmetic
+    mean ("most on average"); larger values approach the strict universal
+    quantifier min.
+    """
+    if count <= 0:
+        return []
+    if strictness <= 0:
+        raise DivisionError("strictness must be positive")
+    quantifier = lambda x: x**strictness  # noqa: E731 - tiny local helper
+    return [quantifier(i / count) - quantifier((i - 1) / count) for i in range(1, count + 1)]
+
+
+def yager_quotient(
+    dividend: FuzzyRelation,
+    divisor: FuzzyRelation,
+    weights: Sequence[float] | None = None,
+    strictness: float = 2.0,
+) -> FuzzyRelation:
+    """Yager's fuzzy quotient: "a is related to *almost all* divisor elements".
+
+    The per-divisor-element satisfaction degrees (via the Gödel implication)
+    are sorted in descending order and aggregated by an ordered weighted
+    average; by default the weights implement the "almost all" quantifier
+    with the given ``strictness``.
+    """
+    a_schema, b_schema = _split_schemas(dividend, divisor)
+    divisor_rows = divisor.rows()
+    if weights is None:
+        weights = owa_weights_almost_all(len(divisor_rows), strictness)
+    if len(weights) != len(divisor_rows):
+        raise DivisionError(
+            f"need exactly {len(divisor_rows)} OWA weights, got {len(weights)}"
+        )
+
+    candidates: dict[Row, dict[tuple[Any, ...], float]] = {}
+    for row, degree in dividend.rows().items():
+        candidate = row.project(a_schema)
+        candidates.setdefault(candidate, {})[row.values_for(b_schema)] = degree
+
+    result: dict[Row, float] = {}
+    for candidate, group in candidates.items():
+        satisfactions = sorted(
+            (
+                _goedel(divisor_degree, group.get(divisor_row.values_for(b_schema), 0.0))
+                for divisor_row, divisor_degree in divisor_rows.items()
+            ),
+            reverse=True,
+        )
+        degree = sum(weight * value for weight, value in zip(weights, satisfactions))
+        if degree > 0.0:
+            result[candidate] = degree
+    return FuzzyRelation(a_schema, result)

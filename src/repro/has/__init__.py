@@ -1,0 +1,5 @@
+"""Carlis' HAS operator extension."""
+
+from repro.has.operator import Association, has, has_at_least
+
+__all__ = ["Association", "has", "has_at_least"]

@@ -1,0 +1,139 @@
+"""Carlis' HAS operator (related-work extension, Section 6 of the paper).
+
+Carlis argues that division "is not enough to conquer" and proposes a more
+general three-relation operator::
+
+    r1 VIA r3 HAS <associations> OF r2
+
+with ``r1`` the entities to qualify, ``r2`` the qualification set, ``r3``
+the relationship between them, and a *disjunction* of up to six
+"associations" describing how an entity's related set must relate to the
+qualification set.  The small divide is the combination
+``exactly OR strictly_more_than`` ("at least"), which the tests verify.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+from repro.errors import SchemaError
+from repro.relation.relation import Relation
+from repro.relation.schema import AttributeNames, as_schema
+
+__all__ = ["Association", "has", "has_at_least"]
+
+
+class Association(Enum):
+    """Carlis' six associations between an entity's related set S and the
+    qualification set T."""
+
+    #: S ∩ T = T and S − T = ∅ (the entity is related to exactly T).
+    EXACTLY = "exactly"
+    #: S ∩ T = T and S − T ≠ ∅.
+    STRICTLY_MORE_THAN = "strictly_more_than"
+    #: ∅ ≠ S ∩ T ⊊ T and S − T = ∅.
+    STRICTLY_LESS_THAN = "strictly_less_than"
+    #: ∅ ≠ S ∩ T ⊊ T and S − T ≠ ∅.
+    SOME_BUT_NOT_ALL_PLUS_ELSE = "some_but_not_all_plus_else"
+    #: S ∩ T = ∅ and S − T ≠ ∅.
+    NONE_PLUS_ELSE = "none_plus_else"
+    #: S = ∅ (no relationships at all).
+    NONE_AT_ALL = "none_at_all"
+
+
+def _classify(related: frozenset, qualification: frozenset) -> Association:
+    overlap = related & qualification
+    extra = related - qualification
+    if not related:
+        return Association.NONE_AT_ALL
+    if overlap == qualification:
+        # Covers the empty qualification set too: any related entity then
+        # trivially has "all of it", plus something else.
+        return Association.STRICTLY_MORE_THAN if extra else Association.EXACTLY
+    if not overlap:
+        return Association.NONE_PLUS_ELSE
+    return Association.SOME_BUT_NOT_ALL_PLUS_ELSE if extra else Association.STRICTLY_LESS_THAN
+
+
+def has(
+    entities: Relation,
+    qualification: Relation,
+    relationships: Relation,
+    associations: Iterable[Association | str],
+    entity_key: AttributeNames | None = None,
+    element_key: AttributeNames | None = None,
+) -> Relation:
+    """Evaluate ``entities VIA relationships HAS <associations> OF qualification``.
+
+    Parameters
+    ----------
+    entities:
+        The relation whose tuples are qualified (e.g. ``suppliers``).
+    qualification:
+        The qualification set (e.g. the blue parts).
+    relationships:
+        The relation connecting entity keys to element keys (e.g. ``supplies``).
+    associations:
+        One or more :class:`Association` values (or their string names);
+        they are combined as a disjunction, exactly as in Carlis' proposal.
+    entity_key / element_key:
+        The attributes joining ``relationships`` with ``entities`` and
+        ``qualification``; by default they are inferred as the shared
+        attributes.
+    """
+    chosen = frozenset(
+        member if isinstance(member, Association) else Association(member) for member in associations
+    )
+    if not chosen:
+        raise SchemaError("HAS requires at least one association")
+
+    entity_schema = (
+        as_schema(entity_key) if entity_key is not None else entities.schema.intersection(relationships.schema)
+    )
+    element_schema = (
+        as_schema(element_key) if element_key is not None else qualification.schema.intersection(relationships.schema)
+    )
+    if len(entity_schema) == 0 or len(element_schema) == 0:
+        raise SchemaError(
+            "HAS: could not infer the join attributes; pass entity_key/element_key explicitly"
+        )
+    entities.schema.require(entity_schema, "HAS entities")
+    qualification.schema.require(element_schema, "HAS qualification")
+    relationships.schema.require(entity_schema.union(element_schema), "HAS relationships")
+
+    qualification_values = frozenset(row.values_for(element_schema) for row in qualification)
+    related: dict[tuple, set] = {}
+    for row in relationships:
+        related.setdefault(row.values_for(entity_schema), set()).add(row.values_for(element_schema))
+
+    qualified_rows = []
+    for row in entities:
+        key = row.values_for(entity_schema)
+        association = _classify(frozenset(related.get(key, ())), qualification_values)
+        if association in chosen:
+            qualified_rows.append(row)
+    return Relation(entities.schema, qualified_rows)
+
+
+def has_at_least(
+    entities: Relation,
+    qualification: Relation,
+    relationships: Relation,
+    entity_key: AttributeNames | None = None,
+    element_key: AttributeNames | None = None,
+) -> Relation:
+    """The "at least" combination (exactly OR strictly more than) — i.e. division.
+
+    ``has_at_least(suppliers, blue_parts, supplies)`` returns the suppliers
+    that supply all blue parts, matching ``supplies ÷ blue_parts`` restricted
+    to suppliers present in ``entities``.
+    """
+    return has(
+        entities,
+        qualification,
+        relationships,
+        (Association.EXACTLY, Association.STRICTLY_MORE_THAN),
+        entity_key=entity_key,
+        element_key=element_key,
+    )

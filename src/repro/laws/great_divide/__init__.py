@@ -1,0 +1,19 @@
+"""Rewrite rules for the great divide (Laws 13–17, Example 4)."""
+
+from repro.laws.great_divide.join import Example4JoinPushdown
+from repro.laws.great_divide.product import Law17ProductFactorOut
+from repro.laws.great_divide.selection import (
+    Law14QuotientSelectionPushdown,
+    Law15GroupSelectionPushdown,
+    Law16SharedSelectionReplication,
+)
+from repro.laws.great_divide.union import Law13DivisorPartitioning
+
+__all__ = [
+    "Law13DivisorPartitioning",
+    "Law14QuotientSelectionPushdown",
+    "Law15GroupSelectionPushdown",
+    "Law16SharedSelectionReplication",
+    "Law17ProductFactorOut",
+    "Example4JoinPushdown",
+]

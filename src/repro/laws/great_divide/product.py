@@ -1,0 +1,51 @@
+"""Law 17 — great divide versus Cartesian product (Section 5.2.3).
+
+``(r1* × r1**) ÷* r2 = r1* × (r1** ÷* r2)`` when the shared attributes
+``B`` all come from ``r1**``.  Combined with Laws 15 and 16 it lets the
+optimizer rewrite expressions mixing joins and the great divide
+(Example 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra.expressions import Expression, GreatDivide, Product
+from repro.laws.base import RewriteContext, RewriteRule
+
+__all__ = ["Law17ProductFactorOut"]
+
+
+class Law17ProductFactorOut(RewriteRule):
+    """Law 17: factor the non-shared part of a product dividend out of ÷*."""
+
+    name = "law_17_product_factor_out"
+    paper_reference = "Law 17"
+    description = "(r1* × r1**) ÷* r2 = r1* × (r1** ÷* r2) when B ⊆ attrs(r1**)"
+    requires_data = False
+
+    def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
+        if not (isinstance(expression, GreatDivide) and isinstance(expression.left, Product)):
+            return False
+        product: Product = expression.left  # type: ignore[assignment]
+        divisor_schema = expression.right.schema
+        factor_out, keep = product.left, product.right
+        shared_with_keep = keep.schema.intersection(divisor_schema)
+        return (
+            factor_out.schema.is_disjoint(divisor_schema)
+            and len(shared_with_keep) > 0
+            and len(keep.schema.difference(divisor_schema)) > 0
+        )
+
+    def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
+        if not self.matches(expression, context):
+            raise self._reject(expression, "shared attributes must come from the right factor")
+        product: Product = expression.left  # type: ignore[assignment]
+        return Product(product.left, GreatDivide(product.right, expression.right))
+
+    @staticmethod
+    def sides(factor: Expression, dividend_part: Expression, divisor: Expression):
+        """(r1* × r1**) ÷* r2  vs  r1* × (r1** ÷* r2)."""
+        lhs = GreatDivide(Product(factor, dividend_part), divisor)
+        rhs = Product(factor, GreatDivide(dividend_part, divisor))
+        return lhs, rhs

@@ -1,0 +1,122 @@
+"""Laws 14, 15 and 16 — great divide versus selection (Section 5.2.2).
+
+* **Law 14**: push a predicate over the dividend-only attributes ``A`` into
+  the dividend: ``σ_{p(A)}(r1 ÷* r2) = σ_{p(A)}(r1) ÷* r2``.
+* **Law 15**: push a predicate over the divisor-only attributes ``C`` into
+  the divisor: ``σ_{p(C)}(r1 ÷* r2) = r1 ÷* σ_{p(C)}(r2)``.
+* **Law 16**: replicate a predicate over the shared attributes ``B``:
+  ``r1 ÷* σ_{p(B)}(r2) = σ_{p(B)}(r1) ÷* σ_{p(B)}(r2)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra.expressions import Expression, GreatDivide, Select
+from repro.laws.base import RewriteContext, RewriteRule
+
+__all__ = ["Law14QuotientSelectionPushdown", "Law15GroupSelectionPushdown", "Law16SharedSelectionReplication"]
+
+
+class Law14QuotientSelectionPushdown(RewriteRule):
+    """Law 14: σ_p(A)(r1 ÷* r2) = σ_p(A)(r1) ÷* r2."""
+
+    name = "law_14_quotient_selection_pushdown"
+    paper_reference = "Law 14"
+    description = "Push a selection over dividend-only attributes into the dividend."
+    requires_data = False
+
+    def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
+        if not (isinstance(expression, Select) and isinstance(expression.child, GreatDivide)):
+            return False
+        divide: GreatDivide = expression.child  # type: ignore[assignment]
+        a_attributes = divide.left.schema.difference(divide.right.schema)
+        return expression.predicate.attributes <= a_attributes.name_set
+
+    def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
+        if not self.matches(expression, context):
+            raise self._reject(expression, "predicate must reference A attributes only")
+        divide: GreatDivide = expression.child  # type: ignore[assignment]
+        return GreatDivide(Select(divide.left, expression.predicate), divide.right)
+
+    @staticmethod
+    def sides(dividend: Expression, divisor: Expression, predicate):
+        """σ_p(r1 ÷* r2)  vs  σ_p(r1) ÷* r2."""
+        lhs = Select(GreatDivide(dividend, divisor), predicate)
+        rhs = GreatDivide(Select(dividend, predicate), divisor)
+        return lhs, rhs
+
+
+class Law15GroupSelectionPushdown(RewriteRule):
+    """Law 15: σ_p(C)(r1 ÷* r2) = r1 ÷* σ_p(C)(r2)."""
+
+    name = "law_15_group_selection_pushdown"
+    paper_reference = "Law 15"
+    description = "Push a selection over divisor-only attributes into the divisor."
+    requires_data = False
+
+    def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
+        if not (isinstance(expression, Select) and isinstance(expression.child, GreatDivide)):
+            return False
+        divide: GreatDivide = expression.child  # type: ignore[assignment]
+        c_attributes = divide.right.schema.difference(divide.left.schema)
+        if len(c_attributes) == 0:
+            return False
+        return expression.predicate.attributes <= c_attributes.name_set
+
+    def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
+        if not self.matches(expression, context):
+            raise self._reject(expression, "predicate must reference C attributes only")
+        divide: GreatDivide = expression.child  # type: ignore[assignment]
+        return GreatDivide(divide.left, Select(divide.right, expression.predicate))
+
+    @staticmethod
+    def sides(dividend: Expression, divisor: Expression, predicate):
+        """σ_p(r1 ÷* r2)  vs  r1 ÷* σ_p(r2)."""
+        lhs = Select(GreatDivide(dividend, divisor), predicate)
+        rhs = GreatDivide(dividend, Select(divisor, predicate))
+        return lhs, rhs
+
+
+class Law16SharedSelectionReplication(RewriteRule):
+    """Law 16: r1 ÷* σ_p(B)(r2) = σ_p(B)(r1) ÷* σ_p(B)(r2).
+
+    Unlike its small-divide counterpart (Law 4), no nonemptiness
+    precondition is needed: the great divide iterates over divisor groups,
+    each of which is nonempty by construction, so an empty selected divisor
+    simply yields an empty quotient on both sides.
+    """
+
+    name = "law_16_shared_selection_replication"
+    paper_reference = "Law 16"
+    description = "Replicate a selection over the shared attributes B onto the dividend."
+    requires_data = False
+
+    def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
+        if not (isinstance(expression, GreatDivide) and isinstance(expression.right, Select)):
+            return False
+        divisor_select: Select = expression.right  # type: ignore[assignment]
+        shared = expression.left.schema.intersection(divisor_select.schema)
+        if not divisor_select.predicate.attributes <= shared.name_set:
+            return False
+        # Idempotence guard: do not re-fire on our own output.
+        if (
+            isinstance(expression.left, Select)
+            and expression.left.predicate == divisor_select.predicate
+        ):
+            return False
+        return True
+
+    def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
+        if not self.matches(expression, context):
+            raise self._reject(expression, "predicate must reference shared attributes B only")
+        divisor_select: Select = expression.right  # type: ignore[assignment]
+        predicate = divisor_select.predicate
+        return GreatDivide(Select(expression.left, predicate), divisor_select)
+
+    @staticmethod
+    def sides(dividend: Expression, divisor: Expression, predicate):
+        """r1 ÷* σ_p(r2)  vs  σ_p(r1) ÷* σ_p(r2)."""
+        lhs = GreatDivide(dividend, Select(divisor, predicate))
+        rhs = GreatDivide(Select(dividend, predicate), Select(divisor, predicate))
+        return lhs, rhs

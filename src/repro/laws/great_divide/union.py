@@ -1,0 +1,55 @@
+"""Law 13 — great divide versus union (Section 5.2.1).
+
+``r1 ÷* (r2' ∪ r2'') = (r1 ÷* r2') ∪ (r1 ÷* r2'')`` whenever the divisor
+partitions do not share any group identifier:
+``π_C(r2') ∩ π_C(r2'') = ∅``.  This is the law that lets an engine spread
+the divisor groups over ``n`` nodes and merge the partial quotients.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra.expressions import Expression, GreatDivide, Union
+from repro.laws.base import RewriteContext, RewriteRule, ensure_context
+from repro.laws.conditions import projections_disjoint
+
+__all__ = ["Law13DivisorPartitioning"]
+
+
+class Law13DivisorPartitioning(RewriteRule):
+    """Law 13: distribute a great divide over divisor partitions disjoint on C."""
+
+    name = "law_13_divisor_partitioning"
+    paper_reference = "Law 13"
+    description = "r1 ÷* (r2' ∪ r2'') = (r1 ÷* r2') ∪ (r1 ÷* r2'') when π_C are disjoint"
+    requires_data = True
+
+    def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
+        context = ensure_context(context)
+        if not (isinstance(expression, GreatDivide) and isinstance(expression.right, Union)):
+            return False
+        union: Union = expression.right  # type: ignore[assignment]
+        group_attributes = union.schema.difference(expression.left.schema)
+        if len(group_attributes) == 0:
+            # No C attributes: the operator degenerates to a small divide and
+            # Law 13's precondition cannot be met by nonempty partitions.
+            return False
+        if not context.can_inspect_data:
+            return False
+        return projections_disjoint(
+            context.evaluate(union.left), context.evaluate(union.right), group_attributes
+        )
+
+    def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
+        if not self.matches(expression, context):
+            raise self._reject(expression, "divisor partitions must be disjoint on C")
+        union: Union = expression.right  # type: ignore[assignment]
+        return Union(GreatDivide(expression.left, union.left), GreatDivide(expression.left, union.right))
+
+    @staticmethod
+    def sides(dividend: Expression, divisor_a: Expression, divisor_b: Expression):
+        """r1 ÷* (r2' ∪ r2'')  vs  (r1 ÷* r2') ∪ (r1 ÷* r2'')."""
+        lhs = GreatDivide(dividend, Union(divisor_a, divisor_b))
+        rhs = Union(GreatDivide(dividend, divisor_a), GreatDivide(dividend, divisor_b))
+        return lhs, rhs

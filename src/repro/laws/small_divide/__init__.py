@@ -1,0 +1,47 @@
+"""Rewrite rules for the small divide (Laws 1–12, Examples 1–3)."""
+
+from repro.laws.small_divide.difference import (
+    Law6DifferencePushdown,
+    Law7DisjointDifferenceElimination,
+    predicate_implies,
+)
+from repro.laws.small_divide.grouping import (
+    Law11GroupedDividend,
+    Law12GroupedDivisorKey,
+    law11_divide,
+    law12_divide,
+)
+from repro.laws.small_divide.intersection import Law5IntersectionPushdown
+from repro.laws.small_divide.join import Example3JoinElimination, Law10SemiJoinCommute
+from repro.laws.small_divide.product import (
+    Example2CommonFactorCancellation,
+    Law8ProductFactorOut,
+    Law9ProductElimination,
+)
+from repro.laws.small_divide.selection import (
+    Example1DividendRestriction,
+    Law3SelectionPushdown,
+    Law4ReplicateSelection,
+)
+from repro.laws.small_divide.union import Law1DivisorUnionSplit, Law2DividendUnionSplit
+
+__all__ = [
+    "Law1DivisorUnionSplit",
+    "Law2DividendUnionSplit",
+    "Law3SelectionPushdown",
+    "Law4ReplicateSelection",
+    "Example1DividendRestriction",
+    "Law5IntersectionPushdown",
+    "Law6DifferencePushdown",
+    "Law7DisjointDifferenceElimination",
+    "Law8ProductFactorOut",
+    "Law9ProductElimination",
+    "Example2CommonFactorCancellation",
+    "Law10SemiJoinCommute",
+    "Example3JoinElimination",
+    "Law11GroupedDividend",
+    "Law12GroupedDivisorKey",
+    "law11_divide",
+    "law12_divide",
+    "predicate_implies",
+]

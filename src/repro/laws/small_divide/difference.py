@@ -1,0 +1,131 @@
+"""Laws 6 and 7 — small divide versus difference (Section 5.1.4).
+
+* **Law 6**: when the two dividends are restrictions of the *same* relation
+  by predicates over the quotient attributes ``A`` only (so every quotient
+  group is kept or dropped atomically) and ``r1' ⊇ r1''``, the divide
+  distributes over the difference:
+  ``(r1' − r1'') ÷ r2 = (r1' ÷ r2) − (r1'' ÷ r2)``.
+* **Law 7**: when the quotient candidates of the two dividends are disjoint
+  (``π_A(r1') ∩ π_A(r1'') = ∅``), the second divide is redundant:
+  ``(r1' ÷ r2) − (r1'' ÷ r2) = r1' ÷ r2`` — the short-circuit the paper
+  highlights as a large potential saving.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra.expressions import Difference, Expression, Select, SmallDivide
+from repro.algebra.predicates import And, Predicate
+from repro.laws.base import RewriteContext, RewriteRule, ensure_context
+from repro.laws.conditions import is_superset_of, projections_disjoint
+
+__all__ = ["Law6DifferencePushdown", "Law7DisjointDifferenceElimination", "predicate_implies"]
+
+
+def predicate_implies(stronger: Predicate, weaker: Predicate) -> bool:
+    """Cheap syntactic implication test: ``stronger ⇒ weaker``.
+
+    True when the predicates are equal or ``stronger`` is a conjunction
+    containing ``weaker`` (or all of ``weaker``'s conjuncts).  This is the
+    static fallback for Law 6's containment precondition; the data-level
+    check in :func:`repro.laws.conditions.is_superset_of` is exact.
+    """
+    if stronger == weaker:
+        return True
+    stronger_parts = set(stronger.operands) if isinstance(stronger, And) else {stronger}
+    weaker_parts = set(weaker.operands) if isinstance(weaker, And) else {weaker}
+    return weaker_parts <= stronger_parts
+
+
+class Law6DifferencePushdown(RewriteRule):
+    """Law 6: distribute a small divide over a difference of A-restrictions."""
+
+    name = "law_06_difference_pushdown"
+    paper_reference = "Law 6"
+    description = "(σ_p'(A)(r1) − σ_p''(A)(r1)) ÷ r2 = (σ_p'(A)(r1) ÷ r2) − (σ_p''(A)(r1) ÷ r2)"
+    requires_data = False
+
+    def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
+        context = ensure_context(context)
+        if not (isinstance(expression, SmallDivide) and isinstance(expression.left, Difference)):
+            return False
+        diff: Difference = expression.left  # type: ignore[assignment]
+        left, right = diff.left, diff.right
+        if not (isinstance(left, Select) and isinstance(right, Select)):
+            return False
+        if left.child != right.child:
+            return False
+        quotient_attributes = expression.schema.name_set
+        if not (
+            left.predicate.attributes <= quotient_attributes
+            and right.predicate.attributes <= quotient_attributes
+        ):
+            return False
+        # containment r1' ⊇ r1'': syntactic implication or a data check
+        if predicate_implies(right.predicate, left.predicate):
+            return True
+        if context.can_inspect_data:
+            return is_superset_of(context.evaluate(left), context.evaluate(right))
+        return False
+
+    def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
+        if not self.matches(expression, context):
+            raise self._reject(
+                expression,
+                "requires σ_p'(A)(r) − σ_p''(A)(r) over the same relation with p'' ⇒ p'",
+            )
+        diff: Difference = expression.left  # type: ignore[assignment]
+        divisor = expression.right
+        return Difference(SmallDivide(diff.left, divisor), SmallDivide(diff.right, divisor))
+
+    @staticmethod
+    def sides(relation: Expression, predicate_outer, predicate_inner, divisor: Expression):
+        """Both sides for dividends ``σ_p'(relation)`` and ``σ_p''(relation)``.
+
+        ``predicate_inner`` must imply ``predicate_outer`` so that the
+        precondition ``r1' ⊇ r1''`` holds.
+        """
+        part_outer = Select(relation, predicate_outer)
+        part_inner = Select(relation, predicate_inner)
+        lhs = SmallDivide(Difference(part_outer, part_inner), divisor)
+        rhs = Difference(SmallDivide(part_outer, divisor), SmallDivide(part_inner, divisor))
+        return lhs, rhs
+
+
+class Law7DisjointDifferenceElimination(RewriteRule):
+    """Law 7: drop the subtrahend divide when quotient candidates are disjoint."""
+
+    name = "law_07_disjoint_difference_elimination"
+    paper_reference = "Law 7"
+    description = "(r1' ÷ r2) − (r1'' ÷ r2) = r1' ÷ r2 when π_A(r1') ∩ π_A(r1'') = ∅"
+    requires_data = True
+
+    def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
+        context = ensure_context(context)
+        if not isinstance(expression, Difference):
+            return False
+        left, right = expression.left, expression.right
+        if not (isinstance(left, SmallDivide) and isinstance(right, SmallDivide)):
+            return False
+        if left.right != right.right:
+            return False
+        if left.schema != right.schema:
+            return False
+        if not context.can_inspect_data:
+            return False
+        return projections_disjoint(
+            context.evaluate(left.left), context.evaluate(right.left), left.schema
+        )
+
+    def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
+        if not self.matches(expression, context):
+            raise self._reject(expression, "π_A projections of the dividends must be disjoint")
+        return expression.left  # type: ignore[union-attr]
+
+    @staticmethod
+    def sides(part1: Expression, part2: Expression, divisor: Expression):
+        """(r1' ÷ r2) − (r1'' ÷ r2)  vs  r1' ÷ r2 (callers ensure disjointness)."""
+        lhs = Difference(SmallDivide(part1, divisor), SmallDivide(part2, divisor))
+        rhs = SmallDivide(part1, divisor)
+        return lhs, rhs

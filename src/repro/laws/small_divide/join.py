@@ -1,0 +1,132 @@
+"""Law 10 and Example 3 — small divide versus joins (Section 5.1.6).
+
+* **Law 10**: a semi-join on quotient attributes commutes with the divide:
+  ``(r1 ÷ r2) ⋉ r3 = (r1 ⋉ r3) ÷ r2`` — useful when ``r3`` is small and
+  highly selective, so the dividend shrinks before the (expensive) divide.
+* **Example 3**: a theta-join between the dividend and a relation that only
+  carries divisor attributes can be *compiled away* entirely when the
+  divisor references that relation through a foreign key (Figure 9):
+
+  ``(r1* ⋈_θ r1**) ÷ r2 =
+    (r1* ÷ π_{B1}(σ_θ(r2))) − π_A(π_A(r1*) × σ_{¬θ}(r2))``
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra.expressions import (
+    Difference,
+    Expression,
+    Product,
+    Project,
+    Select,
+    SemiJoin,
+    SmallDivide,
+    ThetaJoin,
+)
+from repro.algebra.predicates import Predicate
+from repro.laws.base import RewriteContext, RewriteRule, ensure_context
+from repro.laws.conditions import inclusion_holds
+
+__all__ = ["Law10SemiJoinCommute", "Example3JoinElimination"]
+
+
+class Law10SemiJoinCommute(RewriteRule):
+    """Law 10: push a quotient-attribute semi-join below the small divide."""
+
+    name = "law_10_semijoin_commute"
+    paper_reference = "Law 10"
+    description = "(r1 ÷ r2) ⋉ r3 = (r1 ⋉ r3) ÷ r2"
+    requires_data = False
+
+    def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
+        if not (isinstance(expression, SemiJoin) and isinstance(expression.left, SmallDivide)):
+            return False
+        divide: SmallDivide = expression.left  # type: ignore[assignment]
+        filter_schema = expression.right.schema
+        quotient_schema = divide.schema
+        return len(filter_schema) > 0 and filter_schema.is_subset(quotient_schema)
+
+    def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
+        if not self.matches(expression, context):
+            raise self._reject(expression, "the filter relation must use quotient attributes only")
+        divide: SmallDivide = expression.left  # type: ignore[assignment]
+        return SmallDivide(SemiJoin(divide.left, expression.right), divide.right)
+
+    @staticmethod
+    def sides(dividend: Expression, divisor: Expression, filter_relation: Expression):
+        """(r1 ÷ r2) ⋉ r3  vs  (r1 ⋉ r3) ÷ r2."""
+        lhs = SemiJoin(SmallDivide(dividend, divisor), filter_relation)
+        rhs = SmallDivide(SemiJoin(dividend, filter_relation), divisor)
+        return lhs, rhs
+
+
+class Example3JoinElimination(RewriteRule):
+    """Example 3: eliminate the dividend-side join below a small divide.
+
+    Pattern: ``(r1* ⋈_θ r1**) ÷ r2`` where
+
+    * ``r1**``'s attributes are all divisor attributes (the set ``B2``),
+    * the remaining divisor attributes ``B1`` belong to ``r1*``,
+    * the join predicate θ references divisor attributes only, and
+    * ``π_{B2}(r2) ⊆ r1**`` (foreign key / inclusion dependency).
+
+    The rewrite avoids the join between ``r1*`` and ``r1**`` altogether —
+    the paper motivates it with the case where only ``r2`` is indexed.
+    """
+
+    name = "example_3_join_elimination"
+    paper_reference = "Example 3"
+    description = "(r1* ⋈_θ r1**) ÷ r2 = (r1* ÷ π_B1(σ_θ(r2))) − π_A(π_A(r1*) × σ_¬θ(r2))"
+    requires_data = True
+
+    def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
+        context = ensure_context(context)
+        if not (isinstance(expression, SmallDivide) and isinstance(expression.left, ThetaJoin)):
+            return False
+        join: ThetaJoin = expression.left  # type: ignore[assignment]
+        divisor = expression.right
+        keep, drop = join.left, join.right
+        b2 = drop.schema
+        if not b2.is_subset(divisor.schema):
+            return False
+        b1 = divisor.schema.difference(b2)
+        if len(b1) == 0 or not b1.is_subset(keep.schema):
+            return False
+        if len(keep.schema.difference(divisor.schema)) == 0:
+            return False
+        if not join.predicate.attributes <= divisor.schema.name_set:
+            return False
+        if not context.can_inspect_data:
+            return False
+        divisor_value = context.evaluate(divisor)
+        dropped_value = context.evaluate(drop)
+        # An entirely empty divisor would turn the left-hand side into
+        # π_A(r1* ⋈_θ r1**) but the right-hand side into π_A(r1*); the
+        # derivation's Law 4 step needs a nonempty divisor.
+        if divisor_value.is_empty():
+            return False
+        return inclusion_holds(divisor_value, dropped_value, b2)
+
+    def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
+        if not self.matches(expression, context):
+            raise self._reject(expression, "requires the Example 3 join/foreign-key pattern")
+        join: ThetaJoin = expression.left  # type: ignore[assignment]
+        return self.sides(join.left, join.right, expression.right, join.predicate)[1]
+
+    @staticmethod
+    def sides(keep: Expression, drop: Expression, divisor: Expression, predicate: Predicate):
+        """Both sides of Example 3 (callers ensure the FK precondition)."""
+        b2 = drop.schema
+        b1 = divisor.schema.difference(b2)
+        quotient = keep.schema.difference(divisor.schema)
+        lhs = SmallDivide(ThetaJoin(keep, drop, predicate), divisor)
+        rhs = Difference(
+            SmallDivide(keep, Project(Select(divisor, predicate), b1)),
+            Project(
+                Product(Project(keep, quotient), Select(divisor, predicate.negate())),
+                quotient,
+            ),
+        )
+        return lhs, rhs

@@ -1,0 +1,163 @@
+"""Laws 8, 9 and Example 2 — small divide versus Cartesian product
+(Section 5.1.5).
+
+* **Law 8**: when the divisor attributes all come from one product factor,
+  only that factor needs to be divided:
+  ``(r1* × r1**) ÷ r2 = r1* × (r1** ÷ r2)`` (Figure 7).
+* **Law 9**: when one product factor consists solely of divisor attributes
+  ``B2`` and the divisor's ``B2``-projection is contained in it, the factor
+  and those divisor attributes can be dropped:
+  ``(r1* × r1**) ÷ r2 = r1* ÷ π_{B1}(r2)`` (Figure 8).
+* **Example 2**: the cancellation ``(r1 × s) ÷ (r2 × s) = r1 ÷ r2`` derived
+  from Law 9.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra.expressions import Expression, Product, Project, SmallDivide
+from repro.laws.base import RewriteContext, RewriteRule, ensure_context
+from repro.laws.conditions import inclusion_holds
+
+__all__ = ["Law8ProductFactorOut", "Law9ProductElimination", "Example2CommonFactorCancellation"]
+
+
+class Law8ProductFactorOut(RewriteRule):
+    """Law 8: factor the non-divisor part of a product dividend out of the divide."""
+
+    name = "law_08_product_factor_out"
+    paper_reference = "Law 8"
+    description = "(r1* × r1**) ÷ r2 = r1* × (r1** ÷ r2) when B ⊆ attrs(r1**)"
+    requires_data = False
+
+    def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
+        if not (isinstance(expression, SmallDivide) and isinstance(expression.left, Product)):
+            return False
+        product: Product = expression.left  # type: ignore[assignment]
+        divisor_schema = expression.right.schema
+        factor_out, keep = product.left, product.right
+        # The divisor attributes must all belong to the kept factor and the
+        # kept factor must retain at least one non-divisor attribute so that
+        # the inner divide has a nonempty quotient schema.
+        return (
+            divisor_schema.is_subset(keep.schema)
+            and factor_out.schema.is_disjoint(divisor_schema)
+            and len(keep.schema.difference(divisor_schema)) > 0
+        )
+
+    def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
+        if not self.matches(expression, context):
+            raise self._reject(expression, "divisor attributes must come from the right factor")
+        product: Product = expression.left  # type: ignore[assignment]
+        return Product(product.left, SmallDivide(product.right, expression.right))
+
+    @staticmethod
+    def sides(factor: Expression, dividend_part: Expression, divisor: Expression):
+        """(r1* × r1**) ÷ r2  vs  r1* × (r1** ÷ r2)."""
+        lhs = SmallDivide(Product(factor, dividend_part), divisor)
+        rhs = Product(factor, SmallDivide(dividend_part, divisor))
+        return lhs, rhs
+
+
+class Law9ProductElimination(RewriteRule):
+    """Law 9: drop a product factor that only covers divisor attributes.
+
+    Precondition ``π_{B2}(r2) ⊆ r1**`` is established either from a declared
+    foreign key in the catalog (when both sides are base tables) or by a
+    data check.  To avoid the degenerate corner where both the divisor and
+    the dropped factor are empty (the two sides then disagree), the data
+    check also requires that not both are empty.
+    """
+
+    name = "law_09_product_elimination"
+    paper_reference = "Law 9"
+    description = "(r1* × r1**) ÷ r2 = r1* ÷ π_B1(r2) when π_B2(r2) ⊆ r1**"
+    requires_data = True
+
+    def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
+        context = ensure_context(context)
+        if not (isinstance(expression, SmallDivide) and isinstance(expression.left, Product)):
+            return False
+        product: Product = expression.left  # type: ignore[assignment]
+        divisor = expression.right
+        keep, drop = product.left, product.right
+        b2 = drop.schema
+        b1 = divisor.schema.difference(b2)
+        if not b2.is_subset(divisor.schema):
+            return False
+        if len(b1) == 0 or not b1.is_subset(keep.schema):
+            return False
+        if len(keep.schema.difference(divisor.schema)) == 0:
+            return False
+        if not context.can_inspect_data:
+            return False
+        divisor_value = context.evaluate(divisor)
+        dropped_value = context.evaluate(drop)
+        if divisor_value.is_empty() and dropped_value.is_empty():
+            return False
+        return inclusion_holds(divisor_value, dropped_value, b2)
+
+    def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
+        if not self.matches(expression, context):
+            raise self._reject(expression, "requires π_B2(r2) ⊆ r1**")
+        product: Product = expression.left  # type: ignore[assignment]
+        divisor = expression.right
+        b1 = divisor.schema.difference(product.right.schema)
+        return SmallDivide(product.left, Project(divisor, b1))
+
+    @staticmethod
+    def sides(keep: Expression, drop: Expression, divisor: Expression):
+        """(r1* × r1**) ÷ r2  vs  r1* ÷ π_B1(r2) (callers ensure the inclusion)."""
+        b1 = divisor.schema.difference(drop.schema)
+        lhs = SmallDivide(Product(keep, drop), divisor)
+        rhs = SmallDivide(keep, Project(divisor, b1))
+        return lhs, rhs
+
+
+class Example2CommonFactorCancellation(RewriteRule):
+    """Example 2: cancel a factor common to dividend and divisor.
+
+    ``(r1 × s) ÷ (r2 × s) = r1 ÷ r2``.  Derived from Law 9 in the paper; the
+    shared factor ``s`` must be nonempty (otherwise both products are empty
+    while ``r1 ÷ r2`` need not be), which the rule checks against the
+    context database.
+    """
+
+    name = "example_2_common_factor_cancellation"
+    paper_reference = "Example 2"
+    description = "(r1 × s) ÷ (r2 × s) = r1 ÷ r2"
+    requires_data = True
+
+    def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
+        context = ensure_context(context)
+        if not isinstance(expression, SmallDivide):
+            return False
+        if not (isinstance(expression.left, Product) and isinstance(expression.right, Product)):
+            return False
+        dividend: Product = expression.left  # type: ignore[assignment]
+        divisor: Product = expression.right  # type: ignore[assignment]
+        if dividend.right != divisor.right:
+            return False
+        core_dividend, core_divisor = dividend.left, divisor.left
+        if not core_divisor.schema.is_subset(core_dividend.schema):
+            return False
+        if len(core_dividend.schema.difference(core_divisor.schema)) == 0:
+            return False
+        if not context.can_inspect_data:
+            return False
+        return not context.evaluate(dividend.right).is_empty()
+
+    def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
+        if not self.matches(expression, context):
+            raise self._reject(expression, "requires a shared nonempty product factor")
+        dividend: Product = expression.left  # type: ignore[assignment]
+        divisor: Product = expression.right  # type: ignore[assignment]
+        return SmallDivide(dividend.left, divisor.left)
+
+    @staticmethod
+    def sides(core_dividend: Expression, core_divisor: Expression, shared: Expression):
+        """(r1 × s) ÷ (r2 × s)  vs  r1 ÷ r2 (callers ensure s is nonempty)."""
+        lhs = SmallDivide(Product(core_dividend, shared), Product(core_divisor, shared))
+        rhs = SmallDivide(core_dividend, core_divisor)
+        return lhs, rhs

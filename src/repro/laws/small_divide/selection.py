@@ -1,0 +1,173 @@
+"""Laws 3, 4 and Example 1 — small divide versus selection (Section 5.1.2).
+
+* **Law 3** ("selection push-down"): ``σ_{p(A)}(r1 ÷ r2) = σ_{p(A)}(r1) ÷ r2``.
+* **Law 4** ("replicate selection"): ``r1 ÷ σ_{p(B)}(r2) =
+  σ_{p(B)}(r1) ÷ σ_{p(B)}(r2)``.
+* **Example 1**: a restriction on the *dividend's* ``B`` attributes —
+  ``σ_{p(B)}(r1) ÷ r2 = (σ_{p(B)}(r1) ÷ σ_{p(B)}(r2)) −
+  π_A(π_A(r1) × σ_{¬p(B)}(r2))`` (Figure 6 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra.expressions import (
+    Difference,
+    Expression,
+    Product,
+    Project,
+    Select,
+    SmallDivide,
+)
+from repro.laws.base import RewriteContext, RewriteRule
+
+__all__ = [
+    "Law3SelectionPushdown",
+    "Law4ReplicateSelection",
+    "Example1DividendRestriction",
+]
+
+
+class Law3SelectionPushdown(RewriteRule):
+    """Law 3: push a quotient-attribute selection below the small divide."""
+
+    name = "law_03_selection_pushdown"
+    paper_reference = "Law 3"
+    description = "σ_p(A)(r1 ÷ r2) = σ_p(A)(r1) ÷ r2"
+    requires_data = False
+
+    def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
+        if not (isinstance(expression, Select) and isinstance(expression.child, SmallDivide)):
+            return False
+        divide: SmallDivide = expression.child  # type: ignore[assignment]
+        quotient_attributes = divide.schema.name_set
+        return expression.predicate.attributes <= quotient_attributes
+
+    def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
+        if not self.matches(expression, context):
+            raise self._reject(expression, "predicate must reference quotient attributes only")
+        divide: SmallDivide = expression.child  # type: ignore[assignment]
+        return SmallDivide(Select(divide.left, expression.predicate), divide.right)
+
+    @staticmethod
+    def sides(dividend: Expression, divisor: Expression, predicate):
+        """σ_p(r1 ÷ r2)  vs  σ_p(r1) ÷ r2."""
+        lhs = Select(SmallDivide(dividend, divisor), predicate)
+        rhs = SmallDivide(Select(dividend, predicate), divisor)
+        return lhs, rhs
+
+
+class Law4ReplicateSelection(RewriteRule):
+    """Law 4: replicate a divisor selection onto the dividend.
+
+    The paper's proof partitions the dividend into ``σ_p(r1) ∪ σ_¬p(r1)``
+    and argues ``σ_¬p(r1) ÷ σ_p(r2) = ∅`` — which requires the *selected
+    divisor to be nonempty* (an empty divisor makes every dividend group a
+    quotient candidate).  The rule therefore verifies ``σ_p(r2) ≠ ∅``
+    against the context database; set ``assume_nonempty_divisor=True`` to
+    apply the rewrite without that check (e.g. when a NOT NULL/CHECK
+    constraint already guarantees it).
+    """
+
+    name = "law_04_replicate_selection"
+    paper_reference = "Law 4"
+    description = "r1 ÷ σ_p(B)(r2) = σ_p(B)(r1) ÷ σ_p(B)(r2)"
+    requires_data = True
+
+    def __init__(self, assume_nonempty_divisor: bool = False) -> None:
+        self.assume_nonempty_divisor = assume_nonempty_divisor
+
+    def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
+        from repro.laws.base import ensure_context
+
+        if not (isinstance(expression, SmallDivide) and isinstance(expression.right, Select)):
+            return False
+        divisor_select: Select = expression.right  # type: ignore[assignment]
+        divisor_attributes = divisor_select.schema.name_set
+        # The predicate necessarily references divisor attributes only (they
+        # are the only attributes in scope); we re-check for robustness.
+        if not divisor_select.predicate.attributes <= divisor_attributes:
+            return False
+        # Idempotence guard: do not re-fire on our own output (the dividend
+        # already carries the replicated selection).
+        if (
+            isinstance(expression.left, Select)
+            and expression.left.predicate == divisor_select.predicate
+        ):
+            return False
+        if self.assume_nonempty_divisor:
+            return True
+        context = ensure_context(context)
+        if not context.can_inspect_data:
+            return False
+        return not context.evaluate(divisor_select).is_empty()
+
+    def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
+        if not self.matches(expression, context):
+            raise self._reject(expression)
+        divisor_select: Select = expression.right  # type: ignore[assignment]
+        predicate = divisor_select.predicate
+        return SmallDivide(Select(expression.left, predicate), divisor_select)
+
+    @staticmethod
+    def sides(dividend: Expression, divisor: Expression, predicate):
+        """r1 ÷ σ_p(r2)  vs  σ_p(r1) ÷ σ_p(r2)."""
+        lhs = SmallDivide(dividend, Select(divisor, predicate))
+        rhs = SmallDivide(Select(dividend, predicate), Select(divisor, predicate))
+        return lhs, rhs
+
+
+class Example1DividendRestriction(RewriteRule):
+    """Example 1: a selection on the dividend's ``B`` attributes.
+
+    ``σ_{p(B)}(r1) ÷ r2`` is empty as soon as ``σ_{¬p(B)}(r2)`` is nonempty
+    (some required divisor value can never appear in the restricted
+    dividend).  The rewrite makes this explicit:
+
+    ``(σ_{p(B)}(r1) ÷ σ_{p(B)}(r2)) − π_A(π_A(r1) × σ_{¬p(B)}(r2))``
+
+    where the second operand "switches off" the whole quotient whenever the
+    rejected divisor part is nonempty.
+    """
+
+    name = "example_1_dividend_restriction"
+    paper_reference = "Example 1"
+    description = "σ_p(B)(r1) ÷ r2 rewritten to expose the empty-result short-circuit"
+    requires_data = False
+
+    def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
+        if not (isinstance(expression, SmallDivide) and isinstance(expression.left, Select)):
+            return False
+        dividend_select: Select = expression.left  # type: ignore[assignment]
+        divisor_attributes = expression.right.schema.name_set
+        if not dividend_select.predicate.attributes <= divisor_attributes:
+            return False
+        # Idempotence guard: the rewrite's own output has the divisor already
+        # restricted by the same predicate — nothing left to expose there.
+        if (
+            isinstance(expression.right, Select)
+            and expression.right.predicate == dividend_select.predicate
+        ):
+            return False
+        return True
+
+    def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
+        if not self.matches(expression, context):
+            raise self._reject(expression, "predicate must reference divisor attributes only")
+        dividend_select: Select = expression.left  # type: ignore[assignment]
+        return self.sides(dividend_select.child, expression.right, dividend_select.predicate)[1]
+
+    @staticmethod
+    def sides(dividend: Expression, divisor: Expression, predicate):
+        """σ_p(r1) ÷ r2  vs  (σ_p(r1) ÷ σ_p(r2)) − π_A(π_A(r1) × σ_¬p(r2))."""
+        lhs = SmallDivide(Select(dividend, predicate), divisor)
+        quotient_attributes = lhs.schema
+        rhs = Difference(
+            SmallDivide(Select(dividend, predicate), Select(divisor, predicate)),
+            Project(
+                Product(Project(dividend, quotient_attributes), Select(divisor, predicate.negate())),
+                quotient_attributes,
+            ),
+        )
+        return lhs, rhs

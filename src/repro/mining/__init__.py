@@ -1,0 +1,29 @@
+"""Frequent itemset discovery (Section 3): Apriori baseline and the
+great-divide-based query formulation."""
+
+from repro.mining.apriori import apriori
+from repro.mining.datagen import BasketDataset, generate_baskets
+from repro.mining.itemsets import (
+    Itemset,
+    candidate_generation,
+    candidates_to_relation,
+    sets_to_relation,
+    transactions_to_sets,
+)
+from repro.mining.query_based import (
+    count_support_by_great_divide,
+    frequent_itemsets_by_great_divide,
+)
+
+__all__ = [
+    "apriori",
+    "Itemset",
+    "candidate_generation",
+    "candidates_to_relation",
+    "sets_to_relation",
+    "transactions_to_sets",
+    "count_support_by_great_divide",
+    "frequent_itemsets_by_great_divide",
+    "BasketDataset",
+    "generate_baskets",
+]

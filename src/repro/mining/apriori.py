@@ -1,0 +1,67 @@
+"""Classic in-memory Apriori — the baseline the query-based miner is checked
+against.
+
+This is the algorithm the paper's Section 3 sketches: level-wise candidate
+generation followed by support counting against the transactions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+from repro.errors import MiningError
+from repro.mining.itemsets import Itemset, candidate_generation
+
+__all__ = ["apriori"]
+
+
+def apriori(
+    transactions: Mapping[Any, Iterable[Any]],
+    min_support: int,
+    max_size: int | None = None,
+) -> dict[Itemset, int]:
+    """Frequent itemsets of ``transactions`` with absolute support ≥ ``min_support``.
+
+    Parameters
+    ----------
+    transactions:
+        ``{transaction id: iterable of items}``.
+    min_support:
+        Absolute support threshold (number of transactions).
+    max_size:
+        Optional cap on the itemset size (``None`` = run until no candidates
+        survive).
+
+    Returns
+    -------
+    dict mapping each frequent itemset to its support count.
+    """
+    if min_support < 1:
+        raise MiningError("min_support must be at least 1")
+    baskets = {tid: set(items) for tid, items in transactions.items()}
+
+    # Level 1: count single items.
+    item_counts: dict[Any, int] = {}
+    for items in baskets.values():
+        for item in items:
+            item_counts[item] = item_counts.get(item, 0) + 1
+    current = {
+        Itemset({item}): count for item, count in item_counts.items() if count >= min_support
+    }
+    result: dict[Itemset, int] = dict(current)
+
+    size = 2
+    while current and (max_size is None or size <= max_size):
+        candidates = candidate_generation(list(current), size)
+        if not candidates:
+            break
+        counts = {candidate: 0 for candidate in candidates}
+        for items in baskets.values():
+            for candidate in candidates:
+                if candidate <= items:
+                    counts[candidate] += 1
+        current = {candidate: count for candidate, count in counts.items() if count >= min_support}
+        result.update(current)
+        size += 1
+    return result

@@ -1,0 +1,68 @@
+"""Synthetic market-basket data in the spirit of the IBM Quest generator.
+
+The paper references Agrawal et al.'s association-rule setting but publishes
+no data; this generator produces transactions with *planted* frequent
+patterns so benchmarks have predictable structure: a set of pattern itemsets
+is drawn first, and every transaction embeds one or more patterns plus
+random noise items.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import MiningError
+from repro.mining.itemsets import Itemset, sets_to_relation
+from repro.relation.relation import Relation
+
+__all__ = ["BasketDataset", "generate_baskets"]
+
+
+@dataclass(frozen=True)
+class BasketDataset:
+    """Generated transactions in both representations plus the planted patterns."""
+
+    baskets: dict[int, frozenset]
+    relation: Relation
+    patterns: tuple[Itemset, ...]
+
+    @property
+    def num_transactions(self) -> int:
+        return len(self.baskets)
+
+
+def generate_baskets(
+    num_transactions: int = 200,
+    num_items: int = 40,
+    num_patterns: int = 4,
+    pattern_size: int = 3,
+    patterns_per_transaction: int = 1,
+    noise_items_per_transaction: int = 3,
+    seed: int = 0,
+) -> BasketDataset:
+    """Generate a market-basket dataset with planted frequent patterns."""
+    if pattern_size > num_items:
+        raise MiningError("pattern_size cannot exceed num_items")
+    if num_transactions < 1:
+        raise MiningError("num_transactions must be positive")
+    rng = random.Random(seed)
+    items = list(range(num_items))
+    patterns = []
+    for _ in range(num_patterns):
+        patterns.append(Itemset(rng.sample(items, pattern_size)))
+
+    baskets: dict[int, frozenset] = {}
+    for tid in range(num_transactions):
+        content: set = set()
+        for _ in range(patterns_per_transaction):
+            if patterns:
+                content |= rng.choice(patterns)
+        content |= set(rng.sample(items, min(noise_items_per_transaction, num_items)))
+        baskets[tid] = frozenset(content)
+
+    return BasketDataset(
+        baskets=baskets,
+        relation=sets_to_relation(baskets),
+        patterns=tuple(patterns),
+    )

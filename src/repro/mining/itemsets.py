@@ -1,0 +1,69 @@
+"""Itemset utilities shared by the Apriori baseline and the query-based miner."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+from repro.errors import MiningError
+from repro.relation.relation import Relation
+
+__all__ = [
+    "Itemset",
+    "candidate_generation",
+    "transactions_to_sets",
+    "sets_to_relation",
+    "candidates_to_relation",
+]
+
+#: An itemset is an immutable set of item identifiers.
+Itemset = frozenset
+
+
+def candidate_generation(frequent: Sequence[Itemset], size: int) -> list[Itemset]:
+    """Apriori candidate generation (join + prune).
+
+    Joins pairs of frequent ``(size-1)``-itemsets sharing ``size-2`` items and
+    prunes candidates with an infrequent subset.
+    """
+    if size < 2:
+        raise MiningError("candidate generation starts at size 2")
+    previous = set(frequent)
+    candidates: set[Itemset] = set()
+    frequent_list = sorted(frequent, key=sorted)
+    for index, left in enumerate(frequent_list):
+        for right in frequent_list[index + 1 :]:
+            union = left | right
+            if len(union) != size:
+                continue
+            if all(union - {item} in previous for item in union):
+                candidates.add(Itemset(union))
+    return sorted(candidates, key=sorted)
+
+
+def transactions_to_sets(transactions: Relation, tid: str = "tid", item: str = "item") -> dict[Any, set]:
+    """Group a vertical transactions relation into ``{tid: set(items)}``."""
+    transactions.schema.require([tid, item], "transactions")
+    grouped: dict[Any, set] = {}
+    for row in transactions:
+        grouped.setdefault(row[tid], set()).add(row[item])
+    return grouped
+
+
+def sets_to_relation(transactions: Mapping[Any, Iterable[Any]], tid: str = "tid", item: str = "item") -> Relation:
+    """Flatten ``{tid: items}`` into the vertical (tid, item) representation."""
+    rows = [(key, value) for key, items in transactions.items() for value in items]
+    return Relation([tid, item], rows)
+
+
+def candidates_to_relation(candidates: Sequence[Itemset], item: str = "item", itemset: str = "itemset") -> Relation:
+    """The vertical candidate representation of Section 3: (item, itemset id).
+
+    Itemset identifiers are assigned deterministically from the sorted item
+    lists so results are reproducible.
+    """
+    rows = []
+    for index, candidate in enumerate(sorted(candidates, key=sorted)):
+        for value in candidate:
+            rows.append((value, index))
+    return Relation([item, itemset], rows)

@@ -1,0 +1,26 @@
+"""Rule-based query optimizer: rewriter, statistics, cost model, planner."""
+
+from repro.optimizer.cost import CostModel, CostReport
+from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.optimizer.planner import PhysicalPlanner, PlannerOptions
+from repro.optimizer.rewriter import CostBasedRewriter, HeuristicRewriter, RewriteReport
+from repro.optimizer.statistics import (
+    CardinalityEstimator,
+    StatisticsCatalog,
+    TableStatistics,
+)
+
+__all__ = [
+    "CostModel",
+    "CostReport",
+    "Optimizer",
+    "OptimizationResult",
+    "PhysicalPlanner",
+    "PlannerOptions",
+    "HeuristicRewriter",
+    "CostBasedRewriter",
+    "RewriteReport",
+    "CardinalityEstimator",
+    "StatisticsCatalog",
+    "TableStatistics",
+]

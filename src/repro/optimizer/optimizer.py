@@ -1,0 +1,94 @@
+"""The optimizer facade: rewrite, cost, plan, execute.
+
+:class:`Optimizer` wires the pieces together the way the paper's
+introduction describes a rule-based optimizer: algebraic rewrite rules at
+the logical level (the laws), then a mapping of logical operators to
+physical operators, optionally followed by execution with statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.algebra.catalog import Catalog
+from repro.algebra.expressions import Expression
+from repro.laws.base import RewriteContext, RewriteRule
+from repro.optimizer.cost import CostModel, CostReport
+from repro.optimizer.planner import PhysicalPlanner, PlannerOptions
+from repro.optimizer.rewriter import CostBasedRewriter, HeuristicRewriter, RewriteReport
+from repro.optimizer.statistics import StatisticsCatalog
+from repro.physical.base import PhysicalOperator
+from repro.physical.executor import ExecutionResult, execute_plan
+
+__all__ = ["OptimizationResult", "Optimizer"]
+
+
+@dataclass
+class OptimizationResult:
+    """Everything the optimizer produced for one query."""
+
+    original: Expression
+    rewritten: Expression
+    rewrite_report: RewriteReport
+    original_cost: CostReport
+    rewritten_cost: CostReport
+    plan: PhysicalOperator
+
+    @property
+    def rules_fired(self) -> list[str]:
+        """Names of the rewrite rules that fired."""
+        return self.rewrite_report.rules_fired
+
+    @property
+    def estimated_speedup(self) -> float:
+        """Ratio of estimated costs (original / rewritten)."""
+        if self.rewritten_cost.total_cost == 0:
+            return float("inf")
+        return self.original_cost.total_cost / self.rewritten_cost.total_cost
+
+
+class Optimizer:
+    """Rule-based optimizer with an optional cost-based search mode."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        rules: Optional[Sequence[RewriteRule]] = None,
+        planner_options: Optional[PlannerOptions] = None,
+        cost_based: bool = False,
+        allow_data_inspection: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.statistics = StatisticsCatalog.from_database(catalog)
+        self.cost_model = CostModel(self.statistics)
+        context = RewriteContext.from_catalog(catalog, static_only=not allow_data_inspection)
+        if cost_based:
+            self._rewriter = CostBasedRewriter(self.cost_model, rules=rules, context=context)
+        else:
+            self._rewriter = HeuristicRewriter(rules=rules, context=context)
+        self._planner = PhysicalPlanner(catalog, planner_options)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def optimize(self, expression: Expression) -> OptimizationResult:
+        """Rewrite ``expression`` and produce a physical plan for it."""
+        rewrite_report = self._rewriter.rewrite(expression)
+        rewritten = rewrite_report.result
+        return OptimizationResult(
+            original=expression,
+            rewritten=rewritten,
+            rewrite_report=rewrite_report,
+            original_cost=self.cost_model.report(expression),
+            rewritten_cost=self.cost_model.report(rewritten),
+            plan=self._planner.plan(rewritten),
+        )
+
+    def execute(self, expression: Expression) -> ExecutionResult:
+        """Optimize and execute ``expression`` against the catalog."""
+        return execute_plan(self.optimize(expression).plan)
+
+    def plan_without_rewriting(self, expression: Expression) -> PhysicalOperator:
+        """Physical plan for the *unrewritten* expression (baseline in benches)."""
+        return self._planner.plan(expression)

@@ -1,0 +1,148 @@
+"""Mapping of logical expressions to physical plans.
+
+This is the second kind of transformation rule the paper describes in its
+introduction: logical operators are mapped to physical operators (join →
+hash-join, small divide → hash-division, …).  The planner is deliberately
+rule-driven rather than cost-driven — the cost-based decisions happen at the
+logical level (:mod:`repro.optimizer.rewriter`); here each logical operator
+has a default physical algorithm plus per-operator overrides that the
+benchmarks use for algorithm comparisons.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.algebra.expressions import (
+    AntiJoin,
+    Difference,
+    Expression,
+    GreatDivide,
+    GroupBy,
+    Intersection,
+    LeftOuterJoin,
+    LiteralRelation,
+    NaturalJoin,
+    Product,
+    Project,
+    RelationRef,
+    Rename,
+    Select,
+    SemiJoin,
+    SmallDivide,
+    ThetaJoin,
+    Union,
+)
+from repro.errors import PlanningError
+from repro.physical import (
+    GREAT_DIVIDE_ALGORITHMS,
+    SMALL_DIVIDE_ALGORITHMS,
+    DifferenceOp,
+    Filter,
+    HashAggregate,
+    HashAntiJoin,
+    HashJoin,
+    HashLeftOuterJoin,
+    HashSemiJoin,
+    IntersectOp,
+    NestedLoopsJoin,
+    PhysicalOperator,
+    ProductOp,
+    ProjectOp,
+    RelationScan,
+    RenameOp,
+    TableScan,
+    UnionOp,
+)
+from repro.relation.relation import Relation
+
+__all__ = ["PlannerOptions", "PhysicalPlanner"]
+
+
+@dataclass(frozen=True)
+class PlannerOptions:
+    """Algorithm choices for the logical→physical mapping."""
+
+    #: Algorithm for the small divide: one of ``SMALL_DIVIDE_ALGORITHMS``.
+    small_divide_algorithm: str = "hash"
+    #: Algorithm for the great divide: one of ``GREAT_DIVIDE_ALGORITHMS``.
+    great_divide_algorithm: str = "hash"
+    #: Extra keyword arguments reserved for future algorithm tuning.
+    extras: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.small_divide_algorithm not in SMALL_DIVIDE_ALGORITHMS:
+            raise PlanningError(
+                f"unknown small-divide algorithm {self.small_divide_algorithm!r}; "
+                f"choose from {sorted(SMALL_DIVIDE_ALGORITHMS)}"
+            )
+        if self.great_divide_algorithm not in GREAT_DIVIDE_ALGORITHMS:
+            raise PlanningError(
+                f"unknown great-divide algorithm {self.great_divide_algorithm!r}; "
+                f"choose from {sorted(GREAT_DIVIDE_ALGORITHMS)}"
+            )
+
+
+class PhysicalPlanner:
+    """Translate a logical expression into an executable physical plan."""
+
+    def __init__(
+        self,
+        database: Mapping[str, Relation],
+        options: PlannerOptions | None = None,
+    ) -> None:
+        self.database = database
+        self.options = options or PlannerOptions()
+
+    def plan(self, expression: Expression) -> PhysicalOperator:
+        """Build the physical plan for ``expression``."""
+        return self._plan(expression)
+
+    # ------------------------------------------------------------------
+    # recursive translation
+    # ------------------------------------------------------------------
+    def _plan(self, expression: Expression) -> PhysicalOperator:
+        if isinstance(expression, RelationRef):
+            return TableScan(self.database, expression.name)
+        if isinstance(expression, LiteralRelation):
+            return RelationScan(expression.relation, label=expression.label)
+        if isinstance(expression, Project):
+            return ProjectOp(self._plan(expression.child), expression.attributes)
+        if isinstance(expression, Select):
+            return Filter(self._plan(expression.child), expression.predicate)
+        if isinstance(expression, Rename):
+            return RenameOp(self._plan(expression.child), expression.mapping)
+        if isinstance(expression, GroupBy):
+            return HashAggregate(
+                self._plan(expression.child),
+                expression.grouping,
+                {spec.output: spec.build() for spec in expression.aggregates},
+            )
+        if isinstance(expression, Union):
+            return UnionOp(self._plan(expression.left), self._plan(expression.right))
+        if isinstance(expression, Intersection):
+            return IntersectOp(self._plan(expression.left), self._plan(expression.right))
+        if isinstance(expression, Difference):
+            return DifferenceOp(self._plan(expression.left), self._plan(expression.right))
+        if isinstance(expression, Product):
+            return ProductOp(self._plan(expression.left), self._plan(expression.right))
+        if isinstance(expression, ThetaJoin):
+            return NestedLoopsJoin(
+                self._plan(expression.left), self._plan(expression.right), expression.predicate
+            )
+        if isinstance(expression, NaturalJoin):
+            return HashJoin(self._plan(expression.left), self._plan(expression.right))
+        if isinstance(expression, SemiJoin):
+            return HashSemiJoin(self._plan(expression.left), self._plan(expression.right))
+        if isinstance(expression, AntiJoin):
+            return HashAntiJoin(self._plan(expression.left), self._plan(expression.right))
+        if isinstance(expression, LeftOuterJoin):
+            return HashLeftOuterJoin(self._plan(expression.left), self._plan(expression.right))
+        if isinstance(expression, SmallDivide):
+            algorithm = SMALL_DIVIDE_ALGORITHMS[self.options.small_divide_algorithm]
+            return algorithm(self._plan(expression.left), self._plan(expression.right))
+        if isinstance(expression, GreatDivide):
+            algorithm = GREAT_DIVIDE_ALGORITHMS[self.options.great_divide_algorithm]
+            return algorithm(self._plan(expression.left), self._plan(expression.right))
+        raise PlanningError(f"no physical mapping for {type(expression).__name__}")

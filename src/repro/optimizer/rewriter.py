@@ -1,0 +1,157 @@
+"""Rule-based rewriting of logical expressions.
+
+Two strategies are provided:
+
+* :class:`HeuristicRewriter` — repeatedly applies the rule set bottom-up
+  until no rule matches anywhere (a Starburst-style fixpoint rewriter).
+  This is the mode the paper's push-down laws are designed for: every rule
+  in the default set is an improvement or neutral, so a fixpoint is safe.
+* :class:`CostBasedRewriter` — explores the space of expressions reachable
+  through the rule set (bounded breadth-first search, memoizing visited
+  expressions, mini-Cascades style) and returns the cheapest alternative
+  according to a :class:`~repro.optimizer.cost.CostModel`.
+
+Both record the rewrite trace so experiments can show *which* laws fired.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.algebra.expressions import Expression
+from repro.errors import RewriteError
+from repro.laws.base import Rewrite, RewriteContext, RewriteRule
+from repro.laws.registry import all_rules
+from repro.optimizer.cost import CostModel
+
+__all__ = ["RewriteReport", "HeuristicRewriter", "CostBasedRewriter"]
+
+
+@dataclass
+class RewriteReport:
+    """The outcome of a rewriting session."""
+
+    original: Expression
+    result: Expression
+    applied: list[Rewrite] = field(default_factory=list)
+
+    @property
+    def rules_fired(self) -> list[str]:
+        """Names of the rules that fired, in application order."""
+        return [rewrite.rule for rewrite in self.applied]
+
+    def __len__(self) -> int:
+        return len(self.applied)
+
+
+class HeuristicRewriter:
+    """Apply a rule set bottom-up until fixpoint."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[RewriteRule]] = None,
+        context: Optional[RewriteContext] = None,
+        max_passes: int = 10,
+    ) -> None:
+        self.rules = list(rules) if rules is not None else all_rules()
+        self.context = context if context is not None else RewriteContext()
+        self.max_passes = max_passes
+
+    def rewrite(self, expression: Expression) -> RewriteReport:
+        """Rewrite ``expression`` to fixpoint and report the applied rules."""
+        report = RewriteReport(original=expression, result=expression)
+        current = expression
+        for _ in range(self.max_passes):
+            rewritten = self._one_pass(current, report)
+            if rewritten == current:
+                break
+            current = rewritten
+        report.result = current
+        return report
+
+    def _one_pass(self, expression: Expression, report: RewriteReport) -> Expression:
+        def visit(node: Expression) -> Expression:
+            for rule in self.rules:
+                try:
+                    if not rule.matches(node, self.context):
+                        continue
+                    replacement = rule.apply(node, self.context)
+                except RewriteError:
+                    continue
+                if replacement == node:
+                    continue
+                report.applied.append(
+                    Rewrite(rule=rule.name, before=node, after=replacement, note=rule.paper_reference)
+                )
+                return replacement
+            return node
+
+        return expression.transform_bottom_up(visit)
+
+
+class CostBasedRewriter:
+    """Bounded exploration of rule applications, picking the cheapest plan."""
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        rules: Optional[Sequence[RewriteRule]] = None,
+        context: Optional[RewriteContext] = None,
+        max_alternatives: int = 200,
+    ) -> None:
+        self.cost_model = cost_model
+        self.rules = list(rules) if rules is not None else all_rules()
+        self.context = context if context is not None else RewriteContext()
+        self.max_alternatives = max_alternatives
+
+    def rewrite(self, expression: Expression) -> RewriteReport:
+        """Search the space reachable via the rules; return the cheapest expression."""
+        seen: set[Expression] = {expression}
+        frontier: list[Expression] = [expression]
+        report = RewriteReport(original=expression, result=expression)
+
+        while frontier and len(seen) < self.max_alternatives:
+            current = frontier.pop(0)
+            for alternative, rewrite in self._neighbours(current):
+                if alternative in seen:
+                    continue
+                seen.add(alternative)
+                frontier.append(alternative)
+                report.applied.append(rewrite)
+
+        report.result = self.cost_model.cheapest(list(seen))
+        return report
+
+    def _neighbours(self, expression: Expression) -> Iterable[tuple[Expression, Rewrite]]:
+        """All expressions reachable by one rule application at any node."""
+        nodes = list(expression.walk())
+        for target in nodes:
+            for rule in self.rules:
+                try:
+                    if not rule.matches(target, self.context):
+                        continue
+                    replacement = rule.apply(target, self.context)
+                except RewriteError:
+                    continue
+                if replacement == target:
+                    continue
+                rebuilt = _replace(expression, target, replacement)
+                yield rebuilt, Rewrite(
+                    rule=rule.name, before=target, after=replacement, note=rule.paper_reference
+                )
+
+
+def _replace(expression: Expression, target: Expression, replacement: Expression) -> Expression:
+    """Return ``expression`` with the first occurrence of ``target`` replaced."""
+    replaced = False
+
+    def visit(node: Expression) -> Expression:
+        nonlocal replaced
+        if not replaced and node == target:
+            replaced = True
+            return replacement
+        return node
+
+    return expression.transform_bottom_up(visit)

@@ -1,0 +1,311 @@
+"""Table statistics and cardinality estimation.
+
+The estimator implements the textbook System-R style formulas (uniformity
+and independence assumptions) extended with formulas for the division
+operators: the selectivity of a small divide is estimated as the
+probability that a dividend group of average size ``g`` drawn from a domain
+of ``d`` distinct ``B``-values contains all ``|r2|`` divisor values.  These
+estimates feed the cost model that ranks rewrite alternatives.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.algebra.expressions import (
+    AntiJoin,
+    Difference,
+    Expression,
+    GreatDivide,
+    GroupBy,
+    Intersection,
+    LeftOuterJoin,
+    LiteralRelation,
+    NaturalJoin,
+    Product,
+    Project,
+    RelationRef,
+    Rename,
+    Select,
+    SemiJoin,
+    SmallDivide,
+    ThetaJoin,
+    Union,
+)
+from repro.relation.relation import Relation
+
+__all__ = ["TableStatistics", "StatisticsCatalog", "CardinalityEstimator", "DEFAULT_SELECTIVITY"]
+
+#: Selectivity assumed for a predicate we know nothing about.
+DEFAULT_SELECTIVITY = 0.33
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Cardinality and per-attribute distinct counts of one table."""
+
+    cardinality: int
+    distinct_values: Mapping[str, int]
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "TableStatistics":
+        """Gather exact statistics from an in-memory relation."""
+        distinct = {
+            attribute: len(relation.project([attribute])) for attribute in relation.attributes
+        }
+        return cls(cardinality=len(relation), distinct_values=distinct)
+
+    def distinct(self, attribute: str) -> int:
+        """Distinct count of one attribute (at least 1 to avoid zero division)."""
+        return max(1, self.distinct_values.get(attribute, 1))
+
+
+class StatisticsCatalog:
+    """Statistics for a collection of named tables."""
+
+    def __init__(self, tables: Mapping[str, TableStatistics] | None = None) -> None:
+        self._tables = dict(tables or {})
+
+    @classmethod
+    def from_database(cls, database: Mapping[str, Relation]) -> "StatisticsCatalog":
+        """Exact statistics for every table of a database/catalog."""
+        return cls({name: TableStatistics.from_relation(rel) for name, rel in database.items()})
+
+    def add(self, name: str, statistics: TableStatistics) -> None:
+        self._tables[name] = statistics
+
+    def table(self, name: str) -> TableStatistics:
+        """Statistics of a table; unknown tables get a neutral default."""
+        return self._tables.get(name, TableStatistics(cardinality=1000, distinct_values={}))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+
+@dataclass(frozen=True)
+class _Estimate:
+    """Estimated cardinality and per-attribute distinct counts of a subexpression."""
+
+    cardinality: float
+    distinct_values: Mapping[str, float]
+
+    def distinct(self, attribute: str) -> float:
+        return max(1.0, self.distinct_values.get(attribute, self.cardinality or 1.0))
+
+
+class CardinalityEstimator:
+    """Estimates output cardinalities of logical expressions."""
+
+    def __init__(self, statistics: StatisticsCatalog) -> None:
+        self._statistics = statistics
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def cardinality(self, expression: Expression) -> float:
+        """Estimated number of output tuples of ``expression``."""
+        return self._estimate(expression).cardinality
+
+    # ------------------------------------------------------------------
+    # recursive estimation
+    # ------------------------------------------------------------------
+    def _estimate(self, expression: Expression) -> _Estimate:
+        if isinstance(expression, RelationRef):
+            stats = self._statistics.table(expression.name)
+            return _Estimate(
+                cardinality=float(stats.cardinality),
+                distinct_values={
+                    name: float(stats.distinct(name)) for name in expression.schema.names
+                },
+            )
+        if isinstance(expression, LiteralRelation):
+            stats = TableStatistics.from_relation(expression.relation)
+            return _Estimate(
+                cardinality=float(stats.cardinality),
+                distinct_values={k: float(v) for k, v in stats.distinct_values.items()},
+            )
+        if isinstance(expression, (Project, Rename)):
+            child = self._estimate(expression.child)
+            kept = {
+                name: child.distinct(name)
+                for name in expression.schema.names
+                if name in child.distinct_values or True
+            }
+            if isinstance(expression, Project):
+                # Duplicate elimination: bounded by the product of distinct counts.
+                bound = math.prod(min(child.distinct(name), child.cardinality) for name in expression.schema.names) if len(expression.schema) else 1.0
+                return _Estimate(cardinality=min(child.cardinality, bound), distinct_values=kept)
+            return _Estimate(cardinality=child.cardinality, distinct_values=kept)
+        if isinstance(expression, Select):
+            child = self._estimate(expression.child)
+            selectivity = self._selectivity(expression, child)
+            scaled = {name: value * selectivity for name, value in child.distinct_values.items()}
+            return _Estimate(cardinality=child.cardinality * selectivity, distinct_values=scaled)
+        if isinstance(expression, GroupBy):
+            child = self._estimate(expression.child)
+            groups = math.prod(child.distinct(name) for name in expression.grouping.names) if len(expression.grouping) else 1.0
+            cardinality = min(child.cardinality, groups)
+            return _Estimate(
+                cardinality=cardinality,
+                distinct_values={name: cardinality for name in expression.schema.names},
+            )
+        if isinstance(expression, Union):
+            left, right = self._estimate(expression.left), self._estimate(expression.right)
+            return _Estimate(
+                cardinality=left.cardinality + right.cardinality,
+                distinct_values={
+                    name: left.distinct(name) + right.distinct(name)
+                    for name in expression.schema.names
+                },
+            )
+        if isinstance(expression, Intersection):
+            left, right = self._estimate(expression.left), self._estimate(expression.right)
+            cardinality = min(left.cardinality, right.cardinality) * 0.5
+            return _Estimate(
+                cardinality=cardinality,
+                distinct_values={name: min(left.distinct(name), right.distinct(name)) for name in expression.schema.names},
+            )
+        if isinstance(expression, Difference):
+            left = self._estimate(expression.left)
+            return left
+        if isinstance(expression, (Product,)):
+            left, right = self._estimate(expression.left), self._estimate(expression.right)
+            distinct = dict(left.distinct_values)
+            distinct.update(right.distinct_values)
+            return _Estimate(cardinality=left.cardinality * right.cardinality, distinct_values=distinct)
+        if isinstance(expression, ThetaJoin):
+            left, right = self._estimate(expression.left), self._estimate(expression.right)
+            distinct = dict(left.distinct_values)
+            distinct.update(right.distinct_values)
+            selectivity = self._join_selectivity(expression, left, right)
+            return _Estimate(
+                cardinality=left.cardinality * right.cardinality * selectivity,
+                distinct_values=distinct,
+            )
+        if isinstance(expression, (NaturalJoin, LeftOuterJoin)):
+            left, right = self._estimate(expression.left), self._estimate(expression.right)
+            shared = expression.left.schema.intersection(expression.right.schema)
+            denominator = math.prod(max(left.distinct(n), right.distinct(n)) for n in shared.names) if len(shared) else 1.0
+            cardinality = left.cardinality * right.cardinality / max(denominator, 1.0)
+            if isinstance(expression, LeftOuterJoin):
+                cardinality = max(cardinality, left.cardinality)
+            distinct = dict(left.distinct_values)
+            distinct.update(right.distinct_values)
+            return _Estimate(cardinality=cardinality, distinct_values=distinct)
+        if isinstance(expression, (SemiJoin, AntiJoin)):
+            left = self._estimate(expression.left)
+            right = self._estimate(expression.right)
+            shared = expression.left.schema.intersection(expression.right.schema)
+            if len(shared):
+                # Fraction of the left rows whose shared-attribute value also
+                # occurs on the right (uniformity assumption).
+                matching = math.prod(
+                    min(1.0, right.distinct(name) / left.distinct(name)) for name in shared.names
+                )
+            else:
+                matching = 1.0 if right.cardinality else 0.0
+            selectivity = matching if isinstance(expression, SemiJoin) else 1.0 - matching
+            return _Estimate(
+                cardinality=left.cardinality * selectivity,
+                distinct_values={
+                    name: value * selectivity for name, value in left.distinct_values.items()
+                },
+            )
+        if isinstance(expression, SmallDivide):
+            return self._estimate_small_divide(expression)
+        if isinstance(expression, GreatDivide):
+            return self._estimate_great_divide(expression)
+        # Unknown node type: be conservative.
+        children = [self._estimate(child) for child in expression.children]
+        cardinality = max((child.cardinality for child in children), default=1.0)
+        return _Estimate(cardinality=cardinality, distinct_values={})
+
+    # ------------------------------------------------------------------
+    # operator-specific formulas
+    # ------------------------------------------------------------------
+    def _selectivity(self, expression: Select, child: _Estimate) -> float:
+        from repro.algebra.predicates import And, Comparison, Not, Or, TruePredicate, FalsePredicate
+
+        predicate = expression.predicate
+        if isinstance(predicate, TruePredicate):
+            return 1.0
+        if isinstance(predicate, FalsePredicate):
+            return 0.0
+        if isinstance(predicate, Comparison):
+            if predicate.operator == "=":
+                attributes = sorted(predicate.attributes)
+                if attributes:
+                    return 1.0 / child.distinct(attributes[0])
+                return DEFAULT_SELECTIVITY
+            if predicate.operator == "!=":
+                return 1.0 - DEFAULT_SELECTIVITY
+            return DEFAULT_SELECTIVITY
+        if isinstance(predicate, And):
+            result = 1.0
+            for operand in predicate.operands:
+                result *= self._selectivity(Select(expression.child, operand), child)
+            return result
+        if isinstance(predicate, Or):
+            result = 1.0
+            for operand in predicate.operands:
+                result *= 1.0 - self._selectivity(Select(expression.child, operand), child)
+            return 1.0 - result
+        if isinstance(predicate, Not):
+            return 1.0 - self._selectivity(Select(expression.child, predicate.operand), child)
+        return DEFAULT_SELECTIVITY
+
+    def _join_selectivity(self, expression: ThetaJoin, left: _Estimate, right: _Estimate) -> float:
+        from repro.algebra.predicates import Comparison
+
+        predicate = expression.predicate
+        if isinstance(predicate, Comparison) and predicate.is_equi_comparison:
+            attributes = sorted(predicate.attributes)
+            denominators = [
+                left.distinct(a) if a in expression.left.schema else right.distinct(a)
+                for a in attributes
+            ]
+            return 1.0 / max(max(denominators, default=1.0), 1.0)
+        return DEFAULT_SELECTIVITY
+
+    def _estimate_small_divide(self, expression: SmallDivide) -> _Estimate:
+        dividend = self._estimate(expression.left)
+        divisor = self._estimate(expression.right)
+        quotient_schema = expression.schema
+        b_schema = expression.right.schema
+        candidates = math.prod(dividend.distinct(name) for name in quotient_schema.names)
+        candidates = min(candidates, dividend.cardinality) or 1.0
+        group_size = dividend.cardinality / max(candidates, 1.0)
+        domain = math.prod(dividend.distinct(name) for name in b_schema.names) or 1.0
+        # Probability that one group of `group_size` values drawn from `domain`
+        # contains one particular divisor value, raised to |divisor|.
+        p_single = min(1.0, group_size / max(domain, 1.0))
+        selectivity = p_single ** max(divisor.cardinality, 0.0)
+        cardinality = candidates * selectivity
+        return _Estimate(
+            cardinality=cardinality,
+            distinct_values={name: cardinality for name in quotient_schema.names},
+        )
+
+    def _estimate_great_divide(self, expression: GreatDivide) -> _Estimate:
+        dividend = self._estimate(expression.left)
+        divisor = self._estimate(expression.right)
+        shared = expression.left.schema.intersection(expression.right.schema)
+        a_schema = expression.left.schema.difference(shared)
+        c_schema = expression.right.schema.difference(shared)
+        candidates = min(
+            math.prod(dividend.distinct(name) for name in a_schema.names), dividend.cardinality
+        ) or 1.0
+        groups = min(
+            math.prod(divisor.distinct(name) for name in c_schema.names) if len(c_schema) else 1.0,
+            divisor.cardinality or 1.0,
+        ) or 1.0
+        group_size = dividend.cardinality / max(candidates, 1.0)
+        divisor_group_size = divisor.cardinality / max(groups, 1.0)
+        domain = math.prod(dividend.distinct(name) for name in shared.names) or 1.0
+        p_single = min(1.0, group_size / max(domain, 1.0))
+        selectivity = p_single ** max(divisor_group_size, 0.0)
+        cardinality = candidates * groups * selectivity
+        distinct = {name: cardinality for name in expression.schema.names}
+        return _Estimate(cardinality=cardinality, distinct_values=distinct)

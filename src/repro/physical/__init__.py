@@ -1,0 +1,76 @@
+"""Volcano-style physical operators and the execution driver."""
+
+from repro.physical import division
+from repro.physical.aggregate import HashAggregate
+from repro.physical.base import PhysicalOperator, PlanStatistics, collect_statistics
+from repro.physical.basic import (
+    DifferenceOp,
+    DuplicateElimination,
+    Filter,
+    IntersectOp,
+    ProductOp,
+    ProjectOp,
+    RenameOp,
+    UnionOp,
+)
+from repro.physical.division import (
+    GREAT_DIVIDE_ALGORITHMS,
+    SMALL_DIVIDE_ALGORITHMS,
+    AlgebraSimulationDivision,
+    GroupwiseSmallDivision,
+    HashDivision,
+    HashGreatDivision,
+    MergeCountDivision,
+    MergeSortDivision,
+    NestedLoopsDivision,
+    NestedLoopsGreatDivision,
+)
+from repro.physical.executor import ExecutionResult, execute_plan
+from repro.physical.joins import (
+    HashAntiJoin,
+    HashJoin,
+    HashLeftOuterJoin,
+    HashSemiJoin,
+    NestedLoopsJoin,
+)
+from repro.physical.scans import RelationScan, TableScan
+
+__all__ = [
+    "division",
+    "PhysicalOperator",
+    "PlanStatistics",
+    "collect_statistics",
+    "ExecutionResult",
+    "execute_plan",
+    # leaves
+    "RelationScan",
+    "TableScan",
+    # basic
+    "Filter",
+    "ProjectOp",
+    "RenameOp",
+    "DuplicateElimination",
+    "UnionOp",
+    "IntersectOp",
+    "DifferenceOp",
+    "ProductOp",
+    # joins
+    "NestedLoopsJoin",
+    "HashJoin",
+    "HashSemiJoin",
+    "HashAntiJoin",
+    "HashLeftOuterJoin",
+    # aggregation
+    "HashAggregate",
+    # division
+    "NestedLoopsDivision",
+    "HashDivision",
+    "MergeSortDivision",
+    "MergeCountDivision",
+    "AlgebraSimulationDivision",
+    "SMALL_DIVIDE_ALGORITHMS",
+    "NestedLoopsGreatDivision",
+    "HashGreatDivision",
+    "GroupwiseSmallDivision",
+    "GREAT_DIVIDE_ALGORITHMS",
+]

@@ -1,0 +1,49 @@
+"""Physical grouping/aggregation operator."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any
+
+from repro.physical.base import PhysicalOperator
+from repro.relation.aggregates import Aggregate
+from repro.relation.row import Row
+from repro.relation.schema import AttributeNames, Schema, as_schema
+
+__all__ = ["HashAggregate"]
+
+
+class HashAggregate(PhysicalOperator):
+    """Hash-based grouping with the aggregate helpers of
+    :mod:`repro.relation.aggregates` (``(label, fn)`` pairs keyed by output
+    attribute)."""
+
+    name = "hash_aggregate"
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        grouping: AttributeNames,
+        aggregations: Mapping[str, Aggregate],
+    ) -> None:
+        grouping_schema = child.schema.project(as_schema(grouping)) if len(as_schema(grouping)) else as_schema(grouping)
+        schema = Schema(grouping_schema.names + tuple(aggregations.keys()))
+        super().__init__(schema, (child,))
+        self._grouping = grouping_schema
+        self._aggregations = dict(aggregations)
+
+    def _produce(self) -> Iterator[Row]:
+        groups: dict[tuple[Any, ...], list[Row]] = {}
+        for row in self._children[0].rows():
+            groups.setdefault(row.values_for(self._grouping), []).append(row)
+        if not groups and not len(self._grouping):
+            groups[()] = []
+        for key, members in groups.items():
+            values: dict[str, Any] = dict(zip(self._grouping.names, key))
+            for output, (_label, fn) in self._aggregations.items():
+                values[output] = fn(members)
+            yield Row(values)
+
+    def describe(self) -> str:
+        aggs = ", ".join(f"{label}→{out}" for out, (label, _fn) in self._aggregations.items())
+        return f"HashAggregate[{', '.join(self._grouping.names)}; {aggs}]"

@@ -1,0 +1,139 @@
+"""Volcano-style physical operators.
+
+Physical operators produce streams of :class:`~repro.relation.row.Row`
+objects.  Every operator counts the tuples it emits, so the benchmark
+harness can report *intermediate result sizes* — the metric behind the
+paper's argument (after Leinders & Van den Bussche) that division must be a
+first-class operator: any simulation through the basic algebra produces
+quadratically large intermediate results, a special-purpose operator does
+not.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.relation.relation import Relation
+from repro.relation.row import Row
+from repro.relation.schema import Schema
+
+__all__ = ["PhysicalOperator", "PlanStatistics", "collect_statistics"]
+
+
+@dataclass
+class PlanStatistics:
+    """Tuple counts gathered from one executed physical plan."""
+
+    #: operator label → number of tuples that operator emitted
+    tuples_by_operator: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_tuples(self) -> int:
+        """Total number of tuples produced by all operators."""
+        return sum(self.tuples_by_operator.values())
+
+    @property
+    def max_intermediate(self) -> int:
+        """The largest single intermediate result (the paper's key metric)."""
+        return max(self.tuples_by_operator.values(), default=0)
+
+    def __getitem__(self, label: str) -> int:
+        return self.tuples_by_operator.get(label, 0)
+
+
+class PhysicalOperator:
+    """Base class of all physical operators.
+
+    Subclasses implement :meth:`_produce` (a row generator).  The public
+    :meth:`rows` wraps it with tuple counting; :meth:`execute` materializes
+    the stream into a :class:`Relation`.
+    """
+
+    #: Human-readable operator name used in plans and statistics.
+    name = "physical"
+
+    def __init__(self, schema: Schema, children: tuple["PhysicalOperator", ...] = ()) -> None:
+        self._schema = schema
+        self._children = children
+        self.tuples_out = 0
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        """The output schema of this operator."""
+        return self._schema
+
+    @property
+    def children(self) -> tuple["PhysicalOperator", ...]:
+        """Input operators."""
+        return self._children
+
+    @property
+    def label(self) -> str:
+        """Identifier used in plan statistics (name plus object id suffix)."""
+        return f"{self.name}#{id(self) & 0xFFFF:04x}"
+
+    def walk(self) -> Iterator["PhysicalOperator"]:
+        """Yield this operator and all descendants, pre-order."""
+        yield self
+        for child in self._children:
+            yield from child.walk()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _produce(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def rows(self) -> Iterator[Row]:
+        """Stream the output rows, counting them as they are produced."""
+        for row in self._produce():
+            self.tuples_out += 1
+            yield row
+
+    def execute(self) -> Relation:
+        """Materialize the output as a set-semantics relation."""
+        return Relation(self._schema, self.rows())
+
+    def reset_counters(self) -> None:
+        """Reset tuple counters in the whole subtree (before a fresh run)."""
+        for operator in self.walk():
+            operator.tuples_out = 0
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def explain(self, indent: int = 0) -> str:
+        """Indented physical plan, similar to EXPLAIN output."""
+        pad = "  " * indent
+        lines = [f"{pad}{self.describe()}"]
+        for child in self._children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """One-line description of this operator."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__} schema={self._schema.names!r}>"
+
+    # ------------------------------------------------------------------
+    # helpers for subclasses
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _require_children(children: tuple["PhysicalOperator", ...], count: int, name: str) -> None:
+        if len(children) != count:
+            raise ExecutionError(f"{name} expects {count} input(s), got {len(children)}")
+
+
+def collect_statistics(plan: PhysicalOperator) -> PlanStatistics:
+    """Collect the per-operator tuple counts after a plan has been executed."""
+    stats = PlanStatistics()
+    for index, operator in enumerate(plan.walk()):
+        stats.tuples_by_operator[f"{index:02d}:{operator.name}"] = operator.tuples_out
+    return stats

@@ -1,0 +1,155 @@
+"""Basic physical operators: filter, project, rename, set operations, product."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Mapping
+
+from repro.physical.base import PhysicalOperator
+from repro.relation.row import Row
+from repro.relation.schema import AttributeNames, as_schema
+
+__all__ = [
+    "Filter",
+    "ProjectOp",
+    "RenameOp",
+    "UnionOp",
+    "IntersectOp",
+    "DifferenceOp",
+    "ProductOp",
+    "DuplicateElimination",
+]
+
+
+class Filter(PhysicalOperator):
+    """Streaming selection σ_p."""
+
+    name = "filter"
+
+    def __init__(self, child: PhysicalOperator, predicate: Callable[[Row], bool]) -> None:
+        super().__init__(child.schema, (child,))
+        self.predicate = predicate
+
+    def _produce(self) -> Iterator[Row]:
+        for row in self._children[0].rows():
+            if self.predicate(row):
+                yield row
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+
+class ProjectOp(PhysicalOperator):
+    """Projection with duplicate elimination (set semantics)."""
+
+    name = "project"
+
+    def __init__(self, child: PhysicalOperator, attributes: AttributeNames) -> None:
+        schema = child.schema.project(as_schema(attributes))
+        super().__init__(schema, (child,))
+
+    def _produce(self) -> Iterator[Row]:
+        seen: set[Row] = set()
+        for row in self._children[0].rows():
+            projected = row.project(self._schema)
+            if projected not in seen:
+                seen.add(projected)
+                yield projected
+
+    def describe(self) -> str:
+        return f"Project[{', '.join(self._schema.names)}]"
+
+
+class RenameOp(PhysicalOperator):
+    """Streaming attribute renaming."""
+
+    name = "rename"
+
+    def __init__(self, child: PhysicalOperator, mapping: Mapping[str, str]) -> None:
+        super().__init__(child.schema.rename(dict(mapping)), (child,))
+        self.mapping = dict(mapping)
+
+    def _produce(self) -> Iterator[Row]:
+        for row in self._children[0].rows():
+            yield row.rename(self.mapping)
+
+
+class DuplicateElimination(PhysicalOperator):
+    """Explicit duplicate elimination (used after bag-producing operators)."""
+
+    name = "distinct"
+
+    def __init__(self, child: PhysicalOperator) -> None:
+        super().__init__(child.schema, (child,))
+
+    def _produce(self) -> Iterator[Row]:
+        seen: set[Row] = set()
+        for row in self._children[0].rows():
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+
+class UnionOp(PhysicalOperator):
+    """Set union: stream the left input, then the unseen rows of the right."""
+
+    name = "union"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
+        super().__init__(left.schema, (left, right))
+
+    def _produce(self) -> Iterator[Row]:
+        seen: set[Row] = set()
+        for child in self._children:
+            for row in child.rows():
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+
+
+class IntersectOp(PhysicalOperator):
+    """Set intersection: build the right side, probe with the left."""
+
+    name = "intersect"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
+        super().__init__(left.schema, (left, right))
+
+    def _produce(self) -> Iterator[Row]:
+        right_rows = set(self._children[1].rows())
+        emitted: set[Row] = set()
+        for row in self._children[0].rows():
+            if row in right_rows and row not in emitted:
+                emitted.add(row)
+                yield row
+
+
+class DifferenceOp(PhysicalOperator):
+    """Set difference: build the right side, stream the left through it."""
+
+    name = "difference"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
+        super().__init__(left.schema, (left, right))
+
+    def _produce(self) -> Iterator[Row]:
+        right_rows = set(self._children[1].rows())
+        emitted: set[Row] = set()
+        for row in self._children[0].rows():
+            if row not in right_rows and row not in emitted:
+                emitted.add(row)
+                yield row
+
+
+class ProductOp(PhysicalOperator):
+    """Nested-loops Cartesian product (the right input is materialized)."""
+
+    name = "product"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
+        super().__init__(left.schema.union(right.schema), (left, right))
+
+    def _produce(self) -> Iterator[Row]:
+        right_rows = list(self._children[1].rows())
+        for left_row in self._children[0].rows():
+            for right_row in right_rows:
+                yield left_row.merge(right_row)

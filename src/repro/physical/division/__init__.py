@@ -1,0 +1,33 @@
+"""Physical division algorithms (small and great divide)."""
+
+from repro.physical.division.great_divide_ops import (
+    GREAT_DIVIDE_ALGORITHMS,
+    GreatDivisionOperator,
+    GroupwiseSmallDivision,
+    HashGreatDivision,
+    NestedLoopsGreatDivision,
+)
+from repro.physical.division.small_divide_ops import (
+    SMALL_DIVIDE_ALGORITHMS,
+    AlgebraSimulationDivision,
+    DivisionOperator,
+    HashDivision,
+    MergeCountDivision,
+    MergeSortDivision,
+    NestedLoopsDivision,
+)
+
+__all__ = [
+    "DivisionOperator",
+    "NestedLoopsDivision",
+    "HashDivision",
+    "MergeSortDivision",
+    "MergeCountDivision",
+    "AlgebraSimulationDivision",
+    "SMALL_DIVIDE_ALGORITHMS",
+    "GreatDivisionOperator",
+    "NestedLoopsGreatDivision",
+    "HashGreatDivision",
+    "GroupwiseSmallDivision",
+    "GREAT_DIVIDE_ALGORITHMS",
+]

@@ -1,0 +1,143 @@
+"""Physical algorithms for the great divide (set containment division).
+
+Three algorithms in the spirit of Rantzau et al. [36]:
+
+* :class:`NestedLoopsGreatDivision` — materialize dividend and divisor
+  groups, test every pair (quadratic in the number of groups but linear in
+  the inputs);
+* :class:`HashGreatDivision` — hash-division generalized to many divisor
+  groups: each divisor tuple gets an ordinal within its group; one pass over
+  the dividend maintains, per (candidate, group) pair *that is actually
+  touched*, the set of matched ordinals;
+* :class:`GroupwiseSmallDivision` — the strategy behind Definition 4: loop
+  over the divisor groups and run an ordinary hash-division per group
+  (pipelines well when the divisor has few groups).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from repro.errors import ExecutionError
+from repro.physical.base import PhysicalOperator
+from repro.relation.row import Row
+
+__all__ = [
+    "GreatDivisionOperator",
+    "NestedLoopsGreatDivision",
+    "HashGreatDivision",
+    "GroupwiseSmallDivision",
+    "GREAT_DIVIDE_ALGORITHMS",
+]
+
+
+class GreatDivisionOperator(PhysicalOperator):
+    """Common base for the physical great-divide algorithms."""
+
+    def __init__(self, dividend: PhysicalOperator, divisor: PhysicalOperator) -> None:
+        shared = dividend.schema.intersection(divisor.schema)
+        if len(shared) == 0:
+            raise ExecutionError("great divide: dividend and divisor must share attributes")
+        quotient_a = dividend.schema.difference(shared)
+        if len(quotient_a) == 0:
+            raise ExecutionError("great divide: the dividend needs attributes outside B")
+        group_c = divisor.schema.difference(shared)
+        super().__init__(quotient_a.union(group_c), (dividend, divisor))
+        self.a = quotient_a
+        self.b = shared
+        self.c = group_c
+
+    def _quotient_row(self, a_key: tuple[Any, ...], c_key: tuple[Any, ...]) -> Row:
+        values = dict(zip(self.a.names, a_key))
+        values.update(zip(self.c.names, c_key))
+        return Row(values)
+
+
+class NestedLoopsGreatDivision(GreatDivisionOperator):
+    """Materialize both group collections and test every pair."""
+
+    name = "nested_loops_great_division"
+
+    def _produce(self) -> Iterator[Row]:
+        dividend, divisor = self._children
+        dividend_groups: dict[tuple[Any, ...], set[tuple[Any, ...]]] = {}
+        for row in dividend.rows():
+            dividend_groups.setdefault(row.values_for(self.a), set()).add(row.values_for(self.b))
+        divisor_groups: dict[tuple[Any, ...], set[tuple[Any, ...]]] = {}
+        for row in divisor.rows():
+            divisor_groups.setdefault(row.values_for(self.c), set()).add(row.values_for(self.b))
+        for c_key, needed in divisor_groups.items():
+            for a_key, available in dividend_groups.items():
+                if needed <= available:
+                    yield self._quotient_row(a_key, c_key)
+
+
+class HashGreatDivision(GreatDivisionOperator):
+    """Hash-division generalized to many divisor groups.
+
+    Builds an index ``b-value → [(group, ordinal)]`` over the divisor, then
+    scans the dividend once; for every match it records the ordinal in a
+    per-(candidate, group) bit set.  Pairs whose bit set reaches the group
+    size are emitted.
+    """
+
+    name = "hash_great_division"
+
+    def _produce(self) -> Iterator[Row]:
+        dividend, divisor = self._children
+        ordinal_index: dict[tuple[Any, ...], list[tuple[tuple[Any, ...], int]]] = {}
+        group_sizes: dict[tuple[Any, ...], int] = {}
+        seen_divisor: set[tuple[tuple[Any, ...], tuple[Any, ...]]] = set()
+        for row in divisor.rows():
+            b_value = row.values_for(self.b)
+            c_value = row.values_for(self.c)
+            if (c_value, b_value) in seen_divisor:
+                continue
+            seen_divisor.add((c_value, b_value))
+            ordinal = group_sizes.get(c_value, 0)
+            group_sizes[c_value] = ordinal + 1
+            ordinal_index.setdefault(b_value, []).append((c_value, ordinal))
+
+        matched: dict[tuple[tuple[Any, ...], tuple[Any, ...]], set[int]] = {}
+        for row in dividend.rows():
+            a_value = row.values_for(self.a)
+            for c_value, ordinal in ordinal_index.get(row.values_for(self.b), ()):
+                matched.setdefault((a_value, c_value), set()).add(ordinal)
+        for (a_value, c_value), bits in matched.items():
+            if len(bits) == group_sizes[c_value]:
+                yield self._quotient_row(a_value, c_value)
+
+
+class GroupwiseSmallDivision(GreatDivisionOperator):
+    """Definition 4 as an execution strategy: one hash-division per divisor group."""
+
+    name = "groupwise_small_division"
+
+    def _produce(self) -> Iterator[Row]:
+        dividend, divisor = self._children
+        divisor_groups: dict[tuple[Any, ...], set[tuple[Any, ...]]] = {}
+        for row in divisor.rows():
+            divisor_groups.setdefault(row.values_for(self.c), set()).add(row.values_for(self.b))
+
+        dividend_rows = list(dividend.rows())
+        for c_key, needed in divisor_groups.items():
+            # hash-division of the dividend by this group
+            seen: dict[tuple[Any, ...], set[tuple[Any, ...]]] = {}
+            for row in dividend_rows:
+                candidate = row.values_for(self.a)
+                value = row.values_for(self.b)
+                bucket = seen.setdefault(candidate, set())
+                if value in needed:
+                    bucket.add(value)
+            for candidate, hits in seen.items():
+                if len(hits) == len(needed):
+                    yield self._quotient_row(candidate, c_key)
+
+
+#: Algorithm registry used by tests and benches.
+GREAT_DIVIDE_ALGORITHMS = {
+    "nested_loops": NestedLoopsGreatDivision,
+    "hash": HashGreatDivision,
+    "groupwise": GroupwiseSmallDivision,
+}

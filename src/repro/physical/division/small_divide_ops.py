@@ -1,0 +1,227 @@
+"""Physical algorithms for the small divide.
+
+The paper motivates treating division as a first-class operator by pointing
+at the algorithm repertoire of Graefe [14] and Graefe & Cole [16] and at the
+complexity result of Leinders & Van den Bussche [25].  This module provides
+that repertoire:
+
+* :class:`NestedLoopsDivision` — the naive algorithm: for every quotient
+  candidate scan its group and check containment;
+* :class:`HashDivision` — Graefe's hash-division: one pass over the divisor
+  to number its tuples, one pass over the dividend maintaining a bitmap per
+  quotient candidate;
+* :class:`MergeSortDivision` — merge-/sort-based division: sort the dividend
+  by (quotient, divisor) attributes, sort the divisor, then merge each group
+  against the divisor in one interleaved scan (merge-group division);
+* :class:`MergeCountDivision` — the counting variant: a semi-join with the
+  divisor followed by per-group counting (stream-aggregation style);
+* :class:`AlgebraSimulationDivision` — Healy's expression
+  ``π_A(r1) − π_A((π_A(r1) × r2) − r1)`` executed with the basic physical
+  operators.  Its intermediate result ``π_A(r1) × r2`` is |π_A(r1)|·|r2|
+  tuples — the quadratic blow-up the special-purpose algorithms avoid.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from repro.division.schemas import DivisionSchemas
+from repro.errors import ExecutionError
+from repro.physical.base import PhysicalOperator
+from repro.physical.basic import DifferenceOp, ProductOp, ProjectOp
+from repro.relation.row import Row
+from repro.relation.schema import Schema
+
+__all__ = [
+    "DivisionOperator",
+    "NestedLoopsDivision",
+    "HashDivision",
+    "MergeSortDivision",
+    "MergeCountDivision",
+    "AlgebraSimulationDivision",
+    "SMALL_DIVIDE_ALGORITHMS",
+]
+
+
+def _division_schemas(dividend: PhysicalOperator, divisor: PhysicalOperator) -> DivisionSchemas:
+    divisor_schema = divisor.schema
+    dividend_schema = dividend.schema
+    if len(divisor_schema) == 0:
+        raise ExecutionError("small divide: divisor schema must be nonempty")
+    if not divisor_schema.is_subset(dividend_schema):
+        raise ExecutionError(
+            f"small divide: divisor attributes {divisor_schema.names!r} must appear in the "
+            f"dividend schema {dividend_schema.names!r}"
+        )
+    quotient = dividend_schema.difference(divisor_schema)
+    if len(quotient) == 0:
+        raise ExecutionError("small divide: quotient schema must be nonempty")
+    return DivisionSchemas(
+        a=quotient,
+        b=dividend_schema.intersection(divisor_schema),
+        c=Schema(()),
+        quotient=quotient,
+    )
+
+
+class DivisionOperator(PhysicalOperator):
+    """Common base for all physical small-divide algorithms."""
+
+    def __init__(self, dividend: PhysicalOperator, divisor: PhysicalOperator) -> None:
+        schemas = _division_schemas(dividend, divisor)
+        super().__init__(schemas.quotient, (dividend, divisor))
+        self.schemas = schemas
+
+    def _quotient_row(self, key: tuple[Any, ...]) -> Row:
+        return Row(dict(zip(self.schemas.a.names, key)))
+
+
+class NestedLoopsDivision(DivisionOperator):
+    """Naive division: check every candidate group against the whole divisor."""
+
+    name = "nested_loops_division"
+
+    def _produce(self) -> Iterator[Row]:
+        dividend, divisor = self._children
+        divisor_values = {row.values_for(self.schemas.b) for row in divisor.rows()}
+        dividend_rows = list(dividend.rows())
+        candidates = {row.values_for(self.schemas.a) for row in dividend_rows}
+        for candidate in candidates:
+            group = {
+                row.values_for(self.schemas.b)
+                for row in dividend_rows
+                if row.values_for(self.schemas.a) == candidate
+            }
+            if divisor_values <= group:
+                yield self._quotient_row(candidate)
+
+
+class HashDivision(DivisionOperator):
+    """Graefe's hash-division.
+
+    The divisor is loaded into a hash table assigning each tuple an ordinal;
+    the dividend is scanned once, maintaining one bit set per quotient
+    candidate.  A candidate is output when its bit set is full.
+    """
+
+    name = "hash_division"
+
+    def _produce(self) -> Iterator[Row]:
+        dividend, divisor = self._children
+        divisor_index: dict[tuple[Any, ...], int] = {}
+        for row in divisor.rows():
+            value = row.values_for(self.schemas.b)
+            if value not in divisor_index:
+                divisor_index[value] = len(divisor_index)
+        required = len(divisor_index)
+
+        seen_bits: dict[tuple[Any, ...], set[int]] = {}
+        for row in dividend.rows():
+            candidate = row.values_for(self.schemas.a)
+            bits = seen_bits.setdefault(candidate, set())
+            ordinal = divisor_index.get(row.values_for(self.schemas.b))
+            if ordinal is not None:
+                bits.add(ordinal)
+        for candidate, bits in seen_bits.items():
+            if len(bits) == required:
+                yield self._quotient_row(candidate)
+
+
+class MergeSortDivision(DivisionOperator):
+    """Merge-sort division: sort both inputs, merge each dividend group
+    against the sorted divisor."""
+
+    name = "merge_sort_division"
+
+    def _produce(self) -> Iterator[Row]:
+        dividend, divisor = self._children
+        divisor_sorted = sorted(
+            {row.values_for(self.schemas.b) for row in divisor.rows()}, key=repr
+        )
+        dividend_sorted = sorted(
+            dividend.rows(),
+            key=lambda row: (
+                repr(row.values_for(self.schemas.a)),
+                repr(row.values_for(self.schemas.b)),
+            ),
+        )
+
+        current: tuple[Any, ...] | None = None
+        position = 0
+        for row in dividend_sorted:
+            candidate = row.values_for(self.schemas.a)
+            if candidate != current:
+                if current is not None and position == len(divisor_sorted):
+                    yield self._quotient_row(current)
+                current = candidate
+                position = 0
+            if position < len(divisor_sorted) and row.values_for(self.schemas.b) == divisor_sorted[position]:
+                position += 1
+        if current is not None and position == len(divisor_sorted):
+            yield self._quotient_row(current)
+
+
+class MergeCountDivision(DivisionOperator):
+    """Counting division: semi-join the dividend with the divisor, count the
+    distinct divisor values per candidate and compare with |divisor|."""
+
+    name = "merge_count_division"
+
+    def _produce(self) -> Iterator[Row]:
+        dividend, divisor = self._children
+        divisor_values = {row.values_for(self.schemas.b) for row in divisor.rows()}
+        required = len(divisor_values)
+        counts: dict[tuple[Any, ...], set[tuple[Any, ...]]] = {}
+        all_candidates: set[tuple[Any, ...]] = set()
+        for row in dividend.rows():
+            candidate = row.values_for(self.schemas.a)
+            all_candidates.add(candidate)
+            value = row.values_for(self.schemas.b)
+            if value in divisor_values:
+                counts.setdefault(candidate, set()).add(value)
+        if required == 0:
+            for candidate in all_candidates:
+                yield self._quotient_row(candidate)
+            return
+        for candidate, matched in counts.items():
+            if len(matched) == required:
+                yield self._quotient_row(candidate)
+
+
+class AlgebraSimulationDivision(DivisionOperator):
+    """Division simulated by the basic algebra (Healy's Definition 2).
+
+    Builds the physical plan
+    ``Difference(Project_A(r1), Project_A(Difference(Product(Project_A(r1), r2), r1)))``
+    and streams its result.  Exists to measure the quadratic intermediate
+    result the paper (after [25]) argues is unavoidable without a
+    first-class division operator; the inner operators' tuple counters are
+    exposed through the plan statistics.
+    """
+
+    name = "algebra_simulation_division"
+
+    def __init__(self, dividend: PhysicalOperator, divisor: PhysicalOperator) -> None:
+        super().__init__(dividend, divisor)
+        candidates = ProjectOp(dividend, self.schemas.a)
+        # A second, independent projection of the dividend for the product
+        # (re-scanning the same child keeps the counters honest).
+        blow_up = ProductOp(ProjectOp(dividend, self.schemas.a), divisor)
+        missing = ProjectOp(DifferenceOp(blow_up, dividend), self.schemas.a)
+        self._plan = DifferenceOp(candidates, missing)
+        # Expose the sub-plan in ``children`` so statistics include it.
+        self._children = (self._plan,)
+
+    def _produce(self) -> Iterator[Row]:
+        return self._plan.rows()
+
+
+#: Algorithm registry used by tests and by the Graefe-style comparison bench.
+SMALL_DIVIDE_ALGORITHMS = {
+    "nested_loops": NestedLoopsDivision,
+    "hash": HashDivision,
+    "merge_sort": MergeSortDivision,
+    "merge_count": MergeCountDivision,
+    "algebra_simulation": AlgebraSimulationDivision,
+}

@@ -1,0 +1,30 @@
+"""Execution driver: run a physical plan and collect statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.physical.base import PhysicalOperator, PlanStatistics, collect_statistics
+from repro.relation.relation import Relation
+
+__all__ = ["ExecutionResult", "execute_plan"]
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """The materialized result of a plan plus its runtime statistics."""
+
+    relation: Relation
+    statistics: PlanStatistics
+
+    @property
+    def max_intermediate(self) -> int:
+        """Largest intermediate result produced while executing the plan."""
+        return self.statistics.max_intermediate
+
+
+def execute_plan(plan: PhysicalOperator) -> ExecutionResult:
+    """Execute ``plan`` from a cold start and return result + statistics."""
+    plan.reset_counters()
+    relation = plan.execute()
+    return ExecutionResult(relation=relation, statistics=collect_statistics(plan))

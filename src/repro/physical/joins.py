@@ -1,0 +1,163 @@
+"""Physical join operators: nested-loops, hash join, semi-/anti-join, outer join."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from typing import Any
+
+from repro.physical.base import PhysicalOperator
+from repro.relation.relation import NULL
+from repro.relation.row import Row
+from repro.relation.schema import Schema
+
+__all__ = [
+    "NestedLoopsJoin",
+    "HashJoin",
+    "HashSemiJoin",
+    "HashAntiJoin",
+    "HashLeftOuterJoin",
+]
+
+
+class NestedLoopsJoin(PhysicalOperator):
+    """Theta-join by nested loops over disjoint-schema inputs."""
+
+    name = "nested_loops_join"
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        predicate: Callable[[Row], bool],
+    ) -> None:
+        super().__init__(left.schema.union(right.schema), (left, right))
+        self.predicate = predicate
+
+    def _produce(self) -> Iterator[Row]:
+        right_rows = list(self._children[1].rows())
+        for left_row in self._children[0].rows():
+            for right_row in right_rows:
+                combined = left_row.merge(right_row)
+                if self.predicate(combined):
+                    yield combined
+
+
+class _SharedKeyMixin:
+    """Helpers for join operators keyed on the shared attributes."""
+
+    @staticmethod
+    def shared_schema(left: PhysicalOperator, right: PhysicalOperator) -> Schema:
+        return left.schema.intersection(right.schema)
+
+    @staticmethod
+    def build_index(rows: Iterator[Row], key: Schema) -> dict[tuple[Any, ...], list[Row]]:
+        index: dict[tuple[Any, ...], list[Row]] = {}
+        for row in rows:
+            index.setdefault(row.values_for(key), []).append(row)
+        return index
+
+
+class HashJoin(PhysicalOperator, _SharedKeyMixin):
+    """Natural join: build a hash table on the right input, probe with the left."""
+
+    name = "hash_join"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
+        super().__init__(left.schema.union(right.schema), (left, right))
+        self._key = self.shared_schema(left, right)
+
+    def _produce(self) -> Iterator[Row]:
+        left, right = self._children
+        if not len(self._key):
+            # Degenerates to the Cartesian product.
+            right_rows = list(right.rows())
+            for left_row in left.rows():
+                for right_row in right_rows:
+                    yield left_row.merge(right_row)
+            return
+        index = self.build_index(right.rows(), self._key)
+        emitted: set[Row] = set()
+        for left_row in left.rows():
+            for right_row in index.get(left_row.values_for(self._key), ()):
+                combined = left_row.merge(right_row)
+                if combined not in emitted:
+                    emitted.add(combined)
+                    yield combined
+
+    def describe(self) -> str:
+        return f"HashJoin[{', '.join(self._key.names)}]"
+
+
+class HashSemiJoin(PhysicalOperator, _SharedKeyMixin):
+    """Left semi-join with a hash set built on the right input."""
+
+    name = "hash_semijoin"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
+        super().__init__(left.schema, (left, right))
+        self._key = self.shared_schema(left, right)
+
+    def _produce(self) -> Iterator[Row]:
+        left, right = self._children
+        if not len(self._key):
+            has_right = any(True for _ in right.rows())
+            if has_right:
+                yield from left.rows()
+            return
+        keys = {row.values_for(self._key) for row in right.rows()}
+        for row in left.rows():
+            if row.values_for(self._key) in keys:
+                yield row
+
+    def describe(self) -> str:
+        return f"HashSemiJoin[{', '.join(self._key.names)}]"
+
+
+class HashAntiJoin(PhysicalOperator, _SharedKeyMixin):
+    """Left anti-semi-join with a hash set built on the right input."""
+
+    name = "hash_antijoin"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
+        super().__init__(left.schema, (left, right))
+        self._key = self.shared_schema(left, right)
+
+    def _produce(self) -> Iterator[Row]:
+        left, right = self._children
+        if not len(self._key):
+            has_right = any(True for _ in right.rows())
+            if not has_right:
+                yield from left.rows()
+            return
+        keys = {row.values_for(self._key) for row in right.rows()}
+        for row in left.rows():
+            if row.values_for(self._key) not in keys:
+                yield row
+
+
+class HashLeftOuterJoin(PhysicalOperator, _SharedKeyMixin):
+    """Left outer join padding unmatched left rows with NULL."""
+
+    name = "hash_outer_join"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
+        super().__init__(left.schema.union(right.schema), (left, right))
+        self._key = self.shared_schema(left, right)
+        self._pad = right.schema.difference(left.schema)
+
+    def _produce(self) -> Iterator[Row]:
+        left, right = self._children
+        index = self.build_index(right.rows(), self._key)
+        emitted: set[Row] = set()
+        for left_row in left.rows():
+            partners = index.get(left_row.values_for(self._key), []) if len(self._key) else [
+                row for rows in index.values() for row in rows
+            ]
+            if partners:
+                for right_row in partners:
+                    combined = left_row.merge(right_row)
+                    if combined not in emitted:
+                        emitted.add(combined)
+                        yield combined
+            else:
+                yield left_row.with_values({name: NULL for name in self._pad})

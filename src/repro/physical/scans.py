@@ -1,0 +1,49 @@
+"""Leaf physical operators: table scans and literal relations."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.errors import ExecutionError
+from repro.physical.base import PhysicalOperator
+from repro.relation.relation import Relation
+from repro.relation.row import Row
+
+__all__ = ["TableScan", "RelationScan"]
+
+
+class RelationScan(PhysicalOperator):
+    """Scan of an in-memory relation value."""
+
+    name = "relation_scan"
+
+    def __init__(self, relation: Relation, label: str = "relation") -> None:
+        super().__init__(relation.schema)
+        self.relation = relation
+        self._label = label
+
+    def _produce(self) -> Iterator[Row]:
+        return iter(self.relation)
+
+    def describe(self) -> str:
+        return f"RelationScan({self._label}, {len(self.relation)} rows)"
+
+
+class TableScan(PhysicalOperator):
+    """Scan of a named table resolved from a database at construction time."""
+
+    name = "table_scan"
+
+    def __init__(self, database: Mapping[str, Relation], table: str) -> None:
+        if table not in database:
+            raise ExecutionError(f"unknown table {table!r}")
+        relation = database[table]
+        super().__init__(relation.schema)
+        self.table = table
+        self.relation = relation
+
+    def _produce(self) -> Iterator[Row]:
+        return iter(self.relation)
+
+    def describe(self) -> str:
+        return f"TableScan({self.table}, {len(self.relation)} rows)"

@@ -1,0 +1,90 @@
+"""Aggregate functions for the grouping operator.
+
+Each helper returns a pair ``(label, fn)`` suitable for
+:meth:`repro.relation.relation.Relation.group_by`.  The label is only used
+for rendering; ``fn`` maps the rows of one group to the aggregate value.
+
+The paper's grouping-based laws (Laws 11 and 12) and the counting-based
+definition of division (footnote 1) use ``count``; the worked figures use
+``sum``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Any, Optional
+
+from repro.errors import RelationError
+from repro.relation.row import Row
+
+__all__ = ["count", "count_distinct", "sum_of", "min_of", "max_of", "avg_of", "collect_set"]
+
+Aggregate = tuple[str, Callable[[Iterable[Row]], Any]]
+
+
+def count(attribute: Optional[str] = None) -> Aggregate:
+    """``count(*)`` or ``count(attribute)`` over a group."""
+    if attribute is None:
+        return ("count(*)", lambda rows: sum(1 for _ in rows))
+    return (f"count({attribute})", lambda rows: sum(1 for row in rows if row[attribute] is not None))
+
+
+def count_distinct(attribute: str) -> Aggregate:
+    """``count(distinct attribute)`` over a group."""
+    return (
+        f"count(distinct {attribute})",
+        lambda rows: len({row[attribute] for row in rows if row[attribute] is not None}),
+    )
+
+
+def sum_of(attribute: str) -> Aggregate:
+    """``sum(attribute)`` over a group (0 for an empty group)."""
+    return (f"sum({attribute})", lambda rows: sum(row[attribute] for row in rows))
+
+
+def min_of(attribute: str) -> Aggregate:
+    """``min(attribute)`` over a group."""
+
+    def _fn(rows: Iterable[Row]) -> Any:
+        values = [row[attribute] for row in rows]
+        if not values:
+            raise RelationError(f"min({attribute}) of an empty group is undefined")
+        return min(values)
+
+    return (f"min({attribute})", _fn)
+
+
+def max_of(attribute: str) -> Aggregate:
+    """``max(attribute)`` over a group."""
+
+    def _fn(rows: Iterable[Row]) -> Any:
+        values = [row[attribute] for row in rows]
+        if not values:
+            raise RelationError(f"max({attribute}) of an empty group is undefined")
+        return max(values)
+
+    return (f"max({attribute})", _fn)
+
+
+def avg_of(attribute: str) -> Aggregate:
+    """``avg(attribute)`` over a group."""
+
+    def _fn(rows: Iterable[Row]) -> Any:
+        values = [row[attribute] for row in rows]
+        if not values:
+            raise RelationError(f"avg({attribute}) of an empty group is undefined")
+        return sum(values) / len(values)
+
+    return (f"avg({attribute})", _fn)
+
+
+def collect_set(attribute: str) -> Aggregate:
+    """Collect the distinct values of ``attribute`` into a frozenset.
+
+    Used to nest a first-normal-form relation into the NF² representation
+    needed by the set containment join (Figure 3 of the paper).
+    """
+    return (
+        f"collect_set({attribute})",
+        lambda rows: frozenset(row[attribute] for row in rows),
+    )

@@ -1,0 +1,102 @@
+"""Free-function spellings of the basic relational operators.
+
+The :class:`~repro.relation.relation.Relation` methods are the primary API;
+these functions exist so that algebraic expressions in the laws and tests
+can be written in the same prefix style as the paper
+(``project(select(r, p), A)`` mirrors ``π_A(σ_p(r))``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.relation.relation import Relation, RowPredicate
+from repro.relation.schema import AttributeNames
+
+__all__ = [
+    "project",
+    "select",
+    "rename",
+    "union",
+    "intersection",
+    "difference",
+    "product",
+    "theta_join",
+    "natural_join",
+    "semijoin",
+    "antijoin",
+    "left_outer_join",
+    "group_by",
+    "singleton",
+]
+
+
+def project(relation: Relation, attributes: AttributeNames) -> Relation:
+    """Projection ``π_A(r)``."""
+    return relation.project(attributes)
+
+
+def select(relation: Relation, predicate: RowPredicate) -> Relation:
+    """Selection ``σ_θ(r)``."""
+    return relation.select(predicate)
+
+
+def rename(relation: Relation, mapping: Mapping[str, str]) -> Relation:
+    """Renaming ``ρ(r)``."""
+    return relation.rename(mapping)
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Set union ``r1 ∪ r2``."""
+    return left.union(right)
+
+
+def intersection(left: Relation, right: Relation) -> Relation:
+    """Set intersection ``r1 ∩ r2``."""
+    return left.intersection(right)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Set difference ``r1 − r2``."""
+    return left.difference(right)
+
+
+def product(left: Relation, right: Relation) -> Relation:
+    """Cartesian product ``r1 × r2``."""
+    return left.product(right)
+
+
+def theta_join(left: Relation, right: Relation, predicate: RowPredicate) -> Relation:
+    """Theta-join ``r1 ⋈_θ r2``."""
+    return left.theta_join(right, predicate)
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """Natural join ``r1 ⋈ r2``."""
+    return left.natural_join(right)
+
+
+def semijoin(left: Relation, right: Relation) -> Relation:
+    """Left semi-join ``r1 ⋉ r2``."""
+    return left.semijoin(right)
+
+
+def antijoin(left: Relation, right: Relation) -> Relation:
+    """Left anti-semi-join ``r1 ▷ r2``."""
+    return left.antijoin(right)
+
+
+def left_outer_join(left: Relation, right: Relation) -> Relation:
+    """Left outer join ``r1 ⟕ r2``."""
+    return left.left_outer_join(right)
+
+
+def group_by(relation: Relation, grouping: AttributeNames, aggregations) -> Relation:
+    """Grouping ``GγF(r)``."""
+    return relation.group_by(grouping, aggregations)
+
+
+def singleton(values: Mapping[str, Any]) -> Relation:
+    """One-tuple relation ``(t)`` as used by Definition 4 of the paper."""
+    return Relation.singleton(values)

@@ -1,0 +1,411 @@
+"""Set-semantics relations and the basic operators of the relational algebra.
+
+This module implements the substrate every other part of the library builds
+on: the operators listed in Appendix A of the paper (union, intersection,
+difference, Cartesian product, projection, selection, theta-join, natural
+join, semi-join, anti-semi-join, left outer join, grouping) with strict
+*set* semantics, plus renaming.
+
+The division operators themselves live in :mod:`repro.division`; they are
+derived operators and are kept separate because the paper studies several
+alternative definitions for them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Any, Optional, Union
+
+from repro.errors import RelationError, SchemaError
+from repro.relation.row import Row
+from repro.relation.schema import AttributeNames, Schema, as_schema
+
+__all__ = ["Relation", "RowPredicate", "NULL"]
+
+#: Predicates used by :meth:`Relation.select` take a row and return a bool.
+RowPredicate = Callable[[Row], bool]
+
+
+class _Null:
+    """Singleton marker used by the left outer join for padded attributes."""
+
+    _instance: Optional["_Null"] = None
+
+    def __new__(cls) -> "_Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The null marker produced by the left outer join (Appendix A).
+NULL = _Null()
+
+
+class Relation:
+    """An immutable relation: a schema plus a *set* of rows.
+
+    Parameters
+    ----------
+    attributes:
+        The attribute names of the schema, in display order.
+    rows:
+        An iterable of rows.  Each row may be a mapping from attribute name
+        to value or a sequence of values aligned with ``attributes``.
+        Duplicates are silently removed (set semantics).
+
+    Examples
+    --------
+    >>> r = Relation(["a", "b"], [(1, 1), (1, 4), (2, 1)])
+    >>> len(r)
+    3
+    >>> r.project(["a"]).to_set("a")
+    {1, 2}
+    """
+
+    __slots__ = ("_schema", "_rows")
+
+    def __init__(
+        self,
+        attributes: AttributeNames,
+        rows: Iterable[Union[Mapping[str, Any], Sequence[Any]]] = (),
+    ) -> None:
+        schema = as_schema(attributes)
+        normalized: set[Row] = set()
+        for raw in rows:
+            normalized.add(self._coerce_row(schema, raw))
+        self._schema = schema
+        self._rows: frozenset[Row] = frozenset(normalized)
+
+    @staticmethod
+    def _coerce_row(schema: Schema, raw: Union[Row, Mapping[str, Any], Sequence[Any]]) -> Row:
+        if isinstance(raw, Row):
+            row = raw
+        elif isinstance(raw, Mapping):
+            row = Row(dict(raw))
+        else:
+            values = tuple(raw)
+            if len(values) != len(schema):
+                raise RelationError(
+                    f"row {values!r} has {len(values)} values but schema {schema.names!r} "
+                    f"has {len(schema)} attributes"
+                )
+            row = Row(dict(zip(schema.names, values)))
+        if set(row.keys()) != set(schema.name_set):
+            raise RelationError(
+                f"row attributes {sorted(row.keys())!r} do not match schema {schema.names!r}"
+            )
+        return row
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, attributes: AttributeNames) -> "Relation":
+        """An empty relation over the given schema."""
+        return cls(attributes, ())
+
+    @classmethod
+    def from_rows(cls, attributes: AttributeNames, rows: Iterable[Any]) -> "Relation":
+        """Alias of the constructor, provided for readability at call sites."""
+        return cls(attributes, rows)
+
+    @classmethod
+    def from_columns(cls, columns: Mapping[str, Sequence[Any]]) -> "Relation":
+        """Build a relation from parallel columns.
+
+        >>> Relation.from_columns({"a": [1, 2], "b": [10, 20]}).schema.names
+        ('a', 'b')
+        """
+        names = tuple(columns.keys())
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise RelationError(f"columns have different lengths: { {n: len(v) for n, v in columns.items()} }")
+        count = lengths.pop() if lengths else 0
+        rows = [tuple(columns[name][i] for name in names) for i in range(count)]
+        return cls(names, rows)
+
+    @classmethod
+    def singleton(cls, values: Mapping[str, Any]) -> "Relation":
+        """A one-tuple relation, written ``(t)`` in the paper."""
+        return cls(tuple(values.keys()), [values])
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        """The relation schema."""
+        return self._schema
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names in display order."""
+        return self._schema.names
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        """The set of rows."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        if isinstance(row, Mapping) and not isinstance(row, Row):
+            row = Row(dict(row))
+        return row in self._rows
+
+    def is_empty(self) -> bool:
+        """Return ``True`` if the relation has no rows."""
+        return not self._rows
+
+    def sorted_rows(self, attributes: Optional[AttributeNames] = None) -> list[Row]:
+        """Rows sorted by the given attributes (defaults to the full schema).
+
+        Used for deterministic rendering and by sort-based physical
+        operators.  Values of each attribute must be mutually comparable.
+        """
+        schema = self._schema if attributes is None else as_schema(attributes)
+        self._schema.require(schema, "sort")
+        return sorted(self._rows, key=lambda row: tuple(_sort_key(row[name]) for name in schema))
+
+    def to_set(self, attribute: str) -> set[Any]:
+        """Values of a single attribute as a Python set."""
+        self._schema.require([attribute], "to_set")
+        return {row[attribute] for row in self._rows}
+
+    def to_tuples(self, attributes: Optional[AttributeNames] = None) -> set[tuple[Any, ...]]:
+        """Rows as value tuples (ordered by ``attributes`` or the schema)."""
+        schema = self._schema if attributes is None else as_schema(attributes)
+        self._schema.require(schema, "to_tuples")
+        return {row.values_for(schema) for row in self._rows}
+
+    # ------------------------------------------------------------------
+    # value semantics
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Relation):
+            return self._schema == other._schema and self._rows == other._rows
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._schema, self._rows))
+
+    def __repr__(self) -> str:
+        return f"Relation(attributes={self._schema.names!r}, rows={len(self._rows)})"
+
+    # ------------------------------------------------------------------
+    # unary operators
+    # ------------------------------------------------------------------
+    def project(self, attributes: AttributeNames) -> "Relation":
+        """Projection ``π_A(r)`` with duplicate elimination."""
+        schema = self._schema.project(attributes)
+        return Relation(schema, {row.project(schema) for row in self._rows})
+
+    def select(self, predicate: RowPredicate) -> "Relation":
+        """Selection ``σ_θ(r)``; ``predicate`` is evaluated on every row."""
+        return Relation(self._schema, {row for row in self._rows if predicate(row)})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Rename attributes according to ``mapping`` (ρ operator)."""
+        new_schema = self._schema.rename(dict(mapping))
+        return Relation(new_schema, {row.rename(mapping) for row in self._rows})
+
+    def prefix(self, prefix: str, separator: str = ".") -> "Relation":
+        """Rename every attribute to ``prefix`` + separator + name.
+
+        Convenience used by the SQL frontend for correlation names.
+        """
+        return self.rename({name: f"{prefix}{separator}{name}" for name in self._schema})
+
+    # ------------------------------------------------------------------
+    # binary set operators (require identical attribute sets)
+    # ------------------------------------------------------------------
+    def _require_same_schema(self, other: "Relation", operation: str) -> None:
+        if self._schema != other._schema:
+            raise SchemaError(
+                f"{operation}: schemas differ: {self._schema.names!r} vs {other._schema.names!r}"
+            )
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union ``r1 ∪ r2``."""
+        self._require_same_schema(other, "union")
+        return Relation(self._schema, self._rows | other._rows)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Set intersection ``r1 ∩ r2``."""
+        self._require_same_schema(other, "intersection")
+        return Relation(self._schema, self._rows & other._rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference ``r1 − r2``."""
+        self._require_same_schema(other, "difference")
+        return Relation(self._schema, self._rows - other._rows)
+
+    def __or__(self, other: "Relation") -> "Relation":
+        return self.union(other)
+
+    def __and__(self, other: "Relation") -> "Relation":
+        return self.intersection(other)
+
+    def __sub__(self, other: "Relation") -> "Relation":
+        return self.difference(other)
+
+    # ------------------------------------------------------------------
+    # products and joins
+    # ------------------------------------------------------------------
+    def product(self, other: "Relation") -> "Relation":
+        """Cartesian product ``r1 × r2`` (attribute sets must be disjoint)."""
+        if not self._schema.is_disjoint(other._schema):
+            shared = self._schema.intersection(other._schema).names
+            raise SchemaError(
+                f"product: attribute sets must be disjoint, both sides contain {shared!r}"
+            )
+        schema = self._schema.union(other._schema)
+        rows = {left.merge(right) for left in self._rows for right in other._rows}
+        return Relation(schema, rows)
+
+    def __mul__(self, other: "Relation") -> "Relation":
+        return self.product(other)
+
+    def theta_join(self, other: "Relation", predicate: RowPredicate) -> "Relation":
+        """Theta-join ``r1 ⋈_θ r2 = σ_θ(r1 × r2)`` (disjoint attribute sets)."""
+        return self.product(other).select(predicate)
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """Natural join ``r1 ⋈ r2`` on the shared attributes."""
+        shared = self._schema.intersection(other._schema)
+        if not len(shared):
+            # Degenerates to the Cartesian product, exactly as in the
+            # textbook definition.
+            return self.product(other)
+        schema = self._schema.union(other._schema)
+        index: dict[tuple[Any, ...], list[Row]] = {}
+        for row in other._rows:
+            index.setdefault(row.values_for(shared), []).append(row)
+        rows: set[Row] = set()
+        for left in self._rows:
+            for right in index.get(left.values_for(shared), ()):
+                rows.add(left.merge(right))
+        return Relation(schema, rows)
+
+    def semijoin(self, other: "Relation") -> "Relation":
+        """Left semi-join ``r1 ⋉ r2``: rows of ``r1`` with a join partner."""
+        shared = self._schema.intersection(other._schema)
+        if not len(shared):
+            return self if other._rows else Relation.empty(self._schema)
+        keys = {row.values_for(shared) for row in other._rows}
+        return Relation(self._schema, {row for row in self._rows if row.values_for(shared) in keys})
+
+    def antijoin(self, other: "Relation") -> "Relation":
+        """Left anti-semi-join ``r1 ▷ r2 = r1 − (r1 ⋉ r2)``."""
+        return self.difference(self.semijoin(other))
+
+    def left_outer_join(self, other: "Relation") -> "Relation":
+        """Left outer join ``r1 ⟕ r2`` padding missing partners with NULL."""
+        joined = self.natural_join(other)
+        dangling = self.antijoin(other)
+        pad_attributes = other._schema.difference(self._schema)
+        padded_rows = {
+            row.with_values({name: NULL for name in pad_attributes}) for row in dangling
+        }
+        schema = self._schema.union(other._schema)
+        return Relation(schema, set(joined.rows) | padded_rows)
+
+    # ------------------------------------------------------------------
+    # grouping / aggregation
+    # ------------------------------------------------------------------
+    def group_by(
+        self,
+        grouping: AttributeNames,
+        aggregations: Mapping[str, tuple[str, Callable[[Iterable[Row]], Any]]],
+    ) -> "Relation":
+        """Grouping operator ``GγF(r)`` of Appendix A.
+
+        Parameters
+        ----------
+        grouping:
+            The grouping attributes ``G`` (may be empty for a global
+            aggregate over the whole relation).
+        aggregations:
+            Maps each *output* attribute name to a pair ``(doc, fn)`` where
+            ``fn`` receives the iterable of rows of one group and returns the
+            aggregate value, and ``doc`` is a short human-readable label
+            (e.g. ``"count(b)"``) used only for rendering and debugging.
+
+        The helpers in :mod:`repro.relation.aggregates` build suitable
+        ``(doc, fn)`` pairs for the common aggregates.
+        """
+        group_schema = as_schema(grouping)
+        self._schema.require(group_schema, "group_by")
+        output_schema = Schema(group_schema.names + tuple(aggregations.keys()))
+
+        groups: dict[tuple[Any, ...], list[Row]] = {}
+        for row in self._rows:
+            groups.setdefault(row.values_for(group_schema), []).append(row)
+
+        result_rows: set[Row] = set()
+        if not groups and not len(group_schema):
+            # Global aggregate over an empty relation: one row of aggregates
+            # over the empty group, mirroring SQL's behaviour for COUNT.
+            groups[()] = []
+        for key, members in groups.items():
+            values = dict(zip(group_schema.names, key))
+            for out_name, (_doc, fn) in aggregations.items():
+                values[out_name] = fn(members)
+            result_rows.add(Row(values))
+        return Relation(output_schema, result_rows)
+
+    # ------------------------------------------------------------------
+    # convenience used throughout the law implementations
+    # ------------------------------------------------------------------
+    def image_set(self, row_values: Mapping[str, Any], over: AttributeNames) -> "Relation":
+        """Codd's image set ``i_r(x)``: the ``over``-values co-occurring with ``x``.
+
+        ``row_values`` fixes the values of some attributes; the result is the
+        projection to ``over`` of the rows agreeing with ``row_values``.
+        """
+        fixed = Row(dict(row_values))
+        self._schema.require(list(fixed.keys()), "image_set")
+        over_schema = self._schema.project(over)
+        rows = {
+            row.project(over_schema)
+            for row in self._rows
+            if all(row[name] == value for name, value in fixed.items())
+        }
+        return Relation(over_schema, rows)
+
+    def partition_horizontal(self, predicate: RowPredicate) -> tuple["Relation", "Relation"]:
+        """Split rows into (matching, non-matching) relations."""
+        matching = {row for row in self._rows if predicate(row)}
+        return (
+            Relation(self._schema, matching),
+            Relation(self._schema, self._rows - matching),
+        )
+
+
+def _sort_key(value: Any) -> tuple[str, Any]:
+    """Total order over heterogeneous attribute values (None/NULL first)."""
+    if value is None or value is NULL:
+        return ("0", "")
+    if isinstance(value, bool):
+        return ("1", int(value))
+    if isinstance(value, (int, float)):
+        return ("2", value)
+    if isinstance(value, str):
+        return ("3", value)
+    if isinstance(value, (tuple, frozenset)):
+        return ("4", tuple(sorted(map(repr, value))))
+    return ("5", repr(value))

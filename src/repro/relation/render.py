@@ -1,0 +1,80 @@
+"""ASCII rendering of relations, in the style of the figures of the paper.
+
+The experiment harness (:mod:`repro.experiments.figures`) prints every
+regenerated figure with :func:`render_relation` so the output can be
+compared side-by-side with the tables printed in the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any, Optional
+
+from repro.relation.relation import NULL, Relation
+
+__all__ = ["render_relation", "render_side_by_side"]
+
+
+def _format_value(value: Any) -> str:
+    if value is NULL:
+        return "NULL"
+    if isinstance(value, frozenset):
+        inner = ", ".join(str(v) for v in sorted(value, key=repr))
+        return "{" + inner + "}"
+    return str(value)
+
+
+def render_relation(
+    relation: Relation,
+    title: Optional[str] = None,
+    attributes: Optional[Sequence[str]] = None,
+) -> str:
+    """Render ``relation`` as an ASCII table.
+
+    Parameters
+    ----------
+    relation:
+        The relation to render.
+    title:
+        Optional caption printed above the table (e.g. ``"r1 (dividend)"``).
+    attributes:
+        Optional column order; defaults to the relation's schema order.
+    """
+    names = tuple(attributes) if attributes is not None else relation.attributes
+    relation.schema.require(names, "render")
+    rows = relation.sorted_rows(names)
+
+    cells = [[_format_value(row[name]) for name in names] for row in rows]
+    widths = [
+        max(len(name), *(len(line[i]) for line in cells)) if cells else len(name)
+        for i, name in enumerate(names)
+    ]
+
+    def format_line(values: Iterable[str]) -> str:
+        return "| " + " | ".join(value.ljust(width) for value, width in zip(values, widths)) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(format_line(names))
+    lines.append(separator)
+    for line in cells:
+        lines.append(format_line(line))
+    lines.append(separator)
+    lines.append(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
+    return "\n".join(lines)
+
+
+def render_side_by_side(blocks: Sequence[str], gap: int = 4) -> str:
+    """Lay out several rendered tables horizontally, like the paper figures."""
+    split_blocks = [block.splitlines() for block in blocks]
+    height = max(len(lines) for lines in split_blocks) if split_blocks else 0
+    widths = [max((len(line) for line in lines), default=0) for lines in split_blocks]
+    padded = [
+        [line.ljust(width) for line in lines] + [" " * width] * (height - len(lines))
+        for lines, width in zip(split_blocks, widths)
+    ]
+    separator = " " * gap
+    return "\n".join(separator.join(parts[i] for parts in padded) for i in range(height))

@@ -1,0 +1,119 @@
+"""Immutable rows (named tuples of attribute values).
+
+A :class:`Row` maps attribute names to hashable values.  Rows are the
+elements of a :class:`~repro.relation.relation.Relation`; because the paper
+(and hence this library) uses *set* semantics throughout, rows must be
+hashable and comparable by value.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from typing import Any
+
+from repro.errors import RelationError
+from repro.relation.schema import AttributeNames, as_schema
+
+__all__ = ["Row"]
+
+
+class Row(Mapping):
+    """An immutable mapping from attribute name to value.
+
+    Examples
+    --------
+    >>> r = Row({"a": 1, "b": 2})
+    >>> r["a"]
+    1
+    >>> r.project(["b"])
+    Row(b=2)
+    """
+
+    __slots__ = ("_values", "_hash")
+
+    def __init__(self, values: Mapping[str, Any]) -> None:
+        items = {}
+        for name, value in values.items():
+            if not isinstance(name, str) or not name:
+                raise RelationError(f"row attribute names must be nonempty strings, got {name!r}")
+            items[name] = value
+        self._values: dict[str, Any] = items
+        try:
+            self._hash = hash(frozenset(items.items()))
+        except TypeError as exc:  # unhashable attribute value
+            raise RelationError(f"row values must be hashable: {items!r}") from exc
+
+    # ------------------------------------------------------------------
+    # Mapping protocol
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise RelationError(f"row has no attribute {name!r}; available: {sorted(self._values)}")
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._values
+
+    # ------------------------------------------------------------------
+    # value semantics
+    # ------------------------------------------------------------------
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self._values == other._values
+        if isinstance(other, Mapping):
+            return self._values == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={value!r}" for name, value in sorted(self._values.items()))
+        return f"Row({inner})"
+
+    # ------------------------------------------------------------------
+    # algebraic helpers
+    # ------------------------------------------------------------------
+    def project(self, attributes: AttributeNames) -> "Row":
+        """Return a new row restricted to ``attributes``."""
+        schema = as_schema(attributes)
+        return Row({name: self[name] for name in schema})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Row":
+        """Return a new row with attributes renamed according to ``mapping``."""
+        return Row({mapping.get(name, name): value for name, value in self._values.items()})
+
+    def merge(self, other: "Row") -> "Row":
+        """Concatenate two rows (used by products and joins).
+
+        Shared attributes must agree on their value; otherwise the merge is
+        rejected, because the natural-join semantics of the library never
+        merges rows that disagree on common attributes.
+        """
+        merged = dict(self._values)
+        for name, value in other.items():
+            if name in merged and merged[name] != value:
+                raise RelationError(
+                    f"cannot merge rows that disagree on attribute {name!r}: "
+                    f"{merged[name]!r} != {value!r}"
+                )
+            merged[name] = value
+        return Row(merged)
+
+    def values_for(self, attributes: AttributeNames) -> tuple[Any, ...]:
+        """Return the values of ``attributes`` as a tuple (in the given order)."""
+        schema = as_schema(attributes)
+        return tuple(self[name] for name in schema)
+
+    def with_values(self, updates: Mapping[str, Any]) -> "Row":
+        """Return a new row with the given attributes added or replaced."""
+        merged = dict(self._values)
+        merged.update(updates)
+        return Row(merged)

@@ -1,0 +1,173 @@
+"""Relation schemas.
+
+A :class:`Schema` is an ordered collection of distinct attribute names.  The
+paper treats schemas as plain attribute *sets* (named perspective); we keep
+the declaration order purely for stable rendering of figures, while all
+comparisons and algebraic operations use set semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Union
+
+from repro.errors import SchemaError
+
+__all__ = ["Schema", "AttributeNames", "as_schema"]
+
+#: Anything accepted where a schema (or attribute list) is expected.
+AttributeNames = Union["Schema", Sequence[str], Iterable[str]]
+
+
+class Schema:
+    """An ordered set of attribute names.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names in declaration order.  Names must be nonempty
+        strings and must not repeat.
+
+    Examples
+    --------
+    >>> s = Schema(["a", "b"])
+    >>> s.names
+    ('a', 'b')
+    >>> s | Schema(["c"])
+    Schema('a', 'b', 'c')
+    """
+
+    __slots__ = ("_names", "_name_set")
+
+    def __init__(self, attributes: AttributeNames) -> None:
+        if isinstance(attributes, Schema):
+            names = attributes.names
+        else:
+            names = tuple(attributes)
+        seen: set[str] = set()
+        for name in names:
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"attribute names must be nonempty strings, got {name!r}")
+            if name in seen:
+                raise SchemaError(f"duplicate attribute name {name!r} in schema {names!r}")
+            seen.add(name)
+        self._names: tuple[str, ...] = names
+        self._name_set: frozenset[str] = frozenset(names)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Attribute names in declaration order."""
+        return self._names
+
+    @property
+    def name_set(self) -> frozenset[str]:
+        """Attribute names as a frozen set."""
+        return self._name_set
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._name_set
+
+    def __getitem__(self, index: int) -> str:
+        return self._names[index]
+
+    # ------------------------------------------------------------------
+    # comparisons (set semantics)
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schema):
+            return self._name_set == other._name_set
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._name_set)
+
+    def is_disjoint(self, other: AttributeNames) -> bool:
+        """Return ``True`` if the two schemas share no attribute."""
+        return self._name_set.isdisjoint(as_schema(other).name_set)
+
+    def is_subset(self, other: AttributeNames) -> bool:
+        """Return ``True`` if every attribute of ``self`` appears in ``other``."""
+        return self._name_set <= as_schema(other).name_set
+
+    def is_superset(self, other: AttributeNames) -> bool:
+        """Return ``True`` if ``self`` contains every attribute of ``other``."""
+        return self._name_set >= as_schema(other).name_set
+
+    # ------------------------------------------------------------------
+    # set operations (order of the left operand is preserved)
+    # ------------------------------------------------------------------
+    def union(self, other: AttributeNames) -> "Schema":
+        """Attributes of ``self`` followed by the new attributes of ``other``."""
+        other = as_schema(other)
+        extra = [name for name in other.names if name not in self._name_set]
+        return Schema(self._names + tuple(extra))
+
+    def intersection(self, other: AttributeNames) -> "Schema":
+        """Attributes of ``self`` that also appear in ``other``."""
+        other_set = as_schema(other).name_set
+        return Schema(tuple(name for name in self._names if name in other_set))
+
+    def difference(self, other: AttributeNames) -> "Schema":
+        """Attributes of ``self`` that do not appear in ``other``."""
+        other_set = as_schema(other).name_set
+        return Schema(tuple(name for name in self._names if name not in other_set))
+
+    def __or__(self, other: AttributeNames) -> "Schema":
+        return self.union(other)
+
+    def __and__(self, other: AttributeNames) -> "Schema":
+        return self.intersection(other)
+
+    def __sub__(self, other: AttributeNames) -> "Schema":
+        return self.difference(other)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def require(self, attributes: AttributeNames, context: str = "operation") -> None:
+        """Raise :class:`SchemaError` unless every listed attribute exists."""
+        missing = as_schema(attributes).name_set - self._name_set
+        if missing:
+            raise SchemaError(
+                f"{context}: attributes {sorted(missing)!r} are not part of schema {self._names!r}"
+            )
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Return a schema with attributes renamed according to ``mapping``.
+
+        Attributes not mentioned in ``mapping`` keep their names.
+        """
+        unknown = set(mapping) - self._name_set
+        if unknown:
+            raise SchemaError(f"rename: unknown attributes {sorted(unknown)!r}")
+        return Schema(tuple(mapping.get(name, name) for name in self._names))
+
+    def project(self, attributes: AttributeNames) -> "Schema":
+        """Return a schema restricted to ``attributes`` (in the given order)."""
+        target = as_schema(attributes)
+        self.require(target, "projection")
+        return target
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(name) for name in self._names)
+        return f"Schema({inner})"
+
+
+def as_schema(value: AttributeNames) -> Schema:
+    """Coerce ``value`` (schema, sequence or iterable of names) to a Schema."""
+    if isinstance(value, Schema):
+        return value
+    if isinstance(value, str):
+        # A bare string is almost always a bug (it would be iterated
+        # character by character); treat it as a single attribute name.
+        return Schema((value,))
+    return Schema(value)

@@ -1,0 +1,19 @@
+"""SQL frontend: lexer, parser, DIVIDE BY syntax, NOT EXISTS recognizer, translator."""
+
+from repro.sql import ast
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse
+from repro.sql.translator import SQLTranslator, translate_sql
+from repro.sql.universal import UniversalQuantificationPattern, match_universal_quantification
+
+__all__ = [
+    "ast",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse",
+    "SQLTranslator",
+    "translate_sql",
+    "UniversalQuantificationPattern",
+    "match_universal_quantification",
+]

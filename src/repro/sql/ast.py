@@ -1,0 +1,142 @@
+"""Abstract syntax tree for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+__all__ = [
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "BooleanOp",
+    "NotCondition",
+    "ExistsCondition",
+    "Condition",
+    "Operand",
+    "TableName",
+    "SubqueryTable",
+    "DivideTable",
+    "TableReference",
+    "SelectItem",
+    "SelectStatement",
+]
+
+
+# ----------------------------------------------------------------------
+# scalar operands and conditions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly qualified column reference, e.g. ``s.p_no`` or ``color``."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A numeric or string constant."""
+
+    value: Union[int, float, str]
+
+
+Operand = Union[ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left <op> right`` with op in =, <>, <, <=, >, >=."""
+
+    left: Operand
+    operator: str
+    right: Operand
+
+
+@dataclass(frozen=True)
+class BooleanOp:
+    """AND/OR over two or more conditions."""
+
+    operator: str  # "AND" | "OR"
+    operands: tuple["Condition", ...]
+
+
+@dataclass(frozen=True)
+class NotCondition:
+    """Logical negation of a condition."""
+
+    operand: "Condition"
+
+
+@dataclass(frozen=True)
+class ExistsCondition:
+    """``EXISTS (subquery)`` — always appears under NOT in the paper's Q3."""
+
+    subquery: "SelectStatement"
+
+
+Condition = Union[Comparison, BooleanOp, NotCondition, ExistsCondition]
+
+
+# ----------------------------------------------------------------------
+# table references
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TableName:
+    """A base table, optionally aliased."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubqueryTable:
+    """A derived table ``(SELECT …) AS alias``."""
+
+    query: "SelectStatement"
+    alias: str
+
+
+@dataclass(frozen=True)
+class DivideTable:
+    """The paper's ``<table reference> DIVIDE BY <table reference> ON <cond>``."""
+
+    dividend: "TableReference"
+    divisor: "TableReference"
+    condition: Condition
+
+
+TableReference = Union[TableName, SubqueryTable, DivideTable]
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectItem:
+    """One output column (``*`` is represented by a statement-level flag)."""
+
+    column: ColumnRef
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        return self.alias or self.column.name
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A SELECT query over the supported subset."""
+
+    select_items: tuple[SelectItem, ...]
+    from_items: tuple[TableReference, ...]
+    where: Optional[Condition] = None
+    distinct: bool = False
+    select_star: bool = False

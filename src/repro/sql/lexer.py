@@ -1,0 +1,139 @@
+"""Tokenizer for the SQL subset understood by the frontend.
+
+The subset covers the queries of Section 4 of the paper: SELECT/FROM/WHERE,
+table subqueries, ``AS`` aliases, ``NOT EXISTS`` subqueries, comparison
+predicates combined with AND/OR/NOT, and the paper's proposed
+``DIVIDE BY … ON …`` table reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import SQLSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenType(Enum):
+    """Lexical token categories."""
+
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    NUMBER = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    COMMA = auto()
+    DOT = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    STAR = auto()
+    END = auto()
+
+
+#: Reserved words (case-insensitive).  ``DIVIDE`` and ``BY`` implement the
+#: paper's syntax extension.
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "EXISTS",
+        "DIVIDE",
+        "BY",
+        "ON",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its position in the input text."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True if this token is the given (case-insensitive) keyword."""
+        return self.type is TokenType.KEYWORD and self.value == word.upper()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`SQLSyntaxError` on unknown characters."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == ",":
+            tokens.append(Token(TokenType.COMMA, ",", index))
+            index += 1
+            continue
+        if char == ".":
+            tokens.append(Token(TokenType.DOT, ".", index))
+            index += 1
+            continue
+        if char == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", index))
+            index += 1
+            continue
+        if char == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", index))
+            index += 1
+            continue
+        if char == "*":
+            tokens.append(Token(TokenType.STAR, "*", index))
+            index += 1
+            continue
+        if char == "'":
+            end = text.find("'", index + 1)
+            if end == -1:
+                raise SQLSyntaxError("unterminated string literal", index)
+            tokens.append(Token(TokenType.STRING, text[index + 1 : end], index))
+            index = end + 1
+            continue
+        operator = _match_operator(text, index)
+        if operator:
+            tokens.append(Token(TokenType.OPERATOR, operator, index))
+            index += len(operator)
+            continue
+        if char.isdigit():
+            end = index
+            while end < length and (text[end].isdigit() or text[end] == "."):
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, text[index:end], index))
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] in "_#"):
+                end += 1
+            word = text[index:end]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(), index))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, index))
+            index = end
+            continue
+        raise SQLSyntaxError(f"unexpected character {char!r}", index)
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens
+
+
+def _match_operator(text: str, index: int) -> str | None:
+    for operator in _OPERATORS:
+        if text.startswith(operator, index):
+            return operator
+    return None

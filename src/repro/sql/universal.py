@@ -1,0 +1,246 @@
+"""Recognition of the double-NOT-EXISTS universal-quantification pattern.
+
+Section 4 of the paper contrasts the proposed ``DIVIDE BY`` syntax (Q1)
+with the classic formulation through two nested ``NOT EXISTS`` subqueries
+(Q3) and remarks that "it is not simple to devise a query-rewriting
+algorithm for a query optimizer that is able to detect those existential
+quantification constructs that can be replaced by a (great) divide
+operator".  This module implements exactly that detector for the pattern
+family of Q3::
+
+    SELECT DISTINCT <outputs>
+    FROM   D AS x [, V AS y]
+    WHERE NOT EXISTS (
+        SELECT * FROM V AS m
+        WHERE  [m.<filter> <op> <literal> AND …]
+               [AND m.c = y.c …]                 -- group correlation (C)
+               AND NOT EXISTS (
+                   SELECT * FROM D AS i
+                   WHERE  i.b = m.b [AND …]       -- divisor attributes (B)
+                          AND i.a = x.a [AND …])) -- quotient attributes (A)
+
+``D`` plays the dividend role, ``V`` the divisor role.  When the pattern
+matches, the query is equivalent to ``D ÷(*) σ(π(V))`` and the translator
+can emit a first-class division operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sql.ast import (
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Condition,
+    ExistsCondition,
+    Literal,
+    NotCondition,
+    SelectStatement,
+    TableName,
+)
+
+__all__ = ["UniversalQuantificationPattern", "match_universal_quantification"]
+
+
+@dataclass(frozen=True)
+class UniversalQuantificationPattern:
+    """The ingredients of a recognized for-all query."""
+
+    #: Dividend base table and its outer correlation name.
+    dividend_table: str
+    dividend_alias: str
+    #: Divisor base table and the alias used in the middle subquery.
+    divisor_table: str
+    divisor_middle_alias: str
+    #: Optional outer alias of the divisor table (absent for small-divide queries).
+    divisor_outer_alias: Optional[str]
+    #: Pairs (dividend column, divisor column) forming the shared attributes B.
+    b_pairs: tuple[tuple[str, str], ...]
+    #: Dividend columns used for the outer correlation (the quotient attributes A).
+    a_columns: tuple[str, ...]
+    #: Divisor columns correlated with the outer divisor occurrence (the C attributes).
+    c_columns: tuple[str, ...]
+    #: Plain filter comparisons on the divisor (column name, operator, literal value).
+    divisor_filters: tuple[tuple[str, str, object], ...] = field(default_factory=tuple)
+
+    @property
+    def is_great_divide(self) -> bool:
+        """True when the pattern carries group (C) attributes."""
+        return bool(self.c_columns)
+
+
+def _as_conjunction(condition: Condition) -> list[Condition]:
+    if isinstance(condition, BooleanOp) and condition.operator == "AND":
+        result: list[Condition] = []
+        for operand in condition.operands:
+            result.extend(_as_conjunction(operand))
+        return result
+    return [condition]
+
+
+def _single_not_exists(conjuncts: list[Condition]) -> Optional[SelectStatement]:
+    subqueries = [
+        conjunct.operand.subquery
+        for conjunct in conjuncts
+        if isinstance(conjunct, NotCondition) and isinstance(conjunct.operand, ExistsCondition)
+    ]
+    if len(subqueries) != 1:
+        return None
+    return subqueries[0]
+
+
+def _only_table(statement: SelectStatement) -> Optional[TableName]:
+    if len(statement.from_items) != 1:
+        return None
+    item = statement.from_items[0]
+    return item if isinstance(item, TableName) else None
+
+
+def match_universal_quantification(
+    statement: SelectStatement,
+) -> Optional[UniversalQuantificationPattern]:
+    """Try to match ``statement`` against the Q3 pattern.
+
+    Returns ``None`` when the statement does not have the required shape;
+    the caller then falls back to the ordinary translation rules.
+    """
+    # ------------------------------------------------------------------ outer
+    if statement.where is None:
+        return None
+    outer_conjuncts = _as_conjunction(statement.where)
+    if len(outer_conjuncts) != 1:
+        return None
+    middle = _single_not_exists(outer_conjuncts)
+    if middle is None:
+        return None
+    if not statement.from_items or len(statement.from_items) > 2:
+        return None
+    if not all(isinstance(item, TableName) for item in statement.from_items):
+        return None
+    outer_tables: list[TableName] = list(statement.from_items)  # type: ignore[arg-type]
+
+    # ----------------------------------------------------------------- middle
+    middle_table = _only_table(middle)
+    if middle_table is None or middle.where is None:
+        return None
+    middle_conjuncts = _as_conjunction(middle.where)
+    inner = _single_not_exists(middle_conjuncts)
+    if inner is None:
+        return None
+
+    # ------------------------------------------------------------------ inner
+    inner_table = _only_table(inner)
+    if inner_table is None or inner.where is None:
+        return None
+    inner_conjuncts = _as_conjunction(inner.where)
+    if any(isinstance(c, (NotCondition, ExistsCondition)) for c in inner_conjuncts):
+        return None
+
+    # Dividend = the outer table that the innermost subquery re-references.
+    dividend_candidates = [t for t in outer_tables if t.name == inner_table.name]
+    if not dividend_candidates:
+        return None
+    dividend = dividend_candidates[0]
+    divisor_outer = next((t for t in outer_tables if t is not dividend), None)
+    if middle_table.name != (divisor_outer.name if divisor_outer else middle_table.name):
+        return None
+
+    # --------------------------------------------------- classify middle WHERE
+    c_columns: list[str] = []
+    divisor_filters: list[tuple[str, str, object]] = []
+    for conjunct in middle_conjuncts:
+        if isinstance(conjunct, NotCondition) and isinstance(conjunct.operand, ExistsCondition):
+            continue
+        if not isinstance(conjunct, Comparison):
+            return None
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+            if conjunct.operator != "=":
+                return None
+            # middle.c = outer_divisor.c  (either order)
+            pair = _correlation_pair(left, right, middle_table, divisor_outer)
+            if pair is None:
+                return None
+            c_columns.append(pair)
+        elif isinstance(left, ColumnRef) and isinstance(right, Literal):
+            if left.qualifier not in (None, middle_table.effective_name):
+                return None
+            divisor_filters.append((left.name, conjunct.operator, right.value))
+        elif isinstance(left, Literal) and isinstance(right, ColumnRef):
+            if right.qualifier not in (None, middle_table.effective_name):
+                return None
+            mirrored = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+            divisor_filters.append((right.name, mirrored[conjunct.operator], left.value))
+        else:
+            return None
+    if divisor_outer is not None and not c_columns:
+        return None
+    if divisor_outer is None and c_columns:
+        return None
+
+    # ---------------------------------------------------- classify inner WHERE
+    b_pairs: list[tuple[str, str]] = []
+    a_columns: list[str] = []
+    for conjunct in inner_conjuncts:
+        if not isinstance(conjunct, Comparison) or conjunct.operator != "=":
+            return None
+        left, right = conjunct.left, conjunct.right
+        if not (isinstance(left, ColumnRef) and isinstance(right, ColumnRef)):
+            return None
+        sides = {_owner(ref, inner_table, middle_table, dividend): ref for ref in (left, right)}
+        if set(sides) == {"inner", "middle"}:
+            b_pairs.append((sides["inner"].name, sides["middle"].name))
+        elif set(sides) == {"inner", "outer_dividend"}:
+            if sides["inner"].name != sides["outer_dividend"].name:
+                return None
+            a_columns.append(sides["inner"].name)
+        else:
+            return None
+    if not b_pairs or not a_columns:
+        return None
+
+    return UniversalQuantificationPattern(
+        dividend_table=dividend.name,
+        dividend_alias=dividend.effective_name,
+        divisor_table=middle_table.name,
+        divisor_middle_alias=middle_table.effective_name,
+        divisor_outer_alias=divisor_outer.effective_name if divisor_outer else None,
+        b_pairs=tuple(b_pairs),
+        a_columns=tuple(a_columns),
+        c_columns=tuple(c_columns),
+        divisor_filters=tuple(divisor_filters),
+    )
+
+
+def _correlation_pair(
+    left: ColumnRef,
+    right: ColumnRef,
+    middle_table: TableName,
+    divisor_outer: Optional[TableName],
+) -> Optional[str]:
+    """For ``m.c = y.c`` return the column name c, else None."""
+    if divisor_outer is None:
+        return None
+    names = {left.qualifier, right.qualifier}
+    if names != {middle_table.effective_name, divisor_outer.effective_name}:
+        return None
+    if left.name != right.name:
+        return None
+    return left.name
+
+
+def _owner(
+    ref: ColumnRef,
+    inner_table: TableName,
+    middle_table: TableName,
+    dividend: TableName,
+) -> str:
+    if ref.qualifier == inner_table.effective_name:
+        return "inner"
+    if ref.qualifier == middle_table.effective_name:
+        return "middle"
+    if ref.qualifier == dividend.effective_name:
+        return "outer_dividend"
+    return "unknown"

@@ -1,0 +1,205 @@
+"""Synthetic dividend/divisor generators.
+
+The paper has no published datasets; its arguments depend only on
+cardinalities, group sizes and containment selectivity.  These generators
+produce relations with exactly those knobs so the benchmark harness can
+reproduce the qualitative claims (see DESIGN.md §3).
+
+All generators are deterministic given a ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.relation.relation import Relation
+
+__all__ = [
+    "DivisionWorkload",
+    "make_divisor",
+    "make_dividend",
+    "make_great_divisor",
+    "make_division_workload",
+    "make_great_division_workload",
+    "split_horizontal",
+    "split_dividend_by_quotient",
+]
+
+
+@dataclass(frozen=True)
+class DivisionWorkload:
+    """A generated dividend/divisor pair plus the expected quotient size."""
+
+    dividend: Relation
+    divisor: Relation
+    expected_quotient_size: int
+
+
+def make_divisor(size: int, domain: Sequence[int] | None = None, seed: int = 0) -> Relation:
+    """A divisor relation ``r2(b)`` with ``size`` distinct values."""
+    if size < 0:
+        raise WorkloadError("divisor size must be nonnegative")
+    rng = random.Random(seed)
+    if domain is None:
+        values = list(range(size))
+    else:
+        if size > len(domain):
+            raise WorkloadError(
+                f"cannot draw {size} distinct divisor values from a domain of {len(domain)}"
+            )
+        values = rng.sample(list(domain), size)
+    return Relation(["b"], [(value,) for value in values])
+
+
+def make_dividend(
+    num_groups: int,
+    divisor: Relation,
+    containing_fraction: float = 0.5,
+    extra_values_per_group: int = 2,
+    domain_size: Optional[int] = None,
+    seed: int = 0,
+) -> Relation:
+    """A dividend ``r1(a, b)`` with a controlled containment selectivity.
+
+    ``containing_fraction`` of the groups receive *all* divisor values (so
+    they belong to the quotient); the rest receive a strict subset.  Every
+    group additionally gets ``extra_values_per_group`` values outside the
+    divisor, drawn from ``[0, domain_size)``.
+    """
+    if not 0.0 <= containing_fraction <= 1.0:
+        raise WorkloadError("containing_fraction must be between 0 and 1")
+    if num_groups < 0:
+        raise WorkloadError("num_groups must be nonnegative")
+    rng = random.Random(seed)
+    divisor_values = sorted(divisor.to_set("b"))
+    if domain_size is None:
+        domain_size = max(divisor_values, default=0) + 10 * (extra_values_per_group + 1)
+    outside = [value for value in range(domain_size) if value not in set(divisor_values)]
+
+    num_containing = round(num_groups * containing_fraction)
+    rows: list[tuple[int, int]] = []
+    for group in range(num_groups):
+        if group < num_containing:
+            chosen = list(divisor_values)
+        elif divisor_values:
+            # Drop at least one divisor value so the group does not qualify.
+            keep = rng.randint(0, len(divisor_values) - 1)
+            chosen = rng.sample(divisor_values, keep)
+        else:
+            chosen = []
+        if outside and extra_values_per_group:
+            chosen.extend(rng.sample(outside, min(extra_values_per_group, len(outside))))
+        if not chosen:
+            # Every dividend group must have at least one tuple, otherwise
+            # the group does not exist at all.
+            chosen = [outside[0] if outside else 0]
+        rows.extend((group, value) for value in set(chosen))
+    return Relation(["a", "b"], rows)
+
+
+def make_division_workload(
+    num_groups: int = 100,
+    divisor_size: int = 8,
+    containing_fraction: float = 0.3,
+    extra_values_per_group: int = 4,
+    seed: int = 0,
+) -> DivisionWorkload:
+    """A complete small-divide workload ``r1(a, b) ÷ r2(b)``."""
+    divisor = make_divisor(divisor_size, seed=seed)
+    dividend = make_dividend(
+        num_groups,
+        divisor,
+        containing_fraction=containing_fraction,
+        extra_values_per_group=extra_values_per_group,
+        seed=seed + 1,
+    )
+    expected = round(num_groups * containing_fraction) if divisor_size > 0 else num_groups
+    return DivisionWorkload(dividend=dividend, divisor=divisor, expected_quotient_size=expected)
+
+
+def make_great_divisor(
+    num_groups: int,
+    group_size: int,
+    domain_size: int = 100,
+    seed: int = 0,
+) -> Relation:
+    """A great-divide divisor ``r2(b, c)`` with ``num_groups`` groups of
+    ``group_size`` distinct ``b`` values each."""
+    if group_size > domain_size:
+        raise WorkloadError("group_size cannot exceed domain_size")
+    rng = random.Random(seed)
+    rows = []
+    for group in range(num_groups):
+        for value in rng.sample(range(domain_size), group_size):
+            rows.append((value, group))
+    return Relation(["b", "c"], rows)
+
+
+def make_great_division_workload(
+    dividend_groups: int = 50,
+    dividend_group_size: int = 12,
+    divisor_groups: int = 10,
+    divisor_group_size: int = 4,
+    domain_size: int = 40,
+    seed: int = 0,
+) -> DivisionWorkload:
+    """A complete great-divide workload ``r1(a, b) ÷* r2(b, c)``.
+
+    The expected quotient size is computed exactly (by set containment over
+    the generated groups) so benchmarks can sanity-check their results.
+    """
+    rng = random.Random(seed)
+    dividend_rows = []
+    dividend_sets: dict[int, set[int]] = {}
+    for group in range(dividend_groups):
+        values = set(rng.sample(range(domain_size), min(dividend_group_size, domain_size)))
+        dividend_sets[group] = values
+        dividend_rows.extend((group, value) for value in values)
+    divisor = make_great_divisor(divisor_groups, divisor_group_size, domain_size, seed=seed + 1)
+    divisor_sets: dict[int, set[int]] = {}
+    for row in divisor:
+        divisor_sets.setdefault(row["c"], set()).add(row["b"])
+    expected = sum(
+        1
+        for needed in divisor_sets.values()
+        for available in dividend_sets.values()
+        if needed <= available
+    )
+    return DivisionWorkload(
+        dividend=Relation(["a", "b"], dividend_rows),
+        divisor=divisor,
+        expected_quotient_size=expected,
+    )
+
+
+def split_horizontal(relation: Relation, fraction: float = 0.5, seed: int = 0) -> tuple[Relation, Relation]:
+    """Split a relation's rows into two overlapping-free partitions."""
+    if not 0.0 <= fraction <= 1.0:
+        raise WorkloadError("fraction must be between 0 and 1")
+    rng = random.Random(seed)
+    rows = sorted(relation.rows, key=repr)
+    rng.shuffle(rows)
+    cut = round(len(rows) * fraction)
+    return (
+        Relation(relation.schema, rows[:cut]),
+        Relation(relation.schema, rows[cut:]),
+    )
+
+
+def split_dividend_by_quotient(
+    dividend: Relation, attribute: str = "a", pivot: Optional[int] = None
+) -> tuple[Relation, Relation]:
+    """Split a dividend by a range predicate on the quotient attribute.
+
+    This is the partitioning Law 2 (condition ``c2``) assumes: the two
+    partitions have disjoint quotient candidates.
+    """
+    values = sorted(dividend.to_set(attribute))
+    if pivot is None:
+        pivot = values[len(values) // 2] if values else 0
+    low = dividend.select(lambda row: row[attribute] < pivot)
+    high = dividend.select(lambda row: row[attribute] >= pivot)
+    return low, high

@@ -1,0 +1,47 @@
+"""Random small databases for equivalence checking outside hypothesis.
+
+The property-based tests use hypothesis strategies (under ``tests/``); the
+examples and the optimizer's verification mode need a dependency-free way to
+produce a stream of small random databases over given schemas, which is what
+:func:`random_relation` and :func:`random_databases` provide.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator, Mapping, Sequence
+
+from repro.relation.relation import Relation
+from repro.relation.schema import AttributeNames, as_schema
+
+__all__ = ["random_relation", "random_databases"]
+
+
+def random_relation(
+    attributes: AttributeNames,
+    max_rows: int = 8,
+    domain: Sequence[int] = tuple(range(4)),
+    rng: random.Random | None = None,
+) -> Relation:
+    """A random relation over ``attributes`` with values from ``domain``."""
+    rng = rng or random.Random(0)
+    schema = as_schema(attributes)
+    num_rows = rng.randint(0, max_rows)
+    rows = [tuple(rng.choice(list(domain)) for _ in schema) for _ in range(num_rows)]
+    return Relation(schema, rows)
+
+
+def random_databases(
+    schemas: Mapping[str, AttributeNames],
+    count: int = 25,
+    max_rows: int = 8,
+    domain: Sequence[int] = tuple(range(4)),
+    seed: int = 0,
+) -> Iterator[dict[str, Relation]]:
+    """Yield ``count`` random databases over the given table schemas."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield {
+            name: random_relation(attributes, max_rows=max_rows, domain=domain, rng=rng)
+            for name, attributes in schemas.items()
+        }

@@ -1,0 +1,90 @@
+"""The suppliers-and-parts example database of Section 4.
+
+The paper's SQL examples (queries Q1–Q3) run against two tables:
+
+* ``supplies(s#, p#)`` — which supplier supplies which part,
+* ``parts(p#, color)`` — the catalogue of parts.
+
+Because ``#`` is inconvenient in identifiers, the library spells the
+attributes ``s_no`` and ``p_no``.  :func:`textbook_catalog` returns the tiny
+hand-written instance used in unit tests and in the figure/SQL experiments;
+:func:`generate_catalog` scales the same shape up for benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algebra.catalog import Catalog
+from repro.errors import WorkloadError
+from repro.relation.relation import Relation
+
+__all__ = ["textbook_catalog", "generate_catalog", "COLORS"]
+
+#: Part colors used by the generator (the paper's example uses 'blue').
+COLORS = ("blue", "red", "green", "yellow")
+
+
+def textbook_catalog() -> Catalog:
+    """A small, hand-written suppliers-and-parts database.
+
+    Suppliers s1 and s2 supply every blue part; only s1 supplies every red
+    part; s3 supplies a single part.  This gives queries Q1–Q3 interesting,
+    easily checkable answers.
+    """
+    parts = Relation(
+        ["p_no", "color"],
+        [
+            ("p1", "blue"),
+            ("p2", "blue"),
+            ("p3", "red"),
+            ("p4", "red"),
+            ("p5", "green"),
+        ],
+    )
+    supplies = Relation(
+        ["s_no", "p_no"],
+        [
+            ("s1", "p1"),
+            ("s1", "p2"),
+            ("s1", "p3"),
+            ("s1", "p4"),
+            ("s2", "p1"),
+            ("s2", "p2"),
+            ("s2", "p5"),
+            ("s3", "p3"),
+        ],
+    )
+    catalog = Catalog()
+    catalog.add_table("parts", parts, key=["p_no"])
+    catalog.add_table("supplies", supplies)
+    catalog.declare_foreign_key("supplies", ["p_no"], "parts", ["p_no"])
+    return catalog
+
+
+def generate_catalog(
+    num_suppliers: int = 50,
+    num_parts: int = 40,
+    parts_per_supplier: int = 12,
+    seed: int = 0,
+) -> Catalog:
+    """A randomly generated suppliers-and-parts database of the same shape."""
+    if parts_per_supplier > num_parts:
+        raise WorkloadError("parts_per_supplier cannot exceed num_parts")
+    rng = random.Random(seed)
+    part_ids = [f"p{i}" for i in range(num_parts)]
+    parts = Relation(
+        ["p_no", "color"],
+        [(part_id, rng.choice(COLORS)) for part_id in part_ids],
+    )
+    supply_rows = []
+    for supplier in range(num_suppliers):
+        supplier_id = f"s{supplier}"
+        for part_id in rng.sample(part_ids, parts_per_supplier):
+            supply_rows.append((supplier_id, part_id))
+    supplies = Relation(["s_no", "p_no"], supply_rows)
+    catalog = Catalog()
+    catalog.add_table("parts", parts, key=["p_no"])
+    catalog.add_table("supplies", supplies)
+    catalog.declare_foreign_key("supplies", ["p_no"], "parts", ["p_no"])
+    return catalog

@@ -1,0 +1,89 @@
+"""Tests for the catalog (tables, keys, foreign keys)."""
+
+import pytest
+
+from repro.algebra.catalog import Catalog
+from repro.errors import SchemaError
+from repro.relation import Relation
+
+
+@pytest.fixture
+def catalog(figure1_dividend, figure1_divisor):
+    cat = Catalog()
+    cat.add_table("r1", figure1_dividend)
+    cat.add_table("r2", figure1_divisor, key=["b"])
+    return cat
+
+
+class TestTables:
+    def test_mapping_protocol(self, catalog, figure1_dividend):
+        assert catalog["r1"] == figure1_dividend
+        assert set(catalog) == {"r1", "r2"}
+        assert len(catalog) == 2
+
+    def test_add_table_returns_ref(self, figure1_dividend):
+        cat = Catalog()
+        ref = cat.add_table("r1", figure1_dividend)
+        assert ref.name == "r1"
+        assert ref.schema.names == ("a", "b")
+
+    def test_duplicate_table_rejected(self, catalog, figure1_dividend):
+        with pytest.raises(SchemaError):
+            catalog.add_table("r1", figure1_dividend)
+
+    def test_ref_unknown_table(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.ref("missing")
+
+    def test_replace_table(self, catalog):
+        catalog.replace_table("r2", Relation(["b"], [(9,)]))
+        assert catalog["r2"].to_set("b") == {9}
+
+    def test_replace_table_schema_change_rejected(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.replace_table("r2", Relation(["z"], [(9,)]))
+
+    def test_evaluate_expression_against_catalog(self, catalog, figure1_quotient):
+        from repro.algebra import builders as B
+
+        expr = B.divide(catalog.ref("r1"), catalog.ref("r2"))
+        assert expr.evaluate(catalog) == figure1_quotient
+
+
+class TestConstraints:
+    def test_declared_key_lookup(self, catalog):
+        assert catalog.has_key("r2", ["b"])
+        assert catalog.has_key("r2", ["b", "extra"])  # superset of a key is a superkey
+        assert not catalog.has_key("r1", ["a"])
+
+    def test_declare_key_unknown_attribute(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.declare_key("r2", ["zzz"])
+
+    def test_foreign_key_declaration_and_lookup(self, catalog):
+        catalog.declare_foreign_key("r2", ["b"], "r1", ["b"])
+        assert catalog.has_foreign_key("r2", ["b"], "r1", ["b"])
+        assert not catalog.has_foreign_key("r1", ["b"], "r2", ["b"])
+        assert len(catalog.foreign_keys) == 1
+
+    def test_foreign_key_arity_mismatch(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.declare_foreign_key("r2", ["b"], "r1", ["a", "b"])
+
+    def test_validate_passes_on_consistent_data(self, catalog):
+        catalog.declare_foreign_key("r2", ["b"], "r1", ["b"])
+        catalog.validate()
+
+    def test_validate_detects_key_violation(self, figure1_dividend):
+        cat = Catalog()
+        cat.add_table("r1", figure1_dividend, key=["a"])  # a is not unique in r1
+        with pytest.raises(SchemaError, match="key"):
+            cat.validate()
+
+    def test_validate_detects_foreign_key_violation(self, figure1_dividend):
+        cat = Catalog()
+        cat.add_table("r1", figure1_dividend)
+        cat.add_table("bad", Relation(["b"], [(99,)]))
+        cat.declare_foreign_key("bad", ["b"], "r1", ["b"])
+        with pytest.raises(SchemaError, match="foreign key"):
+            cat.validate()

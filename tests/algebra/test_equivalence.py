@@ -1,0 +1,59 @@
+"""Tests for the testing-based equivalence checker."""
+
+from repro.algebra import builders as B
+from repro.algebra import predicates as P
+from repro.algebra.equivalence import check_equivalence, equivalent_on, first_counterexample
+from repro.workloads import random_databases
+
+
+def _sides():
+    """Law 3 instance: σ_a=1(r1 ÷ r2) vs σ_a=1(r1) ÷ r2."""
+    r1 = B.ref("r1", ["a", "b"])
+    r2 = B.ref("r2", ["b"])
+    predicate = P.equals(P.attr("a"), 1)
+    return (
+        B.select(B.divide(r1, r2), predicate),
+        B.divide(B.select(r1, predicate), r2),
+    )
+
+
+def _unequal_sides():
+    """A deliberately wrong 'law': r1 ÷ r2 vs π_a(r1)."""
+    r1 = B.ref("r1", ["a", "b"])
+    r2 = B.ref("r2", ["b"])
+    return B.divide(r1, r2), B.project(r1, ["a"])
+
+
+SCHEMAS = {"r1": ("a", "b"), "r2": ("b",)}
+
+
+class TestEquivalence:
+    def test_equivalent_on_single_database(self, figure1_dividend, figure1_divisor):
+        lhs, rhs = _sides()
+        assert equivalent_on(lhs, rhs, {"r1": figure1_dividend, "r2": figure1_divisor})
+
+    def test_check_equivalence_over_random_databases(self):
+        lhs, rhs = _sides()
+        report = check_equivalence(lhs, rhs, random_databases(SCHEMAS, count=30, seed=1))
+        assert report.equivalent
+        assert report.databases_checked == 30
+        assert bool(report)
+
+    def test_counterexample_found_for_wrong_law(self):
+        lhs, rhs = _unequal_sides()
+        report = check_equivalence(lhs, rhs, random_databases(SCHEMAS, count=50, seed=2))
+        assert not report.equivalent
+        assert report.counterexample is not None
+        assert report.left_result != report.right_result
+        # The report stops at the first counterexample.
+        assert report.databases_checked <= 50
+
+    def test_first_counterexample_returns_database(self):
+        lhs, rhs = _unequal_sides()
+        database = first_counterexample(lhs, rhs, random_databases(SCHEMAS, count=50, seed=3))
+        assert database is not None
+        assert lhs.evaluate(database) != rhs.evaluate(database)
+
+    def test_first_counterexample_none_for_true_law(self):
+        lhs, rhs = _sides()
+        assert first_counterexample(lhs, rhs, random_databases(SCHEMAS, count=20, seed=4)) is None

@@ -1,0 +1,192 @@
+"""Tests for the logical expression trees and their evaluator."""
+
+import pytest
+
+from repro.algebra import builders as B
+from repro.algebra import predicates as P
+from repro.algebra.expressions import AggregateSpec, LiteralRelation, RelationRef
+from repro.errors import ExpressionError, SchemaError
+from repro.relation import Relation
+
+
+@pytest.fixture
+def database(figure1_dividend, figure1_divisor):
+    return {"r1": figure1_dividend, "r2": figure1_divisor}
+
+
+@pytest.fixture
+def r1():
+    return B.ref("r1", ["a", "b"])
+
+
+@pytest.fixture
+def r2():
+    return B.ref("r2", ["b"])
+
+
+class TestLeaves:
+    def test_relation_ref_evaluates_from_database(self, r1, database, figure1_dividend):
+        assert r1.evaluate(database) == figure1_dividend
+
+    def test_relation_ref_unknown_table(self, r1):
+        with pytest.raises(ExpressionError, match="unknown relation"):
+            r1.evaluate({})
+
+    def test_relation_ref_schema_mismatch(self, r1):
+        with pytest.raises(SchemaError):
+            r1.evaluate({"r1": Relation(["x"], [(1,)])})
+
+    def test_relation_ref_requires_name(self):
+        with pytest.raises(ExpressionError):
+            RelationRef("", ["a"])
+
+    def test_literal_relation(self, figure1_divisor):
+        literal = B.literal(figure1_divisor, label="r2")
+        assert literal.evaluate({}) == figure1_divisor
+        assert literal.schema.names == ("b",)
+
+
+class TestSchemaInference:
+    def test_project_schema(self, r1):
+        assert B.project(r1, ["a"]).schema.names == ("a",)
+
+    def test_project_unknown_attribute(self, r1):
+        with pytest.raises(SchemaError):
+            B.project(r1, ["z"]).schema
+
+    def test_select_keeps_schema(self, r1):
+        assert B.select(r1, P.equals(P.attr("a"), 1)).schema == r1.schema
+
+    def test_select_unknown_attribute(self, r1):
+        with pytest.raises(SchemaError):
+            B.select(r1, P.equals(P.attr("z"), 1)).schema
+
+    def test_select_requires_predicate_ast(self, r1):
+        with pytest.raises(ExpressionError):
+            B.select(r1, lambda row: True)
+
+    def test_product_requires_disjoint(self, r1):
+        with pytest.raises(SchemaError):
+            B.product(r1, B.ref("other", ["a"])).schema
+
+    def test_union_requires_same_schema(self, r1, r2):
+        with pytest.raises(SchemaError):
+            B.union(r1, r2).schema
+
+    def test_divide_schema(self, r1, r2):
+        assert B.divide(r1, r2).schema.names == ("a",)
+
+    def test_divide_rejects_bad_schemas(self, r1):
+        with pytest.raises(SchemaError):
+            B.divide(r1, B.ref("r2", ["z"])).schema
+
+    def test_great_divide_schema(self, r1):
+        divisor = B.ref("r2", ["b", "c"])
+        assert set(B.great_divide(r1, divisor).schema.names) == {"a", "c"}
+
+    def test_great_divide_requires_shared_attributes(self, r1):
+        with pytest.raises(SchemaError):
+            B.great_divide(r1, B.ref("r2", ["c"])).schema
+
+    def test_group_by_schema(self, r1):
+        expr = B.group_by(r1, ["a"], [B.aggregate("count", "b", "n")])
+        assert expr.schema.names == ("a", "n")
+
+    def test_rename_schema(self, r1):
+        assert set(B.rename(r1, {"a": "x"}).schema.names) == {"x", "b"}
+
+
+class TestEvaluation:
+    def test_project_select(self, r1, database):
+        expr = B.project(B.select(r1, P.greater_equal(P.attr("a"), 2)), ["a"])
+        assert expr.evaluate(database).to_set("a") == {2, 3}
+
+    def test_divide_matches_figure_1(self, r1, r2, database, figure1_quotient):
+        assert B.divide(r1, r2).evaluate(database) == figure1_quotient
+
+    def test_great_divide_matches_figure_2(self, r1, database, figure1_dividend, figure2_divisor, figure2_quotient):
+        database = dict(database)
+        database["r2g"] = figure2_divisor
+        expr = B.great_divide(r1, B.ref("r2g", ["b", "c"]))
+        assert expr.evaluate(database) == figure2_quotient
+
+    def test_set_operators(self, database):
+        r2 = B.ref("r2", ["b"])
+        other = B.literal(Relation(["b"], [(3,), (9,)]))
+        assert B.union(r2, other).evaluate(database).to_set("b") == {1, 3, 9}
+        assert B.intersection(r2, other).evaluate(database).to_set("b") == {3}
+        assert B.difference(r2, other).evaluate(database).to_set("b") == {1}
+
+    def test_joins(self, r1, database):
+        filter_rel = B.literal(Relation(["a"], [(2,)]), label="filter")
+        assert B.semijoin(r1, filter_rel).evaluate(database).to_set("a") == {2}
+        assert B.antijoin(r1, filter_rel).evaluate(database).to_set("a") == {1, 3}
+        joined = B.natural_join(r1, B.ref("r2", ["b"])).evaluate(database)
+        assert joined.to_set("b") == {1, 3}
+
+    def test_theta_join(self, database):
+        left = B.literal(Relation(["x"], [(1,), (2,)]))
+        right = B.literal(Relation(["y"], [(1,), (3,)]))
+        expr = B.theta_join(left, right, P.less_than(P.attr("x"), P.attr("y")))
+        assert expr.evaluate({}).to_tuples(["x", "y"]) == {(1, 3), (2, 3)}
+
+    def test_group_by(self, r1, database):
+        expr = B.group_by(r1, ["a"], [B.aggregate("count", "b", "n")])
+        assert expr.evaluate(database).to_tuples(["a", "n"]) == {(1, 2), (2, 4), (3, 3)}
+
+    def test_outer_join(self, database):
+        left = B.literal(Relation(["b", "tag"], [(1, "x"), (99, "y")]))
+        expr = B.outer_join(left, B.ref("r2", ["b"]))
+        assert len(expr.evaluate(database)) == 2
+
+
+class TestTreeUtilities:
+    def test_structural_equality(self, r1, r2):
+        assert B.divide(r1, r2) == B.divide(B.ref("r1", ["a", "b"]), B.ref("r2", ["b"]))
+        assert B.divide(r1, r2) != B.divide(r1, B.ref("other", ["b"]))
+
+    def test_hashable(self, r1, r2):
+        assert len({B.divide(r1, r2), B.divide(r1, r2)}) == 1
+
+    def test_walk_and_size(self, r1, r2):
+        expr = B.project(B.divide(r1, r2), ["a"])
+        assert expr.size() == 4
+        assert sum(isinstance(node, RelationRef) for node in expr.walk()) == 2
+
+    def test_relation_names(self, r1, r2):
+        assert B.divide(r1, r2).relation_names() == {"r1", "r2"}
+
+    def test_contains_division(self, r1, r2):
+        assert B.divide(r1, r2).contains_division()
+        assert not B.project(r1, ["a"]).contains_division()
+
+    def test_transform_bottom_up(self, r1, r2, database, figure1_dividend):
+        expr = B.divide(r1, r2)
+
+        def inline(node):
+            if isinstance(node, RelationRef):
+                return LiteralRelation(database[node.name], label=node.name)
+            return node
+
+        inlined = expr.transform_bottom_up(inline)
+        assert inlined.relation_names() == frozenset()
+        assert inlined.evaluate({}) == expr.evaluate(database)
+
+    def test_with_children_rebuilds(self, r1, r2):
+        expr = B.divide(r1, r2)
+        swapped_dividend = B.ref("r1b", ["a", "b"])
+        rebuilt = expr.with_children(swapped_dividend, r2)
+        assert rebuilt.left == swapped_dividend
+        assert rebuilt.right == r2
+
+    def test_to_text_and_pretty(self, r1, r2):
+        expr = B.project(B.divide(r1, r2), ["a"])
+        assert "divide" in expr.to_text()
+        assert "Project" in expr.pretty()
+
+    def test_aggregate_spec_validation(self):
+        with pytest.raises(ExpressionError):
+            AggregateSpec("median", "x", "out")
+        with pytest.raises(ExpressionError):
+            AggregateSpec("sum", None, "out")
+        assert AggregateSpec("count", None, "n").to_text() == "count(*)->n"

@@ -1,0 +1,123 @@
+"""Tests for the great divide and Theorem 1 (equivalence of definitions)."""
+
+import pytest
+from hypothesis import given
+
+from repro.division import (
+    GREAT_DIVIDE_DEFINITIONS,
+    demolombe_divide,
+    great_divide,
+    set_containment_divide,
+    small_divide,
+    todd_divide,
+)
+from repro.errors import DivisionError
+from repro.relation import Relation
+from tests.strategies import dividends, great_divisors
+
+
+class TestFigure2:
+    """The worked example of Figure 2: r1 ÷* r2 = r3."""
+
+    @pytest.mark.parametrize("name", sorted(GREAT_DIVIDE_DEFINITIONS))
+    def test_every_definition_reproduces_figure_2(
+        self, name, figure1_dividend, figure2_divisor, figure2_quotient
+    ):
+        divide = GREAT_DIVIDE_DEFINITIONS[name]
+        assert divide(figure1_dividend, figure2_divisor) == figure2_quotient
+
+    def test_quotient_schema_is_a_union_c(self, figure1_dividend, figure2_divisor):
+        result = great_divide(figure1_dividend, figure2_divisor)
+        assert set(result.attributes) == {"a", "c"}
+
+
+class TestTheorem1:
+    """Theorem 1: ÷*1 (set containment), ÷*2 (Demolombe), ÷*3 (Todd) coincide."""
+
+    @given(dividends(), great_divisors())
+    def test_definitions_agree_on_random_inputs(self, dividend, divisor):
+        reference = great_divide(dividend, divisor)
+        assert set_containment_divide(dividend, divisor) == reference
+        assert demolombe_divide(dividend, divisor) == reference
+        assert todd_divide(dividend, divisor) == reference
+
+    @given(dividends(), great_divisors())
+    def test_quotient_pairs_satisfy_containment(self, dividend, divisor):
+        """Every output pair (a, c) really is a containment witness."""
+        result = great_divide(dividend, divisor)
+        for row in result:
+            group = dividend.image_set({"a": row["a"]}, ["b"]).to_set("b")
+            needed = divisor.image_set({"c": row["c"]}, ["b"]).to_set("b")
+            assert needed <= group
+
+    @given(dividends(), great_divisors(min_rows=1))
+    def test_non_quotient_pairs_fail_containment(self, dividend, divisor):
+        result = great_divide(dividend, divisor)
+        quotient_pairs = result.to_tuples(["a", "c"])
+        for a in dividend.project(["a"]).to_set("a"):
+            group = dividend.image_set({"a": a}, ["b"]).to_set("b")
+            for c in divisor.project(["c"]).to_set("c"):
+                needed = divisor.image_set({"c": c}, ["b"]).to_set("b")
+                assert ((a, c) in quotient_pairs) == (needed <= group)
+
+
+class TestDegenerationAndEdgeCases:
+    def test_degenerates_to_small_divide_for_single_group(self, figure1_dividend, figure1_divisor):
+        """With one divisor group, ÷* returns the small-divide quotient plus the group id."""
+        divisor = figure1_divisor.product(Relation(["c"], [(7,)]))
+        result = great_divide(figure1_dividend, divisor)
+        small = small_divide(figure1_dividend, figure1_divisor)
+        assert result.project(["a"]) == small
+        assert result.to_set("c") == {7}
+
+    def test_empty_divisor_yields_empty_quotient(self, figure1_dividend):
+        assert great_divide(figure1_dividend, Relation.empty(["b", "c"])).is_empty()
+
+    def test_empty_dividend_yields_empty_quotient(self, figure2_divisor):
+        assert great_divide(Relation.empty(["a", "b"]), figure2_divisor).is_empty()
+
+    def test_divisor_group_not_contained_anywhere(self, figure1_dividend):
+        divisor = Relation(["b", "c"], [(99, 1)])
+        assert great_divide(figure1_dividend, divisor).is_empty()
+
+    def test_requires_shared_attributes(self):
+        with pytest.raises(DivisionError):
+            great_divide(Relation(["a", "b"], []), Relation(["x", "c"], []))
+
+    def test_requires_dividend_only_attributes(self):
+        with pytest.raises(DivisionError):
+            great_divide(Relation(["b"], [(1,)]), Relation(["b", "c"], [(1, 1)]))
+
+    def test_multi_attribute_b_and_c(self):
+        dividend = Relation(
+            ["a", "b1", "b2"],
+            [(1, 1, 1), (1, 2, 2), (2, 1, 1)],
+        )
+        divisor = Relation(
+            ["b1", "b2", "c1", "c2"],
+            [(1, 1, "g", 0), (2, 2, "g", 0), (1, 1, "h", 1)],
+        )
+        result = great_divide(dividend, divisor)
+        assert result.to_tuples(["a", "c1", "c2"]) == {(1, "g", 0), (1, "h", 1), (2, "h", 1)}
+
+    def test_frequent_itemset_shape(self):
+        """The Section 3 mining query: transactions ÷* candidates."""
+        transactions = Relation(
+            ["tid", "item"],
+            [
+                (100, "bread"), (100, "milk"), (100, "beer"),
+                (200, "bread"), (200, "milk"),
+                (300, "beer"),
+            ],
+        )
+        candidates = Relation(
+            ["item", "itemset"],
+            [("bread", "c1"), ("milk", "c1"), ("beer", "c2")],
+        )
+        result = great_divide(transactions, candidates)
+        assert result.to_tuples(["tid", "itemset"]) == {
+            (100, "c1"),
+            (200, "c1"),
+            (100, "c2"),
+            (300, "c2"),
+        }

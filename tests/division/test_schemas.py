@@ -1,0 +1,59 @@
+"""Tests for the division schema analysis helpers."""
+
+import pytest
+
+from repro.division import great_divide_schemas, small_divide_schemas
+from repro.errors import DivisionError
+from repro.relation import Relation
+
+
+class TestSmallDivideSchemas:
+    def test_split(self, figure1_dividend, figure1_divisor):
+        schemas = small_divide_schemas(figure1_dividend, figure1_divisor)
+        assert schemas.a.names == ("a",)
+        assert schemas.b.names == ("b",)
+        assert len(schemas.c) == 0
+        assert schemas.quotient.names == ("a",)
+        assert schemas.is_small
+
+    def test_multi_attribute_split(self):
+        dividend = Relation(["a1", "a2", "b1", "b2"], [])
+        divisor = Relation(["b1", "b2"], [])
+        schemas = small_divide_schemas(dividend, divisor)
+        assert set(schemas.a.names) == {"a1", "a2"}
+        assert set(schemas.b.names) == {"b1", "b2"}
+
+    def test_rejects_divisor_not_contained(self):
+        with pytest.raises(DivisionError, match="do not appear"):
+            small_divide_schemas(Relation(["a", "b"], []), Relation(["z"], []))
+
+    def test_rejects_empty_quotient(self):
+        with pytest.raises(DivisionError, match="nonempty"):
+            small_divide_schemas(Relation(["b"], []), Relation(["b"], []))
+
+    def test_rejects_empty_divisor_schema(self):
+        with pytest.raises(DivisionError):
+            small_divide_schemas(Relation(["a"], []), Relation([], []))
+
+
+class TestGreatDivideSchemas:
+    def test_split(self, figure1_dividend, figure2_divisor):
+        schemas = great_divide_schemas(figure1_dividend, figure2_divisor)
+        assert schemas.a.names == ("a",)
+        assert schemas.b.names == ("b",)
+        assert schemas.c.names == ("c",)
+        assert set(schemas.quotient.names) == {"a", "c"}
+        assert not schemas.is_small
+
+    def test_degenerate_case_without_c(self, figure1_dividend, figure1_divisor):
+        schemas = great_divide_schemas(figure1_dividend, figure1_divisor)
+        assert schemas.is_small
+        assert schemas.quotient.names == ("a",)
+
+    def test_rejects_disjoint_schemas(self):
+        with pytest.raises(DivisionError, match="share"):
+            great_divide_schemas(Relation(["a"], []), Relation(["c"], []))
+
+    def test_rejects_missing_dividend_only_attributes(self):
+        with pytest.raises(DivisionError):
+            great_divide_schemas(Relation(["b"], []), Relation(["b", "c"], []))

@@ -1,0 +1,101 @@
+"""Tests for the set containment join and the nest/unnest helpers (Figure 3)."""
+
+import pytest
+from hypothesis import given
+
+from repro.division import (
+    containment_join_via_great_divide,
+    great_divide,
+    nest,
+    set_containment_join,
+    unnest,
+)
+from repro.errors import SchemaError
+from repro.relation import Relation
+from tests.strategies import dividends, great_divisors
+
+
+@pytest.fixture
+def nested_dividend(figure1_dividend):
+    """Figure 3 (a): r1 nested on b into the set-valued attribute b1."""
+    return nest(figure1_dividend, "b", "b1")
+
+
+@pytest.fixture
+def nested_divisor(figure2_divisor):
+    """Figure 3 (b): r2 nested on b into the set-valued attribute b2."""
+    return nest(figure2_divisor, "b", "b2")
+
+
+class TestNesting:
+    def test_nest_matches_figure_3a(self, nested_dividend):
+        assert nested_dividend.to_tuples(["a", "b1"]) == {
+            (1, frozenset({1, 4})),
+            (2, frozenset({1, 2, 3, 4})),
+            (3, frozenset({1, 3, 4})),
+        }
+
+    def test_nest_matches_figure_3b(self, nested_divisor):
+        assert nested_divisor.to_tuples(["c", "b2"]) == {
+            (1, frozenset({1, 2, 4})),
+            (2, frozenset({1, 3})),
+        }
+
+    def test_unnest_inverts_nest(self, figure1_dividend, nested_dividend):
+        assert unnest(nested_dividend, "b1", "b") == figure1_dividend
+
+    def test_nest_rejects_existing_target(self, figure1_dividend):
+        with pytest.raises(SchemaError):
+            nest(figure1_dividend, "b", "a")
+
+    def test_unnest_rejects_existing_target(self, nested_dividend):
+        with pytest.raises(SchemaError):
+            unnest(nested_dividend, "b1", "a")
+
+    @given(dividends(min_rows=0, max_rows=10))
+    def test_nest_unnest_roundtrip(self, relation):
+        assert unnest(nest(relation, "b", "bs"), "bs", "b") == relation
+
+
+class TestSetContainmentJoin:
+    def test_reproduces_figure_3(self, nested_dividend, nested_divisor):
+        result = set_containment_join(nested_dividend, nested_divisor, "b1", "b2")
+        assert result.to_tuples(["a", "b1", "b2", "c"]) == {
+            (2, frozenset({1, 2, 3, 4}), frozenset({1, 2, 4}), 1),
+            (2, frozenset({1, 2, 3, 4}), frozenset({1, 3}), 2),
+            (3, frozenset({1, 3, 4}), frozenset({1, 3}), 2),
+        }
+
+    def test_empty_right_set_matches_everything(self, nested_dividend):
+        """Difference 3 in the paper: the join allows empty sets, division does not."""
+        divisor = Relation(["b2", "c"], [(frozenset(), 9)])
+        result = set_containment_join(nested_dividend, divisor, "b1", "b2")
+        assert len(result) == len(nested_dividend)
+
+    def test_rejects_shared_attribute_names(self, nested_dividend):
+        with pytest.raises(SchemaError):
+            set_containment_join(nested_dividend, nested_dividend, "b1", "b1")
+
+    def test_preserves_join_attributes(self, nested_dividend, nested_divisor):
+        """Difference 2 in the paper: the join keeps b1/b2, division drops them."""
+        joined = set_containment_join(nested_dividend, nested_divisor, "b1", "b2")
+        assert {"b1", "b2"} <= set(joined.attributes)
+
+
+class TestAgreementWithGreatDivide:
+    def test_figure_2_and_figure_3_agree(self, figure1_dividend, figure2_divisor, figure2_quotient):
+        via_divide = containment_join_via_great_divide(figure1_dividend, figure2_divisor)
+        assert via_divide == figure2_quotient
+
+    @given(dividends(min_rows=1), great_divisors(min_rows=1))
+    def test_join_projection_equals_great_divide(self, dividend, divisor):
+        """π_{A∪C} of the set containment join equals the great divide.
+
+        (Both inputs are nonempty and the nest construction never produces
+        empty sets, so the paper's semantic differences do not apply.)
+        """
+        nested_left = nest(dividend, "b", "bset_l")
+        nested_right = nest(divisor, "b", "bset_r")
+        joined = set_containment_join(nested_left, nested_right, "bset_l", "bset_r")
+        projected = joined.project(["a", "c"])
+        assert projected == great_divide(dividend, divisor)

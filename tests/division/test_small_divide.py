@@ -1,0 +1,112 @@
+"""Tests for the small divide operator and its equivalent definitions."""
+
+import pytest
+from hypothesis import given
+
+from repro.division import (
+    SMALL_DIVIDE_DEFINITIONS,
+    codd_divide,
+    counting_divide,
+    forall_divide,
+    healy_divide,
+    maier_divide,
+    small_divide,
+)
+from repro.errors import DivisionError
+from repro.relation import Relation
+from tests.strategies import dividends, divisors
+
+
+class TestFigure1:
+    """The worked example of Figure 1: r1 ÷ r2 = r3."""
+
+    @pytest.mark.parametrize("name", sorted(SMALL_DIVIDE_DEFINITIONS))
+    def test_every_definition_reproduces_figure_1(
+        self, name, figure1_dividend, figure1_divisor, figure1_quotient
+    ):
+        divide = SMALL_DIVIDE_DEFINITIONS[name]
+        assert divide(figure1_dividend, figure1_divisor) == figure1_quotient
+
+    def test_quotient_schema_is_dividend_minus_divisor(self, figure1_dividend, figure1_divisor):
+        assert small_divide(figure1_dividend, figure1_divisor).attributes == ("a",)
+
+
+class TestSchemaValidation:
+    def test_divisor_must_be_subset_of_dividend(self):
+        with pytest.raises(DivisionError):
+            small_divide(Relation(["a", "b"], []), Relation(["z"], []))
+
+    def test_quotient_attributes_must_be_nonempty(self):
+        with pytest.raises(DivisionError):
+            small_divide(Relation(["b"], [(1,)]), Relation(["b"], [(1,)]))
+
+    def test_divisor_schema_must_be_nonempty(self):
+        with pytest.raises(DivisionError):
+            small_divide(Relation(["a", "b"], []), Relation([], []))
+
+
+class TestEdgeCases:
+    def test_empty_divisor_yields_all_candidates(self, figure1_dividend):
+        result = small_divide(figure1_dividend, Relation.empty(["b"]))
+        assert result.to_set("a") == {1, 2, 3}
+
+    def test_empty_dividend_yields_empty_quotient(self):
+        result = small_divide(Relation.empty(["a", "b"]), Relation(["b"], [(1,)]))
+        assert result.is_empty()
+
+    def test_divisor_value_absent_from_dividend(self, figure1_dividend):
+        result = small_divide(figure1_dividend, Relation(["b"], [(99,)]))
+        assert result.is_empty()
+
+    def test_multi_attribute_divisor(self):
+        dividend = Relation(
+            ["a", "b1", "b2"],
+            [(1, 1, 1), (1, 2, 2), (2, 1, 1), (2, 2, 1)],
+        )
+        divisor = Relation(["b1", "b2"], [(1, 1), (2, 2)])
+        assert small_divide(dividend, divisor).to_set("a") == {1}
+
+    def test_multi_attribute_quotient(self):
+        dividend = Relation(
+            ["a1", "a2", "b"],
+            [(1, 1, 5), (1, 1, 6), (2, 2, 5)],
+        )
+        divisor = Relation(["b"], [(5,), (6,)])
+        assert small_divide(dividend, divisor).to_tuples(["a1", "a2"]) == {(1, 1)}
+
+    def test_quotient_times_divisor_contained_in_dividend(self, figure1_dividend, figure1_divisor):
+        # The defining property: (r1 ÷ r2) × r2 ⊆ r1.
+        quotient = small_divide(figure1_dividend, figure1_divisor)
+        product = quotient.product(figure1_divisor)
+        assert set(product.rows) <= set(figure1_dividend.project(["a", "b"]).rows)
+
+
+class TestDefinitionEquivalence:
+    """Codd's, Healy's, Maier's, the counting and the for-all definitions agree."""
+
+    @given(dividends(), divisors())
+    def test_all_definitions_agree(self, dividend, divisor):
+        reference = small_divide(dividend, divisor)
+        assert codd_divide(dividend, divisor) == reference
+        assert healy_divide(dividend, divisor) == reference
+        assert maier_divide(dividend, divisor) == reference
+        assert counting_divide(dividend, divisor) == reference
+        assert forall_divide(dividend, divisor) == reference
+
+    @given(dividends(), divisors())
+    def test_quotient_is_subset_of_candidates(self, dividend, divisor):
+        quotient = small_divide(dividend, divisor)
+        candidates = dividend.project(["a"])
+        assert set(quotient.rows) <= set(candidates.rows)
+
+    @given(dividends(), divisors(min_rows=1))
+    def test_maximality(self, dividend, divisor):
+        """Every candidate not in the quotient misses at least one divisor value."""
+        quotient_values = small_divide(dividend, divisor).to_set("a")
+        divisor_values = divisor.to_set("b")
+        for candidate in dividend.project(["a"]).to_set("a"):
+            group = dividend.image_set({"a": candidate}, ["b"]).to_set("b")
+            if candidate in quotient_values:
+                assert divisor_values <= group
+            else:
+                assert not divisor_values <= group

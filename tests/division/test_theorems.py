@@ -1,0 +1,74 @@
+"""Theorems 2 and 3: small divide is non-commutative and non-associative."""
+
+import pytest
+
+from repro.division import small_divide
+from repro.errors import DivisionError
+from repro.relation import Relation
+
+
+class TestTheorem2NonCommutativity:
+    def test_swapping_operands_is_rejected(self, figure1_dividend, figure1_divisor):
+        """r2 ÷ r1 is not even well formed: the divisor has more attributes."""
+        small_divide(figure1_dividend, figure1_divisor)
+        with pytest.raises(DivisionError):
+            small_divide(figure1_divisor, figure1_dividend)
+
+    def test_same_arity_still_differs(self):
+        """Even when both orders are well-formed (different attribute names),
+        the quotients differ, so the operator cannot be commutative."""
+        r1 = Relation(["a", "b"], [(1, 1), (1, 2)])
+        r2 = Relation(["b"], [(1,), (2,)])
+        assert small_divide(r1, r2).to_set("a") == {1}
+        # r2 ÷ r1 is invalid; there is no way to reorder the operands.
+        with pytest.raises(DivisionError):
+            small_divide(r2, r1)
+
+
+class TestTheorem3NonAssociativity:
+    def test_schema_level_contradiction(self):
+        """The two groupings never even have the same schema.
+
+        With attribute sets A1 = {a, b, c}, A2 = {b, c}, A3 = {c} the paper's
+        derivation gives (A1 − A2) − A3 = {a} but A1 − (A2 − A3) = {a, c}.
+        Concretely, the right grouping is well formed while the left grouping
+        is rejected because ``c`` no longer exists after the first divide.
+        """
+        r1 = Relation(["a", "b", "c"], [(1, 1, 1), (1, 1, 2), (1, 2, 1)])
+        r2 = Relation(["b", "c"], [(1, 1), (1, 2)])
+        r3 = Relation(["c"], [(1,)])
+
+        right_first = small_divide(r1, small_divide(r2, r3))
+        assert set(right_first.attributes) == {"a", "c"}
+        with pytest.raises(DivisionError):
+            small_divide(small_divide(r1, r2), r3)
+
+    def test_no_schema_makes_both_groupings_well_formed(self):
+        """For any nonempty A3, (r1 ÷ r2) ÷ r3 needs A3 ⊆ A1 − A2 while
+        r1 ÷ (r2 ÷ r3) needs A3 ⊆ A2 — the two requirements are
+        contradictory, so associativity cannot even be stated."""
+        a1 = {"a", "b", "c"}
+        a2 = {"b", "c"}
+        for a3 in ({"a"}, {"b"}, {"c"}, {"b", "c"}, {"a", "b"}):
+            left_ok = a3 <= (a1 - a2) and len(a1 - a2 - a3) > 0
+            right_ok = a3 <= a2 and len(a2 - a3) > 0 and (a2 - a3) <= a1 and len(a1 - (a2 - a3)) > 0
+            assert not (left_ok and right_ok)
+
+    def test_left_grouping_can_be_ill_formed(self):
+        """(r1 ÷ r2) ÷ r3 may not even be well formed: after the first divide
+        the attribute ``c`` of ``r3`` is gone, another witness of
+        non-associativity."""
+        r1 = Relation(["a", "b", "c"], [(1, 1, 1), (1, 2, 1), (2, 1, 1)])
+        r2 = Relation(["b", "c"], [(1, 1), (2, 1)])
+        r3 = Relation(["c"], [(1,)])
+        first = small_divide(r1, r2)
+        assert set(first.attributes) == {"a"}
+        with pytest.raises(DivisionError):
+            small_divide(first, r3)
+
+    def test_right_grouping_requires_divisor_subset(self):
+        r1 = Relation(["a", "b"], [(1, 1)])
+        r2 = Relation(["b"], [(1,)])
+        r3 = Relation(["c"], [(1,)])
+        with pytest.raises(DivisionError):
+            small_divide(r1, small_divide(r2, r3))

@@ -1,0 +1,59 @@
+"""Tests for the qualitative-claim verification harness."""
+
+import pytest
+
+from repro.experiments import claims as C
+
+
+@pytest.fixture(scope="module")
+def checks():
+    """Run the whole claim suite once and index the results by claim id."""
+    return {check.claim_id: check for check in C.all_claims()}
+
+
+class TestIndividualClaims:
+    def test_quadratic_intermediate(self, checks):
+        check = checks["first-class-operator"]
+        assert check.holds
+        assert check.baseline_value > 4 * check.improved_value
+
+    def test_law7_short_circuit(self, checks):
+        check = checks["law-7-short-circuit"]
+        assert check.holds
+        assert check.improved_value < check.baseline_value
+
+    def test_law2_partitioning(self, checks):
+        check = checks["law-2-parallel-scan"]
+        assert check.holds
+        assert check.improved_value < check.baseline_value
+
+    def test_law13_partitioning(self, checks):
+        check = checks["law-13-divisor-partitioning"]
+        assert check.holds
+        assert check.improved_value <= check.baseline_value
+
+    def test_q3_recognition(self, checks):
+        check = checks["q3-divide-recognition"]
+        assert check.holds
+        assert check.improved_value < check.baseline_value
+
+    def test_example3_join_elimination(self, checks):
+        check = checks["example-3-join-elimination"]
+        assert check.holds
+
+    def test_mining_equivalence(self, checks):
+        check = checks["mining-support-counting"]
+        assert check.holds
+        assert check.baseline_value == check.improved_value
+
+
+class TestHarness:
+    def test_all_claims_confirmed(self, checks):
+        assert len(checks) == 7
+        assert all(check.holds for check in checks.values())
+
+    def test_summaries_mention_status_and_metric(self, checks):
+        for check in checks.values():
+            summary = check.summary()
+            assert "CONFIRMED" in summary
+            assert check.claim_id in summary

@@ -1,0 +1,46 @@
+"""Tests for the command-line interface (python -m repro …)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_are_registered(self):
+        parser = build_parser()
+        for argv in (["figures"], ["query", "Q1"], ["claims"], ["mine"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_query_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "Q9"])
+
+    def test_command_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_figures_command(self, capsys):
+        assert main(["figures"]) == 0
+        output = capsys.readouterr().out
+        assert "11/11 figures reproduced exactly." in output
+        assert "Figure 1" in output and "Figure 11" in output
+
+    @pytest.mark.parametrize("name", ["Q1", "Q2", "Q3"])
+    def test_query_command(self, capsys, name):
+        assert main(["query", name]) == 0
+        output = capsys.readouterr().out
+        assert f"result of {name}" in output
+        assert "s1" in output
+
+    def test_query_without_recognizer(self, capsys):
+        assert main(["query", "Q3", "--no-recognizer"]) == 0
+        output = capsys.readouterr().out
+        assert "great_divide" not in output.split("logical plan")[1].splitlines()[0]
+
+    def test_mine_command(self, capsys):
+        assert main(["mine", "--transactions", "60", "--min-support", "12", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "identical results : True" in output

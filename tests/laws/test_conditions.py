@@ -1,0 +1,84 @@
+"""Tests for the law preconditions (conditions c1, c2, disjointness, keys)."""
+
+from hypothesis import given
+
+from repro.laws.conditions import (
+    attribute_is_key,
+    condition_c1,
+    condition_c2,
+    inclusion_holds,
+    is_superset_of,
+    projections_disjoint,
+)
+from repro.relation import Relation
+from tests.strategies import dividends, divisors
+
+
+class TestConditionC1:
+    def test_figure_5_violates_c1(self):
+        """Figure 5: the quotient candidate a=1 is dispersed over both parts."""
+        part1 = Relation(["a", "b"], [(1, 1), (1, 2), (1, 3)])
+        part2 = Relation(["a", "b"], [(1, 2), (1, 4)])
+        divisor = Relation(["b"], [(1,), (4,)])
+        assert not condition_c1(part1, part2, divisor)
+
+    def test_satisfied_when_one_part_contains_divisor(self):
+        part1 = Relation(["a", "b"], [(1, 1), (1, 4)])
+        part2 = Relation(["a", "b"], [(1, 2)])
+        divisor = Relation(["b"], [(1,), (4,)])
+        assert condition_c1(part1, part2, divisor)
+
+    def test_satisfied_when_union_misses_divisor(self):
+        part1 = Relation(["a", "b"], [(1, 1)])
+        part2 = Relation(["a", "b"], [(1, 2)])
+        divisor = Relation(["b"], [(1,), (9,)])
+        assert condition_c1(part1, part2, divisor)
+
+    def test_trivially_satisfied_without_shared_candidates(self):
+        part1 = Relation(["a", "b"], [(1, 1)])
+        part2 = Relation(["a", "b"], [(2, 2)])
+        divisor = Relation(["b"], [(1,), (2,)])
+        assert condition_c1(part1, part2, divisor)
+
+    @given(dividends(), dividends(), divisors())
+    def test_c2_implies_c1(self, part1, part2, divisor):
+        """The paper: condition c2 is stricter than c1."""
+        if condition_c2(part1, part2, ["a"]):
+            assert condition_c1(part1, part2, divisor)
+
+
+class TestConditionC2:
+    def test_disjoint_candidates(self):
+        part1 = Relation(["a", "b"], [(1, 1)])
+        part2 = Relation(["a", "b"], [(2, 1)])
+        assert condition_c2(part1, part2, ["a"])
+
+    def test_shared_candidates(self):
+        part1 = Relation(["a", "b"], [(1, 1)])
+        part2 = Relation(["a", "b"], [(1, 2)])
+        assert not condition_c2(part1, part2, ["a"])
+
+
+class TestOtherConditions:
+    def test_projections_disjoint(self):
+        left = Relation(["b", "c"], [(1, 1)])
+        right = Relation(["b", "c"], [(1, 2)])
+        assert projections_disjoint(left, right, ["c"])
+        assert not projections_disjoint(left, right, ["b"])
+
+    def test_is_superset_of(self):
+        big = Relation(["a"], [(1,), (2,)])
+        small = Relation(["a"], [(1,)])
+        assert is_superset_of(big, small)
+        assert not is_superset_of(small, big)
+        assert not is_superset_of(big, Relation(["z"], [(1,)]))
+
+    def test_inclusion_holds(self):
+        source = Relation(["b", "c"], [(1, 1), (2, 1)])
+        target = Relation(["b"], [(1,), (2,), (3,)])
+        assert inclusion_holds(source, target, ["b"])
+        assert not inclusion_holds(target, source, ["b"])
+
+    def test_attribute_is_key(self, figure10_relations):
+        assert attribute_is_key(figure10_relations["r1"], ["a"])
+        assert not attribute_is_key(figure10_relations["r0"], ["a"])

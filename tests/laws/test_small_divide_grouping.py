@@ -1,0 +1,175 @@
+"""Property and example tests for Laws 11 and 12 (divide vs grouping)."""
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.algebra import builders as B
+from repro.algebra.catalog import Catalog
+from repro.algebra.expressions import LiteralRelation
+from repro.division import small_divide
+from repro.laws import RewriteContext
+from repro.laws.conditions import attribute_is_key
+from repro.laws.small_divide import (
+    Law11GroupedDividend,
+    Law12GroupedDivisorKey,
+    law11_divide,
+    law12_divide,
+)
+from repro.relation import Relation, aggregates
+from tests.laws.helpers import context_for, lit
+from tests.strategies import divisors, relations
+
+
+def grouped_dividends_on_a():
+    """Dividends where ``a`` is a key (one tuple per quotient candidate),
+    built the way Law 11 prescribes: as the output of a grouping on a."""
+    return relations(("a", "x"), min_rows=0, max_rows=10).map(
+        lambda r0: r0.group_by(["a"], {"b": aggregates.sum_of("x")})
+    )
+
+
+def grouped_dividends_on_b():
+    """Dividends where ``b`` is a key, as Law 12 prescribes (grouping on b)."""
+    return relations(("x", "b"), min_rows=0, max_rows=10).map(
+        lambda r0: r0.group_by(["b"], {"a": aggregates.sum_of("x")})
+    )
+
+
+class TestLaw11:
+    @given(grouped_dividends_on_a(), divisors())
+    def test_case_analysis_matches_reference(self, dividend, divisor):
+        assert attribute_is_key(dividend, ["a"])
+        assert law11_divide(dividend, divisor) == small_divide(dividend, divisor)
+
+    def test_figure_10_worked_example(self, figure10_relations):
+        r0, r1, r2 = (figure10_relations[k] for k in ("r0", "r1", "r2"))
+        grouped = r0.group_by(["a"], {"b": aggregates.sum_of("x")})
+        assert grouped == r1  # Figure 10 (b)
+        assert r1.semijoin(r2).to_tuples(["a", "b"]) == {(2, 4)}  # Figure 10 (d)
+        assert law11_divide(r1, r2) == figure10_relations["quotient"]
+        assert small_divide(r1, r2) == figure10_relations["quotient"]
+
+    def test_empty_divisor_branch(self, figure10_relations):
+        """Paper: r1 ÷ ∅ = r1; we project to the quotient schema A."""
+        r1 = figure10_relations["r1"]
+        result = law11_divide(r1, Relation.empty(["b"]))
+        assert result == r1.project(["a"])
+
+    def test_large_divisor_branch(self, figure10_relations):
+        r1 = figure10_relations["r1"]
+        divisor = Relation(["b"], [(4,), (6,)])
+        assert law11_divide(r1, divisor).is_empty()
+        assert small_divide(r1, divisor).is_empty()
+
+    def test_rule_application_on_group_by_expression(self, figure10_relations):
+        rule = Law11GroupedDividend()
+        catalog = Catalog()
+        catalog.add_table("r0", figure10_relations["r0"])
+        catalog.add_table("r2", figure10_relations["r2"])
+        grouped = B.group_by(catalog.ref("r0"), ["a"], [B.aggregate("sum", "x", "b")])
+        expr = B.divide(grouped, catalog.ref("r2"))
+        context = RewriteContext.from_catalog(catalog)
+        assert rule.matches(expr, context)
+        rewritten = rule.apply(expr, context)
+        assert rewritten.evaluate(catalog) == figure10_relations["quotient"]
+        assert "divide" not in rewritten.to_text()
+
+    def test_rule_branches(self, figure10_relations):
+        rule = Law11GroupedDividend()
+        r1 = figure10_relations["r1"]
+
+        def rewrite_with_divisor(divisor):
+            context = context_for(r1=r1, r2=divisor)
+            expr = B.divide(context.catalog.ref("r1"), context.catalog.ref("r2"))
+            assert rule.matches(expr, context)
+            rewritten = rule.apply(expr, context)
+            assert rewritten.evaluate(context.database) == small_divide(r1, divisor)
+            return rewritten
+
+        empty = rewrite_with_divisor(Relation.empty(["b"]))
+        assert "semijoin" not in empty.to_text()
+        single = rewrite_with_divisor(Relation(["b"], [(4,)]))
+        assert "semijoin" in single.to_text()
+        large = rewrite_with_divisor(Relation(["b"], [(4,), (8,)]))
+        assert isinstance(large, LiteralRelation)
+
+    def test_rule_rejects_non_key_dividend(self, figure1_dividend, figure1_divisor):
+        rule = Law11GroupedDividend()
+        context = context_for(r1=figure1_dividend, r2=figure1_divisor)
+        expr = B.divide(context.catalog.ref("r1"), context.catalog.ref("r2"))
+        assert not rule.matches(expr, context)
+
+    def test_rule_uses_declared_key_without_data(self, figure10_relations):
+        rule = Law11GroupedDividend()
+        catalog = Catalog()
+        catalog.add_table("r1", figure10_relations["r1"], key=["a"])
+        catalog.add_table("r2", figure10_relations["r2"])
+        expr = B.divide(catalog.ref("r1"), catalog.ref("r2"))
+        static_context = RewriteContext(catalog=catalog)
+        assert rule.matches(expr, static_context)
+
+
+class TestLaw12:
+    @given(grouped_dividends_on_b(), st.data())
+    def test_case_analysis_matches_reference(self, dividend, data):
+        assume(not dividend.is_empty())
+        # Draw a nonempty divisor from the dividend's own b values so the
+        # foreign-key precondition r2.B ⊆ π_B(r1) holds.
+        b_values = sorted(dividend.to_set("b"))
+        chosen = data.draw(
+            st.lists(st.sampled_from(b_values), min_size=1, max_size=len(b_values), unique=True)
+        )
+        divisor = Relation(["b"], [(value,) for value in chosen])
+        assert attribute_is_key(dividend, ["b"])
+        assert law12_divide(dividend, divisor) == small_divide(dividend, divisor)
+
+    def test_figure_11_worked_example(self, figure11_relations):
+        r0, r1, r2 = (figure11_relations[k] for k in ("r0", "r1", "r2"))
+        grouped = r0.group_by(["b"], {"a": aggregates.sum_of("x")})
+        assert grouped == r1  # Figure 11 (b)
+        assert r1.semijoin(r2).to_tuples(["a", "b"]) == {(6, 1), (6, 3)}  # Figure 11 (d)
+        assert law12_divide(r1, r2) == figure11_relations["quotient"]
+        assert small_divide(r1, r2) == figure11_relations["quotient"]
+
+    def test_multiple_candidates_yield_empty_quotient(self, figure11_relations):
+        r1 = figure11_relations["r1"]
+        divisor = Relation(["b"], [(1,), (2,)])  # π_A(r1 ⋉ r2) = {6, 1}: two values
+        assert law12_divide(r1, divisor).is_empty()
+        assert small_divide(r1, divisor).is_empty()
+
+    def test_rule_application(self, figure11_relations):
+        rule = Law12GroupedDivisorKey()
+        context = context_for(r1=figure11_relations["r1"], r2=figure11_relations["r2"])
+        expr = B.divide(context.catalog.ref("r1"), context.catalog.ref("r2"))
+        assert rule.matches(expr, context)
+        rewritten = rule.apply(expr, context)
+        assert rewritten.evaluate(context.database) == figure11_relations["quotient"]
+        assert "divide" not in rewritten.to_text()
+
+    def test_rule_returns_empty_literal_for_ambiguous_candidates(self, figure11_relations):
+        rule = Law12GroupedDivisorKey()
+        divisor = Relation(["b"], [(1,), (2,)])
+        context = context_for(r1=figure11_relations["r1"], r2=divisor)
+        expr = B.divide(context.catalog.ref("r1"), context.catalog.ref("r2"))
+        rewritten = rule.apply(expr, context)
+        assert isinstance(rewritten, LiteralRelation)
+        assert rewritten.evaluate(context.database).is_empty()
+
+    def test_rule_rejects_empty_divisor(self, figure11_relations):
+        rule = Law12GroupedDivisorKey()
+        context = context_for(r1=figure11_relations["r1"], r2=Relation.empty(["b"]))
+        expr = B.divide(context.catalog.ref("r1"), context.catalog.ref("r2"))
+        assert not rule.matches(expr, context)
+
+    def test_rule_rejects_foreign_key_violation(self, figure11_relations):
+        rule = Law12GroupedDivisorKey()
+        divisor = Relation(["b"], [(1,), (99,)])  # 99 does not appear in r1.b
+        context = context_for(r1=figure11_relations["r1"], r2=divisor)
+        expr = B.divide(context.catalog.ref("r1"), context.catalog.ref("r2"))
+        assert not rule.matches(expr, context)
+
+    def test_rule_rejects_non_key_dividend(self, figure1_dividend, figure1_divisor):
+        rule = Law12GroupedDivisorKey()
+        context = context_for(r1=figure1_dividend, r2=figure1_divisor)
+        expr = B.divide(context.catalog.ref("r1"), context.catalog.ref("r2"))
+        assert not rule.matches(expr, context)

@@ -1,0 +1,130 @@
+"""Property and example tests for Law 10 and Example 3 (divide vs joins)."""
+
+from hypothesis import assume, given
+
+from repro.algebra import builders as B
+from repro.algebra import predicates as P
+from repro.laws.small_divide import Example3JoinElimination, Law10SemiJoinCommute
+from repro.relation import Relation
+from tests.laws.helpers import assert_rewrite_preserves_semantics, assert_sides_equal, context_for, lit
+from tests.strategies import dividends, divisors, relations
+
+
+class TestLaw10:
+    @given(dividends(), divisors(), relations(("a",), max_rows=4))
+    def test_equivalence_on_random_relations(self, dividend, divisor, filter_relation):
+        lhs, rhs = Law10SemiJoinCommute.sides(lit(dividend), lit(divisor), lit(filter_relation))
+        assert_sides_equal(lhs, rhs)
+
+    @given(relations(("a1", "a2", "b"), max_rows=10), divisors(), relations(("a1",), max_rows=3))
+    def test_equivalence_with_partial_quotient_filter(self, dividend, divisor, filter_relation):
+        """The filter relation may cover a strict subset of the quotient attributes."""
+        lhs, rhs = Law10SemiJoinCommute.sides(lit(dividend), lit(divisor), lit(filter_relation))
+        assert_sides_equal(lhs, rhs)
+
+    def test_rule_application(self, figure1_dividend, figure1_divisor):
+        rule = Law10SemiJoinCommute()
+        filter_relation = Relation(["a"], [(2,), (9,)])
+        expr = B.semijoin(
+            B.divide(lit(figure1_dividend), lit(figure1_divisor)), lit(filter_relation)
+        )
+        rewritten = assert_rewrite_preserves_semantics(rule, expr, context_for())
+        # After the rewrite the semi-join is applied to the dividend first.
+        assert rewritten.to_text().startswith("divide")
+        assert rewritten.evaluate({}).to_set("a") == {2}
+
+    def test_rule_rejects_filter_on_divisor_attributes(self, figure1_dividend, figure1_divisor):
+        rule = Law10SemiJoinCommute()
+        expr = B.semijoin(
+            B.divide(lit(figure1_dividend), lit(figure1_divisor)),
+            lit(Relation(["b"], [(1,)])),
+        )
+        assert not rule.matches(expr)
+
+    def test_rule_rejects_semijoin_over_non_divide(self, figure1_dividend):
+        rule = Law10SemiJoinCommute()
+        expr = B.semijoin(lit(figure1_dividend), lit(Relation(["a"], [(1,)])))
+        assert not rule.matches(expr)
+
+
+class TestExample3:
+    @staticmethod
+    def _divisor_within(drop: Relation, size: int) -> Relation:
+        """A divisor r2(b1, b2) whose b2 values are drawn from ``drop``."""
+        drop_values = sorted(drop.to_set("b2"))
+        rows = [(i % 3, drop_values[i % len(drop_values)]) for i in range(size)]
+        return Relation(["b1", "b2"], rows)
+
+    @given(
+        relations(("a", "b1"), max_rows=10),
+        relations(("b2",), min_rows=1, max_rows=3),
+        relations(("b1",), min_rows=1, max_rows=3),
+    )
+    def test_equivalence_under_foreign_key(self, keep, drop, divisor_b1_values):
+        drop_values = sorted(drop.to_set("b2"))
+        divisor_rows = [
+            (row["b1"], drop_values[i % len(drop_values)])
+            for i, row in enumerate(divisor_b1_values.sorted_rows())
+        ]
+        divisor = Relation(["b1", "b2"], divisor_rows)
+        assume(not divisor.is_empty())
+        predicate = P.less_than(P.attr("b1"), P.attr("b2"))
+        lhs, rhs = Example3JoinElimination.sides(lit(keep), lit(drop), lit(divisor), predicate)
+        assert_sides_equal(lhs, rhs)
+
+    def test_figure_9_worked_example(self, figure9_relations):
+        predicate = P.less_than(P.attr("b1"), P.attr("b2"))
+        lhs, rhs = Example3JoinElimination.sides(
+            lit(figure9_relations["r1_star"]),
+            lit(figure9_relations["r1_star_star"]),
+            lit(figure9_relations["r2"]),
+            predicate,
+        )
+        # Figure 9 (d): the theta-join has 9 tuples.
+        joined = figure9_relations["r1_star"].theta_join(
+            figure9_relations["r1_star_star"].rename({"b2": "b2"}), predicate
+        )
+        assert len(joined) == 9
+        # Figure 9 (e): π_b1(σ_b1<b2(r2)) = {1, 3}.
+        selected = figure9_relations["r2"].select(predicate).project(["b1"])
+        assert selected.to_set("b1") == {1, 3}
+        # Figure 9 (f): the quotient is {1, 3}.
+        assert lhs.evaluate({}) == figure9_relations["quotient"]
+        assert rhs.evaluate({}) == figure9_relations["quotient"]
+
+    def test_rule_application_removes_the_join(self, figure9_relations):
+        rule = Example3JoinElimination()
+        predicate = P.less_than(P.attr("b1"), P.attr("b2"))
+        expr = B.divide(
+            B.theta_join(
+                lit(figure9_relations["r1_star"]),
+                lit(figure9_relations["r1_star_star"]),
+                predicate,
+            ),
+            lit(figure9_relations["r2"]),
+        )
+        rewritten = assert_rewrite_preserves_semantics(rule, expr, context_for())
+        assert "theta_join" not in rewritten.to_text()
+
+    def test_rule_rejects_predicate_on_quotient_attributes(self, figure9_relations):
+        rule = Example3JoinElimination()
+        predicate = P.less_than(P.attr("a"), P.attr("b2"))
+        expr = B.divide(
+            B.theta_join(
+                lit(figure9_relations["r1_star"]),
+                lit(figure9_relations["r1_star_star"]),
+                predicate,
+            ),
+            lit(figure9_relations["r2"]),
+        )
+        assert not rule.matches(expr, context_for())
+
+    def test_rule_rejects_violated_foreign_key(self, figure9_relations):
+        rule = Example3JoinElimination()
+        predicate = P.less_than(P.attr("b1"), P.attr("b2"))
+        missing_reference = Relation(["b2"], [(1,)])  # r2 references value 4
+        expr = B.divide(
+            B.theta_join(lit(figure9_relations["r1_star"]), lit(missing_reference), predicate),
+            lit(figure9_relations["r2"]),
+        )
+        assert not rule.matches(expr, context_for())

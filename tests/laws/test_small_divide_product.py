@@ -1,0 +1,157 @@
+"""Property and example tests for Laws 8, 9 and Example 2 (divide vs product)."""
+
+from hypothesis import assume, given
+
+from repro.algebra import builders as B
+from repro.laws.conditions import inclusion_holds
+from repro.laws.small_divide import (
+    Example2CommonFactorCancellation,
+    Law8ProductFactorOut,
+    Law9ProductElimination,
+)
+from repro.relation import Relation
+from tests.laws.helpers import assert_rewrite_preserves_semantics, assert_sides_equal, context_for, lit
+from tests.strategies import dividends, divisors, relations
+
+
+class TestLaw8:
+    @given(relations(("a1",), max_rows=4), relations(("a2", "b"), max_rows=10), divisors())
+    def test_equivalence_on_random_relations(self, factor, dividend_part, divisor):
+        lhs, rhs = Law8ProductFactorOut.sides(lit(factor), lit(dividend_part), lit(divisor))
+        assert_sides_equal(lhs, rhs)
+
+    def test_figure_7_worked_example(self, figure7_relations):
+        lhs, rhs = Law8ProductFactorOut.sides(
+            lit(figure7_relations["r1_star"]),
+            lit(figure7_relations["r1_star_star"]),
+            lit(figure7_relations["r2"]),
+        )
+        assert lhs.evaluate({}) == figure7_relations["quotient"]
+        assert rhs.evaluate({}) == figure7_relations["quotient"]
+
+    def test_inner_quotient_matches_figure_7e(self, figure7_relations):
+        from repro.division import small_divide
+
+        inner = small_divide(figure7_relations["r1_star_star"], figure7_relations["r2"])
+        assert inner.to_set("a2") == {1, 3}
+
+    def test_rule_application(self, figure7_relations):
+        rule = Law8ProductFactorOut()
+        expr = B.divide(
+            B.product(lit(figure7_relations["r1_star"]), lit(figure7_relations["r1_star_star"])),
+            lit(figure7_relations["r2"]),
+        )
+        rewritten = assert_rewrite_preserves_semantics(rule, expr, context_for())
+        assert rewritten.to_text().startswith("product")
+
+    def test_rule_rejects_divisor_spanning_both_factors(self):
+        rule = Law8ProductFactorOut()
+        expr = B.divide(
+            B.product(B.ref("x", ["a", "b1"]), B.ref("y", ["a2", "b2"])),
+            B.ref("r2", ["b1", "b2"]),
+        )
+        assert not rule.matches(expr)
+
+    def test_rule_rejects_factor_without_extra_attributes(self):
+        """If the right factor is exactly the divisor attributes the inner
+        divide would have an empty quotient schema — that is Law 9 territory."""
+        rule = Law8ProductFactorOut()
+        expr = B.divide(
+            B.product(B.ref("x", ["a"]), B.ref("y", ["b"])),
+            B.ref("r2", ["b"]),
+        )
+        assert not rule.matches(expr)
+
+
+class TestLaw9:
+    @given(dividends(min_rows=0, max_rows=10), relations(("b2",), min_rows=1, max_rows=4), divisors(max_rows=3))
+    def test_equivalence_under_inclusion(self, keep, drop, divisor_b1):
+        """Build a divisor r2(b, b2) whose b2 projection is contained in the factor."""
+        drop_values = sorted(drop.to_set("b2"))
+        divisor_rows = [
+            (row["b"], drop_values[i % len(drop_values)])
+            for i, row in enumerate(divisor_b1.sorted_rows())
+        ]
+        divisor = Relation(["b", "b2"], divisor_rows)
+        keep_renamed = keep  # schema (a, b): a is the quotient, b is B1
+        assume(not (divisor.is_empty() and drop.is_empty()))
+        assert inclusion_holds(divisor, drop, ["b2"])
+        lhs, rhs = Law9ProductElimination.sides(lit(keep_renamed), lit(drop), lit(divisor))
+        assert_sides_equal(lhs, rhs)
+
+    def test_figure_8_worked_example(self, figure8_relations):
+        lhs, rhs = Law9ProductElimination.sides(
+            lit(figure8_relations["r1_star"]),
+            lit(figure8_relations["r1_star_star"]),
+            lit(figure8_relations["r2"]),
+        )
+        assert lhs.evaluate({}) == figure8_relations["quotient"]
+        assert rhs.evaluate({}) == figure8_relations["quotient"]
+
+    def test_divisor_b1_projection_matches_figure_8e(self, figure8_relations):
+        projected = figure8_relations["r2"].project(["b1"])
+        assert projected.to_set("b1") == {1, 3}
+
+    def test_rule_application(self, figure8_relations):
+        rule = Law9ProductElimination()
+        expr = B.divide(
+            B.product(lit(figure8_relations["r1_star"]), lit(figure8_relations["r1_star_star"])),
+            lit(figure8_relations["r2"]),
+        )
+        rewritten = assert_rewrite_preserves_semantics(rule, expr, context_for())
+        # The rewritten expression no longer contains the product.
+        assert "product" not in rewritten.to_text()
+
+    def test_rule_rejects_violated_inclusion(self, figure8_relations):
+        rule = Law9ProductElimination()
+        too_small = Relation(["b2"], [(1,)])  # missing value 2 referenced by r2
+        expr = B.divide(
+            B.product(lit(figure8_relations["r1_star"]), lit(too_small)),
+            lit(figure8_relations["r2"]),
+        )
+        assert not rule.matches(expr, context_for())
+
+    def test_rule_requires_data(self, figure8_relations):
+        rule = Law9ProductElimination()
+        expr = B.divide(
+            B.product(lit(figure8_relations["r1_star"]), lit(figure8_relations["r1_star_star"])),
+            lit(figure8_relations["r2"]),
+        )
+        assert not rule.matches(expr)
+
+
+class TestExample2:
+    @given(dividends(), divisors(), relations(("s",), min_rows=1, max_rows=3))
+    def test_equivalence_with_nonempty_shared_factor(self, core_dividend, core_divisor, shared):
+        lhs, rhs = Example2CommonFactorCancellation.sides(
+            lit(core_dividend), lit(core_divisor), lit(shared)
+        )
+        assert_sides_equal(lhs, rhs)
+
+    def test_empty_shared_factor_breaks_the_equivalence(self):
+        core_dividend = Relation(["a", "b"], [(1, 1)])
+        core_divisor = Relation(["b"], [(1,)])
+        shared = Relation.empty(["s"])
+        lhs, rhs = Example2CommonFactorCancellation.sides(
+            lit(core_dividend), lit(core_divisor), lit(shared)
+        )
+        assert lhs.evaluate({}).is_empty()
+        assert rhs.evaluate({}).to_set("a") == {1}
+
+    def test_rule_application(self, figure1_dividend, figure1_divisor):
+        rule = Example2CommonFactorCancellation()
+        shared = Relation(["s"], [(10,), (20,)])
+        expr = B.divide(
+            B.product(lit(figure1_dividend), lit(shared)),
+            B.product(lit(figure1_divisor), lit(shared)),
+        )
+        rewritten = assert_rewrite_preserves_semantics(rule, expr, context_for())
+        assert "product" not in rewritten.to_text()
+
+    def test_rule_rejects_different_shared_factors(self, figure1_dividend, figure1_divisor):
+        rule = Example2CommonFactorCancellation()
+        expr = B.divide(
+            B.product(lit(figure1_dividend), lit(Relation(["s"], [(1,)]))),
+            B.product(lit(figure1_divisor), lit(Relation(["s"], [(2,)]))),
+        )
+        assert not rule.matches(expr, context_for())

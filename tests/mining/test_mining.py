@@ -1,0 +1,158 @@
+"""Tests for frequent itemset discovery (Apriori vs the great-divide miner)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MiningError
+from repro.mining import (
+    Itemset,
+    apriori,
+    candidate_generation,
+    candidates_to_relation,
+    count_support_by_great_divide,
+    frequent_itemsets_by_great_divide,
+    generate_baskets,
+    sets_to_relation,
+    transactions_to_sets,
+)
+from repro.relation import Relation
+
+
+@pytest.fixture
+def small_baskets():
+    """The classic beer/bread example, small enough to verify by hand."""
+    return {
+        1: {"bread", "milk"},
+        2: {"bread", "beer", "eggs"},
+        3: {"milk", "beer", "cola"},
+        4: {"bread", "milk", "beer"},
+        5: {"bread", "milk", "cola"},
+    }
+
+
+class TestItemsetUtilities:
+    def test_candidate_generation_joins_and_prunes(self):
+        frequent = [Itemset({"a", "b"}), Itemset({"a", "c"}), Itemset({"b", "c"}), Itemset({"b", "d"})]
+        candidates = candidate_generation(frequent, 3)
+        # {a,b,c} survives; {a,b,d} is pruned because {a,d} is not frequent;
+        # {b,c,d} is pruned because {c,d} is not frequent.
+        assert candidates == [Itemset({"a", "b", "c"})]
+
+    def test_candidate_generation_requires_size_two(self):
+        with pytest.raises(MiningError):
+            candidate_generation([], 1)
+
+    def test_vertical_roundtrip(self, small_baskets):
+        relation = sets_to_relation(small_baskets)
+        assert transactions_to_sets(relation) == {k: set(v) for k, v in small_baskets.items()}
+
+    def test_candidates_to_relation_is_deterministic(self):
+        candidates = [Itemset({"b", "a"}), Itemset({"c"})]
+        relation = candidates_to_relation(candidates)
+        assert relation.to_tuples(["item", "itemset"]) == {("a", 0), ("b", 0), ("c", 1)}
+
+
+class TestApriori:
+    def test_hand_checked_supports(self, small_baskets):
+        result = apriori(small_baskets, min_support=3)
+        assert result[Itemset({"bread"})] == 4
+        assert result[Itemset({"milk"})] == 4
+        assert result[Itemset({"beer"})] == 3
+        assert result[Itemset({"bread", "milk"})] == 3
+        assert Itemset({"bread", "beer"}) not in result
+
+    def test_min_support_validation(self, small_baskets):
+        with pytest.raises(MiningError):
+            apriori(small_baskets, min_support=0)
+
+    def test_max_size_limits_exploration(self, small_baskets):
+        result = apriori(small_baskets, min_support=1, max_size=1)
+        assert all(len(itemset) == 1 for itemset in result)
+
+    def test_planted_patterns_are_found(self):
+        dataset = generate_baskets(num_transactions=120, num_patterns=2, pattern_size=3, seed=4)
+        result = apriori(dataset.baskets, min_support=int(0.2 * dataset.num_transactions))
+        for pattern in dataset.patterns:
+            assert pattern in result
+
+
+class TestGreatDivideMiner:
+    def test_support_counting_matches_manual_check(self, small_baskets):
+        relation = sets_to_relation(small_baskets)
+        supports = count_support_by_great_divide(
+            relation, [Itemset({"bread", "milk"}), Itemset({"beer", "cola"})]
+        )
+        assert supports[Itemset({"bread", "milk"})] == 3
+        assert supports[Itemset({"beer", "cola"})] == 1
+
+    def test_empty_candidate_list(self, small_baskets):
+        assert count_support_by_great_divide(sets_to_relation(small_baskets), []) == {}
+
+    def test_candidates_of_mixed_sizes_are_supported(self, small_baskets):
+        """The paper notes the computation does not require equal-size candidates."""
+        relation = sets_to_relation(small_baskets)
+        supports = count_support_by_great_divide(
+            relation, [Itemset({"bread"}), Itemset({"bread", "milk", "cola"})]
+        )
+        assert supports[Itemset({"bread"})] == 4
+        assert supports[Itemset({"bread", "milk", "cola"})] == 1
+
+    def test_agrees_with_apriori_on_small_example(self, small_baskets):
+        relation = sets_to_relation(small_baskets)
+        via_divide = frequent_itemsets_by_great_divide(relation, min_support=3)
+        via_apriori = apriori(small_baskets, min_support=3)
+        assert via_divide == via_apriori
+
+    @pytest.mark.parametrize("algorithm", [None, "hash", "groupwise", "nested_loops"])
+    def test_agrees_with_apriori_on_generated_data(self, algorithm):
+        dataset = generate_baskets(num_transactions=80, num_items=20, num_patterns=3, seed=13)
+        min_support = max(2, int(0.15 * dataset.num_transactions))
+        via_divide = frequent_itemsets_by_great_divide(
+            dataset.relation, min_support=min_support, algorithm=algorithm
+        )
+        via_apriori = apriori(dataset.baskets, min_support=min_support)
+        assert via_divide == via_apriori
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        data=st.dictionaries(
+            keys=st.integers(min_value=0, max_value=15),
+            values=st.frozensets(st.integers(min_value=0, max_value=6), min_size=1, max_size=5),
+            min_size=1,
+            max_size=12,
+        ),
+        min_support=st.integers(min_value=1, max_value=4),
+    )
+    def test_property_agreement_with_apriori(self, data, min_support):
+        relation = sets_to_relation(data)
+        assert frequent_itemsets_by_great_divide(relation, min_support) == apriori(data, min_support)
+
+    def test_unknown_algorithm_is_rejected(self, small_baskets):
+        with pytest.raises(MiningError):
+            count_support_by_great_divide(
+                sets_to_relation(small_baskets), [Itemset({"bread"})], algorithm="quantum"
+            )
+
+    def test_invalid_min_support(self, small_baskets):
+        with pytest.raises(MiningError):
+            frequent_itemsets_by_great_divide(sets_to_relation(small_baskets), 0)
+
+
+class TestDataGenerator:
+    def test_deterministic_given_seed(self):
+        a = generate_baskets(seed=5)
+        b = generate_baskets(seed=5)
+        assert a.baskets == b.baskets
+
+    def test_shapes(self):
+        dataset = generate_baskets(num_transactions=50, num_items=15, seed=1)
+        assert dataset.num_transactions == 50
+        assert dataset.relation.schema.names == ("tid", "item")
+        assert all(len(pattern) == 3 for pattern in dataset.patterns)
+
+    def test_parameter_validation(self):
+        with pytest.raises(MiningError):
+            generate_baskets(num_items=2, pattern_size=5)
+        with pytest.raises(MiningError):
+            generate_baskets(num_transactions=0)

@@ -1,0 +1,141 @@
+"""Tests for the physical planner and the optimizer facade."""
+
+import pytest
+
+from repro.algebra import builders as B
+from repro.algebra import predicates as P
+from repro.algebra.catalog import Catalog
+from repro.errors import PlanningError
+from repro.optimizer import Optimizer, PhysicalPlanner, PlannerOptions
+from repro.physical import HashDivision, MergeSortDivision, NestedLoopsGreatDivision
+from repro.relation import Relation
+from repro.workloads import make_division_workload, textbook_catalog
+from tests.strategies import dividends, divisors
+
+
+@pytest.fixture
+def catalog():
+    workload = make_division_workload(num_groups=30, divisor_size=4, seed=2)
+    cat = Catalog()
+    cat.add_table("r1", workload.dividend)
+    cat.add_table("r2", workload.divisor)
+    return cat
+
+
+class TestPlannerOptions:
+    def test_defaults(self):
+        options = PlannerOptions()
+        assert options.small_divide_algorithm == "hash"
+        assert options.great_divide_algorithm == "hash"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(PlanningError):
+            PlannerOptions(small_divide_algorithm="quantum")
+        with pytest.raises(PlanningError):
+            PlannerOptions(great_divide_algorithm="quantum")
+
+
+class TestPhysicalPlanner:
+    def test_every_logical_operator_is_mapped(self, catalog):
+        r1, r2 = catalog.ref("r1"), catalog.ref("r2")
+        planner = PhysicalPlanner(catalog)
+        expressions = [
+            r1,
+            B.literal(Relation(["x"], [(1,)])),
+            B.project(r1, ["a"]),
+            B.select(r1, P.equals(P.attr("a"), 1)),
+            B.rename(r1, {"a": "aa"}),
+            B.group_by(r1, ["a"], [B.aggregate("count", "b", "n")]),
+            B.union(r2, r2),
+            B.intersection(r2, r2),
+            B.difference(r2, r2),
+            B.product(B.project(r1, ["a"]), r2),
+            B.theta_join(B.project(r1, ["a"]), r2, P.less_than(P.attr("a"), P.attr("b"))),
+            B.natural_join(r1, r2),
+            B.semijoin(r1, r2),
+            B.antijoin(r1, r2),
+            B.outer_join(r1, r2),
+            B.divide(r1, r2),
+            B.great_divide(r1, B.literal(Relation(["b", "c"], [(1, 1)]))),
+        ]
+        for expression in expressions:
+            plan = planner.plan(expression)
+            assert plan.execute() == expression.evaluate(catalog), expression.to_text()
+
+    def test_algorithm_selection(self, catalog):
+        r1, r2 = catalog.ref("r1"), catalog.ref("r2")
+        planner = PhysicalPlanner(catalog, PlannerOptions(small_divide_algorithm="merge_sort"))
+        plan = planner.plan(B.divide(r1, r2))
+        assert isinstance(plan, MergeSortDivision)
+        default_plan = PhysicalPlanner(catalog).plan(B.divide(r1, r2))
+        assert isinstance(default_plan, HashDivision)
+
+    def test_great_divide_algorithm_selection(self, catalog):
+        r1 = catalog.ref("r1")
+        divisor = B.literal(Relation(["b", "c"], [(1, 1), (2, 1)]))
+        planner = PhysicalPlanner(catalog, PlannerOptions(great_divide_algorithm="nested_loops"))
+        assert isinstance(planner.plan(B.great_divide(r1, divisor)), NestedLoopsGreatDivision)
+
+
+class TestOptimizerFacade:
+    def test_optimize_reports_rules_and_costs(self, catalog):
+        optimizer = Optimizer(catalog)
+        r1, r2 = catalog.ref("r1"), catalog.ref("r2")
+        query = B.select(B.divide(r1, r2), P.equals(P.attr("a"), 1))
+        result = optimizer.optimize(query)
+        assert "law_03_selection_pushdown" in result.rules_fired
+        assert result.estimated_speedup >= 1.0
+        assert result.plan.execute() == query.evaluate(catalog)
+
+    def test_execute_runs_the_optimized_plan(self, catalog):
+        optimizer = Optimizer(catalog)
+        query = B.divide(catalog.ref("r1"), catalog.ref("r2"))
+        result = optimizer.execute(query)
+        assert result.relation == query.evaluate(catalog)
+        assert result.statistics.total_tuples > 0
+
+    def test_plan_without_rewriting_is_the_baseline(self, catalog):
+        optimizer = Optimizer(catalog)
+        r1, r2 = catalog.ref("r1"), catalog.ref("r2")
+        query = B.select(B.divide(r1, r2), P.equals(P.attr("a"), 1))
+        baseline = optimizer.plan_without_rewriting(query)
+        assert baseline.execute() == query.evaluate(catalog)
+
+    def test_cost_based_mode(self, catalog):
+        optimizer = Optimizer(catalog, cost_based=True)
+        r1, r2 = catalog.ref("r1"), catalog.ref("r2")
+        query = B.select(B.divide(r1, r2), P.equals(P.attr("a"), 1))
+        result = optimizer.optimize(query)
+        assert result.plan.execute() == query.evaluate(catalog)
+        assert result.rewritten_cost.total_cost <= result.original_cost.total_cost
+
+    def test_suppliers_parts_query_q1_shape(self):
+        """The Q1 query built by hand through the algebra (SQL tests cover parsing)."""
+        catalog = textbook_catalog()
+        supplies = catalog.ref("supplies")
+        parts = catalog.ref("parts")
+        query = B.great_divide(supplies, parts)
+        optimizer = Optimizer(catalog)
+        result = optimizer.execute(query)
+        assert ("s1", "blue") in result.relation.to_tuples(["s_no", "color"])
+        assert ("s1", "red") in result.relation.to_tuples(["s_no", "color"])
+        assert ("s3", "blue") not in result.relation.to_tuples(["s_no", "color"])
+
+    @pytest.mark.parametrize("cost_based", [False, True])
+    def test_optimizer_preserves_semantics_on_random_inputs(self, cost_based):
+        from hypothesis import given, settings
+
+        @settings(max_examples=20, deadline=None)
+        @given(dividend=dividends(), divisor=divisors())
+        def run(dividend, divisor):
+            catalog = Catalog()
+            catalog.add_table("r1", dividend)
+            catalog.add_table("r2", divisor)
+            optimizer = Optimizer(catalog, cost_based=cost_based)
+            query = B.select(
+                B.divide(catalog.ref("r1"), catalog.ref("r2")), P.not_equals(P.attr("a"), 0)
+            )
+            result = optimizer.optimize(query)
+            assert result.plan.execute() == query.evaluate(catalog)
+
+        run()

@@ -1,0 +1,146 @@
+"""Tests for the heuristic/cost-based rewriters and the cost model."""
+
+import pytest
+
+from repro.algebra import builders as B
+from repro.algebra import predicates as P
+from repro.algebra.catalog import Catalog
+from repro.laws import RewriteContext, get_rule, pushdown_rules
+from repro.optimizer import CostBasedRewriter, CostModel, HeuristicRewriter, StatisticsCatalog
+from repro.relation import Relation
+from repro.workloads import make_division_workload
+
+
+@pytest.fixture
+def catalog():
+    workload = make_division_workload(num_groups=60, divisor_size=6, containing_fraction=0.3, seed=9)
+    cat = Catalog()
+    cat.add_table("r1", workload.dividend)
+    cat.add_table("r2", workload.divisor)
+    cat.add_table("interesting", Relation(["a"], [(0,), (1,), (2,)]))
+    return cat
+
+
+@pytest.fixture
+def statistics(catalog):
+    return StatisticsCatalog.from_database(catalog)
+
+
+@pytest.fixture
+def cost_model(statistics):
+    return CostModel(statistics)
+
+
+class TestCostModel:
+    def test_cost_is_positive_and_monotone_in_tree_size(self, catalog, cost_model):
+        r1 = catalog.ref("r1")
+        small = cost_model.cost(r1)
+        bigger = cost_model.cost(B.project(r1, ["a"]))
+        assert 0 < small < bigger
+
+    def test_selection_pushdown_is_cheaper(self, catalog, cost_model):
+        """Law 3's direction: filtering the dividend first costs less."""
+        r1, r2 = catalog.ref("r1"), catalog.ref("r2")
+        predicate = P.equals(P.attr("a"), 1)
+        outside = B.select(B.divide(r1, r2), predicate)
+        inside = B.divide(B.select(r1, predicate), r2)
+        assert cost_model.cost(inside) < cost_model.cost(outside)
+
+    def test_law7_short_circuit_is_cheaper(self, catalog, cost_model):
+        r1, r2 = catalog.ref("r1"), catalog.ref("r2")
+        low = B.select(r1, P.less_than(P.attr("a"), 10))
+        high = B.select(r1, P.greater_equal(P.attr("a"), 10))
+        both = B.difference(B.divide(low, r2), B.divide(high, r2))
+        only_first = B.divide(low, r2)
+        assert cost_model.cost(only_first) < cost_model.cost(both)
+
+    def test_report_and_cheapest(self, catalog, cost_model):
+        r1, r2 = catalog.ref("r1"), catalog.ref("r2")
+        report = cost_model.report(B.divide(r1, r2))
+        assert report.total_cost > 0
+        assert report.output_cardinality >= 0
+        alternatives = [B.divide(r1, r2), B.project(B.divide(r1, r2), ["a"])]
+        assert cost_model.cheapest(alternatives) == alternatives[0]
+
+
+class TestHeuristicRewriter:
+    def test_pushes_selection_below_divide(self, catalog):
+        rewriter = HeuristicRewriter(context=RewriteContext.from_catalog(catalog))
+        r1, r2 = catalog.ref("r1"), catalog.ref("r2")
+        query = B.select(B.divide(r1, r2), P.equals(P.attr("a"), 1))
+        report = rewriter.rewrite(query)
+        assert "law_03_selection_pushdown" in report.rules_fired
+        assert report.result.evaluate(catalog) == query.evaluate(catalog)
+
+    def test_semijoin_pushdown_via_law_10(self, catalog):
+        rewriter = HeuristicRewriter(context=RewriteContext.from_catalog(catalog))
+        r1, r2 = catalog.ref("r1"), catalog.ref("r2")
+        query = B.semijoin(B.divide(r1, r2), catalog.ref("interesting"))
+        report = rewriter.rewrite(query)
+        assert "law_10_semijoin_commute" in report.rules_fired
+        assert report.result.evaluate(catalog) == query.evaluate(catalog)
+
+    def test_fixpoint_terminates_with_all_rules(self, catalog):
+        rewriter = HeuristicRewriter(context=RewriteContext.from_catalog(catalog))
+        r1, r2 = catalog.ref("r1"), catalog.ref("r2")
+        predicate = P.less_than(P.attr("b"), 3)
+        query = B.divide(r1, B.select(r2, predicate))
+        report = rewriter.rewrite(query)
+        assert report.result.evaluate(catalog) == query.evaluate(catalog)
+        # The rewriter must not have exploded the expression.
+        assert report.result.size() < 30
+
+    def test_no_rules_no_changes(self, catalog):
+        rewriter = HeuristicRewriter(rules=[], context=RewriteContext.from_catalog(catalog))
+        query = B.divide(catalog.ref("r1"), catalog.ref("r2"))
+        report = rewriter.rewrite(query)
+        assert report.result == query
+        assert len(report) == 0
+
+    def test_static_rule_set_never_needs_data(self, catalog):
+        rewriter = HeuristicRewriter(
+            rules=pushdown_rules(), context=RewriteContext(static_only=True)
+        )
+        r1, r2 = catalog.ref("r1"), catalog.ref("r2")
+        query = B.select(B.divide(r1, r2), P.equals(P.attr("a"), 1))
+        report = rewriter.rewrite(query)
+        assert report.result.evaluate(catalog) == query.evaluate(catalog)
+        assert "law_03_selection_pushdown" in report.rules_fired
+
+
+class TestCostBasedRewriter:
+    def test_explores_alternatives_and_preserves_semantics(self, catalog, cost_model):
+        rewriter = CostBasedRewriter(cost_model, context=RewriteContext.from_catalog(catalog))
+        r1, r2 = catalog.ref("r1"), catalog.ref("r2")
+        query = B.select(B.divide(r1, r2), P.equals(P.attr("a"), 1))
+        report = rewriter.rewrite(query)
+        assert report.result.evaluate(catalog) == query.evaluate(catalog)
+        assert cost_model.cost(report.result) <= cost_model.cost(query)
+
+    def test_applies_law7_when_candidates_are_disjoint(self, catalog, cost_model):
+        rewriter = CostBasedRewriter(cost_model, context=RewriteContext.from_catalog(catalog))
+        r1, r2 = catalog.ref("r1"), catalog.ref("r2")
+        low = B.select(r1, P.less_than(P.attr("a"), 30))
+        high = B.select(r1, P.greater_equal(P.attr("a"), 30))
+        query = B.difference(B.divide(low, r2), B.divide(high, r2))
+        report = rewriter.rewrite(query)
+        assert report.result.evaluate(catalog) == query.evaluate(catalog)
+        assert "law_07_disjoint_difference_elimination" in {r.rule for r in report.applied}
+        # The chosen plan contains a single divide.
+        assert sum("divide" == type(node).__name__.lower() or node.__class__.__name__ == "SmallDivide" for node in report.result.walk() if node.__class__.__name__ == "SmallDivide") <= 1
+
+
+class TestLaw11RewriteThroughOptimizerRules:
+    def test_grouped_dividend_rule_via_rewriter(self, figure10_relations):
+        catalog = Catalog()
+        catalog.add_table("r0", figure10_relations["r0"])
+        catalog.add_table("r2", figure10_relations["r2"])
+        rewriter = HeuristicRewriter(
+            rules=[get_rule("law_11_grouped_dividend")],
+            context=RewriteContext.from_catalog(catalog),
+        )
+        grouped = B.group_by(catalog.ref("r0"), ["a"], [B.aggregate("sum", "x", "b")])
+        query = B.divide(grouped, catalog.ref("r2"))
+        report = rewriter.rewrite(query)
+        assert report.rules_fired == ["law_11_grouped_dividend"]
+        assert report.result.evaluate(catalog) == figure10_relations["quotient"]

@@ -1,0 +1,103 @@
+"""Tests for table statistics and cardinality estimation."""
+
+import pytest
+
+from repro.algebra import builders as B
+from repro.algebra import predicates as P
+from repro.optimizer import CardinalityEstimator, StatisticsCatalog, TableStatistics
+from repro.relation import Relation
+from repro.workloads import make_division_workload
+
+
+@pytest.fixture
+def workload():
+    return make_division_workload(num_groups=50, divisor_size=6, containing_fraction=0.4, seed=5)
+
+
+@pytest.fixture
+def statistics(workload):
+    return StatisticsCatalog.from_database(
+        {"r1": workload.dividend, "r2": workload.divisor}
+    )
+
+
+@pytest.fixture
+def estimator(statistics):
+    return CardinalityEstimator(statistics)
+
+
+@pytest.fixture
+def r1(workload):
+    return B.ref("r1", workload.dividend.attributes)
+
+
+@pytest.fixture
+def r2(workload):
+    return B.ref("r2", workload.divisor.attributes)
+
+
+class TestTableStatistics:
+    def test_from_relation(self, figure1_dividend):
+        stats = TableStatistics.from_relation(figure1_dividend)
+        assert stats.cardinality == 9
+        assert stats.distinct_values["a"] == 3
+        assert stats.distinct_values["b"] == 4
+
+    def test_unknown_attribute_defaults_to_one(self, figure1_dividend):
+        stats = TableStatistics.from_relation(figure1_dividend)
+        assert stats.distinct("missing") == 1
+
+    def test_catalog_lookup_and_default(self, statistics):
+        assert "r1" in statistics
+        assert "unknown" not in statistics
+        assert statistics.table("unknown").cardinality == 1000
+
+
+class TestCardinalityEstimation:
+    def test_base_table(self, estimator, r1, workload):
+        assert estimator.cardinality(r1) == len(workload.dividend)
+
+    def test_projection_bounded_by_distinct_count(self, estimator, r1, workload):
+        estimate = estimator.cardinality(B.project(r1, ["a"]))
+        actual = len(workload.dividend.project(["a"]))
+        assert estimate == pytest.approx(actual, rel=0.01)
+
+    def test_equality_selection_uses_distinct_count(self, estimator, r1, workload):
+        estimate = estimator.cardinality(B.select(r1, P.equals(P.attr("a"), 1)))
+        expected = len(workload.dividend) / len(workload.dividend.project(["a"]))
+        assert estimate == pytest.approx(expected, rel=0.01)
+
+    def test_product_multiplies(self, estimator, workload):
+        left = B.ref("r1", workload.dividend.attributes)
+        right = B.literal(Relation(["z"], [(1,), (2,)]))
+        assert estimator.cardinality(B.product(left, right)) == pytest.approx(
+            2 * len(workload.dividend)
+        )
+
+    def test_union_adds(self, estimator, r2, workload):
+        assert estimator.cardinality(B.union(r2, r2)) == pytest.approx(2 * len(workload.divisor))
+
+    def test_small_divide_estimate_is_sane(self, estimator, r1, r2, workload):
+        """The estimate must stay within [0, number of candidates]."""
+        estimate = estimator.cardinality(B.divide(r1, r2))
+        candidates = len(workload.dividend.project(["a"]))
+        assert 0 <= estimate <= candidates
+
+    def test_divide_estimate_decreases_with_divisor_size(self, statistics, workload):
+        estimator = CardinalityEstimator(statistics)
+        r1 = B.ref("r1", workload.dividend.attributes)
+        small = estimator.cardinality(B.divide(r1, B.literal(Relation(["b"], [(0,)]))))
+        large = estimator.cardinality(
+            B.divide(r1, B.literal(Relation(["b"], [(0,), (1,), (2,), (3,), (4,)])))
+        )
+        assert large <= small
+
+    def test_great_divide_estimate_is_sane(self, estimator, r1, workload):
+        divisor = B.literal(Relation(["b", "c"], [(1, 1), (2, 1), (1, 2)]))
+        estimate = estimator.cardinality(B.great_divide(r1, divisor))
+        candidates = len(workload.dividend.project(["a"]))
+        assert 0 <= estimate <= candidates * 2
+
+    def test_semijoin_is_reducing(self, estimator, r1, workload):
+        estimate = estimator.cardinality(B.semijoin(r1, B.literal(Relation(["a"], [(1,)]))))
+        assert estimate <= len(workload.dividend)

@@ -1,0 +1,151 @@
+"""Tests for scans, basic operators, joins and aggregation."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.physical import (
+    DifferenceOp,
+    DuplicateElimination,
+    Filter,
+    HashAggregate,
+    HashAntiJoin,
+    HashJoin,
+    HashLeftOuterJoin,
+    HashSemiJoin,
+    IntersectOp,
+    NestedLoopsJoin,
+    ProductOp,
+    ProjectOp,
+    RelationScan,
+    RenameOp,
+    TableScan,
+    UnionOp,
+    execute_plan,
+)
+from repro.relation import NULL, Relation, aggregates
+
+
+def scan(relation):
+    return RelationScan(relation)
+
+
+class TestScans:
+    def test_relation_scan(self, figure1_dividend):
+        assert scan(figure1_dividend).execute() == figure1_dividend
+
+    def test_table_scan(self, figure1_dividend):
+        operator = TableScan({"r1": figure1_dividend}, "r1")
+        assert operator.execute() == figure1_dividend
+        assert "r1" in operator.describe()
+
+    def test_table_scan_unknown_table(self):
+        with pytest.raises(ExecutionError):
+            TableScan({}, "missing")
+
+    def test_tuple_counter(self, figure1_dividend):
+        operator = scan(figure1_dividend)
+        operator.execute()
+        assert operator.tuples_out == len(figure1_dividend)
+
+
+class TestBasicOperators:
+    def test_filter(self, figure1_dividend):
+        operator = Filter(scan(figure1_dividend), lambda row: row["a"] == 2)
+        assert operator.execute().to_set("b") == {1, 2, 3, 4}
+
+    def test_project_eliminates_duplicates(self, figure1_dividend):
+        operator = ProjectOp(scan(figure1_dividend), ["a"])
+        result = operator.execute()
+        assert result.to_set("a") == {1, 2, 3}
+        assert operator.tuples_out == 3  # duplicates removed while streaming
+
+    def test_rename(self, figure1_divisor):
+        operator = RenameOp(scan(figure1_divisor), {"b": "x"})
+        assert operator.execute().to_set("x") == {1, 3}
+
+    def test_duplicate_elimination(self, figure1_dividend):
+        operator = DuplicateElimination(scan(figure1_dividend))
+        assert operator.execute() == figure1_dividend
+
+    def test_union_intersect_difference(self):
+        left = scan(Relation(["a"], [(1,), (2,)]))
+        right = scan(Relation(["a"], [(2,), (3,)]))
+        assert UnionOp(left, right).execute().to_set("a") == {1, 2, 3}
+        left2 = scan(Relation(["a"], [(1,), (2,)]))
+        right2 = scan(Relation(["a"], [(2,), (3,)]))
+        assert IntersectOp(left2, right2).execute().to_set("a") == {2}
+        left3 = scan(Relation(["a"], [(1,), (2,)]))
+        right3 = scan(Relation(["a"], [(2,), (3,)]))
+        assert DifferenceOp(left3, right3).execute().to_set("a") == {1}
+
+    def test_product(self):
+        operator = ProductOp(scan(Relation(["a"], [(1,), (2,)])), scan(Relation(["b"], [(9,)])))
+        assert operator.execute().to_tuples(["a", "b"]) == {(1, 9), (2, 9)}
+
+    def test_explain_renders_tree(self, figure1_dividend):
+        plan = ProjectOp(Filter(scan(figure1_dividend), lambda row: True), ["a"])
+        text = plan.explain()
+        assert "Project" in text and "Filter" in text and "RelationScan" in text
+
+
+class TestJoins:
+    def test_nested_loops_join(self):
+        left = scan(Relation(["x"], [(1,), (2,)]))
+        right = scan(Relation(["y"], [(1,), (3,)]))
+        operator = NestedLoopsJoin(left, right, lambda row: row["x"] < row["y"])
+        assert operator.execute().to_tuples(["x", "y"]) == {(1, 3), (2, 3)}
+
+    def test_hash_join_matches_natural_join(self, figure1_dividend, figure1_divisor):
+        expected = figure1_dividend.natural_join(figure1_divisor)
+        operator = HashJoin(scan(figure1_dividend), scan(figure1_divisor))
+        assert operator.execute() == expected
+
+    def test_hash_join_without_shared_attributes_is_product(self):
+        left = scan(Relation(["a"], [(1,)]))
+        right = scan(Relation(["b"], [(2,), (3,)]))
+        assert len(HashJoin(left, right).execute()) == 2
+
+    def test_hash_semi_and_anti_join(self, figure1_dividend, figure1_divisor):
+        semi = HashSemiJoin(scan(figure1_dividend), scan(figure1_divisor)).execute()
+        anti = HashAntiJoin(scan(figure1_dividend), scan(figure1_divisor)).execute()
+        assert semi == figure1_dividend.semijoin(figure1_divisor)
+        assert anti == figure1_dividend.antijoin(figure1_divisor)
+        assert semi.union(anti) == figure1_dividend
+
+    def test_hash_outer_join(self):
+        left = scan(Relation(["b", "tag"], [(1, "x"), (99, "y")]))
+        right = scan(Relation(["b", "c"], [(1, "q")]))
+        result = HashLeftOuterJoin(left, right).execute()
+        assert len(result) == 2
+        padded = [row for row in result if row["b"] == 99]
+        assert padded[0]["c"] is NULL
+
+
+class TestAggregation:
+    def test_hash_aggregate(self, figure1_dividend):
+        operator = HashAggregate(scan(figure1_dividend), ["a"], {"n": aggregates.count("b")})
+        assert operator.execute().to_tuples(["a", "n"]) == {(1, 2), (2, 4), (3, 3)}
+
+    def test_global_aggregate(self, figure1_dividend):
+        operator = HashAggregate(scan(figure1_dividend), [], {"n": aggregates.count()})
+        assert operator.execute().to_tuples(["n"]) == {(9,)}
+
+    def test_matches_logical_group_by(self, figure1_dividend):
+        logical = figure1_dividend.group_by(["a"], {"s": aggregates.sum_of("b")})
+        physical = HashAggregate(scan(figure1_dividend), ["a"], {"s": aggregates.sum_of("b")})
+        assert physical.execute() == logical
+
+
+class TestExecutor:
+    def test_execute_plan_collects_statistics(self, figure1_dividend, figure1_divisor):
+        plan = ProductOp(ProjectOp(scan(figure1_dividend), ["a"]), scan(figure1_divisor))
+        result = execute_plan(plan)
+        assert len(result.relation) == 6
+        assert result.statistics.total_tuples > 0
+        assert result.max_intermediate >= 6
+
+    def test_execute_plan_resets_counters(self, figure1_dividend):
+        plan = ProjectOp(scan(figure1_dividend), ["a"])
+        first = execute_plan(plan)
+        second = execute_plan(plan)
+        assert first.statistics.tuples_by_operator == second.statistics.tuples_by_operator

@@ -1,0 +1,120 @@
+"""Tests for the physical division algorithms (small and great divide)."""
+
+import pytest
+from hypothesis import given
+
+from repro.division import great_divide, small_divide
+from repro.errors import ExecutionError
+from repro.physical import (
+    GREAT_DIVIDE_ALGORITHMS,
+    SMALL_DIVIDE_ALGORITHMS,
+    AlgebraSimulationDivision,
+    HashDivision,
+    RelationScan,
+    execute_plan,
+)
+from repro.relation import Relation
+from repro.workloads import make_division_workload, make_great_division_workload
+from tests.strategies import dividends, divisors, great_divisors
+
+
+def scan(relation):
+    return RelationScan(relation)
+
+
+class TestSmallDivideAlgorithms:
+    @pytest.mark.parametrize("name", sorted(SMALL_DIVIDE_ALGORITHMS))
+    def test_figure_1(self, name, figure1_dividend, figure1_divisor, figure1_quotient):
+        algorithm = SMALL_DIVIDE_ALGORITHMS[name]
+        plan = algorithm(scan(figure1_dividend), scan(figure1_divisor))
+        assert plan.execute() == figure1_quotient
+
+    @pytest.mark.parametrize("name", sorted(SMALL_DIVIDE_ALGORITHMS))
+    @given(dividend=dividends(), divisor=divisors())
+    def test_agrees_with_logical_reference(self, name, dividend, divisor):
+        algorithm = SMALL_DIVIDE_ALGORITHMS[name]
+        plan = algorithm(scan(dividend), scan(divisor))
+        assert plan.execute() == small_divide(dividend, divisor)
+
+    @pytest.mark.parametrize("name", sorted(SMALL_DIVIDE_ALGORITHMS))
+    def test_on_generated_workload(self, name):
+        workload = make_division_workload(num_groups=40, divisor_size=5, containing_fraction=0.25, seed=7)
+        algorithm = SMALL_DIVIDE_ALGORITHMS[name]
+        plan = algorithm(scan(workload.dividend), scan(workload.divisor))
+        result = plan.execute()
+        assert result == small_divide(workload.dividend, workload.divisor)
+        assert len(result) == workload.expected_quotient_size
+
+    def test_schema_validation(self, figure1_dividend):
+        with pytest.raises(ExecutionError):
+            HashDivision(scan(figure1_dividend), scan(Relation(["z"], [(1,)])))
+        with pytest.raises(ExecutionError):
+            HashDivision(scan(Relation(["b"], [(1,)])), scan(Relation(["b"], [(1,)])))
+
+    def test_empty_divisor(self, figure1_dividend):
+        plan = HashDivision(scan(figure1_dividend), scan(Relation.empty(["b"])))
+        assert plan.execute().to_set("a") == {1, 2, 3}
+
+    def test_quotient_schema(self, figure1_dividend, figure1_divisor):
+        plan = HashDivision(scan(figure1_dividend), scan(figure1_divisor))
+        assert plan.schema.names == ("a",)
+
+
+class TestIntermediateResultSizes:
+    """The Leinders & Van den Bussche argument: simulation is quadratic."""
+
+    def test_algebra_simulation_produces_quadratic_intermediate(self):
+        workload = make_division_workload(num_groups=30, divisor_size=6, seed=3)
+        candidates = len(workload.dividend.project(["a"]))
+
+        simulated = AlgebraSimulationDivision(scan(workload.dividend), scan(workload.divisor))
+        simulated_stats = execute_plan(simulated).statistics
+        hash_division = HashDivision(scan(workload.dividend), scan(workload.divisor))
+        hash_stats = execute_plan(hash_division).statistics
+
+        # The simulation materializes π_A(r1) × r2 — |candidates| * |divisor| tuples.
+        assert simulated_stats.max_intermediate >= candidates * len(workload.divisor)
+        # The special-purpose operator never exceeds its input size.
+        assert hash_stats.max_intermediate <= len(workload.dividend)
+
+    def test_both_produce_the_same_answer(self):
+        workload = make_division_workload(num_groups=30, divisor_size=6, seed=3)
+        simulated = AlgebraSimulationDivision(scan(workload.dividend), scan(workload.divisor))
+        hash_division = HashDivision(scan(workload.dividend), scan(workload.divisor))
+        assert simulated.execute() == hash_division.execute()
+
+
+class TestGreatDivideAlgorithms:
+    @pytest.mark.parametrize("name", sorted(GREAT_DIVIDE_ALGORITHMS))
+    def test_figure_2(self, name, figure1_dividend, figure2_divisor, figure2_quotient):
+        algorithm = GREAT_DIVIDE_ALGORITHMS[name]
+        plan = algorithm(scan(figure1_dividend), scan(figure2_divisor))
+        assert plan.execute() == figure2_quotient
+
+    @pytest.mark.parametrize("name", sorted(GREAT_DIVIDE_ALGORITHMS))
+    @given(dividend=dividends(), divisor=great_divisors())
+    def test_agrees_with_logical_reference(self, name, dividend, divisor):
+        algorithm = GREAT_DIVIDE_ALGORITHMS[name]
+        plan = algorithm(scan(dividend), scan(divisor))
+        assert plan.execute() == great_divide(dividend, divisor)
+
+    @pytest.mark.parametrize("name", sorted(GREAT_DIVIDE_ALGORITHMS))
+    def test_on_generated_workload(self, name):
+        workload = make_great_division_workload(seed=11)
+        algorithm = GREAT_DIVIDE_ALGORITHMS[name]
+        plan = algorithm(scan(workload.dividend), scan(workload.divisor))
+        result = plan.execute()
+        assert result == great_divide(workload.dividend, workload.divisor)
+        assert len(result) == workload.expected_quotient_size
+
+    def test_schema_validation(self, figure1_dividend):
+        algorithm = GREAT_DIVIDE_ALGORITHMS["hash"]
+        with pytest.raises(ExecutionError):
+            algorithm(scan(figure1_dividend), scan(Relation(["z", "c"], [(1, 1)])))
+
+    def test_duplicate_divisor_rows_do_not_inflate_group_size(self, figure1_dividend):
+        """Hash great division must count distinct (c, b) pairs only."""
+        divisor = Relation(["b", "c"], [(1, 1), (3, 1)])
+        duplicated = RelationScan(divisor)
+        plan = GREAT_DIVIDE_ALGORITHMS["hash"](scan(figure1_dividend), duplicated)
+        assert plan.execute().to_tuples(["a", "c"]) == {(2, 1), (3, 1)}

@@ -1,0 +1,79 @@
+"""Direct tests for the aggregate helpers (error paths and labels)."""
+
+import pytest
+
+from repro.errors import RelationError
+from repro.relation import Relation, Row, aggregates
+
+
+class TestLabels:
+    def test_labels_describe_the_aggregate(self):
+        assert aggregates.count()[0] == "count(*)"
+        assert aggregates.count("b")[0] == "count(b)"
+        assert aggregates.count_distinct("b")[0] == "count(distinct b)"
+        assert aggregates.sum_of("x")[0] == "sum(x)"
+        assert aggregates.min_of("x")[0] == "min(x)"
+        assert aggregates.max_of("x")[0] == "max(x)"
+        assert aggregates.avg_of("x")[0] == "avg(x)"
+        assert aggregates.collect_set("x")[0] == "collect_set(x)"
+
+
+class TestEmptyGroups:
+    def test_count_of_empty_group_is_zero(self):
+        _, fn = aggregates.count()
+        assert fn([]) == 0
+
+    def test_sum_of_empty_group_is_zero(self):
+        _, fn = aggregates.sum_of("x")
+        assert fn([]) == 0
+
+    def test_min_max_avg_of_empty_group_raise(self):
+        for factory in (aggregates.min_of, aggregates.max_of, aggregates.avg_of):
+            _, fn = factory("x")
+            with pytest.raises(RelationError):
+                fn([])
+
+    def test_collect_set_of_empty_group_is_empty(self):
+        _, fn = aggregates.collect_set("x")
+        assert fn([]) == frozenset()
+
+
+class TestNullHandling:
+    def test_count_skips_none_values(self):
+        rows = [Row({"b": 1}), Row({"b": None})]
+        _, fn = aggregates.count("b")
+        assert fn(rows) == 1
+
+    def test_count_star_counts_every_row(self):
+        rows = [Row({"b": 1}), Row({"b": None})]
+        _, fn = aggregates.count()
+        assert fn(rows) == 2
+
+    def test_count_distinct_skips_none_values(self):
+        rows = [Row({"b": 1}), Row({"b": 1}), Row({"b": None})]
+        _, fn = aggregates.count_distinct("b")
+        assert fn(rows) == 1
+
+
+class TestIntegrationWithGroupBy:
+    def test_counting_division_building_block(self, figure1_dividend, figure1_divisor):
+        """The counting formulation of footnote 1: per-group match counts."""
+        restricted = figure1_dividend.semijoin(figure1_divisor)
+        counts = restricted.group_by(["a"], {"c": aggregates.count_distinct("b")})
+        full = {row["a"]: row["c"] for row in counts}
+        assert full == {1: 1, 2: 2, 3: 2}
+
+    def test_multiple_aggregates_in_one_pass(self):
+        relation = Relation(["g", "x"], [(1, 5), (1, 7), (2, 1)])
+        result = relation.group_by(
+            ["g"],
+            {
+                "n": aggregates.count("x"),
+                "total": aggregates.sum_of("x"),
+                "values": aggregates.collect_set("x"),
+            },
+        )
+        assert result.to_tuples(["g", "n", "total", "values"]) == {
+            (1, 2, 12, frozenset({5, 7})),
+            (2, 1, 1, frozenset({1})),
+        }

@@ -1,0 +1,47 @@
+"""Tests for ASCII rendering of relations."""
+
+from repro.relation import NULL, Relation
+from repro.relation.render import render_relation, render_side_by_side
+
+
+class TestRenderRelation:
+    def test_contains_header_and_rows(self):
+        text = render_relation(Relation(["a", "b"], [(1, 2)]), title="r1")
+        assert "r1" in text
+        assert "| a | b |" in text
+        assert "| 1 | 2 |" in text
+        assert "(1 row)" in text
+
+    def test_row_count_pluralisation(self):
+        text = render_relation(Relation(["a"], [(1,), (2,)]))
+        assert "(2 rows)" in text
+
+    def test_respects_column_order(self):
+        text = render_relation(Relation(["a", "b"], [(1, 2)]), attributes=["b", "a"])
+        assert "| b | a |" in text
+
+    def test_renders_null_and_sets(self):
+        relation = Relation(["a", "s"], [(NULL, frozenset({1, 2}))])
+        text = render_relation(relation)
+        assert "NULL" in text
+        assert "{1, 2}" in text
+
+    def test_empty_relation(self):
+        text = render_relation(Relation.empty(["a"]))
+        assert "(0 rows)" in text
+
+
+class TestSideBySide:
+    def test_blocks_are_joined_horizontally(self):
+        left = render_relation(Relation(["a"], [(1,)]), title="left")
+        right = render_relation(Relation(["b"], [(2,)]), title="right")
+        combined = render_side_by_side([left, right])
+        first_line = combined.splitlines()[0]
+        assert "left" in first_line and "right" in first_line
+
+    def test_uneven_heights_are_padded(self):
+        tall = render_relation(Relation(["a"], [(1,), (2,), (3,)]))
+        short = render_relation(Relation(["b"], [(1,)]))
+        combined = render_side_by_side([tall, short])
+        widths = {len(line) for line in combined.splitlines()}
+        assert len(widths) == 1

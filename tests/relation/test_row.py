@@ -1,0 +1,58 @@
+"""Tests for repro.relation.row."""
+
+import pytest
+
+from repro.errors import RelationError
+from repro.relation import Row
+
+
+class TestRowBasics:
+    def test_mapping_access(self):
+        row = Row({"a": 1, "b": "x"})
+        assert row["a"] == 1
+        assert row["b"] == "x"
+        assert len(row) == 2
+        assert set(row) == {"a", "b"}
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(RelationError, match="no attribute"):
+            Row({"a": 1})["z"]
+
+    def test_equality_and_hash_by_value(self):
+        assert Row({"a": 1, "b": 2}) == Row({"b": 2, "a": 1})
+        assert hash(Row({"a": 1})) == hash(Row({"a": 1}))
+
+    def test_equality_with_plain_mapping(self):
+        assert Row({"a": 1}) == {"a": 1}
+
+    def test_unhashable_value_rejected(self):
+        with pytest.raises(RelationError, match="hashable"):
+            Row({"a": [1, 2]})
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(RelationError):
+            Row({"": 1})
+
+
+class TestRowOperations:
+    def test_project(self):
+        assert Row({"a": 1, "b": 2}).project(["b"]) == Row({"b": 2})
+
+    def test_rename(self):
+        assert Row({"a": 1}).rename({"a": "x"}) == Row({"x": 1})
+
+    def test_merge_disjoint(self):
+        assert Row({"a": 1}).merge(Row({"b": 2})) == Row({"a": 1, "b": 2})
+
+    def test_merge_agreeing_overlap(self):
+        assert Row({"a": 1, "b": 2}).merge(Row({"b": 2, "c": 3})) == Row({"a": 1, "b": 2, "c": 3})
+
+    def test_merge_conflicting_overlap_raises(self):
+        with pytest.raises(RelationError, match="disagree"):
+            Row({"a": 1}).merge(Row({"a": 2}))
+
+    def test_values_for_order(self):
+        assert Row({"a": 1, "b": 2}).values_for(["b", "a"]) == (2, 1)
+
+    def test_with_values(self):
+        assert Row({"a": 1}).with_values({"b": 2, "a": 5}) == Row({"a": 5, "b": 2})

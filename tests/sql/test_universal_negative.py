@@ -1,0 +1,137 @@
+"""Negative tests for the universal-quantification recognizer.
+
+The paper stresses that detecting the rewritable NOT-EXISTS constructs is
+hard: "Only if the appropriate joins between inner and outer query are
+present does the query solve a real set containment problem."  These tests
+pin down the boundary: queries that look similar but are *not* the pattern
+must not be rewritten into a divide.
+"""
+
+import pytest
+
+from repro.errors import SQLTranslationError
+from repro.sql import match_universal_quantification, parse, translate_sql
+from repro.workloads import textbook_catalog
+
+
+def _match(sql: str):
+    return match_universal_quantification(parse(sql))
+
+
+class TestPatternBoundaries:
+    def test_single_not_exists_is_not_the_pattern(self):
+        sql = """
+            SELECT s_no FROM supplies AS s1
+            WHERE NOT EXISTS (SELECT * FROM parts AS p WHERE p.p_no = s1.p_no)
+        """
+        assert _match(sql) is None
+
+    def test_exists_instead_of_not_exists(self):
+        sql = """
+            SELECT s_no FROM supplies AS s1
+            WHERE EXISTS (
+                SELECT * FROM parts AS p2
+                WHERE p2.color = 'blue' AND NOT EXISTS (
+                    SELECT * FROM supplies AS s2
+                    WHERE s2.p_no = p2.p_no AND s2.s_no = s1.s_no))
+        """
+        assert _match(sql) is None
+
+    def test_missing_outer_correlation_in_inner_query(self):
+        """Without the s2.s_no = s1.s_no join the query is not a containment test."""
+        sql = """
+            SELECT DISTINCT s_no FROM supplies AS s1
+            WHERE NOT EXISTS (
+                SELECT * FROM parts AS p2
+                WHERE p2.color = 'blue' AND NOT EXISTS (
+                    SELECT * FROM supplies AS s2
+                    WHERE s2.p_no = p2.p_no))
+        """
+        assert _match(sql) is None
+
+    def test_missing_divisor_link_in_inner_query(self):
+        """Without the s2.p_no = p2.p_no join there is no divisor attribute B."""
+        sql = """
+            SELECT DISTINCT s_no FROM supplies AS s1
+            WHERE NOT EXISTS (
+                SELECT * FROM parts AS p2
+                WHERE p2.color = 'blue' AND NOT EXISTS (
+                    SELECT * FROM supplies AS s2
+                    WHERE s2.s_no = s1.s_no))
+        """
+        assert _match(sql) is None
+
+    def test_inner_query_over_wrong_table(self):
+        """The innermost subquery must re-reference the dividend table."""
+        sql = """
+            SELECT DISTINCT s_no FROM supplies AS s1
+            WHERE NOT EXISTS (
+                SELECT * FROM parts AS p2
+                WHERE p2.color = 'blue' AND NOT EXISTS (
+                    SELECT * FROM parts AS s2
+                    WHERE s2.p_no = p2.p_no AND s2.p_no = s1.p_no))
+        """
+        assert _match(sql) is None
+
+    def test_extra_outer_conjunct_blocks_the_pattern(self):
+        sql = """
+            SELECT DISTINCT s_no FROM supplies AS s1
+            WHERE s1.s_no = 's1' AND NOT EXISTS (
+                SELECT * FROM parts AS p2
+                WHERE p2.color = 'blue' AND NOT EXISTS (
+                    SELECT * FROM supplies AS s2
+                    WHERE s2.p_no = p2.p_no AND s2.s_no = s1.s_no))
+        """
+        assert _match(sql) is None
+
+    def test_disjunctive_middle_condition_blocks_the_pattern(self):
+        sql = """
+            SELECT DISTINCT s_no FROM supplies AS s1
+            WHERE NOT EXISTS (
+                SELECT * FROM parts AS p2
+                WHERE p2.color = 'blue' OR NOT EXISTS (
+                    SELECT * FROM supplies AS s2
+                    WHERE s2.p_no = p2.p_no AND s2.s_no = s1.s_no))
+        """
+        assert _match(sql) is None
+
+    def test_three_outer_tables_are_not_supported(self):
+        sql = """
+            SELECT DISTINCT s_no FROM supplies AS s1, parts AS p1, parts AS px
+            WHERE NOT EXISTS (
+                SELECT * FROM parts AS p2
+                WHERE p2.color = p1.color AND NOT EXISTS (
+                    SELECT * FROM supplies AS s2
+                    WHERE s2.p_no = p2.p_no AND s2.s_no = s1.s_no))
+        """
+        assert _match(sql) is None
+
+
+class TestTranslationFallout:
+    def test_unmatched_not_exists_raises_a_clear_error(self):
+        catalog = textbook_catalog()
+        sql = """
+            SELECT s_no FROM supplies AS s1
+            WHERE NOT EXISTS (SELECT * FROM parts AS p WHERE p.p_no = s1.p_no)
+        """
+        with pytest.raises(SQLTranslationError, match="universal-quantification"):
+            translate_sql(sql, catalog)
+
+    def test_pattern_with_partial_outer_correlation_is_rejected_by_translator(self):
+        """The recognizer may match, but the translator must refuse when the
+        correlation does not cover every non-divisor dividend attribute."""
+        catalog = textbook_catalog()
+        # supplies(s_no, p_no): the inner query correlates on p_no only, so A
+        # would have to be {s_no} but the correlation says {p_no}.
+        sql = """
+            SELECT DISTINCT s_no FROM supplies AS s1, parts AS p1
+            WHERE NOT EXISTS (
+                SELECT * FROM parts AS p2
+                WHERE p2.color = p1.color AND NOT EXISTS (
+                    SELECT * FROM supplies AS s2
+                    WHERE s2.p_no = p2.p_no AND s2.p_no = s1.p_no))
+        """
+        pattern = _match(sql)
+        if pattern is not None:
+            with pytest.raises(SQLTranslationError):
+                translate_sql(sql, catalog)

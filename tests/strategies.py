@@ -1,0 +1,49 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+The domains are intentionally tiny (a handful of attribute values) so that
+interesting containment relationships — full groups, empty divisors,
+overlapping partitions — occur with high probability in small examples.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.relation import Relation
+
+#: Small value domain; collisions are the point.
+VALUES = st.integers(min_value=0, max_value=3)
+
+
+def relations(attributes, min_rows: int = 0, max_rows: int = 8, values=VALUES):
+    """Strategy producing relations over ``attributes``."""
+    attributes = tuple(attributes)
+    row = st.tuples(*([values] * len(attributes)))
+    return st.lists(row, min_size=min_rows, max_size=max_rows).map(
+        lambda rows: Relation(attributes, rows)
+    )
+
+
+def dividends(min_rows: int = 0, max_rows: int = 12):
+    """Dividend relations r1(a, b)."""
+    return relations(("a", "b"), min_rows=min_rows, max_rows=max_rows)
+
+
+def divisors(min_rows: int = 0, max_rows: int = 4):
+    """Small-divide divisor relations r2(b)."""
+    return relations(("b",), min_rows=min_rows, max_rows=max_rows)
+
+
+def nonempty_divisors(max_rows: int = 4):
+    """Divisor relations with at least one tuple."""
+    return divisors(min_rows=1, max_rows=max_rows)
+
+
+def great_divisors(min_rows: int = 0, max_rows: int = 8):
+    """Great-divide divisor relations r2(b, c)."""
+    return relations(("b", "c"), min_rows=min_rows, max_rows=max_rows)
+
+
+def wide_dividends(min_rows: int = 0, max_rows: int = 12):
+    """Dividend relations r1(a, b1, b2) for the product/join laws."""
+    return relations(("a", "b1", "b2"), min_rows=min_rows, max_rows=max_rows)
