@@ -1,0 +1,20 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check test bench-smoke bench
+
+## Tier-1 gate: the full unit + benchmark-assertion suite, fail fast.
+check:
+	$(PYTHON) -m pytest -x -q
+
+## Unit tests only (skips the benchmarks directory).
+test:
+	$(PYTHON) -m pytest tests -x -q
+
+## Benchmark smoke: run every benchmark once with timing disabled.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks -q --benchmark-disable
+
+## Full timed benchmark run.
+bench:
+	$(PYTHON) -m pytest benchmarks -q

@@ -1,0 +1,76 @@
+"""Micro-benchmarks for the tuple-backed row representation.
+
+The representation refactor replaced per-row dicts (hashed through
+``frozenset(items())``) with interned-schema value tuples.  These benchmarks
+track the three places that matters most:
+
+* ``HashDivision`` at the largest existing workload size — the acceptance
+  gate of the refactor (≥2× over the dict-backed seed implementation);
+* raw row construction (``Row.from_schema`` fast path vs the mapping
+  constructor);
+* the columnar relation fast paths (projection and natural join).
+"""
+
+import pytest
+
+from repro.physical import HashDivision, RelationScan, execute_plan
+from repro.relation import Relation, Row, Schema
+
+
+def test_hash_division_largest_size(benchmark, large_divide_workload):
+    """Hash-division end to end on the largest existing benchmark workload."""
+    dividend = large_divide_workload.dividend
+    divisor = large_divide_workload.divisor
+
+    def run():
+        operator = HashDivision(RelationScan(dividend), RelationScan(divisor))
+        return execute_plan(operator)
+
+    outcome = benchmark(run)
+    assert len(outcome.relation) == large_divide_workload.expected_quotient_size
+    # First-class division never exceeds its input (paper's linearity claim).
+    assert outcome.max_intermediate <= len(dividend)
+
+
+def test_row_construction_from_schema(benchmark):
+    """The fast path: interned schema + aligned value tuple, no dict."""
+    schema = Schema.interned(("a", "b", "c"))
+    values = [(i, i % 7, str(i % 13)) for i in range(2000)]
+
+    def run():
+        return [Row.from_schema(schema, v) for v in values]
+
+    rows = benchmark(run)
+    assert len(rows) == 2000
+
+
+def test_row_construction_from_mapping(benchmark):
+    """The compatibility path through the mapping constructor."""
+    dicts = [{"a": i, "b": i % 7, "c": str(i % 13)} for i in range(2000)]
+
+    def run():
+        return [Row(d) for d in dicts]
+
+    rows = benchmark(run)
+    assert len(rows) == 2000
+    assert rows[0] == Row.from_schema(Schema.interned(("a", "b", "c")), (0, 0, "0"))
+
+
+@pytest.fixture(scope="module")
+def wide_relation():
+    return Relation(
+        ("a", "b", "c", "d"),
+        [(i % 50, i % 11, i % 7, str(i % 3)) for i in range(5000)],
+    )
+
+
+def test_columnar_projection(benchmark, wide_relation):
+    result = benchmark(wide_relation.project, ["a", "c"])
+    assert len(result) == len(wide_relation.to_tuples(["a", "c"]))
+
+
+def test_columnar_natural_join(benchmark, wide_relation):
+    right = Relation(("b", "e"), [(i % 11, i) for i in range(200)])
+    result = benchmark(wide_relation.natural_join, right)
+    assert result.schema.names == ("a", "b", "c", "d", "e")
+    assert len(result) > 0

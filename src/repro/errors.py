@@ -11,6 +11,7 @@ __all__ = [
     "ReproError",
     "SchemaError",
     "RelationError",
+    "RowAttributeError",
     "DivisionError",
     "PredicateError",
     "ExpressionError",
@@ -39,6 +40,18 @@ class SchemaError(ReproError):
 
 class RelationError(ReproError):
     """A relation value is malformed (e.g. a row misses an attribute)."""
+
+
+class RowAttributeError(RelationError, KeyError):
+    """A row was asked for an attribute it does not have.
+
+    Subclasses :class:`KeyError` as well, so the :class:`collections.abc.Mapping`
+    mixins (``get``, ``setdefault``-style lookups) treat it as an ordinary
+    missing-key condition.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ shows repr(args); keep the message
+        return self.args[0] if self.args else ""
 
 
 class DivisionError(SchemaError):

@@ -31,7 +31,7 @@ class FuzzyRelation:
         attributes: AttributeNames,
         memberships: Mapping[Any, float] | Iterable[tuple[Any, float]] = (),
     ) -> None:
-        self._schema = as_schema(attributes)
+        self._schema = Schema.interned(as_schema(attributes).names)
         entries = memberships.items() if isinstance(memberships, Mapping) else memberships
         self._memberships: dict[Row, float] = {}
         for raw_row, degree in entries:
@@ -53,7 +53,7 @@ class FuzzyRelation:
                 raise RelationError(
                     f"row {values!r} does not match schema {self._schema.names!r}"
                 )
-            row = Row(dict(zip(self._schema.names, values)))
+            return Row.from_schema(self._schema, values)
         if set(row.keys()) != set(self._schema.name_set):
             raise RelationError(
                 f"row attributes {sorted(row.keys())!r} do not match schema {self._schema.names!r}"

@@ -2,7 +2,13 @@
 
 from repro.physical import division
 from repro.physical.aggregate import HashAggregate
-from repro.physical.base import PhysicalOperator, PlanStatistics, collect_statistics
+from repro.physical.base import (
+    DEFAULT_BATCH_SIZE,
+    PhysicalOperator,
+    PlanStatistics,
+    TupleProjector,
+    collect_statistics,
+)
 from repro.physical.basic import (
     DifferenceOp,
     DuplicateElimination,
@@ -37,8 +43,10 @@ from repro.physical.scans import RelationScan, TableScan
 
 __all__ = [
     "division",
+    "DEFAULT_BATCH_SIZE",
     "PhysicalOperator",
     "PlanStatistics",
+    "TupleProjector",
     "collect_statistics",
     "ExecutionResult",
     "execute_plan",

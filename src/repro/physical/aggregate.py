@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Mapping, Sequence
+from collections.abc import Iterator, Mapping
 from typing import Any
 
-from repro.physical.base import PhysicalOperator
+from repro.physical.base import PhysicalOperator, TupleProjector, batched
 from repro.relation.aggregates import Aggregate
 from repro.relation.row import Row
 from repro.relation.schema import AttributeNames, Schema, as_schema
@@ -32,17 +32,24 @@ class HashAggregate(PhysicalOperator):
         self._grouping = grouping_schema
         self._aggregations = dict(aggregations)
 
-    def _produce(self) -> Iterator[Row]:
-        groups: dict[tuple[Any, ...], list[Row]] = {}
-        for row in self._children[0].rows():
-            groups.setdefault(row.values_for(self._grouping), []).append(row)
+    def _produce_batches(self) -> Iterator[list[Row]]:
+        key_of = TupleProjector(self._grouping)
+        groups: dict[Any, list[Row]] = {}
+        members_of = groups.setdefault
+        for batch in self._children[0].batches():
+            for key, row in zip(key_of.keys(batch), batch):
+                members_of(key, []).append(row)
         if not groups and not len(self._grouping):
             groups[()] = []
-        for key, members in groups.items():
-            values: dict[str, Any] = dict(zip(self._grouping.names, key))
-            for output, (_label, fn) in self._aggregations.items():
-                values[output] = fn(members)
-            yield Row(values)
+        schema = self._schema
+        from_schema = Row.from_schema
+        key_tuple = key_of.key_tuple
+        aggregate_fns = tuple(fn for (_label, fn) in self._aggregations.values())
+        results = (
+            from_schema(schema, key_tuple(key) + tuple(fn(members) for fn in aggregate_fns))
+            for key, members in groups.items()
+        )
+        yield from batched(results, self.batch_size)
 
     def describe(self) -> str:
         aggs = ", ".join(f"{label}→{out}" for out, (label, _fn) in self._aggregations.items())

@@ -1,10 +1,16 @@
-"""Basic physical operators: filter, project, rename, set operations, product."""
+"""Basic physical operators: filter, project, rename, set operations, product.
+
+All operators stream in batches (lists of rows) and, where the operation is
+positional, work directly on the rows' value tuples via precomputed pick
+indices instead of rebuilding per-row dicts.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterator, Mapping
+from typing import Any
 
-from repro.physical.base import PhysicalOperator
+from repro.physical.base import PhysicalOperator, TupleProjector, aligned_values, batched
 from repro.relation.row import Row
 from repro.relation.schema import AttributeNames, as_schema
 
@@ -29,10 +35,12 @@ class Filter(PhysicalOperator):
         super().__init__(child.schema, (child,))
         self.predicate = predicate
 
-    def _produce(self) -> Iterator[Row]:
-        for row in self._children[0].rows():
-            if self.predicate(row):
-                yield row
+    def _produce_batches(self) -> Iterator[list[Row]]:
+        predicate = self.predicate
+        for batch in self._children[0].batches():
+            matched = [row for row in batch if predicate(row)]
+            if matched:
+                yield matched
 
     def describe(self) -> str:
         return f"Filter({self.predicate!r})"
@@ -47,13 +55,21 @@ class ProjectOp(PhysicalOperator):
         schema = child.schema.project(as_schema(attributes))
         super().__init__(schema, (child,))
 
-    def _produce(self) -> Iterator[Row]:
-        seen: set[Row] = set()
-        for row in self._children[0].rows():
-            projected = row.project(self._schema)
-            if projected not in seen:
-                seen.add(projected)
-                yield projected
+    def _produce_batches(self) -> Iterator[list[Row]]:
+        schema = self._schema
+        project = TupleProjector(schema)
+        from_schema = Row.from_schema
+        seen: set[tuple[Any, ...]] = set()
+        add = seen.add
+
+        def fresh_rows() -> Iterator[Row]:
+            for batch in self._children[0].batches():
+                for values in project.tuples(batch):
+                    if values not in seen:
+                        add(values)
+                        yield from_schema(schema, values)
+
+        yield from batched(fresh_rows(), self.batch_size)
 
     def describe(self) -> str:
         return f"Project[{', '.join(self._schema.names)}]"
@@ -68,9 +84,12 @@ class RenameOp(PhysicalOperator):
         super().__init__(child.schema.rename(dict(mapping)), (child,))
         self.mapping = dict(mapping)
 
-    def _produce(self) -> Iterator[Row]:
-        for row in self._children[0].rows():
-            yield row.rename(self.mapping)
+    def _produce_batches(self) -> Iterator[list[Row]]:
+        schema = self._schema
+        source = self._children[0].schema
+        from_schema = Row.from_schema
+        for batch in self._children[0].batches():
+            yield [from_schema(schema, aligned_values(row, source)) for row in batch]
 
 
 class DuplicateElimination(PhysicalOperator):
@@ -81,12 +100,13 @@ class DuplicateElimination(PhysicalOperator):
     def __init__(self, child: PhysicalOperator) -> None:
         super().__init__(child.schema, (child,))
 
-    def _produce(self) -> Iterator[Row]:
+    def _produce_batches(self) -> Iterator[list[Row]]:
         seen: set[Row] = set()
-        for row in self._children[0].rows():
-            if row not in seen:
-                seen.add(row)
-                yield row
+        for batch in self._children[0].batches():
+            fresh = [row for row in batch if row not in seen]
+            if fresh:
+                seen.update(fresh)
+                yield fresh
 
 
 class UnionOp(PhysicalOperator):
@@ -97,13 +117,14 @@ class UnionOp(PhysicalOperator):
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema, (left, right))
 
-    def _produce(self) -> Iterator[Row]:
+    def _produce_batches(self) -> Iterator[list[Row]]:
         seen: set[Row] = set()
         for child in self._children:
-            for row in child.rows():
-                if row not in seen:
-                    seen.add(row)
-                    yield row
+            for batch in child.batches():
+                fresh = [row for row in batch if row not in seen]
+                if fresh:
+                    seen.update(fresh)
+                    yield fresh
 
 
 class IntersectOp(PhysicalOperator):
@@ -114,13 +135,16 @@ class IntersectOp(PhysicalOperator):
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema, (left, right))
 
-    def _produce(self) -> Iterator[Row]:
-        right_rows = set(self._children[1].rows())
+    def _produce_batches(self) -> Iterator[list[Row]]:
+        right_rows: set[Row] = set()
+        for batch in self._children[1].batches():
+            right_rows.update(batch)
         emitted: set[Row] = set()
-        for row in self._children[0].rows():
-            if row in right_rows and row not in emitted:
-                emitted.add(row)
-                yield row
+        for batch in self._children[0].batches():
+            fresh = [row for row in batch if row in right_rows and row not in emitted]
+            if fresh:
+                emitted.update(fresh)
+                yield fresh
 
 
 class DifferenceOp(PhysicalOperator):
@@ -131,13 +155,16 @@ class DifferenceOp(PhysicalOperator):
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema, (left, right))
 
-    def _produce(self) -> Iterator[Row]:
-        right_rows = set(self._children[1].rows())
+    def _produce_batches(self) -> Iterator[list[Row]]:
+        right_rows: set[Row] = set()
+        for batch in self._children[1].batches():
+            right_rows.update(batch)
         emitted: set[Row] = set()
-        for row in self._children[0].rows():
-            if row not in right_rows and row not in emitted:
-                emitted.add(row)
-                yield row
+        for batch in self._children[0].batches():
+            fresh = [row for row in batch if row not in right_rows and row not in emitted]
+            if fresh:
+                emitted.update(fresh)
+                yield fresh
 
 
 class ProductOp(PhysicalOperator):
@@ -148,8 +175,30 @@ class ProductOp(PhysicalOperator):
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema.union(right.schema), (left, right))
 
-    def _produce(self) -> Iterator[Row]:
-        right_rows = list(self._children[1].rows())
-        for left_row in self._children[0].rows():
-            for right_row in right_rows:
-                yield left_row.merge(right_row)
+    def _produce_batches(self) -> Iterator[list[Row]]:
+        left, right = self._children
+        schema = self._schema
+        left_schema, right_schema = left.schema, right.schema
+        if not left_schema.is_disjoint(right_schema):
+            # Overlapping inputs: fall back to value-checked merging.
+            right_rows = [row for batch in right.batches() for row in batch]
+            merged = (
+                left_row.merge(right_row)
+                for batch in left.batches()
+                for left_row in batch
+                for right_row in right_rows
+            )
+            yield from batched(merged, self.batch_size)
+            return
+        from_schema = Row.from_schema
+        right_values = [
+            aligned_values(row, right_schema) for batch in right.batches() for row in batch
+        ]
+        def combined() -> Iterator[Row]:
+            for batch in left.batches():
+                for left_row in batch:
+                    left_values = aligned_values(left_row, left_schema)
+                    for values in right_values:
+                        yield from_schema(schema, left_values + values)
+
+        yield from batched(combined(), self.batch_size)

@@ -12,6 +12,9 @@ Three algorithms in the spirit of Rantzau et al. [36]:
 * :class:`GroupwiseSmallDivision` — the strategy behind Definition 4: loop
   over the divisor groups and run an ordinary hash-division per group
   (pipelines well when the divisor has few groups).
+
+All algorithms pull their inputs in batches and extract the ``A``
+(candidate), ``B`` (shared) and ``C`` (group) value tuples positionally.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from collections.abc import Iterator
 from typing import Any
 
 from repro.errors import ExecutionError
-from repro.physical.base import PhysicalOperator
+from repro.physical.base import PhysicalOperator, TupleProjector, batched
 from repro.relation.row import Row
 
 __all__ = [
@@ -49,9 +52,8 @@ class GreatDivisionOperator(PhysicalOperator):
         self.c = group_c
 
     def _quotient_row(self, a_key: tuple[Any, ...], c_key: tuple[Any, ...]) -> Row:
-        values = dict(zip(self.a.names, a_key))
-        values.update(zip(self.c.names, c_key))
-        return Row(values)
+        # self._schema is the interned A∪C schema (A names then C names).
+        return Row.from_schema(self._schema, a_key + c_key)
 
 
 class NestedLoopsGreatDivision(GreatDivisionOperator):
@@ -59,18 +61,25 @@ class NestedLoopsGreatDivision(GreatDivisionOperator):
 
     name = "nested_loops_great_division"
 
-    def _produce(self) -> Iterator[Row]:
+    def _produce_batches(self) -> Iterator[list[Row]]:
         dividend, divisor = self._children
-        dividend_groups: dict[tuple[Any, ...], set[tuple[Any, ...]]] = {}
-        for row in dividend.rows():
-            dividend_groups.setdefault(row.values_for(self.a), set()).add(row.values_for(self.b))
-        divisor_groups: dict[tuple[Any, ...], set[tuple[Any, ...]]] = {}
-        for row in divisor.rows():
-            divisor_groups.setdefault(row.values_for(self.c), set()).add(row.values_for(self.b))
-        for c_key, needed in divisor_groups.items():
-            for a_key, available in dividend_groups.items():
-                if needed <= available:
-                    yield self._quotient_row(a_key, c_key)
+        a_of, b_of = TupleProjector(self.a), TupleProjector(self.b)
+        c_of, divisor_b = TupleProjector(self.c), TupleProjector(self.b)
+        dividend_groups: dict[Any, set[Any]] = {}
+        for batch in dividend.batches():
+            for a_key, b_key in zip(a_of.keys(batch), b_of.keys(batch)):
+                dividend_groups.setdefault(a_key, set()).add(b_key)
+        divisor_groups: dict[Any, set[Any]] = {}
+        for batch in divisor.batches():
+            for c_key, b_key in zip(c_of.keys(batch), divisor_b.keys(batch)):
+                divisor_groups.setdefault(c_key, set()).add(b_key)
+        quotient = (
+            self._quotient_row(a_of.key_tuple(a_key), c_of.key_tuple(c_key))
+            for c_key, needed in divisor_groups.items()
+            for a_key, available in dividend_groups.items()
+            if needed <= available
+        )
+        yield from batched(quotient, self.batch_size)
 
 
 class HashGreatDivision(GreatDivisionOperator):
@@ -84,29 +93,38 @@ class HashGreatDivision(GreatDivisionOperator):
 
     name = "hash_great_division"
 
-    def _produce(self) -> Iterator[Row]:
+    def _produce_batches(self) -> Iterator[list[Row]]:
         dividend, divisor = self._children
-        ordinal_index: dict[tuple[Any, ...], list[tuple[tuple[Any, ...], int]]] = {}
-        group_sizes: dict[tuple[Any, ...], int] = {}
-        seen_divisor: set[tuple[tuple[Any, ...], tuple[Any, ...]]] = set()
-        for row in divisor.rows():
-            b_value = row.values_for(self.b)
-            c_value = row.values_for(self.c)
-            if (c_value, b_value) in seen_divisor:
-                continue
-            seen_divisor.add((c_value, b_value))
-            ordinal = group_sizes.get(c_value, 0)
-            group_sizes[c_value] = ordinal + 1
-            ordinal_index.setdefault(b_value, []).append((c_value, ordinal))
+        c_of, divisor_b = TupleProjector(self.c), TupleProjector(self.b)
+        ordinal_index: dict[Any, list[tuple[Any, int]]] = {}
+        group_sizes: dict[Any, int] = {}
+        seen_divisor: set[tuple[Any, Any]] = set()
+        for batch in divisor.batches():
+            for c_value, b_value in zip(c_of.keys(batch), divisor_b.keys(batch)):
+                if (c_value, b_value) in seen_divisor:
+                    continue
+                seen_divisor.add((c_value, b_value))
+                ordinal = group_sizes.get(c_value, 0)
+                group_sizes[c_value] = ordinal + 1
+                ordinal_index.setdefault(b_value, []).append((c_value, ordinal))
 
-        matched: dict[tuple[tuple[Any, ...], tuple[Any, ...]], set[int]] = {}
-        for row in dividend.rows():
-            a_value = row.values_for(self.a)
-            for c_value, ordinal in ordinal_index.get(row.values_for(self.b), ()):
-                matched.setdefault((a_value, c_value), set()).add(ordinal)
-        for (a_value, c_value), bits in matched.items():
-            if len(bits) == group_sizes[c_value]:
-                yield self._quotient_row(a_value, c_value)
+        a_of, b_of = TupleProjector(self.a), TupleProjector(self.b)
+        matched: dict[tuple[Any, Any], set[int]] = {}
+        lookup = ordinal_index.get
+        pair_bits = matched.setdefault
+        for batch in dividend.batches():
+            for a_value, b_value in zip(a_of.keys(batch), b_of.keys(batch)):
+                hits = lookup(b_value)
+                if not hits:
+                    continue
+                for c_value, ordinal in hits:
+                    pair_bits((a_value, c_value), set()).add(ordinal)
+        quotient = (
+            self._quotient_row(a_of.key_tuple(a_value), c_of.key_tuple(c_value))
+            for (a_value, c_value), bits in matched.items()
+            if len(bits) == group_sizes[c_value]
+        )
+        yield from batched(quotient, self.batch_size)
 
 
 class GroupwiseSmallDivision(GreatDivisionOperator):
@@ -114,25 +132,33 @@ class GroupwiseSmallDivision(GreatDivisionOperator):
 
     name = "groupwise_small_division"
 
-    def _produce(self) -> Iterator[Row]:
+    def _produce_batches(self) -> Iterator[list[Row]]:
         dividend, divisor = self._children
-        divisor_groups: dict[tuple[Any, ...], set[tuple[Any, ...]]] = {}
-        for row in divisor.rows():
-            divisor_groups.setdefault(row.values_for(self.c), set()).add(row.values_for(self.b))
+        c_of, divisor_b = TupleProjector(self.c), TupleProjector(self.b)
+        divisor_groups: dict[Any, set[Any]] = {}
+        for batch in divisor.batches():
+            for c_key, b_key in zip(c_of.keys(batch), divisor_b.keys(batch)):
+                divisor_groups.setdefault(c_key, set()).add(b_key)
 
-        dividend_rows = list(dividend.rows())
-        for c_key, needed in divisor_groups.items():
-            # hash-division of the dividend by this group
-            seen: dict[tuple[Any, ...], set[tuple[Any, ...]]] = {}
-            for row in dividend_rows:
-                candidate = row.values_for(self.a)
-                value = row.values_for(self.b)
-                bucket = seen.setdefault(candidate, set())
-                if value in needed:
-                    bucket.add(value)
-            for candidate, hits in seen.items():
-                if len(hits) == len(needed):
-                    yield self._quotient_row(candidate, c_key)
+        a_of, b_of = TupleProjector(self.a), TupleProjector(self.b)
+        pairs: list[tuple[Any, Any]] = []
+        for batch in dividend.batches():
+            pairs.extend(zip(a_of.keys(batch), b_of.keys(batch)))
+
+        def quotient() -> Iterator[Row]:
+            for c_key, needed in divisor_groups.items():
+                # hash-division of the dividend by this group
+                seen: dict[Any, set[Any]] = {}
+                bucket_of = seen.setdefault
+                for candidate, value in pairs:
+                    bucket = bucket_of(candidate, set())
+                    if value in needed:
+                        bucket.add(value)
+                for candidate, hits in seen.items():
+                    if len(hits) == len(needed):
+                        yield self._quotient_row(a_of.key_tuple(candidate), c_of.key_tuple(c_key))
+
+        yield from batched(quotient(), self.batch_size)
 
 
 #: Algorithm registry used by tests and benches.

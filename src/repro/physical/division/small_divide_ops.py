@@ -19,6 +19,9 @@ that repertoire:
   ``π_A(r1) − π_A((π_A(r1) × r2) − r1)`` executed with the basic physical
   operators.  Its intermediate result ``π_A(r1) × r2`` is |π_A(r1)|·|r2|
   tuples — the quadratic blow-up the special-purpose algorithms avoid.
+
+All algorithms pull their inputs in batches and extract the ``A`` (quotient)
+and ``B`` (divisor) value tuples positionally out of the rows.
 """
 
 from __future__ import annotations
@@ -28,7 +31,7 @@ from typing import Any
 
 from repro.division.schemas import DivisionSchemas
 from repro.errors import ExecutionError
-from repro.physical.base import PhysicalOperator
+from repro.physical.base import PhysicalOperator, TupleProjector, batched
 from repro.physical.basic import DifferenceOp, ProductOp, ProjectOp
 from repro.relation.row import Row
 from repro.relation.schema import Schema
@@ -42,6 +45,10 @@ __all__ = [
     "AlgebraSimulationDivision",
     "SMALL_DIVIDE_ALGORITHMS",
 ]
+
+
+#: Sentinel distinct from every attribute value (None is a legal value).
+_NO_CANDIDATE = object()
 
 
 def _division_schemas(dividend: PhysicalOperator, divisor: PhysicalOperator) -> DivisionSchemas:
@@ -74,7 +81,12 @@ class DivisionOperator(PhysicalOperator):
         self.schemas = schemas
 
     def _quotient_row(self, key: tuple[Any, ...]) -> Row:
-        return Row(dict(zip(self.schemas.a.names, key)))
+        # self._schema is the interned quotient schema (= schemas.a order).
+        return Row.from_schema(self._schema, key)
+
+    def _projectors(self) -> tuple[TupleProjector, TupleProjector]:
+        """(A-values, B-values) extractors for dividend/divisor rows."""
+        return TupleProjector(self.schemas.a), TupleProjector(self.schemas.b)
 
 
 class NestedLoopsDivision(DivisionOperator):
@@ -82,19 +94,23 @@ class NestedLoopsDivision(DivisionOperator):
 
     name = "nested_loops_division"
 
-    def _produce(self) -> Iterator[Row]:
+    def _produce_batches(self) -> Iterator[list[Row]]:
         dividend, divisor = self._children
-        divisor_values = {row.values_for(self.schemas.b) for row in divisor.rows()}
-        dividend_rows = list(dividend.rows())
-        candidates = {row.values_for(self.schemas.a) for row in dividend_rows}
-        for candidate in candidates:
-            group = {
-                row.values_for(self.schemas.b)
-                for row in dividend_rows
-                if row.values_for(self.schemas.a) == candidate
-            }
-            if divisor_values <= group:
-                yield self._quotient_row(candidate)
+        a_of, b_of = self._projectors()
+        divisor_b = TupleProjector(self.schemas.b)
+        divisor_values = {key for batch in divisor.batches() for key in divisor_b.keys(batch)}
+        pairs: list[tuple[Any, Any]] = []
+        for batch in dividend.batches():
+            pairs.extend(zip(a_of.keys(batch), b_of.keys(batch)))
+        candidates = {a for a, _ in pairs}
+
+        def quotient() -> Iterator[Row]:
+            for candidate in candidates:
+                group = {b for a, b in pairs if a == candidate}
+                if divisor_values <= group:
+                    yield self._quotient_row(a_of.key_tuple(candidate))
+
+        yield from batched(quotient(), self.batch_size)
 
 
 class HashDivision(DivisionOperator):
@@ -107,25 +123,33 @@ class HashDivision(DivisionOperator):
 
     name = "hash_division"
 
-    def _produce(self) -> Iterator[Row]:
+    def _produce_batches(self) -> Iterator[list[Row]]:
         dividend, divisor = self._children
-        divisor_index: dict[tuple[Any, ...], int] = {}
-        for row in divisor.rows():
-            value = row.values_for(self.schemas.b)
-            if value not in divisor_index:
-                divisor_index[value] = len(divisor_index)
+        a_of, b_of = self._projectors()
+        divisor_b = TupleProjector(self.schemas.b)
+        divisor_index: dict[Any, int] = {}
+        for batch in divisor.batches():
+            for value in divisor_b.keys(batch):
+                if value not in divisor_index:
+                    divisor_index[value] = len(divisor_index)
         required = len(divisor_index)
 
-        seen_bits: dict[tuple[Any, ...], set[int]] = {}
-        for row in dividend.rows():
-            candidate = row.values_for(self.schemas.a)
-            bits = seen_bits.setdefault(candidate, set())
-            ordinal = divisor_index.get(row.values_for(self.schemas.b))
-            if ordinal is not None:
-                bits.add(ordinal)
-        for candidate, bits in seen_bits.items():
-            if len(bits) == required:
-                yield self._quotient_row(candidate)
+        seen_bits: dict[Any, set[int]] = {}
+        ordinal_of = divisor_index.get
+        group_of = seen_bits.setdefault
+        for batch in dividend.batches():
+            for candidate, value in zip(a_of.keys(batch), b_of.keys(batch)):
+                bits = group_of(candidate, set())
+                ordinal = ordinal_of(value)
+                if ordinal is not None:
+                    bits.add(ordinal)
+
+        quotient = (
+            self._quotient_row(a_of.key_tuple(candidate))
+            for candidate, bits in seen_bits.items()
+            if len(bits) == required
+        )
+        yield from batched(quotient, self.batch_size)
 
 
 class MergeSortDivision(DivisionOperator):
@@ -134,32 +158,35 @@ class MergeSortDivision(DivisionOperator):
 
     name = "merge_sort_division"
 
-    def _produce(self) -> Iterator[Row]:
+    def _produce_batches(self) -> Iterator[list[Row]]:
         dividend, divisor = self._children
+        a_of, b_of = self._projectors()
+        divisor_b = TupleProjector(self.schemas.b)
         divisor_sorted = sorted(
-            {row.values_for(self.schemas.b) for row in divisor.rows()}, key=repr
+            {key for batch in divisor.batches() for key in divisor_b.keys(batch)}, key=repr
         )
-        dividend_sorted = sorted(
-            dividend.rows(),
-            key=lambda row: (
-                repr(row.values_for(self.schemas.a)),
-                repr(row.values_for(self.schemas.b)),
-            ),
-        )
+        pairs: list[tuple[Any, Any]] = []
+        for batch in dividend.batches():
+            pairs.extend(zip(a_of.keys(batch), b_of.keys(batch)))
+        pairs.sort(key=lambda pair: (repr(pair[0]), repr(pair[1])))
 
-        current: tuple[Any, ...] | None = None
-        position = 0
-        for row in dividend_sorted:
-            candidate = row.values_for(self.schemas.a)
-            if candidate != current:
-                if current is not None and position == len(divisor_sorted):
-                    yield self._quotient_row(current)
-                current = candidate
-                position = 0
-            if position < len(divisor_sorted) and row.values_for(self.schemas.b) == divisor_sorted[position]:
-                position += 1
-        if current is not None and position == len(divisor_sorted):
-            yield self._quotient_row(current)
+        def quotient() -> Iterator[Row]:
+            # ``None`` is a valid attribute value, so use a distinct marker
+            # for "no candidate seen yet".
+            current: Any = _NO_CANDIDATE
+            position = 0
+            for candidate, value in pairs:
+                if candidate != current:
+                    if current is not _NO_CANDIDATE and position == len(divisor_sorted):
+                        yield self._quotient_row(a_of.key_tuple(current))
+                    current = candidate
+                    position = 0
+                if position < len(divisor_sorted) and value == divisor_sorted[position]:
+                    position += 1
+            if current is not _NO_CANDIDATE and position == len(divisor_sorted):
+                yield self._quotient_row(a_of.key_tuple(current))
+
+        yield from batched(quotient(), self.batch_size)
 
 
 class MergeCountDivision(DivisionOperator):
@@ -168,25 +195,29 @@ class MergeCountDivision(DivisionOperator):
 
     name = "merge_count_division"
 
-    def _produce(self) -> Iterator[Row]:
+    def _produce_batches(self) -> Iterator[list[Row]]:
         dividend, divisor = self._children
-        divisor_values = {row.values_for(self.schemas.b) for row in divisor.rows()}
+        a_of, b_of = self._projectors()
+        divisor_b = TupleProjector(self.schemas.b)
+        divisor_values = {key for batch in divisor.batches() for key in divisor_b.keys(batch)}
         required = len(divisor_values)
-        counts: dict[tuple[Any, ...], set[tuple[Any, ...]]] = {}
-        all_candidates: set[tuple[Any, ...]] = set()
-        for row in dividend.rows():
-            candidate = row.values_for(self.schemas.a)
-            all_candidates.add(candidate)
-            value = row.values_for(self.schemas.b)
-            if value in divisor_values:
-                counts.setdefault(candidate, set()).add(value)
+        counts: dict[Any, set[Any]] = {}
+        all_candidates: set[Any] = set()
+        matched_of = counts.setdefault
+        for batch in dividend.batches():
+            for candidate, value in zip(a_of.keys(batch), b_of.keys(batch)):
+                all_candidates.add(candidate)
+                if value in divisor_values:
+                    matched_of(candidate, set()).add(value)
         if required == 0:
-            for candidate in all_candidates:
-                yield self._quotient_row(candidate)
-            return
-        for candidate, matched in counts.items():
-            if len(matched) == required:
-                yield self._quotient_row(candidate)
+            quotient = (self._quotient_row(a_of.key_tuple(c)) for c in all_candidates)
+        else:
+            quotient = (
+                self._quotient_row(a_of.key_tuple(candidate))
+                for candidate, matched in counts.items()
+                if len(matched) == required
+            )
+        yield from batched(quotient, self.batch_size)
 
 
 class AlgebraSimulationDivision(DivisionOperator):
@@ -213,8 +244,8 @@ class AlgebraSimulationDivision(DivisionOperator):
         # Expose the sub-plan in ``children`` so statistics include it.
         self._children = (self._plan,)
 
-    def _produce(self) -> Iterator[Row]:
-        return self._plan.rows()
+    def _produce_batches(self) -> Iterator[list[Row]]:
+        return self._plan.batches()
 
 
 #: Algorithm registry used by tests and by the Graefe-style comparison bench.

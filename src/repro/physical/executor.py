@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.physical.base import PhysicalOperator, PlanStatistics, collect_statistics
@@ -22,9 +23,19 @@ class ExecutionResult:
         """Largest intermediate result produced while executing the plan."""
         return self.statistics.max_intermediate
 
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall-clock seconds the plan execution took."""
+        return self.statistics.elapsed_seconds
+
 
 def execute_plan(plan: PhysicalOperator) -> ExecutionResult:
     """Execute ``plan`` from a cold start and return result + statistics."""
     plan.reset_counters()
+    plan.assign_labels()
+    start = time.perf_counter()
     relation = plan.execute()
-    return ExecutionResult(relation=relation, statistics=collect_statistics(plan))
+    elapsed = time.perf_counter() - start
+    statistics = collect_statistics(plan)
+    statistics.elapsed_seconds = elapsed
+    return ExecutionResult(relation=relation, statistics=statistics)

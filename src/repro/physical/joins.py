@@ -1,11 +1,17 @@
-"""Physical join operators: nested-loops, hash join, semi-/anti-join, outer join."""
+"""Physical join operators: nested-loops, hash join, semi-/anti-join, outer join.
+
+The hash-based joins key their tables on value tuples picked positionally
+out of the rows (via :class:`~repro.physical.base.TupleProjector`) and build
+output rows by concatenating aligned value tuples, so no per-row dicts are
+rebuilt on the probe path.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterator
 from typing import Any
 
-from repro.physical.base import PhysicalOperator
+from repro.physical.base import PhysicalOperator, TupleProjector, aligned_values, batched
 from repro.relation.relation import NULL
 from repro.relation.row import Row
 from repro.relation.schema import Schema
@@ -33,13 +39,20 @@ class NestedLoopsJoin(PhysicalOperator):
         super().__init__(left.schema.union(right.schema), (left, right))
         self.predicate = predicate
 
-    def _produce(self) -> Iterator[Row]:
-        right_rows = list(self._children[1].rows())
-        for left_row in self._children[0].rows():
-            for right_row in right_rows:
-                combined = left_row.merge(right_row)
-                if self.predicate(combined):
-                    yield combined
+    def _produce_batches(self) -> Iterator[list[Row]]:
+        left, right = self._children
+        predicate = self.predicate
+        right_rows = [row for batch in right.batches() for row in batch]
+
+        def matches() -> Iterator[Row]:
+            for batch in left.batches():
+                for left_row in batch:
+                    for right_row in right_rows:
+                        combined = left_row.merge(right_row)
+                        if predicate(combined):
+                            yield combined
+
+        yield from batched(matches(), self.batch_size)
 
 
 class _SharedKeyMixin:
@@ -48,13 +61,6 @@ class _SharedKeyMixin:
     @staticmethod
     def shared_schema(left: PhysicalOperator, right: PhysicalOperator) -> Schema:
         return left.schema.intersection(right.schema)
-
-    @staticmethod
-    def build_index(rows: Iterator[Row], key: Schema) -> dict[tuple[Any, ...], list[Row]]:
-        index: dict[tuple[Any, ...], list[Row]] = {}
-        for row in rows:
-            index.setdefault(row.values_for(key), []).append(row)
-        return index
 
 
 class HashJoin(PhysicalOperator, _SharedKeyMixin):
@@ -66,23 +72,47 @@ class HashJoin(PhysicalOperator, _SharedKeyMixin):
         super().__init__(left.schema.union(right.schema), (left, right))
         self._key = self.shared_schema(left, right)
 
-    def _produce(self) -> Iterator[Row]:
+    def _produce_batches(self) -> Iterator[list[Row]]:
         left, right = self._children
         if not len(self._key):
             # Degenerates to the Cartesian product.
-            right_rows = list(right.rows())
-            for left_row in left.rows():
-                for right_row in right_rows:
-                    yield left_row.merge(right_row)
+            right_rows = [row for batch in right.batches() for row in batch]
+            merged = (
+                left_row.merge(right_row)
+                for batch in left.batches()
+                for left_row in batch
+                for right_row in right_rows
+            )
+            yield from batched(merged, self.batch_size)
             return
-        index = self.build_index(right.rows(), self._key)
-        emitted: set[Row] = set()
-        for left_row in left.rows():
-            for right_row in index.get(left_row.values_for(self._key), ()):
-                combined = left_row.merge(right_row)
-                if combined not in emitted:
-                    emitted.add(combined)
-                    yield combined
+        schema = self._schema
+        from_schema = Row.from_schema
+        left_schema = left.schema
+        extra = right.schema.difference(left_schema)
+        right_key = TupleProjector(self._key)
+        right_extra = TupleProjector(extra)
+        left_key = TupleProjector(self._key)
+        index: dict[Any, list[tuple[Any, ...]]] = {}
+        for batch in right.batches():
+            for key, extra_values in zip(right_key.keys(batch), right_extra.tuples(batch)):
+                index.setdefault(key, []).append(extra_values)
+        emitted: set[tuple[Any, ...]] = set()
+        lookup = index.get
+
+        def matches() -> Iterator[Row]:
+            for batch in left.batches():
+                for left_row, key in zip(batch, left_key.keys(batch)):
+                    partners = lookup(key)
+                    if not partners:
+                        continue
+                    left_values = aligned_values(left_row, left_schema)
+                    for extra_values in partners:
+                        combined = left_values + extra_values
+                        if combined not in emitted:
+                            emitted.add(combined)
+                            yield from_schema(schema, combined)
+
+        yield from batched(matches(), self.batch_size)
 
     def describe(self) -> str:
         return f"HashJoin[{', '.join(self._key.names)}]"
@@ -97,17 +127,19 @@ class HashSemiJoin(PhysicalOperator, _SharedKeyMixin):
         super().__init__(left.schema, (left, right))
         self._key = self.shared_schema(left, right)
 
-    def _produce(self) -> Iterator[Row]:
+    def _produce_batches(self) -> Iterator[list[Row]]:
         left, right = self._children
         if not len(self._key):
-            has_right = any(True for _ in right.rows())
-            if has_right:
-                yield from left.rows()
+            if right.produces_any():
+                yield from left.batches()
             return
-        keys = {row.values_for(self._key) for row in right.rows()}
-        for row in left.rows():
-            if row.values_for(self._key) in keys:
-                yield row
+        right_key = TupleProjector(self._key)
+        keys = {key for batch in right.batches() for key in right_key.keys(batch)}
+        left_key = TupleProjector(self._key)
+        for batch in left.batches():
+            matched = [row for row, key in zip(batch, left_key.keys(batch)) if key in keys]
+            if matched:
+                yield matched
 
     def describe(self) -> str:
         return f"HashSemiJoin[{', '.join(self._key.names)}]"
@@ -122,17 +154,19 @@ class HashAntiJoin(PhysicalOperator, _SharedKeyMixin):
         super().__init__(left.schema, (left, right))
         self._key = self.shared_schema(left, right)
 
-    def _produce(self) -> Iterator[Row]:
+    def _produce_batches(self) -> Iterator[list[Row]]:
         left, right = self._children
         if not len(self._key):
-            has_right = any(True for _ in right.rows())
-            if not has_right:
-                yield from left.rows()
+            if not right.produces_any():
+                yield from left.batches()
             return
-        keys = {row.values_for(self._key) for row in right.rows()}
-        for row in left.rows():
-            if row.values_for(self._key) not in keys:
-                yield row
+        right_key = TupleProjector(self._key)
+        keys = {key for batch in right.batches() for key in right_key.keys(batch)}
+        left_key = TupleProjector(self._key)
+        for batch in left.batches():
+            dangling = [row for row, key in zip(batch, left_key.keys(batch)) if key not in keys]
+            if dangling:
+                yield dangling
 
 
 class HashLeftOuterJoin(PhysicalOperator, _SharedKeyMixin):
@@ -145,19 +179,40 @@ class HashLeftOuterJoin(PhysicalOperator, _SharedKeyMixin):
         self._key = self.shared_schema(left, right)
         self._pad = right.schema.difference(left.schema)
 
-    def _produce(self) -> Iterator[Row]:
+    def _produce_batches(self) -> Iterator[list[Row]]:
         left, right = self._children
-        index = self.build_index(right.rows(), self._key)
-        emitted: set[Row] = set()
-        for left_row in left.rows():
-            partners = index.get(left_row.values_for(self._key), []) if len(self._key) else [
-                row for rows in index.values() for row in rows
-            ]
-            if partners:
-                for right_row in partners:
-                    combined = left_row.merge(right_row)
-                    if combined not in emitted:
-                        emitted.add(combined)
-                        yield combined
-            else:
-                yield left_row.with_values({name: NULL for name in self._pad})
+        schema = self._schema
+        from_schema = Row.from_schema
+        left_schema = left.schema
+        # The output extras are exactly the right-only attributes (the pad
+        # schema), both for matched rows (partner values) and for dangling
+        # rows (NULL padding) — the shared attributes are already carried by
+        # the aligned left tuple.
+        right_key = TupleProjector(self._key)
+        right_extra = TupleProjector(self._pad)
+        index: dict[Any, list[tuple[Any, ...]]] = {}
+        all_extras: list[tuple[Any, ...]] = []
+        for batch in right.batches():
+            for key, extra_values in zip(right_key.keys(batch), right_extra.tuples(batch)):
+                index.setdefault(key, []).append(extra_values)
+                all_extras.append(extra_values)
+        left_key = TupleProjector(self._key)
+        null_padding = (NULL,) * len(self._pad)
+        keyed = bool(len(self._key))
+        emitted: set[tuple[Any, ...]] = set()
+
+        def joined() -> Iterator[Row]:
+            for batch in left.batches():
+                for left_row, key in zip(batch, left_key.keys(batch)):
+                    partners = index.get(key) if keyed else all_extras
+                    left_values = aligned_values(left_row, left_schema)
+                    if partners:
+                        for extra_values in partners:
+                            combined = left_values + extra_values
+                            if combined not in emitted:
+                                emitted.add(combined)
+                                yield from_schema(schema, combined)
+                    else:
+                        yield from_schema(schema, left_values + null_padding)
+
+        yield from batched(joined(), self.batch_size)

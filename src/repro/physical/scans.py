@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections.abc import Iterator, Mapping
 
 from repro.errors import ExecutionError
-from repro.physical.base import PhysicalOperator
+from repro.physical.base import PhysicalOperator, batched
 from repro.relation.relation import Relation
 from repro.relation.row import Row
 
@@ -22,8 +22,8 @@ class RelationScan(PhysicalOperator):
         self.relation = relation
         self._label = label
 
-    def _produce(self) -> Iterator[Row]:
-        return iter(self.relation)
+    def _produce_batches(self) -> Iterator[list[Row]]:
+        return batched(self.relation, self.batch_size)
 
     def describe(self) -> str:
         return f"RelationScan({self._label}, {len(self.relation)} rows)"
@@ -42,8 +42,8 @@ class TableScan(PhysicalOperator):
         self.table = table
         self.relation = relation
 
-    def _produce(self) -> Iterator[Row]:
-        return iter(self.relation)
+    def _produce_batches(self) -> Iterator[list[Row]]:
+        return batched(self.relation, self.batch_size)
 
     def describe(self) -> str:
         return f"TableScan({self.table}, {len(self.relation)} rows)"

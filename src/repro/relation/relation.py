@@ -9,6 +9,12 @@ join, semi-join, anti-semi-join, left outer join, grouping) with strict
 The division operators themselves live in :mod:`repro.division`; they are
 derived operators and are kept separate because the paper studies several
 alternative definitions for them.
+
+Representation invariant: every row of a relation shares the relation's
+*interned* schema object, so its value tuple is aligned with the schema's
+attribute order.  The operators exploit this with precomputed attribute
+index arrays ("pickers"): projection, joins, semi-joins and grouping pick
+values positionally out of the tuples instead of rebuilding per-row dicts.
 """
 
 from __future__ import annotations
@@ -75,32 +81,63 @@ class Relation:
         attributes: AttributeNames,
         rows: Iterable[Union[Mapping[str, Any], Sequence[Any]]] = (),
     ) -> None:
-        schema = as_schema(attributes)
-        normalized: set[Row] = set()
-        for raw in rows:
-            normalized.add(self._coerce_row(schema, raw))
+        schema = Schema.interned(as_schema(attributes).names)
+        coerce = self._coerce_row
         self._schema = schema
-        self._rows: frozenset[Row] = frozenset(normalized)
+        self._rows: frozenset[Row] = frozenset(coerce(schema, raw) for raw in rows)
 
     @staticmethod
     def _coerce_row(schema: Schema, raw: Union[Row, Mapping[str, Any], Sequence[Any]]) -> Row:
         if isinstance(raw, Row):
-            row = raw
-        elif isinstance(raw, Mapping):
-            row = Row(dict(raw))
-        else:
-            values = tuple(raw)
-            if len(values) != len(schema):
-                raise RelationError(
-                    f"row {values!r} has {len(values)} values but schema {schema.names!r} "
-                    f"has {len(schema)} attributes"
-                )
-            row = Row(dict(zip(schema.names, values)))
-        if set(row.keys()) != set(schema.name_set):
+            raw_schema = raw.schema
+            if raw_schema is schema:
+                return raw
+            if raw_schema.name_set == schema.name_set:
+                # Same attribute set, possibly another declaration order:
+                # realign the value tuple with this relation's schema.
+                return Row.from_schema(schema, raw.values_for(schema))
             raise RelationError(
-                f"row attributes {sorted(row.keys())!r} do not match schema {schema.names!r}"
+                f"row attributes {sorted(raw.keys())!r} do not match schema {schema.names!r}"
             )
-        return row
+        if isinstance(raw, Mapping):
+            for name in raw:
+                if not isinstance(name, str) or not name:
+                    raise RelationError(
+                        f"row attribute names must be nonempty strings, got {name!r}"
+                    )
+            if len(raw) != len(schema):
+                raise RelationError(
+                    f"row attributes {sorted(raw.keys())!r} do not match schema {schema.names!r}"
+                )
+            try:
+                values = tuple(raw[name] for name in schema.names)
+            except KeyError:
+                raise RelationError(
+                    f"row attributes {sorted(raw.keys())!r} do not match schema {schema.names!r}"
+                ) from None
+            return Row.from_schema(schema, values)
+        values = tuple(raw)
+        if len(values) != len(schema):
+            raise RelationError(
+                f"row {values!r} has {len(values)} values but schema {schema.names!r} "
+                f"has {len(schema)} attributes"
+            )
+        return Row.from_schema(schema, values)
+
+    @classmethod
+    def _from_parts(cls, schema: Schema, rows: Iterable[Row]) -> "Relation":
+        """Internal constructor: ``schema`` is interned and every row is
+        already aligned with it — no coercion."""
+        relation = object.__new__(cls)
+        relation._schema = schema
+        relation._rows = rows if isinstance(rows, frozenset) else frozenset(rows)
+        return relation
+
+    def _align(self, row: Row) -> Row:
+        """Realign a same-attribute-set row with this relation's schema."""
+        if row.schema is self._schema:
+            return row
+        return Row.from_schema(self._schema, row.values_for(self._schema))
 
     # ------------------------------------------------------------------
     # constructors
@@ -179,18 +216,24 @@ class Relation:
         """
         schema = self._schema if attributes is None else as_schema(attributes)
         self._schema.require(schema, "sort")
-        return sorted(self._rows, key=lambda row: tuple(_sort_key(row[name]) for name in schema))
+        picks = self._schema.picker(schema)
+        return sorted(
+            self._rows,
+            key=lambda row: tuple(_sort_key(row.values_tuple[i]) for i in picks),
+        )
 
     def to_set(self, attribute: str) -> set[Any]:
         """Values of a single attribute as a Python set."""
         self._schema.require([attribute], "to_set")
-        return {row[attribute] for row in self._rows}
+        position = self._schema.position(attribute)
+        return {row.values_tuple[position] for row in self._rows}
 
     def to_tuples(self, attributes: Optional[AttributeNames] = None) -> set[tuple[Any, ...]]:
         """Rows as value tuples (ordered by ``attributes`` or the schema)."""
         schema = self._schema if attributes is None else as_schema(attributes)
         self._schema.require(schema, "to_tuples")
-        return {row.values_for(schema) for row in self._rows}
+        get = self._schema.tuple_getter(schema)
+        return {get(row.values_tuple) for row in self._rows}
 
     # ------------------------------------------------------------------
     # value semantics
@@ -211,17 +254,26 @@ class Relation:
     # ------------------------------------------------------------------
     def project(self, attributes: AttributeNames) -> "Relation":
         """Projection ``π_A(r)`` with duplicate elimination."""
-        schema = self._schema.project(attributes)
-        return Relation(schema, {row.project(schema) for row in self._rows})
+        target = Schema.interned(self._schema.project(attributes).names)
+        get = self._schema.tuple_getter(target)
+        projected = {get(row.values_tuple) for row in self._rows}
+        return Relation._from_parts(
+            target, frozenset(Row.from_schema(target, values) for values in projected)
+        )
 
     def select(self, predicate: RowPredicate) -> "Relation":
         """Selection ``σ_θ(r)``; ``predicate`` is evaluated on every row."""
-        return Relation(self._schema, {row for row in self._rows if predicate(row)})
+        return Relation._from_parts(
+            self._schema, frozenset(row for row in self._rows if predicate(row))
+        )
 
     def rename(self, mapping: Mapping[str, str]) -> "Relation":
         """Rename attributes according to ``mapping`` (ρ operator)."""
-        new_schema = self._schema.rename(dict(mapping))
-        return Relation(new_schema, {row.rename(mapping) for row in self._rows})
+        new_schema = Schema.interned(self._schema.rename(dict(mapping)).names)
+        return Relation._from_parts(
+            new_schema,
+            frozenset(Row.from_schema(new_schema, row.values_tuple) for row in self._rows),
+        )
 
     def prefix(self, prefix: str, separator: str = ".") -> "Relation":
         """Rename every attribute to ``prefix`` + separator + name.
@@ -242,17 +294,27 @@ class Relation:
     def union(self, other: "Relation") -> "Relation":
         """Set union ``r1 ∪ r2``."""
         self._require_same_schema(other, "union")
-        return Relation(self._schema, self._rows | other._rows)
+        if other._schema is self._schema:
+            rows = self._rows | other._rows
+        else:
+            rows = self._rows | frozenset(self._align(row) for row in other._rows)
+        return Relation._from_parts(self._schema, rows)
 
     def intersection(self, other: "Relation") -> "Relation":
         """Set intersection ``r1 ∩ r2``."""
         self._require_same_schema(other, "intersection")
-        return Relation(self._schema, self._rows & other._rows)
+        if other._schema is self._schema:
+            rows = self._rows & other._rows
+        else:
+            # Row hashing is order-insensitive, so membership tests work
+            # across schema orders; keep elements of `self` for alignment.
+            rows = frozenset(row for row in self._rows if row in other._rows)
+        return Relation._from_parts(self._schema, rows)
 
     def difference(self, other: "Relation") -> "Relation":
         """Set difference ``r1 − r2``."""
         self._require_same_schema(other, "difference")
-        return Relation(self._schema, self._rows - other._rows)
+        return Relation._from_parts(self._schema, self._rows - other._rows)
 
     def __or__(self, other: "Relation") -> "Relation":
         return self.union(other)
@@ -273,9 +335,13 @@ class Relation:
             raise SchemaError(
                 f"product: attribute sets must be disjoint, both sides contain {shared!r}"
             )
-        schema = self._schema.union(other._schema)
-        rows = {left.merge(right) for left in self._rows for right in other._rows}
-        return Relation(schema, rows)
+        schema = Schema.interned(self._schema.union(other._schema).names)
+        rows = frozenset(
+            Row.from_schema(schema, left.values_tuple + right.values_tuple)
+            for left in self._rows
+            for right in other._rows
+        )
+        return Relation._from_parts(schema, rows)
 
     def __mul__(self, other: "Relation") -> "Relation":
         return self.product(other)
@@ -291,23 +357,37 @@ class Relation:
             # Degenerates to the Cartesian product, exactly as in the
             # textbook definition.
             return self.product(other)
-        schema = self._schema.union(other._schema)
-        index: dict[tuple[Any, ...], list[Row]] = {}
+        schema = Schema.interned(self._schema.union(other._schema).names)
+        extra = other._schema.difference(self._schema)
+        left_key = self._schema.key_getter(shared)
+        right_key = other._schema.key_getter(shared)
+        right_extra = other._schema.tuple_getter(extra)
+        index: dict[Any, list[tuple[Any, ...]]] = {}
         for row in other._rows:
-            index.setdefault(row.values_for(shared), []).append(row)
+            values = row.values_tuple
+            index.setdefault(right_key(values), []).append(right_extra(values))
         rows: set[Row] = set()
+        add = rows.add
+        lookup = index.get
+        from_schema = Row.from_schema
         for left in self._rows:
-            for right in index.get(left.values_for(shared), ()):
-                rows.add(left.merge(right))
-        return Relation(schema, rows)
+            values = left.values_tuple
+            for extras in lookup(left_key(values), ()):
+                add(from_schema(schema, values + extras))
+        return Relation._from_parts(schema, frozenset(rows))
 
     def semijoin(self, other: "Relation") -> "Relation":
         """Left semi-join ``r1 ⋉ r2``: rows of ``r1`` with a join partner."""
         shared = self._schema.intersection(other._schema)
         if not len(shared):
             return self if other._rows else Relation.empty(self._schema)
-        keys = {row.values_for(shared) for row in other._rows}
-        return Relation(self._schema, {row for row in self._rows if row.values_for(shared) in keys})
+        left_key = self._schema.key_getter(shared)
+        right_key = other._schema.key_getter(shared)
+        keys = {right_key(row.values_tuple) for row in other._rows}
+        return Relation._from_parts(
+            self._schema,
+            frozenset(row for row in self._rows if left_key(row.values_tuple) in keys),
+        )
 
     def antijoin(self, other: "Relation") -> "Relation":
         """Left anti-semi-join ``r1 ▷ r2 = r1 − (r1 ⋉ r2)``."""
@@ -350,23 +430,23 @@ class Relation:
         """
         group_schema = as_schema(grouping)
         self._schema.require(group_schema, "group_by")
-        output_schema = Schema(group_schema.names + tuple(aggregations.keys()))
+        output_schema = Schema.interned(group_schema.names + tuple(aggregations.keys()))
+        key_of = self._schema.tuple_getter(group_schema)
 
         groups: dict[tuple[Any, ...], list[Row]] = {}
         for row in self._rows:
-            groups.setdefault(row.values_for(group_schema), []).append(row)
+            groups.setdefault(key_of(row.values_tuple), []).append(row)
 
-        result_rows: set[Row] = set()
         if not groups and not len(group_schema):
             # Global aggregate over an empty relation: one row of aggregates
             # over the empty group, mirroring SQL's behaviour for COUNT.
             groups[()] = []
-        for key, members in groups.items():
-            values = dict(zip(group_schema.names, key))
-            for out_name, (_doc, fn) in aggregations.items():
-                values[out_name] = fn(members)
-            result_rows.add(Row(values))
-        return Relation(output_schema, result_rows)
+        aggregate_fns = tuple(fn for (_doc, fn) in aggregations.values())
+        result_rows = frozenset(
+            Row.from_schema(output_schema, key + tuple(fn(members) for fn in aggregate_fns))
+            for key, members in groups.items()
+        )
+        return Relation._from_parts(output_schema, result_rows)
 
     # ------------------------------------------------------------------
     # convenience used throughout the law implementations
@@ -379,20 +459,26 @@ class Relation:
         """
         fixed = Row(dict(row_values))
         self._schema.require(list(fixed.keys()), "image_set")
-        over_schema = self._schema.project(over)
-        rows = {
-            row.project(over_schema)
+        over_schema = Schema.interned(self._schema.project(over).names)
+        over_get = self._schema.tuple_getter(over_schema)
+        fixed_get = self._schema.tuple_getter(fixed.schema)
+        fixed_values = fixed.values_tuple
+        projected = {
+            over_get(row.values_tuple)
             for row in self._rows
-            if all(row[name] == value for name, value in fixed.items())
+            if fixed_get(row.values_tuple) == fixed_values
         }
-        return Relation(over_schema, rows)
+        return Relation._from_parts(
+            over_schema,
+            frozenset(Row.from_schema(over_schema, values) for values in projected),
+        )
 
     def partition_horizontal(self, predicate: RowPredicate) -> tuple["Relation", "Relation"]:
         """Split rows into (matching, non-matching) relations."""
-        matching = {row for row in self._rows if predicate(row)}
+        matching = frozenset(row for row in self._rows if predicate(row))
         return (
-            Relation(self._schema, matching),
-            Relation(self._schema, self._rows - matching),
+            Relation._from_parts(self._schema, matching),
+            Relation._from_parts(self._schema, self._rows - matching),
         )
 
 

@@ -4,12 +4,30 @@ A :class:`Schema` is an ordered collection of distinct attribute names.  The
 paper treats schemas as plain attribute *sets* (named perspective); we keep
 the declaration order purely for stable rendering of figures, while all
 comparisons and algebraic operations use set semantics.
+
+Schemas are the backbone of the tuple-backed row representation: every
+:class:`~repro.relation.row.Row` stores a plain value tuple aligned with an
+*interned* schema.  The schema therefore carries everything needed to make
+row operations positional instead of dict-based:
+
+* an attribute → position index (:attr:`_index`),
+* a canonical (sorted-name) permutation used to hash rows so that equal
+  rows over differently-ordered schemas hash equally (:meth:`hash_values`),
+* a per-schema cache of "pickers" — index tuples that project a value tuple
+  onto a target attribute list in one pass (:meth:`picker`).
+
+:meth:`Schema.interned` returns a process-wide shared instance per distinct
+attribute-name tuple, so rows of the same relation share one schema object
+and schema identity checks (``is``) replace name-by-name comparisons on the
+hot paths.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Sequence
-from typing import Union
+import weakref
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from operator import itemgetter
+from typing import Any, Optional, Union
 
 from repro.errors import SchemaError
 
@@ -17,6 +35,11 @@ __all__ = ["Schema", "AttributeNames", "as_schema"]
 
 #: Anything accepted where a schema (or attribute list) is expected.
 AttributeNames = Union["Schema", Sequence[str], Iterable[str]]
+
+#: Process-wide intern table: attribute-name tuple → shared Schema instance.
+#: Weak-valued so one-off schemas (SQL correlation prefixes, generated
+#: attribute names) are reclaimed once no row or relation references them.
+_INTERNED: "weakref.WeakValueDictionary[tuple[str, ...], Schema]" = weakref.WeakValueDictionary()
 
 
 class Schema:
@@ -37,22 +60,58 @@ class Schema:
     Schema('a', 'b', 'c')
     """
 
-    __slots__ = ("_names", "_name_set")
+    __slots__ = (
+        "_names",
+        "_name_set",
+        "_index",
+        "_canonical_perm",
+        "_picker_cache",
+        "_getter_cache",
+        "__weakref__",
+    )
 
     def __init__(self, attributes: AttributeNames) -> None:
         if isinstance(attributes, Schema):
             names = attributes.names
         else:
             names = tuple(attributes)
-        seen: set[str] = set()
-        for name in names:
+        index: dict[str, int] = {}
+        for position, name in enumerate(names):
             if not isinstance(name, str) or not name:
                 raise SchemaError(f"attribute names must be nonempty strings, got {name!r}")
-            if name in seen:
+            if name in index:
                 raise SchemaError(f"duplicate attribute name {name!r} in schema {names!r}")
-            seen.add(name)
+            index[name] = position
         self._names: tuple[str, ...] = names
         self._name_set: frozenset[str] = frozenset(names)
+        self._index: dict[str, int] = index
+        order = sorted(range(len(names)), key=names.__getitem__)
+        self._canonical_perm: Optional[tuple[int, ...]] = (
+            tuple(order) if any(i != j for i, j in enumerate(order)) else None
+        )
+        self._picker_cache: Optional[dict[tuple[str, ...], tuple[int, ...]]] = None
+        self._getter_cache: Optional[dict[tuple[str, ...], tuple[Callable, Callable]]] = None
+
+    # ------------------------------------------------------------------
+    # interning
+    # ------------------------------------------------------------------
+    @classmethod
+    def interned(cls, attributes: AttributeNames) -> "Schema":
+        """The shared instance for this exact attribute order.
+
+        Rows built from the same interned schema can be compared, hashed and
+        projected positionally; ``schema1 is schema2`` then implies both the
+        same attribute set *and* the same declaration order.
+        """
+        if isinstance(attributes, Schema):
+            names = attributes._names
+        else:
+            names = tuple(attributes)
+        schema = _INTERNED.get(names)
+        if schema is None:
+            schema = cls(names)
+            _INTERNED[names] = schema
+        return schema
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -78,6 +137,92 @@ class Schema:
 
     def __getitem__(self, index: int) -> str:
         return self._names[index]
+
+    # ------------------------------------------------------------------
+    # positional access (tuple-backed rows)
+    # ------------------------------------------------------------------
+    def position(self, name: str) -> int:
+        """Position of ``name`` in the declaration order (KeyError if absent)."""
+        return self._index[name]
+
+    def picker(self, attributes: AttributeNames) -> tuple[int, ...]:
+        """Index tuple projecting an aligned value tuple onto ``attributes``.
+
+        ``tuple(values[i] for i in schema.picker(target))`` reorders a value
+        tuple aligned with this schema into ``target`` order.  Pickers are
+        cached per target attribute tuple.  Raises ``KeyError`` for unknown
+        attributes (callers translate to their domain error).
+        """
+        if isinstance(attributes, Schema):
+            names = attributes._names
+        elif isinstance(attributes, str):
+            names = (attributes,)
+        else:
+            names = tuple(attributes)
+        cache = self._picker_cache
+        if cache is None:
+            cache = {}
+            self._picker_cache = cache
+        picks = cache.get(names)
+        if picks is None:
+            index = self._index
+            picks = tuple(index[name] for name in names)
+            cache[names] = picks
+        return picks
+
+    def getters(self, attributes: AttributeNames) -> tuple[Callable, Callable]:
+        """``(tuple_getter, key_getter)`` pair for an attribute list.
+
+        Both take a value tuple aligned with this schema.  The tuple getter
+        returns the ``attributes`` values as a tuple; the key getter returns
+        a hashable group key — the bare value when there is exactly one
+        attribute (cheaper to hash, no allocation), the same tuple
+        otherwise.  Built on :func:`operator.itemgetter` so the extraction
+        runs at C speed; cached per target attribute tuple.
+        """
+        if isinstance(attributes, Schema):
+            names = attributes._names
+        elif isinstance(attributes, str):
+            names = (attributes,)
+        else:
+            names = tuple(attributes)
+        cache = self._getter_cache
+        if cache is None:
+            cache = {}
+            self._getter_cache = cache
+        getters = cache.get(names)
+        if getters is None:
+            picks = self.picker(names)
+            if not picks:
+                getters = (_empty_getter, _empty_getter)
+            elif len(picks) == 1:
+                position = picks[0]
+                getters = (_single_tuple_getter(position), itemgetter(position))
+            else:
+                getter = itemgetter(*picks)
+                getters = (getter, getter)
+            cache[names] = getters
+        return getters
+
+    def tuple_getter(self, attributes: AttributeNames) -> Callable:
+        """Callable mapping an aligned value tuple to the ``attributes`` tuple."""
+        return self.getters(attributes)[0]
+
+    def key_getter(self, attributes: AttributeNames) -> Callable:
+        """Callable mapping an aligned value tuple to a hashable group key."""
+        return self.getters(attributes)[1]
+
+    def hash_values(self, values: tuple[Any, ...]) -> int:
+        """Order-insensitive hash of a value tuple aligned with this schema.
+
+        Values are permuted into canonical (sorted-name) order before
+        hashing, so equal rows hash equally regardless of the attribute
+        order their schemas were declared in.
+        """
+        perm = self._canonical_perm
+        if perm is not None:
+            values = tuple(values[i] for i in perm)
+        return hash((self._name_set, values))
 
     # ------------------------------------------------------------------
     # comparisons (set semantics)
@@ -160,6 +305,17 @@ class Schema:
     def __repr__(self) -> str:
         inner = ", ".join(repr(name) for name in self._names)
         return f"Schema({inner})"
+
+
+def _empty_getter(values: tuple[Any, ...]) -> tuple[Any, ...]:
+    return ()
+
+
+def _single_tuple_getter(position: int) -> Callable:
+    def getter(values: tuple[Any, ...]) -> tuple[Any, ...]:
+        return (values[position],)
+
+    return getter
 
 
 def as_schema(value: AttributeNames) -> Schema:
