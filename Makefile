@@ -1,11 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test bench-smoke bench
+.PHONY: check test lint bench-smoke bench
 
 ## Tier-1 gate: the full unit + benchmark-assertion suite, fail fast.
 check:
 	$(PYTHON) -m pytest -x -q
+
+## Static lint (ruff); skipped with a notice when ruff is not installed.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed — skipping lint (pip install ruff)"; \
+	fi
 
 ## Unit tests only (skips the benchmarks directory).
 test:

@@ -14,6 +14,7 @@ motivation for a first-class operator plus the recognizer.
 
 import pytest
 
+from repro.api import Database
 from repro.experiments import Q1, Q2, Q2_NOT_EXISTS, Q3
 from repro.optimizer import PhysicalPlanner
 from repro.sql import translate_sql
@@ -66,3 +67,56 @@ class TestTranslationOverhead:
     def test_parse_and_translate_q3(self, benchmark, suppliers_catalog):
         expression = benchmark(translate_sql, Q3, suppliers_catalog)
         assert expression.contains_division()
+
+
+class TestPlanCache:
+    """The repeated-query scenario the prepared-plan cache exists for.
+
+    Both benchmarks run the full session path (translate → canonicalize →
+    rewrite → plan → execute) for the same query over and over; the cached
+    session skips rewrite+planning on every round but the first.  The
+    recorded ``cache_hits`` / ``cache_misses`` make the difference visible
+    in the benchmark output (``--benchmark-columns`` aside, see
+    ``extra_info`` in the JSON output).
+    """
+
+    def test_q1_repeated_without_plan_cache(self, benchmark, suppliers_catalog):
+        database = Database(suppliers_catalog, cache_size=0)
+        reference = database.sql(Q1).run().relation
+
+        def round_trip():
+            return database.sql(Q1).run()
+
+        result = benchmark(round_trip)
+        assert result.relation == reference
+        assert not result.cache_hit
+        benchmark.extra_info["cache_hits"] = database.cache_info().hits
+        benchmark.extra_info["cache_misses"] = database.cache_info().misses
+        assert database.cache_info().hits == 0
+
+    def test_q1_repeated_with_plan_cache(self, benchmark, suppliers_catalog):
+        database = Database(suppliers_catalog)
+        reference = database.sql(Q1).run().relation  # warm the cache (1 miss)
+
+        def round_trip():
+            return database.sql(Q1).run()
+
+        result = benchmark(round_trip)
+        assert result.relation == reference
+        assert result.cache_hit
+        info = database.cache_info()
+        benchmark.extra_info["cache_hits"] = info.hits
+        benchmark.extra_info["cache_misses"] = info.misses
+        assert info.misses == 1
+        assert info.hits >= 1
+
+    def test_prepared_query_repeated(self, benchmark, suppliers_catalog):
+        database = Database(suppliers_catalog)
+        query = database.prepare(Q2)
+
+        result = benchmark(query.run)
+        assert result.cache_hit
+        info = database.cache_info()
+        benchmark.extra_info["cache_hits"] = info.hits
+        benchmark.extra_info["cache_misses"] = info.misses
+        assert info.misses == 1

@@ -51,6 +51,25 @@ def main() -> None:
     for candidate in candidates:
         print(f"  support({sorted(candidate)}) = {supports[candidate]}")
 
+    # the same round as one fluent great divide through the session API
+    import repro
+    from repro.relation import Relation
+
+    candidate_rows = [
+        (item, index) for index, candidate in enumerate(candidates) for item in candidate
+    ]
+    db = repro.connect(
+        {
+            "transactions": dataset.relation,
+            "candidates": Relation(["item", "candidate"], candidate_rows),
+        }
+    )
+    outcome = db.table("transactions").great_divide(db.table("candidates"), on="item").run()
+    print("\nthe same phase through repro.connect:")
+    print("  fluent query   :", outcome.expression.to_text())
+    print(f"  (tid, candidate) support pairs: {len(outcome.relation)} rows, "
+          f"max intermediate = {outcome.max_intermediate} tuples")
+
     # ------------------------------------------------------------------
     # the full level-wise algorithm, both ways
     # ------------------------------------------------------------------

@@ -66,6 +66,15 @@ def main() -> None:
     print("\n'at least' (exactly OR strictly more) — i.e. relational division:")
     print(" ", sorted(at_least.to_set("s_no")))
 
+    # cross-check through the session API: HAS 'at least' is supplies ÷ parts
+    import repro
+
+    db = repro.connect({"supplies": supplies, "blue_parts": blue_parts})
+    divided = db.table("supplies").divide(db.table("blue_parts"), on="p_no").run()
+    print("\nsame answer from repro.connect (small divide):")
+    print(" ", sorted(divided.relation.to_set("s_no")))
+    print("  agrees with the HAS operator:", divided.relation == at_least)
+
 
 if __name__ == "__main__":
     main()

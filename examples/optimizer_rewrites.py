@@ -1,85 +1,74 @@
-"""A tour of the rewrite laws through the optimizer.
+"""A tour of the rewrite laws through the session API.
 
 Run with::
 
     python examples/optimizer_rewrites.py
 
-The example builds queries that exercise several of the paper's laws
+The example builds fluent queries that exercise several of the paper's laws
 (selection push-down, semi-join commutation, the Law 7 short-circuit and
-divisor partitioning for the great divide), lets the rule-based optimizer
-rewrite them, and compares the estimated costs and the measured
-intermediate-result sizes of the original and rewritten plans.  It also
+divisor partitioning for the great divide), runs them through one
+:func:`repro.connect` session, and compares estimated costs and measured
+intermediate-result sizes against the unrewritten baseline plans.  It also
 runs the Graefe-style comparison of the physical division algorithms.
 """
 
-from repro.algebra import builders as B
+import repro
 from repro.algebra import predicates as P
-from repro.algebra.catalog import Catalog
-from repro.optimizer import Optimizer, PhysicalPlanner, PlannerOptions
+from repro.optimizer import PlannerOptions
 from repro.physical import SMALL_DIVIDE_ALGORITHMS, RelationScan, execute_plan
 from repro.workloads import make_division_workload, make_great_division_workload
 
 
-def show_optimization(title, optimizer, query, catalog) -> None:
-    result = optimizer.optimize(query)
-    baseline = execute_plan(optimizer.plan_without_rewriting(query))
-    optimized = execute_plan(result.plan)
-    assert baseline.relation == optimized.relation
+def show_optimization(title, db, query) -> None:
+    outcome = query.run()
+    baseline = execute_plan(db.optimizer.plan_without_rewriting(outcome.expression))
+    assert baseline.relation == outcome.relation
     print(f"\n--- {title} ---")
-    print("original :", query.to_text())
-    print("rewritten:", result.rewritten.to_text())
-    print("rules    :", ", ".join(result.rules_fired) or "(none)")
-    print(f"estimated cost   : {result.original_cost.total_cost:12.0f} -> {result.rewritten_cost.total_cost:12.0f}")
-    print(f"max intermediate : {baseline.max_intermediate:12d} -> {optimized.max_intermediate:12d} tuples")
+    print("original :", outcome.expression.to_text())
+    print("rewritten:", outcome.rewritten.to_text())
+    print("rules    :", ", ".join(outcome.rules_fired) or "(none)")
+    print(f"estimated cost   : {outcome.estimated_cost_before:12.0f} -> {outcome.estimated_cost_after:12.0f}")
+    print(f"max intermediate : {baseline.max_intermediate:12d} -> {outcome.max_intermediate:12d} tuples")
 
 
 def main() -> None:
     workload = make_division_workload(num_groups=300, divisor_size=8, containing_fraction=0.2, seed=1)
     great = make_great_division_workload(dividend_groups=120, divisor_groups=12, seed=2)
 
-    catalog = Catalog()
-    catalog.add_table("r1", workload.dividend)
-    catalog.add_table("r2", workload.divisor)
-    catalog.add_table("g1", great.dividend.rename({"a": "ga", "b": "gb"}))
-    catalog.add_table("g2", great.divisor.rename({"b": "gb", "c": "gc"}))
-    optimizer = Optimizer(catalog)
-
-    r1, r2 = catalog.ref("r1"), catalog.ref("r2")
-    g1, g2 = catalog.ref("g1"), catalog.ref("g2")
+    db = repro.connect(
+        {
+            "r1": workload.dividend,
+            "r2": workload.divisor,
+            "g1": great.dividend.rename({"a": "ga", "b": "gb"}),
+            "g2": great.divisor.rename({"b": "gb", "c": "gc"}),
+        }
+    )
 
     # Law 3: push a quotient selection below the divide.
     show_optimization(
         "Law 3 — selection push-down",
-        optimizer,
-        B.select(B.divide(r1, r2), P.less_than(P.attr("a"), 20)),
-        catalog,
+        db,
+        db.table("r1").divide(db.table("r2")).where(P.less_than(P.attr("a"), 20)),
     )
 
     # Law 10: push a semi-join below the divide.
-    interesting = B.literal(workload.dividend.project(["a"]).select(lambda row: row["a"] < 10), "interesting")
+    interesting = workload.dividend.project(["a"]).select(lambda row: row["a"] < 10)
     show_optimization(
         "Law 10 — semi-join commutation",
-        optimizer,
-        B.semijoin(B.divide(r1, r2), interesting),
-        catalog,
+        db,
+        db.table("r1").divide(db.table("r2")).semijoin(interesting),
     )
 
     # Law 7: the short-circuit for disjoint quotient candidates.
-    low = B.select(r1, P.less_than(P.attr("a"), 150))
-    high = B.select(r1, P.greater_equal(P.attr("a"), 150))
-    show_optimization(
-        "Law 7 — disjoint difference elimination",
-        optimizer,
-        B.difference(B.divide(low, r2), B.divide(high, r2)),
-        catalog,
-    )
+    low = db.table("r1").where(P.less_than(P.attr("a"), 150)).divide(db.table("r2"))
+    high = db.table("r1").where(P.greater_equal(P.attr("a"), 150)).divide(db.table("r2"))
+    show_optimization("Law 7 — disjoint difference elimination", db, low.difference(high))
 
     # Law 15: push a group selection into the great divide's divisor.
     show_optimization(
         "Law 15 — group selection push-down (great divide)",
-        optimizer,
-        B.select(B.great_divide(g1, g2), P.less_than(P.attr("gc"), 3)),
-        catalog,
+        db,
+        db.table("g1").great_divide(db.table("g2")).where(P.less_than(P.attr("gc"), 3)),
     )
 
     # ------------------------------------------------------------------
@@ -99,10 +88,11 @@ def main() -> None:
     # ------------------------------------------------------------------
     # choosing a different physical algorithm through planner options
     # ------------------------------------------------------------------
-    planner = PhysicalPlanner(catalog, PlannerOptions(small_divide_algorithm="merge_sort"))
-    plan = planner.plan(B.divide(r1, r2))
-    print("\nplan with merge-sort division selected:")
-    print(plan.explain())
+    merge_sort_db = repro.connect(
+        db.catalog, planner_options=PlannerOptions(small_divide_algorithm="merge_sort")
+    )
+    print("\nEXPLAIN with merge-sort division selected:")
+    print(merge_sort_db.table("r1").divide(merge_sort_db.table("r2")).explain())
 
 
 if __name__ == "__main__":

@@ -6,9 +6,11 @@ Run with::
 
 Each figure is rebuilt from the relations printed in the paper, evaluated
 with the library's operators, checked against the paper's printed result and
-rendered as ASCII tables.
+rendered as ASCII tables.  As a final cross-check, Figure 1's division is
+replayed through the session API (:func:`repro.connect`).
 """
 
+import repro
 from repro.experiments import all_figures
 
 
@@ -19,6 +21,20 @@ def main() -> None:
         print()
     reproduced = sum(figure.verify() for figure in figures)
     print(f"{reproduced}/{len(figures)} figures reproduced exactly.")
+
+    # Figure 1 once more, through the public API.
+    figure1 = figures[0]
+    db = repro.connect(
+        {
+            "r1": figure1.relations["r1 (dividend)"],
+            "r2": figure1.relations["r2 (divisor)"],
+        }
+    )
+    outcome = db.table("r1").divide(db.table("r2")).run()
+    print(
+        "Figure 1 through repro.connect:",
+        "matches" if outcome.relation == figure1.expected else "DIFFERS",
+    )
 
 
 if __name__ == "__main__":

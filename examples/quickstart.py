@@ -1,14 +1,17 @@
-"""Quickstart: relations, small divide, great divide, and one rewrite law.
+"""Quickstart: relations, division, one rewrite law, and the session API.
 
 Run with::
 
     python examples/quickstart.py
 
 The example rebuilds Figures 1 and 2 of the paper, shows the equivalent
-definitions of the operators agreeing with each other, and applies Law 3
-(selection push-down) through the rewrite-rule API.
+definitions of the operators agreeing with each other, applies Law 3
+(selection push-down) through the rewrite-rule API, and finishes with the
+same division run through :func:`repro.connect` — the one front door that
+parses/builds, optimizes and executes queries in a single pass.
 """
 
+import repro
 from repro import Relation, great_divide, small_divide
 from repro.algebra import builders as B
 from repro.algebra import predicates as P
@@ -76,6 +79,21 @@ def main() -> None:
     print(f"before: {query.to_text()}")
     print(f"after:  {rewritten.to_text()}")
     print(f"same result: {query.evaluate({}) == rewritten.evaluate({})}")
+
+    # ------------------------------------------------------------------
+    # the same division through the session API
+    # ------------------------------------------------------------------
+    print("\n=== the session API: repro.connect ===")
+    db = repro.connect({"r1": dividend, "r2": great_divisor})
+    outcome = db.table("r1").divide(db.table("r2")).run()
+    print("fluent query :", outcome.expression.to_text())
+    print("quotient     :", sorted(outcome.relation.to_tuples(["a", "c"])))
+    print(
+        f"statistics   : max intermediate = {outcome.max_intermediate} tuples, "
+        f"elapsed = {outcome.elapsed_seconds * 1000:.2f} ms"
+    )
+    again = db.table("r1").divide(db.table("r2")).run()
+    print(f"repeated run : served from the prepared-plan cache = {again.cache_hit}")
 
 
 if __name__ == "__main__":

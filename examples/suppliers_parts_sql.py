@@ -1,73 +1,86 @@
-"""The suppliers-and-parts scenario of Section 4, driven through SQL.
+"""The suppliers-and-parts scenario of Section 4, driven through the API.
 
 Run with::
 
     python examples/suppliers_parts_sql.py
 
-The example parses the paper's queries Q1 (DIVIDE BY), Q2 (DIVIDE BY with a
-subquery divisor) and Q3 (the double-NOT-EXISTS formulation), translates
-them to the logical algebra, optimizes them, and shows that Q1 and Q3 return
-the same result — once with the universal-quantification recognizer enabled
-(the query becomes a first-class great divide) and once without it (the
-divide-less basic-algebra plan).
+The example opens one :func:`repro.connect` session over the textbook
+database and runs the paper's queries Q1 (DIVIDE BY), Q2 (DIVIDE BY with a
+subquery divisor) and Q3 (the double-NOT-EXISTS formulation) through it.
+Everything — parsing, rewriting, planning, execution, statistics — comes
+from one pass per query, and because Q1 and Q3 canonicalize to the same
+expression, Q3 is served straight from the prepared-plan cache.
 """
 
-from repro.experiments import Q1, Q2, Q3, run_query
-from repro.optimizer import Optimizer
+import repro
+from repro.experiments import Q1, Q2, Q3
 from repro.relation.render import render_relation
-from repro.sql import translate_sql
 from repro.workloads import textbook_catalog
 
 
 def main() -> None:
-    catalog = textbook_catalog()
+    db = repro.connect(textbook_catalog)
 
     print("=== The database ===")
-    print(render_relation(catalog["supplies"], "supplies"))
-    print(render_relation(catalog["parts"], "parts"))
+    print(render_relation(db.relation("supplies"), "supplies"))
+    print(render_relation(db.relation("parts"), "parts"))
 
     # ------------------------------------------------------------------
     # Q1: DIVIDE BY with a great divide
     # ------------------------------------------------------------------
     print("\n=== Q1 (DIVIDE BY, great divide) ===")
     print(Q1.strip())
-    q1 = run_query(Q1, catalog)
-    print("\nlogical plan:", q1.expression.to_text())
-    print(render_relation(q1.result, "result: suppliers supplying all parts of a color"))
+    q1 = db.sql(Q1).run()
+    print("\ncanonical plan:", q1.rewritten.to_text())
+    print(render_relation(q1.relation, "result: suppliers supplying all parts of a color"))
 
     # ------------------------------------------------------------------
     # Q2: DIVIDE BY with a restricted divisor (small divide)
     # ------------------------------------------------------------------
     print("\n=== Q2 (DIVIDE BY, small divide over the blue parts) ===")
     print(Q2.strip())
-    q2 = run_query(Q2, catalog)
-    print("\nlogical plan:", q2.expression.to_text())
-    print(render_relation(q2.result, "result: suppliers supplying all blue parts"))
+    q2 = db.sql(Q2).run()
+    print("\ncanonical plan:", q2.rewritten.to_text())
+    print(render_relation(q2.relation, "result: suppliers supplying all blue parts"))
+
+    # ------------------------------------------------------------------
+    # the same question, fluently — same fingerprint, cache hit
+    # ------------------------------------------------------------------
+    print("\n=== Q2 again, through the fluent builder ===")
+    fluent = (
+        db.table("supplies")
+        .divide(db.table("parts").where(color="blue").project(["p_no"]), on="p_no")
+        .project(["s_no"])
+    )
+    outcome = fluent.run()
+    print("fluent result == SQL result :", outcome.relation == q2.relation)
+    print("identical tuple counts      :", outcome.tuple_counts == q2.tuple_counts)
+    print("served from plan cache      :", outcome.cache_hit)
 
     # ------------------------------------------------------------------
     # Q3: the double NOT EXISTS formulation
     # ------------------------------------------------------------------
     print("\n=== Q3 (double NOT EXISTS) ===")
     print(Q3.strip())
-    recognized = run_query(Q3, catalog, recognize_division=True)
-    naive = run_query(Q3, catalog, recognize_division=False)
-    print("\nwith the divide recognizer :", recognized.expression.to_text())
-    print("without the recognizer     :", naive.expression.to_text())
-    print("Q1 == Q3 (recognized) ==", recognized.result == q1.result)
-    print("Q1 == Q3 (divide-less) ==", naive.result == q1.result)
+    recognized = db.sql(Q3).run()
+    naive = db.sql(Q3, recognize_division=False).run()
+    print("\nwith the divide recognizer :", recognized.rewritten.to_text())
+    print("without the recognizer     :", naive.rewritten.to_text())
+    print("Q1 == Q3 (recognized) ==", recognized.relation == q1.relation)
+    print("Q1 == Q3 (divide-less) ==", naive.relation == q1.relation)
+    print("Q3 reused Q1's prepared plan:", recognized.cache_hit)
+    print(
+        "max intermediate: "
+        f"{recognized.max_intermediate} tuples (divide) vs "
+        f"{naive.max_intermediate} tuples (divide-less)"
+    )
 
     # ------------------------------------------------------------------
-    # Optimizing Q1 and executing the physical plan
+    # EXPLAIN ANALYZE for Q1
     # ------------------------------------------------------------------
-    print("\n=== Optimizer output for Q1 ===")
-    optimizer = Optimizer(catalog)
-    optimization = optimizer.optimize(translate_sql(Q1, catalog))
-    print("rules fired:", optimization.rules_fired or "(none needed)")
-    print("physical plan:")
-    print(optimization.plan.explain())
-    execution = optimizer.execute(translate_sql(Q1, catalog))
-    print(f"executed: {len(execution.relation)} result tuples, "
-          f"largest intermediate = {execution.max_intermediate} tuples")
+    print("\n=== EXPLAIN ANALYZE Q1 ===")
+    print(db.sql(Q1).explain(analyze=True))
+    print("\nplan cache:", db.cache_info())
 
 
 if __name__ == "__main__":

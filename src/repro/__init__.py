@@ -16,13 +16,15 @@ subpackages provide the full API:
 * :mod:`repro.fuzzy`      — fuzzy-division extension
 * :mod:`repro.has`        — Carlis' HAS operator extension
 * :mod:`repro.experiments`— figure regeneration and experiment harness
+* :mod:`repro.api`        — the session front door (:func:`repro.connect`)
 """
 
+from repro.api import Database, Query, QueryResult, connect
 from repro.division import great_divide, small_divide
 from repro.errors import ReproError
 from repro.relation import NULL, Relation, Row, Schema
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -33,4 +35,8 @@ __all__ = [
     "ReproError",
     "small_divide",
     "great_divide",
+    "connect",
+    "Database",
+    "Query",
+    "QueryResult",
 ]

@@ -124,6 +124,25 @@ class Expression:
         return any(isinstance(node, (SmallDivide, GreatDivide)) for node in self.walk())
 
     # ------------------------------------------------------------------
+    # canonicalization and fingerprints (implemented in algebra.canonical)
+    # ------------------------------------------------------------------
+    def canonical(self) -> "Expression":
+        """The rename-minimized canonical form of this expression.
+
+        SQL-translated and fluent-built trees for the same query normalize
+        to the same canonical tree; see :mod:`repro.algebra.canonical`.
+        """
+        from repro.algebra.canonical import canonicalize
+
+        return canonicalize(self)
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of the canonical form (prepared-plan cache key)."""
+        from repro.algebra.canonical import expression_fingerprint
+
+        return expression_fingerprint(self)
+
+    # ------------------------------------------------------------------
     # value semantics and rendering
     # ------------------------------------------------------------------
     def _signature(self) -> tuple:

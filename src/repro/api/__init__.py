@@ -1,0 +1,28 @@
+"""Public session API: one front door for SQL, fluent algebra and execution.
+
+>>> import repro
+>>> db = repro.connect(textbook_catalog)
+>>> result = db.sql("SELECT ... DIVIDE BY ...").run()
+>>> result.relation, result.rules_fired, result.max_intermediate
+
+See :class:`Database` (sessions, prepared-plan cache), :class:`Query`
+(lazy SQL / fluent builder) and :class:`QueryResult` (one execution's
+result + statistics).
+"""
+
+from repro.api.database import Database, DatabaseSource, PreparedPlan, connect
+from repro.api.fingerprint import expression_fingerprint, plan_cache_key
+from repro.api.query import Query
+from repro.api.result import CacheInfo, QueryResult
+
+__all__ = [
+    "connect",
+    "Database",
+    "DatabaseSource",
+    "PreparedPlan",
+    "Query",
+    "QueryResult",
+    "CacheInfo",
+    "expression_fingerprint",
+    "plan_cache_key",
+]

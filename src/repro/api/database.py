@@ -1,0 +1,358 @@
+"""The one front door: a session object unifying every execution path.
+
+``Database`` wraps a :class:`~repro.algebra.catalog.Catalog` with the full
+pipeline of the paper — SQL translation, canonicalization, law-based
+rewriting, costing, physical planning and batched execution — behind two
+entry points that produce the same lazy :class:`~repro.api.query.Query`
+objects:
+
+>>> db = connect(textbook_catalog)
+>>> db.sql("SELECT s_no FROM supplies AS s DIVIDE BY ...").run()
+>>> db.table("supplies").divide(db.table("parts"), on="p_no").run()
+
+Every run is **one** physical execution whose
+:class:`~repro.api.result.QueryResult` carries the result relation, the
+rules fired, per-operator tuple counts, ``max_intermediate`` and wall-clock
+time.
+
+Prepared plans are cached in an LRU keyed by the canonical expression
+fingerprint, so repeating a query — in *any* equivalent formulation — skips
+translation-independent work (rewrite + costing + planning) entirely.
+Hit/miss counters are exposed through :meth:`Database.cache_info` for tests
+and benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.algebra.catalog import Catalog
+from repro.algebra.expressions import Expression
+from repro.api.fingerprint import optimizer_signature, plan_cache_key
+from repro.api.query import Query
+from repro.api.result import CacheInfo, QueryResult
+from repro.errors import ReproError, SchemaError
+from repro.optimizer.cost import CostReport
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.planner import PlannerOptions
+from repro.optimizer.rewriter import RewriteReport
+from repro.optimizer.statistics import TableStatistics
+from repro.physical.base import PhysicalOperator
+from repro.physical.executor import execute_plan
+from repro.relation.relation import Relation
+from repro.sql.translator import SQLTranslator
+
+__all__ = ["Database", "PreparedPlan", "connect"]
+
+#: Anything a Database can be built from: a catalog, a plain name→relation
+#: mapping, a zero-argument workload generator returning either, or nothing.
+DatabaseSource = Union[Catalog, Mapping[str, Relation], Callable[[], object], None]
+
+
+@dataclass(frozen=True)
+class PreparedPlan:
+    """One cached unit: everything derivable from a canonical expression."""
+
+    fingerprint: str
+    canonical: Expression
+    rewrite_report: RewriteReport
+    original_cost: CostReport
+    rewritten_cost: CostReport
+    plan: PhysicalOperator
+
+    @property
+    def rewritten(self) -> Expression:
+        return self.rewrite_report.result
+
+    @property
+    def rules_fired(self) -> list[str]:
+        return self.rewrite_report.rules_fired
+
+
+class _PlanCache:
+    """A small LRU with hit/miss counters; ``maxsize=0`` disables caching."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 0:
+            raise ReproError(f"cache size must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[str, PreparedPlan]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[PreparedPlan]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, value: PreparedPlan) -> None:
+        if self.maxsize == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self.hits, misses=self.misses, size=len(self._entries), maxsize=self.maxsize
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class Database:
+    """A session over a catalog: SQL, fluent algebra, one execution engine.
+
+    Parameters
+    ----------
+    source:
+        A :class:`Catalog`, a plain ``name → Relation`` mapping, a
+        zero-argument callable returning either (e.g. the workload
+        generators ``textbook_catalog`` / ``generate_catalog``), or ``None``
+        for an empty catalog to be populated via :meth:`add_table`.
+    cost_based:
+        Use the cost-based rewriter instead of the heuristic fixpoint one.
+    planner_options:
+        Physical algorithm choices for the logical→physical mapping.
+    recognize_division:
+        Default for the SQL frontend's universal-quantification recognizer.
+    cache_size:
+        Maximum number of prepared plans kept (LRU); 0 disables the cache.
+    """
+
+    def __init__(
+        self,
+        source: DatabaseSource = None,
+        *,
+        cost_based: bool = False,
+        planner_options: Optional[PlannerOptions] = None,
+        allow_data_inspection: bool = True,
+        recognize_division: bool = True,
+        cache_size: int = 128,
+    ) -> None:
+        self.catalog = _coerce_catalog(source)
+        self.planner_options = planner_options or PlannerOptions()
+        self.cost_based = cost_based
+        self.recognize_division = recognize_division
+        self.allow_data_inspection = allow_data_inspection
+        self._optimizer = Optimizer(
+            self.catalog,
+            planner_options=self.planner_options,
+            cost_based=cost_based,
+            allow_data_inspection=allow_data_inspection,
+        )
+        self._configuration = optimizer_signature(
+            cost_based, self.planner_options, allow_data_inspection
+        )
+        self._cache = _PlanCache(cache_size)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_catalog(cls, catalog: Catalog, **options) -> "Database":
+        """A session over an existing catalog."""
+        return cls(catalog, **options)
+
+    @classmethod
+    def from_relations(cls, relations: Mapping[str, Relation], **options) -> "Database":
+        """A session over plain named relations (no declared constraints)."""
+        return cls(relations, **options)
+
+    # ------------------------------------------------------------------
+    # query entry points
+    # ------------------------------------------------------------------
+    def sql(self, text: str, recognize_division: Optional[bool] = None) -> Query:
+        """A lazy query from SQL text (translated on first use)."""
+        recognize = (
+            self.recognize_division if recognize_division is None else recognize_division
+        )
+        return Query(self, sql=text, recognize_division=recognize)
+
+    def table(self, name: str) -> Query:
+        """A fluent query rooted at a catalog table."""
+        return Query(self, expression=self.catalog.ref(name))
+
+    def query(self, expression: Expression) -> Query:
+        """Wrap an already-built logical expression as a query."""
+        return Query(self, expression=expression)
+
+    def execute(self, query: Union[Query, Expression, str]) -> QueryResult:
+        """Run SQL text, a query or an expression in one call."""
+        return self._as_query(query).run()
+
+    def explain(self, query: Union[Query, Expression, str], analyze: bool = False) -> str:
+        """Explain SQL text, a query or an expression in one call."""
+        return self._as_query(query).explain(analyze=analyze)
+
+    def prepare(self, query: Union[Query, Expression, str]) -> Query:
+        """Rewrite + plan now; the returned query's ``run()`` is a cache hit."""
+        return self._as_query(query).prepare()
+
+    # ------------------------------------------------------------------
+    # catalog management
+    # ------------------------------------------------------------------
+    def add_table(self, name: str, relation: Relation, key=None) -> Query:
+        """Register a relation; statistics and cached plans are refreshed."""
+        self.catalog.add_table(name, relation, key=key)
+        self._refresh(name)
+        return self.table(name)
+
+    def replace_table(self, name: str, relation: Relation) -> None:
+        """Swap a table's contents (same schema); invalidates cached plans."""
+        self.catalog.replace_table(name, relation)
+        self._refresh(name)
+
+    def relation(self, name: str) -> Relation:
+        """The current contents of a table."""
+        try:
+            return self.catalog[name]
+        except KeyError:
+            raise SchemaError(f"table {name!r} is not defined") from None
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        """Names of the registered tables."""
+        return tuple(self.catalog)
+
+    # ------------------------------------------------------------------
+    # plan cache
+    # ------------------------------------------------------------------
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters and size of the prepared-plan cache."""
+        return self._cache.info()
+
+    def clear_cache(self) -> None:
+        """Drop all prepared plans and reset the counters."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # the single execution path (internal; Query delegates here)
+    # ------------------------------------------------------------------
+    def _translate(self, sql: str, recognize_division: bool) -> Expression:
+        return SQLTranslator(self.catalog, recognize_division=recognize_division).translate(sql)
+
+    def _prepare(self, expression: Expression) -> tuple[PreparedPlan, bool]:
+        """Prepared plan for ``expression``; (plan, came_from_cache)."""
+        canonical = expression.canonical()
+        key = plan_cache_key(canonical, self._configuration, assume_canonical=True)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached, True
+        rewrite_report = self._optimizer.rewrite(canonical)
+        prepared = PreparedPlan(
+            fingerprint=key.split(":", 1)[0],
+            canonical=canonical,
+            rewrite_report=rewrite_report,
+            original_cost=self._optimizer.cost_report(canonical),
+            rewritten_cost=self._optimizer.cost_report(rewrite_report.result),
+            plan=self._optimizer.plan(rewrite_report.result),
+        )
+        self._cache.put(key, prepared)
+        return prepared, False
+
+    def _run(self, query: Query) -> QueryResult:
+        expression = query.expression
+        prepared, cache_hit = self._prepare(expression)
+        execution = execute_plan(prepared.plan)
+        return QueryResult(
+            relation=execution.relation,
+            expression=expression,
+            rewritten=prepared.rewritten,
+            rules_fired=tuple(prepared.rules_fired),
+            statistics=execution.statistics,
+            fingerprint=prepared.fingerprint,
+            cache_hit=cache_hit,
+            estimated_cost_before=prepared.original_cost.total_cost,
+            estimated_cost_after=prepared.rewritten_cost.total_cost,
+        )
+
+    def _as_query(self, query: Union[Query, Expression, str]) -> Query:
+        if isinstance(query, Query):
+            if query.database is not self:
+                raise ReproError("this query is bound to a different database session")
+            return query
+        if isinstance(query, Expression):
+            return self.query(query)
+        if isinstance(query, str):
+            return self.sql(query)
+        raise ReproError(f"cannot interpret {query!r} as a query")
+
+    def _refresh(self, name: str) -> None:
+        """Refresh statistics-derived state after one table changed.
+
+        The optimizer's rewriter context and planner read the catalog live,
+        so only the changed table's statistics need recomputing (the
+        :class:`StatisticsCatalog` is shared with the cost model); cached
+        plans may embed stale rewrite decisions and are dropped wholesale.
+        """
+        self._optimizer.statistics.add(name, TableStatistics.from_relation(self.catalog[name]))
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def optimizer(self) -> Optimizer:
+        """The underlying optimizer (advanced use)."""
+        return self._optimizer
+
+    def __repr__(self) -> str:
+        info = self.cache_info()
+        return (
+            f"<Database tables={list(self.tables)!r} "
+            f"cache={info.size}/{info.maxsize} (hits={info.hits}, misses={info.misses})>"
+        )
+
+
+def connect(source: DatabaseSource = None, **options) -> Database:
+    """Open a session: ``repro.connect(textbook_catalog)`` and go.
+
+    ``source`` may be a :class:`Catalog`, a plain ``name → Relation``
+    mapping, a zero-argument callable returning either (a workload
+    generator), or ``None`` for an empty session.  Keyword options are
+    forwarded to :class:`Database`.
+    """
+    return Database(source, **options)
+
+
+def _coerce_catalog(source: DatabaseSource) -> Catalog:
+    if source is None:
+        return Catalog()
+    if isinstance(source, Catalog):
+        return source
+    if callable(source):
+        produced = source()
+        if isinstance(produced, (Catalog, Mapping)):
+            return _coerce_catalog(produced)  # type: ignore[arg-type]
+        raise ReproError(
+            f"workload generator {source!r} returned {type(produced).__name__}; "
+            "expected a Catalog or a name → Relation mapping"
+        )
+    if isinstance(source, Mapping):
+        catalog = Catalog()
+        for name, relation in source.items():
+            if not isinstance(relation, Relation):
+                raise ReproError(
+                    f"table {name!r} is a {type(relation).__name__}, expected a Relation"
+                )
+            catalog.add_table(name, relation)
+        return catalog
+    raise ReproError(
+        f"cannot build a Database from {type(source).__name__}; "
+        "pass a Catalog, a name → Relation mapping, or a generator callable"
+    )

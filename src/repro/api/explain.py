@@ -1,0 +1,140 @@
+"""EXPLAIN rendering: before/after logical trees and the physical plan.
+
+The logical trees are annotated with the optimizer's cardinality estimates;
+the physical plan shows the estimate next to the *actual* tuple count when
+``analyze=True`` (one real execution).  Estimates transfer from the logical
+to the physical tree by walking both in parallel — the planner maps every
+logical node to exactly one physical operator with the same arity, and
+whenever a physical algorithm expands differently (e.g. the
+algebra-simulation division), annotation simply stops for that subtree and
+the output shows ``est=?``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.algebra.expressions import Expression
+from repro.optimizer.statistics import CardinalityEstimator
+from repro.physical.base import PhysicalOperator
+from repro.physical.executor import execute_plan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.database import Database
+    from repro.api.query import Query
+
+__all__ = ["render_explain"]
+
+
+def render_explain(database: "Database", query: "Query", analyze: bool = False) -> str:
+    """Multi-section EXPLAIN (optionally EXPLAIN ANALYZE) for ``query``."""
+    expression = query.expression
+    prepared, cache_hit = database._prepare(expression)
+    estimator = CardinalityEstimator(database.optimizer.statistics)
+
+    actual: Optional[dict[int, int]] = None
+    if analyze:
+        execution = execute_plan(prepared.plan)
+        actual = {id(op): op.tuples_out for op in prepared.plan.walk()}
+
+    lines: list[str] = []
+    if query.sql is not None:
+        lines.append("SQL")
+        lines.extend("  " + line for line in query.sql.strip().splitlines())
+        lines.append("")
+    lines.append(f"fingerprint : {prepared.fingerprint[:16]}  (plan cache: "
+                 f"{'hit' if cache_hit else 'miss'})")
+    lines.append("")
+
+    lines.append("Logical plan (as written)")
+    lines.extend(_logical_lines(expression, estimator))
+    lines.append("")
+
+    fired = ", ".join(prepared.rules_fired) or "(none)"
+    lines.append(f"Rewrite rules fired : {fired}")
+    lines.append("")
+
+    lines.append("Logical plan (canonical, rewritten)")
+    lines.extend(_logical_lines(prepared.rewritten, estimator))
+    lines.append("")
+
+    before = prepared.original_cost.total_cost
+    after = prepared.rewritten_cost.total_cost
+    speedup = float("inf") if after == 0 else before / after
+    lines.append(
+        f"Estimated cost : {before:.0f} -> {after:.0f} (x{speedup:.2f})"
+    )
+    lines.append("")
+
+    lines.append("Physical plan" + (" (analyzed: 1 execution)" if analyze else ""))
+    estimates = _physical_estimates(prepared.plan, prepared.rewritten, estimator)
+    lines.extend(_physical_lines(prepared.plan, estimates, actual))
+    if analyze:
+        lines.append("")
+        lines.append(
+            f"max intermediate = {execution.max_intermediate} tuples, "
+            f"elapsed = {execution.elapsed_seconds * 1000:.2f} ms"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# logical tree with estimates
+# ----------------------------------------------------------------------
+def _logical_lines(expression: Expression, estimator: CardinalityEstimator) -> list[str]:
+    lines: list[str] = []
+
+    def visit(node: Expression, indent: int) -> None:
+        estimate = estimator.cardinality(node)
+        lines.append(f"  {'  ' * indent}{node._pretty_label()}  [est~{estimate:.0f} rows]")
+        for child in node.children:
+            visit(child, indent + 1)
+
+    visit(expression, 0)
+    return lines
+
+
+# ----------------------------------------------------------------------
+# physical tree with estimated vs actual cardinalities
+# ----------------------------------------------------------------------
+def _physical_estimates(
+    plan: PhysicalOperator,
+    expression: Expression,
+    estimator: CardinalityEstimator,
+) -> dict[int, float]:
+    """Map physical operators (by id) to logical cardinality estimates.
+
+    Annotation descends only while the physical tree mirrors the logical
+    tree's arity; composite physical algorithms keep their inner operators
+    unannotated.
+    """
+    estimates: dict[int, float] = {}
+
+    def visit(operator: PhysicalOperator, node: Expression) -> None:
+        estimates[id(operator)] = estimator.cardinality(node)
+        if len(operator.children) == len(node.children):
+            for child_op, child_node in zip(operator.children, node.children):
+                visit(child_op, child_node)
+
+    visit(plan, expression)
+    return estimates
+
+
+def _physical_lines(
+    plan: PhysicalOperator,
+    estimates: dict[int, float],
+    actual: Optional[dict[int, int]],
+) -> list[str]:
+    lines: list[str] = []
+
+    def visit(operator: PhysicalOperator, indent: int) -> None:
+        estimate = estimates.get(id(operator))
+        annotation = "est=?" if estimate is None else f"est~{estimate:.0f}"
+        if actual is not None:
+            annotation += f", actual={actual.get(id(operator), 0)}"
+        lines.append(f"  {'  ' * indent}{operator.describe()}  [{annotation} rows]")
+        for child in operator.children:
+            visit(child, indent + 1)
+
+    visit(plan, 0)
+    return lines

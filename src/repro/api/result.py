@@ -1,0 +1,111 @@
+"""Results of one query execution through the public API.
+
+A :class:`QueryResult` bundles everything a single physical execution
+produced: the result relation, which rewrite laws fired, per-operator tuple
+counts, the paper's max-intermediate metric, and wall-clock time.  The CLI,
+the examples and the experiment harness all read from one of these instead
+of running a query twice through disjoint paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+from repro.algebra.expressions import Expression
+from repro.physical.base import PlanStatistics
+from repro.relation.relation import Relation
+from repro.relation.row import Row
+from repro.relation.schema import AttributeNames
+
+__all__ = ["CacheInfo", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Hit/miss counters of a database's prepared-plan cache."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Everything one execution of a :class:`~repro.api.query.Query` produced."""
+
+    #: The materialized result.
+    relation: Relation
+    #: The logical expression as written (SQL translation or fluent build).
+    expression: Expression
+    #: The canonical, law-rewritten expression the physical plan came from.
+    rewritten: Expression
+    #: Names of the rewrite laws that fired, in application order.
+    rules_fired: tuple[str, ...]
+    #: Per-operator tuple counts and wall-clock time of the one execution.
+    statistics: PlanStatistics
+    #: Canonical fingerprint of the query (the plan-cache key prefix).
+    fingerprint: str
+    #: True if the physical plan came from the prepared-plan cache.
+    cache_hit: bool
+    #: Estimated cost before and after rewriting (abstract tuple-touch units).
+    estimated_cost_before: float
+    estimated_cost_after: float
+
+    # ------------------------------------------------------------------
+    # statistics conveniences
+    # ------------------------------------------------------------------
+    @property
+    def tuple_counts(self) -> Mapping[str, int]:
+        """Per-operator tuple counts (operator label → tuples emitted)."""
+        return dict(self.statistics.tuples_by_operator)
+
+    @property
+    def max_intermediate(self) -> int:
+        """Largest intermediate result of the execution (the paper's metric)."""
+        return self.statistics.max_intermediate
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall-clock seconds of the one physical execution."""
+        return self.statistics.elapsed_seconds
+
+    @property
+    def estimated_speedup(self) -> float:
+        """Ratio of estimated costs (original / rewritten)."""
+        if self.estimated_cost_after == 0:
+            return float("inf")
+        return self.estimated_cost_before / self.estimated_cost_after
+
+    # ------------------------------------------------------------------
+    # relation conveniences
+    # ------------------------------------------------------------------
+    def rows(self) -> Iterator[Row]:
+        """Iterate over the result rows."""
+        return iter(self.relation)
+
+    def to_tuples(self, attributes: AttributeNames | None = None) -> list[tuple[Any, ...]]:
+        """The result as value tuples (in the relation's attribute order)."""
+        names = attributes if attributes is not None else self.relation.schema.names
+        return self.relation.to_tuples(names)
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.relation)
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryResult {len(self.relation)} rows, "
+            f"{len(self.rules_fired)} rules fired, "
+            f"max_intermediate={self.max_intermediate}, "
+            f"cache_hit={self.cache_hit}>"
+        )

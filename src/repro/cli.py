@@ -6,8 +6,14 @@ Commands
     Regenerate all 11 figures of the paper, print them and report how many
     match the paper exactly.
 ``query {Q1,Q2,Q3}``
-    Parse, translate, optimize and execute one of the Section 4 queries
-    against the textbook suppliers-and-parts database.
+    Run one of the Section 4 queries against the textbook
+    suppliers-and-parts database through the session API — **one**
+    execution supplies the printed plan, rules, statistics and result.
+``sql "<query>"``
+    Parse, optimize and execute an arbitrary query (``--explain`` prints
+    the plan instead; ``--db`` picks the database).
+``explain {Q1,Q2,Q3}``
+    EXPLAIN ANALYZE one of the Section 4 queries.
 ``claims``
     Re-check the paper's qualitative efficiency claims on synthetic
     workloads (deterministic tuple-count measurements).
@@ -21,16 +27,21 @@ from __future__ import annotations
 import argparse
 from typing import Optional, Sequence
 
-from repro.experiments import Q1, Q2, Q3, all_figures, run_query
+from repro.api.database import connect
+from repro.errors import ReproError
+from repro.experiments import Q1, Q2, Q3, all_figures
 from repro.experiments.claims import all_claims
 from repro.mining import apriori, frequent_itemsets_by_great_divide, generate_baskets
-from repro.optimizer import Optimizer
 from repro.relation.render import render_relation
-from repro.workloads import textbook_catalog
+from repro.workloads import generate_catalog, textbook_catalog
 
 __all__ = ["main", "build_parser"]
 
 _QUERIES = {"Q1": Q1, "Q2": Q2, "Q3": Q3}
+_DATABASES = {
+    "textbook": textbook_catalog,
+    "random": generate_catalog,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +61,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="translate NOT EXISTS queries without the division recognizer",
     )
+
+    sql = subparsers.add_parser("sql", help="run an arbitrary SQL query")
+    sql.add_argument("text", help="the SQL text (quote it)")
+    sql.add_argument(
+        "--explain",
+        action="store_true",
+        help="print EXPLAIN ANALYZE output instead of the result table",
+    )
+    sql.add_argument(
+        "--db",
+        choices=sorted(_DATABASES),
+        default="textbook",
+        help="which suppliers-and-parts database to run against",
+    )
+    sql.add_argument(
+        "--no-recognizer",
+        action="store_true",
+        help="translate NOT EXISTS queries without the division recognizer",
+    )
+
+    explain = subparsers.add_parser("explain", help="EXPLAIN ANALYZE a Section 4 query")
+    explain.add_argument("name", choices=sorted(_QUERIES), help="which query to explain")
 
     subparsers.add_parser("claims", help="verify the paper's qualitative claims")
 
@@ -72,14 +105,45 @@ def _command_figures() -> int:
 
 
 def _command_query(name: str, use_recognizer: bool) -> int:
-    catalog = textbook_catalog()
+    database = connect(textbook_catalog)
     sql = _QUERIES[name]
     print(sql.strip())
-    experiment = run_query(sql, catalog, recognize_division=use_recognizer)
-    print("\nlogical plan :", experiment.expression.to_text())
-    optimization = Optimizer(catalog).optimize(experiment.expression)
-    print("rules fired  :", ", ".join(optimization.rules_fired) or "(none)")
-    print(render_relation(experiment.result, f"result of {name}"))
+    outcome = database.sql(sql, recognize_division=use_recognizer).run()
+    print("\nlogical plan :", outcome.expression.to_text())
+    print("rules fired  :", ", ".join(outcome.rules_fired) or "(none)")
+    print(
+        f"statistics   : max intermediate = {outcome.max_intermediate} tuples, "
+        f"elapsed = {outcome.elapsed_seconds * 1000:.2f} ms"
+    )
+    print(render_relation(outcome.relation, f"result of {name}"))
+    return 0
+
+
+def _command_sql(text: str, explain: bool, db_name: str, use_recognizer: bool) -> int:
+    database = connect(_DATABASES[db_name])
+    try:
+        query = database.sql(text, recognize_division=use_recognizer)
+        if explain:
+            print(query.explain(analyze=True))
+            return 0
+        outcome = query.run()
+    except ReproError as error:
+        print(f"error: {error}")
+        return 2
+    print("logical plan :", outcome.expression.to_text())
+    print("rules fired  :", ", ".join(outcome.rules_fired) or "(none)")
+    print(
+        f"statistics   : {len(outcome.relation)} result tuples, "
+        f"max intermediate = {outcome.max_intermediate} tuples, "
+        f"elapsed = {outcome.elapsed_seconds * 1000:.2f} ms"
+    )
+    print(render_relation(outcome.relation, "result"))
+    return 0
+
+
+def _command_explain(name: str) -> int:
+    database = connect(textbook_catalog)
+    print(database.sql(_QUERIES[name]).explain(analyze=True))
     return 0
 
 
@@ -112,6 +176,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_figures()
     if args.command == "query":
         return _command_query(args.name, not args.no_recognizer)
+    if args.command == "sql":
+        return _command_sql(args.text, args.explain, args.db, not args.no_recognizer)
+    if args.command == "explain":
+        return _command_explain(args.name)
     if args.command == "claims":
         return _command_claims()
     if args.command == "mine":

@@ -1,13 +1,22 @@
-"""The SQL queries of Section 4 (Q1, Q2, Q3) as reusable experiment inputs."""
+"""The SQL queries of Section 4 (Q1, Q2, Q3) as reusable experiment inputs.
+
+:func:`run_query` is kept as a thin shim over the public session API
+(:func:`repro.connect`): translation, rewriting and execution all happen in
+one :class:`~repro.api.database.Database` pass, and the returned
+:class:`QueryExperiment` now also carries the full
+:class:`~repro.api.result.QueryResult` for statistics-aware callers.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.algebra.catalog import Catalog
 from repro.algebra.expressions import Expression
+from repro.api.database import Database
+from repro.api.result import QueryResult
 from repro.relation.relation import Relation
-from repro.sql import translate_sql
 
 __all__ = ["Q1", "Q2", "Q3", "Q2_NOT_EXISTS", "QueryExperiment", "run_query", "q1_equals_q3"]
 
@@ -50,12 +59,27 @@ class QueryExperiment:
     sql: str
     expression: Expression
     result: Relation
+    #: Full execution details (rules fired, tuple counts, timing); ``None``
+    #: only for experiments constructed by legacy code paths.
+    details: Optional[QueryResult] = None
 
 
-def run_query(sql: str, catalog: Catalog, recognize_division: bool = True) -> QueryExperiment:
-    """Translate and evaluate ``sql`` against ``catalog``."""
-    expression = translate_sql(sql, catalog, recognize_division=recognize_division)
-    return QueryExperiment(sql=sql, expression=expression, result=expression.evaluate(catalog))
+def run_query(
+    sql: str,
+    catalog: Catalog,
+    recognize_division: bool = True,
+    database: Optional[Database] = None,
+) -> QueryExperiment:
+    """Translate and execute ``sql`` against ``catalog`` — one execution.
+
+    A thin shim over the session API; pass an existing ``database`` (over
+    the same catalog) to reuse its prepared-plan cache across queries.
+    """
+    db = database if database is not None else Database(catalog)
+    outcome = db.sql(sql, recognize_division=recognize_division).run()
+    return QueryExperiment(
+        sql=sql, expression=outcome.expression, result=outcome.relation, details=outcome
+    )
 
 
 def q1_equals_q3(catalog: Catalog) -> bool:

@@ -70,19 +70,41 @@ class Optimizer:
         self._planner = PhysicalPlanner(catalog, planner_options)
 
     # ------------------------------------------------------------------
-    # public API
+    # public API — the pipeline phases, callable separately so that the
+    # session layer (repro.api) can cache their outputs independently
     # ------------------------------------------------------------------
-    def optimize(self, expression: Expression) -> OptimizationResult:
-        """Rewrite ``expression`` and produce a physical plan for it."""
-        rewrite_report = self._rewriter.rewrite(expression)
+    def rewrite(self, expression: Expression) -> RewriteReport:
+        """Phase 1: apply the rewrite laws to ``expression``."""
+        return self._rewriter.rewrite(expression)
+
+    def cost_report(self, expression: Expression) -> CostReport:
+        """Phase 2: estimated cost and output cardinality of an expression."""
+        return self.cost_model.report(expression)
+
+    def plan(self, expression: Expression) -> PhysicalOperator:
+        """Phase 3: physical plan for ``expression`` exactly as given."""
+        return self._planner.plan(expression)
+
+    def optimize(
+        self,
+        expression: Expression,
+        rewrite_report: Optional[RewriteReport] = None,
+    ) -> OptimizationResult:
+        """Run all phases: rewrite ``expression`` and produce a physical plan.
+
+        Pass a precomputed ``rewrite_report`` (e.g. from a prepared-plan
+        cache) to skip the rewrite phase.
+        """
+        if rewrite_report is None:
+            rewrite_report = self.rewrite(expression)
         rewritten = rewrite_report.result
         return OptimizationResult(
             original=expression,
             rewritten=rewritten,
             rewrite_report=rewrite_report,
-            original_cost=self.cost_model.report(expression),
-            rewritten_cost=self.cost_model.report(rewritten),
-            plan=self._planner.plan(rewritten),
+            original_cost=self.cost_report(expression),
+            rewritten_cost=self.cost_report(rewritten),
+            plan=self.plan(rewritten),
         )
 
     def execute(self, expression: Expression) -> ExecutionResult:
@@ -91,4 +113,4 @@ class Optimizer:
 
     def plan_without_rewriting(self, expression: Expression) -> PhysicalOperator:
         """Physical plan for the *unrewritten* expression (baseline in benches)."""
-        return self._planner.plan(expression)
+        return self.plan(expression)

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.physical.base import PhysicalOperator, PlanStatistics, collect_statistics
 from repro.relation.relation import Relation
+from repro.relation.row import Row
 
 __all__ = ["ExecutionResult", "execute_plan"]
 
@@ -27,6 +29,17 @@ class ExecutionResult:
     def elapsed_seconds(self) -> float:
         """Wall-clock seconds the plan execution took."""
         return self.statistics.elapsed_seconds
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate over the rows of the (already materialized) result."""
+        return iter(self.relation)
+
+    def to_relation(self) -> Relation:
+        """The result as a :class:`Relation` (convenience accessor)."""
+        return self.relation
+
+    def __len__(self) -> int:
+        return len(self.relation)
 
 
 def execute_plan(plan: PhysicalOperator) -> ExecutionResult:

@@ -1,0 +1,196 @@
+"""The Database session: construction, execution path, plan cache."""
+
+import pytest
+
+import repro
+from repro.algebra.catalog import Catalog
+from repro.api import Database, connect
+from repro.errors import ReproError, SchemaError
+from repro.experiments.queries import Q1, Q2, Q3
+from repro.relation import Relation
+from repro.workloads import textbook_catalog
+
+
+@pytest.fixture
+def db():
+    return connect(textbook_catalog)
+
+
+class TestConstruction:
+    def test_from_catalog(self):
+        catalog = textbook_catalog()
+        db = Database(catalog)
+        assert db.catalog is catalog
+        assert set(db.tables) == {"supplies", "parts"}
+
+    def test_from_relation_mapping(self):
+        db = Database.from_relations(
+            {
+                "r1": Relation(["a", "b"], [(1, 1), (1, 2)]),
+                "r2": Relation(["b"], [(1,), (2,)]),
+            }
+        )
+        result = db.table("r1").divide(db.table("r2")).run()
+        assert sorted(result.relation.to_set("a")) == [1]
+
+    def test_from_workload_generator_callable(self):
+        db = connect(textbook_catalog)
+        assert set(db.tables) == {"supplies", "parts"}
+
+    def test_empty_session_populated_later(self):
+        db = connect()
+        assert db.tables == ()
+        db.add_table("r1", Relation(["a", "b"], [(1, 1)]))
+        assert db.relation("r1") == Relation(["a", "b"], [(1, 1)])
+
+    def test_connect_is_exported_at_top_level(self):
+        assert repro.connect is connect
+        assert isinstance(repro.connect(textbook_catalog), repro.Database)
+
+    def test_rejects_non_relation_values(self):
+        with pytest.raises(ReproError):
+            connect({"r1": [("a", 1)]})
+
+    def test_rejects_unknown_sources(self):
+        with pytest.raises(ReproError):
+            connect(42)
+
+    def test_generator_must_return_catalog_or_mapping(self):
+        with pytest.raises(ReproError):
+            connect(lambda: 42)
+
+    def test_unknown_table_lookup(self, db):
+        with pytest.raises(SchemaError):
+            db.relation("nope")
+
+
+class TestSingleExecutionPath:
+    def test_run_bundles_everything_from_one_execution(self, db):
+        result = db.sql(Q1).run()
+        assert sorted(result.relation.to_tuples(["s_no", "color"])) == [
+            ("s1", "blue"),
+            ("s1", "red"),
+            ("s2", "blue"),
+            ("s2", "green"),
+        ]
+        assert result.tuple_counts  # per-operator counts present
+        assert result.max_intermediate >= len(result.relation)
+        assert result.elapsed_seconds > 0
+        assert result.fingerprint
+        assert result.estimated_cost_before > 0
+
+    def test_execute_accepts_sql_text_query_and_expression(self, db):
+        by_text = db.execute(Q2)
+        by_query = db.execute(db.sql(Q2))
+        by_expression = db.execute(db.sql(Q2).expression)
+        assert by_text.relation == by_query.relation == by_expression.relation
+
+    def test_query_of_other_session_is_rejected(self, db):
+        other = connect(textbook_catalog)
+        with pytest.raises(ReproError):
+            db.execute(other.sql(Q1))
+
+    def test_recognizer_default_can_be_disabled_per_session(self):
+        db = connect(textbook_catalog, recognize_division=False)
+        result = db.sql(Q3).run()
+        assert not result.expression.contains_division()
+        recognized = db.sql(Q3, recognize_division=True).run()
+        assert recognized.expression.contains_division()
+        assert result.relation == recognized.relation
+
+
+class TestPlanCache:
+    def test_repeated_query_hits_the_cache(self, db):
+        first = db.sql(Q2).run()
+        second = db.sql(Q2).run()
+        assert not first.cache_hit
+        assert second.cache_hit
+        info = db.cache_info()
+        assert info.hits == 1 and info.misses == 1 and info.size == 1
+        assert first.relation == second.relation
+        assert first.tuple_counts == second.tuple_counts
+
+    def test_cache_hit_skips_rewrite_and_planning(self, db, monkeypatch):
+        calls = {"rewrite": 0, "plan": 0}
+        original_rewrite = db.optimizer.rewrite
+        original_plan = db.optimizer.plan
+
+        def counting_rewrite(expression):
+            calls["rewrite"] += 1
+            return original_rewrite(expression)
+
+        def counting_plan(expression):
+            calls["plan"] += 1
+            return original_plan(expression)
+
+        monkeypatch.setattr(db.optimizer, "rewrite", counting_rewrite)
+        monkeypatch.setattr(db.optimizer, "plan", counting_plan)
+
+        db.sql(Q2).run()
+        assert calls == {"rewrite": 1, "plan": 1}
+        db.sql(Q2).run()
+        assert calls == {"rewrite": 1, "plan": 1}  # untouched on the hit
+
+    def test_equivalent_formulations_share_one_slot(self, db):
+        db.sql(Q1).run()
+        result = db.sql(Q3).run()  # Q3 canonicalizes to Q1's expression
+        assert result.cache_hit
+        assert db.cache_info().size == 1
+
+    def test_prepare_pins_the_plan(self, db):
+        query = db.prepare(Q2)
+        assert db.cache_info().misses == 1
+        result = query.run()
+        assert result.cache_hit
+
+    def test_lru_evicts_oldest(self):
+        db = connect(textbook_catalog, cache_size=1)
+        db.sql(Q1).run()
+        db.sql(Q2).run()  # evicts Q1's plan
+        assert db.cache_info().size == 1
+        result = db.sql(Q1).run()
+        assert not result.cache_hit
+
+    def test_cache_can_be_disabled(self):
+        db = connect(textbook_catalog, cache_size=0)
+        db.sql(Q1).run()
+        result = db.sql(Q1).run()
+        assert not result.cache_hit
+        assert db.cache_info().size == 0
+
+    def test_clear_cache_resets_counters(self, db):
+        db.sql(Q1).run()
+        db.sql(Q1).run()
+        db.clear_cache()
+        info = db.cache_info()
+        assert (info.hits, info.misses, info.size) == (0, 0, 0)
+
+    def test_replace_table_invalidates_plans(self, db):
+        db.sql(Q2).run()
+        assert db.cache_info().size == 1
+        db.replace_table(
+            "parts", Relation(["p_no", "color"], [("p1", "blue"), ("p9", "blue")])
+        )
+        assert db.cache_info().size == 0
+        result = db.sql(Q2).run()
+        assert not result.cache_hit
+        # s1 and s2 supply p1 but nobody supplies p9.
+        assert sorted(result.relation.to_set("s_no")) == []
+
+    def test_hit_rate(self, db):
+        db.sql(Q1).run()
+        db.sql(Q1).run()
+        assert db.cache_info().hit_rate == pytest.approx(0.5)
+
+
+class TestCatalogManagement:
+    def test_add_table_returns_query_root(self):
+        db = connect()
+        query = db.add_table("r1", Relation(["a", "b"], [(1, 2)]))
+        assert query.run().relation == Relation(["a", "b"], [(1, 2)])
+
+    def test_catalog_constraints_survive(self):
+        catalog = Catalog()
+        catalog.add_table("parts", Relation(["p_no"], [("p1",)]), key=["p_no"])
+        db = Database(catalog)
+        assert db.catalog.has_key("parts", ["p_no"])

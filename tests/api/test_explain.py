@@ -1,0 +1,65 @@
+"""EXPLAIN rendering through the session API."""
+
+import pytest
+
+from repro.api import connect
+from repro.experiments.queries import Q1, Q2
+from repro.workloads import textbook_catalog
+
+
+@pytest.fixture
+def db():
+    return connect(textbook_catalog)
+
+
+class TestExplain:
+    def test_sections_are_present(self, db):
+        text = db.sql(Q2).explain()
+        assert "SQL" in text
+        assert "fingerprint :" in text
+        assert "Logical plan (as written)" in text
+        assert "Rewrite rules fired :" in text
+        assert "Logical plan (canonical, rewritten)" in text
+        assert "Estimated cost :" in text
+        assert "Physical plan" in text
+
+    def test_estimates_annotate_every_line(self, db):
+        text = db.sql(Q2).explain()
+        plan_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("  ") and "[" in line and "SQL" not in line
+        ]
+        assert plan_lines
+        assert all("est~" in line or "est=?" in line for line in plan_lines)
+
+    def test_analyze_shows_actual_counts(self, db):
+        text = db.sql(Q2).explain(analyze=True)
+        assert "actual=" in text
+        assert "max intermediate" in text
+        assert "elapsed" in text
+
+    def test_plain_explain_does_not_execute(self, db):
+        text = db.sql(Q2).explain()
+        assert "actual=" not in text
+
+    def test_explain_populates_the_plan_cache(self, db):
+        db.sql(Q2).explain()
+        assert db.cache_info().misses == 1
+        result = db.sql(Q2).run()
+        assert result.cache_hit
+        assert "plan cache: hit" in db.sql(Q2).explain()
+
+    def test_canonical_tree_is_clean_for_q1(self, db):
+        text = db.sql(Q1).explain()
+        canonical = text.split("Logical plan (canonical, rewritten)")[1]
+        physical = canonical.split("Physical plan")[0]
+        assert "Rename" not in physical
+
+    def test_fluent_queries_explain_without_sql_section(self, db):
+        text = db.table("supplies").divide(db.table("parts")).explain()
+        assert not text.startswith("SQL")
+        assert "Physical plan" in text
+
+    def test_database_explain_shortcut(self, db):
+        assert "Physical plan" in db.explain(Q1)

@@ -1,0 +1,189 @@
+"""The fluent Query builder and its equivalence with the SQL frontend."""
+
+import pytest
+
+from repro.algebra import predicates as P
+from repro.algebra.expressions import (
+    AggregateSpec,
+    GreatDivide,
+    GroupBy,
+    Select,
+    SmallDivide,
+)
+from repro.api import connect
+from repro.errors import ExpressionError, ReproError
+from repro.experiments.queries import Q1, Q2, Q3
+from repro.relation import Relation
+from repro.workloads import textbook_catalog
+
+
+@pytest.fixture
+def db():
+    return connect(textbook_catalog)
+
+
+class TestLaziness:
+    def test_sql_queries_translate_lazily(self, db):
+        query = db.sql("SELECT utter nonsense FROM nowhere")
+        with pytest.raises(ReproError):
+            query.expression  # noqa: B018 - translation happens here
+
+    def test_fluent_queries_do_not_execute_until_run(self, db):
+        query = db.table("supplies").divide(db.table("parts"))
+        assert db.cache_info().misses == 0
+        query.run()
+        assert db.cache_info().misses == 1
+
+    def test_query_needs_expression_or_sql(self, db):
+        from repro.api.query import Query
+
+        with pytest.raises(ExpressionError):
+            Query(db)
+
+
+class TestDivideSemantics:
+    def test_on_covering_divisor_gives_small_divide(self, db):
+        blue = db.table("parts").where(color="blue").project(["p_no"])
+        query = db.table("supplies").divide(blue, on="p_no")
+        assert isinstance(query.expression, SmallDivide)
+
+    def test_partial_on_gives_great_divide(self, db):
+        query = db.table("supplies").divide(db.table("parts"), on="p_no")
+        assert isinstance(query.expression, GreatDivide)
+
+    def test_default_on_uses_shared_attributes(self, db):
+        query = db.table("supplies").divide(db.table("parts"))
+        assert isinstance(query.expression, GreatDivide)
+
+    def test_on_pairs_rename_the_divisor(self, db):
+        divisor = db.table("parts").project(["p_no"]).rename({"p_no": "part"})
+        query = db.table("supplies").divide(divisor, on=[("p_no", "part")])
+        assert isinstance(query.expression, SmallDivide)
+        assert query.run().relation == db.sql(Q2.replace(" WHERE color = 'blue'", "")).run().relation
+
+    def test_top_level_tuple_means_two_attribute_names_like_a_list(self, db):
+        # ("s_no", "p_no") must NOT be read as one (dividend, divisor) pair.
+        divisor = db.table("supplies").where(s_no="s1").project(["s_no", "p_no"])
+        by_tuple = db.table("supplies").divide(divisor, on=("s_no", "p_no"))
+        by_list = db.table("supplies").divide(divisor, on=["s_no", "p_no"])
+        assert by_tuple.expression == by_list.expression
+
+    def test_malformed_on_items_are_rejected(self, db):
+        with pytest.raises(ExpressionError):
+            db.table("supplies").divide(db.table("parts"), on=[("a", "b", "c")])
+
+    def test_great_divide_rejects_covered_divisor(self, db):
+        blue = db.table("parts").where(color="blue").project(["p_no"])
+        with pytest.raises(ExpressionError):
+            db.table("supplies").great_divide(blue, on="p_no")
+
+    def test_no_shared_attributes_is_an_error(self, db):
+        suppliers_only = db.table("supplies").project(["s_no"])
+        colors_only = db.table("parts").project(["color"])
+        with pytest.raises(ExpressionError):
+            suppliers_only.divide(colors_only)
+
+    def test_unknown_on_attributes_are_rejected(self, db):
+        with pytest.raises(ExpressionError):
+            db.table("supplies").divide(db.table("parts"), on="nope")
+        with pytest.raises(ExpressionError):
+            db.table("supplies").divide(db.table("parts"), on=("s_no", "nope"))
+
+
+class TestCombinators:
+    def test_where_kwargs_are_sugar_for_equality(self, db):
+        sugared = db.table("parts").where(color="blue")
+        explicit = db.table("parts").where(P.equals(P.attr("color"), "blue"))
+        assert sugared.expression == explicit.expression
+
+    def test_where_requires_some_condition(self, db):
+        with pytest.raises(ExpressionError):
+            db.table("parts").where()
+
+    def test_where_combines_predicate_and_kwargs(self, db):
+        query = db.table("parts").where(P.not_equals(P.attr("p_no"), "p9"), color="blue")
+        assert isinstance(query.expression, Select)
+        assert sorted(query.run().relation.to_set("p_no")) == ["p1", "p2"]
+
+    def test_group_by_keyword_aggregates(self, db):
+        query = db.table("supplies").group_by(["s_no"], n_parts=("count", "p_no"))
+        expression = query.expression
+        assert isinstance(expression, GroupBy)
+        assert expression.aggregates == (AggregateSpec("count", "p_no", "n_parts"),)
+        counts = dict(query.run().relation.to_tuples(["s_no", "n_parts"]))
+        assert counts == {"s1": 4, "s2": 3, "s3": 1}
+
+    def test_set_operators_and_joins(self, db):
+        blue = db.table("parts").where(color="blue").project(["p_no"])
+        red = db.table("parts").where(color="red").project(["p_no"])
+        assert len(blue.union(red).run().relation) == 4
+        assert len(blue.intersect(red).run().relation) == 0
+        assert len(blue.difference(red).run().relation) == 2
+        joined = db.table("supplies").join(db.table("parts"))
+        assert len(joined.run().relation) == 8
+        assert len(db.table("supplies").semijoin(blue).run().relation) == 4
+        assert len(db.table("supplies").antijoin(blue).run().relation) == 4
+
+    def test_operands_may_be_queries_names_expressions_or_relations(self, db):
+        by_query = db.table("supplies").semijoin(db.table("parts"))
+        by_name = db.table("supplies").semijoin("parts")
+        by_expression = db.table("supplies").semijoin(db.catalog.ref("parts"))
+        by_relation = db.table("supplies").semijoin(db.relation("parts"))
+        reference = by_query.run().relation
+        assert by_name.run().relation == reference
+        assert by_expression.run().relation == reference
+        assert by_relation.run().relation == reference
+
+    def test_invalid_operand_is_rejected(self, db):
+        with pytest.raises(ExpressionError):
+            db.table("supplies").semijoin(42)
+
+
+class TestSqlFluentEquivalence:
+    """The acceptance criterion: same relations *and* same tuple counts."""
+
+    def test_q2_sql_and_fluent_builder_are_identical(self, db):
+        sql_result = db.sql(Q2).run()
+        fluent = (
+            db.table("supplies")
+            .divide(db.table("parts").where(color="blue").project(["p_no"]), on="p_no")
+            .project(["s_no"])
+        )
+        fluent_result = fluent.run()
+        assert fluent_result.relation == sql_result.relation
+        assert fluent_result.tuple_counts == sql_result.tuple_counts
+        assert fluent_result.fingerprint == sql_result.fingerprint
+        assert fluent_result.cache_hit  # served from the SQL query's slot
+
+    def test_q1_sql_and_fluent_builder_are_identical(self, db):
+        sql_result = db.sql(Q1).run()
+        fluent_result = (
+            db.table("supplies")
+            .divide(db.table("parts"), on="p_no")
+            .project(["s_no", "color"])
+            .run()
+        )
+        assert fluent_result.relation == sql_result.relation
+        assert fluent_result.tuple_counts == sql_result.tuple_counts
+
+    def test_q3_not_exists_matches_fluent_great_divide(self, db):
+        sql_result = db.sql(Q3).run()
+        fluent_result = db.table("supplies").great_divide(db.table("parts"), on="p_no").run()
+        assert fluent_result.relation == sql_result.relation
+        assert fluent_result.tuple_counts == sql_result.tuple_counts
+
+
+class TestQueryResult:
+    def test_iteration_and_len(self, db):
+        result = db.sql(Q2).run()
+        assert len(result) == len(result.relation)
+        assert {row["s_no"] for row in result} == {"s1", "s2"}
+        assert sorted(result.to_tuples(["s_no"])) == [("s1",), ("s2",)]
+        assert list(result.rows())
+
+    def test_repr_mentions_counts(self, db):
+        text = repr(db.sql(Q2).run())
+        assert "rows" in text and "cache_hit" in text
+
+    def test_fingerprint_exposed_on_query(self, db):
+        assert db.sql(Q1).fingerprint() == db.sql(Q3).fingerprint()
