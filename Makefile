@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test lint bench-smoke bench
+.PHONY: check test lint bench-smoke bench bench-record
 
 ## Tier-1 gate: the full unit + benchmark-assertion suite, fail fast.
 check:
@@ -26,3 +26,8 @@ bench-smoke:
 ## Full timed benchmark run.
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+## Record the division microbenchmarks to the committed baseline file.
+bench-record:
+	$(PYTHON) -m pytest benchmarks/test_bench_division_algorithms.py -q \
+		--benchmark-json=BENCH_division.json

@@ -132,6 +132,11 @@ class Database:
         Default for the SQL frontend's universal-quantification recognizer.
     cache_size:
         Maximum number of prepared plans kept (LRU); 0 disables the cache.
+    batch_size:
+        Chunk size used by the physical executor for every query this
+        session runs (defaults to the engine-wide
+        :data:`~repro.physical.base.DEFAULT_BATCH_SIZE`).  Results and
+        per-operator tuple counts are independent of it.
     """
 
     def __init__(
@@ -143,7 +148,11 @@ class Database:
         allow_data_inspection: bool = True,
         recognize_division: bool = True,
         cache_size: int = 128,
+        batch_size: Optional[int] = None,
     ) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise ReproError(f"batch size must be positive, got {batch_size}")
+        self.batch_size = batch_size
         self.catalog = _coerce_catalog(source)
         self.planner_options = planner_options or PlannerOptions()
         self.cost_based = cost_based
@@ -268,7 +277,7 @@ class Database:
     def _run(self, query: Query) -> QueryResult:
         expression = query.expression
         prepared, cache_hit = self._prepare(expression)
-        execution = execute_plan(prepared.plan)
+        execution = execute_plan(prepared.plan, batch_size=self.batch_size)
         return QueryResult(
             relation=execution.relation,
             expression=expression,
@@ -325,7 +334,9 @@ def connect(source: DatabaseSource = None, **options) -> Database:
     ``source`` may be a :class:`Catalog`, a plain ``name → Relation``
     mapping, a zero-argument callable returning either (a workload
     generator), or ``None`` for an empty session.  Keyword options are
-    forwarded to :class:`Database`.
+    forwarded to :class:`Database` — e.g.
+    ``repro.connect(textbook_catalog, batch_size=4096)`` sets the executor
+    chunk size for every query of the session.
     """
     return Database(source, **options)
 

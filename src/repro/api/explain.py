@@ -34,7 +34,7 @@ def render_explain(database: "Database", query: "Query", analyze: bool = False) 
 
     actual: Optional[dict[int, int]] = None
     if analyze:
-        execution = execute_plan(prepared.plan)
+        execution = execute_plan(prepared.plan, batch_size=database.batch_size)
         actual = {id(op): op.tuples_out for op in prepared.plan.walk()}
 
     lines: list[str] = []

@@ -11,7 +11,8 @@ Commands
     execution supplies the printed plan, rules, statistics and result.
 ``sql "<query>"``
     Parse, optimize and execute an arbitrary query (``--explain`` prints
-    the plan instead; ``--db`` picks the database).
+    the plan instead; ``--db`` picks the database; ``--batch-size N`` sets
+    the executor chunk size).
 ``explain {Q1,Q2,Q3}``
     EXPLAIN ANALYZE one of the Section 4 queries.
 ``claims``
@@ -80,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="translate NOT EXISTS queries without the division recognizer",
     )
+    sql.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="executor chunk size (tuples per chunk; results are unaffected)",
+    )
 
     explain = subparsers.add_parser("explain", help="EXPLAIN ANALYZE a Section 4 query")
     explain.add_argument("name", choices=sorted(_QUERIES), help="which query to explain")
@@ -119,9 +127,11 @@ def _command_query(name: str, use_recognizer: bool) -> int:
     return 0
 
 
-def _command_sql(text: str, explain: bool, db_name: str, use_recognizer: bool) -> int:
-    database = connect(_DATABASES[db_name])
+def _command_sql(
+    text: str, explain: bool, db_name: str, use_recognizer: bool, batch_size: Optional[int]
+) -> int:
     try:
+        database = connect(_DATABASES[db_name], batch_size=batch_size)
         query = database.sql(text, recognize_division=use_recognizer)
         if explain:
             print(query.explain(analyze=True))
@@ -177,7 +187,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "query":
         return _command_query(args.name, not args.no_recognizer)
     if args.command == "sql":
-        return _command_sql(args.text, args.explain, args.db, not args.no_recognizer)
+        return _command_sql(
+            args.text, args.explain, args.db, not args.no_recognizer, args.batch_size
+        )
     if args.command == "explain":
         return _command_explain(args.name)
     if args.command == "claims":

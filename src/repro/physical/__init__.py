@@ -4,6 +4,7 @@ from repro.physical import division
 from repro.physical.aggregate import HashAggregate
 from repro.physical.base import (
     DEFAULT_BATCH_SIZE,
+    Chunk,
     PhysicalOperator,
     PlanStatistics,
     TupleProjector,
@@ -44,6 +45,7 @@ from repro.physical.scans import RelationScan, TableScan
 __all__ = [
     "division",
     "DEFAULT_BATCH_SIZE",
+    "Chunk",
     "PhysicalOperator",
     "PlanStatistics",
     "TupleProjector",

@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections.abc import Iterator, Mapping
 from typing import Any
 
-from repro.physical.base import PhysicalOperator, TupleProjector, batched
+from repro.physical.base import Chunk, PhysicalOperator, TupleProjector, chunked
 from repro.relation.aggregates import Aggregate
 from repro.relation.row import Row
 from repro.relation.schema import AttributeNames, Schema, as_schema
@@ -16,7 +16,12 @@ __all__ = ["HashAggregate"]
 class HashAggregate(PhysicalOperator):
     """Hash-based grouping with the aggregate helpers of
     :mod:`repro.relation.aggregates` (``(label, fn)`` pairs keyed by output
-    attribute)."""
+    attribute).
+
+    Group keys are extracted positionally out of chunks; group members are
+    materialized as rows because the aggregate functions take rows (the
+    public aggregate API).
+    """
 
     name = "hash_aggregate"
 
@@ -32,24 +37,23 @@ class HashAggregate(PhysicalOperator):
         self._grouping = grouping_schema
         self._aggregations = dict(aggregations)
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         key_of = TupleProjector(self._grouping)
         groups: dict[Any, list[Row]] = {}
         members_of = groups.setdefault
-        for batch in self._children[0].batches():
-            for key, row in zip(key_of.keys(batch), batch):
+        for chunk in self._children[0].chunks():
+            for key, row in zip(key_of.keys_of(chunk), chunk.rows()):
                 members_of(key, []).append(row)
         if not groups and not len(self._grouping):
             groups[()] = []
         schema = self._schema
-        from_schema = Row.from_schema
         key_tuple = key_of.key_tuple
         aggregate_fns = tuple(fn for (_label, fn) in self._aggregations.values())
         results = (
-            from_schema(schema, key_tuple(key) + tuple(fn(members) for fn in aggregate_fns))
+            key_tuple(key) + tuple(fn(members) for fn in aggregate_fns)
             for key, members in groups.items()
         )
-        yield from batched(results, self.batch_size)
+        yield from chunked(results, schema, self.batch_size)
 
     def describe(self) -> str:
         aggs = ", ".join(f"{label}→{out}" for out, (label, _fn) in self._aggregations.items())

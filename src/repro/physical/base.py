@@ -1,18 +1,24 @@
-"""Volcano-style physical operators with a batched pull model.
+"""Volcano-style physical operators with a columnar chunk pull model.
 
-Physical operators produce streams of :class:`~repro.relation.row.Row`
-objects in *batches* (lists of rows, :data:`DEFAULT_BATCH_SIZE` each), which
-amortizes the per-call generator overhead of row-at-a-time iteration.  Every
-operator counts the tuples it emits, so the benchmark harness can report
-*intermediate result sizes* — the metric behind the paper's argument (after
-Leinders & Van den Bussche) that division must be a first-class operator:
-any simulation through the basic algebra produces quadratically large
-intermediate results, a special-purpose operator does not.
+Physical operators produce streams of :class:`Chunk` objects — an interned
+:class:`~repro.relation.schema.Schema` plus a block of value tuples aligned
+with it (:data:`DEFAULT_BATCH_SIZE` tuples each).  Flowing bare value tuples
+instead of :class:`~repro.relation.row.Row` objects removes the per-tuple
+``Row`` allocation and order-insensitive hash from every operator boundary;
+rows are only materialized at the executor/result boundary (and by the
+:meth:`PhysicalOperator.rows` compatibility shim).
 
-Subclasses implement :meth:`PhysicalOperator._produce_batches`; the
-row-at-a-time :meth:`PhysicalOperator.rows` remains as a flattening
-compatibility shim (it counts per row actually pulled, so partially-consumed
-streams keep the exact counting semantics of the old row-at-a-time model).
+Every operator counts the tuples it emits, so the benchmark harness can
+report *intermediate result sizes* — the metric behind the paper's argument
+(after Leinders & Van den Bussche) that division must be a first-class
+operator: any simulation through the basic algebra produces quadratically
+large intermediate results, a special-purpose operator does not.  Chunk
+boundaries coincide with the historical row-batch boundaries, so the
+per-operator counts are bit-identical to the row-at-a-time model.
+
+Subclasses implement :meth:`PhysicalOperator._produce_chunks`; legacy
+subclasses written against the older interfaces (``_produce_batches`` row
+lists, or row-at-a-time ``_produce``) keep working through adapter defaults.
 """
 
 from __future__ import annotations
@@ -29,16 +35,71 @@ from repro.relation.schema import AttributeNames, Schema, as_schema
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "Chunk",
     "PhysicalOperator",
     "PlanStatistics",
     "TupleProjector",
     "aligned_values",
     "batched",
+    "chunked",
     "collect_statistics",
 ]
 
-#: Number of rows per batch pulled through the physical operators.
+#: Number of tuples per chunk pulled through the physical operators.
 DEFAULT_BATCH_SIZE = 1024
+
+
+class Chunk:
+    """A block of value tuples aligned with one interned schema.
+
+    The columnar unit of the physical layer: ``tuples[i][j]`` is the value
+    of attribute ``schema.names[j]`` in the chunk's ``i``-th tuple, so a
+    whole column is ``[t[j] for t in tuples]`` and any attribute subset is
+    one cached :func:`operator.itemgetter` application per tuple (see
+    :meth:`~repro.relation.schema.Schema.getters`).  No :class:`Row` objects
+    exist inside a chunk; :meth:`rows` materializes them on demand at the
+    consumer boundary.
+    """
+
+    __slots__ = ("schema", "tuples")
+
+    def __init__(self, schema: Schema, tuples: list[tuple[Any, ...]]) -> None:
+        self.schema = schema
+        self.tuples = tuples
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __repr__(self) -> str:
+        return f"<Chunk schema={self.schema.names!r} tuples={len(self.tuples)}>"
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Row]) -> "Chunk":
+        """Build a chunk over ``schema`` from rows (realigned as needed)."""
+        return cls(schema, [aligned_values(row, schema) for row in rows])
+
+    def rows(self) -> list[Row]:
+        """Materialize the chunk as :class:`Row` objects (boundary only)."""
+        schema = self.schema
+        from_schema = Row.from_schema
+        return [from_schema(schema, values) for values in self.tuples]
+
+    def aligned(self, schema: Schema) -> "Chunk":
+        """This chunk's tuples realigned with ``schema``'s attribute order.
+
+        Returns ``self`` (zero copy) when the orders already agree; otherwise
+        one cached-picker pass permutes every tuple.
+        """
+        own = self.schema
+        if schema is own or schema.names == own.names:
+            return self
+        get = own.tuple_getter(schema.names)
+        return Chunk(schema, list(map(get, self.tuples)))
+
+    def column(self, name: str) -> list[Any]:
+        """One attribute's values, in tuple order."""
+        position = self.schema.position(name)
+        return [values[position] for values in self.tuples]
 
 
 @dataclass
@@ -66,16 +127,17 @@ class PlanStatistics:
 
 class TupleProjector:
     """Extract value tuples (or hashable group keys) for a fixed attribute
-    list out of rows.
+    list out of chunks or rows.
 
-    Caches C-level :func:`operator.itemgetter` extractors per row schema;
-    because schemas are interned and all rows of one input stream normally
-    share a schema object, the per-row cost is an identity check plus one
-    itemgetter call — no dict lookups per attribute.
+    Caches C-level :func:`operator.itemgetter` extractors per source schema;
+    because schemas are interned and all chunks of one input stream normally
+    share a schema object, the per-chunk cost is an identity check plus one
+    ``map(itemgetter, tuples)`` sweep — no dict lookups per attribute.
 
-    :meth:`keys` returns *bare* values (not 1-tuples) when the target is a
-    single attribute; such keys are only for hashing/grouping — convert
-    back with :meth:`key_tuple` before building rows.
+    :meth:`keys` / :meth:`keys_of` return *bare* values (not 1-tuples) when
+    the target is a single attribute; such keys are only for
+    hashing/grouping — convert back with :meth:`key_tuple` before building
+    output tuples.
     """
 
     __slots__ = ("_names", "_single", "_schema", "_tuple_get", "_key_get")
@@ -97,6 +159,27 @@ class TupleProjector:
             self._rebind(row._schema)
         return self._tuple_get(row._values)
 
+    # ------------------------------------------------------------------
+    # chunk-level extraction (the hot path)
+    # ------------------------------------------------------------------
+    def tuples_of(self, chunk: Chunk) -> list[tuple[Any, ...]]:
+        """Value tuples of the target attributes for a whole chunk."""
+        if chunk.schema is not self._schema:
+            self._rebind(chunk.schema)
+        return list(map(self._tuple_get, chunk.tuples))
+
+    def keys_of(self, chunk: Chunk) -> list[Any]:
+        """Hashable group keys for a whole chunk.
+
+        A bare value for single-attribute targets, a tuple otherwise.
+        """
+        if chunk.schema is not self._schema:
+            self._rebind(chunk.schema)
+        return list(map(self._key_get, chunk.tuples))
+
+    # ------------------------------------------------------------------
+    # row-level extraction (compatibility consumers)
+    # ------------------------------------------------------------------
     def tuples(self, batch: list[Row]) -> list[tuple[Any, ...]]:
         """Value tuples for a whole batch of rows."""
         schema = self._schema
@@ -113,10 +196,7 @@ class TupleProjector:
         return out
 
     def keys(self, batch: list[Row]) -> list[Any]:
-        """Hashable group keys for a whole batch of rows.
-
-        A bare value for single-attribute targets, a tuple otherwise.
-        """
+        """Hashable group keys for a whole batch of rows."""
         schema = self._schema
         get = self._key_get
         out: list[Any] = []
@@ -157,13 +237,28 @@ def batched(rows: Iterable[Row], size: int) -> Iterator[list[Row]]:
         yield batch
 
 
+def chunked(tuples: Iterable[tuple[Any, ...]], schema: Schema, size: int) -> Iterator[Chunk]:
+    """Slice an iterable of aligned value tuples into chunks of ``size``."""
+    block: list[tuple[Any, ...]] = []
+    append = block.append
+    for values in tuples:
+        append(values)
+        if len(block) >= size:
+            yield Chunk(schema, block)
+            block = []
+            append = block.append
+    if block:
+        yield Chunk(schema, block)
+
+
 class PhysicalOperator:
     """Base class of all physical operators.
 
-    Subclasses implement :meth:`_produce_batches` (a generator of row
-    lists).  The public :meth:`batches` wraps it with tuple counting;
-    :meth:`rows` flattens the batches for row-at-a-time consumers;
-    :meth:`execute` materializes the stream into a :class:`Relation`.
+    Subclasses implement :meth:`_produce_chunks` (a generator of
+    :class:`Chunk` objects).  The public :meth:`chunks` wraps it with tuple
+    counting; :meth:`batches` and :meth:`rows` are row-materializing
+    compatibility views; :meth:`execute` materializes the stream into a
+    :class:`Relation` without per-operator row objects.
     """
 
     #: Human-readable operator name used in plans and statistics.
@@ -220,7 +315,7 @@ class PhysicalOperator:
             yield from child.walk()
 
     def set_batch_size(self, size: int) -> None:
-        """Set the batch size of this operator and the whole subtree."""
+        """Set the chunk size of this operator and the whole subtree."""
         if size < 1:
             raise ExecutionError(f"batch size must be positive, got {size}")
         for operator in self.walk():
@@ -229,26 +324,39 @@ class PhysicalOperator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def _produce_batches(self) -> Iterator[list[Row]]:
-        """Produce the output as row batches.
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        """Produce the output as aligned-tuple chunks.
 
-        The default implementation adapts a legacy row-at-a-time
-        :meth:`_produce` generator, so external subclasses written against
-        the old interface keep working.
+        The default implementation adapts a legacy row-batch
+        :meth:`_produce_batches` generator (which itself adapts a legacy
+        row-at-a-time :meth:`_produce`), so external subclasses written
+        against the old interfaces keep working.
         """
+        schema = self._schema
+        for batch in self._produce_batches():
+            yield Chunk.from_rows(schema, batch)
+
+    def _produce_batches(self) -> Iterator[list[Row]]:
+        """Legacy extension hook: produce the output as row batches."""
         yield from batched(self._produce(), self.batch_size)
 
     def _produce(self) -> Iterator[Row]:
         raise NotImplementedError(
-            f"{type(self).__name__} must implement _produce_batches() (or legacy _produce())"
+            f"{type(self).__name__} must implement _produce_chunks() "
+            "(or legacy _produce_batches()/_produce())"
         )
 
+    def chunks(self) -> Iterator[Chunk]:
+        """Stream the output chunks, counting tuples as chunks are pulled."""
+        for chunk in self._produce_chunks():
+            if chunk.tuples:
+                self.tuples_out += len(chunk.tuples)
+                yield chunk
+
     def batches(self) -> Iterator[list[Row]]:
-        """Stream the output batches, counting tuples as batches are pulled."""
-        for batch in self._produce_batches():
-            if batch:
-                self.tuples_out += len(batch)
-                yield batch
+        """Row-batch view of the output stream (counts whole chunks)."""
+        for chunk in self.chunks():
+            yield chunk.rows()
 
     def rows(self) -> Iterator[Row]:
         """Row-at-a-time view of the output stream.
@@ -257,17 +365,19 @@ class PhysicalOperator:
         emptiness probes) charge this operator only for what they consumed —
         the same accounting as the historical row-at-a-time model.
         """
-        for batch in self._produce_batches():
-            for row in batch:
+        from_schema = Row.from_schema
+        for chunk in self._produce_chunks():
+            schema = chunk.schema
+            for values in chunk.tuples:
                 self.tuples_out += 1
-                yield row
+                yield from_schema(schema, values)
 
     def produces_any(self) -> bool:
         """Emptiness probe: does this operator emit at least one row?
 
         Temporarily forces batch size 1 throughout the subtree so the
         partially-consumed pipeline charges every operator the same tuple
-        counts as the historical row-at-a-time model (a 1024-row batch
+        counts as the historical row-at-a-time model (a 1024-tuple chunk
         pulled for a one-row peek would otherwise inflate the counts of
         inner operators — and with them ``max_intermediate``).
         """
@@ -283,8 +393,18 @@ class PhysicalOperator:
                 operator.batch_size = size
 
     def execute(self) -> Relation:
-        """Materialize the output as a set-semantics relation."""
-        return Relation(self._schema, itertools.chain.from_iterable(self.batches()))
+        """Materialize the output as a set-semantics relation.
+
+        Consumes :meth:`chunks` directly — value tuples flow from the last
+        operator straight into the relation; rows exist only inside the
+        resulting :class:`Relation`.
+        """
+        schema = self._schema
+        tuples: list[tuple[Any, ...]] = []
+        extend = tuples.extend
+        for chunk in self.chunks():
+            extend(chunk.aligned(schema).tuples)
+        return Relation.from_aligned(schema, tuples)
 
     def reset_counters(self) -> None:
         """Reset tuple counters in the whole subtree (before a fresh run)."""

@@ -1,8 +1,11 @@
 """Basic physical operators: filter, project, rename, set operations, product.
 
-All operators stream in batches (lists of rows) and, where the operation is
-positional, work directly on the rows' value tuples via precomputed pick
-indices instead of rebuilding per-row dicts.
+All operators stream :class:`~repro.physical.base.Chunk` objects and, where
+the operation is positional, work directly on the chunks' value tuples via
+cached schema pickers instead of materializing per-tuple ``Row`` objects.
+Set semantics over tuples is safe because every consumer realigns incoming
+chunks with its own schema order first (``Chunk.aligned``), so equal rows
+always compare as equal tuples.
 """
 
 from __future__ import annotations
@@ -10,7 +13,13 @@ from __future__ import annotations
 from collections.abc import Callable, Iterator, Mapping
 from typing import Any
 
-from repro.physical.base import PhysicalOperator, TupleProjector, aligned_values, batched
+from repro.physical.base import (
+    Chunk,
+    PhysicalOperator,
+    TupleProjector,
+    batched,
+    chunked,
+)
 from repro.relation.row import Row
 from repro.relation.schema import AttributeNames, as_schema
 
@@ -27,7 +36,12 @@ __all__ = [
 
 
 class Filter(PhysicalOperator):
-    """Streaming selection σ_p."""
+    """Streaming selection σ_p.
+
+    Predicates take :class:`Row` objects (the public predicate API), so this
+    is the one mid-pipeline operator that materializes a row per tuple — the
+    row is dropped immediately after the predicate call.
+    """
 
     name = "filter"
 
@@ -35,12 +49,15 @@ class Filter(PhysicalOperator):
         super().__init__(child.schema, (child,))
         self.predicate = predicate
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         predicate = self.predicate
-        for batch in self._children[0].batches():
-            matched = [row for row in batch if predicate(row)]
+        schema = self._schema
+        from_schema = Row.from_schema
+        for chunk in self._children[0].chunks():
+            tuples = chunk.aligned(schema).tuples
+            matched = [values for values in tuples if predicate(from_schema(schema, values))]
             if matched:
-                yield matched
+                yield Chunk(schema, matched)
 
     def describe(self) -> str:
         return f"Filter({self.predicate!r})"
@@ -55,28 +72,27 @@ class ProjectOp(PhysicalOperator):
         schema = child.schema.project(as_schema(attributes))
         super().__init__(schema, (child,))
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         schema = self._schema
         project = TupleProjector(schema)
-        from_schema = Row.from_schema
         seen: set[tuple[Any, ...]] = set()
         add = seen.add
 
-        def fresh_rows() -> Iterator[Row]:
-            for batch in self._children[0].batches():
-                for values in project.tuples(batch):
+        def fresh_tuples() -> Iterator[tuple[Any, ...]]:
+            for chunk in self._children[0].chunks():
+                for values in project.tuples_of(chunk):
                     if values not in seen:
                         add(values)
-                        yield from_schema(schema, values)
+                        yield values
 
-        yield from batched(fresh_rows(), self.batch_size)
+        yield from chunked(fresh_tuples(), schema, self.batch_size)
 
     def describe(self) -> str:
         return f"Project[{', '.join(self._schema.names)}]"
 
 
 class RenameOp(PhysicalOperator):
-    """Streaming attribute renaming."""
+    """Streaming attribute renaming (zero-copy over aligned chunks)."""
 
     name = "rename"
 
@@ -84,12 +100,11 @@ class RenameOp(PhysicalOperator):
         super().__init__(child.schema.rename(dict(mapping)), (child,))
         self.mapping = dict(mapping)
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         schema = self._schema
         source = self._children[0].schema
-        from_schema = Row.from_schema
-        for batch in self._children[0].batches():
-            yield [from_schema(schema, aligned_values(row, source)) for row in batch]
+        for chunk in self._children[0].chunks():
+            yield Chunk(schema, chunk.aligned(source).tuples)
 
 
 class DuplicateElimination(PhysicalOperator):
@@ -100,31 +115,35 @@ class DuplicateElimination(PhysicalOperator):
     def __init__(self, child: PhysicalOperator) -> None:
         super().__init__(child.schema, (child,))
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
-        seen: set[Row] = set()
-        for batch in self._children[0].batches():
-            fresh = [row for row in batch if row not in seen]
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        schema = self._schema
+        seen: set[tuple[Any, ...]] = set()
+        for chunk in self._children[0].chunks():
+            tuples = chunk.aligned(schema).tuples
+            fresh = [values for values in tuples if values not in seen]
             if fresh:
                 seen.update(fresh)
-                yield fresh
+                yield Chunk(schema, fresh)
 
 
 class UnionOp(PhysicalOperator):
-    """Set union: stream the left input, then the unseen rows of the right."""
+    """Set union: stream the left input, then the unseen tuples of the right."""
 
     name = "union"
 
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema, (left, right))
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
-        seen: set[Row] = set()
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        schema = self._schema
+        seen: set[tuple[Any, ...]] = set()
         for child in self._children:
-            for batch in child.batches():
-                fresh = [row for row in batch if row not in seen]
+            for chunk in child.chunks():
+                tuples = chunk.aligned(schema).tuples
+                fresh = [values for values in tuples if values not in seen]
                 if fresh:
                     seen.update(fresh)
-                    yield fresh
+                    yield Chunk(schema, fresh)
 
 
 class IntersectOp(PhysicalOperator):
@@ -135,16 +154,18 @@ class IntersectOp(PhysicalOperator):
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema, (left, right))
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
-        right_rows: set[Row] = set()
-        for batch in self._children[1].batches():
-            right_rows.update(batch)
-        emitted: set[Row] = set()
-        for batch in self._children[0].batches():
-            fresh = [row for row in batch if row in right_rows and row not in emitted]
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        schema = self._schema
+        right_tuples: set[tuple[Any, ...]] = set()
+        for chunk in self._children[1].chunks():
+            right_tuples.update(chunk.aligned(schema).tuples)
+        emitted: set[tuple[Any, ...]] = set()
+        for chunk in self._children[0].chunks():
+            tuples = chunk.aligned(schema).tuples
+            fresh = [v for v in tuples if v in right_tuples and v not in emitted]
             if fresh:
                 emitted.update(fresh)
-                yield fresh
+                yield Chunk(schema, fresh)
 
 
 class DifferenceOp(PhysicalOperator):
@@ -155,16 +176,18 @@ class DifferenceOp(PhysicalOperator):
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema, (left, right))
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
-        right_rows: set[Row] = set()
-        for batch in self._children[1].batches():
-            right_rows.update(batch)
-        emitted: set[Row] = set()
-        for batch in self._children[0].batches():
-            fresh = [row for row in batch if row not in right_rows and row not in emitted]
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        schema = self._schema
+        right_tuples: set[tuple[Any, ...]] = set()
+        for chunk in self._children[1].chunks():
+            right_tuples.update(chunk.aligned(schema).tuples)
+        emitted: set[tuple[Any, ...]] = set()
+        for chunk in self._children[0].chunks():
+            tuples = chunk.aligned(schema).tuples
+            fresh = [v for v in tuples if v not in right_tuples and v not in emitted]
             if fresh:
                 emitted.update(fresh)
-                yield fresh
+                yield Chunk(schema, fresh)
 
 
 class ProductOp(PhysicalOperator):
@@ -175,30 +198,30 @@ class ProductOp(PhysicalOperator):
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema.union(right.schema), (left, right))
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         left, right = self._children
         schema = self._schema
         left_schema, right_schema = left.schema, right.schema
         if not left_schema.is_disjoint(right_schema):
-            # Overlapping inputs: fall back to value-checked merging.
-            right_rows = [row for batch in right.batches() for row in batch]
+            # Overlapping inputs: fall back to value-checked row merging.
+            right_rows = [row for chunk in right.chunks() for row in chunk.rows()]
             merged = (
                 left_row.merge(right_row)
-                for batch in left.batches()
-                for left_row in batch
+                for chunk in left.chunks()
+                for left_row in chunk.rows()
                 for right_row in right_rows
             )
-            yield from batched(merged, self.batch_size)
+            for batch in batched(merged, self.batch_size):
+                yield Chunk.from_rows(schema, batch)
             return
-        from_schema = Row.from_schema
-        right_values = [
-            aligned_values(row, right_schema) for batch in right.batches() for row in batch
+        right_tuples = [
+            values for chunk in right.chunks() for values in chunk.aligned(right_schema).tuples
         ]
-        def combined() -> Iterator[Row]:
-            for batch in left.batches():
-                for left_row in batch:
-                    left_values = aligned_values(left_row, left_schema)
-                    for values in right_values:
-                        yield from_schema(schema, left_values + values)
 
-        yield from batched(combined(), self.batch_size)
+        def combined() -> Iterator[tuple[Any, ...]]:
+            for chunk in left.chunks():
+                for left_values in chunk.aligned(left_schema).tuples:
+                    for right_values in right_tuples:
+                        yield left_values + right_values
+
+        yield from chunked(combined(), schema, self.batch_size)

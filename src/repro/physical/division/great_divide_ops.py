@@ -3,18 +3,22 @@
 Three algorithms in the spirit of Rantzau et al. [36]:
 
 * :class:`NestedLoopsGreatDivision` — materialize dividend and divisor
-  groups, test every pair (quadratic in the number of groups but linear in
-  the inputs);
+  groups as bitmasks over one shared divisor dictionary, then test every
+  pair with an ``int`` subset check (quadratic in the number of groups but
+  linear in the inputs);
 * :class:`HashGreatDivision` — hash-division generalized to many divisor
-  groups: each divisor tuple gets an ordinal within its group; one pass over
-  the dividend maintains, per (candidate, group) pair *that is actually
-  touched*, the set of matched ordinals;
+  groups: each divisor tuple gets a bit within its group; one pass over the
+  dividend maintains, per (candidate, group) pair *that is actually
+  touched*, an ``int`` bitmask of matched bits;
 * :class:`GroupwiseSmallDivision` — the strategy behind Definition 4: loop
   over the divisor groups and run an ordinary hash-division per group
   (pipelines well when the divisor has few groups).
 
-All algorithms pull their inputs in batches and extract the ``A``
-(candidate), ``B`` (shared) and ``C`` (group) value tuples positionally.
+All algorithms pull their inputs as chunks, extract the ``A`` (candidate),
+``B`` (shared) and ``C`` (group) value tuples positionally, and
+dictionary-encode every key side once per operator open: candidates and
+groups become dense integer ids, divisor values become single-bit masks, so
+the hot loops manipulate small ints instead of sets of value tuples.
 """
 
 from __future__ import annotations
@@ -23,8 +27,7 @@ from collections.abc import Iterator
 from typing import Any
 
 from repro.errors import ExecutionError
-from repro.physical.base import PhysicalOperator, TupleProjector, batched
-from repro.relation.row import Row
+from repro.physical.base import Chunk, PhysicalOperator, TupleProjector, chunked
 
 __all__ = [
     "GreatDivisionOperator",
@@ -51,114 +54,173 @@ class GreatDivisionOperator(PhysicalOperator):
         self.b = shared
         self.c = group_c
 
-    def _quotient_row(self, a_key: tuple[Any, ...], c_key: tuple[Any, ...]) -> Row:
-        # self._schema is the interned A∪C schema (A names then C names).
-        return Row.from_schema(self._schema, a_key + c_key)
-
 
 class NestedLoopsGreatDivision(GreatDivisionOperator):
-    """Materialize both group collections and test every pair."""
+    """Materialize both group collections as bitmasks and test every pair.
+
+    One shared dictionary assigns each distinct divisor ``B``-value a bit;
+    dividend groups accumulate the bits of their values (values outside the
+    divisor dictionary cannot influence containment and are dropped), and
+    the pairwise test ``needed ⊆ available`` is one ``int`` AND/compare.
+    """
 
     name = "nested_loops_great_division"
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         dividend, divisor = self._children
-        a_of, b_of = TupleProjector(self.a), TupleProjector(self.b)
         c_of, divisor_b = TupleProjector(self.c), TupleProjector(self.b)
-        dividend_groups: dict[Any, set[Any]] = {}
-        for batch in dividend.batches():
-            for a_key, b_key in zip(a_of.keys(batch), b_of.keys(batch)):
-                dividend_groups.setdefault(a_key, set()).add(b_key)
-        divisor_groups: dict[Any, set[Any]] = {}
-        for batch in divisor.batches():
-            for c_key, b_key in zip(c_of.keys(batch), divisor_b.keys(batch)):
-                divisor_groups.setdefault(c_key, set()).add(b_key)
+        bit_of: dict[Any, int] = {}
+        divisor_groups: dict[Any, int] = {}
+        get_group = divisor_groups.get
+        for chunk in divisor.chunks():
+            for c_key, b_key in zip(c_of.keys_of(chunk), divisor_b.keys_of(chunk)):
+                bit = bit_of.get(b_key)
+                if bit is None:
+                    bit_of[b_key] = bit = 1 << len(bit_of)
+                divisor_groups[c_key] = get_group(c_key, 0) | bit
+
+        a_of, b_of = TupleProjector(self.a), TupleProjector(self.b)
+        lookup = bit_of.get
+        dividend_groups: dict[Any, int] = {}
+        get_candidate = dividend_groups.get
+        for chunk in dividend.chunks():
+            for a_key, b_key in zip(a_of.keys_of(chunk), b_of.keys_of(chunk)):
+                bit = lookup(b_key)
+                dividend_groups[a_key] = get_candidate(a_key, 0) | (bit or 0)
+
+        a_tuple, c_tuple = a_of.key_tuple, c_of.key_tuple
         quotient = (
-            self._quotient_row(a_of.key_tuple(a_key), c_of.key_tuple(c_key))
+            a_tuple(a_key) + c_tuple(c_key)
             for c_key, needed in divisor_groups.items()
             for a_key, available in dividend_groups.items()
-            if needed <= available
+            if needed & available == needed
         )
-        yield from batched(quotient, self.batch_size)
+        yield from chunked(quotient, self._schema, self.batch_size)
 
 
 class HashGreatDivision(GreatDivisionOperator):
     """Hash-division generalized to many divisor groups.
 
-    Builds an index ``b-value → [(group, ordinal)]`` over the divisor, then
-    scans the dividend once; for every match it records the ordinal in a
-    per-(candidate, group) bit set.  Pairs whose bit set reaches the group
-    size are emitted.
+    Builds an index ``b-value → [(group id, bit)]`` over the divisor, then
+    scans the dividend once; for every match it ORs the bit into a bitmask
+    keyed by the packed integer ``candidate_id * num_groups + group_id``.
+    Pairs whose bitmask reaches the group's full mask are emitted.
     """
 
     name = "hash_great_division"
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         dividend, divisor = self._children
         c_of, divisor_b = TupleProjector(self.c), TupleProjector(self.b)
-        ordinal_index: dict[Any, list[tuple[Any, int]]] = {}
-        group_sizes: dict[Any, int] = {}
-        seen_divisor: set[tuple[Any, Any]] = set()
-        for batch in divisor.batches():
-            for c_value, b_value in zip(c_of.keys(batch), divisor_b.keys(batch)):
-                if (c_value, b_value) in seen_divisor:
+        group_id_of: dict[Any, int] = {}
+        group_keys: list[Any] = []
+        group_sizes: list[int] = []
+        hits_of: dict[Any, list[tuple[int, int]]] = {}
+        seen_divisor: set[tuple[int, Any]] = set()
+        for chunk in divisor.chunks():
+            for c_key, b_key in zip(c_of.keys_of(chunk), divisor_b.keys_of(chunk)):
+                group_id = group_id_of.get(c_key)
+                if group_id is None:
+                    group_id_of[c_key] = group_id = len(group_keys)
+                    group_keys.append(c_key)
+                    group_sizes.append(0)
+                if (group_id, b_key) in seen_divisor:
                     continue
-                seen_divisor.add((c_value, b_value))
-                ordinal = group_sizes.get(c_value, 0)
-                group_sizes[c_value] = ordinal + 1
-                ordinal_index.setdefault(b_value, []).append((c_value, ordinal))
+                seen_divisor.add((group_id, b_key))
+                hits_of.setdefault(b_key, []).append((group_id, 1 << group_sizes[group_id]))
+                group_sizes[group_id] += 1
+        num_groups = len(group_keys)
+        group_full = [(1 << size) - 1 for size in group_sizes]
 
         a_of, b_of = TupleProjector(self.a), TupleProjector(self.b)
-        matched: dict[tuple[Any, Any], set[int]] = {}
-        lookup = ordinal_index.get
-        pair_bits = matched.setdefault
-        for batch in dividend.batches():
-            for a_value, b_value in zip(a_of.keys(batch), b_of.keys(batch)):
-                hits = lookup(b_value)
+        candidate_id_of: dict[Any, int] = {}
+        candidate_keys: list[Any] = []
+        masks: dict[int, int] = {}
+        lookup = hits_of.get
+        get_candidate = candidate_id_of.get
+        get_mask = masks.get
+        for chunk in dividend.chunks():
+            for a_key, b_key in zip(a_of.keys_of(chunk), b_of.keys_of(chunk)):
+                hits = lookup(b_key)
                 if not hits:
                     continue
-                for c_value, ordinal in hits:
-                    pair_bits((a_value, c_value), set()).add(ordinal)
+                candidate_id = get_candidate(a_key)
+                if candidate_id is None:
+                    candidate_id_of[a_key] = candidate_id = len(candidate_keys)
+                    candidate_keys.append(a_key)
+                base = candidate_id * num_groups
+                for group_id, bit in hits:
+                    code = base + group_id
+                    masks[code] = get_mask(code, 0) | bit
+
+        a_tuple, c_tuple = a_of.key_tuple, c_of.key_tuple
         quotient = (
-            self._quotient_row(a_of.key_tuple(a_value), c_of.key_tuple(c_value))
-            for (a_value, c_value), bits in matched.items()
-            if len(bits) == group_sizes[c_value]
+            a_tuple(candidate_keys[code // num_groups]) + c_tuple(group_keys[code % num_groups])
+            for code, mask in masks.items()
+            if mask == group_full[code % num_groups]
         )
-        yield from batched(quotient, self.batch_size)
+        yield from chunked(quotient, self._schema, self.batch_size)
 
 
 class GroupwiseSmallDivision(GreatDivisionOperator):
-    """Definition 4 as an execution strategy: one hash-division per divisor group."""
+    """Definition 4 as an execution strategy: one hash-division per divisor group.
+
+    The dividend is dictionary-encoded once — candidates and ``B``-values to
+    dense ids — so each per-group pass is a flat sweep over integer pairs,
+    ORing the group's per-value bits into one mask slot per candidate.
+    """
 
     name = "groupwise_small_division"
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         dividend, divisor = self._children
         c_of, divisor_b = TupleProjector(self.c), TupleProjector(self.b)
         divisor_groups: dict[Any, set[Any]] = {}
-        for batch in divisor.batches():
-            for c_key, b_key in zip(c_of.keys(batch), divisor_b.keys(batch)):
+        for chunk in divisor.chunks():
+            for c_key, b_key in zip(c_of.keys_of(chunk), divisor_b.keys_of(chunk)):
                 divisor_groups.setdefault(c_key, set()).add(b_key)
 
         a_of, b_of = TupleProjector(self.a), TupleProjector(self.b)
-        pairs: list[tuple[Any, Any]] = []
-        for batch in dividend.batches():
-            pairs.extend(zip(a_of.keys(batch), b_of.keys(batch)))
+        candidate_id_of: dict[Any, int] = {}
+        candidate_keys: list[Any] = []
+        value_id_of: dict[Any, int] = {}
+        pairs: list[tuple[int, int]] = []
+        get_candidate = candidate_id_of.get
+        get_value = value_id_of.get
+        append_pair = pairs.append
+        for chunk in dividend.chunks():
+            for a_key, b_key in zip(a_of.keys_of(chunk), b_of.keys_of(chunk)):
+                candidate_id = get_candidate(a_key)
+                if candidate_id is None:
+                    candidate_id_of[a_key] = candidate_id = len(candidate_keys)
+                    candidate_keys.append(a_key)
+                value_id = get_value(b_key)
+                if value_id is None:
+                    value_id_of[b_key] = value_id = len(value_id_of)
+                append_pair((candidate_id, value_id))
+        num_values = len(value_id_of)
 
-        def quotient() -> Iterator[Row]:
+        a_tuple, c_tuple = a_of.key_tuple, c_of.key_tuple
+
+        def quotient() -> Iterator[tuple[Any, ...]]:
             for c_key, needed in divisor_groups.items():
-                # hash-division of the dividend by this group
-                seen: dict[Any, set[Any]] = {}
-                bucket_of = seen.setdefault
-                for candidate, value in pairs:
-                    bucket = bucket_of(candidate, set())
-                    if value in needed:
-                        bucket.add(value)
-                for candidate, hits in seen.items():
-                    if len(hits) == len(needed):
-                        yield self._quotient_row(a_of.key_tuple(candidate), c_of.key_tuple(c_key))
+                # hash-division of the encoded dividend by this group: give
+                # each needed value (that the dividend knows at all) a bit.
+                bits = [0] * num_values
+                for ordinal, b_key in enumerate(needed):
+                    value_id = get_value(b_key)
+                    if value_id is not None:
+                        bits[value_id] = 1 << ordinal
+                full = (1 << len(needed)) - 1
+                masks = [0] * len(candidate_keys)
+                for candidate_id, value_id in pairs:
+                    masks[candidate_id] |= bits[value_id]
+                group_tuple = c_tuple(c_key)
+                for candidate_id, mask in enumerate(masks):
+                    if mask == full:
+                        yield a_tuple(candidate_keys[candidate_id]) + group_tuple
 
-        yield from batched(quotient(), self.batch_size)
+        yield from chunked(quotient(), self._schema, self.batch_size)
 
 
 #: Algorithm registry used by tests and benches.

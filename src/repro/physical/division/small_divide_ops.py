@@ -6,13 +6,13 @@ complexity result of Leinders & Van den Bussche [25].  This module provides
 that repertoire:
 
 * :class:`NestedLoopsDivision` — the naive algorithm: for every quotient
-  candidate scan its group and check containment;
+  candidate scan all pairs and check containment;
 * :class:`HashDivision` — Graefe's hash-division: one pass over the divisor
   to number its tuples, one pass over the dividend maintaining a bitmap per
   quotient candidate;
-* :class:`MergeSortDivision` — merge-/sort-based division: sort the dividend
-  by (quotient, divisor) attributes, sort the divisor, then merge each group
-  against the divisor in one interleaved scan (merge-group division);
+* :class:`MergeSortDivision` — merge-/sort-based division: encode, sort the
+  dividend pairs, then merge each candidate run in one interleaved scan
+  (merge-group division);
 * :class:`MergeCountDivision` — the counting variant: a semi-join with the
   divisor followed by per-group counting (stream-aggregation style);
 * :class:`AlgebraSimulationDivision` — Healy's expression
@@ -20,20 +20,24 @@ that repertoire:
   operators.  Its intermediate result ``π_A(r1) × r2`` is |π_A(r1)|·|r2|
   tuples — the quadratic blow-up the special-purpose algorithms avoid.
 
-All algorithms pull their inputs in batches and extract the ``A`` (quotient)
-and ``B`` (divisor) value tuples positionally out of the rows.
+All algorithms pull their inputs as chunks, extract the ``A`` (quotient) and
+``B`` (divisor) value tuples positionally, and run on **dictionary-encoded
+bitsets**: the divisor values are mapped to single-bit masks (``b → 1 <<
+ordinal``) once per operator open, quotient candidates to dense integer
+ids, and the containment test per candidate becomes one ``int`` equality /
+subset check instead of per-row set-of-tuples bookkeeping.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
+from functools import reduce
 from typing import Any
 
 from repro.division.schemas import DivisionSchemas
 from repro.errors import ExecutionError
-from repro.physical.base import PhysicalOperator, TupleProjector, batched
+from repro.physical.base import Chunk, PhysicalOperator, TupleProjector, chunked
 from repro.physical.basic import DifferenceOp, ProductOp, ProjectOp
-from repro.relation.row import Row
 from repro.relation.schema import Schema
 
 __all__ = [
@@ -45,10 +49,6 @@ __all__ = [
     "AlgebraSimulationDivision",
     "SMALL_DIVIDE_ALGORITHMS",
 ]
-
-
-#: Sentinel distinct from every attribute value (None is a legal value).
-_NO_CANDIDATE = object()
 
 
 def _division_schemas(dividend: PhysicalOperator, divisor: PhysicalOperator) -> DivisionSchemas:
@@ -80,144 +80,199 @@ class DivisionOperator(PhysicalOperator):
         super().__init__(schemas.quotient, (dividend, divisor))
         self.schemas = schemas
 
-    def _quotient_row(self, key: tuple[Any, ...]) -> Row:
-        # self._schema is the interned quotient schema (= schemas.a order).
-        return Row.from_schema(self._schema, key)
-
     def _projectors(self) -> tuple[TupleProjector, TupleProjector]:
-        """(A-values, B-values) extractors for dividend/divisor rows."""
+        """(A-values, B-values) extractors for dividend/divisor chunks."""
         return TupleProjector(self.schemas.a), TupleProjector(self.schemas.b)
+
+    def _divisor_bits(self, divisor: PhysicalOperator) -> dict[Any, int]:
+        """Dictionary-encode the divisor: ``b-key → single-bit mask``.
+
+        Runs exactly once per operator open (not per probe); the bit
+        positions are assigned in first-seen order, so ``len(bit_of)`` is
+        the number of distinct divisor values and the all-ones mask
+        ``(1 << len(bit_of)) - 1`` encodes "contains the whole divisor".
+        """
+        divisor_b = TupleProjector(self.schemas.b)
+        bit_of: dict[Any, int] = {}
+        for chunk in divisor.chunks():
+            for key in divisor_b.keys_of(chunk):
+                if key not in bit_of:
+                    bit_of[key] = 1 << len(bit_of)
+        return bit_of
 
 
 class NestedLoopsDivision(DivisionOperator):
-    """Naive division: check every candidate group against the whole divisor."""
+    """Naive division: check every candidate group against the whole divisor.
+
+    Still quadratic (one full pair scan per candidate) — that is its point —
+    but each containment check is a bitset subset test over dictionary
+    codes, not a set-of-tuples comparison.
+    """
 
     name = "nested_loops_division"
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         dividend, divisor = self._children
         a_of, b_of = self._projectors()
-        divisor_b = TupleProjector(self.schemas.b)
-        divisor_values = {key for batch in divisor.batches() for key in divisor_b.keys(batch)}
-        pairs: list[tuple[Any, Any]] = []
-        for batch in dividend.batches():
-            pairs.extend(zip(a_of.keys(batch), b_of.keys(batch)))
-        candidates = {a for a, _ in pairs}
+        bit_of = self._divisor_bits(divisor)
+        full = (1 << len(bit_of)) - 1
+        lookup = bit_of.get
+        candidate_keys: list[Any] = []
+        bits: list[int] = []
+        for chunk in dividend.chunks():
+            candidate_keys.extend(a_of.keys_of(chunk))
+            bits.extend(lookup(value, 0) for value in b_of.keys_of(chunk))
+        pairs = list(zip(candidate_keys, bits))
+        candidates = dict.fromkeys(candidate_keys)
 
-        def quotient() -> Iterator[Row]:
+        key_tuple = a_of.key_tuple
+
+        def quotient() -> Iterator[tuple[Any, ...]]:
+            or_ = int.__or__
             for candidate in candidates:
-                group = {b for a, b in pairs if a == candidate}
-                if divisor_values <= group:
-                    yield self._quotient_row(a_of.key_tuple(candidate))
+                mask = reduce(
+                    or_, [bit for pair_candidate, bit in pairs if pair_candidate == candidate], 0
+                )
+                if mask & full == full:
+                    yield key_tuple(candidate)
 
-        yield from batched(quotient(), self.batch_size)
+        yield from chunked(quotient(), self._schema, self.batch_size)
 
 
 class HashDivision(DivisionOperator):
     """Graefe's hash-division.
 
-    The divisor is loaded into a hash table assigning each tuple an ordinal;
-    the dividend is scanned once, maintaining one bit set per quotient
-    candidate.  A candidate is output when its bit set is full.
+    The divisor is loaded into a hash table assigning each tuple a bit; the
+    dividend is scanned once, maintaining one ``int`` bitmask per quotient
+    candidate (candidates are dictionary-encoded to dense ids indexing a
+    flat mask array).  A candidate is output when its bitmask is full.
     """
 
     name = "hash_division"
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         dividend, divisor = self._children
         a_of, b_of = self._projectors()
-        divisor_b = TupleProjector(self.schemas.b)
-        divisor_index: dict[Any, int] = {}
-        for batch in divisor.batches():
-            for value in divisor_b.keys(batch):
-                if value not in divisor_index:
-                    divisor_index[value] = len(divisor_index)
-        required = len(divisor_index)
+        bit_of = self._divisor_bits(divisor)
+        full = (1 << len(bit_of)) - 1
+        lookup = bit_of.get
 
-        seen_bits: dict[Any, set[int]] = {}
-        ordinal_of = divisor_index.get
-        group_of = seen_bits.setdefault
-        for batch in dividend.batches():
-            for candidate, value in zip(a_of.keys(batch), b_of.keys(batch)):
-                bits = group_of(candidate, set())
-                ordinal = ordinal_of(value)
-                if ordinal is not None:
-                    bits.add(ordinal)
+        id_of: dict[Any, int] = {}
+        masks: list[int] = []
+        get_id = id_of.get
+        append_mask = masks.append
+        for chunk in dividend.chunks():
+            for candidate, value in zip(a_of.keys_of(chunk), b_of.keys_of(chunk)):
+                candidate_id = get_id(candidate)
+                if candidate_id is None:
+                    id_of[candidate] = candidate_id = len(masks)
+                    append_mask(0)
+                bit = lookup(value)
+                if bit is not None:
+                    masks[candidate_id] |= bit
 
+        key_tuple = a_of.key_tuple
         quotient = (
-            self._quotient_row(a_of.key_tuple(candidate))
-            for candidate, bits in seen_bits.items()
-            if len(bits) == required
+            key_tuple(candidate)
+            for candidate, candidate_id in id_of.items()
+            if masks[candidate_id] == full
         )
-        yield from batched(quotient, self.batch_size)
+        yield from chunked(quotient, self._schema, self.batch_size)
 
 
 class MergeSortDivision(DivisionOperator):
-    """Merge-sort division: sort both inputs, merge each dividend group
-    against the sorted divisor."""
+    """Merge-sort division over dictionary codes.
+
+    Both inputs are dictionary-encoded to integers (candidates → dense ids,
+    divisor values → bit masks), the dividend pairs are sorted by code —
+    integer sort, no ``repr`` keys — and one interleaved merge scan
+    accumulates each candidate run's bitmask against the divisor."""
 
     name = "merge_sort_division"
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         dividend, divisor = self._children
         a_of, b_of = self._projectors()
-        divisor_b = TupleProjector(self.schemas.b)
-        divisor_sorted = sorted(
-            {key for batch in divisor.batches() for key in divisor_b.keys(batch)}, key=repr
-        )
-        pairs: list[tuple[Any, Any]] = []
-        for batch in dividend.batches():
-            pairs.extend(zip(a_of.keys(batch), b_of.keys(batch)))
-        pairs.sort(key=lambda pair: (repr(pair[0]), repr(pair[1])))
+        bit_of = self._divisor_bits(divisor)
+        full = (1 << len(bit_of)) - 1
+        lookup = bit_of.get
 
-        def quotient() -> Iterator[Row]:
-            # ``None`` is a valid attribute value, so use a distinct marker
-            # for "no candidate seen yet".
-            current: Any = _NO_CANDIDATE
-            position = 0
-            for candidate, value in pairs:
-                if candidate != current:
-                    if current is not _NO_CANDIDATE and position == len(divisor_sorted):
-                        yield self._quotient_row(a_of.key_tuple(current))
-                    current = candidate
-                    position = 0
-                if position < len(divisor_sorted) and value == divisor_sorted[position]:
-                    position += 1
-            if current is not _NO_CANDIDATE and position == len(divisor_sorted):
-                yield self._quotient_row(a_of.key_tuple(current))
+        id_of: dict[Any, int] = {}
+        get_id = id_of.get
+        encoded: list[tuple[int, int]] = []
+        append_pair = encoded.append
+        next_id = 0
+        for chunk in dividend.chunks():
+            for candidate, value in zip(a_of.keys_of(chunk), b_of.keys_of(chunk)):
+                candidate_id = get_id(candidate)
+                if candidate_id is None:
+                    id_of[candidate] = candidate_id = next_id
+                    next_id += 1
+                bit = lookup(value)
+                if bit is not None:
+                    append_pair((candidate_id, bit))
+        encoded.sort()
+        candidates = list(id_of)
 
-        yield from batched(quotient(), self.batch_size)
+        def quotient() -> Iterator[tuple[Any, ...]]:
+            key_tuple = a_of.key_tuple
+            if full == 0:
+                # Empty divisor: every candidate trivially contains it (no
+                # pair carries a bit, so the merge scan below would see
+                # nothing at all).
+                for candidate in candidates:
+                    yield key_tuple(candidate)
+                return
+            current = -1
+            mask = 0
+            for candidate_id, bit in encoded:
+                if candidate_id != current:
+                    if current >= 0 and mask == full:
+                        yield key_tuple(candidates[current])
+                    current = candidate_id
+                    mask = 0
+                mask |= bit
+            if current >= 0 and mask == full:
+                yield key_tuple(candidates[current])
+
+        yield from chunked(quotient(), self._schema, self.batch_size)
 
 
 class MergeCountDivision(DivisionOperator):
     """Counting division: semi-join the dividend with the divisor, count the
-    distinct divisor values per candidate and compare with |divisor|."""
+    matched divisor values per candidate (``int.bit_count`` over the
+    candidate's bitmask) and compare with |divisor|."""
 
     name = "merge_count_division"
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         dividend, divisor = self._children
         a_of, b_of = self._projectors()
-        divisor_b = TupleProjector(self.schemas.b)
-        divisor_values = {key for batch in divisor.batches() for key in divisor_b.keys(batch)}
-        required = len(divisor_values)
-        counts: dict[Any, set[Any]] = {}
-        all_candidates: set[Any] = set()
-        matched_of = counts.setdefault
-        for batch in dividend.batches():
-            for candidate, value in zip(a_of.keys(batch), b_of.keys(batch)):
-                all_candidates.add(candidate)
-                if value in divisor_values:
-                    matched_of(candidate, set()).add(value)
-        if required == 0:
-            quotient = (self._quotient_row(a_of.key_tuple(c)) for c in all_candidates)
-        else:
-            quotient = (
-                self._quotient_row(a_of.key_tuple(candidate))
-                for candidate, matched in counts.items()
-                if len(matched) == required
-            )
-        yield from batched(quotient, self.batch_size)
+        bit_of = self._divisor_bits(divisor)
+        required = len(bit_of)
+        lookup = bit_of.get
+
+        id_of: dict[Any, int] = {}
+        masks: list[int] = []
+        get_id = id_of.get
+        append_mask = masks.append
+        for chunk in dividend.chunks():
+            for candidate, value in zip(a_of.keys_of(chunk), b_of.keys_of(chunk)):
+                candidate_id = get_id(candidate)
+                if candidate_id is None:
+                    id_of[candidate] = candidate_id = len(masks)
+                    append_mask(0)
+                bit = lookup(value)
+                if bit is not None:
+                    masks[candidate_id] |= bit
+
+        key_tuple = a_of.key_tuple
+        quotient = (
+            key_tuple(candidate)
+            for candidate, candidate_id in id_of.items()
+            if masks[candidate_id].bit_count() == required
+        )
+        yield from chunked(quotient, self._schema, self.batch_size)
 
 
 class AlgebraSimulationDivision(DivisionOperator):
@@ -244,8 +299,8 @@ class AlgebraSimulationDivision(DivisionOperator):
         # Expose the sub-plan in ``children`` so statistics include it.
         self._children = (self._plan,)
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
-        return self._plan.batches()
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        return self._plan.chunks()
 
 
 #: Algorithm registry used by tests and by the Graefe-style comparison bench.

@@ -1,10 +1,17 @@
-"""Execution driver: run a physical plan and collect statistics."""
+"""Execution driver: run a physical plan and collect statistics.
+
+The driver consumes the plan's chunk stream directly
+(:meth:`~repro.physical.base.PhysicalOperator.execute` pulls
+``_produce_chunks()`` through the counting ``chunks()`` wrapper); ``Row``
+objects are materialized only inside the resulting
+:class:`~repro.relation.relation.Relation`.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.physical.base import PhysicalOperator, PlanStatistics, collect_statistics
 from repro.relation.relation import Relation
@@ -42,8 +49,15 @@ class ExecutionResult:
         return len(self.relation)
 
 
-def execute_plan(plan: PhysicalOperator) -> ExecutionResult:
-    """Execute ``plan`` from a cold start and return result + statistics."""
+def execute_plan(plan: PhysicalOperator, batch_size: Optional[int] = None) -> ExecutionResult:
+    """Execute ``plan`` from a cold start and return result + statistics.
+
+    ``batch_size`` (when given) sets the chunk size for the whole plan
+    before execution; the produced relation and per-operator tuple counts
+    are independent of it.
+    """
+    if batch_size is not None:
+        plan.set_batch_size(batch_size)
     plan.reset_counters()
     plan.assign_labels()
     start = time.perf_counter()

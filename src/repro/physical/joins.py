@@ -1,9 +1,9 @@
 """Physical join operators: nested-loops, hash join, semi-/anti-join, outer join.
 
 The hash-based joins key their tables on value tuples picked positionally
-out of the rows (via :class:`~repro.physical.base.TupleProjector`) and build
-output rows by concatenating aligned value tuples, so no per-row dicts are
-rebuilt on the probe path.
+out of chunks (via :class:`~repro.physical.base.TupleProjector`) and build
+output tuples by concatenating aligned value tuples, so no per-tuple ``Row``
+objects exist on the build or probe paths.
 """
 
 from __future__ import annotations
@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterator
 from typing import Any
 
-from repro.physical.base import PhysicalOperator, TupleProjector, aligned_values, batched
+from repro.physical.base import Chunk, PhysicalOperator, TupleProjector, batched, chunked
 from repro.relation.relation import NULL
 from repro.relation.row import Row
 from repro.relation.schema import Schema
@@ -26,7 +26,12 @@ __all__ = [
 
 
 class NestedLoopsJoin(PhysicalOperator):
-    """Theta-join by nested loops over disjoint-schema inputs."""
+    """Theta-join by nested loops over disjoint-schema inputs.
+
+    The theta predicate takes a merged :class:`Row`, so rows are
+    materialized per pair — this operator exists for arbitrary predicates,
+    not for speed.
+    """
 
     name = "nested_loops_join"
 
@@ -39,20 +44,22 @@ class NestedLoopsJoin(PhysicalOperator):
         super().__init__(left.schema.union(right.schema), (left, right))
         self.predicate = predicate
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         left, right = self._children
         predicate = self.predicate
-        right_rows = [row for batch in right.batches() for row in batch]
+        schema = self._schema
+        right_rows = [row for chunk in right.chunks() for row in chunk.rows()]
 
         def matches() -> Iterator[Row]:
-            for batch in left.batches():
-                for left_row in batch:
+            for chunk in left.chunks():
+                for left_row in chunk.rows():
                     for right_row in right_rows:
                         combined = left_row.merge(right_row)
                         if predicate(combined):
                             yield combined
 
-        yield from batched(matches(), self.batch_size)
+        for batch in batched(matches(), self.batch_size):
+            yield Chunk.from_rows(schema, batch)
 
 
 class _SharedKeyMixin:
@@ -72,47 +79,49 @@ class HashJoin(PhysicalOperator, _SharedKeyMixin):
         super().__init__(left.schema.union(right.schema), (left, right))
         self._key = self.shared_schema(left, right)
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         left, right = self._children
-        if not len(self._key):
-            # Degenerates to the Cartesian product.
-            right_rows = [row for batch in right.batches() for row in batch]
-            merged = (
-                left_row.merge(right_row)
-                for batch in left.batches()
-                for left_row in batch
-                for right_row in right_rows
-            )
-            yield from batched(merged, self.batch_size)
-            return
         schema = self._schema
-        from_schema = Row.from_schema
         left_schema = left.schema
+        if not len(self._key):
+            # Disjoint schemas: degenerates to the Cartesian product.
+            right_schema = right.schema
+            right_tuples = [
+                values for chunk in right.chunks() for values in chunk.aligned(right_schema).tuples
+            ]
+            pairs = (
+                left_values + right_values
+                for chunk in left.chunks()
+                for left_values in chunk.aligned(left_schema).tuples
+                for right_values in right_tuples
+            )
+            yield from chunked(pairs, schema, self.batch_size)
+            return
         extra = right.schema.difference(left_schema)
         right_key = TupleProjector(self._key)
         right_extra = TupleProjector(extra)
         left_key = TupleProjector(self._key)
         index: dict[Any, list[tuple[Any, ...]]] = {}
-        for batch in right.batches():
-            for key, extra_values in zip(right_key.keys(batch), right_extra.tuples(batch)):
+        for chunk in right.chunks():
+            for key, extra_values in zip(right_key.keys_of(chunk), right_extra.tuples_of(chunk)):
                 index.setdefault(key, []).append(extra_values)
         emitted: set[tuple[Any, ...]] = set()
         lookup = index.get
 
-        def matches() -> Iterator[Row]:
-            for batch in left.batches():
-                for left_row, key in zip(batch, left_key.keys(batch)):
+        def matches() -> Iterator[tuple[Any, ...]]:
+            for chunk in left.chunks():
+                aligned = chunk.aligned(left_schema)
+                for left_values, key in zip(aligned.tuples, left_key.keys_of(aligned)):
                     partners = lookup(key)
                     if not partners:
                         continue
-                    left_values = aligned_values(left_row, left_schema)
                     for extra_values in partners:
                         combined = left_values + extra_values
                         if combined not in emitted:
                             emitted.add(combined)
-                            yield from_schema(schema, combined)
+                            yield combined
 
-        yield from batched(matches(), self.batch_size)
+        yield from chunked(matches(), schema, self.batch_size)
 
     def describe(self) -> str:
         return f"HashJoin[{', '.join(self._key.names)}]"
@@ -127,19 +136,23 @@ class HashSemiJoin(PhysicalOperator, _SharedKeyMixin):
         super().__init__(left.schema, (left, right))
         self._key = self.shared_schema(left, right)
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         left, right = self._children
         if not len(self._key):
             if right.produces_any():
-                yield from left.batches()
+                yield from left.chunks()
             return
         right_key = TupleProjector(self._key)
-        keys = {key for batch in right.batches() for key in right_key.keys(batch)}
+        keys = {key for chunk in right.chunks() for key in right_key.keys_of(chunk)}
         left_key = TupleProjector(self._key)
-        for batch in left.batches():
-            matched = [row for row, key in zip(batch, left_key.keys(batch)) if key in keys]
+        for chunk in left.chunks():
+            matched = [
+                values
+                for values, key in zip(chunk.tuples, left_key.keys_of(chunk))
+                if key in keys
+            ]
             if matched:
-                yield matched
+                yield Chunk(chunk.schema, matched)
 
     def describe(self) -> str:
         return f"HashSemiJoin[{', '.join(self._key.names)}]"
@@ -154,23 +167,27 @@ class HashAntiJoin(PhysicalOperator, _SharedKeyMixin):
         super().__init__(left.schema, (left, right))
         self._key = self.shared_schema(left, right)
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         left, right = self._children
         if not len(self._key):
             if not right.produces_any():
-                yield from left.batches()
+                yield from left.chunks()
             return
         right_key = TupleProjector(self._key)
-        keys = {key for batch in right.batches() for key in right_key.keys(batch)}
+        keys = {key for chunk in right.chunks() for key in right_key.keys_of(chunk)}
         left_key = TupleProjector(self._key)
-        for batch in left.batches():
-            dangling = [row for row, key in zip(batch, left_key.keys(batch)) if key not in keys]
+        for chunk in left.chunks():
+            dangling = [
+                values
+                for values, key in zip(chunk.tuples, left_key.keys_of(chunk))
+                if key not in keys
+            ]
             if dangling:
-                yield dangling
+                yield Chunk(chunk.schema, dangling)
 
 
 class HashLeftOuterJoin(PhysicalOperator, _SharedKeyMixin):
-    """Left outer join padding unmatched left rows with NULL."""
+    """Left outer join padding unmatched left tuples with NULL."""
 
     name = "hash_outer_join"
 
@@ -179,21 +196,20 @@ class HashLeftOuterJoin(PhysicalOperator, _SharedKeyMixin):
         self._key = self.shared_schema(left, right)
         self._pad = right.schema.difference(left.schema)
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
+    def _produce_chunks(self) -> Iterator[Chunk]:
         left, right = self._children
         schema = self._schema
-        from_schema = Row.from_schema
         left_schema = left.schema
         # The output extras are exactly the right-only attributes (the pad
-        # schema), both for matched rows (partner values) and for dangling
-        # rows (NULL padding) — the shared attributes are already carried by
-        # the aligned left tuple.
+        # schema), both for matched tuples (partner values) and for dangling
+        # tuples (NULL padding) — the shared attributes are already carried
+        # by the aligned left tuple.
         right_key = TupleProjector(self._key)
         right_extra = TupleProjector(self._pad)
         index: dict[Any, list[tuple[Any, ...]]] = {}
         all_extras: list[tuple[Any, ...]] = []
-        for batch in right.batches():
-            for key, extra_values in zip(right_key.keys(batch), right_extra.tuples(batch)):
+        for chunk in right.chunks():
+            for key, extra_values in zip(right_key.keys_of(chunk), right_extra.tuples_of(chunk)):
                 index.setdefault(key, []).append(extra_values)
                 all_extras.append(extra_values)
         left_key = TupleProjector(self._key)
@@ -201,18 +217,18 @@ class HashLeftOuterJoin(PhysicalOperator, _SharedKeyMixin):
         keyed = bool(len(self._key))
         emitted: set[tuple[Any, ...]] = set()
 
-        def joined() -> Iterator[Row]:
-            for batch in left.batches():
-                for left_row, key in zip(batch, left_key.keys(batch)):
+        def joined() -> Iterator[tuple[Any, ...]]:
+            for chunk in left.chunks():
+                aligned = chunk.aligned(left_schema)
+                for left_values, key in zip(aligned.tuples, left_key.keys_of(aligned)):
                     partners = index.get(key) if keyed else all_extras
-                    left_values = aligned_values(left_row, left_schema)
                     if partners:
                         for extra_values in partners:
                             combined = left_values + extra_values
                             if combined not in emitted:
                                 emitted.add(combined)
-                                yield from_schema(schema, combined)
+                                yield combined
                     else:
-                        yield from_schema(schema, left_values + null_padding)
+                        yield left_values + null_padding
 
-        yield from batched(joined(), self.batch_size)
+        yield from chunked(joined(), schema, self.batch_size)

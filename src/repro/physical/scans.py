@@ -1,18 +1,37 @@
-"""Leaf physical operators: table scans and literal relations."""
+"""Leaf physical operators: table scans and literal relations.
+
+Scans are the chunk producers at the bottom of every plan: they slice the
+relation's cached aligned-tuple block (see
+:meth:`~repro.relation.relation.Relation.aligned_tuples`) into
+:class:`~repro.physical.base.Chunk` objects — no per-tuple work at all
+beyond the list slice.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Iterator, Mapping
 
 from repro.errors import ExecutionError
-from repro.physical.base import PhysicalOperator, batched
+from repro.physical.base import Chunk, PhysicalOperator
 from repro.relation.relation import Relation
-from repro.relation.row import Row
 
 __all__ = ["TableScan", "RelationScan"]
 
 
-class RelationScan(PhysicalOperator):
+class _ScanBase(PhysicalOperator):
+    """Shared chunk producer for leaf scans over an in-memory relation."""
+
+    relation: Relation
+
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        schema = self._schema
+        tuples = self.relation.aligned_tuples()
+        size = self.batch_size
+        for start in range(0, len(tuples), size):
+            yield Chunk(schema, tuples[start : start + size])
+
+
+class RelationScan(_ScanBase):
     """Scan of an in-memory relation value."""
 
     name = "relation_scan"
@@ -22,14 +41,11 @@ class RelationScan(PhysicalOperator):
         self.relation = relation
         self._label = label
 
-    def _produce_batches(self) -> Iterator[list[Row]]:
-        return batched(self.relation, self.batch_size)
-
     def describe(self) -> str:
         return f"RelationScan({self._label}, {len(self.relation)} rows)"
 
 
-class TableScan(PhysicalOperator):
+class TableScan(_ScanBase):
     """Scan of a named table resolved from a database at construction time."""
 
     name = "table_scan"
@@ -41,9 +57,6 @@ class TableScan(PhysicalOperator):
         super().__init__(relation.schema)
         self.table = table
         self.relation = relation
-
-    def _produce_batches(self) -> Iterator[list[Row]]:
-        return batched(self.relation, self.batch_size)
 
     def describe(self) -> str:
         return f"TableScan({self.table}, {len(self.relation)} rows)"

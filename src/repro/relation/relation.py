@@ -74,7 +74,7 @@ class Relation:
     {1, 2}
     """
 
-    __slots__ = ("_schema", "_rows")
+    __slots__ = ("_schema", "_rows", "_tuples")
 
     def __init__(
         self,
@@ -85,6 +85,7 @@ class Relation:
         coerce = self._coerce_row
         self._schema = schema
         self._rows: frozenset[Row] = frozenset(coerce(schema, raw) for raw in rows)
+        self._tuples: Optional[list[tuple[Any, ...]]] = None
 
     @staticmethod
     def _coerce_row(schema: Schema, raw: Union[Row, Mapping[str, Any], Sequence[Any]]) -> Row:
@@ -131,7 +132,37 @@ class Relation:
         relation = object.__new__(cls)
         relation._schema = schema
         relation._rows = rows if isinstance(rows, frozenset) else frozenset(rows)
+        relation._tuples = None
         return relation
+
+    @classmethod
+    def from_aligned(cls, attributes: AttributeNames, tuples: Iterable[Sequence[Any]]) -> "Relation":
+        """Build a relation from value tuples already aligned with the schema.
+
+        The columnar executor's boundary constructor: each element of
+        ``tuples`` must be a tuple of values in schema attribute order, so
+        no per-row mapping coercion or length checking is needed.
+        """
+        schema = Schema.interned(as_schema(attributes).names)
+        from_schema = Row.from_schema
+        relation = object.__new__(cls)
+        relation._schema = schema
+        relation._rows = frozenset(from_schema(schema, values) for values in tuples)
+        relation._tuples = None
+        return relation
+
+    def aligned_tuples(self) -> list[tuple[Any, ...]]:
+        """Value tuples of all rows, aligned with the schema (cached).
+
+        Every row of a relation shares the relation's interned schema, so
+        this is a plain attribute sweep; the result is cached because scans
+        re-chunk the same relation on every execution.
+        """
+        tuples = self._tuples
+        if tuples is None:
+            tuples = [row._values for row in self._rows]
+            self._tuples = tuples
+        return tuples
 
     def _align(self, row: Row) -> Row:
         """Realign a same-attribute-set row with this relation's schema."""

@@ -88,6 +88,15 @@ class TestSqlCommand:
         output = capsys.readouterr().out
         assert "s1" in output and "s2" in output
 
+    def test_sql_batch_size_flag(self, capsys):
+        assert main(["sql", Q2, "--batch-size", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "s1" in output and "s2" in output
+
+    def test_sql_batch_size_must_be_positive(self, capsys):
+        assert main(["sql", Q2, "--batch-size", "0"]) == 2
+        assert "batch size must be positive" in capsys.readouterr().out
+
     def test_sql_explain_flag(self, capsys):
         assert main(["sql", Q2, "--explain"]) == 0
         output = capsys.readouterr().out
