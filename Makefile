@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test lint bench-smoke bench bench-record
+.PHONY: check test lint bench-smoke bench bench-record bench-compare
 
 ## Tier-1 gate: the full unit + benchmark-assertion suite, fail fast.
 check:
@@ -31,3 +31,8 @@ bench:
 bench-record:
 	$(PYTHON) -m pytest benchmarks/test_bench_division_algorithms.py -q \
 		--benchmark-json=BENCH_division.json
+
+## Rerun the division microbenchmarks and fail on >25% relative regression
+## against the committed BENCH_division.json (hardware-normalized).
+bench-compare:
+	$(PYTHON) scripts/bench_compare.py

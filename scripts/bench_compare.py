@@ -1,0 +1,176 @@
+"""Guard the division microbenchmarks against performance regressions.
+
+Reruns ``benchmarks/test_bench_division_algorithms.py`` with
+``--benchmark-json`` and compares each scenario's best (min) time against
+the committed baseline (``BENCH_division.json``).  Because the baseline was
+recorded on different hardware than CI runners, raw ratios are normalized
+by the **median** ratio across all scenarios first — uniform speed
+differences cancel out (and a few genuine speedups cannot skew the
+normalizer), so only *relative* regressions of individual scenarios (one
+algorithm suddenly slower than its peers) trip the gate.
+
+Exit code 1 when any scenario regresses more than ``--threshold`` (default
+25%) beyond the normalized baseline.
+
+Usage::
+
+    python scripts/bench_compare.py [--baseline BENCH_division.json]
+                                    [--threshold 0.25] [--json out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = "benchmarks/test_bench_division_algorithms.py"
+
+
+def load_times(payload: dict) -> dict[str, float]:
+    """Benchmark name → best (min) time in seconds."""
+    return {bench["name"]: bench["stats"]["min"] for bench in payload["benchmarks"]}
+
+
+def compare(
+    baseline: dict, current: dict, threshold: float, floor_seconds: float = 0.0005
+) -> tuple[list[str], list[str]]:
+    """Compare two benchmark payloads; returns (report lines, failures).
+
+    Ratios are normalized by their **median** so a uniformly faster or
+    slower machine never trips the gate — only scenarios that regressed
+    *relative to the rest of the suite* by more than ``threshold`` do.  The
+    median (unlike a geometric mean) is also robust against a few genuine
+    large speedups: one scenario getting 10× faster must not flag the
+    unchanged majority as regressions.  ``floor_seconds`` additionally
+    shields sub-millisecond scenarios from scheduler jitter: a regression
+    only counts when the absolute excess over the normalized expectation
+    exceeds the floor.
+    """
+    old = load_times(baseline)
+    new = load_times(current)
+    shared = sorted(set(old) & set(new))
+    if not shared:
+        return ["no overlapping benchmarks between baseline and current run"], ["no overlap"]
+    ratios = {name: new[name] / old[name] for name in shared}
+    machine_factor = statistics.median(ratios.values())
+    lines = [
+        f"{len(shared)} scenarios; machine-speed factor (median ratio) = {machine_factor:.2f}x",
+        f"{'scenario':55s} {'old ms':>9s} {'new ms':>9s} {'rel':>7s}",
+    ]
+    failures: list[str] = []
+    improvements = 0
+    for name in shared:
+        relative = ratios[name] / machine_factor
+        excess = new[name] - old[name] * machine_factor
+        marker = ""
+        if relative > 1.0 + threshold and excess > floor_seconds:
+            marker = "  << REGRESSION"
+            failures.append(f"{name}: {relative:.2f}x relative to suite baseline")
+        elif relative < 1.0 - threshold and -excess > floor_seconds:
+            marker = "  (improved)"
+            improvements += 1
+        lines.append(
+            f"{name:55s} {old[name] * 1000:9.3f} {new[name] * 1000:9.3f} {relative:6.2f}x{marker}"
+        )
+    if improvements:
+        lines.append(
+            f"note: {improvements} scenario(s) improved >{threshold:.0%}; consider refreshing "
+            "the baseline with `make bench-record` so future comparisons stay sharp."
+        )
+    if machine_factor > 1.0 + threshold:
+        # Normalization makes a uniform slowdown look clean by design (the
+        # baseline machine differs from CI runners) — surface it so a
+        # genuine suite-wide regression is not mistaken for slow hardware.
+        lines.append(
+            f"warning: the whole suite runs {machine_factor:.2f}x slower than the baseline. "
+            "On the baseline machine this would be a suite-wide regression; on different "
+            "hardware it is expected. Verify locally with `make bench-record` + re-compare."
+        )
+    return lines, failures
+
+
+def run_benchmarks(json_path: Path) -> None:
+    """Run the division microbenchmarks, recording stats to ``json_path``."""
+    environment = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    environment["PYTHONPATH"] = (
+        src + os.pathsep + environment["PYTHONPATH"]
+        if environment.get("PYTHONPATH")
+        else src
+    )
+    subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            BENCH_FILE,
+            "-q",
+            f"--benchmark-json={json_path}",
+        ],
+        cwd=REPO_ROOT,
+        env=environment,
+        check=True,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_division.json",
+        help="committed baseline JSON (default: BENCH_division.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed relative regression per scenario (default: 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--floor-ms",
+        type=float,
+        default=0.5,
+        help="absolute regression floor in milliseconds — jitter smaller than "
+        "this never fails a scenario (default: 0.5)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="reuse an existing benchmark JSON instead of rerunning pytest",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    if args.json is not None:
+        current = json.loads(args.json.read_text())
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            json_path = Path(tmp) / "bench_current.json"
+            run_benchmarks(json_path)
+            current = json.loads(json_path.read_text())
+
+    lines, failures = compare(
+        baseline, current, args.threshold, floor_seconds=args.floor_ms / 1000.0
+    )
+    print("\n".join(lines))
+    if failures:
+        print(f"\nFAIL: {len(failures)} scenario(s) regressed more than "
+              f"{args.threshold:.0%} vs {args.baseline.name}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nOK: no scenario regressed more than {args.threshold:.0%}.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

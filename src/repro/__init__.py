@@ -19,7 +19,7 @@ subpackages provide the full API:
 * :mod:`repro.api`        — the session front door (:func:`repro.connect`)
 """
 
-from repro.api import Database, Query, QueryResult, connect
+from repro.api import AnalyzeReport, Database, Query, QueryResult, connect
 from repro.division import great_divide, small_divide
 from repro.errors import ReproError
 from repro.relation import NULL, Relation, Row, Schema
@@ -36,6 +36,7 @@ __all__ = [
     "small_divide",
     "great_divide",
     "connect",
+    "AnalyzeReport",
     "Database",
     "Query",
     "QueryResult",

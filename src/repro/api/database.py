@@ -33,10 +33,11 @@ from repro.algebra.catalog import Catalog
 from repro.algebra.expressions import Expression
 from repro.api.fingerprint import optimizer_signature, plan_cache_key
 from repro.api.query import Query
-from repro.api.result import CacheInfo, QueryResult
+from repro.api.result import AnalyzeReport, CacheInfo, QueryResult
 from repro.errors import ReproError, SchemaError
 from repro.optimizer.cost import CostReport
 from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.physical_cost import PlanDecision
 from repro.optimizer.planner import PlannerOptions
 from repro.optimizer.rewriter import RewriteReport
 from repro.optimizer.statistics import TableStatistics
@@ -62,6 +63,8 @@ class PreparedPlan:
     original_cost: CostReport
     rewritten_cost: CostReport
     plan: PhysicalOperator
+    #: Algorithm decisions the cost-based planner made while building ``plan``.
+    decisions: tuple[PlanDecision, ...] = ()
 
     @property
     def rewritten(self) -> Expression:
@@ -238,6 +241,20 @@ class Database:
         """Names of the registered tables."""
         return tuple(self.catalog)
 
+    def analyze(self, *names: str) -> AnalyzeReport:
+        """Recollect table statistics from the session's current relations.
+
+        The ``ANALYZE`` path: refreshes cardinality, per-attribute distinct
+        counts, min/max and scan-order sortedness for the given tables
+        (default: all of them) and drops cached plans, since the cost-based
+        planner may now choose different algorithms.  Unknown names raise
+        :class:`SchemaError` (from the statistics layer), listing the known
+        tables.
+        """
+        gathered = self._optimizer.analyze(list(names) or None)
+        self._cache.clear()
+        return AnalyzeReport(tables=gathered)
+
     # ------------------------------------------------------------------
     # plan cache
     # ------------------------------------------------------------------
@@ -263,13 +280,15 @@ class Database:
         if cached is not None:
             return cached, True
         rewrite_report = self._optimizer.rewrite(canonical)
+        plan = self._optimizer.plan(rewrite_report.result)
         prepared = PreparedPlan(
             fingerprint=key.split(":", 1)[0],
             canonical=canonical,
             rewrite_report=rewrite_report,
             original_cost=self._optimizer.cost_report(canonical),
             rewritten_cost=self._optimizer.cost_report(rewrite_report.result),
-            plan=self._optimizer.plan(rewrite_report.result),
+            plan=plan,
+            decisions=self._optimizer.planner_decisions,
         )
         self._cache.put(key, prepared)
         return prepared, False
@@ -288,6 +307,7 @@ class Database:
             cache_hit=cache_hit,
             estimated_cost_before=prepared.original_cost.total_cost,
             estimated_cost_after=prepared.rewritten_cost.total_cost,
+            decisions=prepared.decisions,
         )
 
     def _as_query(self, query: Union[Query, Expression, str]) -> Query:

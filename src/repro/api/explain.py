@@ -1,13 +1,22 @@
 """EXPLAIN rendering: before/after logical trees and the physical plan.
 
 The logical trees are annotated with the optimizer's cardinality estimates;
-the physical plan shows the estimate next to the *actual* tuple count when
-``analyze=True`` (one real execution).  Estimates transfer from the logical
-to the physical tree by walking both in parallel — the planner maps every
-logical node to exactly one physical operator with the same arity, and
-whenever a physical algorithm expands differently (e.g. the
-algebra-simulation division), annotation simply stops for that subtree and
-the output shows ``est=?``.
+the physical plan shows, per node, the estimated cardinality and — under
+``explain(analyze=True)`` (one real execution) — the actual tuple count and
+the *q-error* ``max(est, actual) / min(est, actual)`` (floored at one
+tuple), the standard measure of how far the estimate was off.
+
+Estimates transfer from the logical to the physical tree by walking both in
+parallel — the planner maps every logical node to exactly one physical
+operator with the same arity.  Where a physical algorithm expands
+differently (e.g. the algebra-simulation division's inner plan) the
+parallel walk stops and a bottom-up *physical* estimator fills in the
+remaining nodes from their children, so every plan node carries an
+estimate.
+
+Operators chosen by the cost-based planner additionally render their
+:class:`~repro.optimizer.physical_cost.PlanDecision` — the chosen
+algorithm, its estimated cost, and the priced alternatives it beat.
 """
 
 from __future__ import annotations
@@ -15,7 +24,16 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.algebra.expressions import Expression
-from repro.optimizer.statistics import CardinalityEstimator
+from repro.optimizer.statistics import DEFAULT_SELECTIVITY, CardinalityEstimator
+from repro.physical import (
+    DifferenceOp,
+    Filter,
+    IntersectOp,
+    ProductOp,
+    RelationScan,
+    TableScan,
+    UnionOp,
+)
 from repro.physical.base import PhysicalOperator
 from repro.physical.executor import execute_plan
 
@@ -23,7 +41,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.database import Database
     from repro.api.query import Query
 
-__all__ = ["render_explain"]
+__all__ = ["render_explain", "q_error"]
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """The q-error of one estimate: ``max(est, act) / min(est, act)``.
+
+    Both quantities are floored at one tuple so empty results do not
+    divide by zero; a perfect estimate has q-error 1.0.
+    """
+    estimated = max(float(estimated), 1.0)
+    actual = max(float(actual), 1.0)
+    return max(estimated / actual, actual / estimated)
 
 
 def render_explain(database: "Database", query: "Query", analyze: bool = False) -> str:
@@ -102,11 +131,12 @@ def _physical_estimates(
     expression: Expression,
     estimator: CardinalityEstimator,
 ) -> dict[int, float]:
-    """Map physical operators (by id) to logical cardinality estimates.
+    """Map every physical operator (by id) to a cardinality estimate.
 
-    Annotation descends only while the physical tree mirrors the logical
-    tree's arity; composite physical algorithms keep their inner operators
-    unannotated.
+    A parallel logical/physical walk transfers the estimator's figures
+    wherever the trees mirror each other; composite physical algorithms
+    (whose subtree has no logical counterpart) are filled in bottom-up from
+    their children by :func:`_fallback_estimate`.
     """
     estimates: dict[int, float] = {}
 
@@ -117,7 +147,34 @@ def _physical_estimates(
                 visit(child_op, child_node)
 
     visit(plan, expression)
+
+    def fill(operator: PhysicalOperator) -> float:
+        for child in operator.children:
+            fill(child)
+        if id(operator) not in estimates:
+            estimates[id(operator)] = _fallback_estimate(operator, estimates)
+        return estimates[id(operator)]
+
+    fill(plan)
     return estimates
+
+
+def _fallback_estimate(operator: PhysicalOperator, estimates: dict[int, float]) -> float:
+    """Bottom-up estimate for a physical operator without a logical twin."""
+    children = [estimates.get(id(child), 1.0) for child in operator.children]
+    if isinstance(operator, (RelationScan, TableScan)):
+        return float(len(operator.relation))
+    if isinstance(operator, Filter):
+        return children[0] * DEFAULT_SELECTIVITY
+    if isinstance(operator, ProductOp):
+        return children[0] * children[1]
+    if isinstance(operator, UnionOp):
+        return sum(children)
+    if isinstance(operator, IntersectOp):
+        return min(children) * 0.5
+    if isinstance(operator, DifferenceOp):
+        return children[0]
+    return max(children, default=1.0)
 
 
 def _physical_lines(
@@ -128,11 +185,15 @@ def _physical_lines(
     lines: list[str] = []
 
     def visit(operator: PhysicalOperator, indent: int) -> None:
-        estimate = estimates.get(id(operator))
-        annotation = "est=?" if estimate is None else f"est~{estimate:.0f}"
+        # _physical_estimates' bottom-up fill guarantees every node an entry.
+        estimate = estimates[id(operator)]
+        annotation = f"est~{estimate:.0f}"
         if actual is not None:
-            annotation += f", actual={actual.get(id(operator), 0)}"
+            measured = actual.get(id(operator), 0)
+            annotation += f", actual={measured}, q={q_error(estimate, measured):.2f}"
         lines.append(f"  {'  ' * indent}{operator.describe()}  [{annotation} rows]")
+        if operator.decision is not None:
+            lines.append(f"  {'  ' * indent}  · {operator.decision.describe()}")
         for child in operator.children:
             visit(child, indent + 1)
 

@@ -36,8 +36,9 @@ def optimizer_signature(
     parts = (
         "cost_based" if cost_based else "heuristic",
         "inspecting" if allow_data_inspection else "static",
-        planner_options.small_divide_algorithm,
-        planner_options.great_divide_algorithm,
+        planner_options.small_divide_algorithm or "auto",
+        planner_options.great_divide_algorithm or "auto",
+        planner_options.join_algorithm or "auto",
         repr(sorted(planner_options.extras.items())),
     )
     return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()[:16]

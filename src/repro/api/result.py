@@ -9,16 +9,45 @@ of running a query twice through disjoint paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
 from repro.algebra.expressions import Expression
+from repro.optimizer.physical_cost import PlanDecision
+from repro.optimizer.statistics import TableStatistics
 from repro.physical.base import PlanStatistics
 from repro.relation.relation import Relation
 from repro.relation.row import Row
 from repro.relation.schema import AttributeNames
 
-__all__ = ["CacheInfo", "QueryResult"]
+__all__ = ["AnalyzeReport", "CacheInfo", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class AnalyzeReport:
+    """What one ``ANALYZE`` pass collected, per table."""
+
+    tables: Mapping[str, TableStatistics]
+
+    def render(self) -> str:
+        """Human-readable statistics summary (used by ``repro analyze``)."""
+        lines: list[str] = []
+        for name, stats in self.tables.items():
+            lines.append(f"{name}: {stats.cardinality} rows")
+            for attribute, distinct in stats.distinct_values.items():
+                extras = [f"distinct={distinct}"]
+                minimum, maximum = stats.minimum(attribute), stats.maximum(attribute)
+                if minimum is not None:
+                    extras.append(f"min={minimum!r}")
+                if maximum is not None:
+                    extras.append(f"max={maximum!r}")
+                if stats.is_sorted(attribute):
+                    extras.append("sorted")
+                lines.append(f"  {attribute}: {', '.join(extras)}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.tables)
 
 
 @dataclass(frozen=True)
@@ -58,6 +87,8 @@ class QueryResult:
     #: Estimated cost before and after rewriting (abstract tuple-touch units).
     estimated_cost_before: float
     estimated_cost_after: float
+    #: Algorithm decisions the cost-based planner made for this plan.
+    decisions: tuple[PlanDecision, ...] = field(default=())
 
     # ------------------------------------------------------------------
     # statistics conveniences

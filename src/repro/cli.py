@@ -15,6 +15,10 @@ Commands
     the executor chunk size).
 ``explain {Q1,Q2,Q3}``
     EXPLAIN ANALYZE one of the Section 4 queries.
+``analyze``
+    Collect table statistics (cardinality, distinct counts, min/max,
+    scan-order sortedness) for a database — the input the cost-based
+    physical planner consumes.
 ``claims``
     Re-check the paper's qualitative efficiency claims on synthetic
     workloads (deterministic tuple-count measurements).
@@ -92,6 +96,19 @@ def build_parser() -> argparse.ArgumentParser:
     explain = subparsers.add_parser("explain", help="EXPLAIN ANALYZE a Section 4 query")
     explain.add_argument("name", choices=sorted(_QUERIES), help="which query to explain")
 
+    analyze = subparsers.add_parser(
+        "analyze", help="collect table statistics (ANALYZE) for a database"
+    )
+    analyze.add_argument(
+        "--db",
+        choices=sorted(_DATABASES),
+        default="textbook",
+        help="which suppliers-and-parts database to analyze",
+    )
+    analyze.add_argument(
+        "tables", nargs="*", help="tables to analyze (default: all tables)"
+    )
+
     subparsers.add_parser("claims", help="verify the paper's qualitative claims")
 
     mine = subparsers.add_parser("mine", help="frequent itemset discovery demo")
@@ -157,6 +174,18 @@ def _command_explain(name: str) -> int:
     return 0
 
 
+def _command_analyze(db_name: str, tables: Sequence[str]) -> int:
+    database = connect(_DATABASES[db_name])
+    try:
+        report = database.analyze(*tables)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 2
+    print(f"analyzed {len(report)} table(s) of the {db_name} database")
+    print(report.render())
+    return 0
+
+
 def _command_claims() -> int:
     checks = all_claims()
     for check in checks:
@@ -192,6 +221,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.command == "explain":
         return _command_explain(args.name)
+    if args.command == "analyze":
+        return _command_analyze(args.db, args.tables)
     if args.command == "claims":
         return _command_claims()
     if args.command == "mine":

@@ -2,10 +2,12 @@
 
 from repro.optimizer.cost import CostModel, CostReport
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.optimizer.physical_cost import PhysicalCostModel, PlanAlternative, PlanDecision
 from repro.optimizer.planner import PhysicalPlanner, PlannerOptions
 from repro.optimizer.rewriter import CostBasedRewriter, HeuristicRewriter, RewriteReport
 from repro.optimizer.statistics import (
     CardinalityEstimator,
+    Estimate,
     StatisticsCatalog,
     TableStatistics,
 )
@@ -15,12 +17,16 @@ __all__ = [
     "CostReport",
     "Optimizer",
     "OptimizationResult",
+    "PhysicalCostModel",
+    "PlanAlternative",
+    "PlanDecision",
     "PhysicalPlanner",
     "PlannerOptions",
     "HeuristicRewriter",
     "CostBasedRewriter",
     "RewriteReport",
     "CardinalityEstimator",
+    "Estimate",
     "StatisticsCatalog",
     "TableStatistics",
 ]

@@ -15,9 +15,10 @@ from repro.algebra.catalog import Catalog
 from repro.algebra.expressions import Expression
 from repro.laws.base import RewriteContext, RewriteRule
 from repro.optimizer.cost import CostModel, CostReport
+from repro.optimizer.physical_cost import PlanDecision
 from repro.optimizer.planner import PhysicalPlanner, PlannerOptions
 from repro.optimizer.rewriter import CostBasedRewriter, HeuristicRewriter, RewriteReport
-from repro.optimizer.statistics import StatisticsCatalog
+from repro.optimizer.statistics import StatisticsCatalog, TableStatistics
 from repro.physical.base import PhysicalOperator
 from repro.physical.executor import ExecutionResult, execute_plan
 
@@ -34,6 +35,8 @@ class OptimizationResult:
     original_cost: CostReport
     rewritten_cost: CostReport
     plan: PhysicalOperator
+    #: Cost-based algorithm decisions made while building ``plan``.
+    decisions: tuple[PlanDecision, ...] = ()
 
     @property
     def rules_fired(self) -> list[str]:
@@ -67,7 +70,7 @@ class Optimizer:
             self._rewriter = CostBasedRewriter(self.cost_model, rules=rules, context=context)
         else:
             self._rewriter = HeuristicRewriter(rules=rules, context=context)
-        self._planner = PhysicalPlanner(catalog, planner_options)
+        self._planner = PhysicalPlanner(catalog, planner_options, statistics=self.statistics)
 
     # ------------------------------------------------------------------
     # public API — the pipeline phases, callable separately so that the
@@ -82,8 +85,28 @@ class Optimizer:
         return self.cost_model.report(expression)
 
     def plan(self, expression: Expression) -> PhysicalOperator:
-        """Phase 3: physical plan for ``expression`` exactly as given."""
+        """Phase 3: physical plan for ``expression`` exactly as given.
+
+        The planner prices the applicable algorithms per division/join and
+        picks the cheapest; the decisions of the most recent call are
+        available as :attr:`planner_decisions`.
+        """
         return self._planner.plan(expression)
+
+    @property
+    def planner_decisions(self) -> tuple[PlanDecision, ...]:
+        """Algorithm decisions recorded by the most recent planning call."""
+        return tuple(self._planner.decisions)
+
+    def analyze(self, names: Optional[Sequence[str]] = None) -> dict[str, TableStatistics]:
+        """Recollect table statistics from the catalog's current relations.
+
+        The ANALYZE path: refreshes cardinalities, distinct counts, min/max
+        and scan-order sortedness for ``names`` (default: every table) in
+        the shared :class:`StatisticsCatalog`, so subsequent planning uses
+        the real data profile.  Returns the freshly gathered statistics.
+        """
+        return self.statistics.analyze(self.catalog, names)
 
     def optimize(
         self,
@@ -98,13 +121,15 @@ class Optimizer:
         if rewrite_report is None:
             rewrite_report = self.rewrite(expression)
         rewritten = rewrite_report.result
+        plan = self.plan(rewritten)
         return OptimizationResult(
             original=expression,
             rewritten=rewritten,
             rewrite_report=rewrite_report,
             original_cost=self.cost_report(expression),
             rewritten_cost=self.cost_report(rewritten),
-            plan=self.plan(rewritten),
+            plan=plan,
+            decisions=self.planner_decisions,
         )
 
     def execute(self, expression: Expression) -> ExecutionResult:

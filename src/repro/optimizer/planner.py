@@ -1,18 +1,29 @@
-"""Mapping of logical expressions to physical plans.
+"""Cost-driven mapping of logical expressions to physical plans.
 
 This is the second kind of transformation rule the paper describes in its
 introduction: logical operators are mapped to physical operators (join →
-hash-join, small divide → hash-division, …).  The planner is deliberately
-rule-driven rather than cost-driven — the cost-based decisions happen at the
-logical level (:mod:`repro.optimizer.rewriter`); here each logical operator
-has a default physical algorithm plus per-operator overrides that the
-benchmarks use for algorithm comparisons.
+hash-join, small divide → hash-division, …).  The mapping used to be
+rule-driven — one hard-coded default per logical operator — but the paper's
+own experiments show that no division algorithm dominates, so the planner
+now *enumerates* the applicable algorithms per division (and hash vs
+nested-loops per natural join), prices each alternative with the
+:class:`~repro.optimizer.physical_cost.PhysicalCostModel` (cardinality
+estimates × the operators' declarative cost descriptors, including
+interesting-order exploitation for pre-clustered dividends), and picks the
+cheapest.  Per-operator-kind overrides in :class:`PlannerOptions` remain as
+a forced-choice escape hatch for the algorithm-comparison benchmarks.
+
+Every cost-based (or forced) choice is recorded as a
+:class:`~repro.optimizer.physical_cost.PlanDecision` on the chosen operator
+and in :attr:`PhysicalPlanner.decisions`, so ``explain()`` can report the
+rationale.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.algebra.expressions import (
     AntiJoin,
@@ -35,14 +46,16 @@ from repro.algebra.expressions import (
     Union,
 )
 from repro.errors import PlanningError
+from repro.optimizer.physical_cost import PhysicalCostModel, PlanDecision, decision_for
+from repro.optimizer.statistics import StatisticsCatalog
 from repro.physical import (
     GREAT_DIVIDE_ALGORITHMS,
+    JOIN_ALGORITHMS,
     SMALL_DIVIDE_ALGORITHMS,
     DifferenceOp,
     Filter,
     HashAggregate,
     HashAntiJoin,
-    HashJoin,
     HashLeftOuterJoin,
     HashSemiJoin,
     IntersectOp,
@@ -55,6 +68,7 @@ from repro.physical import (
     TableScan,
     UnionOp,
 )
+from repro.physical.division import MergeSortDivision
 from repro.relation.relation import Relation
 
 __all__ = ["PlannerOptions", "PhysicalPlanner"]
@@ -62,26 +76,33 @@ __all__ = ["PlannerOptions", "PhysicalPlanner"]
 
 @dataclass(frozen=True)
 class PlannerOptions:
-    """Algorithm choices for the logical→physical mapping."""
+    """Physical algorithm choices for the logical→physical mapping.
 
-    #: Algorithm for the small divide: one of ``SMALL_DIVIDE_ALGORITHMS``.
-    small_divide_algorithm: str = "hash"
-    #: Algorithm for the great divide: one of ``GREAT_DIVIDE_ALGORITHMS``.
-    great_divide_algorithm: str = "hash"
+    ``None`` (the default) means *cost-based selection*: the planner prices
+    every applicable algorithm and picks the cheapest.  A string forces that
+    algorithm for every operator of the kind — the escape hatch the
+    algorithm-comparison benchmarks use.  Unknown names are reported (with
+    the valid choices for that operator kind) as a :class:`PlanningError`
+    when a plan is prepared, not when the options object is built and not
+    at execution time.
+    """
+
+    #: Small-divide algorithm (``SMALL_DIVIDE_ALGORITHMS``) or ``None``.
+    small_divide_algorithm: Optional[str] = None
+    #: Great-divide algorithm (``GREAT_DIVIDE_ALGORITHMS``) or ``None``.
+    great_divide_algorithm: Optional[str] = None
+    #: Natural-join algorithm (``JOIN_ALGORITHMS``) or ``None``.
+    join_algorithm: Optional[str] = None
     #: Extra keyword arguments reserved for future algorithm tuning.
     extras: Mapping[str, str] = field(default_factory=dict)
 
-    def __post_init__(self) -> None:
-        if self.small_divide_algorithm not in SMALL_DIVIDE_ALGORITHMS:
-            raise PlanningError(
-                f"unknown small-divide algorithm {self.small_divide_algorithm!r}; "
-                f"choose from {sorted(SMALL_DIVIDE_ALGORITHMS)}"
-            )
-        if self.great_divide_algorithm not in GREAT_DIVIDE_ALGORITHMS:
-            raise PlanningError(
-                f"unknown great-divide algorithm {self.great_divide_algorithm!r}; "
-                f"choose from {sorted(GREAT_DIVIDE_ALGORITHMS)}"
-            )
+
+#: (option attribute, registry, human-readable operator kind)
+_ALGORITHM_CHOICES = (
+    ("small_divide_algorithm", SMALL_DIVIDE_ALGORITHMS, "small divide"),
+    ("great_divide_algorithm", GREAT_DIVIDE_ALGORITHMS, "great divide"),
+    ("join_algorithm", JOIN_ALGORITHMS, "natural join"),
+)
 
 
 class PhysicalPlanner:
@@ -90,14 +111,52 @@ class PhysicalPlanner:
     def __init__(
         self,
         database: Mapping[str, Relation],
-        options: PlannerOptions | None = None,
+        options: Optional[PlannerOptions] = None,
+        statistics: Optional[StatisticsCatalog] = None,
     ) -> None:
         self.database = database
         self.options = options or PlannerOptions()
+        self._statistics = statistics
+        self._cost_model: Optional[PhysicalCostModel] = None
+        #: Algorithm decisions of the most recent :meth:`plan` call.
+        self.decisions: list[PlanDecision] = []
 
     def plan(self, expression: Expression) -> PhysicalOperator:
-        """Build the physical plan for ``expression``."""
+        """Build the physical plan for ``expression``.
+
+        Raises :class:`PlanningError` here — at prepare time — when an
+        algorithm override names an unknown algorithm.
+        """
+        self.validate_options()
+        self.decisions = []
+        if self._statistics is None:
+            # No injected statistics (standalone planner): re-snapshot the
+            # database per planning call so catalog mutations between plans
+            # cannot leave the cost model pricing with stale statistics.
+            # (The Optimizer injects its shared, analyze()-refreshed
+            # catalog, so it never pays this re-collection.)
+            self._cost_model = None
         return self._plan(expression)
+
+    def validate_options(self) -> None:
+        """Check every forced algorithm against its kind's registry."""
+        for attribute, registry, kind in _ALGORITHM_CHOICES:
+            forced = getattr(self.options, attribute)
+            if forced is not None and forced not in registry:
+                raise PlanningError(
+                    f"unknown {kind} algorithm {forced!r}; choose from "
+                    f"{sorted(registry)} (or None for cost-based selection)"
+                )
+
+    @property
+    def cost_model(self) -> PhysicalCostModel:
+        """The physical cost model (statistics are gathered lazily)."""
+        if self._cost_model is None:
+            statistics = self._statistics
+            if statistics is None:
+                statistics = StatisticsCatalog.from_database(self.database)
+            self._cost_model = PhysicalCostModel(statistics)
+        return self._cost_model
 
     # ------------------------------------------------------------------
     # recursive translation
@@ -132,7 +191,7 @@ class PhysicalPlanner:
                 self._plan(expression.left), self._plan(expression.right), expression.predicate
             )
         if isinstance(expression, NaturalJoin):
-            return HashJoin(self._plan(expression.left), self._plan(expression.right))
+            return self._plan_natural_join(expression)
         if isinstance(expression, SemiJoin):
             return HashSemiJoin(self._plan(expression.left), self._plan(expression.right))
         if isinstance(expression, AntiJoin):
@@ -140,9 +199,47 @@ class PhysicalPlanner:
         if isinstance(expression, LeftOuterJoin):
             return HashLeftOuterJoin(self._plan(expression.left), self._plan(expression.right))
         if isinstance(expression, SmallDivide):
-            algorithm = SMALL_DIVIDE_ALGORITHMS[self.options.small_divide_algorithm]
-            return algorithm(self._plan(expression.left), self._plan(expression.right))
+            return self._plan_division(
+                expression,
+                "small divide",
+                self.options.small_divide_algorithm,
+                self.cost_model.small_divide_alternatives,
+            )
         if isinstance(expression, GreatDivide):
-            algorithm = GREAT_DIVIDE_ALGORITHMS[self.options.great_divide_algorithm]
-            return algorithm(self._plan(expression.left), self._plan(expression.right))
+            return self._plan_division(
+                expression,
+                "great divide",
+                self.options.great_divide_algorithm,
+                self.cost_model.great_divide_alternatives,
+            )
         raise PlanningError(f"no physical mapping for {type(expression).__name__}")
+
+    # ------------------------------------------------------------------
+    # cost-based operator choice
+    # ------------------------------------------------------------------
+    def _plan_division(self, expression, kind, forced, alternatives_for) -> PhysicalOperator:
+        decision = decision_for(kind, alternatives_for(expression), forced)
+        left = self._plan(expression.left)
+        right = self._plan(expression.right)
+        chosen = decision.chosen
+        if chosen.operator is MergeSortDivision:
+            operator = MergeSortDivision(left, right, assume_clustered=chosen.clustered)
+        else:
+            operator = chosen.operator(left, right)
+        return self._record(operator, decision)
+
+    def _plan_natural_join(self, expression: NaturalJoin) -> PhysicalOperator:
+        decision = decision_for(
+            "natural join",
+            self.cost_model.natural_join_alternatives(expression),
+            self.options.join_algorithm,
+        )
+        operator = decision.chosen.operator(
+            self._plan(expression.left), self._plan(expression.right)
+        )
+        return self._record(operator, decision)
+
+    def _record(self, operator: PhysicalOperator, decision: PlanDecision) -> PhysicalOperator:
+        operator.decision = decision
+        self.decisions.append(decision)
+        return operator

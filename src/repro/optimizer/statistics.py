@@ -11,8 +11,9 @@ estimates feed the cost model that ranks rewrite alternatives.
 from __future__ import annotations
 
 import math
-from collections.abc import Mapping
-from dataclasses import dataclass
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
 
 from repro.algebra.expressions import (
     AntiJoin,
@@ -34,32 +35,145 @@ from repro.algebra.expressions import (
     ThetaJoin,
     Union,
 )
+from repro.errors import SchemaError
 from repro.relation.relation import Relation
 
-__all__ = ["TableStatistics", "StatisticsCatalog", "CardinalityEstimator", "DEFAULT_SELECTIVITY"]
+__all__ = [
+    "TableStatistics",
+    "StatisticsCatalog",
+    "CardinalityEstimator",
+    "Estimate",
+    "DEFAULT_SELECTIVITY",
+]
 
 #: Selectivity assumed for a predicate we know nothing about.
 DEFAULT_SELECTIVITY = 0.33
 
 
+def _non_decreasing(column: Iterable[Any]) -> bool:
+    """Whether a column's values appear in non-decreasing (scan) order."""
+    iterator = iter(column)
+    try:
+        previous = next(iterator)
+    except StopIteration:
+        return True
+    try:
+        for value in iterator:
+            if value < previous:
+                return False
+            previous = value
+    except TypeError:
+        # Mixed incomparable types: no usable physical order.
+        return False
+    return True
+
+
+def _lexicographic_prefix_length(tuples: list[tuple[Any, ...]], width: int) -> int:
+    """Longest prefix length ``k`` with the scan lexicographically
+    non-decreasing on the first ``k`` attributes.
+
+    Captures *composite* clustering that per-attribute flags cannot: after
+    ``relation.clustered(["a", "b"])`` the ``b`` column is not globally
+    sorted (it resets within each ``a`` group), but the (a, b) combination
+    is — equal (a, b) pairs are contiguous in the scan.
+    """
+    limit = width
+    previous: tuple[Any, ...] | None = None
+    for values in tuples:
+        if previous is not None and limit:
+            for index in range(limit):
+                a, b = previous[index], values[index]
+                if a == b:
+                    continue
+                try:
+                    descending = b < a
+                except TypeError:
+                    descending = True
+                if descending:
+                    limit = index
+                # The first differing column decides the lexicographic order
+                # of every longer prefix, so stop comparing here.
+                break
+        if limit == 0:
+            break
+        previous = values
+    return limit
+
+
 @dataclass(frozen=True)
 class TableStatistics:
-    """Cardinality and per-attribute distinct counts of one table."""
+    """Cardinality plus per-attribute statistics of one table.
+
+    Beyond the distinct counts the System-R formulas need, ``analyze()``
+    records per-attribute minima/maxima and — crucially for the physical
+    planner — which attributes the table's *scan order* is sorted on
+    (non-decreasing over :meth:`Relation.aligned_tuples`).  Order-exploiting
+    algorithms (streaming merge-group division) are only priced as cheap
+    when the dividend actually arrives clustered.
+    """
 
     cardinality: int
     distinct_values: Mapping[str, int]
+    minima: Mapping[str, Any] = field(default_factory=dict)
+    maxima: Mapping[str, Any] = field(default_factory=dict)
+    sorted_attributes: frozenset[str] = frozenset()
+    #: Longest schema-order prefix the scan is *lexicographically* sorted
+    #: on — records composite clustering (``clustered(["a", "b"])``) that
+    #: the per-attribute ``sorted_attributes`` flags cannot express.
+    lexicographic_prefix: tuple[str, ...] = ()
 
     @classmethod
     def from_relation(cls, relation: Relation) -> "TableStatistics":
-        """Gather exact statistics from an in-memory relation."""
-        distinct = {
-            attribute: len(relation.project([attribute])) for attribute in relation.attributes
-        }
-        return cls(cardinality=len(relation), distinct_values=distinct)
+        """Gather exact statistics from an in-memory relation.
+
+        One columnar pass: ``zip(*aligned_tuples)`` transposes the cached
+        tuple block, and every per-attribute statistic (distinct set,
+        min/max, sortedness of the scan order) is computed from its column —
+        no intermediate :class:`Relation` per attribute.
+        """
+        tuples = relation.aligned_tuples()
+        names = relation.schema.names
+        distinct: dict[str, int] = {name: 0 for name in names}
+        minima: dict[str, Any] = {}
+        maxima: dict[str, Any] = {}
+        sorted_names: set[str] = set()
+        prefix: tuple[str, ...] = ()
+        if tuples:
+            for name, column in zip(names, zip(*tuples)):
+                values = set(column)
+                distinct[name] = len(values)
+                try:
+                    minima[name] = min(values)
+                    maxima[name] = max(values)
+                except TypeError:
+                    pass
+                if _non_decreasing(column):
+                    sorted_names.add(name)
+            prefix = names[: _lexicographic_prefix_length(tuples, len(names))]
+        return cls(
+            cardinality=len(tuples),
+            distinct_values=distinct,
+            minima=minima,
+            maxima=maxima,
+            sorted_attributes=frozenset(sorted_names),
+            lexicographic_prefix=prefix,
+        )
 
     def distinct(self, attribute: str) -> int:
         """Distinct count of one attribute (at least 1 to avoid zero division)."""
         return max(1, self.distinct_values.get(attribute, 1))
+
+    def minimum(self, attribute: str) -> Any:
+        """Smallest value of one attribute (``None`` when unknown)."""
+        return self.minima.get(attribute)
+
+    def maximum(self, attribute: str) -> Any:
+        """Largest value of one attribute (``None`` when unknown)."""
+        return self.maxima.get(attribute)
+
+    def is_sorted(self, attribute: str) -> bool:
+        """Whether the table's scan order is non-decreasing on ``attribute``."""
+        return attribute in self.sorted_attributes
 
 
 class StatisticsCatalog:
@@ -73,6 +187,31 @@ class StatisticsCatalog:
         """Exact statistics for every table of a database/catalog."""
         return cls({name: TableStatistics.from_relation(rel) for name, rel in database.items()})
 
+    def analyze(
+        self,
+        database: Mapping[str, Relation],
+        names: Iterable[str] | None = None,
+    ) -> dict[str, TableStatistics]:
+        """Recollect statistics for ``names`` (default: all tables) in place.
+
+        The ``ANALYZE`` path: reads the relations straight out of the
+        database/catalog and replaces the stored statistics, returning the
+        freshly gathered entries.  Unknown names raise :class:`SchemaError`
+        (the library's error contract), listing the known tables.
+        """
+        selected = list(database) if names is None else list(names)
+        unknown = [name for name in selected if name not in database]
+        if unknown:
+            raise SchemaError(
+                f"cannot analyze unknown table(s) {sorted(unknown)!r}; "
+                f"known tables: {sorted(database)!r}"
+            )
+        gathered: dict[str, TableStatistics] = {}
+        for name in selected:
+            gathered[name] = TableStatistics.from_relation(database[name])
+        self._tables.update(gathered)
+        return gathered
+
     def add(self, name: str, statistics: TableStatistics) -> None:
         self._tables[name] = statistics
 
@@ -80,12 +219,16 @@ class StatisticsCatalog:
         """Statistics of a table; unknown tables get a neutral default."""
         return self._tables.get(name, TableStatistics(cardinality=1000, distinct_values={}))
 
+    def tables(self) -> dict[str, TableStatistics]:
+        """A snapshot of all stored per-table statistics."""
+        return dict(self._tables)
+
     def __contains__(self, name: str) -> bool:
         return name in self._tables
 
 
 @dataclass(frozen=True)
-class _Estimate:
+class Estimate:
     """Estimated cardinality and per-attribute distinct counts of a subexpression."""
 
     cardinality: float
@@ -95,11 +238,25 @@ class _Estimate:
         return max(1.0, self.distinct_values.get(attribute, self.cardinality or 1.0))
 
 
+#: Backwards-compatible alias (the estimate type used to be private).
+_Estimate = Estimate
+
+
 class CardinalityEstimator:
     """Estimates output cardinalities of logical expressions."""
 
+    #: Maximum number of literal-relation statistics kept per estimator.
+    LITERAL_CACHE_SIZE = 256
+
     def __init__(self, statistics: StatisticsCatalog) -> None:
         self._statistics = statistics
+        # LiteralRelation statistics are exact but cost a columnar pass per
+        # relation; cache them keyed by relation identity, bounded so a
+        # long-lived session cannot pin arbitrarily many literals.  The
+        # relation is pinned in the value while cached; after an eviction an
+        # id() can be recycled, which the identity check in
+        # :meth:`literal_statistics` guards against.
+        self._literal_statistics: dict[int, tuple[Relation, TableStatistics]] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -107,6 +264,23 @@ class CardinalityEstimator:
     def cardinality(self, expression: Expression) -> float:
         """Estimated number of output tuples of ``expression``."""
         return self._estimate(expression).cardinality
+
+    def estimate(self, expression: Expression) -> Estimate:
+        """Full estimate (cardinality plus per-attribute distinct counts)."""
+        return self._estimate(expression)
+
+    def literal_statistics(self, relation: Relation) -> TableStatistics:
+        """Exact (cached) statistics of an in-memory literal relation."""
+        cached = self._literal_statistics.get(id(relation))
+        if cached is not None and cached[0] is relation:
+            return cached[1]
+        statistics = TableStatistics.from_relation(relation)
+        if len(self._literal_statistics) >= self.LITERAL_CACHE_SIZE:
+            # FIFO eviction: drop the oldest entry (dicts preserve insertion
+            # order); reuse after eviction just re-runs the columnar pass.
+            self._literal_statistics.pop(next(iter(self._literal_statistics)))
+        self._literal_statistics[id(relation)] = (relation, statistics)
+        return statistics
 
     # ------------------------------------------------------------------
     # recursive estimation
@@ -121,7 +295,7 @@ class CardinalityEstimator:
                 },
             )
         if isinstance(expression, LiteralRelation):
-            stats = TableStatistics.from_relation(expression.relation)
+            stats = self.literal_statistics(expression.relation)
             return _Estimate(
                 cardinality=float(stats.cardinality),
                 distinct_values={k: float(v) for k, v in stats.distinct_values.items()},

@@ -6,6 +6,7 @@ from repro.physical.base import (
     DEFAULT_BATCH_SIZE,
     Chunk,
     PhysicalOperator,
+    PhysicalProperties,
     PlanStatistics,
     TupleProjector,
     collect_statistics,
@@ -34,11 +35,13 @@ from repro.physical.division import (
 )
 from repro.physical.executor import ExecutionResult, execute_plan
 from repro.physical.joins import (
+    JOIN_ALGORITHMS,
     HashAntiJoin,
     HashJoin,
     HashLeftOuterJoin,
     HashSemiJoin,
     NestedLoopsJoin,
+    NestedLoopsNaturalJoin,
 )
 from repro.physical.scans import RelationScan, TableScan
 
@@ -47,6 +50,7 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "Chunk",
     "PhysicalOperator",
+    "PhysicalProperties",
     "PlanStatistics",
     "TupleProjector",
     "collect_statistics",
@@ -67,6 +71,8 @@ __all__ = [
     # joins
     "NestedLoopsJoin",
     "HashJoin",
+    "NestedLoopsNaturalJoin",
+    "JOIN_ALGORITHMS",
     "HashSemiJoin",
     "HashAntiJoin",
     "HashLeftOuterJoin",

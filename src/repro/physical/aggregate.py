@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections.abc import Iterator, Mapping
 from typing import Any
 
-from repro.physical.base import Chunk, PhysicalOperator, TupleProjector, chunked
+from repro.physical.base import Chunk, PhysicalOperator, PhysicalProperties, TupleProjector, chunked
 from repro.relation.aggregates import Aggregate
 from repro.relation.row import Row
 from repro.relation.schema import AttributeNames, Schema, as_schema
@@ -24,6 +24,10 @@ class HashAggregate(PhysicalOperator):
     """
 
     name = "hash_aggregate"
+
+    properties = PhysicalProperties(
+        streaming=False, startup_cost=8.0, per_input_cost=2.0, per_output_cost=1.0
+    )
 
     def __init__(
         self,

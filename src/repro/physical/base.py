@@ -37,6 +37,7 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "Chunk",
     "PhysicalOperator",
+    "PhysicalProperties",
     "PlanStatistics",
     "TupleProjector",
     "aligned_values",
@@ -47,6 +48,53 @@ __all__ = [
 
 #: Number of tuples per chunk pulled through the physical operators.
 DEFAULT_BATCH_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class PhysicalProperties:
+    """Declarative cost/behaviour descriptor of one physical operator class.
+
+    The physical cost model (:mod:`repro.optimizer.physical_cost`) prices
+    every applicable algorithm for a logical operator from these
+    coefficients plus the cardinality estimates — the knowledge that used to
+    live as penalty constants inside the logical cost model now sits on the
+    operator classes themselves.  The coefficients are abstract tuple-touch
+    units; only their *ratios* matter (they rank alternatives, they do not
+    predict wall-clock time).
+
+    ``sort_factor`` and ``clustered_input_discount`` encode interesting-order
+    handling: a sort-based algorithm pays ``sort_factor · n·log2(n)`` on its
+    build input *unless* that input is already clustered on the grouping
+    attributes, in which case the sort is waived and the per-input
+    coefficient is multiplied by the discount (streaming merge needs no
+    candidate hash table).
+    """
+
+    #: Emits output while consuming input (False → materializes/blocks).
+    streaming: bool = True
+    #: Fixed setup overhead (hash tables, dictionary encodings).
+    startup_cost: float = 0.0
+    #: Cost per input tuple (all inputs).
+    per_input_cost: float = 1.0
+    #: Cost per output tuple.
+    per_output_cost: float = 1.0
+    #: × n·log2(n) on the build/dividend input; waived when pre-clustered.
+    sort_factor: float = 0.0
+    #: × quadratic term (pairs × groups; operator-shape specific).
+    pairwise_factor: float = 0.0
+    #: Which two estimated quantities the quadratic term multiplies — names
+    #: from the cost model's quantity table ("left", "right", "candidates",
+    #: "divisor_groups").
+    pairwise_operands: tuple[str, str] = ("left", "right")
+    #: Multiplier applied to ``per_input_cost`` when the input is clustered
+    #: on the grouping attributes (< 1.0 for order-exploiting algorithms).
+    clustered_input_discount: float = 1.0
+    #: The planner's order propagation
+    #: (:meth:`~repro.optimizer.physical_cost.PhysicalCostModel.ordered_attributes`)
+    #: may rely on this operator passing its (first) input's scan order
+    #: through unchanged.  Kept in lockstep with the logical-side dispatch
+    #: by ``tests/optimizer/test_physical_cost.py``.
+    preserves_order: bool = False
 
 
 class Chunk:
@@ -263,6 +311,14 @@ class PhysicalOperator:
 
     #: Human-readable operator name used in plans and statistics.
     name = "physical"
+
+    #: Declarative cost/behaviour descriptor consumed by the physical cost
+    #: model; subclasses override with their own coefficients.
+    properties = PhysicalProperties()
+
+    #: Cost-based planning decision that produced this operator (set by the
+    #: planner on the instance; ``None`` for directly constructed plans).
+    decision = None
 
     #: Process-wide construction counter backing collision-free labels.
     _construction_ids = itertools.count()

@@ -16,6 +16,7 @@ from typing import Any
 from repro.physical.base import (
     Chunk,
     PhysicalOperator,
+    PhysicalProperties,
     TupleProjector,
     batched,
     chunked,
@@ -45,6 +46,9 @@ class Filter(PhysicalOperator):
 
     name = "filter"
 
+    #: Streams, but materializes one Row per tuple for the predicate call.
+    properties = PhysicalProperties(per_input_cost=1.2, per_output_cost=0.0, preserves_order=True)
+
     def __init__(self, child: PhysicalOperator, predicate: Callable[[Row], bool]) -> None:
         super().__init__(child.schema, (child,))
         self.predicate = predicate
@@ -67,6 +71,10 @@ class ProjectOp(PhysicalOperator):
     """Projection with duplicate elimination (set semantics)."""
 
     name = "project"
+
+    #: Duplicate elimination keeps a hash set over the output; first-seen
+    #: order makes the output follow the input's scan order.
+    properties = PhysicalProperties(per_input_cost=1.0, per_output_cost=1.0, preserves_order=True)
 
     def __init__(self, child: PhysicalOperator, attributes: AttributeNames) -> None:
         schema = child.schema.project(as_schema(attributes))
@@ -96,6 +104,8 @@ class RenameOp(PhysicalOperator):
 
     name = "rename"
 
+    properties = PhysicalProperties(per_input_cost=0.1, per_output_cost=0.0, preserves_order=True)
+
     def __init__(self, child: PhysicalOperator, mapping: Mapping[str, str]) -> None:
         super().__init__(child.schema.rename(dict(mapping)), (child,))
         self.mapping = dict(mapping)
@@ -111,6 +121,8 @@ class DuplicateElimination(PhysicalOperator):
     """Explicit duplicate elimination (used after bag-producing operators)."""
 
     name = "distinct"
+
+    properties = PhysicalProperties(per_input_cost=1.0, per_output_cost=1.0, preserves_order=True)
 
     def __init__(self, child: PhysicalOperator) -> None:
         super().__init__(child.schema, (child,))
@@ -131,6 +143,8 @@ class UnionOp(PhysicalOperator):
 
     name = "union"
 
+    properties = PhysicalProperties(per_input_cost=2.0, per_output_cost=1.0)
+
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema, (left, right))
 
@@ -150,6 +164,8 @@ class IntersectOp(PhysicalOperator):
     """Set intersection: build the right side, probe with the left."""
 
     name = "intersect"
+
+    properties = PhysicalProperties(streaming=False, per_input_cost=2.0, per_output_cost=1.0)
 
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema, (left, right))
@@ -173,6 +189,8 @@ class DifferenceOp(PhysicalOperator):
 
     name = "difference"
 
+    properties = PhysicalProperties(streaming=False, per_input_cost=2.0, per_output_cost=1.0)
+
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema, (left, right))
 
@@ -194,6 +212,10 @@ class ProductOp(PhysicalOperator):
     """Nested-loops Cartesian product (the right input is materialized)."""
 
     name = "product"
+
+    properties = PhysicalProperties(
+        streaming=False, per_input_cost=1.0, per_output_cost=1.0, pairwise_factor=1.0
+    )
 
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema.union(right.schema), (left, right))

@@ -27,7 +27,7 @@ from collections.abc import Iterator
 from typing import Any
 
 from repro.errors import ExecutionError
-from repro.physical.base import Chunk, PhysicalOperator, TupleProjector, chunked
+from repro.physical.base import Chunk, PhysicalOperator, PhysicalProperties, TupleProjector, chunked
 
 __all__ = [
     "GreatDivisionOperator",
@@ -65,6 +65,17 @@ class NestedLoopsGreatDivision(GreatDivisionOperator):
     """
 
     name = "nested_loops_great_division"
+
+    #: Linear group-bitmask builds plus one subset test per
+    #: (candidate group × divisor group) pair — the ``pairwise`` term.
+    properties = PhysicalProperties(
+        streaming=False,
+        startup_cost=8.0,
+        per_input_cost=1.2,
+        per_output_cost=1.0,
+        pairwise_factor=0.3,
+        pairwise_operands=("candidates", "divisor_groups"),
+    )
 
     def _produce_chunks(self) -> Iterator[Chunk]:
         dividend, divisor = self._children
@@ -108,6 +119,11 @@ class HashGreatDivision(GreatDivisionOperator):
     """
 
     name = "hash_great_division"
+
+    #: Per-(candidate, group) bitmask maintenance on every dividend match.
+    properties = PhysicalProperties(
+        streaming=False, startup_cost=32.0, per_input_cost=2.2, per_output_cost=1.0
+    )
 
     def _produce_chunks(self) -> Iterator[Chunk]:
         dividend, divisor = self._children
@@ -171,6 +187,17 @@ class GroupwiseSmallDivision(GreatDivisionOperator):
     """
 
     name = "groupwise_small_division"
+
+    #: One flat sweep over the encoded dividend per divisor group — the
+    #: ``pairwise`` term is divisor-groups × dividend tuples.
+    properties = PhysicalProperties(
+        streaming=False,
+        startup_cost=8.0,
+        per_input_cost=1.0,
+        per_output_cost=1.0,
+        pairwise_factor=0.6,
+        pairwise_operands=("divisor_groups", "left"),
+    )
 
     def _produce_chunks(self) -> Iterator[Chunk]:
         dividend, divisor = self._children

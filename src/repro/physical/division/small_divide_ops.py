@@ -36,7 +36,7 @@ from typing import Any
 
 from repro.division.schemas import DivisionSchemas
 from repro.errors import ExecutionError
-from repro.physical.base import Chunk, PhysicalOperator, TupleProjector, chunked
+from repro.physical.base import Chunk, PhysicalOperator, PhysicalProperties, TupleProjector, chunked
 from repro.physical.basic import DifferenceOp, ProductOp, ProjectOp
 from repro.relation.schema import Schema
 
@@ -111,6 +111,17 @@ class NestedLoopsDivision(DivisionOperator):
 
     name = "nested_loops_division"
 
+    #: No hash tables beyond the divisor dictionary, but one full pair scan
+    #: per quotient candidate — the quadratic ``pairwise`` term.
+    properties = PhysicalProperties(
+        streaming=False,
+        startup_cost=2.0,
+        per_input_cost=1.0,
+        per_output_cost=1.0,
+        pairwise_factor=0.35,
+        pairwise_operands=("candidates", "left"),
+    )
+
     def _produce_chunks(self) -> Iterator[Chunk]:
         dividend, divisor = self._children
         a_of, b_of = self._projectors()
@@ -150,6 +161,11 @@ class HashDivision(DivisionOperator):
 
     name = "hash_division"
 
+    #: Dictionary + candidate hash table builds, then one linear pass.
+    properties = PhysicalProperties(
+        streaming=False, startup_cost=24.0, per_input_cost=2.0, per_output_cost=1.0
+    )
+
     def _produce_chunks(self) -> Iterator[Chunk]:
         dividend, divisor = self._children
         a_of, b_of = self._projectors()
@@ -186,11 +202,47 @@ class MergeSortDivision(DivisionOperator):
     Both inputs are dictionary-encoded to integers (candidates → dense ids,
     divisor values → bit masks), the dividend pairs are sorted by code —
     integer sort, no ``repr`` keys — and one interleaved merge scan
-    accumulates each candidate run's bitmask against the divisor."""
+    accumulates each candidate run's bitmask against the divisor.
+
+    With ``assume_clustered=True`` (set by the cost-based planner when the
+    statistics show the dividend's scan order is already sorted on the
+    quotient attributes) the sort — and the candidate dictionary — are
+    skipped entirely: the merge scan streams the dividend, accumulating one
+    bitmask per contiguous candidate run.  A run boundary writes the mask
+    into a per-candidate dictionary, so the result stays correct even when
+    the clustering assumption turns out to be wrong — only the performance
+    degrades toward hash-division."""
 
     name = "merge_sort_division"
 
+    #: The n·log2(n) sort is waived when the dividend arrives clustered on
+    #: the quotient attributes, and the streaming merge also skips the
+    #: candidate hash table (the per-input discount).
+    properties = PhysicalProperties(
+        streaming=False,
+        startup_cost=16.0,
+        per_input_cost=1.8,
+        per_output_cost=1.0,
+        sort_factor=0.25,
+        clustered_input_discount=0.6,
+    )
+
+    def __init__(
+        self,
+        dividend: PhysicalOperator,
+        divisor: PhysicalOperator,
+        assume_clustered: bool = False,
+    ) -> None:
+        super().__init__(dividend, divisor)
+        self.assume_clustered = assume_clustered
+
+    def describe(self) -> str:
+        return f"{self.name}(streaming)" if self.assume_clustered else self.name
+
     def _produce_chunks(self) -> Iterator[Chunk]:
+        if self.assume_clustered:
+            yield from self._produce_streaming()
+            return
         dividend, divisor = self._children
         a_of, b_of = self._projectors()
         bit_of = self._divisor_bits(divisor)
@@ -237,6 +289,43 @@ class MergeSortDivision(DivisionOperator):
 
         yield from chunked(quotient(), self._schema, self.batch_size)
 
+    def _produce_streaming(self) -> Iterator[Chunk]:
+        """Merge-group scan over a (presumably) clustered dividend.
+
+        One bitmask accumulates per contiguous candidate run; run boundaries
+        OR the mask into ``mask_of`` keyed by the candidate, which both
+        preserves first-seen emission order and absorbs non-contiguous runs
+        (wrong clustering assumption) without changing the result.
+        """
+        dividend, divisor = self._children
+        a_of, b_of = self._projectors()
+        bit_of = self._divisor_bits(divisor)
+        full = (1 << len(bit_of)) - 1
+        lookup = bit_of.get
+        mask_of: dict[Any, int] = {}
+        get_mask = mask_of.get
+        sentinel = object()
+        current: Any = sentinel
+        mask = 0
+        for chunk in dividend.chunks():
+            for candidate, value in zip(a_of.keys_of(chunk), b_of.keys_of(chunk)):
+                if candidate != current:
+                    if current is not sentinel:
+                        mask_of[current] = get_mask(current, 0) | mask
+                    current = candidate
+                    mask = get_mask(candidate, 0)
+                bit = lookup(value)
+                if bit is not None:
+                    mask |= bit
+        if current is not sentinel:
+            mask_of[current] = get_mask(current, 0) | mask
+
+        key_tuple = a_of.key_tuple
+        quotient = (
+            key_tuple(candidate) for candidate, seen in mask_of.items() if seen == full
+        )
+        yield from chunked(quotient, self._schema, self.batch_size)
+
 
 class MergeCountDivision(DivisionOperator):
     """Counting division: semi-join the dividend with the divisor, count the
@@ -244,6 +333,11 @@ class MergeCountDivision(DivisionOperator):
     candidate's bitmask) and compare with |divisor|."""
 
     name = "merge_count_division"
+
+    #: Same build structure as hash-division plus the per-candidate popcount.
+    properties = PhysicalProperties(
+        streaming=False, startup_cost=26.0, per_input_cost=2.0, per_output_cost=1.0
+    )
 
     def _produce_chunks(self) -> Iterator[Chunk]:
         dividend, divisor = self._children
@@ -287,6 +381,16 @@ class AlgebraSimulationDivision(DivisionOperator):
     """
 
     name = "algebra_simulation_division"
+
+    #: The ``π_A(r1) × r2`` blow-up: |candidates| · |divisor| intermediate
+    #: tuples, priced through the quadratic ``pairwise`` term.
+    properties = PhysicalProperties(
+        streaming=False,
+        per_input_cost=2.0,
+        per_output_cost=1.0,
+        pairwise_factor=3.0,
+        pairwise_operands=("candidates", "right"),
+    )
 
     def __init__(self, dividend: PhysicalOperator, divisor: PhysicalOperator) -> None:
         super().__init__(dividend, divisor)

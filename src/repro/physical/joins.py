@@ -11,7 +11,14 @@ from __future__ import annotations
 from collections.abc import Callable, Iterator
 from typing import Any
 
-from repro.physical.base import Chunk, PhysicalOperator, TupleProjector, batched, chunked
+from repro.physical.base import (
+    Chunk,
+    PhysicalOperator,
+    PhysicalProperties,
+    TupleProjector,
+    batched,
+    chunked,
+)
 from repro.relation.relation import NULL
 from repro.relation.row import Row
 from repro.relation.schema import Schema
@@ -19,9 +26,11 @@ from repro.relation.schema import Schema
 __all__ = [
     "NestedLoopsJoin",
     "HashJoin",
+    "NestedLoopsNaturalJoin",
     "HashSemiJoin",
     "HashAntiJoin",
     "HashLeftOuterJoin",
+    "JOIN_ALGORITHMS",
 ]
 
 
@@ -34,6 +43,11 @@ class NestedLoopsJoin(PhysicalOperator):
     """
 
     name = "nested_loops_join"
+
+    #: Rows are materialized and the predicate evaluated once per pair.
+    properties = PhysicalProperties(
+        streaming=False, per_input_cost=1.0, per_output_cost=1.0, pairwise_factor=2.0
+    )
 
     def __init__(
         self,
@@ -74,6 +88,9 @@ class HashJoin(PhysicalOperator, _SharedKeyMixin):
     """Natural join: build a hash table on the right input, probe with the left."""
 
     name = "hash_join"
+
+    #: Hash-table build on the right input plus a probing pass on the left.
+    properties = PhysicalProperties(startup_cost=16.0, per_input_cost=2.0, per_output_cost=1.0)
 
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema.union(right.schema), (left, right))
@@ -127,10 +144,71 @@ class HashJoin(PhysicalOperator, _SharedKeyMixin):
         return f"HashJoin[{', '.join(self._key.names)}]"
 
 
+class NestedLoopsNaturalJoin(PhysicalOperator, _SharedKeyMixin):
+    """Natural join by nested loops: no hash table, one key comparison per pair.
+
+    Emits exactly the same tuple set (and therefore the same per-operator
+    counts) as :class:`HashJoin`; it exists as the cost-based alternative
+    for tiny inputs, where skipping the hash-table build beats the O(n·m)
+    pair scan.
+    """
+
+    name = "nested_loops_natural_join"
+
+    properties = PhysicalProperties(per_input_cost=1.0, per_output_cost=1.0, pairwise_factor=0.5)
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
+        super().__init__(left.schema.union(right.schema), (left, right))
+        self._key = self.shared_schema(left, right)
+
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        left, right = self._children
+        schema = self._schema
+        left_schema = left.schema
+        right_schema = right.schema
+        right_key = TupleProjector(self._key) if len(self._key) else None
+        right_extra = TupleProjector(right_schema.difference(left_schema))
+        pairs: list[tuple[Any, tuple[Any, ...]]] = []
+        for chunk in right.chunks():
+            keys = right_key.keys_of(chunk) if right_key else [None] * len(chunk)
+            pairs.extend(zip(keys, right_extra.tuples_of(chunk)))
+        if right_key is None:
+            # Disjoint schemas: degenerates to the Cartesian product.
+            combined = (
+                left_values + extra_values
+                for chunk in left.chunks()
+                for left_values in chunk.aligned(left_schema).tuples
+                for _, extra_values in pairs
+            )
+            yield from chunked(combined, schema, self.batch_size)
+            return
+        left_key = TupleProjector(self._key)
+        emitted: set[tuple[Any, ...]] = set()
+
+        def matches() -> Iterator[tuple[Any, ...]]:
+            for chunk in left.chunks():
+                aligned = chunk.aligned(left_schema)
+                for left_values, key in zip(aligned.tuples, left_key.keys_of(aligned)):
+                    for right_key_value, extra_values in pairs:
+                        if right_key_value != key:
+                            continue
+                        combined = left_values + extra_values
+                        if combined not in emitted:
+                            emitted.add(combined)
+                            yield combined
+
+        yield from chunked(matches(), schema, self.batch_size)
+
+    def describe(self) -> str:
+        return f"NestedLoopsNaturalJoin[{', '.join(self._key.names)}]"
+
+
 class HashSemiJoin(PhysicalOperator, _SharedKeyMixin):
     """Left semi-join with a hash set built on the right input."""
 
     name = "hash_semijoin"
+
+    properties = PhysicalProperties(startup_cost=8.0, per_input_cost=1.5, per_output_cost=0.0)
 
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema, (left, right))
@@ -163,6 +241,8 @@ class HashAntiJoin(PhysicalOperator, _SharedKeyMixin):
 
     name = "hash_antijoin"
 
+    properties = PhysicalProperties(startup_cost=8.0, per_input_cost=1.5, per_output_cost=0.0)
+
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema, (left, right))
         self._key = self.shared_schema(left, right)
@@ -190,6 +270,8 @@ class HashLeftOuterJoin(PhysicalOperator, _SharedKeyMixin):
     """Left outer join padding unmatched left tuples with NULL."""
 
     name = "hash_outer_join"
+
+    properties = PhysicalProperties(startup_cost=16.0, per_input_cost=2.0, per_output_cost=1.0)
 
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema.union(right.schema), (left, right))
@@ -232,3 +314,10 @@ class HashLeftOuterJoin(PhysicalOperator, _SharedKeyMixin):
                         yield left_values + null_padding
 
         yield from chunked(joined(), schema, self.batch_size)
+
+
+#: Natural-join algorithm registry used by the cost-based planner.
+JOIN_ALGORITHMS = {
+    "hash": HashJoin,
+    "nested_loops": NestedLoopsNaturalJoin,
+}

@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections.abc import Iterator, Mapping
 
 from repro.errors import ExecutionError
-from repro.physical.base import Chunk, PhysicalOperator
+from repro.physical.base import Chunk, PhysicalOperator, PhysicalProperties
 from repro.relation.relation import Relation
 
 __all__ = ["TableScan", "RelationScan"]
@@ -20,6 +20,10 @@ __all__ = ["TableScan", "RelationScan"]
 
 class _ScanBase(PhysicalOperator):
     """Shared chunk producer for leaf scans over an in-memory relation."""
+
+    #: Pure list slicing over the cached tuple block; delivers the
+    #: relation's physical scan order unchanged (clustered layouts survive).
+    properties = PhysicalProperties(per_input_cost=0.0, per_output_cost=0.5, preserves_order=True)
 
     relation: Relation
 

@@ -253,6 +253,26 @@ class Relation:
             key=lambda row: tuple(_sort_key(row.values_tuple[i]) for i in picks),
         )
 
+    def clustered(self, attributes: Optional[AttributeNames] = None) -> "Relation":
+        """A copy whose *physical scan order* is sorted by ``attributes``.
+
+        The relation value (set of rows) is unchanged — only the cached
+        aligned-tuple block that scans slice from is pre-sorted, the way a
+        clustered index lays out a table.  ``TableStatistics.from_relation``
+        detects this order and flags the attributes as sorted, which lets
+        the cost-based planner pick order-exploiting algorithms (e.g. the
+        streaming merge-group division).  Defaults to the full schema.
+        """
+        schema = self._schema if attributes is None else as_schema(attributes)
+        self._schema.require(schema, "clustered")
+        picks = self._schema.picker(schema)
+        relation = Relation._from_parts(self._schema, self._rows)
+        relation._tuples = sorted(
+            self.aligned_tuples(),
+            key=lambda values: tuple(_sort_key(values[i]) for i in picks),
+        )
+        return relation
+
     def to_set(self, attribute: str) -> set[Any]:
         """Values of a single attribute as a Python set."""
         self._schema.require([attribute], "to_set")

@@ -194,3 +194,89 @@ class TestCatalogManagement:
         catalog.add_table("parts", Relation(["p_no"], [("p1",)]), key=["p_no"])
         db = Database(catalog)
         assert db.catalog.has_key("parts", ["p_no"])
+
+
+class TestAnalyze:
+    def test_analyze_refreshes_statistics(self):
+        db = connect()
+        db.add_table("r1", Relation(["a", "b"], [(1, 1), (1, 2), (2, 1)]))
+        report = db.analyze()
+        assert set(report.tables) == {"r1"}
+        stats = report.tables["r1"]
+        assert stats.cardinality == 3
+        assert stats.distinct_values == {"a": 2, "b": 2}
+        assert stats.minimum("a") == 1 and stats.maximum("a") == 2
+
+    def test_analyze_detects_clustered_scan_order(self):
+        dividend = Relation(
+            ["a", "b"], [(g, v) for g in range(50) for v in range(4)]
+        ).clustered(["a"])
+        db = connect({"r1": dividend, "r2": Relation(["b"], [(0,), (1,)])})
+        report = db.analyze("r1")
+        assert report.tables["r1"].is_sorted("a")
+
+    def test_analyze_subset_of_tables(self, db):
+        report = db.analyze("parts")
+        assert set(report.tables) == {"parts"}
+
+    def test_analyze_clears_the_plan_cache(self, db):
+        db.sql(Q2).prepare()
+        assert db.cache_info().size == 1
+        db.analyze()
+        assert db.cache_info().size == 0
+
+    def test_analyze_report_renders(self, db):
+        text = db.analyze().render()
+        assert "supplies" in text and "distinct=" in text
+
+    def test_replace_table_refreshes_statistics_and_choice(self):
+        """Re-clustering a table via replace_table switches the planner to
+        the order-exploiting streaming merge division (``_refresh`` keeps
+        statistics current on catalog changes)."""
+        from repro.workloads import make_division_workload
+
+        workload = make_division_workload(
+            num_groups=400, divisor_size=8, containing_fraction=0.25,
+            extra_values_per_group=6, seed=1,
+        )
+        db = connect({"r1": workload.dividend, "r2": workload.divisor})
+        before = db.table("r1").divide("r2").run()
+        assert before.decisions[0].chosen.name == "hash"
+        db.replace_table("r1", workload.dividend.clustered(["a"]))
+        after = db.table("r1").divide("r2").run()
+        assert after.decisions[0].chosen.name == "merge_sort"
+        assert after.decisions[0].chosen.clustered
+        assert after.relation == before.relation
+
+    def test_analyze_repairs_stale_statistics(self):
+        """ANALYZE itself drives replanning: with deliberately stale
+        statistics planted in the catalog the planner makes a bad choice,
+        and ``db.analyze()`` (with no table changes at all) restores the
+        data-driven one."""
+        from repro.optimizer import TableStatistics
+        from repro.workloads import make_division_workload
+
+        workload = make_division_workload(
+            num_groups=400, divisor_size=8, containing_fraction=0.25,
+            extra_values_per_group=6, seed=1,
+        )
+        db = connect({"r1": workload.dividend.clustered(["a"]), "r2": workload.divisor})
+        # Plant drifted statistics: a tiny, unclustered-looking r1.
+        db.optimizer.statistics.add(
+            "r1", TableStatistics(cardinality=4, distinct_values={"a": 2, "b": 2})
+        )
+        db.clear_cache()
+        stale = db.table("r1").divide("r2").run()
+        assert stale.decisions[0].chosen.name == "nested_loops"  # fooled
+        report = db.analyze()
+        assert report.tables["r1"].is_sorted("a")
+        fresh = db.table("r1").divide("r2").run()
+        assert fresh.decisions[0].chosen.name == "merge_sort"
+        assert fresh.decisions[0].chosen.clustered
+        assert fresh.relation == stale.relation
+
+    def test_analyze_unknown_table_raises_schema_error(self, db):
+        with pytest.raises(SchemaError) as excinfo:
+            db.analyze("missing")
+        assert "missing" in str(excinfo.value)
+        assert "supplies" in str(excinfo.value)

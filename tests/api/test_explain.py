@@ -63,3 +63,51 @@ class TestExplain:
 
     def test_database_explain_shortcut(self, db):
         assert "Physical plan" in db.explain(Q1)
+
+
+class TestExplainAnalyzeQError:
+    def test_every_physical_node_reports_estimate_actual_and_q_error(self, db):
+        text = db.sql(Q2).explain(analyze=True)
+        physical = text.split("Physical plan")[1]
+        node_lines = [
+            line for line in physical.splitlines() if "[" in line and "rows]" in line
+        ]
+        assert node_lines
+        for line in node_lines:
+            assert "est~" in line, line
+            assert "actual=" in line, line
+            assert "q=" in line, line
+
+    def test_algebra_simulation_inner_nodes_get_fallback_estimates(self):
+        """Composite algorithms have no logical twin; the bottom-up physical
+        estimator must still annotate every inner operator."""
+        from repro.optimizer import PlannerOptions
+        from repro.workloads import make_division_workload
+
+        workload = make_division_workload(num_groups=30, divisor_size=4, seed=2)
+        db = connect(
+            {"r1": workload.dividend, "r2": workload.divisor},
+            planner_options=PlannerOptions(small_divide_algorithm="algebra_simulation"),
+        )
+        text = db.table("r1").divide("r2").explain(analyze=True)
+        physical = text.split("Physical plan")[1]
+        node_lines = [
+            line for line in physical.splitlines() if "[" in line and "rows]" in line
+        ]
+        assert len(node_lines) > 3  # the expanded inner plan is visible
+        assert all("est~" in line and "q=" in line for line in node_lines)
+        assert "est=?" not in physical
+
+    def test_division_decision_rationale_is_shown(self, db):
+        text = db.sql(Q1).explain()
+        assert "algorithm=" in text
+        assert "cost-based" in text
+        assert "alternatives:" in text
+
+    def test_q_error_helper(self):
+        from repro.api.explain import q_error
+
+        assert q_error(10, 10) == 1.0
+        assert q_error(5, 20) == 4.0
+        assert q_error(20, 5) == 4.0
+        assert q_error(0, 0) == 1.0

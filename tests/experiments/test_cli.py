@@ -140,3 +140,20 @@ class TestMineCommand:
         assert main(["mine", "--transactions", "60", "--min-support", "12", "--seed", "3"]) == 0
         output = capsys.readouterr().out
         assert "identical results : True" in output
+
+
+class TestAnalyzeCommand:
+    def test_analyze_textbook(self, capsys):
+        assert main(["analyze"]) == 0
+        output = capsys.readouterr().out
+        assert "analyzed 2 table(s)" in output
+        assert "supplies" in output and "distinct=" in output
+
+    def test_analyze_specific_table(self, capsys):
+        assert main(["analyze", "parts"]) == 0
+        output = capsys.readouterr().out
+        assert "analyzed 1 table(s)" in output
+
+    def test_analyze_unknown_table(self, capsys):
+        assert main(["analyze", "missing"]) == 2
+        assert "error:" in capsys.readouterr().out

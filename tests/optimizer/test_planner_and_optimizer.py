@@ -23,16 +23,43 @@ def catalog():
 
 
 class TestPlannerOptions:
-    def test_defaults(self):
+    def test_defaults_are_cost_based(self):
         options = PlannerOptions()
-        assert options.small_divide_algorithm == "hash"
-        assert options.great_divide_algorithm == "hash"
+        assert options.small_divide_algorithm is None
+        assert options.great_divide_algorithm is None
+        assert options.join_algorithm is None
 
-    def test_unknown_algorithm_rejected(self):
-        with pytest.raises(PlanningError):
-            PlannerOptions(small_divide_algorithm="quantum")
-        with pytest.raises(PlanningError):
-            PlannerOptions(great_divide_algorithm="quantum")
+    def test_unknown_algorithm_rejected_at_prepare_time(self, catalog):
+        """Regression: an unknown override must fail when the plan is
+        prepared — not at execution — and name the valid choices for the
+        specific divide kind."""
+        divide = B.divide(catalog.ref("r1"), catalog.ref("r2"))
+        # Building the options object alone does not raise...
+        options = PlannerOptions(small_divide_algorithm="quantum")
+        planner = PhysicalPlanner(catalog, options)
+        # ...planning (prepare time) does, listing the small-divide choices.
+        with pytest.raises(PlanningError) as excinfo:
+            planner.plan(divide)
+        message = str(excinfo.value)
+        assert "small divide" in message
+        assert "quantum" in message
+        assert "hash" in message and "merge_sort" in message
+
+    def test_unknown_great_divide_algorithm_lists_its_own_choices(self, catalog):
+        planner = PhysicalPlanner(catalog, PlannerOptions(great_divide_algorithm="quantum"))
+        with pytest.raises(PlanningError) as excinfo:
+            planner.plan(B.divide(catalog.ref("r1"), catalog.ref("r2")))
+        message = str(excinfo.value)
+        assert "great divide" in message
+        assert "groupwise" in message
+        # the small-divide-only algorithms are not offered for the great divide
+        assert "merge_count" not in message
+
+    def test_unknown_join_algorithm_rejected(self, catalog):
+        planner = PhysicalPlanner(catalog, PlannerOptions(join_algorithm="sort_merge"))
+        with pytest.raises(PlanningError) as excinfo:
+            planner.plan(B.natural_join(catalog.ref("r1"), catalog.ref("r2")))
+        assert "natural join" in str(excinfo.value)
 
 
 class TestPhysicalPlanner:

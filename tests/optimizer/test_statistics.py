@@ -101,3 +101,69 @@ class TestCardinalityEstimation:
     def test_semijoin_is_reducing(self, estimator, r1, workload):
         estimate = estimator.cardinality(B.semijoin(r1, B.literal(Relation(["a"], [(1,)]))))
         assert estimate <= len(workload.dividend)
+
+
+class TestExtendedStatistics:
+    def test_min_max_collected(self, figure1_dividend):
+        stats = TableStatistics.from_relation(figure1_dividend)
+        column = figure1_dividend.to_set("b")
+        assert stats.minimum("b") == min(column)
+        assert stats.maximum("b") == max(column)
+        assert stats.minimum("missing") is None
+
+    def test_sortedness_reflects_scan_order(self):
+        clustered = Relation(
+            ["a", "b"], [(g, v) for g in range(40) for v in range(3)]
+        ).clustered(["a"])
+        stats = TableStatistics.from_relation(clustered)
+        assert stats.is_sorted("a")
+        assert stats.sorted_attributes <= {"a", "b"}
+
+    def test_single_row_and_empty_relations(self):
+        one = TableStatistics.from_relation(Relation(["a"], [(7,)]))
+        assert one.is_sorted("a") and one.minimum("a") == 7
+        empty = TableStatistics.from_relation(Relation.empty(["a"]))
+        assert empty.cardinality == 0
+        assert empty.distinct_values == {"a": 0}
+        assert not empty.is_sorted("a")
+
+    def test_mixed_incomparable_types_are_not_sorted(self):
+        mixed = Relation(["a"], [(1,), ("x",), (2,)])
+        stats = TableStatistics.from_relation(mixed)
+        assert not stats.is_sorted("a")
+        assert stats.minimum("a") is None
+
+    def test_one_pass_matches_per_attribute_projection(self, workload):
+        """The columnar one-pass collection computes the same distinct
+        counts as the old one-Relation-per-attribute implementation."""
+        relation = workload.dividend
+        stats = TableStatistics.from_relation(relation)
+        for attribute in relation.attributes:
+            assert stats.distinct_values[attribute] == len(relation.project([attribute]))
+
+    def test_catalog_analyze_updates_in_place(self, workload):
+        catalog = StatisticsCatalog()
+        gathered = catalog.analyze({"r1": workload.dividend})
+        assert set(gathered) == {"r1"}
+        assert catalog.table("r1").cardinality == len(workload.dividend)
+        assert "r1" in catalog.tables()
+
+    def test_literal_statistics_cache_is_bounded(self):
+        from repro.optimizer import CardinalityEstimator
+
+        estimator = CardinalityEstimator(StatisticsCatalog())
+        limit = CardinalityEstimator.LITERAL_CACHE_SIZE
+        relations = [Relation(["a"], [(i,)]) for i in range(limit + 10)]
+        for relation in relations:
+            estimator.literal_statistics(relation)
+        assert len(estimator._literal_statistics) <= limit
+        # evicted entries are recomputed correctly on reuse
+        assert estimator.literal_statistics(relations[0]).cardinality == 1
+
+    def test_catalog_analyze_unknown_table_raises_schema_error(self, workload):
+        from repro.errors import SchemaError
+
+        catalog = StatisticsCatalog()
+        with pytest.raises(SchemaError) as excinfo:
+            catalog.analyze({"r1": workload.dividend}, ["typo"])
+        assert "typo" in str(excinfo.value) and "r1" in str(excinfo.value)

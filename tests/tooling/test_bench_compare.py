@@ -1,0 +1,95 @@
+"""Unit tests for the hardware-normalized benchmark comparison gate."""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def load_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_compare", REPO_ROOT / "scripts" / "bench_compare.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def payload(times: dict[str, float]) -> dict:
+    return {
+        "benchmarks": [
+            {"name": name, "stats": {"min": value}} for name, value in times.items()
+        ]
+    }
+
+
+class TestCompare:
+    def test_uniform_slowdown_does_not_fail(self):
+        """A machine that is 3x slower across the board is not a regression."""
+        module = load_module()
+        baseline = payload({"a": 1.0, "b": 2.0, "c": 0.5})
+        current = payload({"a": 3.0, "b": 6.0, "c": 1.5})
+        _, failures = module.compare(baseline, current, threshold=0.25)
+        assert failures == []
+
+    def test_single_scenario_regression_fails(self):
+        module = load_module()
+        baseline = payload({"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0})
+        current = payload({"a": 1.0, "b": 1.0, "c": 1.0, "d": 2.0})
+        lines, failures = module.compare(baseline, current, threshold=0.25)
+        assert len(failures) == 1 and failures[0].startswith("d:")
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_within_threshold_passes(self):
+        module = load_module()
+        baseline = payload({"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0})
+        current = payload({"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.2})
+        _, failures = module.compare(baseline, current, threshold=0.25)
+        assert failures == []
+
+    def test_disjoint_benchmarks_fail_loudly(self):
+        module = load_module()
+        _, failures = module.compare(payload({"a": 1.0}), payload({"b": 1.0}), threshold=0.25)
+        assert failures
+
+    def test_real_baseline_compares_clean_against_itself(self):
+        module = load_module()
+        committed = (REPO_ROOT / "BENCH_division.json").read_text()
+        import json
+
+        data = json.loads(committed)
+        _, failures = module.compare(data, data, threshold=0.25)
+        assert failures == []
+
+    def test_large_speedup_in_one_scenario_does_not_flag_the_rest(self):
+        """Median normalization: one 10x improvement must not make the
+        unchanged majority look like relative regressions."""
+        module = load_module()
+        names = [f"s{i}" for i in range(8)]
+        baseline = payload({name: 1.0 for name in names})
+        current_times = {name: 1.0 for name in names}
+        current_times["s0"] = 0.1  # one scenario got 10x faster
+        lines, failures = module.compare(baseline, payload(current_times), threshold=0.25)
+        assert failures == []
+        assert any("bench-record" in line for line in lines)
+
+    def test_sub_millisecond_jitter_is_shielded_by_the_floor(self):
+        """A relative blip on a sub-ms scenario whose absolute excess is
+        tiny must not fail the gate; the same relative regression on a
+        big scenario must."""
+        module = load_module()
+        baseline = payload({"fast": 0.0005, "a": 0.010, "b": 0.010, "slow": 0.020})
+        current = payload({"fast": 0.0008, "a": 0.010, "b": 0.010, "slow": 0.020})
+        _, failures = module.compare(baseline, current, threshold=0.25)
+        assert failures == []
+        current = payload({"fast": 0.0005, "a": 0.010, "b": 0.010, "slow": 0.032})
+        _, failures = module.compare(baseline, current, threshold=0.25)
+        assert len(failures) == 1 and failures[0].startswith("slow:")
+
+    def test_uniform_slowdown_passes_but_warns(self):
+        module = load_module()
+        baseline = payload({"a": 0.010, "b": 0.010, "c": 0.010})
+        current = payload({"a": 0.020, "b": 0.020, "c": 0.020})
+        lines, failures = module.compare(baseline, current, threshold=0.25)
+        assert failures == []
+        assert any("warning: the whole suite" in line for line in lines)
