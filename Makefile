@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test lint bench-smoke bench bench-record bench-compare
+.PHONY: check test lint bench-smoke bench bench-record bench-compare bench-parallel
 
 ## Tier-1 gate: the full unit + benchmark-assertion suite, fail fast.
 check:
@@ -36,3 +36,9 @@ bench-record:
 ## against the committed BENCH_division.json (hardware-normalized).
 bench-compare:
 	$(PYTHON) scripts/bench_compare.py
+
+## Compare serial vs partition-parallel execution on the large (>=100k
+## tuple) division scenarios; WORKERS picks the pool size (default 2).
+WORKERS ?= 2
+bench-parallel:
+	$(PYTHON) scripts/bench_compare.py --parallel $(WORKERS)

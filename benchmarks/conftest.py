@@ -7,6 +7,8 @@ intermediate results, partitioning benefits, join-elimination savings).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.algebra.catalog import Catalog
@@ -15,6 +17,34 @@ from repro.workloads import (
     make_division_workload,
     make_great_division_workload,
 )
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the partition-parallel benchmarks with exactly N workers "
+        "(default: 1, 2 and — on machines with ≥4 cores — 4)",
+    )
+
+
+def worker_counts(config) -> list[int]:
+    """Worker counts the parallel benchmarks are parametrized over."""
+    override = config.getoption("--workers")
+    if override:
+        return sorted({1, override})
+    counts = [1, 2]
+    if (os.cpu_count() or 1) >= 4:
+        counts.append(4)
+    return counts
+
+
+def pytest_generate_tests(metafunc):
+    if "exchange_workers" in metafunc.fixturenames:
+        metafunc.parametrize("exchange_workers", worker_counts(metafunc.config))
 
 
 @pytest.fixture(scope="session")
@@ -31,6 +61,16 @@ def large_divide_workload():
     return make_division_workload(
         num_groups=1200, divisor_size=10, containing_fraction=0.2, extra_values_per_group=6, seed=2
     )
+
+
+@pytest.fixture(scope="session")
+def huge_divide_workload():
+    """A ≥100k-tuple dividend for the partition-parallel benchmarks."""
+    workload = make_division_workload(
+        num_groups=9000, divisor_size=10, containing_fraction=0.2, extra_values_per_group=6, seed=5
+    )
+    assert len(workload.dividend) >= 100_000
+    return workload
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,125 @@
+"""Benchmarks for partition-parallel division on a ≥100k-tuple dividend.
+
+The acceptance contract of the parallel subsystem:
+
+* ``workers=1`` partitioned execution (one partition, no hash pass, no
+  pool) stays within ~10% of the plain serial operator;
+* on a machine with ≥4 cores, ``workers=4`` beats the serial path by
+  ≥1.8× (asserted only when timing is enabled and the cores are there);
+* the cost-based planner picks the partitioned plan for this workload and
+  keeps the committed small scenarios serial (pinned in
+  ``tests/optimizer/test_parallel_planning.py`` as well).
+
+Wall-clock assertions use best-of-N timings and are skipped entirely under
+``--benchmark-disable`` (CI smoke on shared runners); the result-equality
+and plan-shape assertions always run.  ``--workers N`` (see
+``benchmarks/conftest.py``) pins the parametrized worker counts, which is
+how the CI perf-smoke job runs the suite once with ``--workers 2``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.api import connect
+from repro.physical import HashDivision, PartitionedDivision, RelationScan, execute_plan
+from repro.physical.parallel import shutdown_pool
+
+DIVIDE_SQL = "SELECT a FROM r1 AS x DIVIDE BY r2 AS y ON x.b = y.b"
+
+#: workers=1 partitioned must stay within this factor of plain serial.
+SERIAL_OVERHEAD_BOUND = 1.10
+#: workers=4 must beat plain serial by at least this factor (4+ cores).
+PARALLEL_SPEEDUP_BOUND = 1.8
+REPEATS = 5
+
+
+def _serial_plan(workload):
+    return HashDivision(RelationScan(workload.dividend), RelationScan(workload.divisor))
+
+
+def _partitioned_plan(workload, workers, partitions=None):
+    return PartitionedDivision(
+        RelationScan(workload.dividend),
+        RelationScan(workload.divisor),
+        algorithm="hash",
+        partitions=partitions if partitions is not None else workers,
+        workers=workers,
+    )
+
+
+def _best_time(plan_factory) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        plan = plan_factory()
+        start = time.perf_counter()
+        execute_plan(plan)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_serial_division(benchmark, huge_divide_workload):
+    """Baseline: the plain serial hash division on the 100k dividend."""
+    result = benchmark(lambda: execute_plan(_serial_plan(huge_divide_workload)))
+    assert len(result.relation) == huge_divide_workload.expected_quotient_size
+
+
+def test_partitioned_division(benchmark, huge_divide_workload, exchange_workers):
+    """Partitioned execution at each benchmarked worker count."""
+    result = benchmark(
+        lambda: execute_plan(_partitioned_plan(huge_divide_workload, exchange_workers))
+    )
+    assert len(result.relation) == huge_divide_workload.expected_quotient_size
+    serial = execute_plan(_serial_plan(huge_divide_workload))
+    assert result.relation == serial.relation
+
+
+def test_workers1_partitioned_is_near_serial(benchmark, huge_divide_workload):
+    """The zero-overhead fallback: K=1 skips the hash pass and the pool."""
+    partitioned_time = benchmark(
+        lambda: _best_time(lambda: _partitioned_plan(huge_divide_workload, workers=1))
+    )
+    if not benchmark.enabled:
+        # --benchmark-disable (CI smoke): plan shape + equality only.
+        result = execute_plan(_partitioned_plan(huge_divide_workload, workers=1))
+        assert len(result.relation) == huge_divide_workload.expected_quotient_size
+        return
+    serial_time = _best_time(lambda: _serial_plan(huge_divide_workload))
+    assert partitioned_time <= serial_time * SERIAL_OVERHEAD_BOUND + 0.005, (
+        f"workers=1 partitioned {partitioned_time * 1000:.1f} ms vs "
+        f"serial {serial_time * 1000:.1f} ms"
+    )
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4, reason="needs ≥4 cores for the speedup bound")
+def test_workers4_speedup_over_serial(benchmark, huge_divide_workload):
+    """workers=4 must demonstrably beat the serial path on a 4-core runner."""
+    shutdown_pool()
+    # Warm the pool once so worker forking is not billed to the measurement
+    # (a session reuses its pool across queries the same way).
+    execute_plan(_partitioned_plan(huge_divide_workload, workers=4))
+    parallel_time = benchmark(
+        lambda: _best_time(lambda: _partitioned_plan(huge_divide_workload, workers=4))
+    )
+    if not benchmark.enabled:
+        return
+    serial_time = _best_time(lambda: _serial_plan(huge_divide_workload))
+    speedup = serial_time / parallel_time
+    assert speedup >= PARALLEL_SPEEDUP_BOUND, (
+        f"workers=4 {parallel_time * 1000:.1f} ms vs serial {serial_time * 1000:.1f} ms "
+        f"— only {speedup:.2f}x (need {PARALLEL_SPEEDUP_BOUND}x)"
+    )
+
+
+def test_planner_picks_partitioned_plan_for_large_dividend(huge_divide_workload):
+    """End to end: the session's cost-based planner parallelizes this
+    workload at workers=4 — and the committed small scenarios stay serial
+    (pinned in tests/optimizer/test_parallel_planning.py)."""
+    db = connect(
+        {"r1": huge_divide_workload.dividend, "r2": huge_divide_workload.divisor}, workers=4
+    )
+    result = db.sql(DIVIDE_SQL).run()
+    decision = result.decisions[0]
+    assert decision.chosen.workers == 4
+    assert len(result.relation) == huge_divide_workload.expected_quotient_size

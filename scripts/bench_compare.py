@@ -12,10 +12,22 @@ algorithm suddenly slower than its peers) trip the gate.
 Exit code 1 when any scenario regresses more than ``--threshold`` (default
 25%) beyond the normalized baseline.
 
+``--parallel N`` switches to the serial-vs-parallel comparison instead: it
+runs ``benchmarks/test_bench_parallel_division.py`` (the ≥100k-tuple
+scenarios) once with ``--workers N`` and compares the partitioned timings
+against the serial baseline *from the same run* — same machine, same
+process, so no cross-machine normalization and no jitter floor is needed
+(the large scenarios run tens of milliseconds, far above scheduler noise).
+The gate is deliberately conservative: ``workers=1`` partitioning must not
+cost more than ~15% over serial, and on a ≥4-core machine ``workers=N``
+must not be slower than serial at all (the 1.8× acceptance bound lives in
+the benchmark file itself, where it can be skipped on small runners).
+
 Usage::
 
     python scripts/bench_compare.py [--baseline BENCH_division.json]
                                     [--threshold 0.25] [--json out.json]
+    python scripts/bench_compare.py --parallel 2
 """
 
 from __future__ import annotations
@@ -31,6 +43,10 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILE = "benchmarks/test_bench_division_algorithms.py"
+PARALLEL_BENCH_FILE = "benchmarks/test_bench_parallel_division.py"
+
+#: workers=1 partitioned execution may cost at most this much over serial.
+PARALLEL_FALLBACK_OVERHEAD = 0.15
 
 
 def load_times(payload: dict) -> dict[str, float]:
@@ -96,8 +112,53 @@ def compare(
     return lines, failures
 
 
-def run_benchmarks(json_path: Path) -> None:
-    """Run the division microbenchmarks, recording stats to ``json_path``."""
+def compare_parallel(payload: dict, workers: int) -> tuple[list[str], list[str]]:
+    """Compare serial vs partitioned timings from one benchmark run.
+
+    Both timings come from the same process on the same machine, so the
+    ratios are directly meaningful — no median normalization, and the
+    scenarios are large enough (tens of milliseconds) that no jitter floor
+    is needed either.
+    """
+    times = load_times(payload)
+    serial_name = "test_serial_division"
+    if serial_name not in times:
+        return ["no serial baseline scenario in the benchmark run"], ["missing baseline"]
+    serial = times[serial_name]
+    lines = [f"serial hash division: {serial * 1000:9.3f} ms (best of run)"]
+    failures: list[str] = []
+    for name in sorted(times):
+        if not name.startswith("test_partitioned_division["):
+            continue
+        count = int(name.split("[", 1)[1].rstrip("]"))
+        ratio = times[name] / serial
+        speedup = 1.0 / ratio if ratio else float("inf")
+        lines.append(
+            f"partitioned workers={count}: {times[name] * 1000:9.3f} ms "
+            f"({speedup:.2f}x vs serial)"
+        )
+        if count == 1 and ratio > 1.0 + PARALLEL_FALLBACK_OVERHEAD:
+            failures.append(
+                f"workers=1 partitioned costs {ratio:.2f}x serial "
+                f"(allowed {1.0 + PARALLEL_FALLBACK_OVERHEAD:.2f}x)"
+            )
+        elif count > 1 and (os.cpu_count() or 1) >= 4 and ratio > 1.0:
+            failures.append(
+                f"workers={count} partitioned is SLOWER than serial "
+                f"({ratio:.2f}x) on a {os.cpu_count()}-core machine"
+            )
+    if (os.cpu_count() or 1) < 4:
+        lines.append(
+            f"note: only {os.cpu_count()} core(s) here — multi-worker timings are "
+            "informational; the speedup gate needs >=4 cores."
+        )
+    if workers > 1 and not any(f"workers={workers}:" in line for line in lines):
+        failures.append(f"no partitioned scenario ran with workers={workers}")
+    return lines, failures
+
+
+def run_benchmarks(json_path: Path, bench_file: str = BENCH_FILE, extra: list[str] | None = None) -> None:
+    """Run one benchmark file, recording stats to ``json_path``."""
     environment = dict(os.environ)
     src = str(REPO_ROOT / "src")
     environment["PYTHONPATH"] = (
@@ -110,9 +171,10 @@ def run_benchmarks(json_path: Path) -> None:
             sys.executable,
             "-m",
             "pytest",
-            BENCH_FILE,
+            bench_file,
             "-q",
             f"--benchmark-json={json_path}",
+            *(extra or []),
         ],
         cwd=REPO_ROOT,
         env=environment,
@@ -147,7 +209,36 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="reuse an existing benchmark JSON instead of rerunning pytest",
     )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compare serial vs partitioned execution on the large division "
+        "scenarios (runs the parallel benchmarks once with --workers N) "
+        "instead of comparing against the committed baseline",
+    )
     args = parser.parse_args(argv)
+
+    if args.parallel is not None:
+        if args.json is not None:
+            payload = json.loads(args.json.read_text())
+        else:
+            with tempfile.TemporaryDirectory() as tmp:
+                json_path = Path(tmp) / "bench_parallel.json"
+                run_benchmarks(
+                    json_path, PARALLEL_BENCH_FILE, extra=["--workers", str(args.parallel)]
+                )
+                payload = json.loads(json_path.read_text())
+        lines, failures = compare_parallel(payload, args.parallel)
+        print("\n".join(lines))
+        if failures:
+            print(f"\nFAIL: {len(failures)} parallel-execution check(s) failed:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("\nOK: partitioned execution within bounds vs the serial path.")
+        return 0
 
     baseline = json.loads(args.baseline.read_text())
     if args.json is not None:

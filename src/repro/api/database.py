@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from collections.abc import Mapping
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Optional, Union
 
 from repro.algebra.catalog import Catalog
@@ -140,6 +140,12 @@ class Database:
         session runs (defaults to the engine-wide
         :data:`~repro.physical.base.DEFAULT_BATCH_SIZE`).  Results and
         per-operator tuple counts are independent of it.
+    workers:
+        Worker-pool size for partition-parallel execution (shorthand for
+        ``PlannerOptions(workers=...)``).  The cost-based planner only
+        parallelizes operators whose estimated input is large enough to
+        amortize the worker startup, so small queries stay serial even at
+        ``workers=8``; results are identical either way.
     """
 
     def __init__(
@@ -152,12 +158,17 @@ class Database:
         recognize_division: bool = True,
         cache_size: int = 128,
         batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> None:
         if batch_size is not None and batch_size < 1:
             raise ReproError(f"batch size must be positive, got {batch_size}")
+        if workers is not None and workers < 1:
+            raise ReproError(f"workers must be positive, got {workers}")
         self.batch_size = batch_size
         self.catalog = _coerce_catalog(source)
         self.planner_options = planner_options or PlannerOptions()
+        if workers is not None and self.planner_options.workers != workers:
+            self.planner_options = replace(self.planner_options, workers=workers)
         self.cost_based = cost_based
         self.recognize_division = recognize_division
         self.allow_data_inspection = allow_data_inspection
@@ -293,10 +304,15 @@ class Database:
         self._cache.put(key, prepared)
         return prepared, False
 
+    @property
+    def workers(self) -> int:
+        """The session's degree of parallelism (1 = serial execution)."""
+        return self.planner_options.workers or 1
+
     def _run(self, query: Query) -> QueryResult:
         expression = query.expression
         prepared, cache_hit = self._prepare(expression)
-        execution = execute_plan(prepared.plan, batch_size=self.batch_size)
+        execution = execute_plan(prepared.plan, batch_size=self.batch_size, workers=self.workers)
         return QueryResult(
             relation=execution.relation,
             expression=expression,
@@ -356,7 +372,9 @@ def connect(source: DatabaseSource = None, **options) -> Database:
     generator), or ``None`` for an empty session.  Keyword options are
     forwarded to :class:`Database` — e.g.
     ``repro.connect(textbook_catalog, batch_size=4096)`` sets the executor
-    chunk size for every query of the session.
+    chunk size for every query of the session, and
+    ``repro.connect(catalog, workers=4)`` lets the planner parallelize
+    large divisions/joins/aggregations over a 4-worker pool.
     """
     return Database(source, **options)
 

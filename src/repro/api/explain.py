@@ -63,7 +63,9 @@ def render_explain(database: "Database", query: "Query", analyze: bool = False) 
 
     actual: Optional[dict[int, int]] = None
     if analyze:
-        execution = execute_plan(prepared.plan, batch_size=database.batch_size)
+        execution = execute_plan(
+            prepared.plan, batch_size=database.batch_size, workers=database.workers
+        )
         actual = {id(op): op.tuples_out for op in prepared.plan.walk()}
 
     lines: list[str] = []
@@ -177,6 +179,29 @@ def _fallback_estimate(operator: PhysicalOperator, estimates: dict[int, float]) 
     return max(children, default=1.0)
 
 
+def _exchange_line(operator: PhysicalOperator, analyzed: bool) -> Optional[str]:
+    """Exchange annotation for partition-parallel operators.
+
+    Static explain reports the configured shape (partitions, DOP); after an
+    ``analyze=True`` execution the line adds the measured per-partition
+    input-cardinality skew — max partition size over mean partition size,
+    1.00 meaning perfectly balanced.
+    """
+    if not operator.parallel:
+        return None
+    summary = f"exchange: partitions={operator.partitions}, workers={operator.workers}"
+    sizes = operator.partition_input_sizes
+    if analyzed and sizes:
+        mean = sum(sizes) / len(sizes)
+        skew = (max(sizes) / mean) if mean else 1.0
+        populated = sum(1 for size in sizes if size)
+        summary += (
+            f", {populated}/{len(sizes)} partitions populated, "
+            f"input skew max/mean={skew:.2f}"
+        )
+    return summary
+
+
 def _physical_lines(
     plan: PhysicalOperator,
     estimates: dict[int, float],
@@ -194,6 +219,9 @@ def _physical_lines(
         lines.append(f"  {'  ' * indent}{operator.describe()}  [{annotation} rows]")
         if operator.decision is not None:
             lines.append(f"  {'  ' * indent}  · {operator.decision.describe()}")
+        exchange = _exchange_line(operator, analyzed=actual is not None)
+        if exchange is not None:
+            lines.append(f"  {'  ' * indent}  · {exchange}")
         for child in operator.children:
             visit(child, indent + 1)
 

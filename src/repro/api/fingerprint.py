@@ -39,6 +39,8 @@ def optimizer_signature(
         planner_options.small_divide_algorithm or "auto",
         planner_options.great_divide_algorithm or "auto",
         planner_options.join_algorithm or "auto",
+        f"workers={planner_options.workers or 1}",
+        f"partitions={planner_options.partitions or planner_options.workers or 1}",
         repr(sorted(planner_options.extras.items())),
     )
     return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()[:16]

@@ -43,6 +43,8 @@ class AnalyzeReport:
                     extras.append(f"max={maximum!r}")
                 if stats.is_sorted(attribute):
                     extras.append("sorted")
+                if stats.top_frequency(attribute):
+                    extras.append(f"skew={stats.partition_skew(attribute):.2f}")
                 lines.append(f"  {attribute}: {', '.join(extras)}")
         return "\n".join(lines)
 

@@ -12,7 +12,8 @@ Commands
 ``sql "<query>"``
     Parse, optimize and execute an arbitrary query (``--explain`` prints
     the plan instead; ``--db`` picks the database; ``--batch-size N`` sets
-    the executor chunk size).
+    the executor chunk size; ``--workers N`` lets the planner parallelize
+    large operators over a worker pool).
 ``explain {Q1,Q2,Q3}``
     EXPLAIN ANALYZE one of the Section 4 queries.
 ``analyze``
@@ -92,6 +93,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="executor chunk size (tuples per chunk; results are unaffected)",
     )
+    sql.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker-pool size for partition-parallel execution; the planner "
+        "only parallelizes operators whose input is large enough to pay off "
+        "(results are unaffected)",
+    )
 
     explain = subparsers.add_parser("explain", help="EXPLAIN ANALYZE a Section 4 query")
     explain.add_argument("name", choices=sorted(_QUERIES), help="which query to explain")
@@ -145,10 +155,15 @@ def _command_query(name: str, use_recognizer: bool) -> int:
 
 
 def _command_sql(
-    text: str, explain: bool, db_name: str, use_recognizer: bool, batch_size: Optional[int]
+    text: str,
+    explain: bool,
+    db_name: str,
+    use_recognizer: bool,
+    batch_size: Optional[int],
+    workers: Optional[int],
 ) -> int:
     try:
-        database = connect(_DATABASES[db_name], batch_size=batch_size)
+        database = connect(_DATABASES[db_name], batch_size=batch_size, workers=workers)
         query = database.sql(text, recognize_division=use_recognizer)
         if explain:
             print(query.explain(analyze=True))
@@ -217,7 +232,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_query(args.name, not args.no_recognizer)
     if args.command == "sql":
         return _command_sql(
-            args.text, args.explain, args.db, not args.no_recognizer, args.batch_size
+            args.text,
+            args.explain,
+            args.db,
+            not args.no_recognizer,
+            args.batch_size,
+            args.workers,
         )
     if args.command == "explain":
         return _command_explain(args.name)

@@ -28,6 +28,7 @@ from typing import Optional
 from repro.algebra.expressions import (
     Expression,
     GreatDivide,
+    GroupBy,
     LiteralRelation,
     NaturalJoin,
     Project,
@@ -36,11 +37,21 @@ from repro.algebra.expressions import (
     Select,
     SmallDivide,
 )
-from repro.optimizer.statistics import CardinalityEstimator, StatisticsCatalog
-from repro.physical import JOIN_ALGORITHMS, PhysicalOperator
+from repro.optimizer.statistics import CardinalityEstimator, StatisticsCatalog, TableStatistics
+from repro.physical import JOIN_ALGORITHMS, HashAggregate, PhysicalOperator
 from repro.physical.division import GREAT_DIVIDE_ALGORITHMS, SMALL_DIVIDE_ALGORITHMS
 
 __all__ = ["PlanAlternative", "PlanDecision", "PhysicalCostModel", "decision_for"]
+
+#: Abstract-cost charge per pool worker: process dispatch, block pickling
+#: and result shipping.  Sets the estimated-cardinality threshold below
+#: which the planner refuses to parallelize (with the default coefficients,
+#: parallel execution starts to pay off around ~15–20k input tuples).
+PARALLEL_WORKER_STARTUP = 4000.0
+
+#: Per-input-tuple cost of the hash-partition exchange pass (hash + bucket
+#: append + cross-process copy of the aligned tuple blocks).
+EXCHANGE_PER_TUPLE = 0.5
 
 
 @dataclass(frozen=True)
@@ -53,9 +64,18 @@ class PlanAlternative:
     #: Whether the price assumes (and the operator should exploit) an input
     #: clustered on the grouping attributes.
     clustered: bool = False
+    #: Degree of parallelism this price assumes (1 = serial execution;
+    #: > 1 = the algorithm wrapped in a hash-partition exchange).
+    workers: int = 1
+    #: Number of hash partitions the exchange splits the input into.
+    partitions: int = 1
 
     def __lt__(self, other: "PlanAlternative") -> bool:
-        return (self.cost, self.name) < (other.cost, other.name)
+        return (self.cost, self.name, self.workers) < (other.cost, other.name, other.workers)
+
+    def label(self) -> str:
+        """Display label distinguishing the parallel variant of a name."""
+        return self.name if self.workers == 1 else f"{self.name}[dop={self.workers}]"
 
 
 @dataclass(frozen=True)
@@ -77,20 +97,39 @@ class PlanDecision:
         parts = [f"algorithm={self.chosen.name} ({mode}, est cost {self.chosen.cost:.0f}"]
         if self.chosen.clustered:
             parts.append(", clustered input: sort waived")
+        if self.chosen.workers > 1:
+            parts.append(f", dop={self.chosen.workers}, partitions={self.chosen.partitions}")
         parts.append(")")
-        others = [alt for alt in self.alternatives if alt.name != self.chosen.name]
+        others = [alt for alt in self.alternatives if alt is not self.chosen]
         if others:
-            listed = ", ".join(f"{alt.name}={alt.cost:.0f}" for alt in others)
+            listed = ", ".join(f"{alt.label()}={alt.cost:.0f}" for alt in others)
             parts.append(f"; alternatives: {listed}")
         return "".join(parts)
 
 
 class PhysicalCostModel:
-    """Prices algorithm alternatives from operator descriptors + statistics."""
+    """Prices algorithm alternatives from operator descriptors + statistics.
 
-    def __init__(self, statistics: StatisticsCatalog) -> None:
+    With ``workers > 1`` every partitionable algorithm is additionally
+    priced as a *parallel* variant: the serial cost divided by the
+    effective degree of parallelism, plus a per-worker startup charge and a
+    per-tuple exchange charge.  The startup charge makes parallelism lose
+    below an input-cardinality threshold, and the effective DOP is
+    discounted by the partition-key *skew* (top-key frequency gathered by
+    ``analyze()``) — hash partitioning cannot split one key's rows, so the
+    speedup is capped at ``1 / skew``.
+    """
+
+    def __init__(
+        self,
+        statistics: StatisticsCatalog,
+        workers: int = 1,
+        partitions: Optional[int] = None,
+    ) -> None:
         self._statistics = statistics
         self._estimator = CardinalityEstimator(statistics)
+        self._workers = max(1, workers)
+        self._partitions = partitions if partitions is not None else self._workers
 
     # ------------------------------------------------------------------
     # interesting orders
@@ -156,10 +195,11 @@ class PhysicalCostModel:
         }
         output = self._estimator.cardinality(expression)
         clustered = self._clustered_on(expression.left, quotient_names)
-        return sorted(
+        serial = [
             self._price(name, operator, quantities, output, clustered)
             for name, operator in SMALL_DIVIDE_ALGORITHMS.items()
-        )
+        ]
+        return self._with_parallel(serial, quantities, self._partition_skew(expression.left, quotient_names))
 
     def great_divide_alternatives(self, expression: GreatDivide) -> list[PlanAlternative]:
         """All great-divide algorithms priced for this shape."""
@@ -176,10 +216,11 @@ class PhysicalCostModel:
         }
         output = self._estimator.cardinality(expression)
         clustered = self._clustered_on(expression.left, a_names)
-        return sorted(
+        serial = [
             self._price(name, operator, quantities, output, clustered)
             for name, operator in GREAT_DIVIDE_ALGORITHMS.items()
-        )
+        ]
+        return self._with_parallel(serial, quantities, self._partition_skew(expression.left, a_names))
 
     def natural_join_alternatives(self, expression: NaturalJoin) -> list[PlanAlternative]:
         """Hash join vs nested loops, priced on the input sizes."""
@@ -187,10 +228,36 @@ class PhysicalCostModel:
         right = self._estimator.cardinality(expression.right)
         quantities = {"left": left, "right": right, "candidates": left, "divisor_groups": 1.0}
         output = self._estimator.cardinality(expression)
-        return sorted(
+        serial = [
             self._price(name, operator, quantities, output, clustered=False)
             for name, operator in JOIN_ALGORITHMS.items()
+        ]
+        shared = expression.left.schema.intersection(expression.right.schema)
+        if not len(shared):
+            # A cross product has no join key to partition on.
+            return sorted(serial)
+        skew = max(
+            self._partition_skew(expression.left, shared.names),
+            self._partition_skew(expression.right, shared.names),
         )
+        return self._with_parallel(serial, quantities, skew)
+
+    def aggregate_alternatives(self, expression: GroupBy) -> list[PlanAlternative]:
+        """Serial hash aggregation vs its hash-partitioned parallel variant."""
+        child = self._estimator.estimate(expression.child)
+        quantities = {
+            "left": child.cardinality,
+            "right": 0.0,
+            "candidates": child.cardinality,
+            "divisor_groups": 1.0,
+        }
+        output = self._estimator.cardinality(expression)
+        serial = [self._price("hash", HashAggregate, quantities, output, clustered=False)]
+        if not len(expression.grouping):
+            # A grand total is one global group; it cannot be partitioned.
+            return serial
+        skew = self._partition_skew(expression.child, expression.grouping.names)
+        return self._with_parallel(serial, quantities, skew)
 
     # ------------------------------------------------------------------
     # internals
@@ -222,6 +289,105 @@ class PhysicalCostModel:
             first, second = props.pairwise_operands
             cost += props.pairwise_factor * quantities[first] * quantities[second]
         return PlanAlternative(name=name, operator=operator, cost=cost, clustered=use_clustered)
+
+    def _with_parallel(
+        self,
+        alternatives: list[PlanAlternative],
+        quantities: dict[str, float],
+        skew: float,
+    ) -> list[PlanAlternative]:
+        """Extend serial alternatives with their parallel variants (ranked).
+
+        No-op at ``workers=1``; otherwise each serial price also competes
+        as ``startup·W + exchange·inputs + serial/DOP``, and the cheapest
+        overall wins — so the planner only parallelizes when the input is
+        big enough to amortize the worker startup, and never on keys whose
+        skew caps the achievable DOP.
+        """
+        if self._workers <= 1:
+            return sorted(alternatives)
+        extended = list(alternatives)
+        for alternative in alternatives:
+            parallel = self._parallel_variant(alternative, quantities, skew)
+            if parallel is not None:
+                extended.append(parallel)
+        return sorted(extended)
+
+    def _parallel_variant(
+        self,
+        alternative: PlanAlternative,
+        quantities: dict[str, float],
+        skew: float,
+    ) -> Optional[PlanAlternative]:
+        dop = self.effective_dop(skew)
+        if dop <= 1.0:
+            return None
+        inputs = quantities["left"] + quantities["right"]
+        cost = (
+            self._workers * PARALLEL_WORKER_STARTUP
+            + EXCHANGE_PER_TUPLE * inputs
+            + alternative.cost / dop
+        )
+        return PlanAlternative(
+            name=alternative.name,
+            operator=alternative.operator,
+            cost=cost,
+            clustered=alternative.clustered,
+            workers=self._workers,
+            partitions=self._partitions,
+        )
+
+    def effective_dop(self, skew: float) -> float:
+        """The speedup ceiling: workers, partitions and key skew combined.
+
+        Hash partitioning cannot split one key's rows, so when the top key
+        holds fraction ``skew`` of the input the largest partition holds at
+        least that fraction and the speedup is capped at ``1 / skew`` —
+        heavily skewed keys price parallelism out of the running.
+        """
+        dop = float(min(self._workers, self._partitions))
+        if skew > 0.0:
+            dop = min(dop, 1.0 / skew)
+        return dop
+
+    def _partition_skew(self, expression: Expression, names) -> float:
+        """Top-key frequency fraction of the partition key, when known.
+
+        Like :meth:`ordered_attributes`, the lookup traverses the
+        streaming wrappers a base scan typically sits under — selection,
+        renaming (with the key names mapped back to the base attributes)
+        and projection (whose duplicate elimination can only *reduce* the
+        top-key share, so the child's figure is a safe upper bound).
+        Anywhere else the skew is unknown and reported as 0.0 (no
+        discount).  Multi-attribute keys can only be less skewed than
+        their most selective component, so the minimum over the attributes
+        bounds the composite skew from above.
+        """
+        if isinstance(expression, (Select, Project)):
+            return self._partition_skew(expression.child, names)
+        if isinstance(expression, Rename):
+            inverse = {new: old for old, new in expression.mapping.items()}
+            return self._partition_skew(
+                expression.child, tuple(inverse.get(name, name) for name in names)
+            )
+        statistics = self._base_statistics(expression)
+        if statistics is None or not statistics.cardinality:
+            return 0.0
+        fractions = [
+            statistics.partition_skew(name)
+            for name in names
+            if statistics.top_frequency(name)
+        ]
+        if not fractions:
+            return 0.0
+        return min(fractions)
+
+    def _base_statistics(self, expression: Expression) -> Optional[TableStatistics]:
+        if isinstance(expression, RelationRef):
+            return self._statistics.table(expression.name)
+        if isinstance(expression, LiteralRelation):
+            return self._estimator.literal_statistics(expression.relation)
+        return None
 
     def _group_count(self, estimate, names) -> float:
         """Estimated number of distinct groups over ``names`` (≥ 1)."""

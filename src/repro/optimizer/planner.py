@@ -69,6 +69,11 @@ from repro.physical import (
     UnionOp,
 )
 from repro.physical.division import MergeSortDivision
+from repro.physical.parallel import (
+    PartitionedAggregate,
+    PartitionedDivision,
+    PartitionedHashJoin,
+)
 from repro.relation.relation import Relation
 
 __all__ = ["PlannerOptions", "PhysicalPlanner"]
@@ -93,6 +98,14 @@ class PlannerOptions:
     great_divide_algorithm: Optional[str] = None
     #: Natural-join algorithm (``JOIN_ALGORITHMS``) or ``None``.
     join_algorithm: Optional[str] = None
+    #: Worker-pool size for partition-parallel execution.  ``None``/1 keeps
+    #: every operator serial; above 1 the cost model *additionally* prices
+    #: a hash-partitioned parallel variant of each algorithm and the
+    #: cheaper of serial vs parallel wins per operator — small inputs stay
+    #: serial even at ``workers=8``.
+    workers: Optional[int] = None
+    #: Hash partitions per exchange (``None`` = same as ``workers``).
+    partitions: Optional[int] = None
     #: Extra keyword arguments reserved for future algorithm tuning.
     extras: Mapping[str, str] = field(default_factory=dict)
 
@@ -147,6 +160,10 @@ class PhysicalPlanner:
                     f"unknown {kind} algorithm {forced!r}; choose from "
                     f"{sorted(registry)} (or None for cost-based selection)"
                 )
+        for attribute in ("workers", "partitions"):
+            value = getattr(self.options, attribute)
+            if value is not None and value < 1:
+                raise PlanningError(f"{attribute} must be at least 1, got {value}")
 
     @property
     def cost_model(self) -> PhysicalCostModel:
@@ -155,7 +172,11 @@ class PhysicalPlanner:
             statistics = self._statistics
             if statistics is None:
                 statistics = StatisticsCatalog.from_database(self.database)
-            self._cost_model = PhysicalCostModel(statistics)
+            self._cost_model = PhysicalCostModel(
+                statistics,
+                workers=self.options.workers or 1,
+                partitions=self.options.partitions,
+            )
         return self._cost_model
 
     # ------------------------------------------------------------------
@@ -173,11 +194,7 @@ class PhysicalPlanner:
         if isinstance(expression, Rename):
             return RenameOp(self._plan(expression.child), expression.mapping)
         if isinstance(expression, GroupBy):
-            return HashAggregate(
-                self._plan(expression.child),
-                expression.grouping,
-                {spec.output: spec.build() for spec in expression.aggregates},
-            )
+            return self._plan_group_by(expression)
         if isinstance(expression, Union):
             return UnionOp(self._plan(expression.left), self._plan(expression.right))
         if isinstance(expression, Intersection):
@@ -222,7 +239,17 @@ class PhysicalPlanner:
         left = self._plan(expression.left)
         right = self._plan(expression.right)
         chosen = decision.chosen
-        if chosen.operator is MergeSortDivision:
+        if chosen.workers > 1:
+            operator: PhysicalOperator = PartitionedDivision(
+                left,
+                right,
+                algorithm=chosen.name,
+                kind="small" if kind == "small divide" else "great",
+                partitions=chosen.partitions,
+                workers=chosen.workers,
+                assume_clustered=chosen.clustered,
+            )
+        elif chosen.operator is MergeSortDivision:
             operator = MergeSortDivision(left, right, assume_clustered=chosen.clustered)
         else:
             operator = chosen.operator(left, right)
@@ -234,10 +261,45 @@ class PhysicalPlanner:
             self.cost_model.natural_join_alternatives(expression),
             self.options.join_algorithm,
         )
-        operator = decision.chosen.operator(
-            self._plan(expression.left), self._plan(expression.right)
-        )
+        left = self._plan(expression.left)
+        right = self._plan(expression.right)
+        chosen = decision.chosen
+        if chosen.workers > 1:
+            operator: PhysicalOperator = PartitionedHashJoin(
+                left,
+                right,
+                algorithm=chosen.name,
+                partitions=chosen.partitions,
+                workers=chosen.workers,
+            )
+        else:
+            operator = chosen.operator(left, right)
         return self._record(operator, decision)
+
+    def _plan_group_by(self, expression: GroupBy) -> PhysicalOperator:
+        aggregations = {spec.output: spec.build() for spec in expression.aggregates}
+        child = self._plan(expression.child)
+        if (self.options.workers or 1) > 1 and len(expression.grouping):
+            # Parallel sessions cost serial vs partitioned aggregation; the
+            # decision is recorded either way so explain() shows the same
+            # rationale shape regardless of which variant won.
+            decision = decision_for(
+                "aggregate", self.cost_model.aggregate_alternatives(expression)
+            )
+            chosen = decision.chosen
+            if chosen.workers > 1:
+                operator: PhysicalOperator = PartitionedAggregate(
+                    child,
+                    expression.grouping,
+                    aggregations,
+                    partitions=chosen.partitions,
+                    workers=chosen.workers,
+                    specs=expression.aggregates,
+                )
+            else:
+                operator = HashAggregate(child, expression.grouping, aggregations)
+            return self._record(operator, decision)
+        return HashAggregate(child, expression.grouping, aggregations)
 
     def _record(self, operator: PhysicalOperator, decision: PlanDecision) -> PhysicalOperator:
         operator.decision = decision

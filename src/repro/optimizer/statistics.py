@@ -11,6 +11,7 @@ estimates feed the cost model that ranks rewrite alternatives.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 from typing import Any
@@ -121,6 +122,13 @@ class TableStatistics:
     #: on — records composite clustering (``clustered(["a", "b"])``) that
     #: the per-attribute ``sorted_attributes`` flags cannot express.
     lexicographic_prefix: tuple[str, ...] = ()
+    #: Per-attribute frequency of the *most common* value (the top key).
+    #: ``partition_skew`` derives from it: a hash-partition exchange on an
+    #: attribute can never split the rows of one value, so the largest
+    #: partition holds at least ``top_frequency / cardinality`` of the rows
+    #: — the cost model uses that fraction to discount parallelism on
+    #: heavily skewed keys.
+    top_frequencies: Mapping[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_relation(cls, relation: Relation) -> "TableStatistics":
@@ -137,14 +145,16 @@ class TableStatistics:
         minima: dict[str, Any] = {}
         maxima: dict[str, Any] = {}
         sorted_names: set[str] = set()
+        top_frequencies: dict[str, int] = {}
         prefix: tuple[str, ...] = ()
         if tuples:
             for name, column in zip(names, zip(*tuples)):
-                values = set(column)
-                distinct[name] = len(values)
+                counts = Counter(column)
+                distinct[name] = len(counts)
+                top_frequencies[name] = max(counts.values())
                 try:
-                    minima[name] = min(values)
-                    maxima[name] = max(values)
+                    minima[name] = min(counts)
+                    maxima[name] = max(counts)
                 except TypeError:
                     pass
                 if _non_decreasing(column):
@@ -157,6 +167,7 @@ class TableStatistics:
             maxima=maxima,
             sorted_attributes=frozenset(sorted_names),
             lexicographic_prefix=prefix,
+            top_frequencies=top_frequencies,
         )
 
     def distinct(self, attribute: str) -> int:
@@ -174,6 +185,22 @@ class TableStatistics:
     def is_sorted(self, attribute: str) -> bool:
         """Whether the table's scan order is non-decreasing on ``attribute``."""
         return attribute in self.sorted_attributes
+
+    def top_frequency(self, attribute: str) -> int:
+        """Row count of the attribute's most frequent value (0 when unknown)."""
+        return self.top_frequencies.get(attribute, 0)
+
+    def partition_skew(self, attribute: str) -> float:
+        """Fraction of the rows carrying the attribute's most frequent value.
+
+        The lower bound on the largest hash partition when partitioning on
+        this attribute (equal keys cannot be split): 0.0 means unknown or
+        empty, 1.0 means every row shares one key and partitioning cannot
+        help at all.
+        """
+        if not self.cardinality:
+            return 0.0
+        return self.top_frequency(attribute) / self.cardinality
 
 
 class StatisticsCatalog:

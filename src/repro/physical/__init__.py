@@ -34,6 +34,14 @@ from repro.physical.division import (
     NestedLoopsGreatDivision,
 )
 from repro.physical.executor import ExecutionResult, execute_plan
+from repro.physical.parallel import (
+    HashPartitionExchange,
+    PartitionedAggregate,
+    PartitionedDivision,
+    PartitionedHashJoin,
+    PartitionedOperator,
+    PartitionSource,
+)
 from repro.physical.joins import (
     JOIN_ALGORITHMS,
     HashAntiJoin,
@@ -78,6 +86,13 @@ __all__ = [
     "HashLeftOuterJoin",
     # aggregation
     "HashAggregate",
+    # partition-parallel exchange
+    "HashPartitionExchange",
+    "PartitionSource",
+    "PartitionedOperator",
+    "PartitionedDivision",
+    "PartitionedHashJoin",
+    "PartitionedAggregate",
     # division
     "NestedLoopsDivision",
     "HashDivision",

@@ -156,18 +156,35 @@ class PlanStatistics:
 
     #: operator label → number of tuples that operator emitted
     tuples_by_operator: dict[str, int] = field(default_factory=dict)
+    #: exchange label → peak per-partition counter of its inner sub-plans
+    #: (the *maximum* over partitions — partitions hold key-disjoint slices
+    #: of the work, so summing them would overstate the largest single
+    #: intermediate a partitioned run ever materializes)
+    partition_peaks: dict[str, int] = field(default_factory=dict)
     #: wall-clock seconds spent executing the plan (filled by the executor)
     elapsed_seconds: float = 0.0
 
     @property
     def total_tuples(self) -> int:
-        """Total number of tuples produced by all operators."""
+        """Total number of tuples produced by all (plan-level) operators.
+
+        Partition-local counters are intentionally excluded: an exchange
+        operator's own output count already covers the concatenated
+        partition outputs, so including the per-partition figures would
+        double-charge the partitioned operators.
+        """
         return sum(self.tuples_by_operator.values())
 
     @property
     def max_intermediate(self) -> int:
-        """The largest single intermediate result (the paper's key metric)."""
-        return max(self.tuples_by_operator.values(), default=0)
+        """The largest single intermediate result (the paper's key metric).
+
+        Covers both plan-level operators and the per-partition peaks of
+        exchange operators (max over concurrent partitions, not their sum).
+        """
+        largest = max(self.tuples_by_operator.values(), default=0)
+        peak = max(self.partition_peaks.values(), default=0)
+        return max(largest, peak)
 
     def __getitem__(self, label: str) -> int:
         return self.tuples_by_operator.get(label, 0)
@@ -320,6 +337,11 @@ class PhysicalOperator:
     #: planner on the instance; ``None`` for directly constructed plans).
     decision = None
 
+    #: True for exchange operators that fan work out over partitions; their
+    #: ``workers`` attribute is the runtime degree-of-parallelism knob
+    #: :meth:`set_workers` adjusts.
+    parallel = False
+
     #: Process-wide construction counter backing collision-free labels.
     _construction_ids = itertools.count()
 
@@ -376,6 +398,24 @@ class PhysicalOperator:
             raise ExecutionError(f"batch size must be positive, got {size}")
         for operator in self.walk():
             operator.batch_size = size
+
+    def set_workers(self, workers: int) -> None:
+        """Set the degree of parallelism of every exchange in the subtree.
+
+        A runtime knob like :meth:`set_batch_size`: it retargets existing
+        exchange operators (``parallel = True``) without changing the plan
+        shape, so a plan built for N workers can execute with M.  Serial
+        plans are unaffected.
+        """
+        if workers < 1:
+            raise ExecutionError(f"workers must be positive, got {workers}")
+        for operator in self.walk():
+            if operator.parallel:
+                operator.workers = workers
+
+    def partition_peaks(self) -> dict[str, int]:
+        """Per-partition peak counters (exchange operators override)."""
+        return {}
 
     # ------------------------------------------------------------------
     # execution
@@ -495,8 +535,16 @@ class PhysicalOperator:
 
 
 def collect_statistics(plan: PhysicalOperator) -> PlanStatistics:
-    """Collect the per-operator tuple counts after a plan has been executed."""
+    """Collect the per-operator tuple counts after a plan has been executed.
+
+    Exchange operators additionally contribute their per-partition peak
+    counters (max over partitions) under ``"NN:name/inner-label"`` keys,
+    feeding :attr:`PlanStatistics.max_intermediate` without inflating the
+    plan-level totals.
+    """
     stats = PlanStatistics()
     for index, operator in enumerate(plan.walk()):
         stats.tuples_by_operator[f"{index:02d}:{operator.name}"] = operator.tuples_out
+        for label, value in operator.partition_peaks().items():
+            stats.partition_peaks[f"{index:02d}:{operator.name}/{label}"] = value
     return stats

@@ -38,17 +38,27 @@ __all__ = [
 ]
 
 
+def _great_division_schemas(dividend: PhysicalOperator, divisor: PhysicalOperator):
+    """Validated ``(A, B, C)`` schemas of a great divide over two operators.
+
+    Shared between :class:`GreatDivisionOperator` and the partition-parallel
+    wrapper, so the two accept and reject exactly the same input shapes.
+    """
+    shared = dividend.schema.intersection(divisor.schema)
+    if len(shared) == 0:
+        raise ExecutionError("great divide: dividend and divisor must share attributes")
+    quotient_a = dividend.schema.difference(shared)
+    if len(quotient_a) == 0:
+        raise ExecutionError("great divide: the dividend needs attributes outside B")
+    group_c = divisor.schema.difference(shared)
+    return quotient_a, shared, group_c
+
+
 class GreatDivisionOperator(PhysicalOperator):
     """Common base for the physical great-divide algorithms."""
 
     def __init__(self, dividend: PhysicalOperator, divisor: PhysicalOperator) -> None:
-        shared = dividend.schema.intersection(divisor.schema)
-        if len(shared) == 0:
-            raise ExecutionError("great divide: dividend and divisor must share attributes")
-        quotient_a = dividend.schema.difference(shared)
-        if len(quotient_a) == 0:
-            raise ExecutionError("great divide: the dividend needs attributes outside B")
-        group_c = divisor.schema.difference(shared)
+        quotient_a, shared, group_c = _great_division_schemas(dividend, divisor)
         super().__init__(quotient_a.union(group_c), (dividend, divisor))
         self.a = quotient_a
         self.b = shared

@@ -49,15 +49,22 @@ class ExecutionResult:
         return len(self.relation)
 
 
-def execute_plan(plan: PhysicalOperator, batch_size: Optional[int] = None) -> ExecutionResult:
+def execute_plan(
+    plan: PhysicalOperator,
+    batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> ExecutionResult:
     """Execute ``plan`` from a cold start and return result + statistics.
 
     ``batch_size`` (when given) sets the chunk size for the whole plan
-    before execution; the produced relation and per-operator tuple counts
-    are independent of it.
+    before execution; ``workers`` (when given) retargets the degree of
+    parallelism of any exchange operators in the plan.  The produced
+    relation and per-operator tuple counts are independent of both.
     """
     if batch_size is not None:
         plan.set_batch_size(batch_size)
+    if workers is not None:
+        plan.set_workers(workers)
     plan.reset_counters()
     plan.assign_labels()
     start = time.perf_counter()

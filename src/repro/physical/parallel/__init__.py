@@ -1,0 +1,39 @@
+"""Partition-parallel execution: hash-partition exchange + worker pool.
+
+Division, natural joins and grouped aggregation are all independent per
+key group (quotient key, join key, grouping key), which makes them
+embarrassingly parallel under hash partitioning: split the input into
+key-disjoint partitions, run the existing *serial* algorithm per partition
+— on a process pool when ``workers > 1`` — and concatenate.  No key spans
+two partitions, so the concatenated result is bit-identical to the serial
+run and needs no merge step.
+"""
+
+from repro.physical.parallel.exchange import HashPartitionExchange, PartitionSource
+from repro.physical.parallel.operators import (
+    PartitionedAggregate,
+    PartitionedDivision,
+    PartitionedHashJoin,
+    PartitionedOperator,
+)
+from repro.physical.parallel.pool import (
+    PartitionTask,
+    build_subplan,
+    execute_task,
+    run_tasks,
+    shutdown_pool,
+)
+
+__all__ = [
+    "HashPartitionExchange",
+    "PartitionSource",
+    "PartitionedOperator",
+    "PartitionedDivision",
+    "PartitionedHashJoin",
+    "PartitionedAggregate",
+    "PartitionTask",
+    "build_subplan",
+    "execute_task",
+    "run_tasks",
+    "shutdown_pool",
+]

@@ -1,0 +1,370 @@
+"""Partition-wise wrappers: run a serial algorithm per key-disjoint partition.
+
+Each wrapper hash-partitions its probe input(s) on the attribute set that
+determines the result groups — quotient attributes for division, the shared
+attributes for a natural join, the grouping attributes for aggregation —
+then runs the *unchanged* serial algorithm per partition (on a worker pool
+when ``workers > 1``) and concatenates the outputs.  Because no key spans
+two partitions the concatenation is exactly the serial result: same tuples,
+and the wrapper's own output counter equals the serial operator's.
+
+The wrappers record per-partition statistics after execution:
+
+* :attr:`PartitionedOperator.partition_input_sizes` — tuples routed to each
+  partition (the skew figure ``explain(analyze=True)`` reports);
+* :attr:`PartitionedOperator.partition_statistics` — each partition
+  sub-plan's per-operator tuple counters, aggregated as a *maximum* over
+  partitions by :meth:`PartitionedOperator.partition_peaks` — partitions
+  hold disjoint slices of the work, so the largest single intermediate of a
+  partitioned run is the biggest per-partition intermediate, not their sum.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.errors import ExecutionError
+from repro.physical.aggregate import HashAggregate
+from repro.physical.base import Chunk, PhysicalOperator, PhysicalProperties, chunked
+from repro.physical.division.great_divide_ops import (
+    GREAT_DIVIDE_ALGORITHMS,
+    _great_division_schemas,
+)
+from repro.physical.division.small_divide_ops import SMALL_DIVIDE_ALGORITHMS, _division_schemas
+from repro.physical.joins import JOIN_ALGORITHMS
+from repro.physical.parallel.exchange import HashPartitionExchange
+from repro.physical.parallel.pool import PartitionTask, run_tasks
+from repro.relation.aggregates import Aggregate
+from repro.relation.schema import AttributeNames, Schema, as_schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algebra.expressions import AggregateSpec
+
+__all__ = [
+    "PartitionedOperator",
+    "PartitionedDivision",
+    "PartitionedHashJoin",
+    "PartitionedAggregate",
+]
+
+
+class PartitionedOperator(PhysicalOperator):
+    """Base of the exchange wrappers: partition, fan out, concatenate."""
+
+    #: Marks exchange operators for :meth:`PhysicalOperator.set_workers`.
+    parallel = True
+
+    def __init__(
+        self,
+        schema: Schema,
+        children: tuple[PhysicalOperator, ...],
+        key: AttributeNames,
+        partitions: int,
+        workers: int,
+    ) -> None:
+        if partitions < 1:
+            raise ExecutionError(f"partitions must be positive, got {partitions}")
+        if workers < 1:
+            raise ExecutionError(f"workers must be positive, got {workers}")
+        super().__init__(schema, children)
+        self._key = as_schema(key)
+        self.partitions = partitions
+        self.workers = workers
+        #: Tuples routed to each partition by the most recent execution.
+        self.partition_input_sizes: list[int] = []
+        #: Per-partition sub-plan counters of the most recent execution.
+        self.partition_statistics: list[dict[str, int]] = []
+
+    @property
+    def partition_key(self) -> Schema:
+        """The attribute set the exchange hashes on."""
+        return self._key
+
+    def partition_peaks(self) -> dict[str, int]:
+        """Per-inner-operator peak counters: max over partitions, not sum.
+
+        Partition sub-plans hold key-disjoint slices, so the largest single
+        intermediate result of the partitioned run is the largest
+        per-partition figure — this is what
+        :func:`~repro.physical.base.collect_statistics` folds into
+        :attr:`~repro.physical.base.PlanStatistics.partition_peaks`.
+        """
+        peaks: dict[str, int] = {}
+        for counters in self.partition_statistics:
+            for label, value in counters.items():
+                if value > peaks.get(label, 0):
+                    peaks[label] = value
+        return peaks
+
+    def _tasks(self) -> list[PartitionTask]:
+        """Consume the inputs and describe one serial sub-plan per partition."""
+        raise NotImplementedError
+
+    def _inline_operator(self) -> PhysicalOperator:
+        """The serial operator over the *actual* children (single-partition)."""
+        raise NotImplementedError
+
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        self.partition_input_sizes = []
+        self.partition_statistics = []
+        if self.partitions == 1:
+            # Zero-overhead serial fallback: no hash pass, no block
+            # materialization, no pool — the serial operator streams
+            # straight over the wrapper's children.
+            yield from self._produce_inline()
+            return
+        tasks = self._tasks()
+        schema = self._schema
+        for tuples, counters in run_tasks(tasks, self.workers):
+            self.partition_statistics.append(counters)
+            yield from chunked(tuples, schema, self.batch_size)
+
+    def _produce_inline(self) -> Iterator[Chunk]:
+        operator = self._inline_operator()
+        operator.set_batch_size(self.batch_size)
+        schema = self._schema
+        for chunk in operator.chunks():
+            yield chunk.aligned(schema)
+        self.partition_input_sizes = [
+            sum(child.tuples_out for child in self._children)
+        ]
+        self.partition_statistics = [{f"00:{operator.name}": operator.tuples_out}]
+
+    def _exchange_summary(self) -> str:
+        return f"partitions={self.partitions}, workers={self.workers}"
+
+
+class PartitionedDivision(PartitionedOperator):
+    """Division partitioned on the quotient attributes.
+
+    Sound for every division algorithm because division is independent per
+    quotient-key group: whether a candidate ``a`` belongs to the quotient
+    depends only on the dividend tuples carrying ``a`` (all in one
+    partition) and on the divisor, which is *broadcast* — shipped whole to
+    every partition, exactly like the small relation of a Grace hash join.
+    For the great divide the same holds per ``(a, c)`` pair, so
+    partitioning on ``A`` alone is sufficient.
+
+    Hash partitioning keeps contiguous equal-key runs contiguous within
+    their bucket, so a dividend that arrives clustered on the quotient
+    attributes stays clustered per partition and the streaming merge-group
+    mode of :class:`~repro.physical.division.MergeSortDivision` remains
+    valid (``assume_clustered`` is forwarded).
+    """
+
+    name = "partitioned_division"
+
+    #: Exchange pass over both inputs plus the serial algorithm per
+    #: partition; the cost model prices the parallel variant explicitly
+    #: (startup-per-worker + partition pass + serial cost / DOP), so these
+    #: coefficients only matter if the operator is priced standalone.
+    properties = PhysicalProperties(
+        streaming=False, startup_cost=32.0, per_input_cost=2.5, per_output_cost=1.0
+    )
+
+    def __init__(
+        self,
+        dividend: PhysicalOperator,
+        divisor: PhysicalOperator,
+        algorithm: str = "hash",
+        kind: str = "small",
+        partitions: int = 2,
+        workers: int = 1,
+        assume_clustered: bool = False,
+    ) -> None:
+        if kind == "small":
+            if algorithm not in SMALL_DIVIDE_ALGORITHMS:
+                raise ExecutionError(
+                    f"unknown small-divide algorithm {algorithm!r}; "
+                    f"choose from {sorted(SMALL_DIVIDE_ALGORITHMS)}"
+                )
+            schemas = _division_schemas(dividend, divisor)
+            key, schema = schemas.a, schemas.quotient
+        elif kind == "great":
+            if algorithm not in GREAT_DIVIDE_ALGORITHMS:
+                raise ExecutionError(
+                    f"unknown great-divide algorithm {algorithm!r}; "
+                    f"choose from {sorted(GREAT_DIVIDE_ALGORITHMS)}"
+                )
+            key, _shared, group = _great_division_schemas(dividend, divisor)
+            schema = key.union(group)
+        else:
+            raise ExecutionError(f"unknown division kind {kind!r}; use 'small' or 'great'")
+        super().__init__(schema, (dividend, divisor), key, partitions, workers)
+        self.algorithm = algorithm
+        self.kind = kind
+        self.assume_clustered = assume_clustered
+
+    def _tasks(self) -> list[PartitionTask]:
+        dividend, divisor = self._children
+        exchange = HashPartitionExchange(self._key, self.partitions)
+        divisor_block = exchange.collect(divisor)
+        buckets = exchange.partition(dividend)
+        self.partition_input_sizes = [len(bucket) for bucket in buckets]
+        options: tuple[tuple[str, Any], ...] = ()
+        if self.kind == "small" and self.algorithm == "merge_sort" and self.assume_clustered:
+            options = (("assume_clustered", True),)
+        kind = "small_divide" if self.kind == "small" else "great_divide"
+        dividend_names = dividend.schema.names
+        divisor_names = divisor.schema.names
+        return [
+            PartitionTask(
+                kind=kind,
+                algorithm=self.algorithm,
+                inputs=((dividend_names, bucket), (divisor_names, divisor_block)),
+                options=options,
+            )
+            for bucket in buckets
+            if bucket
+        ]
+
+    def _inline_operator(self) -> PhysicalOperator:
+        dividend, divisor = self._children
+        if self.kind == "small":
+            operator_class = SMALL_DIVIDE_ALGORITHMS[self.algorithm]
+            if self.algorithm == "merge_sort" and self.assume_clustered:
+                return operator_class(dividend, divisor, assume_clustered=True)
+            return operator_class(dividend, divisor)
+        return GREAT_DIVIDE_ALGORITHMS[self.algorithm](dividend, divisor)
+
+    def describe(self) -> str:
+        mode = f"{self.algorithm}(streaming)" if self.assume_clustered else self.algorithm
+        return f"PartitionedDivision[{mode}, {self._exchange_summary()}]"
+
+
+class PartitionedHashJoin(PartitionedOperator):
+    """Natural join partitioned on the shared attributes (Grace hash join).
+
+    Both inputs are partitioned with the *same* hash on the join key, so
+    every joinable pair meets in exactly one partition and every output
+    tuple (whose key is part of the tuple) is produced exactly once across
+    partitions.  Partitions where either side is empty produce nothing and
+    are skipped outright.
+    """
+
+    name = "partitioned_hash_join"
+
+    properties = PhysicalProperties(startup_cost=32.0, per_input_cost=2.5, per_output_cost=1.0)
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        algorithm: str = "hash",
+        partitions: int = 2,
+        workers: int = 1,
+    ) -> None:
+        if algorithm not in JOIN_ALGORITHMS:
+            raise ExecutionError(
+                f"unknown natural-join algorithm {algorithm!r}; "
+                f"choose from {sorted(JOIN_ALGORITHMS)}"
+            )
+        key = left.schema.intersection(right.schema)
+        if len(key) == 0:
+            raise ExecutionError(
+                "partitioned join needs shared attributes to partition on; "
+                "a cross product cannot be hash-partitioned"
+            )
+        super().__init__(left.schema.union(right.schema), (left, right), key, partitions, workers)
+        self.algorithm = algorithm
+
+    def _tasks(self) -> list[PartitionTask]:
+        left, right = self._children
+        exchange = HashPartitionExchange(self._key, self.partitions)
+        left_buckets = exchange.partition(left)
+        right_buckets = exchange.partition(right)
+        self.partition_input_sizes = [
+            len(left_bucket) + len(right_bucket)
+            for left_bucket, right_bucket in zip(left_buckets, right_buckets)
+        ]
+        left_names = left.schema.names
+        right_names = right.schema.names
+        return [
+            PartitionTask(
+                kind="natural_join",
+                algorithm=self.algorithm,
+                inputs=((left_names, left_bucket), (right_names, right_bucket)),
+            )
+            for left_bucket, right_bucket in zip(left_buckets, right_buckets)
+            if left_bucket and right_bucket
+        ]
+
+    def _inline_operator(self) -> PhysicalOperator:
+        left, right = self._children
+        return JOIN_ALGORITHMS[self.algorithm](left, right)
+
+    def describe(self) -> str:
+        keys = ", ".join(self._key.names)
+        return f"PartitionedHashJoin[{keys}; {self.algorithm}, {self._exchange_summary()}]"
+
+
+class PartitionedAggregate(PartitionedOperator):
+    """Grouped aggregation partitioned on the grouping attributes.
+
+    Every group lives wholly inside one partition, so per-partition
+    :class:`~repro.physical.aggregate.HashAggregate` runs produce final
+    (not partial) aggregates and the concatenation needs no re-merge.
+    Requires a non-empty grouping key; the single global group of a
+    grand total cannot be partitioned.
+
+    The built aggregate ``(label, fn)`` pairs are closures and do not
+    pickle, so when the declarative
+    :class:`~repro.algebra.expressions.AggregateSpec` list is available
+    (``specs``) the task ships *it* and the worker rebuilds the functions;
+    without specs, custom functions that cannot cross a process boundary
+    automatically degrade to inline execution in the pool layer — same
+    result, no parallelism.
+    """
+
+    name = "partitioned_aggregate"
+
+    properties = PhysicalProperties(
+        streaming=False, startup_cost=16.0, per_input_cost=2.5, per_output_cost=1.0
+    )
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        grouping: AttributeNames,
+        aggregations: Mapping[str, Aggregate],
+        partitions: int = 2,
+        workers: int = 1,
+        specs: Optional[Sequence["AggregateSpec"]] = None,
+    ) -> None:
+        grouping_schema = child.schema.project(as_schema(grouping))
+        if len(grouping_schema) == 0:
+            raise ExecutionError("partitioned aggregation needs grouping attributes")
+        schema = Schema(grouping_schema.names + tuple(aggregations.keys()))
+        super().__init__(schema, (child,), grouping_schema, partitions, workers)
+        self._aggregations = dict(aggregations)
+        self._specs = tuple(specs) if specs is not None else None
+
+    def _tasks(self) -> list[PartitionTask]:
+        (child,) = self._children
+        exchange = HashPartitionExchange(self._key, self.partitions)
+        buckets = exchange.partition(child)
+        self.partition_input_sizes = [len(bucket) for bucket in buckets]
+        child_names = child.schema.names
+        if self._specs is not None:
+            options = (("grouping", self._key.names), ("specs", self._specs))
+        else:
+            options = (("grouping", self._key.names), ("aggregations", self._aggregations))
+        return [
+            PartitionTask(kind="aggregate", algorithm="hash", inputs=((child_names, bucket),), options=options)
+            for bucket in buckets
+            if bucket
+        ]
+
+    def _inline_operator(self) -> PhysicalOperator:
+        (child,) = self._children
+        return HashAggregate(child, self._key.names, self._aggregations)
+
+    def describe(self) -> str:
+        aggregates = ", ".join(
+            f"{label}→{output}" for output, (label, _fn) in self._aggregations.items()
+        )
+        keys = ", ".join(self._key.names)
+        return f"PartitionedAggregate[{keys}; {aggregates}; {self._exchange_summary()}]"
+
+

@@ -1,0 +1,189 @@
+"""Worker-pool execution of partition sub-plans.
+
+A partition task is a small, pickle-friendly description of one serial
+sub-plan: the algorithm's *registry name* (not a class object), the input
+partitions as compact ``(attribute names, aligned tuple block)`` pairs, and
+any extra operator options.  Workers rebuild the sub-plan over
+:class:`~repro.physical.parallel.exchange.PartitionSource` leaves, run it to
+completion and ship back the output block plus the sub-plan's per-operator
+tuple counters (so the parent can aggregate intermediate-result statistics
+across partitions).
+
+Execution strategy, in order of preference:
+
+* ``workers > 1`` and the tasks pickle cleanly → a shared
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  The pool is created
+  once per process and reused (grown on demand), so repeated queries do not
+  pay worker startup each time.
+* otherwise — one worker requested, a single task, options that cannot
+  cross a process boundary (e.g. lambda aggregate functions), or a broken
+  pool — the tasks run inline, in order, in the parent process.  Results
+  are identical either way; only the parallelism differs.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ExecutionError
+from repro.physical.aggregate import HashAggregate
+from repro.physical.base import PhysicalOperator
+from repro.physical.division.great_divide_ops import GREAT_DIVIDE_ALGORITHMS
+from repro.physical.division.small_divide_ops import SMALL_DIVIDE_ALGORITHMS
+from repro.physical.joins import JOIN_ALGORITHMS
+from repro.physical.parallel.exchange import PartitionSource
+
+__all__ = ["PartitionTask", "build_subplan", "execute_task", "run_tasks", "shutdown_pool"]
+
+#: One input of a partition task: (attribute names, aligned tuple block).
+InputBlock = tuple[tuple[str, ...], list[tuple[Any, ...]]]
+
+
+@dataclass(frozen=True)
+class PartitionTask:
+    """A serial sub-plan over one partition, described by value.
+
+    ``kind`` selects the operator family (``small_divide``, ``great_divide``,
+    ``natural_join``, ``aggregate``); ``algorithm`` is the registry name
+    within that family; ``options`` are extra keyword arguments for the
+    operator constructor, as items so the dataclass stays hashable-free and
+    picklable.
+    """
+
+    kind: str
+    algorithm: str
+    inputs: tuple[InputBlock, ...]
+    options: tuple[tuple[str, Any], ...] = field(default=())
+
+
+def build_subplan(task: PartitionTask) -> PhysicalOperator:
+    """Reconstruct the serial sub-plan a :class:`PartitionTask` describes."""
+    sources = tuple(PartitionSource(names, tuples) for names, tuples in task.inputs)
+    options = dict(task.options)
+    if task.kind == "small_divide":
+        return SMALL_DIVIDE_ALGORITHMS[task.algorithm](*sources, **options)
+    if task.kind == "great_divide":
+        return GREAT_DIVIDE_ALGORITHMS[task.algorithm](*sources, **options)
+    if task.kind == "natural_join":
+        return JOIN_ALGORITHMS[task.algorithm](*sources, **options)
+    if task.kind == "aggregate":
+        (child,) = sources
+        specs = options.get("specs")
+        if specs is not None:
+            # Declarative aggregate specs ship across process boundaries
+            # (the built (label, fn) closures do not); rebuild them here.
+            aggregations = {spec.output: spec.build() for spec in specs}
+        else:
+            aggregations = options["aggregations"]
+        return HashAggregate(child, options["grouping"], aggregations)
+    raise ExecutionError(f"unknown partition task kind {task.kind!r}")
+
+
+def execute_task(task: PartitionTask) -> tuple[list[tuple[Any, ...]], dict[str, int]]:
+    """Run one partition sub-plan to completion.
+
+    Returns the output as a block of tuples aligned with the sub-plan's
+    schema, plus the sub-plan's per-operator tuple counters keyed in the
+    same ``"NN:name"`` walk-position format
+    :func:`~repro.physical.base.collect_statistics` uses.
+    """
+    plan = build_subplan(task)
+    schema = plan.schema
+    tuples: list[tuple[Any, ...]] = []
+    extend = tuples.extend
+    for chunk in plan.chunks():
+        extend(chunk.aligned(schema).tuples)
+    counters = {
+        f"{index:02d}:{operator.name}": operator.tuples_out
+        for index, operator in enumerate(plan.walk())
+    }
+    return tuples, counters
+
+
+# ----------------------------------------------------------------------
+# the shared process pool
+# ----------------------------------------------------------------------
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+
+
+def _shared_pool(workers: int) -> ProcessPoolExecutor:
+    """The process-wide worker pool, grown to at least ``workers`` slots."""
+    global _pool, _pool_workers
+    if _pool is None or _pool_workers < workers:
+        if _pool is not None:
+            _pool.shutdown(wait=True)
+        _pool = ProcessPoolExecutor(max_workers=workers)
+        _pool_workers = workers
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (tests; a fresh one is built on demand)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=True)
+    _pool = None
+    _pool_workers = 0
+
+
+def _ships_cleanly(tasks: list[PartitionTask]) -> bool:
+    """Whether the tasks' *options* survive a process boundary.
+
+    The input blocks are plain tuples of relation values and almost always
+    pickle; the options can carry arbitrary callables (aggregate functions),
+    which is where pickling realistically fails.  Checking just the options
+    keeps the pre-flight cheap — a block that still fails to pickle is
+    caught at dispatch time and falls back to inline execution.
+    """
+    try:
+        pickle.dumps([task.options for task in tasks])
+        return True
+    except Exception:
+        return False
+
+
+def run_tasks(
+    tasks: list[PartitionTask], workers: int
+) -> list[tuple[list[tuple[Any, ...]], dict[str, int]]]:
+    """Execute partition tasks, returning (output block, counters) per task.
+
+    Results arrive in task order.  Parallel dispatch is used only when it
+    can help (more than one task, more than one worker) and the tasks ship
+    cleanly; any pool-layer failure falls back to inline execution, which
+    is always correct because tasks are self-contained values.
+    """
+    if workers > 1 and len(tasks) > 1 and _ships_cleanly(tasks):
+        try:
+            return _bounded_map(_shared_pool(workers), tasks, limit=workers)
+        except (pickle.PicklingError, AttributeError, TypeError, BrokenProcessPool):
+            # Unpicklable payload discovered at dispatch, or the pool died
+            # under us: reset and compute inline.
+            shutdown_pool()
+    return [execute_task(task) for task in tasks]
+
+
+def _bounded_map(
+    pool: ProcessPoolExecutor, tasks: list[PartitionTask], limit: int
+) -> list[tuple[list[tuple[Any, ...]], dict[str, int]]]:
+    """``pool.map`` with at most ``limit`` tasks in flight, in task order.
+
+    The shared pool only ever *grows* (cheap reuse across queries), so a
+    run that asks for fewer workers than the pool holds must be throttled
+    here — otherwise ``execute_plan(plan, workers=2)`` after a 4-worker
+    query would still fan out 4-wide and defeat the resource cap.
+    """
+    in_flight: deque = deque()
+    results: list[tuple[list[tuple[Any, ...]], dict[str, int]]] = []
+    for task in tasks:
+        if len(in_flight) >= limit:
+            results.append(in_flight.popleft().result())
+        in_flight.append(pool.submit(execute_task, task))
+    while in_flight:
+        results.append(in_flight.popleft().result())
+    return results

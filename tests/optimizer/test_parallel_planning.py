@@ -1,0 +1,285 @@
+"""Cost-based parallel planning: when partitioning pays and when it does not.
+
+Pins the acceptance rules of the parallel subsystem:
+
+* the committed (small) benchmark scenarios stay **serial** even when the
+  session allows ``workers=4`` — the per-worker startup charge prices
+  parallelism out below an input-cardinality threshold;
+* large dividends flip the same query to a :class:`PartitionedDivision`;
+* heavily skewed partition keys (top-key frequency from ``analyze()``)
+  discount the effective DOP and keep the plan serial.
+"""
+
+import pytest
+
+from repro.algebra import builders as B
+from repro.algebra.catalog import Catalog
+from repro.algebra.expressions import AggregateSpec
+from repro.errors import PlanningError
+from repro.optimizer import PhysicalPlanner, PlannerOptions
+from repro.optimizer.physical_cost import (
+    PARALLEL_WORKER_STARTUP,
+    PhysicalCostModel,
+    decision_for,
+)
+from repro.optimizer.statistics import StatisticsCatalog, TableStatistics
+from repro.physical import (
+    HashAggregate,
+    HashDivision,
+    HashJoin,
+    PartitionedAggregate,
+    PartitionedDivision,
+    PartitionedHashJoin,
+)
+from repro.relation import Relation
+from repro.workloads import make_division_workload
+
+
+def catalog_for(dividend, divisor) -> Catalog:
+    catalog = Catalog()
+    catalog.add_table("r1", dividend)
+    catalog.add_table("r2", divisor)
+    return catalog
+
+
+def large_statistics(cardinality=100_000, top_frequency=None) -> StatisticsCatalog:
+    """Fabricated statistics of a big dividend (plans stay cheap to build)."""
+    top = {"a": top_frequency} if top_frequency else {}
+    return StatisticsCatalog(
+        {
+            "r1": TableStatistics(
+                cardinality=cardinality,
+                distinct_values={"a": max(1, cardinality // 12), "b": 60},
+                top_frequencies=top,
+            ),
+            "r2": TableStatistics(cardinality=10, distinct_values={"b": 10}),
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def small_catalog():
+    workload = make_division_workload(
+        num_groups=400, divisor_size=8, containing_fraction=0.25, extra_values_per_group=6, seed=1
+    )
+    return catalog_for(workload.dividend, workload.divisor)
+
+
+class TestDivisionParallelChoice:
+    def test_committed_small_scenarios_stay_serial(self, small_catalog):
+        """Pinned: the committed benchmark scenarios are below the
+        parallelism threshold, so ``workers=4`` must not change their plans."""
+        planner = PhysicalPlanner(small_catalog, PlannerOptions(workers=4))
+        plan = planner.plan(B.divide(small_catalog.ref("r1"), small_catalog.ref("r2")))
+        assert isinstance(plan, HashDivision)
+        decision = planner.decisions[0]
+        assert decision.chosen.workers == 1
+        # the parallel variants were considered and lost
+        assert any(alt.workers > 1 for alt in decision.alternatives)
+
+    def test_large_dividend_chooses_partitioned_division(self, small_catalog):
+        planner = PhysicalPlanner(
+            small_catalog, PlannerOptions(workers=4), statistics=large_statistics()
+        )
+        plan = planner.plan(B.divide(small_catalog.ref("r1"), small_catalog.ref("r2")))
+        assert isinstance(plan, PartitionedDivision)
+        decision = planner.decisions[0]
+        assert decision.chosen.workers == 4
+        assert decision.chosen.partitions == 4
+        assert "dop=4" in decision.describe()
+
+    def test_partitions_option_overrides_partition_count(self, small_catalog):
+        planner = PhysicalPlanner(
+            small_catalog,
+            PlannerOptions(workers=4, partitions=16),
+            statistics=large_statistics(),
+        )
+        plan = planner.plan(B.divide(small_catalog.ref("r1"), small_catalog.ref("r2")))
+        assert isinstance(plan, PartitionedDivision)
+        assert plan.partitions == 16
+        assert plan.workers == 4
+
+    def test_skewed_quotient_key_stays_serial(self, small_catalog):
+        """90% of rows under one quotient key caps the speedup at ~1.1×,
+        which never amortizes the worker startup — parallelism is priced out."""
+        skewed = large_statistics(top_frequency=90_000)
+        planner = PhysicalPlanner(small_catalog, PlannerOptions(workers=4), statistics=skewed)
+        plan = planner.plan(B.divide(small_catalog.ref("r1"), small_catalog.ref("r2")))
+        assert isinstance(plan, HashDivision)
+        assert planner.decisions[0].chosen.workers == 1
+
+    def test_skew_discount_survives_select_project_and_rename(self, small_catalog):
+        """The skew lookup traverses the streaming wrappers a base table
+        sits under, mapping renamed key attributes back to the base names."""
+        import repro.algebra.predicates as P
+
+        skewed = large_statistics(top_frequency=90_000)
+        dividend = small_catalog.ref("r1")
+        wrapped = B.project(
+            B.rename(
+                B.select(dividend, P.not_equals(P.attr("b"), -1)), {"a": "quotient_key"}
+            ),
+            ["quotient_key", "b"],
+        )
+        divisor = small_catalog.ref("r2")
+        planner = PhysicalPlanner(small_catalog, PlannerOptions(workers=4), statistics=skewed)
+        planner.plan(B.divide(wrapped, divisor))
+        assert planner.decisions[0].chosen.workers == 1
+        # the same shape without skew parallelizes — the wrappers are not
+        # what is keeping the plan serial
+        planner = PhysicalPlanner(
+            small_catalog, PlannerOptions(workers=4), statistics=large_statistics()
+        )
+        planner.plan(B.divide(wrapped, divisor))
+        assert planner.decisions[0].chosen.workers == 4
+
+    def test_forced_algorithm_still_parallelizes_when_cheaper(self, small_catalog):
+        planner = PhysicalPlanner(
+            small_catalog,
+            PlannerOptions(workers=4, small_divide_algorithm="merge_count"),
+            statistics=large_statistics(),
+        )
+        plan = planner.plan(B.divide(small_catalog.ref("r1"), small_catalog.ref("r2")))
+        assert isinstance(plan, PartitionedDivision)
+        assert plan.algorithm == "merge_count"
+        decision = planner.decisions[0]
+        assert decision.forced and decision.chosen.name == "merge_count"
+
+    def test_serial_default_prices_no_parallel_variants(self, small_catalog):
+        planner = PhysicalPlanner(small_catalog)
+        planner.plan(B.divide(small_catalog.ref("r1"), small_catalog.ref("r2")))
+        assert all(alt.workers == 1 for alt in planner.decisions[0].alternatives)
+
+    def test_invalid_workers_rejected_at_prepare_time(self, small_catalog):
+        planner = PhysicalPlanner(small_catalog, PlannerOptions(workers=0))
+        with pytest.raises(PlanningError, match="workers"):
+            planner.plan(B.divide(small_catalog.ref("r1"), small_catalog.ref("r2")))
+        planner = PhysicalPlanner(small_catalog, PlannerOptions(workers=2, partitions=0))
+        with pytest.raises(PlanningError, match="partitions"):
+            planner.plan(B.divide(small_catalog.ref("r1"), small_catalog.ref("r2")))
+
+
+class TestJoinAndAggregateParallelChoice:
+    def _join_catalog(self):
+        catalog = Catalog()
+        catalog.add_table("l", Relation(["a", "b"], [(i, i % 7) for i in range(24)]))
+        catalog.add_table("r", Relation(["b", "c"], [(i % 7, i) for i in range(24)]))
+        return catalog
+
+    def _join_statistics(self, cardinality=120_000):
+        return StatisticsCatalog(
+            {
+                "l": TableStatistics(
+                    cardinality=cardinality, distinct_values={"a": cardinality, "b": 5000}
+                ),
+                "r": TableStatistics(
+                    cardinality=cardinality, distinct_values={"b": 5000, "c": cardinality}
+                ),
+            }
+        )
+
+    def test_large_join_is_partitioned_small_join_is_not(self):
+        catalog = self._join_catalog()
+        join = B.natural_join(catalog.ref("l"), catalog.ref("r"))
+        small = PhysicalPlanner(catalog, PlannerOptions(workers=4))
+        assert isinstance(small.plan(join), HashJoin)
+        large = PhysicalPlanner(
+            catalog, PlannerOptions(workers=4), statistics=self._join_statistics()
+        )
+        plan = large.plan(join)
+        assert isinstance(plan, PartitionedHashJoin)
+        assert large.decisions[0].chosen.workers == 4
+
+    def test_cross_product_join_never_parallelizes(self):
+        catalog = Catalog()
+        catalog.add_table("l", Relation(["a"], [(1,)]))
+        catalog.add_table("r", Relation(["c"], [(2,)]))
+        statistics = StatisticsCatalog(
+            {
+                "l": TableStatistics(cardinality=100_000, distinct_values={"a": 100_000}),
+                "r": TableStatistics(cardinality=100_000, distinct_values={"c": 100_000}),
+            }
+        )
+        planner = PhysicalPlanner(catalog, PlannerOptions(workers=4), statistics=statistics)
+        planner.plan(B.natural_join(catalog.ref("l"), catalog.ref("r")))
+        assert all(alt.workers == 1 for alt in planner.decisions[0].alternatives)
+
+    def test_large_group_by_is_partitioned(self):
+        catalog = Catalog()
+        catalog.add_table("t", Relation(["g", "v"], [(i % 6, i) for i in range(30)]))
+        statistics = StatisticsCatalog(
+            {
+                "t": TableStatistics(
+                    cardinality=200_000, distinct_values={"g": 10_000, "v": 200_000}
+                )
+            }
+        )
+        grouped = B.group_by(
+            catalog.ref("t"), ["g"], [AggregateSpec("sum", "v", "total")]
+        )
+        planner = PhysicalPlanner(catalog, PlannerOptions(workers=4), statistics=statistics)
+        plan = planner.plan(grouped)
+        assert isinstance(plan, PartitionedAggregate)
+        assert planner.decisions[0].kind == "aggregate"
+        serial = PhysicalPlanner(catalog, PlannerOptions(workers=4))
+        serial_plan = serial.plan(grouped)
+        assert isinstance(serial_plan, HashAggregate)
+        # the decision is recorded (and attached) even when serial wins, so
+        # explain output has the same rationale shape either way
+        assert serial.decisions[0].kind == "aggregate"
+        assert serial.decisions[0].chosen.workers == 1
+        assert serial_plan.decision is serial.decisions[0]
+
+    def test_grand_total_group_by_stays_serial(self):
+        catalog = Catalog()
+        catalog.add_table("t", Relation(["g", "v"], [(i % 6, i) for i in range(30)]))
+        statistics = StatisticsCatalog(
+            {"t": TableStatistics(cardinality=200_000, distinct_values={"v": 200_000})}
+        )
+        grouped = B.group_by(catalog.ref("t"), [], [AggregateSpec("count", None, "n")])
+        planner = PhysicalPlanner(catalog, PlannerOptions(workers=4), statistics=statistics)
+        assert isinstance(planner.plan(grouped), HashAggregate)
+
+
+class TestCostModelParallelTerm:
+    def test_effective_dop_respects_workers_partitions_and_skew(self):
+        model = PhysicalCostModel(StatisticsCatalog(), workers=4, partitions=8)
+        assert model.effective_dop(skew=0.0) == 4.0
+        assert model.effective_dop(skew=0.5) == 2.0
+        assert model.effective_dop(skew=1.0) == 1.0
+        narrow = PhysicalCostModel(StatisticsCatalog(), workers=8, partitions=2)
+        assert narrow.effective_dop(skew=0.0) == 2.0
+
+    def test_parallel_price_includes_startup_and_exchange(self, small_catalog):
+        statistics = large_statistics()
+        model = PhysicalCostModel(statistics, workers=4)
+        expression = B.divide(small_catalog.ref("r1"), small_catalog.ref("r2"))
+        alternatives = model.small_divide_alternatives(expression)
+        serial = {alt.name: alt for alt in alternatives if alt.workers == 1}
+        parallel = {alt.name: alt for alt in alternatives if alt.workers > 1}
+        assert set(parallel) == set(serial)
+        for name, alt in parallel.items():
+            assert alt.cost >= 4 * PARALLEL_WORKER_STARTUP
+            assert alt.cost < serial[name].cost  # big input: parallel wins per algorithm
+
+    def test_decision_for_forced_picks_cheapest_variant_of_the_name(self, small_catalog):
+        model = PhysicalCostModel(large_statistics(), workers=4)
+        expression = B.divide(small_catalog.ref("r1"), small_catalog.ref("r2"))
+        decision = decision_for("small divide", model.small_divide_alternatives(expression), "hash")
+        assert decision.forced
+        assert decision.chosen.name == "hash"
+        assert decision.chosen.workers == 4  # the parallel variant is cheaper here
+
+
+class TestSkewStatistics:
+    def test_from_relation_records_top_frequencies(self):
+        relation = Relation(["a", "b"], [(1, 1), (1, 2), (1, 3), (2, 1)])
+        statistics = TableStatistics.from_relation(relation)
+        assert statistics.top_frequency("a") == 3
+        assert statistics.top_frequency("b") == 2
+        assert statistics.partition_skew("a") == pytest.approx(0.75)
+        assert statistics.partition_skew("missing") == 0.0
+
+    def test_empty_relation_has_zero_skew(self):
+        statistics = TableStatistics.from_relation(Relation(["a"], []))
+        assert statistics.partition_skew("a") == 0.0

@@ -93,3 +93,64 @@ class TestCompare:
         lines, failures = module.compare(baseline, current, threshold=0.25)
         assert failures == []
         assert any("warning: the whole suite" in line for line in lines)
+
+
+class TestCompareParallel:
+    """The serial-vs-parallel gate on the large division scenarios."""
+
+    def test_workers1_near_serial_passes(self):
+        module = load_module()
+        run = payload(
+            {
+                "test_serial_division": 0.100,
+                "test_partitioned_division[1]": 0.105,
+                "test_partitioned_division[2]": 0.060,
+            }
+        )
+        lines, failures = module.compare_parallel(run, workers=2)
+        assert failures == []
+        assert any("workers=2" in line for line in lines)
+
+    def test_workers1_overhead_fails(self):
+        module = load_module()
+        run = payload(
+            {
+                "test_serial_division": 0.100,
+                "test_partitioned_division[1]": 0.150,
+            }
+        )
+        _, failures = module.compare_parallel(run, workers=1)
+        assert failures and "workers=1" in failures[0]
+
+    def test_missing_serial_baseline_fails_loudly(self):
+        module = load_module()
+        _, failures = module.compare_parallel(
+            payload({"test_partitioned_division[2]": 0.05}), workers=2
+        )
+        assert failures == ["missing baseline"]
+
+    def test_missing_requested_worker_count_fails(self):
+        module = load_module()
+        run = payload(
+            {
+                "test_serial_division": 0.100,
+                "test_partitioned_division[1]": 0.100,
+            }
+        )
+        _, failures = module.compare_parallel(run, workers=4)
+        assert any("workers=4" in failure for failure in failures)
+
+    def test_multicore_pessimization_fails_only_with_enough_cores(self, monkeypatch):
+        module = load_module()
+        run = payload(
+            {
+                "test_serial_division": 0.100,
+                "test_partitioned_division[4]": 0.140,
+            }
+        )
+        monkeypatch.setattr(module.os, "cpu_count", lambda: 8)
+        _, failures = module.compare_parallel(run, workers=4)
+        assert any("SLOWER" in failure for failure in failures)
+        monkeypatch.setattr(module.os, "cpu_count", lambda: 1)
+        _, failures = module.compare_parallel(run, workers=4)
+        assert failures == []
