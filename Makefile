@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test lint bench-smoke bench bench-record bench-compare bench-parallel
+.PHONY: check test lint bench-smoke bench bench-record bench-compare bench-parallel bench-compiled
 
 ## Tier-1 gate: the full unit + benchmark-assertion suite, fail fast.
 check:
@@ -28,7 +28,14 @@ bench:
 	$(PYTHON) -m pytest benchmarks -q
 
 ## Record the division microbenchmarks to the committed baseline file.
+## Refuses to run with uncommitted source changes: a baseline recorded
+## against a dirty tree cannot be reproduced from the commit it lands in.
 bench-record:
+	@if ! git diff --quiet -- src benchmarks || ! git diff --cached --quiet -- src benchmarks; then \
+		echo "bench-record: src/ or benchmarks/ has uncommitted changes;"; \
+		echo "commit (or stash) them first so the baseline matches a commit."; \
+		exit 1; \
+	fi
 	$(PYTHON) -m pytest benchmarks/test_bench_division_algorithms.py -q \
 		--benchmark-json=BENCH_division.json
 
@@ -42,3 +49,8 @@ bench-compare:
 WORKERS ?= 2
 bench-parallel:
 	$(PYTHON) scripts/bench_compare.py --parallel $(WORKERS)
+
+## Compare interpreted vs compiled execution on the fused-pipeline and
+## pipeline-breaker scenarios (same-run timings, >=2x gate on fusion).
+bench-compiled:
+	$(PYTHON) scripts/bench_compare.py --compiled

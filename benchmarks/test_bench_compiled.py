@@ -1,0 +1,260 @@
+"""Benchmarks for the compilation backend: fused segments + bitset kernels.
+
+The acceptance contract of the compiler (PR 6):
+
+* compiled fused pipelines (filter/project/rename chains) beat the
+  interpreted generator stack by ≥2× on at least two scenarios, measured
+  **same-run** (same machine, same process — no cross-machine
+  normalization needed);
+* pipeline breakers (division, joins, aggregation) never regress under
+  compilation — a plan with nothing to fuse costs the same, a plan with a
+  fused segment below the breaker only gets faster;
+* the numpy bitset kernel measurably beats the reference python kernel on
+  the subset-scan-heavy great-divide scenario (the largest division
+  workload in the suite).
+
+Wall-clock assertions use best-of-N timings and are skipped entirely under
+``--benchmark-disable`` (CI smoke on shared runners); the result-equality
+assertions always run.  ``scripts/bench_compare.py --compiled`` runs this
+file once and applies the same gates to the recorded JSON.
+"""
+
+import time
+
+import pytest
+
+from repro.algebra import predicates as P
+from repro.physical import (
+    Filter,
+    HashDivision,
+    NestedLoopsGreatDivision,
+    ProjectOp,
+    RelationScan,
+    RenameOp,
+    compile_plan,
+    execute_plan,
+    numpy_available,
+    use_kernel,
+)
+from repro.workloads import make_great_division_workload
+
+#: Compiled fused segments must beat the interpreter by this factor …
+FUSED_SPEEDUP_BOUND = 2.0
+#: … on at least this many scenarios (the rest must still never regress).
+FUSED_SCENARIOS_REQUIRED = 2
+#: Compiling a plan must never cost more than this over the interpreter.
+BREAKER_OVERHEAD_BOUND = 1.10
+#: The numpy kernel must beat the python kernel by this factor on the
+#: great-divide subset scans (measured ~4× locally; bound kept loose).
+KERNEL_SPEEDUP_BOUND = 1.3
+REPEATS = 5
+
+
+def _predicate():
+    """An inlinable AST predicate that keeps every dividend tuple flowing."""
+    return P.conjunction(
+        [P.greater_equal(P.attr("a"), 0), P.not_equals(P.attr("b"), -1)]
+    )
+
+
+#: Fused-pipeline scenarios over the ≥100k-tuple dividend (schema a, b).
+FUSED_SCENARIOS = {
+    "filter_chain": lambda w: Filter(
+        Filter(RelationScan(w.dividend), _predicate()),
+        P.not_equals(P.attr("a"), -7),
+    ),
+    "filter_project": lambda w: ProjectOp(
+        Filter(RelationScan(w.dividend), _predicate()), ("a",)
+    ),
+    "rename_filter_project": lambda w: ProjectOp(
+        RenameOp(Filter(RelationScan(w.dividend), _predicate()), {"a": "x"}),
+        ("x",),
+    ),
+}
+
+#: Pipeline-breaker scenarios: division with nothing to fuse, and division
+#: fed by a fusable filter (compilation may only help the latter).
+BREAKER_SCENARIOS = {
+    "division_only": lambda w: HashDivision(
+        RelationScan(w.dividend), RelationScan(w.divisor)
+    ),
+    "division_over_filter": lambda w: HashDivision(
+        Filter(RelationScan(w.dividend), _predicate()), RelationScan(w.divisor)
+    ),
+}
+
+MODES = ("interpreted", "compiled")
+
+
+def _plan(factory, workload, compiled: bool):
+    plan = factory(workload)
+    if compiled:
+        compile_plan(plan)
+    return plan
+
+
+def _best_time(plan_factory) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        plan = plan_factory()
+        start = time.perf_counter()
+        execute_plan(plan)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _timing_enabled(request) -> bool:
+    """False under ``--benchmark-disable`` (CI smoke on shared runners)."""
+    return not request.config.getoption("--benchmark-disable")
+
+
+@pytest.fixture(scope="session")
+def huge_great_divide_workload():
+    """2500 dividend groups × 120 divisor groups → 300k subset scans."""
+    return make_great_division_workload(
+        dividend_groups=2500,
+        dividend_group_size=14,
+        divisor_groups=120,
+        divisor_group_size=5,
+        domain_size=60,
+        seed=3,
+    )
+
+
+@pytest.mark.parametrize(
+    "scenario,mode",
+    [
+        pytest.param(scenario, mode, id=f"{scenario}-{mode}")
+        for scenario in sorted(FUSED_SCENARIOS)
+        for mode in MODES
+    ],
+)
+def test_fused_segment(benchmark, huge_divide_workload, scenario, mode):
+    """Each fused scenario, interpreted and compiled (same names feed
+    ``scripts/bench_compare.py --compiled``)."""
+    factory = FUSED_SCENARIOS[scenario]
+    compiled = mode == "compiled"
+    result = benchmark(
+        lambda: execute_plan(_plan(factory, huge_divide_workload, compiled))
+    )
+    reference = execute_plan(_plan(factory, huge_divide_workload, False))
+    assert result.relation == reference.relation
+
+
+@pytest.mark.parametrize(
+    "scenario,mode",
+    [
+        pytest.param(scenario, mode, id=f"{scenario}-{mode}")
+        for scenario in sorted(BREAKER_SCENARIOS)
+        for mode in MODES
+    ],
+)
+def test_breaker_division(benchmark, huge_divide_workload, scenario, mode):
+    """Pipeline breakers under compilation (gate: compiled never slower)."""
+    factory = BREAKER_SCENARIOS[scenario]
+    compiled = mode == "compiled"
+    result = benchmark(
+        lambda: execute_plan(_plan(factory, huge_divide_workload, compiled))
+    )
+    assert len(result.relation) == huge_divide_workload.expected_quotient_size
+
+
+@pytest.mark.parametrize(
+    "kernel",
+    [
+        "python",
+        pytest.param(
+            "numpy",
+            marks=pytest.mark.skipif(not numpy_available(), reason="numpy not installed"),
+        ),
+    ],
+)
+def test_bitset_kernel_great_divide(benchmark, huge_great_divide_workload, kernel):
+    """The subset-scan-heavy great divide under each bitset kernel."""
+    workload = huge_great_divide_workload
+
+    def run():
+        with use_kernel(kernel):
+            return execute_plan(
+                NestedLoopsGreatDivision(
+                    RelationScan(workload.dividend), RelationScan(workload.divisor)
+                )
+            )
+
+    result = benchmark(run)
+    with use_kernel("python"):
+        reference = execute_plan(
+            NestedLoopsGreatDivision(
+                RelationScan(workload.dividend), RelationScan(workload.divisor)
+            )
+        )
+    assert result.relation == reference.relation
+
+
+def test_fused_speedup_bound(request, huge_divide_workload):
+    """Same-run gate: compiled beats interpreted ≥2× on ≥2 fused scenarios."""
+    for factory in FUSED_SCENARIOS.values():
+        compiled = execute_plan(_plan(factory, huge_divide_workload, True))
+        interpreted = execute_plan(_plan(factory, huge_divide_workload, False))
+        assert compiled.relation == interpreted.relation
+    if not _timing_enabled(request):
+        # --benchmark-disable (CI smoke): parity only.
+        return
+    speedups = {}
+    for name, factory in sorted(FUSED_SCENARIOS.items()):
+        interpreted_time = _best_time(lambda: _plan(factory, huge_divide_workload, False))
+        compiled_time = _best_time(lambda: _plan(factory, huge_divide_workload, True))
+        speedups[name] = interpreted_time / compiled_time
+    report = ", ".join(f"{name} {speedup:.2f}x" for name, speedup in speedups.items())
+    fast = [name for name, speedup in speedups.items() if speedup >= FUSED_SPEEDUP_BOUND]
+    assert len(fast) >= FUSED_SCENARIOS_REQUIRED, (
+        f"only {len(fast)} scenario(s) reached {FUSED_SPEEDUP_BOUND}x "
+        f"(need {FUSED_SCENARIOS_REQUIRED}): {report}"
+    )
+    assert min(speedups.values()) >= 1.0, f"a compiled scenario regressed: {report}"
+
+
+def test_compiled_never_regresses_pipeline_breakers(request, huge_divide_workload):
+    """Same-run gate: compilation never slows a pipeline-breaker plan."""
+    for factory in BREAKER_SCENARIOS.values():
+        compiled = execute_plan(_plan(factory, huge_divide_workload, True))
+        interpreted = execute_plan(_plan(factory, huge_divide_workload, False))
+        assert compiled.relation == interpreted.relation
+    if not _timing_enabled(request):
+        return
+    for name, factory in sorted(BREAKER_SCENARIOS.items()):
+        interpreted_time = _best_time(lambda: _plan(factory, huge_divide_workload, False))
+        compiled_time = _best_time(lambda: _plan(factory, huge_divide_workload, True))
+        assert compiled_time <= interpreted_time * BREAKER_OVERHEAD_BOUND + 0.005, (
+            f"{name}: compiled {compiled_time * 1000:.1f} ms vs "
+            f"interpreted {interpreted_time * 1000:.1f} ms"
+        )
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_numpy_kernel_speedup_on_great_divide(request, huge_great_divide_workload):
+    """Same-run gate: the numpy kernel measurably beats the python kernel."""
+    workload = huge_great_divide_workload
+
+    def plan():
+        return NestedLoopsGreatDivision(
+            RelationScan(workload.dividend), RelationScan(workload.divisor)
+        )
+
+    with use_kernel("python"):
+        reference = execute_plan(plan())
+    with use_kernel("numpy"):
+        vectorized = execute_plan(plan())
+    assert vectorized.relation == reference.relation
+    if not _timing_enabled(request):
+        return
+    with use_kernel("python"):
+        python_time = _best_time(plan)
+    with use_kernel("numpy"):
+        numpy_time = _best_time(plan)
+    speedup = python_time / numpy_time
+    assert speedup >= KERNEL_SPEEDUP_BOUND, (
+        f"numpy kernel {numpy_time * 1000:.1f} ms vs python "
+        f"{python_time * 1000:.1f} ms — only {speedup:.2f}x "
+        f"(need {KERNEL_SPEEDUP_BOUND}x)"
+    )

@@ -23,11 +23,19 @@ cost more than ~15% over serial, and on a ≥4-core machine ``workers=N``
 must not be slower than serial at all (the 1.8× acceptance bound lives in
 the benchmark file itself, where it can be skipped on small runners).
 
+``--compiled`` switches to the interpreted-vs-compiled comparison: it runs
+``benchmarks/test_bench_compiled.py`` once and gates the same-run ratios —
+compiled fused pipelines must beat the interpreter by ≥2× on at least two
+scenarios and pipeline breakers must not regress under compilation.  As
+with ``--parallel``, both timings come from one process on one machine, so
+no normalization or jitter floor is needed.
+
 Usage::
 
     python scripts/bench_compare.py [--baseline BENCH_division.json]
                                     [--threshold 0.25] [--json out.json]
     python scripts/bench_compare.py --parallel 2
+    python scripts/bench_compare.py --compiled
 """
 
 from __future__ import annotations
@@ -44,9 +52,16 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILE = "benchmarks/test_bench_division_algorithms.py"
 PARALLEL_BENCH_FILE = "benchmarks/test_bench_parallel_division.py"
+COMPILED_BENCH_FILE = "benchmarks/test_bench_compiled.py"
 
 #: workers=1 partitioned execution may cost at most this much over serial.
 PARALLEL_FALLBACK_OVERHEAD = 0.15
+#: Compiled fused segments must beat the interpreter by this factor …
+COMPILED_SPEEDUP_BOUND = 2.0
+#: … on at least this many fused-pipeline scenarios.
+COMPILED_SCENARIOS_REQUIRED = 2
+#: Compilation may cost at most this much on pipeline-breaker scenarios.
+COMPILED_BREAKER_OVERHEAD = 0.10
 
 
 def load_times(payload: dict) -> dict[str, float]:
@@ -157,6 +172,86 @@ def compare_parallel(payload: dict, workers: int) -> tuple[list[str], list[str]]
     return lines, failures
 
 
+def _mode_pairs(times: dict[str, float], prefix: str) -> dict[str, dict[str, float]]:
+    """``scenario → {mode → time}`` for ``prefix[scenario-mode]`` benchmarks."""
+    pairs: dict[str, dict[str, float]] = {}
+    for name, value in times.items():
+        if not name.startswith(prefix + "["):
+            continue
+        scenario, _, mode = name.split("[", 1)[1].rstrip("]").rpartition("-")
+        pairs.setdefault(scenario, {})[mode] = value
+    return pairs
+
+
+def compare_compiled(payload: dict) -> tuple[list[str], list[str]]:
+    """Compare interpreted vs compiled timings from one benchmark run.
+
+    Same process, same machine — ratios are directly meaningful (no
+    normalization, no jitter floor; the scenarios run tens to hundreds of
+    milliseconds).  Gates: compiled fused pipelines beat the interpreter by
+    ≥2× on at least two scenarios and never regress anywhere; compilation
+    costs at most ~10% on pipeline-breaker scenarios (in practice it only
+    helps — a fused segment below the breaker gets faster too).  The
+    python-vs-numpy kernel timings are reported when present; their 1.3×
+    acceptance bound lives in the benchmark file, where it skips itself
+    when numpy is not installed.
+    """
+    times = load_times(payload)
+    fused = _mode_pairs(times, "test_fused_segment")
+    breakers = _mode_pairs(times, "test_breaker_division")
+    if not fused:
+        return ["no fused-segment scenarios in the benchmark run"], ["missing scenarios"]
+    lines: list[str] = []
+    failures: list[str] = []
+    fast = 0
+    for scenario in sorted(fused):
+        modes = fused[scenario]
+        if "interpreted" not in modes or "compiled" not in modes:
+            failures.append(f"fused scenario {scenario} is missing a mode")
+            continue
+        speedup = modes["interpreted"] / modes["compiled"]
+        fast += speedup >= COMPILED_SPEEDUP_BOUND
+        lines.append(
+            f"fused {scenario}: interpreted {modes['interpreted'] * 1000:9.3f} ms, "
+            f"compiled {modes['compiled'] * 1000:9.3f} ms ({speedup:.2f}x)"
+        )
+        if speedup < 1.0:
+            failures.append(f"fused scenario {scenario} REGRESSED under compilation "
+                            f"({speedup:.2f}x)")
+    if fast < COMPILED_SCENARIOS_REQUIRED:
+        failures.append(
+            f"only {fast} fused scenario(s) reached {COMPILED_SPEEDUP_BOUND}x "
+            f"(need {COMPILED_SCENARIOS_REQUIRED})"
+        )
+    for scenario in sorted(breakers):
+        modes = breakers[scenario]
+        if "interpreted" not in modes or "compiled" not in modes:
+            failures.append(f"breaker scenario {scenario} is missing a mode")
+            continue
+        ratio = modes["compiled"] / modes["interpreted"]
+        lines.append(
+            f"breaker {scenario}: interpreted {modes['interpreted'] * 1000:9.3f} ms, "
+            f"compiled {modes['compiled'] * 1000:9.3f} ms ({ratio:.2f}x)"
+        )
+        if ratio > 1.0 + COMPILED_BREAKER_OVERHEAD:
+            failures.append(
+                f"breaker scenario {scenario} costs {ratio:.2f}x under compilation "
+                f"(allowed {1.0 + COMPILED_BREAKER_OVERHEAD:.2f}x)"
+            )
+    kernels = {
+        name.split("[", 1)[1].rstrip("]"): value
+        for name, value in times.items()
+        if name.startswith("test_bitset_kernel_great_divide[")
+    }
+    if "python" in kernels and "numpy" in kernels:
+        lines.append(
+            f"bitset kernel (great divide): python {kernels['python'] * 1000:9.3f} ms, "
+            f"numpy {kernels['numpy'] * 1000:9.3f} ms "
+            f"({kernels['python'] / kernels['numpy']:.2f}x)"
+        )
+    return lines, failures
+
+
 def run_benchmarks(json_path: Path, bench_file: str = BENCH_FILE, extra: list[str] | None = None) -> None:
     """Run one benchmark file, recording stats to ``json_path``."""
     environment = dict(os.environ)
@@ -218,7 +313,33 @@ def main(argv: list[str] | None = None) -> int:
         "scenarios (runs the parallel benchmarks once with --workers N) "
         "instead of comparing against the committed baseline",
     )
+    parser.add_argument(
+        "--compiled",
+        action="store_true",
+        help="compare interpreted vs compiled execution on the fused-pipeline "
+        "and pipeline-breaker scenarios (same-run timings from "
+        f"{COMPILED_BENCH_FILE}) instead of comparing against the committed "
+        "baseline",
+    )
     args = parser.parse_args(argv)
+
+    if args.compiled:
+        if args.json is not None:
+            payload = json.loads(args.json.read_text())
+        else:
+            with tempfile.TemporaryDirectory() as tmp:
+                json_path = Path(tmp) / "bench_compiled.json"
+                run_benchmarks(json_path, COMPILED_BENCH_FILE)
+                payload = json.loads(json_path.read_text())
+        lines, failures = compare_compiled(payload)
+        print("\n".join(lines))
+        if failures:
+            print(f"\nFAIL: {len(failures)} compilation check(s) failed:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("\nOK: compiled segments within bounds vs the interpreted path.")
+        return 0
 
     if args.parallel is not None:
         if args.json is not None:
@@ -241,6 +362,17 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     baseline = json.loads(args.baseline.read_text())
+    baseline_cpus = baseline.get("machine_info", {}).get("cpu", {}).get("count")
+    if baseline_cpus is not None and baseline_cpus != (os.cpu_count() or 1):
+        # The median normalization absorbs uniform speed differences, but a
+        # different core count can shift scenarios non-uniformly — surface
+        # the mismatch so a stale baseline is not mistaken for a regression.
+        print(
+            f"warning: baseline {args.baseline.name} was recorded on "
+            f"{baseline_cpus} CPU(s); this machine has {os.cpu_count() or 1}. "
+            "Normalized ratios may shift non-uniformly — consider refreshing "
+            "the baseline with `make bench-record` on this machine."
+        )
     if args.json is not None:
         current = json.loads(args.json.read_text())
     else:

@@ -42,6 +42,7 @@ from repro.optimizer.planner import PlannerOptions
 from repro.optimizer.rewriter import RewriteReport
 from repro.optimizer.statistics import TableStatistics
 from repro.physical.base import PhysicalOperator
+from repro.physical.compile import CompilationReport
 from repro.physical.executor import execute_plan
 from repro.relation.relation import Relation
 from repro.sql.translator import SQLTranslator
@@ -65,6 +66,8 @@ class PreparedPlan:
     plan: PhysicalOperator
     #: Algorithm decisions the cost-based planner made while building ``plan``.
     decisions: tuple[PlanDecision, ...] = ()
+    #: Segment-compilation report for ``plan`` (``None`` = compilation off).
+    compilation: Optional[CompilationReport] = None
 
     @property
     def rewritten(self) -> Expression:
@@ -146,6 +149,12 @@ class Database:
         parallelizes operators whose estimated input is large enough to
         amortize the worker startup, so small queries stay serial even at
         ``workers=8``; results are identical either way.
+    compile:
+        Segment-compilation mode (shorthand for
+        ``PlannerOptions(compile=...)``): ``None``/``"auto"`` compiles every
+        fusable streaming segment, ``True``/``"on"`` forces compilation,
+        ``False``/``"off"`` keeps the interpreted pipeline.  Results and
+        statistics are identical either way.
     """
 
     def __init__(
@@ -159,6 +168,7 @@ class Database:
         cache_size: int = 128,
         batch_size: Optional[int] = None,
         workers: Optional[int] = None,
+        compile: Union[None, bool, str] = None,
     ) -> None:
         if batch_size is not None and batch_size < 1:
             raise ReproError(f"batch size must be positive, got {batch_size}")
@@ -169,6 +179,8 @@ class Database:
         self.planner_options = planner_options or PlannerOptions()
         if workers is not None and self.planner_options.workers != workers:
             self.planner_options = replace(self.planner_options, workers=workers)
+        if compile is not None and self.planner_options.compile != compile:
+            self.planner_options = replace(self.planner_options, compile=compile)
         self.cost_based = cost_based
         self.recognize_division = recognize_division
         self.allow_data_inspection = allow_data_inspection
@@ -218,9 +230,18 @@ class Database:
         """Run SQL text, a query or an expression in one call."""
         return self._as_query(query).run()
 
-    def explain(self, query: Union[Query, Expression, str], analyze: bool = False) -> str:
-        """Explain SQL text, a query or an expression in one call."""
-        return self._as_query(query).explain(analyze=analyze)
+    def explain(
+        self,
+        query: Union[Query, Expression, str],
+        analyze: bool = False,
+        verbose: bool = False,
+    ) -> str:
+        """Explain SQL text, a query or an expression in one call.
+
+        ``verbose=True`` appends the generated source of every compiled
+        pipeline segment.
+        """
+        return self._as_query(query).explain(analyze=analyze, verbose=verbose)
 
     def prepare(self, query: Union[Query, Expression, str]) -> Query:
         """Rewrite + plan now; the returned query's ``run()`` is a cache hit."""
@@ -300,6 +321,7 @@ class Database:
             rewritten_cost=self._optimizer.cost_report(rewrite_report.result),
             plan=plan,
             decisions=self._optimizer.planner_decisions,
+            compilation=self._optimizer.planner_compilation,
         )
         self._cache.put(key, prepared)
         return prepared, False

@@ -55,8 +55,17 @@ def q_error(estimated: float, actual: float) -> float:
     return max(estimated / actual, actual / estimated)
 
 
-def render_explain(database: "Database", query: "Query", analyze: bool = False) -> str:
-    """Multi-section EXPLAIN (optionally EXPLAIN ANALYZE) for ``query``."""
+def render_explain(
+    database: "Database",
+    query: "Query",
+    analyze: bool = False,
+    verbose: bool = False,
+) -> str:
+    """Multi-section EXPLAIN (optionally EXPLAIN ANALYZE) for ``query``.
+
+    ``verbose=True`` appends the generated source of every compiled
+    pipeline segment.
+    """
     expression = query.expression
     prepared, cache_hit = database._prepare(expression)
     estimator = CardinalityEstimator(database.optimizer.statistics)
@@ -75,6 +84,11 @@ def render_explain(database: "Database", query: "Query", analyze: bool = False) 
         lines.append("")
     lines.append(f"fingerprint : {prepared.fingerprint[:16]}  (plan cache: "
                  f"{'hit' if cache_hit else 'miss'})")
+    compilation = prepared.compilation
+    if compilation is None:
+        lines.append("compiled    : no (compilation off)")
+    else:
+        lines.append(f"compiled    : {compilation.summary()}")
     lines.append("")
 
     lines.append("Logical plan (as written)")
@@ -102,10 +116,23 @@ def render_explain(database: "Database", query: "Query", analyze: bool = False) 
     lines.extend(_physical_lines(prepared.plan, estimates, actual))
     if analyze:
         lines.append("")
+        worker_ms = execution.statistics.worker_seconds * 1000
+        coordinator_ms = max(execution.elapsed_seconds * 1000 - worker_ms, 0.0)
         lines.append(
             f"max intermediate = {execution.max_intermediate} tuples, "
-            f"elapsed = {execution.elapsed_seconds * 1000:.2f} ms"
+            f"elapsed = {execution.elapsed_seconds * 1000:.2f} ms "
+            f"(coordinator {coordinator_ms:.2f} ms + workers {worker_ms:.2f} ms)"
         )
+    if verbose and compilation is not None and compilation.segments:
+        lines.append("")
+        lines.append("Compiled segments")
+        for number, segment in enumerate(compilation.segments, start=1):
+            origin = "shared code object" if segment.shared else "freshly compiled"
+            lines.append(
+                f"  segment {number}: {segment.root} "
+                f"({segment.fused_count} operator(s) fused, {origin})"
+            )
+            lines.extend("    " + line for line in segment.source.splitlines())
     return "\n".join(lines)
 
 
@@ -219,6 +246,11 @@ def _physical_lines(
         lines.append(f"  {'  ' * indent}{operator.describe()}  [{annotation} rows]")
         if operator.decision is not None:
             lines.append(f"  {'  ' * indent}  · {operator.decision.describe()}")
+        if getattr(operator, "_compiled_producer", None) is not None:
+            fused = getattr(operator, "_compiled_fused", 1)
+            lines.append(
+                f"  {'  ' * indent}  · compiled segment ({fused} operator(s) fused)"
+            )
         exchange = _exchange_line(operator, analyzed=actual is not None)
         if exchange is not None:
             lines.append(f"  {'  ' * indent}  · {exchange}")

@@ -102,15 +102,17 @@ class Query:
         self._database._prepare(self.expression)
         return self
 
-    def explain(self, analyze: bool = False) -> str:
+    def explain(self, analyze: bool = False, verbose: bool = False) -> str:
         """Before/after logical trees plus the physical plan.
 
         With ``analyze=True`` the plan is executed once and actual
-        per-operator tuple counts are shown next to the estimates.
+        per-operator tuple counts are shown next to the estimates.  With
+        ``verbose=True`` the generated source of every compiled pipeline
+        segment is appended.
         """
         from repro.api.explain import render_explain
 
-        return render_explain(self._database, self, analyze=analyze)
+        return render_explain(self._database, self, analyze=analyze, verbose=verbose)
 
     # ------------------------------------------------------------------
     # fluent combinators (each returns a new lazy Query)

@@ -13,9 +13,11 @@ Commands
     Parse, optimize and execute an arbitrary query (``--explain`` prints
     the plan instead; ``--db`` picks the database; ``--batch-size N`` sets
     the executor chunk size; ``--workers N`` lets the planner parallelize
-    large operators over a worker pool).
+    large operators over a worker pool; ``--compile``/``--no-compile``
+    force or disable segment compilation).
 ``explain {Q1,Q2,Q3}``
-    EXPLAIN ANALYZE one of the Section 4 queries.
+    EXPLAIN ANALYZE one of the Section 4 queries (``--verbose`` appends the
+    generated source of every compiled segment).
 ``analyze``
     Collect table statistics (cardinality, distinct counts, min/max,
     scan-order sortedness) for a database — the input the cost-based
@@ -102,9 +104,31 @@ def build_parser() -> argparse.ArgumentParser:
         "only parallelizes operators whose input is large enough to pay off "
         "(results are unaffected)",
     )
+    compilation = sql.add_mutually_exclusive_group()
+    compilation.add_argument(
+        "--compile",
+        dest="compile_mode",
+        action="store_const",
+        const="on",
+        default=None,
+        help="force segment compilation of the physical plan "
+        "(results are unaffected)",
+    )
+    compilation.add_argument(
+        "--no-compile",
+        dest="compile_mode",
+        action="store_const",
+        const="off",
+        help="run the interpreted pipeline without segment compilation",
+    )
 
     explain = subparsers.add_parser("explain", help="EXPLAIN ANALYZE a Section 4 query")
     explain.add_argument("name", choices=sorted(_QUERIES), help="which query to explain")
+    explain.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print the generated source of every compiled segment",
+    )
 
     analyze = subparsers.add_parser(
         "analyze", help="collect table statistics (ANALYZE) for a database"
@@ -161,9 +185,15 @@ def _command_sql(
     use_recognizer: bool,
     batch_size: Optional[int],
     workers: Optional[int],
+    compile_mode: Optional[str] = None,
 ) -> int:
     try:
-        database = connect(_DATABASES[db_name], batch_size=batch_size, workers=workers)
+        database = connect(
+            _DATABASES[db_name],
+            batch_size=batch_size,
+            workers=workers,
+            compile=compile_mode,
+        )
         query = database.sql(text, recognize_division=use_recognizer)
         if explain:
             print(query.explain(analyze=True))
@@ -183,9 +213,9 @@ def _command_sql(
     return 0
 
 
-def _command_explain(name: str) -> int:
+def _command_explain(name: str, verbose: bool = False) -> int:
     database = connect(textbook_catalog)
-    print(database.sql(_QUERIES[name]).explain(analyze=True))
+    print(database.sql(_QUERIES[name]).explain(analyze=True, verbose=verbose))
     return 0
 
 
@@ -238,9 +268,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             not args.no_recognizer,
             args.batch_size,
             args.workers,
+            args.compile_mode,
         )
     if args.command == "explain":
-        return _command_explain(args.name)
+        return _command_explain(args.name, args.verbose)
     if args.command == "analyze":
         return _command_analyze(args.db, args.tables)
     if args.command == "claims":

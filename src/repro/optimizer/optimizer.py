@@ -20,6 +20,7 @@ from repro.optimizer.planner import PhysicalPlanner, PlannerOptions
 from repro.optimizer.rewriter import CostBasedRewriter, HeuristicRewriter, RewriteReport
 from repro.optimizer.statistics import StatisticsCatalog, TableStatistics
 from repro.physical.base import PhysicalOperator
+from repro.physical.compile import CompilationReport
 from repro.physical.executor import ExecutionResult, execute_plan
 
 __all__ = ["OptimizationResult", "Optimizer"]
@@ -37,6 +38,8 @@ class OptimizationResult:
     plan: PhysicalOperator
     #: Cost-based algorithm decisions made while building ``plan``.
     decisions: tuple[PlanDecision, ...] = ()
+    #: Segment-compilation report (``None`` when compilation was off).
+    compilation: Optional[CompilationReport] = None
 
     @property
     def rules_fired(self) -> list[str]:
@@ -98,6 +101,11 @@ class Optimizer:
         """Algorithm decisions recorded by the most recent planning call."""
         return tuple(self._planner.decisions)
 
+    @property
+    def planner_compilation(self) -> Optional[CompilationReport]:
+        """Compilation report of the most recent planning call."""
+        return self._planner.compilation
+
     def analyze(self, names: Optional[Sequence[str]] = None) -> dict[str, TableStatistics]:
         """Recollect table statistics from the catalog's current relations.
 
@@ -130,6 +138,7 @@ class Optimizer:
             rewritten_cost=self.cost_report(rewritten),
             plan=plan,
             decisions=self.planner_decisions,
+            compilation=self.planner_compilation,
         )
 
     def execute(self, expression: Expression) -> ExecutionResult:

@@ -51,6 +51,16 @@ from repro.physical.joins import (
     NestedLoopsJoin,
     NestedLoopsNaturalJoin,
 )
+from repro.physical.compile import (
+    CompilationReport,
+    CompiledSegment,
+    active_kernel,
+    available_kernels,
+    compile_plan,
+    numpy_available,
+    set_kernel,
+    use_kernel,
+)
 from repro.physical.scans import RelationScan, TableScan
 
 __all__ = [
@@ -104,4 +114,13 @@ __all__ = [
     "HashGreatDivision",
     "GroupwiseSmallDivision",
     "GREAT_DIVIDE_ALGORITHMS",
+    # compilation backend
+    "CompilationReport",
+    "CompiledSegment",
+    "compile_plan",
+    "active_kernel",
+    "available_kernels",
+    "numpy_available",
+    "set_kernel",
+    "use_kernel",
 ]

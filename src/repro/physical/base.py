@@ -163,6 +163,9 @@ class PlanStatistics:
     partition_peaks: dict[str, int] = field(default_factory=dict)
     #: wall-clock seconds spent executing the plan (filled by the executor)
     elapsed_seconds: float = 0.0
+    #: wall-clock seconds spent inside exchange worker pools (summed over
+    #: exchanges; the coordinator share is ``elapsed_seconds`` minus this)
+    worker_seconds: float = 0.0
 
     @property
     def total_tuples(self) -> int:
@@ -342,6 +345,16 @@ class PhysicalOperator:
     #: :meth:`set_workers` adjusts.
     parallel = False
 
+    #: Zero-argument callable returning a chunk iterator, installed by the
+    #: compilation backend on segment roots; ``None`` means interpreted.
+    #: :meth:`chunks` dispatches through it, while :meth:`rows` (and with it
+    #: emptiness probes) deliberately keeps the interpreted reference path.
+    _compiled_producer = None
+
+    #: Wall-clock seconds this operator spent inside worker pools (exchange
+    #: operators fill it; everything else stays at 0.0).
+    worker_seconds = 0.0
+
     #: Process-wide construction counter backing collision-free labels.
     _construction_ids = itertools.count()
 
@@ -443,8 +456,15 @@ class PhysicalOperator:
         )
 
     def chunks(self) -> Iterator[Chunk]:
-        """Stream the output chunks, counting tuples as chunks are pulled."""
-        for chunk in self._produce_chunks():
+        """Stream the output chunks, counting tuples as chunks are pulled.
+
+        When the compilation backend installed a fused producer for the
+        segment rooted here, it replaces the interpreted generator stack;
+        the counting wrapper is identical either way.
+        """
+        producer = self._compiled_producer
+        stream = self._produce_chunks() if producer is None else producer()
+        for chunk in stream:
             if chunk.tuples:
                 self.tuples_out += len(chunk.tuples)
                 yield chunk
@@ -506,6 +526,7 @@ class PhysicalOperator:
         """Reset tuple counters in the whole subtree (before a fresh run)."""
         for operator in self.walk():
             operator.tuples_out = 0
+            operator.worker_seconds = 0.0
 
     # ------------------------------------------------------------------
     # rendering
@@ -545,6 +566,7 @@ def collect_statistics(plan: PhysicalOperator) -> PlanStatistics:
     stats = PlanStatistics()
     for index, operator in enumerate(plan.walk()):
         stats.tuples_by_operator[f"{index:02d}:{operator.name}"] = operator.tuples_out
+        stats.worker_seconds += operator.worker_seconds
         for label, value in operator.partition_peaks().items():
             stats.partition_peaks[f"{index:02d}:{operator.name}/{label}"] = value
     return stats

@@ -1,0 +1,47 @@
+"""Query compilation backend: fused pipeline segments + vectorized kernels.
+
+``segments`` turns maximal ``Filter``/``ProjectOp``/``RenameOp`` chains of a
+physical plan into single generated Python functions (textual codegen +
+:func:`compile`), leaving division, joins, aggregation and exchanges as
+pipeline breakers.  ``kernels`` provides the bitset-division kernel dispatch
+seam shared by all eight division algorithms, with an optional numpy fast
+path.  The interpreted operators remain the reference implementation.
+"""
+
+from repro.physical.compile.kernels import (
+    BitsetKernel,
+    KERNEL_NAMES,
+    NumpyBitsetKernel,
+    PythonBitsetKernel,
+    active_kernel,
+    available_kernels,
+    numpy_available,
+    set_kernel,
+    use_kernel,
+)
+from repro.physical.compile.segments import (
+    FUSABLE_OPERATORS,
+    CompilationReport,
+    CompiledSegment,
+    clear_code_cache,
+    code_cache_size,
+    compile_plan,
+)
+
+__all__ = [
+    "BitsetKernel",
+    "KERNEL_NAMES",
+    "NumpyBitsetKernel",
+    "PythonBitsetKernel",
+    "active_kernel",
+    "available_kernels",
+    "numpy_available",
+    "set_kernel",
+    "use_kernel",
+    "FUSABLE_OPERATORS",
+    "CompilationReport",
+    "CompiledSegment",
+    "clear_code_cache",
+    "code_cache_size",
+    "compile_plan",
+]

@@ -1,0 +1,280 @@
+"""Vectorized kernels for the bitset-division inner loops.
+
+All eight division algorithms funnel their hot loops through one dispatch
+seam (:func:`active_kernel`): the *mask sweep* that ORs per-tuple divisor
+bits into per-candidate bitmasks, and the *match scan* that finds the
+candidates whose bitmask is full / a superset / has the required popcount.
+Two implementations exist:
+
+* :class:`PythonBitsetKernel` — the reference: plain loops over Python
+  ``int`` bitmasks (arbitrary precision, always available);
+* :class:`NumpyBitsetKernel` — batch operations over ``uint64`` arrays
+  (``np.bitwise_or.at`` sweeps, vectorized compare/popcount scans), picked
+  automatically when numpy is importable.  Any mask that does not fit in
+  64 bits (or any conversion overflow) falls back to the Python reference
+  *per call*, so results never depend on the kernel in use.
+
+The partition-parallel wrappers run the unchanged serial operators inside
+their workers, so the kernel dispatch applies per partition without any
+further wiring.  Tests pin a kernel with :func:`use_kernel`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.errors import ExecutionError
+
+try:  # pragma: no cover - exercised via both CI (absent) and local (present)
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "BitsetKernel",
+    "PythonBitsetKernel",
+    "NumpyBitsetKernel",
+    "KERNEL_NAMES",
+    "active_kernel",
+    "available_kernels",
+    "numpy_available",
+    "set_kernel",
+    "use_kernel",
+]
+
+#: Inputs smaller than this stay on the Python reference even under the
+#: numpy kernel — the array conversion would cost more than it saves.
+_MIN_VECTOR_SIZE = 32
+
+
+class PythonBitsetKernel:
+    """Reference implementation: loops over Python ``int`` bitmasks."""
+
+    name = "python"
+
+    # -- sweeps ---------------------------------------------------------
+    def prepare_indices(self, indices: Sequence[int]) -> Any:
+        """Pre-convert an index list reused across several sweeps."""
+        return indices
+
+    def prepare_masks(self, masks: Sequence[int]) -> Any:
+        """Pre-convert a mask list reused across several match scans."""
+        return masks
+
+    def sweep_masks(self, count: int, indices: Sequence[int], bits: Sequence[int]) -> Any:
+        """``masks[indices[i]] |= bits[i]`` over ``count`` zeroed masks."""
+        masks = [0] * count
+        for index, bit in zip(indices, bits):
+            if bit:
+                masks[index] |= bit
+        return masks
+
+    def gather_sweep(
+        self,
+        count: int,
+        candidate_indices: Any,
+        value_indices: Any,
+        bits: Sequence[int],
+    ) -> Any:
+        """``masks[c] |= bits[v]`` for every ``(c, v)`` pair."""
+        masks = [0] * count
+        for candidate, value in zip(candidate_indices, value_indices):
+            masks[candidate] |= bits[value]
+        return masks
+
+    # -- match scans ----------------------------------------------------
+    def full_matches(self, masks: Any, full: int) -> list[int]:
+        """Indices whose mask equals ``full``."""
+        return [i for i, mask in enumerate(masks) if mask == full]
+
+    def popcount_matches(self, masks: Any, required: int) -> list[int]:
+        """Indices whose mask has exactly ``required`` bits set."""
+        return [i for i, mask in enumerate(masks) if int(mask).bit_count() == required]
+
+    def subset_matches(self, masks: Any, needed: int) -> list[int]:
+        """Indices whose mask contains every bit of ``needed``."""
+        return [i for i, mask in enumerate(masks) if needed & mask == needed]
+
+    def equal_matches(self, masks: Any, fulls: Sequence[int]) -> list[int]:
+        """Indices where ``masks[i] == fulls[i]`` (pairwise)."""
+        return [i for i, (mask, full) in enumerate(zip(masks, fulls)) if mask == full]
+
+
+class NumpyBitsetKernel(PythonBitsetKernel):
+    """Batch kernel over ``uint64`` arrays; falls back per call on overflow.
+
+    ``np.fromiter(..., dtype=np.uint64)`` raises :class:`OverflowError` for
+    masks wider than 64 bits, which routes that call to the inherited
+    Python reference — wide divisors stay correct, they just lose the
+    vectorization.
+    """
+
+    name = "numpy"
+
+    def _masks_array(self, masks: Any) -> Any:
+        if isinstance(masks, _np.ndarray):
+            return masks
+        return _np.fromiter(masks, dtype=_np.uint64, count=len(masks))
+
+    def prepare_indices(self, indices: Sequence[int]) -> Any:
+        if len(indices) < _MIN_VECTOR_SIZE:
+            return indices
+        return _np.fromiter(indices, dtype=_np.intp, count=len(indices))
+
+    def prepare_masks(self, masks: Sequence[int]) -> Any:
+        if len(masks) < _MIN_VECTOR_SIZE:
+            return masks
+        try:
+            return self._masks_array(masks)
+        except (OverflowError, TypeError, ValueError):
+            return masks
+
+    def sweep_masks(self, count: int, indices: Sequence[int], bits: Sequence[int]) -> Any:
+        if len(indices) < _MIN_VECTOR_SIZE:
+            return super().sweep_masks(count, indices, bits)
+        try:
+            bit_array = _np.fromiter(bits, dtype=_np.uint64, count=len(bits))
+            index_array = (
+                indices
+                if isinstance(indices, _np.ndarray)
+                else _np.fromiter(indices, dtype=_np.intp, count=len(indices))
+            )
+            masks = _np.zeros(count, dtype=_np.uint64)
+            _np.bitwise_or.at(masks, index_array, bit_array)
+            return masks
+        except (OverflowError, TypeError, ValueError):
+            return super().sweep_masks(count, list(indices), bits)
+
+    def gather_sweep(
+        self,
+        count: int,
+        candidate_indices: Any,
+        value_indices: Any,
+        bits: Sequence[int],
+    ) -> Any:
+        if len(candidate_indices) < _MIN_VECTOR_SIZE:
+            return super().gather_sweep(count, candidate_indices, value_indices, bits)
+        try:
+            bit_array = _np.fromiter(bits, dtype=_np.uint64, count=len(bits))
+            candidates = (
+                candidate_indices
+                if isinstance(candidate_indices, _np.ndarray)
+                else _np.fromiter(candidate_indices, dtype=_np.intp, count=len(candidate_indices))
+            )
+            values = (
+                value_indices
+                if isinstance(value_indices, _np.ndarray)
+                else _np.fromiter(value_indices, dtype=_np.intp, count=len(value_indices))
+            )
+            masks = _np.zeros(count, dtype=_np.uint64)
+            _np.bitwise_or.at(masks, candidates, bit_array[values])
+            return masks
+        except (OverflowError, TypeError, ValueError):
+            return super().gather_sweep(count, candidate_indices, value_indices, bits)
+
+    def full_matches(self, masks: Any, full: int) -> list[int]:
+        if len(masks) < _MIN_VECTOR_SIZE and not isinstance(masks, _np.ndarray):
+            return super().full_matches(masks, full)
+        try:
+            if full.bit_length() > 64:
+                return super().full_matches(masks, full)
+            return _np.flatnonzero(self._masks_array(masks) == full).tolist()
+        except (OverflowError, TypeError, ValueError):
+            return super().full_matches(masks, full)
+
+    def popcount_matches(self, masks: Any, required: int) -> list[int]:
+        if not hasattr(_np, "bitwise_count"):
+            return super().popcount_matches(masks, required)
+        if len(masks) < _MIN_VECTOR_SIZE and not isinstance(masks, _np.ndarray):
+            return super().popcount_matches(masks, required)
+        try:
+            array = self._masks_array(masks)
+            return _np.flatnonzero(_np.bitwise_count(array) == required).tolist()
+        except (OverflowError, TypeError, ValueError):
+            return super().popcount_matches(masks, required)
+
+    def subset_matches(self, masks: Any, needed: int) -> list[int]:
+        if len(masks) < _MIN_VECTOR_SIZE and not isinstance(masks, _np.ndarray):
+            return super().subset_matches(masks, needed)
+        try:
+            if needed.bit_length() > 64:
+                return super().subset_matches(masks, needed)
+            array = self._masks_array(masks)
+            return _np.flatnonzero((array & _np.uint64(needed)) == _np.uint64(needed)).tolist()
+        except (OverflowError, TypeError, ValueError):
+            return super().subset_matches(masks, needed)
+
+    def equal_matches(self, masks: Any, fulls: Sequence[int]) -> list[int]:
+        if len(masks) < _MIN_VECTOR_SIZE and not isinstance(masks, _np.ndarray):
+            return super().equal_matches(masks, fulls)
+        try:
+            array = self._masks_array(masks)
+            full_array = _np.fromiter(fulls, dtype=_np.uint64, count=len(fulls))
+            return _np.flatnonzero(array == full_array).tolist()
+        except (OverflowError, TypeError, ValueError):
+            return super().equal_matches(masks, fulls)
+
+
+#: Shared kernel instances (both are stateless).
+_PYTHON_KERNEL = PythonBitsetKernel()
+_NUMPY_KERNEL = NumpyBitsetKernel() if _np is not None else None
+
+#: Valid kernel-selection names.
+KERNEL_NAMES = ("auto", "python", "numpy")
+
+BitsetKernel = PythonBitsetKernel
+
+#: Process-wide override set by :func:`set_kernel` (None = auto).
+_forced: Optional[str] = None
+
+
+def numpy_available() -> bool:
+    """True when the numpy fast path can be used in this process."""
+    return _NUMPY_KERNEL is not None
+
+
+def available_kernels() -> tuple[str, ...]:
+    """The kernel names usable in this process."""
+    return ("python", "numpy") if numpy_available() else ("python",)
+
+
+def set_kernel(name: Optional[str]) -> None:
+    """Force one bitset kernel process-wide (``None``/"auto" restores auto)."""
+    global _forced
+    if name is None or name == "auto":
+        _forced = None
+        return
+    if name not in KERNEL_NAMES:
+        raise ExecutionError(
+            f"unknown bitset kernel {name!r}; choose from {sorted(KERNEL_NAMES)}"
+        )
+    if name == "numpy" and _NUMPY_KERNEL is None:
+        raise ExecutionError("bitset kernel 'numpy' requested but numpy is not importable")
+    _forced = name
+
+
+def active_kernel() -> PythonBitsetKernel:
+    """The kernel division operators should use for this execution.
+
+    Consulted once per operator open, so :func:`use_kernel` affects any
+    plan executed inside its scope.
+    """
+    name = _forced
+    if name == "python":
+        return _PYTHON_KERNEL
+    if name == "numpy":
+        return _NUMPY_KERNEL  # type: ignore[return-value]  (set_kernel validated)
+    return _NUMPY_KERNEL if _NUMPY_KERNEL is not None else _PYTHON_KERNEL
+
+
+@contextmanager
+def use_kernel(name: Optional[str]) -> Iterator[None]:
+    """Context manager pinning the bitset kernel (parity tests and benches)."""
+    global _forced
+    saved = _forced
+    set_kernel(name)
+    try:
+        yield
+    finally:
+        _forced = saved

@@ -1,0 +1,339 @@
+"""Pipeline-segment compiler: fuse streaming operator chains into one loop.
+
+The interpreter executes a plan as a stack of ``_produce_chunks()``
+generators — every chunk crosses one Python generator frame per operator,
+and ``Filter`` additionally materializes a :class:`Row` per tuple for the
+predicate call.  This module removes that overhead for the *streaming*
+operators: maximal chains of ``Filter`` / ``ProjectOp`` / ``RenameOp``
+(anything that neither blocks nor reorders) are compiled into **one**
+specialized Python function per chain via textual codegen + :func:`compile`.
+Division, joins, aggregation, set operations and exchanges stay pipeline
+breakers: they keep their interpreted implementations and simply pull the
+compiled segment below them.
+
+The generated function is a generator over the segment *input*'s chunks:
+
+* predicates built from the AST (:class:`Comparison` over attribute refs
+  and literals, ``And``/``Or``/``Not``) are inlined as positional tuple
+  expressions (``t[2] == _b4``) — no ``Row`` objects, no per-tuple
+  ``evaluate`` dispatch; opaque predicate callables keep the row-based
+  call as a binding;
+* projections are one cached :func:`operator.itemgetter` ``map`` plus the
+  same first-seen duplicate elimination the interpreter uses;
+* renames are free (positions do not change);
+* every *interior* fused operator's ``tuples_out`` is bumped per chunk, so
+  per-operator tuple counts — the paper's max-intermediate metric — are
+  bit-identical to the interpreted pipeline.
+
+Only literal values, schemas, getters and operator references differ
+between structurally identical segments, and they all travel through the
+``_bind`` tuple — the generated *source* is identical, so a module-level
+``source → code object`` cache lets equal-shaped segments across plans
+share one compiled code object (the analogue of the PR 2 fingerprint
+cache, keyed by segment structure).
+
+Compiled producers attach to the existing segment-root operator instances
+(``root._compiled_producer``); the plan shape is untouched, and the
+interpreted path remains available (``rows()`` and emptiness probes keep
+using it, with identical row-at-a-time accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.algebra.predicates import (
+    And,
+    AttributeRef,
+    Comparison,
+    FalsePredicate,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.physical.base import Chunk, PhysicalOperator
+from repro.physical.basic import Filter, ProjectOp, RenameOp
+from repro.relation.row import Row
+from repro.relation.schema import Schema
+
+__all__ = [
+    "FUSABLE_OPERATORS",
+    "CompiledSegment",
+    "CompilationReport",
+    "compile_plan",
+    "code_cache_size",
+    "clear_code_cache",
+]
+
+#: Operators that fuse into streaming segments; everything else breaks the
+#: pipeline (division, joins, aggregation, set operations, exchanges).
+FUSABLE_OPERATORS = (Filter, ProjectOp, RenameOp)
+
+#: Predicate AST operator → Python comparison source.
+_COMPARISON_SOURCE = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+#: Module-wide ``source → code object`` cache (segment-structure keyed:
+#: values are bindings, so equal-shaped segments emit identical source).
+_CODE_CACHE: dict[str, Any] = {}
+
+
+@dataclass(frozen=True)
+class CompiledSegment:
+    """One fused chain: its shape, generated source and cache provenance."""
+
+    #: ``describe()`` of the segment root (the operator the producer runs as).
+    root: str
+    #: ``describe()`` of every fused operator, root first.
+    operators: tuple[str, ...]
+    #: The generated Python source of the segment function.
+    source: str
+    #: True when the code object came from the structure-keyed cache.
+    shared: bool
+
+    @property
+    def fused_count(self) -> int:
+        return len(self.operators)
+
+
+@dataclass(frozen=True)
+class CompilationReport:
+    """What the compilation backend did to one prepared plan."""
+
+    #: The normalized ``PlannerOptions.compile`` mode ("auto" or "on").
+    mode: str
+    #: One entry per compiled segment (empty when nothing fused).
+    segments: tuple[CompiledSegment, ...] = ()
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.segments)
+
+    def summary(self) -> str:
+        """The one-line status ``explain()`` prints."""
+        if not self.segments:
+            return f"no (no fusable segments, mode={self.mode})"
+        noun = "segment" if len(self.segments) == 1 else "segments"
+        return f"yes · {len(self.segments)} {noun}"
+
+
+class _SourceBuilder:
+    """Accumulates the ``_bind`` tuple while the source is being written."""
+
+    def __init__(self) -> None:
+        self.bindings: list[Any] = []
+
+    def bind(self, value: Any) -> str:
+        name = f"_b{len(self.bindings)}"
+        self.bindings.append(value)
+        return name
+
+
+# ----------------------------------------------------------------------
+# predicate inlining
+# ----------------------------------------------------------------------
+def _term_source(term: Any, schema: Schema, builder: _SourceBuilder) -> Optional[str]:
+    if isinstance(term, AttributeRef):
+        try:
+            return f"t[{schema.position(term.name)}]"
+        except KeyError:
+            return None
+    if isinstance(term, Literal):
+        return builder.bind(term.value)
+    return None
+
+
+def _predicate_source(
+    predicate: Predicate, schema: Schema, builder: _SourceBuilder
+) -> Optional[str]:
+    """Positional tuple expression for an AST predicate (None = not inlinable)."""
+    if isinstance(predicate, Comparison):
+        operator = _COMPARISON_SOURCE.get(predicate.operator)
+        left = _term_source(predicate.left, schema, builder)
+        right = _term_source(predicate.right, schema, builder)
+        if operator is None or left is None or right is None:
+            return None
+        return f"({left} {operator} {right})"
+    if isinstance(predicate, And):
+        parts = [_predicate_source(operand, schema, builder) for operand in predicate.operands]
+        if any(part is None for part in parts):
+            return None
+        return "(" + " and ".join(parts) + ")"  # type: ignore[arg-type]
+    if isinstance(predicate, Or):
+        parts = [_predicate_source(operand, schema, builder) for operand in predicate.operands]
+        if any(part is None for part in parts):
+            return None
+        return "(" + " or ".join(parts) + ")"  # type: ignore[arg-type]
+    if isinstance(predicate, Not):
+        inner = _predicate_source(predicate.operand, schema, builder)
+        return None if inner is None else f"(not {inner})"
+    if isinstance(predicate, TruePredicate):
+        return "True"
+    if isinstance(predicate, FalsePredicate):
+        return "False"
+    return None
+
+
+# ----------------------------------------------------------------------
+# segment discovery
+# ----------------------------------------------------------------------
+def _segment_roots(plan: PhysicalOperator) -> list[PhysicalOperator]:
+    """Fusable operators whose parent does not fuse them (pre-order).
+
+    Plans can share subtrees (the algebra-simulation division re-scans its
+    dividend); an operator can be interior to one segment *and* the root of
+    another — both producers then bump its counter exactly as often as the
+    interpreter would have pulled it.
+    """
+    roots: list[PhysicalOperator] = []
+    seen: set[int] = set()
+
+    def visit(operator: PhysicalOperator, fused_by_parent: bool) -> None:
+        fusable = isinstance(operator, FUSABLE_OPERATORS)
+        if fusable and not fused_by_parent and id(operator) not in seen:
+            seen.add(id(operator))
+            roots.append(operator)
+        for child in operator.children:
+            visit(child, fusable)
+
+    visit(plan, False)
+    return roots
+
+
+def _chain(root: PhysicalOperator) -> list[PhysicalOperator]:
+    """The maximal fused chain under ``root``, bottom stage first."""
+    stages = [root]
+    while isinstance(stages[-1].children[0], FUSABLE_OPERATORS):
+        stages.append(stages[-1].children[0])
+    stages.reverse()
+    return stages
+
+
+# ----------------------------------------------------------------------
+# codegen
+# ----------------------------------------------------------------------
+def _compile_segment(
+    root: PhysicalOperator,
+) -> Optional[tuple[Callable[[], Any], str, tuple[PhysicalOperator, ...], bool]]:
+    """Producer closure + source for the chain rooted at ``root``.
+
+    Returns ``None`` when the chain cannot be compiled safely (schema
+    bookkeeping disagrees with the root's output schema); the interpreter
+    then keeps running that chain.
+    """
+    stages = _chain(root)
+    input_operator = stages[0].children[0]
+    builder = _SourceBuilder()
+    chunk_name = builder.bind(Chunk)
+    entry_schema = input_operator.schema
+    entry_name = builder.bind(entry_schema)
+    current = entry_schema
+
+    preamble: list[str] = []
+    body: list[str] = []
+    last = len(stages) - 1
+    for position, stage in enumerate(stages):
+        if isinstance(stage, Filter):
+            expression = _predicate_source(stage.predicate, current, builder)
+            if expression is None:
+                # Opaque callable (or attribute outside the schema): keep
+                # the interpreter's row-based call, still without the
+                # per-operator generator frame.
+                predicate_name = builder.bind(stage.predicate)
+                row_name = builder.bind(Row.from_schema)
+                schema_name = builder.bind(current)
+                expression = f"{predicate_name}({row_name}({schema_name}, t))"
+            body.append(f"        _t = [t for t in _t if {expression}]")
+        elif isinstance(stage, ProjectOp):
+            getter_name = builder.bind(current.tuple_getter(stage.schema.names))
+            seen = f"_seen{position}"
+            add = f"_add{position}"
+            preamble.append(f"    {seen} = set()")
+            preamble.append(f"    {add} = {seen}.add")
+            body.append(
+                f"        _t = [v for v in map({getter_name}, _t)"
+                f" if not (v in {seen} or {add}(v))]"
+            )
+            current = stage.schema
+        elif isinstance(stage, RenameOp):
+            # Positions are unchanged; only the schema label moves.
+            current = stage.schema
+        else:  # pragma: no cover - FUSABLE_OPERATORS guards this
+            return None
+        if position != last:
+            # Interior operators are bypassed at runtime; bump their
+            # counters so tuple counts match the interpreted pipeline
+            # (the root is counted by the ordinary chunks() wrapper).
+            operator_name = builder.bind(stage)
+            body.append(f"        {operator_name}.tuples_out += len(_t)")
+
+    if current.names != root.schema.names:
+        return None
+    output_name = builder.bind(root.schema)
+
+    lines = ["def _segment(_pull, _bind):"]
+    unpack = ", ".join(f"_b{i}" for i in range(len(builder.bindings)))
+    lines.append(f"    ({unpack},) = _bind")
+    lines.extend(preamble)
+    lines.append("    for _chunk in _pull():")
+    lines.append(f"        _t = _chunk.aligned({entry_name}).tuples")
+    lines.extend(body)
+    lines.append("        if _t:")
+    lines.append(f"            yield {chunk_name}({output_name}, _t)")
+    source = "\n".join(lines)
+
+    code = _CODE_CACHE.get(source)
+    shared = code is not None
+    if code is None:
+        code = compile(source, "<repro-compiled-segment>", "exec")
+        _CODE_CACHE[source] = code
+    namespace: dict[str, Any] = {}
+    exec(code, namespace)  # noqa: S102 - executing our own generated source
+    function = namespace["_segment"]
+    bindings = tuple(builder.bindings)
+    pull = input_operator.chunks
+
+    def producer() -> Any:
+        return function(pull, bindings)
+
+    return producer, source, tuple(stages), shared
+
+
+def compile_plan(plan: PhysicalOperator, mode: str = "auto") -> CompilationReport:
+    """Attach compiled producers to every fusable segment of ``plan``.
+
+    The plan shape is untouched: producers hang off the existing segment
+    roots and the interpreter remains the reference implementation for
+    ``rows()`` / emptiness probes.  Idempotent — recompiling a plan simply
+    replaces the producers (and hits the code cache).
+    """
+    segments: list[CompiledSegment] = []
+    for root in _segment_roots(plan):
+        compiled = _compile_segment(root)
+        if compiled is None:
+            continue
+        producer, source, stages, shared = compiled
+        root._compiled_producer = producer
+        root._compiled_source = source
+        root._compiled_fused = len(stages)
+        segments.append(
+            CompiledSegment(
+                root=root.describe(),
+                operators=tuple(stage.describe() for stage in reversed(stages)),
+                source=source,
+                shared=shared,
+            )
+        )
+    return CompilationReport(mode=mode, segments=tuple(segments))
+
+
+def code_cache_size() -> int:
+    """Number of distinct segment structures compiled so far (diagnostics)."""
+    return len(_CODE_CACHE)
+
+
+def clear_code_cache() -> None:
+    """Drop the structure-keyed code cache (tests only)."""
+    _CODE_CACHE.clear()

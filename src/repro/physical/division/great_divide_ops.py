@@ -28,6 +28,7 @@ from typing import Any
 
 from repro.errors import ExecutionError
 from repro.physical.base import Chunk, PhysicalOperator, PhysicalProperties, TupleProjector, chunked
+from repro.physical.compile.kernels import active_kernel
 
 __all__ = [
     "GreatDivisionOperator",
@@ -88,6 +89,7 @@ class NestedLoopsGreatDivision(GreatDivisionOperator):
     )
 
     def _produce_chunks(self) -> Iterator[Chunk]:
+        kernel = active_kernel()
         dividend, divisor = self._children
         c_of, divisor_b = TupleProjector(self.c), TupleProjector(self.b)
         bit_of: dict[Any, int] = {}
@@ -110,11 +112,12 @@ class NestedLoopsGreatDivision(GreatDivisionOperator):
                 dividend_groups[a_key] = get_candidate(a_key, 0) | (bit or 0)
 
         a_tuple, c_tuple = a_of.key_tuple, c_of.key_tuple
+        candidate_keys = list(dividend_groups)
+        candidate_masks = kernel.prepare_masks(list(dividend_groups.values()))
         quotient = (
-            a_tuple(a_key) + c_tuple(c_key)
+            a_tuple(candidate_keys[i]) + c_tuple(c_key)
             for c_key, needed in divisor_groups.items()
-            for a_key, available in dividend_groups.items()
-            if needed & available == needed
+            for i in kernel.subset_matches(candidate_masks, needed)
         )
         yield from chunked(quotient, self._schema, self.batch_size)
 
@@ -136,6 +139,7 @@ class HashGreatDivision(GreatDivisionOperator):
     )
 
     def _produce_chunks(self) -> Iterator[Chunk]:
+        kernel = active_kernel()
         dividend, divisor = self._children
         c_of, divisor_b = TupleProjector(self.c), TupleProjector(self.b)
         group_id_of: dict[Any, int] = {}
@@ -180,10 +184,13 @@ class HashGreatDivision(GreatDivisionOperator):
                     masks[code] = get_mask(code, 0) | bit
 
         a_tuple, c_tuple = a_of.key_tuple, c_of.key_tuple
+        codes = list(masks)
+        mask_values = list(masks.values())
+        fulls = [group_full[code % num_groups] for code in codes]
         quotient = (
-            a_tuple(candidate_keys[code // num_groups]) + c_tuple(group_keys[code % num_groups])
-            for code, mask in masks.items()
-            if mask == group_full[code % num_groups]
+            a_tuple(candidate_keys[codes[i] // num_groups])
+            + c_tuple(group_keys[codes[i] % num_groups])
+            for i in kernel.equal_matches(mask_values, fulls)
         )
         yield from chunked(quotient, self._schema, self.batch_size)
 
@@ -210,6 +217,7 @@ class GroupwiseSmallDivision(GreatDivisionOperator):
     )
 
     def _produce_chunks(self) -> Iterator[Chunk]:
+        kernel = active_kernel()
         dividend, divisor = self._children
         c_of, divisor_b = TupleProjector(self.c), TupleProjector(self.b)
         divisor_groups: dict[Any, set[Any]] = {}
@@ -221,10 +229,12 @@ class GroupwiseSmallDivision(GreatDivisionOperator):
         candidate_id_of: dict[Any, int] = {}
         candidate_keys: list[Any] = []
         value_id_of: dict[Any, int] = {}
-        pairs: list[tuple[int, int]] = []
+        pair_candidates: list[int] = []
+        pair_values: list[int] = []
         get_candidate = candidate_id_of.get
         get_value = value_id_of.get
-        append_pair = pairs.append
+        append_candidate = pair_candidates.append
+        append_value = pair_values.append
         for chunk in dividend.chunks():
             for a_key, b_key in zip(a_of.keys_of(chunk), b_of.keys_of(chunk)):
                 candidate_id = get_candidate(a_key)
@@ -234,8 +244,13 @@ class GroupwiseSmallDivision(GreatDivisionOperator):
                 value_id = get_value(b_key)
                 if value_id is None:
                     value_id_of[b_key] = value_id = len(value_id_of)
-                append_pair((candidate_id, value_id))
+                append_candidate(candidate_id)
+                append_value(value_id)
         num_values = len(value_id_of)
+        # The encoded dividend is swept once per divisor group; convert the
+        # index columns up front so the kernel reuses them across groups.
+        prepared_candidates = kernel.prepare_indices(pair_candidates)
+        prepared_values = kernel.prepare_indices(pair_values)
 
         a_tuple, c_tuple = a_of.key_tuple, c_of.key_tuple
 
@@ -249,13 +264,12 @@ class GroupwiseSmallDivision(GreatDivisionOperator):
                     if value_id is not None:
                         bits[value_id] = 1 << ordinal
                 full = (1 << len(needed)) - 1
-                masks = [0] * len(candidate_keys)
-                for candidate_id, value_id in pairs:
-                    masks[candidate_id] |= bits[value_id]
+                masks = kernel.gather_sweep(
+                    len(candidate_keys), prepared_candidates, prepared_values, bits
+                )
                 group_tuple = c_tuple(c_key)
-                for candidate_id, mask in enumerate(masks):
-                    if mask == full:
-                        yield a_tuple(candidate_keys[candidate_id]) + group_tuple
+                for candidate_id in kernel.full_matches(masks, full):
+                    yield a_tuple(candidate_keys[candidate_id]) + group_tuple
 
         yield from chunked(quotient(), self._schema, self.batch_size)
 

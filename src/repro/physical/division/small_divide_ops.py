@@ -38,6 +38,7 @@ from repro.division.schemas import DivisionSchemas
 from repro.errors import ExecutionError
 from repro.physical.base import Chunk, PhysicalOperator, PhysicalProperties, TupleProjector, chunked
 from repro.physical.basic import DifferenceOp, ProductOp, ProjectOp
+from repro.physical.compile.kernels import active_kernel
 from repro.relation.schema import Schema
 
 __all__ = [
@@ -123,6 +124,7 @@ class NestedLoopsDivision(DivisionOperator):
     )
 
     def _produce_chunks(self) -> Iterator[Chunk]:
+        kernel = active_kernel()
         dividend, divisor = self._children
         a_of, b_of = self._projectors()
         bit_of = self._divisor_bits(divisor)
@@ -134,20 +136,18 @@ class NestedLoopsDivision(DivisionOperator):
             candidate_keys.extend(a_of.keys_of(chunk))
             bits.extend(lookup(value, 0) for value in b_of.keys_of(chunk))
         pairs = list(zip(candidate_keys, bits))
-        candidates = dict.fromkeys(candidate_keys)
+        candidates = list(dict.fromkeys(candidate_keys))
 
+        # Deliberately quadratic: one full pair scan per candidate.  Only the
+        # final full-mask scan goes through the kernel.
+        or_ = int.__or__
+        masks = [
+            reduce(or_, [bit for pair_candidate, bit in pairs if pair_candidate == candidate], 0)
+            for candidate in candidates
+        ]
         key_tuple = a_of.key_tuple
-
-        def quotient() -> Iterator[tuple[Any, ...]]:
-            or_ = int.__or__
-            for candidate in candidates:
-                mask = reduce(
-                    or_, [bit for pair_candidate, bit in pairs if pair_candidate == candidate], 0
-                )
-                if mask & full == full:
-                    yield key_tuple(candidate)
-
-        yield from chunked(quotient(), self._schema, self.batch_size)
+        quotient = (key_tuple(candidates[i]) for i in kernel.full_matches(masks, full))
+        yield from chunked(quotient, self._schema, self.batch_size)
 
 
 class HashDivision(DivisionOperator):
@@ -167,32 +167,32 @@ class HashDivision(DivisionOperator):
     )
 
     def _produce_chunks(self) -> Iterator[Chunk]:
+        kernel = active_kernel()
         dividend, divisor = self._children
         a_of, b_of = self._projectors()
         bit_of = self._divisor_bits(divisor)
         full = (1 << len(bit_of)) - 1
         lookup = bit_of.get
 
+        # Dictionary-encode candidates to dense ids and gather the per-tuple
+        # divisor bits; the OR-sweep and the full-mask scan run in the kernel.
         id_of: dict[Any, int] = {}
-        masks: list[int] = []
+        candidate_ids: list[int] = []
+        bits: list[int] = []
         get_id = id_of.get
-        append_mask = masks.append
+        append_id = candidate_ids.append
         for chunk in dividend.chunks():
-            for candidate, value in zip(a_of.keys_of(chunk), b_of.keys_of(chunk)):
+            for candidate in a_of.keys_of(chunk):
                 candidate_id = get_id(candidate)
                 if candidate_id is None:
-                    id_of[candidate] = candidate_id = len(masks)
-                    append_mask(0)
-                bit = lookup(value)
-                if bit is not None:
-                    masks[candidate_id] |= bit
+                    id_of[candidate] = candidate_id = len(id_of)
+                append_id(candidate_id)
+            bits.extend(lookup(value, 0) for value in b_of.keys_of(chunk))
+        masks = kernel.sweep_masks(len(id_of), candidate_ids, bits)
+        candidates = list(id_of)
 
         key_tuple = a_of.key_tuple
-        quotient = (
-            key_tuple(candidate)
-            for candidate, candidate_id in id_of.items()
-            if masks[candidate_id] == full
-        )
+        quotient = (key_tuple(candidates[i]) for i in kernel.full_matches(masks, full))
         yield from chunked(quotient, self._schema, self.batch_size)
 
 
@@ -243,6 +243,7 @@ class MergeSortDivision(DivisionOperator):
         if self.assume_clustered:
             yield from self._produce_streaming()
             return
+        kernel = active_kernel()
         dividend, divisor = self._children
         a_of, b_of = self._projectors()
         bit_of = self._divisor_bits(divisor)
@@ -265,29 +266,32 @@ class MergeSortDivision(DivisionOperator):
                     append_pair((candidate_id, bit))
         encoded.sort()
         candidates = list(id_of)
+        key_tuple = a_of.key_tuple
 
-        def quotient() -> Iterator[tuple[Any, ...]]:
-            key_tuple = a_of.key_tuple
-            if full == 0:
-                # Empty divisor: every candidate trivially contains it (no
-                # pair carries a bit, so the merge scan below would see
-                # nothing at all).
-                for candidate in candidates:
-                    yield key_tuple(candidate)
-                return
-            current = -1
-            mask = 0
-            for candidate_id, bit in encoded:
-                if candidate_id != current:
-                    if current >= 0 and mask == full:
-                        yield key_tuple(candidates[current])
-                    current = candidate_id
-                    mask = 0
-                mask |= bit
-            if current >= 0 and mask == full:
-                yield key_tuple(candidates[current])
+        if full == 0:
+            # Empty divisor: every candidate trivially contains it (no pair
+            # carries a bit, so the merge scan below would see nothing).
+            quotient = (key_tuple(candidate) for candidate in candidates)
+            yield from chunked(quotient, self._schema, self.batch_size)
+            return
 
-        yield from chunked(quotient(), self._schema, self.batch_size)
+        # Merge each sorted candidate run into one mask slot; candidates
+        # without pairs keep mask 0 ≠ full.  The final scan is kernelized.
+        masks = [0] * len(candidates)
+        current = -1
+        mask = 0
+        for candidate_id, bit in encoded:
+            if candidate_id != current:
+                if current >= 0:
+                    masks[current] = mask
+                current = candidate_id
+                mask = 0
+            mask |= bit
+        if current >= 0:
+            masks[current] = mask
+
+        quotient = (key_tuple(candidates[i]) for i in kernel.full_matches(masks, full))
+        yield from chunked(quotient, self._schema, self.batch_size)
 
     def _produce_streaming(self) -> Iterator[Chunk]:
         """Merge-group scan over a (presumably) clustered dividend.
@@ -297,6 +301,7 @@ class MergeSortDivision(DivisionOperator):
         preserves first-seen emission order and absorbs non-contiguous runs
         (wrong clustering assumption) without changing the result.
         """
+        kernel = active_kernel()
         dividend, divisor = self._children
         a_of, b_of = self._projectors()
         bit_of = self._divisor_bits(divisor)
@@ -321,9 +326,9 @@ class MergeSortDivision(DivisionOperator):
             mask_of[current] = get_mask(current, 0) | mask
 
         key_tuple = a_of.key_tuple
-        quotient = (
-            key_tuple(candidate) for candidate, seen in mask_of.items() if seen == full
-        )
+        candidates = list(mask_of)
+        masks = list(mask_of.values())
+        quotient = (key_tuple(candidates[i]) for i in kernel.full_matches(masks, full))
         yield from chunked(quotient, self._schema, self.batch_size)
 
 
@@ -340,6 +345,7 @@ class MergeCountDivision(DivisionOperator):
     )
 
     def _produce_chunks(self) -> Iterator[Chunk]:
+        kernel = active_kernel()
         dividend, divisor = self._children
         a_of, b_of = self._projectors()
         bit_of = self._divisor_bits(divisor)
@@ -347,25 +353,22 @@ class MergeCountDivision(DivisionOperator):
         lookup = bit_of.get
 
         id_of: dict[Any, int] = {}
-        masks: list[int] = []
+        candidate_ids: list[int] = []
+        bits: list[int] = []
         get_id = id_of.get
-        append_mask = masks.append
+        append_id = candidate_ids.append
         for chunk in dividend.chunks():
-            for candidate, value in zip(a_of.keys_of(chunk), b_of.keys_of(chunk)):
+            for candidate in a_of.keys_of(chunk):
                 candidate_id = get_id(candidate)
                 if candidate_id is None:
-                    id_of[candidate] = candidate_id = len(masks)
-                    append_mask(0)
-                bit = lookup(value)
-                if bit is not None:
-                    masks[candidate_id] |= bit
+                    id_of[candidate] = candidate_id = len(id_of)
+                append_id(candidate_id)
+            bits.extend(lookup(value, 0) for value in b_of.keys_of(chunk))
+        masks = kernel.sweep_masks(len(id_of), candidate_ids, bits)
+        candidates = list(id_of)
 
         key_tuple = a_of.key_tuple
-        quotient = (
-            key_tuple(candidate)
-            for candidate, candidate_id in id_of.items()
-            if masks[candidate_id].bit_count() == required
-        )
+        quotient = (key_tuple(candidates[i]) for i in kernel.popcount_matches(masks, required))
         yield from chunked(quotient, self._schema, self.batch_size)
 
 
@@ -404,6 +407,10 @@ class AlgebraSimulationDivision(DivisionOperator):
         self._children = (self._plan,)
 
     def _produce_chunks(self) -> Iterator[Chunk]:
+        # No bitset loop of its own by design (the blow-up *is* the point);
+        # consulting the seam keeps the dispatch uniform across all eight
+        # algorithms and lets tests pin a kernel without special cases.
+        self.kernel = active_kernel()
         return self._plan.chunks()
 
 

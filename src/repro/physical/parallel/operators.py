@@ -22,6 +22,7 @@ The wrappers record per-partition statistics after execution:
 from __future__ import annotations
 
 from collections.abc import Iterator, Mapping, Sequence
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import ExecutionError
@@ -116,7 +117,13 @@ class PartitionedOperator(PhysicalOperator):
             return
         tasks = self._tasks()
         schema = self._schema
-        for tuples, counters in run_tasks(tasks, self.workers):
+        # run_tasks drains the pool before returning, so this interval is
+        # exactly the time spent inside worker execution; explain(analyze)
+        # reports it as the coordinator/worker elapsed split.
+        started = perf_counter()
+        results = run_tasks(tasks, self.workers)
+        self.worker_seconds += perf_counter() - started
+        for tuples, counters in results:
             self.partition_statistics.append(counters)
             yield from chunked(tuples, schema, self.batch_size)
 

@@ -116,6 +116,28 @@ class TestSqlCommand:
         assert main(["sql", "SELECT x FROM missing"]) == 2
         assert "error:" in capsys.readouterr().out
 
+    def test_sql_compile_flag(self, capsys):
+        assert main(["sql", Q2, "--compile"]) == 0
+        output = capsys.readouterr().out
+        assert "s1" in output and "s2" in output
+
+    def test_sql_no_compile_flag(self, capsys):
+        assert main(["sql", Q2, "--no-compile"]) == 0
+        output = capsys.readouterr().out
+        assert "s1" in output and "s2" in output
+
+    def test_sql_compile_flags_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sql", Q2, "--compile", "--no-compile"])
+
+    def test_sql_explain_reports_compilation_status(self, capsys):
+        assert main(["sql", Q2, "--explain"]) == 0
+        assert "compiled    : yes" in capsys.readouterr().out
+
+    def test_sql_no_compile_explain_reports_off(self, capsys):
+        assert main(["sql", Q2, "--explain", "--no-compile"]) == 0
+        assert "compiled    : no (compilation off)" in capsys.readouterr().out
+
 
 class TestExplainCommand:
     @pytest.mark.parametrize("name", ["Q1", "Q2", "Q3"])
@@ -126,6 +148,22 @@ class TestExplainCommand:
         assert "Logical plan (canonical, rewritten)" in output
         assert "Physical plan" in output
         assert "actual=" in output
+
+    def test_explain_reports_coordinator_worker_split(self, capsys):
+        assert main(["explain", "Q2"]) == 0
+        output = capsys.readouterr().out
+        assert "(coordinator " in output
+        assert " ms + workers " in output
+
+    def test_explain_verbose_appends_segment_source(self, capsys):
+        assert main(["explain", "Q2", "--verbose"]) == 0
+        output = capsys.readouterr().out
+        assert "Compiled segments" in output
+        assert "def _segment(_pull, _bind):" in output
+
+    def test_explain_without_verbose_omits_segment_source(self, capsys):
+        assert main(["explain", "Q2"]) == 0
+        assert "def _segment" not in capsys.readouterr().out
 
 
 class TestClaimsCommand:

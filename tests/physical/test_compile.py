@@ -1,0 +1,279 @@
+"""The compilation backend: fused segments, parity, modes and explain.
+
+The contract under test (PR 6):
+
+* compiled plans are **bit-identical** to the interpreter — same result
+  relation *and* same per-operator tuple counts (the paper's
+  max-intermediate metric) on the Section 4 queries, on all eight division
+  algorithms, at every batch size and worker count;
+* ``PlannerOptions.compile`` follows the established override pattern:
+  unknown values fail at prepare time (not execution) listing the valid
+  choices, and the mode participates in the plan-cache signature;
+* structurally identical segments share one compiled code object;
+* ``explain()`` reports compilation status, per-operator fusion markers,
+  the generated source (``verbose=True``) and the coordinator/worker
+  wall-clock split (``analyze=True``).
+"""
+
+import pytest
+
+import repro
+from repro.algebra import predicates as P
+from repro.api.fingerprint import optimizer_signature
+from repro.errors import PlanningError
+from repro.experiments import Q1, Q2, Q3, Q2_NOT_EXISTS
+from repro.optimizer.planner import PlannerOptions
+from repro.physical import (
+    GREAT_DIVIDE_ALGORITHMS,
+    SMALL_DIVIDE_ALGORITHMS,
+    Filter,
+    HashDivision,
+    ProjectOp,
+    RelationScan,
+    RenameOp,
+    compile_plan,
+    execute_plan,
+)
+from repro.physical.compile import clear_code_cache, code_cache_size
+from repro.workloads import (
+    make_division_workload,
+    make_great_division_workload,
+    textbook_catalog,
+)
+
+PAPER_QUERIES = {"Q1": Q1, "Q2": Q2, "Q3": Q3, "Q2_NOT_EXISTS": Q2_NOT_EXISTS}
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return make_division_workload(
+        num_groups=60, divisor_size=5, containing_fraction=0.3, extra_values_per_group=4, seed=11
+    )
+
+
+@pytest.fixture(scope="module")
+def great_workload():
+    return make_great_division_workload(
+        dividend_groups=40,
+        dividend_group_size=6,
+        divisor_groups=8,
+        divisor_group_size=3,
+        domain_size=20,
+        seed=12,
+    )
+
+
+def _keep_all():
+    """An inlinable predicate that keeps every (a, b) tuple flowing."""
+    return P.conjunction([P.greater_equal(P.attr("a"), 0), P.not_equals(P.attr("b"), -1)])
+
+
+def _run_both(plan_factory):
+    """Execute a plan interpreted and compiled; return both results."""
+    interpreted = execute_plan(plan_factory())
+    compiled_plan = plan_factory()
+    compile_plan(compiled_plan)
+    compiled = execute_plan(compiled_plan)
+    return interpreted, compiled
+
+
+class TestSegmentCompiler:
+    def test_fused_chain_matches_interpreter_bit_for_bit(self, small_workload):
+        def build():
+            return ProjectOp(
+                Filter(RelationScan(small_workload.dividend), _keep_all()), ("a",)
+            )
+
+        interpreted, compiled = _run_both(build)
+        assert compiled.relation == interpreted.relation
+        assert (
+            compiled.statistics.tuples_by_operator
+            == interpreted.statistics.tuples_by_operator
+        )
+
+    def test_producer_attaches_to_the_root_only(self, small_workload):
+        plan = ProjectOp(Filter(RelationScan(small_workload.dividend), _keep_all()), ("a",))
+        report = compile_plan(plan)
+        assert report.segment_count == 1
+        assert report.segments[0].fused_count == 2
+        assert plan._compiled_producer is not None
+        assert plan.children[0]._compiled_producer is None  # interior, fused away
+
+    def test_rename_fuses_for_free(self, small_workload):
+        def build():
+            return ProjectOp(
+                RenameOp(
+                    Filter(RelationScan(small_workload.dividend), _keep_all()),
+                    {"a": "x"},
+                ),
+                ("x",),
+            )
+
+        interpreted, compiled = _run_both(build)
+        assert compiled.relation == interpreted.relation
+        assert (
+            compiled.statistics.tuples_by_operator
+            == interpreted.statistics.tuples_by_operator
+        )
+
+    def test_opaque_predicate_falls_back_to_row_call(self, small_workload):
+        def build():
+            return Filter(RelationScan(small_workload.dividend), lambda row: row["a"] % 2 == 0)
+
+        interpreted, compiled = _run_both(build)
+        assert compiled.relation == interpreted.relation
+
+    def test_identical_segments_share_one_code_object(self, small_workload):
+        clear_code_cache()
+
+        def build(value):
+            return ProjectOp(
+                Filter(
+                    RelationScan(small_workload.dividend),
+                    P.equals(P.attr("b"), value),
+                ),
+                ("a",),
+            )
+
+        first = compile_plan(build(1))
+        second = compile_plan(build(2))  # different literal, same structure
+        assert not first.segments[0].shared
+        assert second.segments[0].shared
+        assert code_cache_size() == 1
+        assert first.segments[0].source == second.segments[0].source
+
+    def test_plan_without_fusable_operators_reports_none(self, small_workload):
+        plan = HashDivision(
+            RelationScan(small_workload.dividend), RelationScan(small_workload.divisor)
+        )
+        report = compile_plan(plan)
+        assert report.segment_count == 0
+        assert report.summary().startswith("no (no fusable segments")
+
+
+class TestCompiledParityOnPaperQueries:
+    @pytest.mark.parametrize("batch_size", [1, 3, 1024])
+    @pytest.mark.parametrize("name", sorted(PAPER_QUERIES))
+    def test_batch_sizes(self, name, batch_size):
+        off = repro.connect(textbook_catalog, batch_size=batch_size, compile=False)
+        on = repro.connect(textbook_catalog, batch_size=batch_size, compile=True)
+        interpreted = off.sql(PAPER_QUERIES[name]).run()
+        compiled = on.sql(PAPER_QUERIES[name]).run()
+        assert compiled.relation == interpreted.relation
+        assert compiled.tuple_counts == interpreted.tuple_counts
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("name", sorted(PAPER_QUERIES))
+    def test_worker_counts(self, name, workers):
+        off = repro.connect(textbook_catalog, workers=workers, compile=False)
+        on = repro.connect(textbook_catalog, workers=workers, compile=True)
+        interpreted = off.sql(PAPER_QUERIES[name]).run()
+        compiled = on.sql(PAPER_QUERIES[name]).run()
+        assert compiled.relation == interpreted.relation
+        assert compiled.tuple_counts == interpreted.tuple_counts
+
+
+class TestCompiledParityOnDivisionAlgorithms:
+    @pytest.mark.parametrize("algorithm", sorted(SMALL_DIVIDE_ALGORITHMS))
+    def test_small_divide(self, small_workload, algorithm):
+        operator_class = SMALL_DIVIDE_ALGORITHMS[algorithm]
+
+        def build():
+            return operator_class(
+                Filter(RelationScan(small_workload.dividend), _keep_all()),
+                RelationScan(small_workload.divisor),
+            )
+
+        interpreted, compiled = _run_both(build)
+        assert compiled.relation == interpreted.relation
+        assert (
+            compiled.statistics.tuples_by_operator
+            == interpreted.statistics.tuples_by_operator
+        )
+        assert len(compiled.relation) == small_workload.expected_quotient_size
+
+    @pytest.mark.parametrize("algorithm", sorted(GREAT_DIVIDE_ALGORITHMS))
+    def test_great_divide(self, great_workload, algorithm):
+        operator_class = GREAT_DIVIDE_ALGORITHMS[algorithm]
+
+        def build():
+            return operator_class(
+                Filter(RelationScan(great_workload.dividend), _keep_all()),
+                RelationScan(great_workload.divisor),
+            )
+
+        interpreted, compiled = _run_both(build)
+        assert compiled.relation == interpreted.relation
+        assert (
+            compiled.statistics.tuples_by_operator
+            == interpreted.statistics.tuples_by_operator
+        )
+
+
+class TestCompileModes:
+    def test_unknown_compile_mode_rejected_at_prepare_time(self):
+        """Regression (PR 4 pattern): an unknown override must fail when the
+        plan is prepared — not at execution — and list the valid choices."""
+        # Building the options object alone does not raise...
+        options = PlannerOptions(compile="quantum")
+        db = repro.connect(textbook_catalog, planner_options=options)
+        # ...preparing a query does, listing the modes.
+        with pytest.raises(PlanningError) as excinfo:
+            db.sql(Q2).run()
+        message = str(excinfo.value)
+        assert "unknown compile mode 'quantum'" in message
+        assert "auto" in message and "off" in message and "on" in message
+
+    def test_compile_off_keeps_the_interpreter(self):
+        db = repro.connect(textbook_catalog, compile=False)
+        text = db.sql(Q2).explain()
+        assert "compiled    : no (compilation off)" in text
+        assert "compiled segment" not in text
+
+    def test_compile_defaults_to_auto_and_fuses(self):
+        text = repro.connect(textbook_catalog).sql(Q2).explain()
+        assert "compiled    : yes · 1 segment" in text
+        assert "· compiled segment (" in text
+
+    @pytest.mark.parametrize("mode", [None, True, False, "auto", "on", "off"])
+    def test_every_mode_returns_identical_results(self, mode):
+        reference = repro.connect(textbook_catalog, compile=False).sql(Q2).run()
+        result = repro.connect(textbook_catalog, compile=mode).sql(Q2).run()
+        assert result.relation == reference.relation
+        assert result.tuple_counts == reference.tuple_counts
+
+    def test_compile_kw_overrides_planner_options(self):
+        db = repro.connect(
+            textbook_catalog, planner_options=PlannerOptions(compile="off"), compile="on"
+        )
+        assert db.planner_options.compile == "on"
+
+    def test_signature_depends_on_compile_mode(self):
+        default = optimizer_signature(False, PlannerOptions())
+        on = optimizer_signature(False, PlannerOptions(compile="on"))
+        off = optimizer_signature(False, PlannerOptions(compile="off"))
+        assert len({default, on, off}) == 3
+
+    def test_signature_never_raises_on_unknown_mode(self):
+        # The signature is computed while building cache keys; a bad mode
+        # must surface as a PlanningError at prepare time, not here.
+        signature = optimizer_signature(False, PlannerOptions(compile="quantum"))
+        assert signature != optimizer_signature(False, PlannerOptions())
+
+
+class TestExplainCompilation:
+    def test_verbose_appends_generated_source(self):
+        text = repro.connect(textbook_catalog).sql(Q2).explain(verbose=True)
+        assert "Compiled segments" in text
+        assert "def _segment(_pull, _bind):" in text
+        assert "operator(s) fused" in text
+
+    def test_verbose_without_segments_has_no_source_section(self):
+        text = repro.connect(textbook_catalog).sql(Q1).explain(verbose=True)
+        assert "compiled    : no (no fusable segments, mode=auto)" in text
+        assert "Compiled segments" not in text
+
+    def test_analyze_reports_coordinator_worker_split(self):
+        text = repro.connect(textbook_catalog).sql(Q2).explain(analyze=True)
+        assert "(coordinator " in text
+        assert " ms + workers " in text

@@ -1,0 +1,204 @@
+"""Bitset-kernel dispatch: python/numpy parity, fallbacks, selection.
+
+Results must never depend on the kernel in use: the numpy fast path falls
+back to the Python reference per call whenever a mask does not fit in
+``uint64`` (wide divisors) or a conversion fails, and the match scans
+return ascending indices — the same emission order as the reference.
+"""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.physical import (
+    GREAT_DIVIDE_ALGORITHMS,
+    SMALL_DIVIDE_ALGORITHMS,
+    RelationScan,
+    available_kernels,
+    execute_plan,
+    numpy_available,
+    set_kernel,
+    use_kernel,
+)
+from repro.physical.compile.kernels import (
+    KERNEL_NAMES,
+    NumpyBitsetKernel,
+    PythonBitsetKernel,
+    active_kernel,
+)
+from repro.workloads import make_division_workload, make_great_division_workload
+
+requires_numpy = pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Big enough (≥32 candidates) to cross the vectorization threshold."""
+    return make_division_workload(
+        num_groups=80, divisor_size=6, containing_fraction=0.3, extra_values_per_group=5, seed=13
+    )
+
+
+@pytest.fixture(scope="module")
+def great_workload():
+    return make_great_division_workload(
+        dividend_groups=50,
+        dividend_group_size=6,
+        divisor_groups=9,
+        divisor_group_size=3,
+        domain_size=24,
+        seed=14,
+    )
+
+
+@pytest.fixture(scope="module")
+def wide_workload():
+    """A 96-value divisor: masks exceed 64 bits, forcing the numpy kernel
+    onto its per-call Python fallback."""
+    workload = make_division_workload(
+        num_groups=40, divisor_size=96, containing_fraction=0.3, extra_values_per_group=4, seed=15
+    )
+    assert len(workload.divisor) > 64
+    return workload
+
+
+class TestKernelSelection:
+    def test_available_kernels_always_include_python(self):
+        kernels = available_kernels()
+        assert kernels[0] == "python"
+        assert ("numpy" in kernels) == numpy_available()
+
+    def test_unknown_kernel_name_rejected_with_choices(self):
+        with pytest.raises(ExecutionError) as excinfo:
+            set_kernel("quantum")
+        message = str(excinfo.value)
+        assert "unknown bitset kernel 'quantum'" in message
+        for name in KERNEL_NAMES:
+            assert name in message
+
+    def test_numpy_request_fails_cleanly_when_unavailable(self):
+        if numpy_available():
+            pytest.skip("numpy is importable here; the guard fires on CI")
+        with pytest.raises(ExecutionError, match="numpy is not importable"):
+            set_kernel("numpy")
+
+    def test_use_kernel_restores_the_previous_choice(self):
+        baseline = active_kernel()
+        with use_kernel("python"):
+            assert isinstance(active_kernel(), PythonBitsetKernel)
+            assert not isinstance(active_kernel(), NumpyBitsetKernel)
+        assert active_kernel() is baseline
+
+    @requires_numpy
+    def test_auto_prefers_numpy_when_importable(self):
+        with use_kernel("auto"):
+            assert isinstance(active_kernel(), NumpyBitsetKernel)
+
+
+@requires_numpy
+class TestKernelParity:
+    @pytest.mark.parametrize("algorithm", sorted(SMALL_DIVIDE_ALGORITHMS))
+    def test_small_divide_algorithms(self, workload, algorithm):
+        operator_class = SMALL_DIVIDE_ALGORITHMS[algorithm]
+
+        def run():
+            return execute_plan(
+                operator_class(
+                    RelationScan(workload.dividend), RelationScan(workload.divisor)
+                )
+            )
+
+        with use_kernel("python"):
+            reference = run()
+        with use_kernel("numpy"):
+            vectorized = run()
+        assert vectorized.relation == reference.relation
+        assert (
+            vectorized.statistics.tuples_by_operator
+            == reference.statistics.tuples_by_operator
+        )
+        assert len(reference.relation) == workload.expected_quotient_size
+
+    @pytest.mark.parametrize("algorithm", sorted(GREAT_DIVIDE_ALGORITHMS))
+    def test_great_divide_algorithms(self, great_workload, algorithm):
+        operator_class = GREAT_DIVIDE_ALGORITHMS[algorithm]
+
+        def run():
+            return execute_plan(
+                operator_class(
+                    RelationScan(great_workload.dividend),
+                    RelationScan(great_workload.divisor),
+                )
+            )
+
+        with use_kernel("python"):
+            reference = run()
+        with use_kernel("numpy"):
+            vectorized = run()
+        assert vectorized.relation == reference.relation
+        assert (
+            vectorized.statistics.tuples_by_operator
+            == reference.statistics.tuples_by_operator
+        )
+
+    @pytest.mark.parametrize("algorithm", sorted(SMALL_DIVIDE_ALGORITHMS))
+    def test_wide_divisor_falls_back_without_changing_results(
+        self, wide_workload, algorithm
+    ):
+        """Masks wider than 64 bits overflow ``uint64`` — the numpy kernel
+        must route those calls to the Python reference, not truncate."""
+        operator_class = SMALL_DIVIDE_ALGORITHMS[algorithm]
+
+        def run():
+            return execute_plan(
+                operator_class(
+                    RelationScan(wide_workload.dividend),
+                    RelationScan(wide_workload.divisor),
+                )
+            )
+
+        with use_kernel("python"):
+            reference = run()
+        with use_kernel("numpy"):
+            vectorized = run()
+        assert vectorized.relation == reference.relation
+        assert len(reference.relation) == wide_workload.expected_quotient_size
+
+
+@requires_numpy
+class TestKernelPrimitives:
+    def test_full_matches_order_is_ascending(self):
+        masks = [3, 7, 7, 1, 7] * 10  # ≥32 entries to cross the threshold
+        python = PythonBitsetKernel().full_matches(list(masks), 7)
+        vectorized = NumpyBitsetKernel().full_matches(list(masks), 7)
+        assert vectorized == python == sorted(python)
+
+    def test_sweep_masks_matches_reference(self):
+        count = 40
+        indices = [i % count for i in range(200)]
+        bits = [1 << (i % 7) for i in range(200)]
+        python = PythonBitsetKernel().sweep_masks(count, indices, bits)
+        vectorized = NumpyBitsetKernel().sweep_masks(count, indices, bits)
+        assert [int(m) for m in vectorized] == python
+
+    def test_wide_masks_overflow_to_python_reference(self):
+        wide = [(1 << 80) - 1] * 40
+        full = (1 << 80) - 1
+        assert NumpyBitsetKernel().full_matches(wide, full) == list(range(40))
+
+    def test_popcount_matches_reference(self):
+        masks = [0b1011, 0b0110, 0b1111, 0b0001] * 10
+        python = PythonBitsetKernel().popcount_matches(list(masks), 2)
+        vectorized = NumpyBitsetKernel().popcount_matches(list(masks), 2)
+        assert vectorized == python
+
+    def test_subset_and_equal_matches_reference(self):
+        masks = [0b101, 0b111, 0b010, 0b110] * 10
+        python = PythonBitsetKernel()
+        vectorized = NumpyBitsetKernel()
+        assert vectorized.subset_matches(list(masks), 0b100) == python.subset_matches(
+            list(masks), 0b100
+        )
+        fulls = [0b101, 0b011, 0b010, 0b110] * 10
+        assert vectorized.equal_matches(list(masks), fulls) == python.equal_matches(
+            list(masks), fulls
+        )
