@@ -1,19 +1,39 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test lint bench-smoke bench bench-record bench-compare bench-parallel bench-compiled
+.PHONY: check test lint lint-engine typecheck verify-plans bench-smoke bench bench-record bench-compare bench-parallel bench-compiled
 
-## Tier-1 gate: the full unit + benchmark-assertion suite, fail fast.
-check:
+## Tier-1 gate: typecheck plus the full unit + benchmark-assertion suite.
+check: typecheck
 	$(PYTHON) -m pytest -x -q
 
-## Static lint (ruff); skipped with a notice when ruff is not installed.
-lint:
+## Static lint: ruff (skipped with a notice when not installed) plus the
+## AST-based engine-contract linter (RP4xx rules ruff cannot express).
+lint: lint-engine
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	else \
 		echo "ruff not installed — skipping lint (pip install ruff)"; \
 	fi
+
+## Engine-contract linter: chunk-path purity, law conditions, operator
+## name/properties pairing.  Pure stdlib — always runs.
+lint-engine:
+	$(PYTHON) scripts/lint_engine.py
+
+## Strict typing gate for src/repro/analysis and src/repro/api (scoped in
+## mypy.ini); skipped with a notice when mypy is not installed.
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy --config-file mypy.ini src/repro/analysis src/repro/api; \
+	else \
+		echo "mypy not installed — skipping typecheck (pip install mypy)"; \
+	fi
+
+## Statically verify every paper workload across all algorithm/compile/
+## worker configurations (no execution; exit 1 on any error finding).
+verify-plans:
+	$(PYTHON) -m repro check --all-workloads
 
 ## Unit tests only (skips the benchmarks directory).
 test:

@@ -1,0 +1,304 @@
+#!/usr/bin/env python3
+"""Engine-contract linter: AST rules the generic ruff set cannot express.
+
+Run by ``make lint`` (and the CI ``static-analysis`` job).  The rules share
+the stable-code registry of :mod:`repro.analysis.findings`:
+
+* **RP401** — ``_produce_chunks`` implementations in the physical layer
+  must stay on the columnar fast path: no ``.rows()`` calls, no
+  ``Row.from_schema``, no ``Chunk.from_rows``, no row ``batched`` slicing.
+  Operators with a *reason* to materialize rows (public row-based
+  predicate/aggregate APIs, legacy adapters) carry a waiver pragma on or
+  directly above the ``def`` line::
+
+      # contract: rows-ok (the public predicate API takes a Row)
+
+* **RP402** — physical operators must never pull ``rows()`` from a child
+  operator (``self._children[i].rows()`` or a name bound from
+  ``self._children``): children are consumed through ``chunks()`` so the
+  per-operator counters stay correct.
+
+* **RP403** — every concrete law class under ``src/repro/laws/`` must
+  declare its ``conditions`` tuple in the class body (empty tuple =
+  explicitly unconditional).
+
+* **RP404** — every physical operator class that declares a ``name`` must
+  also declare ``properties`` (its own cost descriptor) in its body or in
+  a base class defined in the same file.
+
+Exit code 1 when any severity-``error`` finding is emitted; ``--json``
+prints the findings as a JSON document for the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.findings import Finding, finding  # noqa: E402
+
+PHYSICAL_DIR = REPO_ROOT / "src" / "repro" / "physical"
+LAWS_DIR = REPO_ROOT / "src" / "repro" / "laws"
+
+PRAGMA = "# contract: rows-ok"
+
+#: Calls inside _produce_chunks that mean "a Row object was materialized".
+ROW_MATERIALIZERS = {"rows", "from_schema", "from_rows", "batched"}
+
+
+def _python_files(directory: Path) -> Iterator[Path]:
+    yield from sorted(directory.rglob("*.py"))
+
+
+def _has_rows_ok_pragma(source_lines: Sequence[str], def_line: int) -> bool:
+    """True when the waiver pragma sits on the ``def`` line or just above.
+
+    ``def_line`` is 1-based (as in AST nodes); decorators are skipped when
+    scanning upwards so the pragma can sit above them too.
+    """
+    for line_number in (def_line, def_line - 1):
+        if 1 <= line_number <= len(source_lines):
+            line = source_lines[line_number - 1]
+            if PRAGMA in line:
+                return True
+    return False
+
+
+def _where(path: Path, node: ast.AST) -> str:
+    try:
+        located = path.relative_to(REPO_ROOT)
+    except ValueError:  # files outside the repo (unit tests lint fixtures)
+        located = path
+    return f"{located}:{getattr(node, 'lineno', 0)}"
+
+
+# ----------------------------------------------------------------------
+# RP401 / RP402: the physical layer's chunk contract
+# ----------------------------------------------------------------------
+def _row_materializing_calls(function: ast.FunctionDef) -> list[ast.Call]:
+    calls = []
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        if isinstance(callee, ast.Attribute) and callee.attr in ROW_MATERIALIZERS:
+            calls.append(node)
+        elif isinstance(callee, ast.Name) and callee.id in {"batched", "from_schema"}:
+            calls.append(node)
+    return calls
+
+
+def _child_bound_names(function: ast.FunctionDef) -> set[str]:
+    """Names bound (directly) from ``self._children`` inside ``function``."""
+    names: set[str] = set()
+
+    def is_children_ref(node: ast.expr) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr in {"_children", "children"}:
+            return True
+        if isinstance(node, ast.Subscript):
+            return is_children_ref(node.value)
+        return False
+
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Assign) or not is_children_ref(node.value):
+            continue
+        for target in node.targets:
+            elements = target.elts if isinstance(target, ast.Tuple) else [target]
+            names.update(
+                element.id for element in elements if isinstance(element, ast.Name)
+            )
+    return names
+
+
+def _check_physical_file(path: Path) -> Iterator[Finding]:
+    source = path.read_text()
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    for class_node in (n for n in tree.body if isinstance(n, ast.ClassDef)):
+        for method in (n for n in class_node.body if isinstance(n, ast.FunctionDef)):
+            child_names = _child_bound_names(method)
+            # RP402 applies to every method of an operator class, not just
+            # _produce_chunks — a child's rows() is wrong anywhere.
+            for call in ast.walk(method):
+                if not isinstance(call, ast.Call):
+                    continue
+                callee = call.func
+                if not (isinstance(callee, ast.Attribute) and callee.attr == "rows"):
+                    continue
+                receiver = callee.value
+                pulls_child = (
+                    isinstance(receiver, ast.Name) and receiver.id in child_names
+                ) or (
+                    isinstance(receiver, ast.Subscript)
+                    and isinstance(receiver.value, ast.Attribute)
+                    and receiver.value.attr in {"_children", "children"}
+                )
+                if pulls_child:
+                    yield finding(
+                        "RP402",
+                        f"{class_node.name}.{method.name} pulls rows() from a child "
+                        "operator; consume children through chunks()",
+                        _where(path, call),
+                        "engine",
+                    )
+            if method.name != "_produce_chunks":
+                continue
+            offenders = _row_materializing_calls(method)
+            if offenders and not _has_rows_ok_pragma(lines, method.lineno):
+                spelled = sorted(
+                    {
+                        callee.attr
+                        if isinstance(callee := call.func, ast.Attribute)
+                        else callee.id
+                        for call in offenders
+                    }
+                )
+                yield finding(
+                    "RP401",
+                    f"{class_node.name}._produce_chunks materializes Row objects "
+                    f"({', '.join(spelled)}) without a '{PRAGMA} (reason)' waiver",
+                    _where(path, method),
+                    "engine",
+                )
+
+
+# ----------------------------------------------------------------------
+# RP403: laws declare their conditions
+# ----------------------------------------------------------------------
+def _assigned_names(class_node: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for statement in class_node.body:
+        if isinstance(statement, ast.Assign):
+            names.update(
+                target.id for target in statement.targets if isinstance(target, ast.Name)
+            )
+        elif (
+            isinstance(statement, ast.AnnAssign)
+            and isinstance(statement.target, ast.Name)
+            and statement.value is not None
+        ):
+            names.add(statement.target.id)
+    return names
+
+
+def _base_names(class_node: ast.ClassDef) -> set[str]:
+    names = set()
+    for base in class_node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _check_laws_file(path: Path) -> Iterator[Finding]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for class_node in (n for n in tree.body if isinstance(n, ast.ClassDef)):
+        bases = _base_names(class_node)
+        if "RewriteRule" not in bases:
+            continue
+        if "conditions" not in _assigned_names(class_node):
+            yield finding(
+                "RP403",
+                f"law class {class_node.name} does not declare its conditions "
+                "(use an empty tuple for 'unconditional')",
+                _where(path, class_node),
+                "engine",
+            )
+
+
+# ----------------------------------------------------------------------
+# RP404: operators declaring a name also declare properties
+# ----------------------------------------------------------------------
+def _is_operator_class(class_node: ast.ClassDef, classes: dict[str, ast.ClassDef]) -> bool:
+    """True when the class (transitively, within this file) is a physical
+    operator — non-operator helpers (bitset kernels, dataclasses) are
+    exempt from the name/properties pairing rule."""
+    queue = list(_base_names(class_node))
+    seen: set[str] = set()
+    while queue:
+        base = queue.pop()
+        if base in seen:
+            continue
+        seen.add(base)
+        if base == "PhysicalOperator" or base.endswith("Operator"):
+            return True
+        if base in classes:
+            queue.extend(_base_names(classes[base]))
+    return False
+
+
+def _check_operator_declarations(path: Path) -> Iterator[Finding]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    classes = {n.name: n for n in tree.body if isinstance(n, ast.ClassDef)}
+    for class_node in classes.values():
+        if not _is_operator_class(class_node, classes):
+            continue
+        assigned = _assigned_names(class_node)
+        if "name" not in assigned or "properties" in assigned:
+            continue
+        # A base class in the same file may carry the descriptor for a
+        # family of operators (the scan operators share _ScanBase's).
+        inherited = False
+        queue = list(_base_names(class_node))
+        seen: set[str] = set()
+        while queue:
+            base = queue.pop()
+            if base in seen or base not in classes:
+                continue
+            seen.add(base)
+            if "properties" in _assigned_names(classes[base]):
+                inherited = True
+                break
+            queue.extend(_base_names(classes[base]))
+        if not inherited:
+            yield finding(
+                "RP404",
+                f"operator class {class_node.name} declares a name but no "
+                "PhysicalProperties descriptor",
+                _where(path, class_node),
+                "engine",
+            )
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def run() -> list[Finding]:
+    findings: list[Finding] = []
+    for path in _python_files(PHYSICAL_DIR):
+        findings.extend(_check_physical_file(path))
+        findings.extend(_check_operator_declarations(path))
+    for path in _python_files(LAWS_DIR):
+        findings.extend(_check_laws_file(path))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="AST-based engine-contract linter")
+    parser.add_argument("--json", action="store_true", help="emit findings as JSON")
+    args = parser.parse_args(argv)
+    findings = run()
+    errors = [f for f in findings if f.severity.value == "error"]
+    if args.json:
+        print(
+            json.dumps(
+                {"ok": not errors, "findings": [f.to_dict() for f in findings]}, indent=2
+            )
+        )
+    else:
+        for item in findings:
+            print(item.render())
+        print(f"lint_engine: {len(findings)} finding(s), {len(errors)} error(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

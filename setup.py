@@ -1,10 +1,15 @@
 """Setuptools shim.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so that ``pip install -e .`` also works on environments without the
-``wheel`` package (legacy editable installs).
+There is no ``pyproject.toml`` yet; this file carries the minimal
+packaging metadata so ``pip install -e .`` works and the ``py.typed``
+marker (PEP 561) ships with the package.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-division-laws",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+)

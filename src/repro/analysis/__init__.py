@@ -1,0 +1,53 @@
+"""Static analysis of plans, compiled segments and engine contracts.
+
+Three passes, one currency (:class:`~repro.analysis.findings.Finding`):
+
+* the **plan verifier** (:mod:`repro.analysis.plan_verifier`) checks
+  schema soundness of logical expressions and physical plans plus the
+  operator contracts (RP1xx/RP2xx);
+* the **codegen auditor** (:mod:`repro.analysis.codegen_auditor`) proves
+  each compiled segment's generated source effect-free and structurally
+  faithful to the chain it replaced (RP3xx);
+* the **engine-contract linter** (``scripts/lint_engine.py``) enforces
+  repo-wide source rules (RP4xx) and shares the finding registry.
+
+Entry points: ``repro check`` (CLI), ``Query.verify()`` /
+``explain(verify=True)`` (API), and the executor's debug pre-execution
+hook (``REPRO_VERIFY=1`` or ``execute_plan(..., verify=True)``).
+"""
+
+from repro.analysis.check import (
+    CheckRun,
+    WorkloadCheck,
+    check_workloads,
+    verify_expression_tree,
+    verify_plan,
+    verify_prepared,
+)
+from repro.analysis.codegen_auditor import audit_plan, audit_source
+from repro.analysis.findings import (
+    FINDING_CODES,
+    Finding,
+    Severity,
+    VerificationReport,
+    finding,
+)
+from repro.analysis.plan_verifier import verify_expression, verify_physical
+
+__all__ = [
+    "FINDING_CODES",
+    "CheckRun",
+    "Finding",
+    "Severity",
+    "VerificationReport",
+    "WorkloadCheck",
+    "audit_plan",
+    "audit_source",
+    "check_workloads",
+    "finding",
+    "verify_expression",
+    "verify_expression_tree",
+    "verify_physical",
+    "verify_plan",
+    "verify_prepared",
+]

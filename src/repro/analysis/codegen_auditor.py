@@ -1,0 +1,382 @@
+"""Codegen audit: prove compiled-segment source effect-free and faithful.
+
+The segment compiler (:mod:`repro.physical.compile.segments`) emits textual
+Python and ``exec``\\ s it.  That is exactly the kind of code a reviewer
+cannot eyeball per-plan, so this pass parses every generated source with
+:mod:`ast` and proves three things statically:
+
+* **effect-free** — the function calls nothing outside the binding
+  whitelist (``_pull``, ``set``/``len``/``map``, ``_bN`` bindings,
+  ``_addN`` dedup adders, ``_chunk.aligned``), never imports, never writes
+  global/nonlocal state, and the only mutation is the sanctioned
+  ``_bN.tuples_out += len(_t)`` counter contract (RP301/RP302);
+* **binding-stable** — no statement or comprehension rebinds a ``_bN``
+  name after the initial ``(_b0, …) = _bind`` unpack, so every binding
+  still means what the compiler bound (RP303);
+* **structurally faithful** — the statement sequence matches the fused
+  operator chain one-for-one: one filter list-comprehension per ``Filter``
+  (with one ``ast.Compare`` per inlined predicate comparison), one
+  ``map``-comprehension per ``ProjectOp``, one counter bump per interior
+  stage, and the trailing ``if _t: yield`` emit (RP304).
+
+:func:`audit_plan` also re-derives each compiled root's chain and rejects
+producers attached to non-fusable or non-streaming chains (RP205).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Callable, Optional
+
+from repro.algebra.predicates import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.analysis.findings import Finding, finding
+from repro.physical.base import PhysicalOperator
+from repro.physical.basic import Filter, ProjectOp, RenameOp
+from repro.physical.compile.segments import (
+    FUSABLE_OPERATORS,
+    _chain,
+    _predicate_source,
+    _SourceBuilder,
+)
+
+__all__ = ["audit_plan", "audit_source"]
+
+#: Signature of the per-audit finding collector the helpers share.
+Emit = Callable[[str, str], None]
+
+_BINDING = re.compile(r"^_b\d+$")
+_ADDER = re.compile(r"^_add\d+$")
+_SEEN = re.compile(r"^_seen\d+$")
+
+#: Plain-name calls the generated source may make besides bindings/adders.
+_CALL_WHITELIST = frozenset({"_pull", "set", "len", "map"})
+
+
+# ======================================================================
+# entry points
+# ======================================================================
+def audit_plan(plan: PhysicalOperator) -> tuple[list[Finding], int]:
+    """Audit every compiled segment attached to ``plan``.
+
+    Returns ``(findings, segments_audited)``.
+    """
+    findings: list[Finding] = []
+    seen: set[int] = set()
+    audited = 0
+    for operator in plan.walk():
+        if id(operator) in seen or operator._compiled_producer is None:
+            continue
+        seen.add(id(operator))
+        audited += 1
+        where = operator.label
+        if not isinstance(operator, FUSABLE_OPERATORS):
+            findings.append(
+                finding(
+                    "RP205",
+                    f"compiled producer attached to non-fusable {type(operator).__name__}",
+                    where,
+                    "codegen",
+                )
+            )
+            continue
+        stages = _chain(operator)
+        broken = [
+            type(stage).__name__
+            for stage in stages
+            if not type(stage).properties.streaming
+        ]
+        if broken:
+            findings.append(
+                finding(
+                    "RP205",
+                    f"fused chain contains non-streaming stage(s) {broken!r}",
+                    where,
+                    "codegen",
+                )
+            )
+            continue
+        fused = getattr(operator, "_compiled_fused", None)
+        if fused is not None and fused != len(stages):
+            findings.append(
+                finding(
+                    "RP205",
+                    f"producer was compiled for {fused} stage(s) but the chain now has "
+                    f"{len(stages)}; the plan changed after compilation",
+                    where,
+                    "codegen",
+                )
+            )
+            continue
+        source = getattr(operator, "_compiled_source", None)
+        if not source:
+            findings.append(
+                finding("RP305", "compiled producer has no recorded source", where, "codegen")
+            )
+            continue
+        findings.extend(audit_source(source, stages, where))
+    return findings, audited
+
+
+def audit_source(
+    source: str,
+    stages: Optional[list[PhysicalOperator]] = None,
+    where: str = "segment",
+) -> list[Finding]:
+    """Audit one generated source string (optionally against its chain).
+
+    ``stages`` is the fused chain bottom-first, as
+    :func:`repro.physical.compile.segments._chain` returns it; without it
+    only the effect-freedom checks (RP301/302/303/305) run.
+    """
+    findings: list[Finding] = []
+
+    def emit(code: str, message: str) -> None:
+        findings.append(finding(code, message, where, "codegen"))
+
+    try:
+        module = ast.parse(source)
+    except SyntaxError as error:
+        emit("RP305", f"generated source does not parse: {error}")
+        return findings
+
+    function = _segment_function(module, emit)
+    if function is None:
+        return findings
+
+    _check_effects(function, emit)
+    if stages is not None and not findings:
+        _check_structure(function, stages, emit)
+    return findings
+
+
+# ======================================================================
+# helpers
+# ======================================================================
+def _segment_function(module: ast.Module, emit: Emit) -> Optional[ast.FunctionDef]:
+    """The single ``_segment(_pull, _bind)`` definition, or None + finding."""
+    if len(module.body) != 1 or not isinstance(module.body[0], ast.FunctionDef):
+        emit("RP304", "module is not exactly one function definition")
+        return None
+    function = module.body[0]
+    arguments = [argument.arg for argument in function.args.args]
+    if function.name != "_segment" or arguments != ["_pull", "_bind"]:
+        emit("RP304", f"expected _segment(_pull, _bind), got {function.name}({arguments})")
+        return None
+    return function
+
+
+def _call_allowed(call: ast.Call) -> bool:
+    target = call.func
+    if isinstance(target, ast.Name):
+        name = target.id
+        return name in _CALL_WHITELIST or bool(_BINDING.match(name) or _ADDER.match(name))
+    if isinstance(target, ast.Attribute):
+        # The only attribute call the compiler emits: _chunk.aligned(_bN).
+        return (
+            target.attr == "aligned"
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "_chunk"
+        )
+    return False
+
+
+def _check_effects(function: ast.FunctionDef, emit: Emit) -> None:
+    """RP301 (calls), RP302 (writes), RP303 (binding shadowing)."""
+    body = function.body
+    unpack_ok = (
+        bool(body)
+        and isinstance(body[0], ast.Assign)
+        and len(body[0].targets) == 1
+        and isinstance(body[0].targets[0], ast.Tuple)
+        and all(
+            isinstance(element, ast.Name) and _BINDING.match(element.id)
+            for element in body[0].targets[0].elts
+        )
+        and isinstance(body[0].value, ast.Name)
+        and body[0].value.id == "_bind"
+    )
+    if not unpack_ok:
+        emit("RP304", "first statement is not the (_b0, ...) = _bind unpack")
+        return
+
+    for node in ast.walk(function):
+        if node is body[0]:
+            continue  # the sanctioned unpack
+        if isinstance(node, ast.Call) and not _call_allowed(node):
+            emit("RP301", f"call outside the binding whitelist: {ast.unparse(node.func)}(...)")
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            emit("RP302", "generated source imports a module")
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            emit("RP302", f"generated source declares {type(node).__name__.lower()} names")
+        elif isinstance(node, ast.Delete):
+            emit("RP302", "generated source deletes names")
+        elif isinstance(node, ast.AugAssign):
+            sanctioned = (
+                isinstance(node.target, ast.Attribute)
+                and node.target.attr == "tuples_out"
+                and isinstance(node.target.value, ast.Name)
+                and bool(_BINDING.match(node.target.value.id))
+                and isinstance(node.op, ast.Add)
+            )
+            if not sanctioned:
+                emit("RP302", f"unsanctioned mutation: {ast.unparse(node)}")
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                _check_write_target(target, emit)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            target = node.target
+            for name_node in ast.walk(target):
+                if isinstance(name_node, ast.Name) and _BINDING.match(name_node.id):
+                    emit("RP303", f"loop target shadows binding {name_node.id}")
+        elif (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and node is not function
+        ):
+            emit("RP302", f"generated source defines nested {type(node).__name__}")
+
+
+def _check_write_target(target: ast.expr, emit: Emit) -> None:
+    if isinstance(target, ast.Name):
+        name = target.id
+        if _BINDING.match(name):
+            emit("RP303", f"assignment shadows binding {name}")
+        elif name != "_t" and not (_SEEN.match(name) or _ADDER.match(name)):
+            emit("RP302", f"assignment to unexpected name {name!r}")
+    elif isinstance(target, (ast.Attribute, ast.Subscript)):
+        emit("RP302", f"assignment to {ast.unparse(target)} mutates external state")
+    else:  # tuple/starred targets never appear outside the unpack
+        emit("RP302", f"unexpected assignment target {ast.unparse(target)}")
+
+
+def _comparison_count(predicate: Predicate) -> int:
+    if isinstance(predicate, Comparison):
+        return 1
+    if isinstance(predicate, (And, Or)):
+        return sum(_comparison_count(operand) for operand in predicate.operands)
+    if isinstance(predicate, Not):
+        return _comparison_count(predicate.operand)
+    return 0  # TruePredicate / FalsePredicate
+
+
+def _check_structure(
+    function: ast.FunctionDef, stages: list[PhysicalOperator], emit: Emit
+) -> None:
+    """RP304: the statement sequence matches the fused chain one-for-one."""
+    loops = [node for node in function.body if isinstance(node, ast.For)]
+    if len(loops) != 1:
+        emit("RP304", f"expected exactly one chunk loop, found {len(loops)}")
+        return
+    loop = loops[0]
+
+    statements = list(loop.body)
+    if not statements:
+        emit("RP304", "chunk loop body is empty")
+        return
+    entry = statements.pop(0)
+    entry_ok = (
+        isinstance(entry, ast.Assign)
+        and isinstance(entry.value, ast.Attribute)
+        and entry.value.attr == "tuples"
+    )
+    if not entry_ok:
+        emit("RP304", "loop does not start with the _chunk.aligned(...).tuples entry")
+        return
+
+    tail = statements.pop() if statements else None
+    emit_ok = (
+        isinstance(tail, ast.If)
+        and isinstance(tail.test, ast.Name)
+        and tail.test.id == "_t"
+        and len(tail.body) == 1
+        and isinstance(tail.body[0], ast.Expr)
+        and isinstance(tail.body[0].value, ast.Yield)
+    )
+    if not emit_ok:
+        emit("RP304", "loop does not end with the `if _t: yield Chunk(...)` emit")
+        return
+
+    bumps = sum(1 for statement in statements if isinstance(statement, ast.AugAssign))
+    expected_bumps = len(stages) - 1
+    if bumps != expected_bumps:
+        emit(
+            "RP304",
+            f"{bumps} interior counter bump(s) for {len(stages)} fused stage(s) "
+            f"(expected {expected_bumps})",
+        )
+
+    transforms = [
+        statement
+        for statement in statements
+        if isinstance(statement, ast.Assign) and not isinstance(statement.value, ast.Attribute)
+    ]
+    expected_stages = [stage for stage in stages if not isinstance(stage, RenameOp)]
+    if len(transforms) != len(expected_stages):
+        emit(
+            "RP304",
+            f"{len(transforms)} transform statement(s) for {len(expected_stages)} "
+            "filter/projection stage(s)",
+        )
+        return
+
+    # Replay the compiler's schema tracking so inlinability is judged the
+    # same way the emitted source was produced.
+    current = stages[0].children[0].schema
+    position = 0
+    for stage in stages:
+        if isinstance(stage, RenameOp):
+            current = stage.schema
+            continue
+        statement = transforms[position]
+        position += 1
+        value = statement.value
+        if not isinstance(value, ast.ListComp):
+            emit("RP304", f"stage {type(stage).__name__} is not a list comprehension")
+            return
+        if isinstance(stage, Filter):
+            generators = value.generators
+            if len(generators) != 1 or len(generators[0].ifs) != 1:
+                emit("RP304", "filter stage must be one comprehension with one condition")
+                return
+            condition = generators[0].ifs[0]
+            inlined = _predicate_source(stage.predicate, current, _SourceBuilder())
+            if inlined is None:
+                if not isinstance(condition, ast.Call):
+                    emit(
+                        "RP304",
+                        "opaque predicate must compile to a bound row-based call",
+                    )
+                    return
+            else:
+                compares = sum(
+                    1 for node in ast.walk(condition) if isinstance(node, ast.Compare)
+                )
+                expected = _comparison_count(stage.predicate)
+                if compares != expected:
+                    emit(
+                        "RP304",
+                        f"filter inlines {compares} comparison(s); the predicate has "
+                        f"{expected}",
+                    )
+                    return
+        elif isinstance(stage, ProjectOp):
+            generators = value.generators
+            map_ok = (
+                len(generators) == 1
+                and isinstance(generators[0].iter, ast.Call)
+                and isinstance(generators[0].iter.func, ast.Name)
+                and generators[0].iter.func.id == "map"
+            )
+            if not map_ok:
+                emit("RP304", "projection stage must be one map-based comprehension")
+                return
+            current = stage.schema
+        else:  # pragma: no cover - FUSABLE_OPERATORS guards the chain
+            emit("RP304", f"unexpected fused stage {type(stage).__name__}")
+            return

@@ -27,7 +27,10 @@ from __future__ import annotations
 from collections import OrderedDict
 from collections.abc import Mapping
 from dataclasses import dataclass, replace
-from typing import Callable, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.findings import VerificationReport
 
 from repro.algebra.catalog import Catalog
 from repro.algebra.expressions import Expression
@@ -235,13 +238,21 @@ class Database:
         query: Union[Query, Expression, str],
         analyze: bool = False,
         verbose: bool = False,
+        verify: bool = False,
     ) -> str:
         """Explain SQL text, a query or an expression in one call.
 
         ``verbose=True`` appends the generated source of every compiled
-        pipeline segment.
+        pipeline segment; ``verify=True`` adds the static verifier's
+        status line and findings.
         """
-        return self._as_query(query).explain(analyze=analyze, verbose=verbose)
+        return self._as_query(query).explain(analyze=analyze, verbose=verbose, verify=verify)
+
+    def verify(self, query: Union[Query, Expression, str]) -> "VerificationReport":
+        """Statically verify the prepared plan for SQL text, a query or an
+        expression; returns a
+        :class:`~repro.analysis.findings.VerificationReport`."""
+        return self._as_query(query).verify()
 
     def prepare(self, query: Union[Query, Expression, str]) -> Query:
         """Rewrite + plan now; the returned query's ``run()`` is a cache hit."""

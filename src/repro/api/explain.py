@@ -60,11 +60,14 @@ def render_explain(
     query: "Query",
     analyze: bool = False,
     verbose: bool = False,
+    verify: bool = False,
 ) -> str:
     """Multi-section EXPLAIN (optionally EXPLAIN ANALYZE) for ``query``.
 
     ``verbose=True`` appends the generated source of every compiled
-    pipeline segment.
+    pipeline segment; ``verify=True`` runs the static verifier over the
+    prepared plan and adds a ``verification`` status line plus any
+    findings (with their stable RP codes).
     """
     expression = query.expression
     prepared, cache_hit = database._prepare(expression)
@@ -89,6 +92,12 @@ def render_explain(
         lines.append("compiled    : no (compilation off)")
     else:
         lines.append(f"compiled    : {compilation.summary()}")
+    if verify:
+        from repro.analysis.check import verify_prepared
+
+        report = verify_prepared(prepared, database.catalog)
+        lines.append(f"verification: {report.summary()}")
+        lines.extend("  " + finding.render() for finding in report.findings)
     lines.append("")
 
     lines.append("Logical plan (as written)")

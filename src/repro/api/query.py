@@ -25,6 +25,7 @@ from repro.relation.relation import Relation
 from repro.relation.schema import AttributeNames
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.findings import VerificationReport
     from repro.api.database import Database
     from repro.api.result import QueryResult
 
@@ -102,17 +103,35 @@ class Query:
         self._database._prepare(self.expression)
         return self
 
-    def explain(self, analyze: bool = False, verbose: bool = False) -> str:
+    def explain(self, analyze: bool = False, verbose: bool = False, verify: bool = False) -> str:
         """Before/after logical trees plus the physical plan.
 
         With ``analyze=True`` the plan is executed once and actual
         per-operator tuple counts are shown next to the estimates.  With
         ``verbose=True`` the generated source of every compiled pipeline
-        segment is appended.
+        segment is appended.  With ``verify=True`` the static verifier runs
+        over the prepared plan and a ``verification`` status line (plus any
+        findings) is included.
         """
         from repro.api.explain import render_explain
 
-        return render_explain(self._database, self, analyze=analyze, verbose=verbose)
+        return render_explain(
+            self._database, self, analyze=analyze, verbose=verbose, verify=verify
+        )
+
+    def verify(self) -> "VerificationReport":
+        """Statically verify this query's prepared plan.
+
+        Runs the logical, physical and codegen passes over the canonical
+        expression, the rewritten expression and the physical plan (with
+        any compiled segments), returning a
+        :class:`~repro.analysis.findings.VerificationReport`.  Nothing is
+        executed.
+        """
+        from repro.analysis.check import verify_prepared
+
+        prepared, _cached = self._database._prepare(self.expression)
+        return verify_prepared(prepared, self._database.catalog)
 
     # ------------------------------------------------------------------
     # fluent combinators (each returns a new lazy Query)

@@ -22,6 +22,12 @@ Commands
     Collect table statistics (cardinality, distinct counts, min/max,
     scan-order sortedness) for a database — the input the cost-based
     physical planner consumes.
+``check``
+    Statically verify the prepared plans of the paper workloads — schema
+    soundness, operator contracts and compiled-segment audits — without
+    executing anything (``--all-workloads`` sweeps every division
+    algorithm × compile mode × worker count; ``--json`` emits the findings
+    for CI gating; exit code 1 on any severity-``error`` finding).
 ``claims``
     Re-check the paper's qualitative efficiency claims on synthetic
     workloads (deterministic tuple-count measurements).
@@ -143,6 +149,27 @@ def build_parser() -> argparse.ArgumentParser:
         "tables", nargs="*", help="tables to analyze (default: all tables)"
     )
 
+    check = subparsers.add_parser(
+        "check", help="statically verify the prepared plans of the paper workloads"
+    )
+    check.add_argument(
+        "--db",
+        choices=sorted(_DATABASES),
+        default="textbook",
+        help="which suppliers-and-parts database to plan against",
+    )
+    check.add_argument(
+        "--all-workloads",
+        action="store_true",
+        help="sweep every division algorithm × compile mode × worker count "
+        "(default: each query once with default planner options)",
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the findings as JSON (the CI gate consumes this)",
+    )
+
     subparsers.add_parser("claims", help="verify the paper's qualitative claims")
 
     mine = subparsers.add_parser("mine", help="frequent itemset discovery demo")
@@ -231,6 +258,18 @@ def _command_analyze(db_name: str, tables: Sequence[str]) -> int:
     return 0
 
 
+def _command_check(db_name: str, all_workloads: bool, as_json: bool) -> int:
+    from repro.analysis import check_workloads
+
+    try:
+        run = check_workloads(_DATABASES[db_name], all_workloads=all_workloads)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 2
+    print(run.to_json() if as_json else run.render())
+    return 0 if run.ok else 1
+
+
 def _command_claims() -> int:
     checks = all_claims()
     for check in checks:
@@ -274,6 +313,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_explain(args.name, args.verbose)
     if args.command == "analyze":
         return _command_analyze(args.db, args.tables)
+    if args.command == "check":
+        return _command_check(args.db, args.all_workloads, args.json)
     if args.command == "claims":
         return _command_claims()
     if args.command == "mine":

@@ -18,6 +18,7 @@ __all__ = [
     "RewriteError",
     "PlanningError",
     "ExecutionError",
+    "VerificationError",
     "SQLSyntaxError",
     "SQLTranslationError",
     "WorkloadError",
@@ -82,6 +83,19 @@ class PlanningError(ReproError):
 
 class ExecutionError(ReproError):
     """A physical operator failed during execution."""
+
+
+class VerificationError(ReproError):
+    """Static analysis found severity-``error`` findings in a plan.
+
+    Raised by the executor's debug-mode pre-execution hook and by
+    ``Query.verify()``; the offending findings (with their stable RP codes)
+    are listed in the message and attached as ``report``.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class SQLSyntaxError(ReproError):

@@ -86,12 +86,20 @@ class RewriteRule:
         One-sentence statement of the equivalence.
     requires_data:
         True when ``matches`` may need to inspect relation contents.
+    conditions:
+        The paper's named applicability conditions this rule establishes
+        before rewriting (e.g. ``("c1",)``), or an explanatory phrase for
+        structural-only laws.  Every concrete law must declare it — an
+        empty tuple means "unconditional", and leaving the attribute
+        undeclared is an engine-contract violation (RP403) because the
+        reader can no longer tell "unconditional" from "forgot to check".
     """
 
     name: str = "abstract_rule"
     paper_reference: str = ""
     description: str = ""
     requires_data: bool = False
+    conditions: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
     # interface

@@ -26,6 +26,7 @@ class Example4JoinPushdown(RewriteRule):
     paper_reference = "Example 4"
     description = "Push a theta-join on dividend-only attributes below the great divide."
     requires_data = False
+    conditions = ("the join predicate references dividend-only (A) attributes",)
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         if not (isinstance(expression, ThetaJoin) and isinstance(expression.right, GreatDivide)):

@@ -23,6 +23,7 @@ class Law17ProductFactorOut(RewriteRule):
     paper_reference = "Law 17"
     description = "(r1* × r1**) ÷* r2 = r1* × (r1** ÷* r2) when B ⊆ attrs(r1**)"
     requires_data = False
+    conditions = ("B \u2286 attrs(r1**)",)
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         if not (isinstance(expression, GreatDivide) and isinstance(expression.left, Product)):

@@ -25,6 +25,7 @@ class Law14QuotientSelectionPushdown(RewriteRule):
     paper_reference = "Law 14"
     description = "Push a selection over dividend-only attributes into the dividend."
     requires_data = False
+    conditions = ("the predicate references dividend-only (A) attributes",)
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         if not (isinstance(expression, Select) and isinstance(expression.child, GreatDivide)):
@@ -54,6 +55,7 @@ class Law15GroupSelectionPushdown(RewriteRule):
     paper_reference = "Law 15"
     description = "Push a selection over divisor-only attributes into the divisor."
     requires_data = False
+    conditions = ("the predicate references divisor-only (C) attributes",)
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         if not (isinstance(expression, Select) and isinstance(expression.child, GreatDivide)):
@@ -91,6 +93,7 @@ class Law16SharedSelectionReplication(RewriteRule):
     paper_reference = "Law 16"
     description = "Replicate a selection over the shared attributes B onto the dividend."
     requires_data = False
+    conditions = ("the predicate ranges over the shared attributes B",)
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         if not (isinstance(expression, GreatDivide) and isinstance(expression.right, Select)):
@@ -100,12 +103,10 @@ class Law16SharedSelectionReplication(RewriteRule):
         if not divisor_select.predicate.attributes <= shared.name_set:
             return False
         # Idempotence guard: do not re-fire on our own output.
-        if (
+        return not (
             isinstance(expression.left, Select)
             and expression.left.predicate == divisor_select.predicate
-        ):
-            return False
-        return True
+        )
 
     def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
         if not self.matches(expression, context):

@@ -24,6 +24,7 @@ class Law13DivisorPartitioning(RewriteRule):
     paper_reference = "Law 13"
     description = "r1 ÷* (r2' ∪ r2'') = (r1 ÷* r2') ∪ (r1 ÷* r2'') when π_C are disjoint"
     requires_data = True
+    conditions = ("\u03c0_C(r2') \u2229 \u03c0_C(r2'') = \u2205 (verified on data)",)
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         context = ensure_context(context)

@@ -45,6 +45,7 @@ class Law6DifferencePushdown(RewriteRule):
     paper_reference = "Law 6"
     description = "(σ_p'(A)(r1) − σ_p''(A)(r1)) ÷ r2 = (σ_p'(A)(r1) ÷ r2) − (σ_p''(A)(r1) ÷ r2)"
     requires_data = False
+    conditions = ("both operands select over A-attributes of the same dividend r1",)
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         context = ensure_context(context)
@@ -100,6 +101,7 @@ class Law7DisjointDifferenceElimination(RewriteRule):
     paper_reference = "Law 7"
     description = "(r1' ÷ r2) − (r1'' ÷ r2) = r1' ÷ r2 when π_A(r1') ∩ π_A(r1'') = ∅"
     requires_data = True
+    conditions = ("\u03c0_A(r1') \u2229 \u03c0_A(r1'') = \u2205 (verified on data)",)
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         context = ensure_context(context)

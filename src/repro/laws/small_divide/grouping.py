@@ -92,6 +92,7 @@ class Law11GroupedDividend(RewriteRule):
     paper_reference = "Law 11"
     description = "r1 ÷ r2 with single-tuple quotient groups becomes a semi-join (or a constant)"
     requires_data = True
+    conditions = ("every dividend A-group holds exactly one tuple (verified on data)",)
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         context = ensure_context(context)
@@ -135,6 +136,7 @@ class Law12GroupedDivisorKey(RewriteRule):
     paper_reference = "Law 12"
     description = "r1 ÷ r2 with single-tuple B-groups becomes π_A(r1 ⋉ r2) or ∅"
     requires_data = True
+    conditions = ("every divisor B-group holds exactly one tuple (verified on data)",)
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         context = ensure_context(context)

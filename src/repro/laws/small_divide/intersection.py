@@ -28,6 +28,7 @@ class Law5IntersectionPushdown(RewriteRule):
     paper_reference = "Law 5"
     description = "(r1' ∩ r1'') ÷ r2 = (r1' ÷ r2) ∩ (r1'' ÷ r2)"
     requires_data = True
+    conditions = ("both intersection operands share the dividend schema",)
 
     def __init__(self, assume_nonempty_divisor: bool = False) -> None:
         self.assume_nonempty_divisor = assume_nonempty_divisor

@@ -39,6 +39,7 @@ class Law10SemiJoinCommute(RewriteRule):
     paper_reference = "Law 10"
     description = "(r1 ÷ r2) ⋉ r3 = (r1 ⋉ r3) ÷ r2"
     requires_data = False
+    conditions = ("the semi-join key lies within the quotient (A) attributes",)
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         if not (isinstance(expression, SemiJoin) and isinstance(expression.left, SmallDivide)):
@@ -80,6 +81,10 @@ class Example3JoinElimination(RewriteRule):
     paper_reference = "Example 3"
     description = "(r1* ⋈_θ r1**) ÷ r2 = (r1* ÷ π_B1(σ_θ(r2))) − π_A(π_A(r1*) × σ_¬θ(r2))"
     requires_data = True
+    conditions = (
+        "\u03b8 relates dividend-only to divisor attributes",
+        "the \u03c3_\u00ac\u03b8 correction term is evaluated on data",
+    )
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         context = ensure_context(context)

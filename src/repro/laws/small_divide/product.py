@@ -30,6 +30,7 @@ class Law8ProductFactorOut(RewriteRule):
     paper_reference = "Law 8"
     description = "(r1* × r1**) ÷ r2 = r1* × (r1** ÷ r2) when B ⊆ attrs(r1**)"
     requires_data = False
+    conditions = ("B \u2286 attrs(r1**)",)
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         if not (isinstance(expression, SmallDivide) and isinstance(expression.left, Product)):
@@ -74,6 +75,7 @@ class Law9ProductElimination(RewriteRule):
     paper_reference = "Law 9"
     description = "(r1* × r1**) ÷ r2 = r1* ÷ π_B1(r2) when π_B2(r2) ⊆ r1**"
     requires_data = True
+    conditions = ("\u03c0_B2(r2) \u2286 r1** (verified on data)",)
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         context = ensure_context(context)
@@ -128,6 +130,7 @@ class Example2CommonFactorCancellation(RewriteRule):
     paper_reference = "Example 2"
     description = "(r1 × s) ÷ (r2 × s) = r1 ÷ r2"
     requires_data = True
+    conditions = ("the factored relation s is identical on both sides (verified on data)",)
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         context = ensure_context(context)

@@ -36,6 +36,7 @@ class Law3SelectionPushdown(RewriteRule):
     paper_reference = "Law 3"
     description = "σ_p(A)(r1 ÷ r2) = σ_p(A)(r1) ÷ r2"
     requires_data = False
+    conditions = ("the predicate references quotient (A) attributes only",)
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         if not (isinstance(expression, Select) and isinstance(expression.child, SmallDivide)):
@@ -74,6 +75,7 @@ class Law4ReplicateSelection(RewriteRule):
     paper_reference = "Law 4"
     description = "r1 ÷ σ_p(B)(r2) = σ_p(B)(r1) ÷ σ_p(B)(r2)"
     requires_data = True
+    conditions = ("the predicate references divisor (B) attributes only",)
 
     def __init__(self, assume_nonempty_divisor: bool = False) -> None:
         self.assume_nonempty_divisor = assume_nonempty_divisor
@@ -135,6 +137,7 @@ class Example1DividendRestriction(RewriteRule):
     paper_reference = "Example 1"
     description = "σ_p(B)(r1) ÷ r2 rewritten to expose the empty-result short-circuit"
     requires_data = False
+    conditions = ("the dividend restriction predicate ranges over B attributes",)
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         if not (isinstance(expression, SmallDivide) and isinstance(expression.left, Select)):
@@ -145,12 +148,10 @@ class Example1DividendRestriction(RewriteRule):
             return False
         # Idempotence guard: the rewrite's own output has the divisor already
         # restricted by the same predicate — nothing left to expose there.
-        if (
+        return not (
             isinstance(expression.right, Select)
             and expression.right.predicate == dividend_select.predicate
-        ):
-            return False
-        return True
+        )
 
     def apply(self, expression: Expression, context: Optional[RewriteContext] = None) -> Expression:
         if not self.matches(expression, context):

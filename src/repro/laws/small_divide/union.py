@@ -29,6 +29,7 @@ class Law1DivisorUnionSplit(RewriteRule):
     paper_reference = "Law 1"
     description = "Divide by a union of divisors in two pipelined stages."
     requires_data = False
+    conditions = ()  # unconditional: any divisor union splits into pipelined stages
 
     def matches(self, expression: Expression, context: Optional[RewriteContext] = None) -> bool:
         return isinstance(expression, SmallDivide) and isinstance(expression.right, Union)
@@ -62,6 +63,7 @@ class Law2DividendUnionSplit(RewriteRule):
     paper_reference = "Law 2"
     description = "Distribute a small divide over a partitioned dividend."
     requires_data = True
+    conditions = ("c1: the dividend parts share no quotient-candidate A-value",)
 
     def __init__(self, prefer_c2: bool = False) -> None:
         self.prefer_c2 = prefer_c2

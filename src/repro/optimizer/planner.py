@@ -126,8 +126,8 @@ class PlannerOptions:
         if value is False or value == "off":
             return "off"
         raise PlanningError(
-            f"unknown compile mode {value!r}; choose from ['auto', 'off', 'on'] "
-            "(or None/True/False)"
+            f"PlannerOptions.compile: unknown compile mode {value!r}; "
+            "choose from ['auto', 'off', 'on'] (or None/True/False)"
         )
 
 
@@ -188,13 +188,15 @@ class PhysicalPlanner:
             forced = getattr(self.options, attribute)
             if forced is not None and forced not in registry:
                 raise PlanningError(
-                    f"unknown {kind} algorithm {forced!r}; choose from "
-                    f"{sorted(registry)} (or None for cost-based selection)"
+                    f"PlannerOptions.{attribute}: unknown {kind} algorithm {forced!r}; "
+                    f"choose from {sorted(registry)} (or None for cost-based selection)"
                 )
         for attribute in ("workers", "partitions"):
             value = getattr(self.options, attribute)
             if value is not None and value < 1:
-                raise PlanningError(f"{attribute} must be at least 1, got {value}")
+                raise PlanningError(
+                    f"PlannerOptions.{attribute} must be at least 1, got {value}"
+                )
         self.options.compile_mode()
 
     @property

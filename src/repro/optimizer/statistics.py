@@ -369,8 +369,7 @@ class CardinalityEstimator:
                 distinct_values={name: min(left.distinct(name), right.distinct(name)) for name in expression.schema.names},
             )
         if isinstance(expression, Difference):
-            left = self._estimate(expression.left)
-            return left
+            return self._estimate(expression.left)
         if isinstance(expression, (Product,)):
             left, right = self._estimate(expression.left), self._estimate(expression.right)
             distinct = dict(left.distinct_values)

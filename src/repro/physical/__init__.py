@@ -33,7 +33,7 @@ from repro.physical.division import (
     NestedLoopsDivision,
     NestedLoopsGreatDivision,
 )
-from repro.physical.executor import ExecutionResult, execute_plan
+from repro.physical.executor import ExecutionResult, execute_plan, set_debug_verify
 from repro.physical.parallel import (
     HashPartitionExchange,
     PartitionedAggregate,
@@ -74,6 +74,7 @@ __all__ = [
     "collect_statistics",
     "ExecutionResult",
     "execute_plan",
+    "set_debug_verify",
     # leaves
     "RelationScan",
     "TableScan",

@@ -29,6 +29,11 @@ class HashAggregate(PhysicalOperator):
         streaming=False, startup_cost=8.0, per_input_cost=2.0, per_output_cost=1.0
     )
 
+    #: Groups are keyed by the grouping attributes; hash-partitioning the
+    #: input on them keeps each group whole, so per-partition aggregates
+    #: union to the global result (PartitionedAggregate relies on it).
+    key_disjoint_safe = True
+
     def __init__(
         self,
         child: PhysicalOperator,
@@ -41,6 +46,7 @@ class HashAggregate(PhysicalOperator):
         self._grouping = grouping_schema
         self._aggregations = dict(aggregations)
 
+    # contract: rows-ok (the public aggregate functions take row lists per group)
     def _produce_chunks(self) -> Iterator[Chunk]:
         key_of = TupleProjector(self._grouping)
         groups: dict[Any, list[Row]] = {}

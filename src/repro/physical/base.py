@@ -345,6 +345,15 @@ class PhysicalOperator:
     #: :meth:`set_workers` adjusts.
     parallel = False
 
+    #: Contract flag consumed by the parallel wrappers and the static
+    #: verifier (RP202): True only for algorithms whose result over a
+    #: key-disjoint partitioning of their inputs equals the union of the
+    #: per-partition results.  Division and great-division algorithms
+    #: qualify (quotient groups never span a partition of the quotient
+    #: key), as do equi-joins and grouped aggregation partitioned on their
+    #: key; anything else must stay False and never be wrapped.
+    key_disjoint_safe = False
+
     #: Zero-argument callable returning a chunk iterator, installed by the
     #: compilation backend on segment roots; ``None`` means interpreted.
     #: :meth:`chunks` dispatches through it, while :meth:`rows` (and with it
@@ -433,6 +442,7 @@ class PhysicalOperator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    # contract: rows-ok (legacy adapter: _produce_batches/_produce are row-based by definition)
     def _produce_chunks(self) -> Iterator[Chunk]:
         """Produce the output as aligned-tuple chunks.
 

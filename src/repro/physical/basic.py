@@ -53,6 +53,7 @@ class Filter(PhysicalOperator):
         super().__init__(child.schema, (child,))
         self.predicate = predicate
 
+    # contract: rows-ok (the public predicate API takes a Row; compilation inlines it away)
     def _produce_chunks(self) -> Iterator[Chunk]:
         predicate = self.predicate
         schema = self._schema
@@ -220,6 +221,7 @@ class ProductOp(PhysicalOperator):
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema.union(right.schema), (left, right))
 
+    # contract: rows-ok (overlap fallback merges via Row; the disjoint fast path is tuple-only)
     def _produce_chunks(self) -> Iterator[Chunk]:
         left, right = self._children
         schema = self._schema

@@ -58,6 +58,11 @@ def _great_division_schemas(dividend: PhysicalOperator, divisor: PhysicalOperato
 class GreatDivisionOperator(PhysicalOperator):
     """Common base for the physical great-divide algorithms."""
 
+    #: Dividend groups are keyed by A; partitioning on A keeps each group
+    #: (and its containment test against every divisor group) within one
+    #: partition, so per-partition results union to the global result.
+    key_disjoint_safe = True
+
     def __init__(self, dividend: PhysicalOperator, divisor: PhysicalOperator) -> None:
         quotient_a, shared, group_c = _great_division_schemas(dividend, divisor)
         super().__init__(quotient_a.union(group_c), (dividend, divisor))

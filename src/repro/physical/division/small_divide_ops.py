@@ -76,6 +76,11 @@ def _division_schemas(dividend: PhysicalOperator, divisor: PhysicalOperator) -> 
 class DivisionOperator(PhysicalOperator):
     """Common base for all physical small-divide algorithms."""
 
+    #: A quotient group is one A-value's B-set; partitioning the dividend
+    #: on A keeps every group whole, so per-partition quotients union to
+    #: the global quotient (the PartitionedDivision wrapper relies on it).
+    key_disjoint_safe = True
+
     def __init__(self, dividend: PhysicalOperator, divisor: PhysicalOperator) -> None:
         schemas = _division_schemas(dividend, divisor)
         super().__init__(schemas.quotient, (dividend, divisor))

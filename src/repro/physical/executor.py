@@ -9,15 +9,42 @@ objects are materialized only inside the resulting
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from repro.errors import VerificationError
 from repro.physical.base import PhysicalOperator, PlanStatistics, collect_statistics
 from repro.relation.relation import Relation
 from repro.relation.row import Row
 
-__all__ = ["ExecutionResult", "execute_plan"]
+__all__ = ["ExecutionResult", "execute_plan", "set_debug_verify"]
+
+#: Process-wide debug switch: when True every execute_plan() call verifies
+#: its plan first.  Seeded from the REPRO_VERIFY environment variable so
+#: test runs and CI can switch the hook on without touching call sites.
+_DEBUG_VERIFY = os.environ.get("REPRO_VERIFY", "").strip().lower() in {"1", "true", "on", "yes"}
+
+
+def set_debug_verify(enabled: bool) -> bool:
+    """Toggle the pre-execution verification hook; returns the old value."""
+    global _DEBUG_VERIFY
+    previous = _DEBUG_VERIFY
+    _DEBUG_VERIFY = bool(enabled)
+    return previous
+
+
+def _verify_before_execution(plan: PhysicalOperator) -> None:
+    # Imported lazily: the analysis package pulls in most of the physical
+    # layer, and the hook is off on the production path.
+    from repro.analysis.check import verify_plan
+
+    report = verify_plan(plan)
+    if not report.ok:
+        raise VerificationError(
+            "plan failed pre-execution verification:\n" + report.render(), report=report
+        )
 
 
 @dataclass(frozen=True)
@@ -53,6 +80,7 @@ def execute_plan(
     plan: PhysicalOperator,
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    verify: Optional[bool] = None,
 ) -> ExecutionResult:
     """Execute ``plan`` from a cold start and return result + statistics.
 
@@ -60,6 +88,12 @@ def execute_plan(
     before execution; ``workers`` (when given) retargets the degree of
     parallelism of any exchange operators in the plan.  The produced
     relation and per-operator tuple counts are independent of both.
+
+    ``verify=True`` (or the process-wide debug switch, ``REPRO_VERIFY=1``
+    in the environment or :func:`set_debug_verify`) statically verifies the
+    plan first and raises :class:`~repro.errors.VerificationError` on any
+    severity-``error`` finding; ``verify=False`` skips the hook even when
+    the debug switch is on.
     """
     if batch_size is not None:
         plan.set_batch_size(batch_size)
@@ -67,6 +101,9 @@ def execute_plan(
         plan.set_workers(workers)
     plan.reset_counters()
     plan.assign_labels()
+    should_verify = _DEBUG_VERIFY if verify is None else verify
+    if should_verify:
+        _verify_before_execution(plan)
     start = time.perf_counter()
     relation = plan.execute()
     elapsed = time.perf_counter() - start

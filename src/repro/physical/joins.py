@@ -58,6 +58,7 @@ class NestedLoopsJoin(PhysicalOperator):
         super().__init__(left.schema.union(right.schema), (left, right))
         self.predicate = predicate
 
+    # contract: rows-ok (the public theta-predicate API takes a merged Row per pair)
     def _produce_chunks(self) -> Iterator[Chunk]:
         left, right = self._children
         predicate = self.predicate
@@ -91,6 +92,11 @@ class HashJoin(PhysicalOperator, _SharedKeyMixin):
 
     #: Hash-table build on the right input plus a probing pass on the left.
     properties = PhysicalProperties(startup_cost=16.0, per_input_cost=2.0, per_output_cost=1.0)
+
+    #: Equi-join on the shared attributes: matching tuples agree on the
+    #: join key, so hash-partitioning both inputs on (a subset of) it keeps
+    #: every match within one partition.
+    key_disjoint_safe = True
 
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema.union(right.schema), (left, right))
@@ -156,6 +162,9 @@ class NestedLoopsNaturalJoin(PhysicalOperator, _SharedKeyMixin):
     name = "nested_loops_natural_join"
 
     properties = PhysicalProperties(per_input_cost=1.0, per_output_cost=1.0, pairwise_factor=0.5)
+
+    #: Same tuple set as :class:`HashJoin`, same key-partitioning argument.
+    key_disjoint_safe = True
 
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__(left.schema.union(right.schema), (left, right))

@@ -1,0 +1,139 @@
+"""The `repro check` sweep and every surface that exposes verification:
+`Query.verify`, `explain(verify=True)`, the executor debug hook, the CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import check_workloads
+from repro.api import connect
+from repro.errors import VerificationError
+from repro.experiments.queries import Q2
+from repro.physical import RelationScan, execute_plan, set_debug_verify
+from repro.physical.base import PhysicalOperator
+from repro.physical.basic import ProjectOp
+from repro.relation import Relation
+from repro.relation.schema import Schema
+from repro.workloads import textbook_catalog
+
+
+@pytest.fixture
+def db():
+    return connect(textbook_catalog)
+
+
+def corrupted_plan():
+    """A projection whose schema no longer resolves against its child."""
+    plan = ProjectOp(RelationScan(Relation(["a", "b"], [(1, 2)]), "r"), ("a",))
+    plan._schema = Schema(("nope",))
+    return plan
+
+
+class _PassThrough(PhysicalOperator):
+    """Executable, but fails verification: no own PhysicalProperties (RP201)."""
+
+    name = "passthrough_without_properties"
+
+    def _produce_chunks(self):
+        yield from self._children[0].chunks()
+
+
+def executable_but_flagged_plan():
+    scan = RelationScan(Relation(["a"], [(1,), (2,)]), "r")
+    return _PassThrough(scan.schema, (scan,))
+
+
+class TestCheckWorkloads:
+    def test_default_sweep_is_clean(self):
+        run = check_workloads()
+        assert run.ok
+        assert len(run.checks) == 4  # Q1, Q2, Q2_NOT_EXISTS, Q3 at defaults
+        assert run.findings == ()
+
+    def test_render_lists_one_row_per_cell(self):
+        run = check_workloads()
+        text = run.render()
+        assert text.count("\n") == len(run.checks)  # rows + the verdict line
+        assert "all clean" in text
+
+    def test_to_json_is_ci_consumable(self):
+        payload = json.loads(check_workloads().to_json())
+        assert payload["ok"] is True
+        assert payload["cells"] == len(payload["checks"])
+
+    def test_queries_override_limits_the_sweep(self):
+        run = check_workloads(queries={"Q2": Q2})
+        assert [c.workload for c in run.checks] == ["Q2"]
+
+
+class TestQueryVerify:
+    def test_query_verify_is_clean_for_the_paper_queries(self, db):
+        report = db.sql(Q2).verify()
+        assert report.ok
+        assert set(report.passes) >= {"logical", "physical"}
+
+    def test_database_verify_delegates(self, db):
+        assert db.verify(Q2).ok
+
+    def test_explain_verify_appends_a_verification_line(self, db):
+        text = db.sql(Q2).explain(verify=True)
+        assert "verification:" in text
+        assert "clean" in text.split("verification:")[1]
+
+    def test_explain_without_verify_stays_silent(self, db):
+        assert "verification:" not in db.sql(Q2).explain()
+
+
+class TestExecutorHook:
+    def test_explicit_verify_rejects_a_corrupted_plan(self):
+        with pytest.raises(VerificationError) as excinfo:
+            execute_plan(corrupted_plan(), verify=True)
+        assert "RP101" in str(excinfo.value)
+        assert excinfo.value.report is not None
+        assert not excinfo.value.report.ok
+
+    def test_explicit_verify_accepts_a_clean_plan(self):
+        plan = ProjectOp(RelationScan(Relation(["a", "b"], [(1, 2)]), "r"), ("a",))
+        result = execute_plan(plan, verify=True)
+        assert result.relation == Relation(["a"], [(1,)])
+
+    def test_debug_mode_verifies_every_execution(self):
+        previous = set_debug_verify(True)
+        try:
+            with pytest.raises(VerificationError):
+                execute_plan(corrupted_plan())
+        finally:
+            set_debug_verify(previous)
+
+    def test_explicit_opt_out_overrides_debug_mode(self):
+        previous = set_debug_verify(True)
+        try:
+            plan = executable_but_flagged_plan()
+            with pytest.raises(VerificationError):
+                execute_plan(plan)
+            result = execute_plan(plan, verify=False)
+            assert result.relation == Relation(["a"], [(1,), (2,)])
+        finally:
+            set_debug_verify(previous)
+
+    def test_set_debug_verify_returns_the_previous_value(self):
+        first = set_debug_verify(True)
+        second = set_debug_verify(first)
+        assert second is True
+
+
+class TestCheckCLI:
+    def test_check_exits_zero_and_prints_the_table(self, capsys):
+        from repro.cli import main
+
+        assert main(["check"]) == 0
+        out = capsys.readouterr().out
+        assert "all clean" in out
+        assert "Q2" in out
+
+    def test_check_json_emits_the_run_document(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True

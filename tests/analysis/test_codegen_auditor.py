@@ -1,0 +1,80 @@
+"""Unit tests for the compiled-segment codegen audit."""
+
+import pytest
+
+from repro.analysis import audit_plan, audit_source
+from repro.api.database import connect
+from repro.experiments.queries import Q2
+from repro.optimizer.planner import PlannerOptions
+from repro.physical.compile.segments import _chain
+from repro.workloads import textbook_catalog
+
+
+@pytest.fixture
+def compiled():
+    """(plan, compiled root, its fused chain, its source) for Q2."""
+    database = connect(textbook_catalog, planner_options=PlannerOptions(compile="on"))
+    prepared, _cached = database._prepare(database.sql(Q2).expression)
+    roots = [op for op in prepared.plan.walk() if getattr(op, "_compiled_source", None)]
+    assert roots, "Q2 must compile at least one segment under compile='on'"
+    root = roots[0]
+    return prepared.plan, root, _chain(root), root._compiled_source
+
+
+class TestRealSegments:
+    def test_q2_compiled_plan_audits_clean(self, compiled):
+        plan, _root, _stages, _source = compiled
+        findings, audited = audit_plan(plan)
+        assert findings == []
+        assert audited >= 1
+
+    def test_source_alone_audits_clean(self, compiled):
+        _plan, _root, stages, source = compiled
+        assert audit_source(source, stages, "Q2") == []
+
+    def test_effect_checks_run_without_a_chain(self, compiled):
+        _plan, _root, _stages, source = compiled
+        assert audit_source(source) == []
+
+
+class TestCorruptedSources:
+    def test_unparseable_source_is_rp305(self):
+        findings = audit_source("def _segment(")
+        assert [f.code for f in findings] == ["RP305"]
+
+    def test_wrong_signature_is_rp304(self, compiled):
+        _plan, _root, _stages, source = compiled
+        bad = source.replace("def _segment(_pull, _bind):", "def _segment(_pull):")
+        assert "RP304" in [f.code for f in audit_source(bad)]
+
+    def test_injected_call_is_rp301(self, compiled):
+        _plan, _root, _stages, source = compiled
+        bad = source.replace("        if _t:", "        print(_t)\n        if _t:")
+        assert "RP301" in [f.code for f in audit_source(bad)]
+
+    def test_injected_import_is_rp302(self, compiled):
+        _plan, _root, _stages, source = compiled
+        bad = source.replace(
+            "    for _chunk in _pull():", "    import os\n    for _chunk in _pull():"
+        )
+        assert "RP302" in [f.code for f in audit_source(bad)]
+
+    def test_binding_shadowing_is_rp303(self, compiled):
+        _plan, _root, _stages, source = compiled
+        bad = source.replace(
+            "    for _chunk in _pull():", "    _b0 = None\n    for _chunk in _pull():"
+        )
+        assert "RP303" in [f.code for f in audit_source(bad)]
+
+    def test_missing_counter_bump_is_rp304(self, compiled):
+        _plan, _root, stages, source = compiled
+        lines = [l for l in source.splitlines() if "tuples_out" not in l]
+        bad = "\n".join(lines)
+        findings = audit_source(bad, stages)
+        assert "RP304" in [f.code for f in findings]
+
+    def test_missing_emit_tail_is_rp304(self, compiled):
+        _plan, _root, stages, source = compiled
+        head, _sep, _tail = source.partition("        if _t:")
+        findings = audit_source(head + "        pass", stages)
+        assert "RP304" in [f.code for f in findings]

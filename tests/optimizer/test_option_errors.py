@@ -1,0 +1,84 @@
+"""Regression tests: PlanningError messages name the failing option.
+
+An unknown value in :class:`PlannerOptions` used to report only the
+operator kind ("unknown small divide algorithm ..."); with three algorithm
+overrides, two pool sizes and a compile mode on the same dataclass, the
+message must say *which attribute* to fix.  All three kinds of validation
+are covered: algorithm registries, the compile mode, and the positive
+worker/partition counts.
+"""
+
+import pytest
+
+from repro.algebra import builders as B
+from repro.algebra.catalog import Catalog
+from repro.errors import PlanningError
+from repro.optimizer import PhysicalPlanner, PlannerOptions
+from repro.relation import Relation
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.add_table("r1", Relation(["a", "b"], [(1, 1)]))
+    catalog.add_table("r2", Relation(["b"], [(1,)]))
+    return catalog
+
+
+def plan_with(catalog, **options):
+    planner = PhysicalPlanner(catalog, PlannerOptions(**options))
+    planner.plan(B.divide(catalog.ref("r1"), catalog.ref("r2")))
+
+
+class TestAlgorithmOptionNaming:
+    def test_small_divide_names_its_attribute(self, catalog):
+        with pytest.raises(PlanningError) as excinfo:
+            plan_with(catalog, small_divide_algorithm="quantum")
+        message = str(excinfo.value)
+        assert "PlannerOptions.small_divide_algorithm" in message
+        assert "quantum" in message and "small divide" in message
+
+    def test_great_divide_names_its_attribute(self, catalog):
+        with pytest.raises(PlanningError) as excinfo:
+            plan_with(catalog, great_divide_algorithm="quantum")
+        assert "PlannerOptions.great_divide_algorithm" in str(excinfo.value)
+
+    def test_join_names_its_attribute(self, catalog):
+        with pytest.raises(PlanningError) as excinfo:
+            plan_with(catalog, join_algorithm="sort_merge")
+        assert "PlannerOptions.join_algorithm" in str(excinfo.value)
+
+    def test_choices_and_escape_hatch_are_listed(self, catalog):
+        with pytest.raises(PlanningError) as excinfo:
+            plan_with(catalog, small_divide_algorithm="quantum")
+        message = str(excinfo.value)
+        assert "hash" in message and "merge_sort" in message
+        assert "None for cost-based selection" in message
+
+
+class TestCompileOptionNaming:
+    def test_unknown_compile_mode_names_the_attribute(self, catalog):
+        with pytest.raises(PlanningError) as excinfo:
+            plan_with(catalog, compile="quantum")
+        message = str(excinfo.value)
+        assert "PlannerOptions.compile" in message
+        assert "unknown compile mode 'quantum'" in message
+        assert "'auto'" in message and "'off'" in message and "'on'" in message
+
+    def test_valid_modes_do_not_raise(self, catalog):
+        for mode in (None, True, False, "auto", "on", "off"):
+            plan_with(catalog, compile=mode)
+
+
+class TestPoolSizeOptionNaming:
+    def test_nonpositive_workers_names_the_attribute(self, catalog):
+        with pytest.raises(PlanningError) as excinfo:
+            plan_with(catalog, workers=0)
+        assert "PlannerOptions.workers" in str(excinfo.value)
+        assert "got 0" in str(excinfo.value)
+
+    def test_nonpositive_partitions_names_the_attribute(self, catalog):
+        with pytest.raises(PlanningError) as excinfo:
+            plan_with(catalog, partitions=-2)
+        assert "PlannerOptions.partitions" in str(excinfo.value)
+        assert "got -2" in str(excinfo.value)

@@ -1,0 +1,160 @@
+"""Unit tests for the AST-based engine-contract linter (RP4xx rules)."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def lint():
+    spec = importlib.util.spec_from_file_location(
+        "lint_engine", REPO_ROOT / "scripts" / "lint_engine.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write(tmp_path: Path, source: str) -> Path:
+    path = tmp_path / "module.py"
+    path.write_text(source)
+    return path
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestRP401RowMaterialization:
+    def test_rows_call_in_produce_chunks_is_flagged(self, lint, tmp_path):
+        path = write(
+            tmp_path,
+            "class Op(PhysicalOperator):\n"
+            "    def _produce_chunks(self):\n"
+            "        for row in self.rows():\n"
+            "            yield row\n",
+        )
+        assert codes(lint._check_physical_file(path)) == ["RP401"]
+
+    def test_waiver_pragma_on_def_line_suppresses(self, lint, tmp_path):
+        path = write(
+            tmp_path,
+            "class Op(PhysicalOperator):\n"
+            "    def _produce_chunks(self):  # contract: rows-ok (public Row API)\n"
+            "        for row in self.rows():\n"
+            "            yield row\n",
+        )
+        assert list(lint._check_physical_file(path)) == []
+
+    def test_waiver_pragma_above_def_suppresses(self, lint, tmp_path):
+        path = write(
+            tmp_path,
+            "class Op(PhysicalOperator):\n"
+            "    # contract: rows-ok (legacy adapter)\n"
+            "    def _produce_chunks(self):\n"
+            "        return Chunk.from_rows(self.batched())\n",
+        )
+        assert list(lint._check_physical_file(path)) == []
+
+    def test_chunk_only_implementation_is_clean(self, lint, tmp_path):
+        path = write(
+            tmp_path,
+            "class Op(PhysicalOperator):\n"
+            "    def _produce_chunks(self):\n"
+            "        yield from self._children[0].chunks()\n",
+        )
+        assert list(lint._check_physical_file(path)) == []
+
+
+class TestRP402ChildRows:
+    def test_child_rows_via_subscript_is_flagged(self, lint, tmp_path):
+        path = write(
+            tmp_path,
+            "class Op(PhysicalOperator):\n"
+            "    def _build(self):\n"
+            "        return list(self._children[0].rows())\n",
+        )
+        assert codes(lint._check_physical_file(path)) == ["RP402"]
+
+    def test_child_rows_via_bound_name_is_flagged(self, lint, tmp_path):
+        path = write(
+            tmp_path,
+            "class Op(PhysicalOperator):\n"
+            "    def _build(self):\n"
+            "        left, right = self._children\n"
+            "        return list(left.rows())\n",
+        )
+        assert codes(lint._check_physical_file(path)) == ["RP402"]
+
+    def test_own_rows_view_is_not_flagged(self, lint, tmp_path):
+        path = write(
+            tmp_path,
+            "class Op(PhysicalOperator):\n"
+            "    def preview(self):\n"
+            "        return list(self.rows())\n",
+        )
+        assert list(lint._check_physical_file(path)) == []
+
+
+class TestRP403LawConditions:
+    def test_law_without_conditions_is_flagged(self, lint, tmp_path):
+        path = write(
+            tmp_path,
+            "class LawX(RewriteRule):\n"
+            "    name = 'law_x'\n"
+            "    requires_data = False\n",
+        )
+        assert codes(lint._check_laws_file(path)) == ["RP403"]
+
+    def test_empty_tuple_counts_as_declared(self, lint, tmp_path):
+        path = write(
+            tmp_path,
+            "class LawX(RewriteRule):\n"
+            "    name = 'law_x'\n"
+            "    conditions = ()\n",
+        )
+        assert list(lint._check_laws_file(path)) == []
+
+    def test_non_law_classes_are_ignored(self, lint, tmp_path):
+        path = write(tmp_path, "class Helper:\n    pass\n")
+        assert list(lint._check_laws_file(path)) == []
+
+
+class TestRP404OperatorDeclarations:
+    def test_named_operator_without_properties_is_flagged(self, lint, tmp_path):
+        path = write(
+            tmp_path,
+            "class Op(PhysicalOperator):\n"
+            "    name = 'op'\n",
+        )
+        assert codes(lint._check_operator_declarations(path)) == ["RP404"]
+
+    def test_properties_in_same_file_base_suppresses(self, lint, tmp_path):
+        path = write(
+            tmp_path,
+            "class _Base(PhysicalOperator):\n"
+            "    properties = PhysicalProperties(streaming=True)\n"
+            "class Op(_Base):\n"
+            "    name = 'op'\n",
+        )
+        assert list(lint._check_operator_declarations(path)) == []
+
+    def test_non_operator_helpers_are_exempt(self, lint, tmp_path):
+        path = write(
+            tmp_path,
+            "class Kernel:\n"
+            "    name = 'python'\n",
+        )
+        assert list(lint._check_operator_declarations(path)) == []
+
+
+class TestRepositoryIsClean:
+    def test_engine_lint_passes_on_the_repo(self, lint):
+        assert lint.run() == []
+
+    def test_main_exit_codes(self, lint, capsys):
+        assert lint.main([]) == 0
+        assert "0 error(s)" in capsys.readouterr().out

@@ -1,0 +1,276 @@
+"""Mutation harness for the static verifier.
+
+Each test corrupts a *valid* plan (or expression, or generated source) the
+way a buggy rewrite, planner or compiler would — in-place, after
+construction-time validation already ran — and asserts the verifier flags
+exactly that corruption with its stable RP code.  A final hypothesis sweep
+asserts the other direction: whatever the real optimizer produces on random
+databases verifies clean, so the mutations measure detection, not noise.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import builders as B
+from repro.algebra.catalog import Catalog
+from repro.algebra.expressions import Product, Rename, SmallDivide, Union
+from repro.analysis import (
+    audit_source,
+    verify_expression,
+    verify_physical,
+    verify_plan,
+    verify_prepared,
+)
+from repro.optimizer import PhysicalPlanner, PlannerOptions
+from repro.physical import (
+    SMALL_DIVIDE_ALGORITHMS,
+    HashAggregate,
+    HashDivision,
+    HashJoin,
+    PartitionedAggregate,
+    PartitionedDivision,
+    ProjectOp,
+    RelationScan,
+)
+from repro.physical.base import PhysicalOperator
+from repro.relation import Relation
+from repro.relation.schema import Schema, as_schema
+from tests.strategies import relations
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# ----------------------------------------------------------------------
+# fixtures: small valid inputs to corrupt
+# ----------------------------------------------------------------------
+R1 = Relation(["a", "b"], [(1, 1), (1, 2), (2, 1), (3, 1), (3, 2)])
+R2 = Relation(["b"], [(1,), (2,)])
+
+
+def division_plan():
+    return HashDivision(RelationScan(R1, "r1"), RelationScan(R2, "r2"))
+
+
+def partitioned_division():
+    return PartitionedDivision(
+        RelationScan(R1, "r1"), RelationScan(R2, "r2"), algorithm="hash", partitions=2, workers=2
+    )
+
+
+# ======================================================================
+# logical corruptions
+# ======================================================================
+class TestLogicalCorruptions:
+    def test_projection_over_vanished_attribute_is_rp101(self):
+        expression = B.project(B.ref("r1", ["a", "b"]), ["a"])
+        assert expression.schema is not None  # cache before corrupting
+        expression.attributes = as_schema(("vanished",))
+        findings, _ = verify_expression(expression)
+        assert codes(findings) == ["RP101"]
+
+    def test_rename_collision_is_rp102(self):
+        expression = Rename(B.ref("r1", ["a", "b"]), {"a": "b"})
+        findings, _ = verify_expression(expression)
+        assert codes(findings) == ["RP102"]
+
+    def test_divisor_not_subset_of_dividend_is_rp103(self):
+        expression = SmallDivide(B.ref("r1", ["a", "b"]), B.ref("r9", ["z"]))
+        findings, _ = verify_expression(expression)
+        assert codes(findings) == ["RP103"]
+
+    def test_empty_quotient_schema_is_rp103(self):
+        r1 = B.ref("r1", ["b"])
+        findings, _ = verify_expression(SmallDivide(r1, B.ref("r2", ["b"])))
+        assert codes(findings) == ["RP103"]
+
+    def test_union_attribute_mismatch_is_rp104(self):
+        findings, _ = verify_expression(Union(B.ref("r1", ["a", "b"]), B.ref("r2", ["b"])))
+        assert codes(findings) == ["RP104"]
+
+    def test_product_attribute_overlap_is_rp105(self):
+        findings, _ = verify_expression(
+            Product(B.ref("r1", ["a", "b"]), B.ref("r1b", ["a", "b"]))
+        )
+        assert codes(findings) == ["RP105"]
+
+    def test_stale_cached_schema_is_rp106(self):
+        expression = B.project(B.ref("r1", ["a", "b"]), ["a"])
+        assert expression.schema.names == ("a",)
+        expression._schema = Schema(("stale",))  # what a buggy rewrite leaves behind
+        findings, _ = verify_expression(expression)
+        assert codes(findings) == ["RP106"]
+
+    def test_catalog_disagreement_is_rp107(self):
+        catalog = Catalog()
+        catalog.add_table("r1", Relation(["x", "y"], [(1, 2)]))
+        findings, _ = verify_expression(B.ref("r1", ["a", "b"]), catalog)
+        assert codes(findings) == ["RP107"]
+
+
+# ======================================================================
+# physical corruptions
+# ======================================================================
+class TestPhysicalCorruptions:
+    def test_projection_schema_corruption_is_rp101(self):
+        plan = ProjectOp(RelationScan(R1, "r1"), ("a",))
+        plan._schema = Schema(("vanished",))
+        assert "RP101" in codes(verify_physical(plan)[0])
+
+    def test_division_over_disjoint_children_is_rp103(self):
+        plan = division_plan()
+        plan._children = (
+            RelationScan(Relation(["a"], [(1,)]), "x"),
+            RelationScan(Relation(["z"], [(1,)]), "y"),
+        )
+        assert "RP103" in codes(verify_physical(plan)[0])
+
+    def test_operator_schema_drift_is_rp111(self):
+        plan = division_plan()
+        plan._schema = Schema(("a", "b"))  # quotient must be dividend - divisor
+        assert "RP111" in codes(verify_physical(plan)[0])
+
+    def test_key_typed_differently_per_side_is_rp112_warning(self):
+        left = RelationScan(Relation(["a", "k"], [(1, 1)]), "left")
+        right = RelationScan(Relation(["k"], [("one",)]), "right")
+        findings, _ = verify_physical(HashJoin(left, right))
+        assert codes(findings) == ["RP112"]
+        assert all(f.severity.value == "warning" for f in findings)
+
+    def test_operator_without_own_properties_is_rp201(self):
+        class ForgotProperties(PhysicalOperator):
+            name = "forgot_properties"
+
+        plan = ForgotProperties(Schema(("a",)), (RelationScan(Relation(["a"], [(1,)]), "r"),))
+        assert "RP201" in codes(verify_physical(plan)[0])
+
+    def test_unsafe_wrapped_algorithm_is_rp202(self, monkeypatch):
+        plan = partitioned_division()
+        monkeypatch.setattr(HashDivision, "key_disjoint_safe", False)
+        assert "RP202" in codes(verify_physical(plan)[0])
+
+    def test_unregistered_wrapped_algorithm_is_rp202(self):
+        plan = partitioned_division()
+        plan.algorithm = "quantum"
+        assert "RP202" in codes(verify_physical(plan)[0])
+
+    def test_partition_key_not_covering_quotient_is_rp203(self):
+        plan = partitioned_division()
+        plan._key = as_schema(("b",))  # hashing on b splits a-groups across partitions
+        assert "RP203" in codes(verify_physical(plan)[0])
+
+    def test_aggregate_key_dropped_from_output_is_rp203(self):
+        child = RelationScan(R1, "r1")
+        plan = PartitionedAggregate(child, ("a",), {"n": len}, partitions=2, workers=2)
+        plan._key = as_schema(("z",))
+        assert "RP203" in codes(verify_physical(plan)[0])
+
+    def test_unpicklable_aggregate_payload_is_rp204(self):
+        child = RelationScan(R1, "r1")
+        plan = PartitionedAggregate(
+            child, ("a",), {"n": lambda rows: len(rows)}, partitions=2, workers=2
+        )
+        findings, _ = verify_physical(plan)
+        assert "RP204" in codes(findings)
+        assert verify_plan(plan).ok  # a warning: the pool degrades, CI passes
+
+    def test_compiled_producer_on_pipeline_breaker_is_rp205(self):
+        plan = HashAggregate(RelationScan(R1, "r1"), ("a",), {})
+        plan._compiled_producer = lambda: iter(())
+        report = verify_plan(plan)
+        assert "RP205" in codes(report.findings)
+
+    def test_invalid_exchange_shape_is_rp206(self):
+        plan = partitioned_division()
+        plan.partitions = 0  # an exchange no constructor would admit
+        assert "RP206" in codes(verify_physical(plan)[0])
+
+
+# ======================================================================
+# codegen corruptions (source-level; unit-level variants live in
+# tests/analysis/test_codegen_auditor.py)
+# ======================================================================
+CLEAN_SOURCE = """\
+def _segment(_pull, _bind):
+    (_b0, _b1, _b2,) = _bind
+    for _chunk in _pull():
+        _t = _chunk.aligned(_b1).tuples
+        _t = [t for t in _t if (t[0] == _b2)]
+        if _t:
+            yield _b0(_b1, _t)
+"""
+
+
+class TestCodegenCorruptions:
+    def test_clean_template_passes(self):
+        assert audit_source(CLEAN_SOURCE) == []
+
+    def test_smuggled_call_is_rp301(self):
+        bad = CLEAN_SOURCE.replace("_chunk.aligned(_b1).tuples", "__import__('os').getcwd()")
+        assert "RP301" in codes(audit_source(bad))
+
+    def test_global_write_is_rp302(self):
+        bad = CLEAN_SOURCE.replace(
+            "    for _chunk in _pull():", "    global leak\n    for _chunk in _pull():"
+        )
+        assert "RP302" in codes(audit_source(bad))
+
+    def test_binding_reassignment_is_rp303(self):
+        bad = CLEAN_SOURCE.replace("        if _t:", "        _b2 = 99\n        if _t:")
+        assert "RP303" in codes(audit_source(bad))
+
+    def test_missing_bind_unpack_is_rp304(self):
+        bad = CLEAN_SOURCE.replace("    (_b0, _b1, _b2,) = _bind\n", "")
+        assert "RP304" in codes(audit_source(bad))
+
+    def test_syntax_error_is_rp305(self):
+        assert codes(audit_source(CLEAN_SOURCE[:40])) == ["RP305"]
+
+
+# ======================================================================
+# the other direction: optimizer output on random databases is clean
+# ======================================================================
+@st.composite
+def random_catalogs(draw):
+    catalog = Catalog()
+    catalog.add_table("r1", draw(relations(("a", "b"), max_rows=10)))
+    catalog.add_table("r2", draw(relations(("b",), max_rows=4)))
+    return catalog
+
+
+class TestOptimizerPlansVerifyClean:
+    """Detection without noise: real planner output never trips the verifier."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(catalog=random_catalogs(), algorithm=st.sampled_from(sorted(SMALL_DIVIDE_ALGORITHMS)))
+    def test_every_division_algorithm_plans_clean(self, catalog, algorithm):
+        expression = B.project(
+            B.divide(B.ref("r1", ["a", "b"]), B.ref("r2", ["b"])), ["a"]
+        )
+        planner = PhysicalPlanner(catalog, PlannerOptions(small_divide_algorithm=algorithm))
+        plan = planner.plan(expression)
+        logical_findings, _ = verify_expression(expression, catalog)
+        assert logical_findings == []
+        assert verify_plan(plan).ok
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        catalog=random_catalogs(),
+        compile_mode=st.sampled_from(["off", "on"]),
+        workers=st.sampled_from([1, 4]),
+    )
+    def test_prepared_plans_verify_clean_across_configurations(
+        self, catalog, compile_mode, workers
+    ):
+        from repro.api.database import connect
+
+        database = connect(
+            catalog, planner_options=PlannerOptions(compile=compile_mode, workers=workers)
+        )
+        query = database.sql(
+            "SELECT a FROM r1 AS s DIVIDE BY r2 AS p ON s.b = p.b"
+        )
+        prepared, _cached = database._prepare(query.expression)
+        report = verify_prepared(prepared, database.catalog)
+        assert report.errors() == ()
