@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test lint lint-engine typecheck verify-plans bench-smoke bench bench-record bench-compare bench-parallel bench-compiled
+.PHONY: check test lint lint-engine typecheck verify-plans bench-smoke bench bench-record bench-compare bench-parallel bench-compiled bench-storage
 
 ## Tier-1 gate: typecheck plus the full unit + benchmark-assertion suite.
 check: typecheck
@@ -47,17 +47,21 @@ bench-smoke:
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-## Record the division microbenchmarks to the committed baseline file.
-## Refuses to run with uncommitted source changes: a baseline recorded
-## against a dirty tree cannot be reproduced from the commit it lands in.
+## Record the division and storage microbenchmarks to the committed
+## baseline files.  Refuses to run with uncommitted changes anywhere the
+## timings depend on (sources, benchmarks, the compare script, this
+## Makefile): a baseline recorded against a dirty tree cannot be
+## reproduced from the commit it lands in.
 bench-record:
-	@if ! git diff --quiet -- src benchmarks || ! git diff --cached --quiet -- src benchmarks; then \
-		echo "bench-record: src/ or benchmarks/ has uncommitted changes;"; \
+	@if ! git diff --quiet -- src benchmarks scripts Makefile || ! git diff --cached --quiet -- src benchmarks scripts Makefile; then \
+		echo "bench-record: src/, benchmarks/, scripts/ or the Makefile has uncommitted changes;"; \
 		echo "commit (or stash) them first so the baseline matches a commit."; \
 		exit 1; \
 	fi
 	$(PYTHON) -m pytest benchmarks/test_bench_division_algorithms.py -q \
 		--benchmark-json=BENCH_division.json
+	$(PYTHON) -m pytest benchmarks/test_bench_storage.py -q \
+		--benchmark-json=BENCH_storage.json
 
 ## Rerun the division microbenchmarks and fail on >25% relative regression
 ## against the committed BENCH_division.json (hardware-normalized).
@@ -74,3 +78,8 @@ bench-parallel:
 ## pipeline-breaker scenarios (same-run timings, >=2x gate on fusion).
 bench-compiled:
 	$(PYTHON) scripts/bench_compare.py --compiled
+
+## Compare full-scan vs zone-map-skipping and fullscan-ANALYZE vs
+## metadata-ANALYZE on stored tables (same-run timings, >=5x gates).
+bench-storage:
+	$(PYTHON) scripts/bench_compare.py --storage

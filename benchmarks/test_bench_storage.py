@@ -1,0 +1,185 @@
+"""Benchmarks for the persistent columnar store (zone maps + metadata).
+
+The acceptance contract of the storage subsystem:
+
+* a **selective scan over a clustered stored table** with a zone-map skip
+  predicate beats the full stored scan by ≥5×, measured same-run (the
+  zone maps prove most blocks cannot match, so they are never decoded);
+* ``ANALYZE`` on a **cold-opened store** is a metadata read — save-time
+  statistics from the table-file header — and beats a full statistics
+  scan (decode every block + columnar pass) by ≥5×;
+* ``explain(analyze=True)`` reports the skipped block count.
+
+Wall-clock assertions use best-of-N timings and are skipped entirely
+under ``--benchmark-disable`` (CI smoke on shared runners); the
+result-equality assertions always run.  ``scripts/bench_compare.py
+--storage`` runs this file once and applies the same gates to the
+recorded JSON.
+"""
+
+import time
+
+import pytest
+
+import repro
+from repro.algebra import predicates as P
+from repro.algebra.catalog import Catalog
+from repro.optimizer.statistics import TableStatistics
+from repro.physical import Filter, execute_plan
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+from repro.storage.scan import StoredScan
+
+#: Zone-map skipping must beat the full stored scan by this factor.
+SKIP_SPEEDUP_BOUND = 5.0
+#: Metadata ANALYZE must beat the full statistics scan by this factor.
+ANALYZE_SPEEDUP_BOUND = 5.0
+REPEATS = 5
+
+#: Stored-table shape: clustered on ``k`` so the zone maps partition the
+#: key range cleanly across blocks.
+ROWS = 160_000
+BLOCK_SIZE = 2048
+#: The selective predicate keeps one block's worth of keys.
+SELECTIVE_HIGH = BLOCK_SIZE
+
+SCAN_MODES = ("full", "skipping")
+ANALYZE_MODES = ("fullscan", "metadata")
+
+
+def _table_rows():
+    return [(i, i % 97, f"s{i % 13}") for i in range(ROWS)]
+
+
+@pytest.fixture(scope="session")
+def store_path(tmp_path_factory):
+    """A saved store with one big clustered table (``k`` ascending)."""
+    schema = Schema.interned(("k", "g", "s"))
+    relation = Relation.from_aligned(schema, _table_rows()).clustered(["k"])
+    catalog = Catalog()
+    catalog.add_table("big", relation, key=["k"])
+    path = tmp_path_factory.mktemp("store") / "bench-db"
+    repro.connect(catalog).save(path, block_size=BLOCK_SIZE)
+    return str(path)
+
+
+def _selective_predicate():
+    return P.less_than(P.attr("k"), SELECTIVE_HIGH)
+
+
+def _scan_plan(path: str, skipping: bool):
+    """Filter over a cold StoredScan; ``skipping`` arms the zone maps."""
+    stored = repro.connect(path).catalog["big"]
+    scan = StoredScan(stored, "big")
+    if skipping:
+        scan.set_skip_predicate(_selective_predicate())
+    return Filter(scan, _selective_predicate())
+
+
+def _metadata_analyze(path: str):
+    """Cold open + ANALYZE: reads save-time statistics, decodes no block."""
+    return repro.connect(path).analyze()
+
+
+def _fullscan_statistics(path: str):
+    """Cold open + full statistics pass: decode every block, then scan.
+
+    ``clustered(["k"])`` restores the stored scan order (``from_aligned``
+    rebuilds it from a row set) so the sortedness figures are comparable.
+    """
+    stored = repro.connect(path).catalog["big"]
+    relation = Relation.from_aligned(stored.schema, stored.aligned_tuples()).clustered(["k"])
+    return TableStatistics.from_relation(relation)
+
+
+def _best_time(thunk) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _timing_enabled(request) -> bool:
+    """False under ``--benchmark-disable`` (CI smoke on shared runners)."""
+    return not request.config.getoption("--benchmark-disable")
+
+
+@pytest.mark.parametrize(
+    "mode", [pytest.param(mode, id=f"selective-{mode}") for mode in SCAN_MODES]
+)
+def test_selective_scan(benchmark, store_path, mode):
+    """Selective filter over the stored table, with and without zone maps
+    (same names feed ``scripts/bench_compare.py --storage``)."""
+    skipping = mode == "skipping"
+    result = benchmark(lambda: execute_plan(_scan_plan(store_path, skipping)))
+    reference = execute_plan(_scan_plan(store_path, not skipping))
+    assert result.relation == reference.relation
+    assert len(result.relation) == SELECTIVE_HIGH
+
+
+@pytest.mark.parametrize(
+    "mode", [pytest.param(mode, id=f"cold-{mode}") for mode in ANALYZE_MODES]
+)
+def test_cold_analyze(benchmark, store_path, mode):
+    """ANALYZE of a cold-opened store: metadata read vs full scan."""
+    if mode == "metadata":
+        report = benchmark(lambda: _metadata_analyze(store_path))
+        statistics = report.tables["big"]
+    else:
+        statistics = benchmark(lambda: _fullscan_statistics(store_path))
+    assert statistics.cardinality == ROWS
+    assert statistics.minimum("k") == 0
+    assert statistics.maximum("k") == ROWS - 1
+    assert statistics.is_sorted("k")
+
+
+def test_block_skipping_speedup_bound(request, store_path):
+    """Same-run gate: zone-map skipping beats the full scan ≥5×, and the
+    skipped block count shows up in ``explain(analyze=True)``."""
+    full = execute_plan(_scan_plan(store_path, False))
+    skipping = execute_plan(_scan_plan(store_path, True))
+    assert full.relation == skipping.relation
+
+    db = repro.connect(store_path, cost_based=True)
+    text = db.sql(f"SELECT k, g FROM big WHERE k < {SELECTIVE_HIGH}").explain(analyze=True)
+    assert "skipped=" in text, text
+    skipped = int(text.split("skipped=", 1)[1].split()[0].rstrip(","))
+    assert skipped > 0, text
+
+    if not _timing_enabled(request):
+        # --benchmark-disable (CI smoke): parity + explain markers only.
+        return
+    full_time = _best_time(lambda: execute_plan(_scan_plan(store_path, False)))
+    skip_time = _best_time(lambda: execute_plan(_scan_plan(store_path, True)))
+    speedup = full_time / skip_time
+    assert speedup >= SKIP_SPEEDUP_BOUND, (
+        f"zone-map skipping {skip_time * 1000:.1f} ms vs full scan "
+        f"{full_time * 1000:.1f} ms — only {speedup:.2f}x "
+        f"(need {SKIP_SPEEDUP_BOUND}x)"
+    )
+
+
+def test_metadata_analyze_speedup_bound(request, store_path):
+    """Same-run gate: metadata ANALYZE beats the full statistics scan ≥5×
+    and reports the same figures."""
+    via_metadata = _metadata_analyze(store_path).tables["big"]
+    via_fullscan = _fullscan_statistics(store_path)
+    assert via_metadata.cardinality == via_fullscan.cardinality
+    assert dict(via_metadata.distinct_values) == dict(via_fullscan.distinct_values)
+    assert dict(via_metadata.minima) == dict(via_fullscan.minima)
+    assert dict(via_metadata.maxima) == dict(via_fullscan.maxima)
+    assert via_metadata.sorted_attributes == via_fullscan.sorted_attributes
+    assert via_metadata.lexicographic_prefix == via_fullscan.lexicographic_prefix
+
+    if not _timing_enabled(request):
+        return
+    metadata_time = _best_time(lambda: _metadata_analyze(store_path))
+    fullscan_time = _best_time(lambda: _fullscan_statistics(store_path))
+    speedup = fullscan_time / metadata_time
+    assert speedup >= ANALYZE_SPEEDUP_BOUND, (
+        f"metadata ANALYZE {metadata_time * 1000:.1f} ms vs full scan "
+        f"{fullscan_time * 1000:.1f} ms — only {speedup:.2f}x "
+        f"(need {ANALYZE_SPEEDUP_BOUND}x)"
+    )

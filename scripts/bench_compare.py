@@ -30,12 +30,19 @@ scenarios and pipeline breakers must not regress under compilation.  As
 with ``--parallel``, both timings come from one process on one machine, so
 no normalization or jitter floor is needed.
 
+``--storage`` switches to the persistent-store comparison: it runs
+``benchmarks/test_bench_storage.py`` once and gates the same-run ratios —
+zone-map block skipping must beat the full stored scan by ≥5× on the
+selective clustered scenario, and ``ANALYZE`` of a cold-opened store (a
+metadata read) must beat the full statistics scan by ≥5×.
+
 Usage::
 
     python scripts/bench_compare.py [--baseline BENCH_division.json]
                                     [--threshold 0.25] [--json out.json]
     python scripts/bench_compare.py --parallel 2
     python scripts/bench_compare.py --compiled
+    python scripts/bench_compare.py --storage
 """
 
 from __future__ import annotations
@@ -53,6 +60,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILE = "benchmarks/test_bench_division_algorithms.py"
 PARALLEL_BENCH_FILE = "benchmarks/test_bench_parallel_division.py"
 COMPILED_BENCH_FILE = "benchmarks/test_bench_compiled.py"
+STORAGE_BENCH_FILE = "benchmarks/test_bench_storage.py"
 
 #: workers=1 partitioned execution may cost at most this much over serial.
 PARALLEL_FALLBACK_OVERHEAD = 0.15
@@ -62,6 +70,12 @@ COMPILED_SPEEDUP_BOUND = 2.0
 COMPILED_SCENARIOS_REQUIRED = 2
 #: Compilation may cost at most this much on pipeline-breaker scenarios.
 COMPILED_BREAKER_OVERHEAD = 0.10
+#: Zone-map block skipping must beat the full stored scan by this factor
+#: on the selective clustered scenario.
+STORAGE_SKIP_SPEEDUP_BOUND = 5.0
+#: ANALYZE from save-time metadata must beat the full statistics scan by
+#: this factor on a cold-opened store.
+STORAGE_ANALYZE_SPEEDUP_BOUND = 5.0
 
 
 def load_times(payload: dict) -> dict[str, float]:
@@ -83,9 +97,24 @@ def compare(
     shields sub-millisecond scenarios from scheduler jitter: a regression
     only counts when the absolute excess over the normalized expectation
     exceeds the floor.
+
+    A scenario present in the current run but absent from the baseline is
+    a hard failure listing the missing names: a silently-dropped scenario
+    would run ungated forever, and the fix (``make bench-record``) is
+    one command away.
     """
     old = load_times(baseline)
     new = load_times(current)
+    missing = sorted(set(new) - set(old))
+    if missing:
+        lines = [
+            f"FAIL: {len(missing)} scenario(s) in the current run have no committed "
+            "baseline entry:",
+            *(f"  - {name}" for name in missing),
+            "Refresh the baseline with `make bench-record` (on a quiet machine) and "
+            "commit the updated JSON so these scenarios are gated too.",
+        ]
+        return lines, [f"missing baseline entry for {name}" for name in missing]
     shared = sorted(set(old) & set(new))
     if not shared:
         return ["no overlapping benchmarks between baseline and current run"], ["no overlap"]
@@ -252,6 +281,55 @@ def compare_compiled(payload: dict) -> tuple[list[str], list[str]]:
     return lines, failures
 
 
+def compare_storage(payload: dict) -> tuple[list[str], list[str]]:
+    """Compare stored-table timings from one storage benchmark run.
+
+    Same process, same machine — ratios are directly meaningful.  Gates:
+    the zone-map-skipping scan beats the full stored scan by
+    ≥``STORAGE_SKIP_SPEEDUP_BOUND`` on the selective clustered scenario,
+    and ``ANALYZE`` of a cold-opened store (save-time metadata) beats the
+    full statistics scan by ≥``STORAGE_ANALYZE_SPEEDUP_BOUND``.
+    """
+    times = load_times(payload)
+    scans = _mode_pairs(times, "test_selective_scan")
+    analyzes = _mode_pairs(times, "test_cold_analyze")
+    if not scans and not analyzes:
+        return ["no storage scenarios in the benchmark run"], ["missing scenarios"]
+    lines: list[str] = []
+    failures: list[str] = []
+    for scenario in sorted(scans):
+        modes = scans[scenario]
+        if "full" not in modes or "skipping" not in modes:
+            failures.append(f"scan scenario {scenario} is missing a mode")
+            continue
+        speedup = modes["full"] / modes["skipping"]
+        lines.append(
+            f"scan {scenario}: full {modes['full'] * 1000:9.3f} ms, "
+            f"skipping {modes['skipping'] * 1000:9.3f} ms ({speedup:.2f}x)"
+        )
+        if speedup < STORAGE_SKIP_SPEEDUP_BOUND:
+            failures.append(
+                f"scan scenario {scenario}: zone-map skipping is only {speedup:.2f}x "
+                f"faster than the full scan (need {STORAGE_SKIP_SPEEDUP_BOUND}x)"
+            )
+    for scenario in sorted(analyzes):
+        modes = analyzes[scenario]
+        if "metadata" not in modes or "fullscan" not in modes:
+            failures.append(f"analyze scenario {scenario} is missing a mode")
+            continue
+        speedup = modes["fullscan"] / modes["metadata"]
+        lines.append(
+            f"analyze {scenario}: full scan {modes['fullscan'] * 1000:9.3f} ms, "
+            f"metadata {modes['metadata'] * 1000:9.3f} ms ({speedup:.2f}x)"
+        )
+        if speedup < STORAGE_ANALYZE_SPEEDUP_BOUND:
+            failures.append(
+                f"analyze scenario {scenario}: metadata ANALYZE is only {speedup:.2f}x "
+                f"faster than the statistics scan (need {STORAGE_ANALYZE_SPEEDUP_BOUND}x)"
+            )
+    return lines, failures
+
+
 def run_benchmarks(json_path: Path, bench_file: str = BENCH_FILE, extra: list[str] | None = None) -> None:
     """Run one benchmark file, recording stats to ``json_path``."""
     environment = dict(os.environ)
@@ -321,7 +399,33 @@ def main(argv: list[str] | None = None) -> int:
         f"{COMPILED_BENCH_FILE}) instead of comparing against the committed "
         "baseline",
     )
+    parser.add_argument(
+        "--storage",
+        action="store_true",
+        help="compare full-scan vs zone-map-skipping and fullscan-ANALYZE vs "
+        f"metadata-ANALYZE on stored tables (same-run timings from "
+        f"{STORAGE_BENCH_FILE}) instead of comparing against the committed "
+        "baseline",
+    )
     args = parser.parse_args(argv)
+
+    if args.storage:
+        if args.json is not None:
+            payload = json.loads(args.json.read_text())
+        else:
+            with tempfile.TemporaryDirectory() as tmp:
+                json_path = Path(tmp) / "bench_storage.json"
+                run_benchmarks(json_path, STORAGE_BENCH_FILE)
+                payload = json.loads(json_path.read_text())
+        lines, failures = compare_storage(payload)
+        print("\n".join(lines))
+        if failures:
+            print(f"\nFAIL: {len(failures)} storage check(s) failed:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("\nOK: stored tables within bounds (block skipping + metadata ANALYZE).")
+        return 0
 
     if args.compiled:
         if args.json is not None:

@@ -159,6 +159,20 @@ class Catalog(Mapping[str, Relation]):
         """All declared foreign keys."""
         return tuple(self._foreign_keys)
 
+    @property
+    def declared_keys(self) -> dict[str, tuple[tuple[str, ...], ...]]:
+        """Every declared candidate key per table, deterministically ordered.
+
+        Used by :mod:`repro.storage` to persist the constraints alongside
+        the data so that a reopened store keeps the same rewrite-law
+        preconditions available.
+        """
+        return {
+            name: tuple(tuple(sorted(key)) for key in sorted(keys, key=sorted))
+            for name, keys in self._keys.items()
+            if keys
+        }
+
     # ------------------------------------------------------------------
     # validation
     # ------------------------------------------------------------------

@@ -13,7 +13,9 @@ Code ranges
 * ``RP2xx`` — operator-contract completeness (properties, parallel safety,
   partition keys, pickle-safety, streaming segments, exchange shape);
 * ``RP3xx`` — codegen audit of compiled-segment source;
-* ``RP4xx`` — engine-contract lint rules (``scripts/lint_engine.py``).
+* ``RP4xx`` — engine-contract lint rules (``scripts/lint_engine.py``);
+* ``RP5xx`` — storage invariants (stored-scan headers, zone maps, spill
+  budgets).
 """
 
 from __future__ import annotations
@@ -76,6 +78,12 @@ FINDING_CODES: dict[str, tuple[Severity, str]] = {
     "RP402": (Severity.ERROR, "physical operator pulls rows() from a child operator"),
     "RP403": (Severity.ERROR, "law class does not declare its conditions"),
     "RP404": (Severity.ERROR, "physical operator class misses name/properties declarations"),
+    # -- RP5xx: storage invariants -----------------------------------------
+    "RP501": (Severity.ERROR, "stored scan schema disagrees with the table file header"),
+    "RP502": (Severity.ERROR, "block zone map malformed (unknown attribute or min > max)"),
+    "RP503": (Severity.ERROR, "skip predicate references attributes outside the scan schema"),
+    "RP504": (Severity.ERROR, "block index tuple counts disagree with the header tuple count"),
+    "RP505": (Severity.ERROR, "exchange memory budget is not positive"),
 }
 
 

@@ -92,6 +92,7 @@ from repro.physical.parallel.operators import (
 from repro.physical.scans import RelationScan, TableScan
 from repro.relation.relation import NULL
 from repro.relation.schema import Schema
+from repro.storage.scan import StoredScan
 
 __all__ = ["verify_expression", "verify_physical"]
 
@@ -362,6 +363,10 @@ def _check_operator_schema(
             )
 
     children = operator.children
+    if isinstance(operator, StoredScan):
+        require_schema(operator.relation.schema, "the scanned relation's schema")
+        _check_stored_scan(operator, findings, where)
+        return
     if isinstance(operator, (TableScan, RelationScan)):
         require_schema(operator.relation.schema, "the scanned relation's schema")
         return
@@ -539,13 +544,84 @@ def _check_operator_schema(
     # Other operators (extensions, composite internals) carry their own word.
 
 
+def _check_stored_scan(operator: StoredScan, findings: list[Finding], where: str) -> None:
+    """RP501–RP504 for one stored-table scan.
+
+    Cross-checks the operator's schema against the table file header, every
+    block's zone map against the stored attributes (an unknown attribute or
+    an inverted ``min > max`` interval would silently skip matching blocks),
+    the block index's tuple counts against the header total, and any pushed
+    skip predicate against the scan schema.  All metadata reads — no block
+    is decoded.
+    """
+
+    def emit(code: str, message: str) -> None:
+        findings.append(finding(code, message, where, "storage"))
+
+    reader = operator.relation.reader
+    stored = set(reader.attributes)
+    if stored != set(operator.schema.name_set):
+        emit(
+            "RP501",
+            f"scan schema {sorted(operator.schema.name_set)!r} disagrees with the "
+            f"table file header {sorted(stored)!r} ({reader.path})",
+        )
+        return
+    indexed = 0
+    for number, meta in enumerate(reader.blocks):
+        indexed += meta.get("count", 0)
+        zones = meta.get("zones") or {}
+        for attribute, bounds in zones.items():
+            if attribute not in stored:
+                emit(
+                    "RP502",
+                    f"block {number} has a zone map for unknown attribute {attribute!r}",
+                )
+                continue
+            try:
+                low, high = bounds
+                inverted = high < low
+            except (TypeError, ValueError):
+                emit(
+                    "RP502",
+                    f"block {number} zone map for {attribute!r} is not a comparable "
+                    f"(min, max) pair: {bounds!r}",
+                )
+                continue
+            if inverted:
+                emit(
+                    "RP502",
+                    f"block {number} zone map for {attribute!r} is inverted: "
+                    f"min {low!r} > max {high!r}",
+                )
+    if indexed != reader.tuple_count:
+        emit(
+            "RP504",
+            f"block index holds {indexed} tuples but the header declares "
+            f"{reader.tuple_count}",
+        )
+    predicate = operator.skip_predicate
+    if predicate is not None:
+        missing = predicate.attributes - operator.schema.name_set
+        if missing:
+            emit(
+                "RP503",
+                f"skip predicate references attributes {sorted(missing)!r} outside "
+                f"the scan schema",
+            )
+
+
 def _check_exchange_contract(
     operator: PartitionedOperator, findings: list[Finding], where: str
 ) -> None:
-    """RP202/RP204/RP206 for one exchange wrapper."""
+    """RP202/RP204/RP206/RP505 for one exchange wrapper."""
 
     def emit(code: str, message: str) -> None:
         findings.append(finding(code, message, where, "physical"))
+
+    budget = getattr(operator, "memory_budget_mb", None)
+    if budget is not None and budget <= 0:
+        emit("RP505", f"exchange memory budget must be positive, got {budget!r}")
 
     if operator.partitions < 1 or operator.workers < 1:
         emit(
@@ -606,7 +682,16 @@ def _column_types(
     if cached is not None:
         return cached
     result: dict[str, frozenset[str]]
-    if isinstance(operator, (TableScan, RelationScan)):
+    if isinstance(operator, StoredScan):
+        # Sample from the leading blocks only — never the whole stored table.
+        names = operator.relation.schema.names
+        columns = [set() for _ in names]
+        for values in operator.relation.sample_tuples(_TYPE_SAMPLE):
+            for position, value in enumerate(values):
+                if value is not None and value is not NULL:
+                    columns[position].add(_normalize_type(value))
+        result = {name: frozenset(types) for name, types in zip(names, columns) if types}
+    elif isinstance(operator, (TableScan, RelationScan)):
         names = operator.relation.schema.names
         columns: list[set[str]] = [set() for _ in names]
         for values in itertools.islice(operator.relation.aligned_tuples(), _TYPE_SAMPLE):

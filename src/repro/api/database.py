@@ -24,6 +24,7 @@ and benchmarks.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from collections.abc import Mapping
 from dataclasses import dataclass, replace
@@ -53,8 +54,11 @@ from repro.sql.translator import SQLTranslator
 __all__ = ["Database", "PreparedPlan", "connect"]
 
 #: Anything a Database can be built from: a catalog, a plain name→relation
-#: mapping, a zero-argument workload generator returning either, or nothing.
-DatabaseSource = Union[Catalog, Mapping[str, Relation], Callable[[], object], None]
+#: mapping, a zero-argument workload generator returning either, the path of
+#: a saved store directory (:meth:`Database.save`), or nothing.
+DatabaseSource = Union[
+    Catalog, Mapping[str, Relation], Callable[[], object], str, "os.PathLike[str]", None
+]
 
 
 @dataclass(frozen=True)
@@ -158,6 +162,12 @@ class Database:
         fusable streaming segment, ``True``/``"on"`` forces compilation,
         ``False``/``"off"`` keeps the interpreted pipeline.  Results and
         statistics are identical either way.
+    memory_budget_mb:
+        Spill budget (in MB) for partition-parallel exchanges: once the
+        buffered partitions of an exchange outgrow it, the largest ones
+        are spilled to disk in the columnar block format and re-streamed
+        by the workers.  A pure runtime knob — results, per-operator tuple
+        counts and plan choices are identical with or without it.
     """
 
     def __init__(
@@ -172,12 +182,16 @@ class Database:
         batch_size: Optional[int] = None,
         workers: Optional[int] = None,
         compile: Union[None, bool, str] = None,
+        memory_budget_mb: Optional[float] = None,
     ) -> None:
         if batch_size is not None and batch_size < 1:
             raise ReproError(f"batch size must be positive, got {batch_size}")
         if workers is not None and workers < 1:
             raise ReproError(f"workers must be positive, got {workers}")
+        if memory_budget_mb is not None and memory_budget_mb <= 0:
+            raise ReproError(f"memory budget must be positive, got {memory_budget_mb}")
         self.batch_size = batch_size
+        self.memory_budget_mb = memory_budget_mb
         self.catalog = _coerce_catalog(source)
         self.planner_options = planner_options or PlannerOptions()
         if workers is not None and self.planner_options.workers != workers:
@@ -298,6 +312,24 @@ class Database:
         self._cache.clear()
         return AnalyzeReport(tables=gathered)
 
+    def save(self, path: Union[str, "os.PathLike[str]"], *, block_size: Optional[int] = None) -> str:
+        """Persist every table to ``path`` in the columnar block format.
+
+        Writes one block file per table (fixed-size blocks with per-column
+        dictionary pages and per-block min/max zone maps) plus a manifest
+        carrying the declared keys, so ``repro.connect(path)`` reopens the
+        same catalog lazily — tables stream from disk on demand and
+        ``analyze()`` reads the save-time statistics without touching the
+        blocks.  Returns the store directory path.
+        """
+        from repro.storage.store import save_database
+
+        if block_size is None:
+            save_database(path, self.catalog)
+        else:
+            save_database(path, self.catalog, block_size=block_size)
+        return os.fspath(path)
+
     # ------------------------------------------------------------------
     # plan cache
     # ------------------------------------------------------------------
@@ -345,7 +377,12 @@ class Database:
     def _run(self, query: Query) -> QueryResult:
         expression = query.expression
         prepared, cache_hit = self._prepare(expression)
-        execution = execute_plan(prepared.plan, batch_size=self.batch_size, workers=self.workers)
+        execution = execute_plan(
+            prepared.plan,
+            batch_size=self.batch_size,
+            workers=self.workers,
+            memory_budget_mb=self.memory_budget_mb,
+        )
         return QueryResult(
             relation=execution.relation,
             expression=expression,
@@ -402,12 +439,16 @@ def connect(source: DatabaseSource = None, **options) -> Database:
 
     ``source`` may be a :class:`Catalog`, a plain ``name → Relation``
     mapping, a zero-argument callable returning either (a workload
-    generator), or ``None`` for an empty session.  Keyword options are
-    forwarded to :class:`Database` — e.g.
+    generator), the path of a store directory written by
+    :meth:`Database.save` (tables then open *lazily* and stream their
+    blocks from disk), or ``None`` for an empty session.  Keyword options
+    are forwarded to :class:`Database` — e.g.
     ``repro.connect(textbook_catalog, batch_size=4096)`` sets the executor
-    chunk size for every query of the session, and
+    chunk size for every query of the session,
     ``repro.connect(catalog, workers=4)`` lets the planner parallelize
-    large divisions/joins/aggregations over a 4-worker pool.
+    large divisions/joins/aggregations over a 4-worker pool, and
+    ``repro.connect(path, memory_budget_mb=64)`` makes those parallel
+    exchanges spill partitions to disk once they outgrow the budget.
     """
     return Database(source, **options)
 
@@ -417,6 +458,10 @@ def _coerce_catalog(source: DatabaseSource) -> Catalog:
         return Catalog()
     if isinstance(source, Catalog):
         return source
+    if isinstance(source, (str, os.PathLike)):
+        from repro.storage.store import load_catalog
+
+        return load_catalog(source)
     if callable(source):
         produced = source()
         if isinstance(produced, (Catalog, Mapping)):

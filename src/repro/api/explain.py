@@ -36,6 +36,7 @@ from repro.physical import (
 )
 from repro.physical.base import PhysicalOperator
 from repro.physical.executor import execute_plan
+from repro.storage.scan import StoredScan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.database import Database
@@ -76,7 +77,10 @@ def render_explain(
     actual: Optional[dict[int, int]] = None
     if analyze:
         execution = execute_plan(
-            prepared.plan, batch_size=database.batch_size, workers=database.workers
+            prepared.plan,
+            batch_size=database.batch_size,
+            workers=database.workers,
+            memory_budget_mb=database.memory_budget_mb,
         )
         actual = {id(op): op.tuples_out for op in prepared.plan.walk()}
 
@@ -200,7 +204,7 @@ def _physical_estimates(
 def _fallback_estimate(operator: PhysicalOperator, estimates: dict[int, float]) -> float:
     """Bottom-up estimate for a physical operator without a logical twin."""
     children = [estimates.get(id(child), 1.0) for child in operator.children]
-    if isinstance(operator, (RelationScan, TableScan)):
+    if isinstance(operator, (RelationScan, TableScan, StoredScan)):
         return float(len(operator.relation))
     if isinstance(operator, Filter):
         return children[0] * DEFAULT_SELECTIVITY
@@ -226,6 +230,9 @@ def _exchange_line(operator: PhysicalOperator, analyzed: bool) -> Optional[str]:
     if not operator.parallel:
         return None
     summary = f"exchange: partitions={operator.partitions}, workers={operator.workers}"
+    budget = getattr(operator, "memory_budget_mb", None)
+    if budget is not None:
+        summary += f", budget={budget:g}MB"
     sizes = operator.partition_input_sizes
     if analyzed and sizes:
         mean = sum(sizes) / len(sizes)
@@ -235,6 +242,31 @@ def _exchange_line(operator: PhysicalOperator, analyzed: bool) -> Optional[str]:
             f", {populated}/{len(sizes)} partitions populated, "
             f"input skew max/mean={skew:.2f}"
         )
+    spill = getattr(operator, "spill_statistics", None)
+    if analyzed and spill:
+        summary += (
+            f", spilled {spill['spilled_tuples']} tuples"
+            f"/{spill['spilled_blocks']} blocks"
+            f" in {spill['spilled_partitions']} partition(s)"
+            f", peak buffered {spill['peak_buffered_tuples']} tuples"
+        )
+    return summary
+
+
+def _storage_line(operator: PhysicalOperator, analyzed: bool) -> Optional[str]:
+    """Zone-map annotation for stored-table scans.
+
+    Static explain shows the block count and any pushed-down skip
+    predicate; after an ``analyze=True`` execution the line adds how many
+    blocks the zone maps actually skipped.
+    """
+    if not isinstance(operator, StoredScan):
+        return None
+    summary = f"storage: blocks={operator.blocks_total}"
+    if operator.skip_predicate is not None:
+        summary += f", zone-map skip on {operator.skip_predicate!r}"
+    if analyzed:
+        summary += f", skipped={operator.blocks_skipped}"
     return summary
 
 
@@ -263,6 +295,9 @@ def _physical_lines(
         exchange = _exchange_line(operator, analyzed=actual is not None)
         if exchange is not None:
             lines.append(f"  {'  ' * indent}  · {exchange}")
+        storage = _storage_line(operator, analyzed=actual is not None)
+        if storage is not None:
+            lines.append(f"  {'  ' * indent}  · {storage}")
         for child in operator.children:
             visit(child, indent + 1)
 

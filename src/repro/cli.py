@@ -11,10 +11,13 @@ Commands
     execution supplies the printed plan, rules, statistics and result.
 ``sql "<query>"``
     Parse, optimize and execute an arbitrary query (``--explain`` prints
-    the plan instead; ``--db`` picks the database; ``--batch-size N`` sets
-    the executor chunk size; ``--workers N`` lets the planner parallelize
-    large operators over a worker pool; ``--compile``/``--no-compile``
-    force or disable segment compilation).
+    the plan instead; ``--db`` picks a built-in database *or* the path of
+    a store directory written by ``Database.save`` — stored tables stream
+    lazily from disk; ``--batch-size N`` sets the executor chunk size;
+    ``--workers N`` lets the planner parallelize large operators over a
+    worker pool; ``--memory-budget-mb M`` makes those exchanges spill to
+    disk; ``--compile``/``--no-compile`` force or disable segment
+    compilation).
 ``explain {Q1,Q2,Q3}``
     EXPLAIN ANALYZE one of the Section 4 queries (``--verbose`` appends the
     generated source of every compiled segment).
@@ -58,6 +61,16 @@ _DATABASES = {
 }
 
 
+def _database_source(name: str):
+    """Resolve a ``--db`` value: a built-in name or a saved-store path.
+
+    Built-in names win; anything else is treated as the path of a store
+    directory written by :meth:`Database.save` and handed to ``connect``
+    verbatim (the storage layer reports a clear error for bad paths).
+    """
+    return _DATABASES.get(name, name)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for the ``repro`` command-line interface."""
     parser = argparse.ArgumentParser(
@@ -85,9 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sql.add_argument(
         "--db",
-        choices=sorted(_DATABASES),
         default="textbook",
-        help="which suppliers-and-parts database to run against",
+        metavar="NAME|PATH",
+        help="database to run against: "
+        f"one of {sorted(_DATABASES)} or the path of a saved store directory",
     )
     sql.add_argument(
         "--no-recognizer",
@@ -108,6 +122,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker-pool size for partition-parallel execution; the planner "
         "only parallelizes operators whose input is large enough to pay off "
+        "(results are unaffected)",
+    )
+    sql.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        metavar="M",
+        help="spill budget for partition-parallel exchanges: buffered "
+        "partitions beyond it spill to disk and are re-streamed "
         "(results are unaffected)",
     )
     compilation = sql.add_mutually_exclusive_group()
@@ -141,9 +164,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument(
         "--db",
-        choices=sorted(_DATABASES),
         default="textbook",
-        help="which suppliers-and-parts database to analyze",
+        metavar="NAME|PATH",
+        help="database to analyze: "
+        f"one of {sorted(_DATABASES)} or the path of a saved store directory "
+        "(stored tables analyze from save-time metadata without a scan)",
     )
     analyze.add_argument(
         "tables", nargs="*", help="tables to analyze (default: all tables)"
@@ -213,13 +238,15 @@ def _command_sql(
     batch_size: Optional[int],
     workers: Optional[int],
     compile_mode: Optional[str] = None,
+    memory_budget_mb: Optional[float] = None,
 ) -> int:
     try:
         database = connect(
-            _DATABASES[db_name],
+            _database_source(db_name),
             batch_size=batch_size,
             workers=workers,
             compile=compile_mode,
+            memory_budget_mb=memory_budget_mb,
         )
         query = database.sql(text, recognize_division=use_recognizer)
         if explain:
@@ -247,8 +274,8 @@ def _command_explain(name: str, verbose: bool = False) -> int:
 
 
 def _command_analyze(db_name: str, tables: Sequence[str]) -> int:
-    database = connect(_DATABASES[db_name])
     try:
+        database = connect(_database_source(db_name))
         report = database.analyze(*tables)
     except ReproError as error:
         print(f"error: {error}")
@@ -308,6 +335,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.batch_size,
             args.workers,
             args.compile_mode,
+            args.memory_budget_mb,
         )
     if args.command == "explain":
         return _command_explain(args.name, args.verbose)

@@ -18,6 +18,7 @@ __all__ = [
     "RewriteError",
     "PlanningError",
     "ExecutionError",
+    "StorageError",
     "VerificationError",
     "SQLSyntaxError",
     "SQLTranslationError",
@@ -83,6 +84,15 @@ class PlanningError(ReproError):
 
 class ExecutionError(ReproError):
     """A physical operator failed during execution."""
+
+
+class StorageError(ReproError):
+    """A stored table file or store directory is missing or malformed.
+
+    Raised by the persistent columnar format (:mod:`repro.storage`) when a
+    file's magic/header/block index cannot be read, and by
+    ``repro.connect(path)`` when ``path`` is not a saved store.
+    """
 
 
 class VerificationError(ReproError):

@@ -76,6 +76,8 @@ from repro.physical.parallel import (
     PartitionedHashJoin,
 )
 from repro.relation.relation import Relation
+from repro.storage.scan import StoredScan
+from repro.storage.store import StoredRelation
 
 __all__ = ["PlannerOptions", "PhysicalPlanner"]
 
@@ -218,13 +220,26 @@ class PhysicalPlanner:
     # ------------------------------------------------------------------
     def _plan(self, expression: Expression) -> PhysicalOperator:
         if isinstance(expression, RelationRef):
+            relation = self.database.get(expression.name)
+            if isinstance(relation, StoredRelation):
+                # Stored tables stream blocks from disk instead of slicing a
+                # materialized relation; the table never enters memory whole.
+                return StoredScan(relation, expression.name)
             return TableScan(self.database, expression.name)
         if isinstance(expression, LiteralRelation):
             return RelationScan(expression.relation, label=expression.label)
         if isinstance(expression, Project):
             return ProjectOp(self._plan(expression.child), expression.attributes)
         if isinstance(expression, Select):
-            return Filter(self._plan(expression.child), expression.predicate)
+            child = self._plan(expression.child)
+            if (
+                isinstance(child, StoredScan)
+                and expression.predicate.attributes <= child.schema.name_set
+            ):
+                # Zone-map pushdown: the Filter keeps exact semantics; the
+                # scan merely skips blocks that provably cannot match.
+                child.set_skip_predicate(expression.predicate)
+            return Filter(child, expression.predicate)
         if isinstance(expression, Rename):
             return RenameOp(self._plan(expression.child), expression.mapping)
         if isinstance(expression, GroupBy):

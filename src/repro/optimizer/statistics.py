@@ -138,7 +138,16 @@ class TableStatistics:
         tuple block, and every per-attribute statistic (distinct set,
         min/max, sortedness of the scan order) is computed from its column —
         no intermediate :class:`Relation` per attribute.
+
+        Stored tables (:class:`~repro.storage.store.StoredRelation`) carry
+        statistics gathered at save time in their file header; for them
+        this is a metadata read — the blocks are never decoded.
         """
+        stored = getattr(relation, "stored_statistics", None)
+        if stored is not None:
+            statistics = stored()
+            if statistics is not None:
+                return statistics
         tuples = relation.aligned_tuples()
         names = relation.schema.names
         distinct: dict[str, int] = {name: 0 for name in names}
@@ -441,7 +450,7 @@ class CardinalityEstimator:
                 return DEFAULT_SELECTIVITY
             if predicate.operator == "!=":
                 return 1.0 - DEFAULT_SELECTIVITY
-            return DEFAULT_SELECTIVITY
+            return self._range_selectivity(expression.child, predicate)
         if isinstance(predicate, And):
             result = 1.0
             for operand in predicate.operands:
@@ -455,6 +464,77 @@ class CardinalityEstimator:
         if isinstance(predicate, Not):
             return 1.0 - self._selectivity(Select(expression.child, predicate.operand), child)
         return DEFAULT_SELECTIVITY
+
+    #: Range comparisons mirrored for a literal on the left-hand side.
+    _MIRRORED_OPERATORS = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+    def _range_selectivity(self, expression: Expression, predicate: Any) -> float:
+        """Selectivity of a range comparison via min/max interpolation.
+
+        When the compared attribute's bounds are known (stored-table zone
+        metadata or analyzed statistics reachable through the child
+        expression), a ``attr < literal`` predicate is priced as the linear
+        fraction of the ``[min, max]`` interval it selects — the classic
+        uniformity interpolation.  Anything unresolvable (no bounds,
+        attr-vs-attr comparison, non-numeric values) falls back to
+        :data:`DEFAULT_SELECTIVITY`.
+        """
+        from repro.algebra.predicates import AttributeRef, Literal
+
+        left, operator, right = predicate.left, predicate.operator, predicate.right
+        if isinstance(left, Literal) and isinstance(right, AttributeRef):
+            left, right = right, left
+            operator = self._MIRRORED_OPERATORS.get(operator, operator)
+        if not (isinstance(left, AttributeRef) and isinstance(right, Literal)):
+            return DEFAULT_SELECTIVITY
+        if operator not in self._MIRRORED_OPERATORS:
+            return DEFAULT_SELECTIVITY
+        low, high = self._column_bounds(expression, left.name)
+        value = right.value
+        numbers = (int, float)
+        if not (
+            isinstance(low, numbers)
+            and isinstance(high, numbers)
+            and isinstance(value, numbers)
+            and not isinstance(low, bool)
+            and not isinstance(high, bool)
+            and not isinstance(value, bool)
+        ):
+            return DEFAULT_SELECTIVITY
+        if high <= low:
+            # Degenerate (single-valued) column: the comparison either takes
+            # everything or nothing, modulo the open/closed endpoint.
+            fraction = 1.0 if value > low or (value == low and operator in ("<=", ">=")) else 0.0
+            if operator in ("<", "<="):
+                selectivity = fraction
+            else:
+                selectivity = 1.0 if value < low or (value == low and operator == ">=") else 0.0
+            return min(max(selectivity, 0.001), 1.0)
+        fraction = (value - low) / (high - low)
+        fraction = min(max(fraction, 0.0), 1.0)
+        selectivity = fraction if operator in ("<", "<=") else 1.0 - fraction
+        return min(max(selectivity, 0.001), 1.0)
+
+    def _column_bounds(self, expression: Expression, attribute: str) -> tuple[Any, Any]:
+        """(min, max) of ``attribute`` at the base table feeding ``expression``.
+
+        Descends through order-preserving wrappers to the nearest base
+        relation; anything narrowing the column's range on the way down
+        (another selection) only makes the interpolation conservative.
+        Returns ``(None, None)`` when the bounds cannot be traced.
+        """
+        if isinstance(expression, RelationRef):
+            stats = self._statistics.table(expression.name)
+            return stats.minimum(attribute), stats.maximum(attribute)
+        if isinstance(expression, LiteralRelation):
+            stats = self.literal_statistics(expression.relation)
+            return stats.minimum(attribute), stats.maximum(attribute)
+        if isinstance(expression, (Select, Project)):
+            return self._column_bounds(expression.child, attribute)
+        if isinstance(expression, Rename):
+            inverse = {new: old for old, new in expression.mapping.items()}
+            return self._column_bounds(expression.child, inverse.get(attribute, attribute))
+        return (None, None)
 
     def _join_selectivity(self, expression: ThetaJoin, left: _Estimate, right: _Estimate) -> float:
         from repro.algebra.predicates import Comparison

@@ -435,6 +435,22 @@ class PhysicalOperator:
             if operator.parallel:
                 operator.workers = workers
 
+    def set_memory_budget(self, memory_budget_mb: Optional[float]) -> None:
+        """Set the spill budget of every exchange in the subtree.
+
+        A runtime knob like :meth:`set_workers`: exchange operators
+        (``parallel = True``) buffer their hash partitions in memory and,
+        with a budget set, spill the largest buffered partitions to disk
+        once the buffered tuples outgrow it (see
+        :mod:`repro.storage.spill`).  ``None`` disables spilling; serial
+        plans are unaffected.
+        """
+        if memory_budget_mb is not None and memory_budget_mb <= 0:
+            raise ExecutionError(f"memory budget must be positive, got {memory_budget_mb}")
+        for operator in self.walk():
+            if operator.parallel:
+                operator.memory_budget_mb = memory_budget_mb
+
     def partition_peaks(self) -> dict[str, int]:
         """Per-partition peak counters (exchange operators override)."""
         return {}

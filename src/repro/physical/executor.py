@@ -81,13 +81,16 @@ def execute_plan(
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
     verify: Optional[bool] = None,
+    memory_budget_mb: Optional[float] = None,
 ) -> ExecutionResult:
     """Execute ``plan`` from a cold start and return result + statistics.
 
     ``batch_size`` (when given) sets the chunk size for the whole plan
     before execution; ``workers`` (when given) retargets the degree of
-    parallelism of any exchange operators in the plan.  The produced
-    relation and per-operator tuple counts are independent of both.
+    parallelism of any exchange operators in the plan;
+    ``memory_budget_mb`` (when given) makes those exchanges spill buffered
+    partitions to disk once they outgrow the budget.  The produced
+    relation and per-operator tuple counts are independent of all three.
 
     ``verify=True`` (or the process-wide debug switch, ``REPRO_VERIFY=1``
     in the environment or :func:`set_debug_verify`) statically verifies the
@@ -99,6 +102,8 @@ def execute_plan(
         plan.set_batch_size(batch_size)
     if workers is not None:
         plan.set_workers(workers)
+    if memory_budget_mb is not None:
+        plan.set_memory_budget(memory_budget_mb)
     plan.reset_counters()
     plan.assign_labels()
     should_verify = _DEBUG_VERIFY if verify is None else verify

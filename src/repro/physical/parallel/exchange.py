@@ -24,8 +24,9 @@ order) — order-exploiting algorithms keep their streaming mode.
 
 from __future__ import annotations
 
+import sys
 from collections.abc import Iterator
-from typing import Any
+from typing import Any, Optional, Union
 
 from repro.errors import ExecutionError
 from repro.physical.base import Chunk, PhysicalOperator, PhysicalProperties, TupleProjector
@@ -33,20 +34,28 @@ from repro.relation.schema import AttributeNames, as_schema
 
 __all__ = ["HashPartitionExchange", "PartitionSource"]
 
+#: What a partition materializes to: an in-memory tuple block, or — once a
+#: memory budget forced a flush — a block-streaming on-disk handle
+#: (:class:`repro.storage.spill.SpilledPartition`).  Both are sized, both
+#: preserve the exchange's append order.
+PartitionBlock = Union[list[tuple[Any, ...]], "SpilledPartition"]  # noqa: F821
+
 
 class PartitionSource(PhysicalOperator):
     """Leaf scan over one partition's aligned-tuple block.
 
     The per-partition twin of :class:`~repro.physical.scans.RelationScan`:
     pure list slicing, no per-tuple work, preserves the block's order (and
-    with it any clustering the exchange preserved).
+    with it any clustering the exchange preserved).  A spilled partition
+    handle is streamed block by block instead — a worker re-reading a
+    spilled partition never holds more than one spill block of it.
     """
 
     name = "partition_source"
 
     properties = PhysicalProperties(per_input_cost=0.0, per_output_cost=0.5, preserves_order=True)
 
-    def __init__(self, attributes: AttributeNames, tuples: list[tuple[Any, ...]]) -> None:
+    def __init__(self, attributes: AttributeNames, tuples: PartitionBlock) -> None:
         super().__init__(as_schema(attributes))
         self._tuples = tuples
 
@@ -54,36 +63,87 @@ class PartitionSource(PhysicalOperator):
         schema = self._schema
         tuples = self._tuples
         size = self.batch_size
-        for start in range(0, len(tuples), size):
-            yield Chunk(schema, tuples[start : start + size])
+        iter_spill_blocks = getattr(tuples, "iter_blocks", None)
+        if iter_spill_blocks is None:
+            blocks = (tuples,)
+        else:
+            blocks = iter_spill_blocks()
+        for block in blocks:
+            for start in range(0, len(block), size):
+                yield Chunk(schema, block[start : start + size])
 
     def describe(self) -> str:
-        return f"PartitionSource({len(self._tuples)} tuples)"
+        origin = " (spilled)" if hasattr(self._tuples, "iter_blocks") else ""
+        return f"PartitionSource({len(self._tuples)} tuples{origin})"
 
 
 class HashPartitionExchange:
-    """Split a chunk stream into ``partitions`` key-disjoint tuple blocks."""
+    """Split a chunk stream into ``partitions`` key-disjoint tuple blocks.
 
-    __slots__ = ("key", "partitions")
+    With a memory budget set (``memory_budget_mb``), the buffered buckets
+    are tracked against it and the largest bucket is flushed to a
+    per-partition spill file (block format of :mod:`repro.storage.spill`)
+    whenever the total buffered tuples outgrow the budget; the flushed
+    partitions come back as re-streamable
+    :class:`~repro.storage.spill.SpilledPartition` handles.  Counters
+    (``peak_buffered_tuples``/``peak_buffered_blocks``, ``spilled_*``)
+    accumulate across :meth:`partition` calls so a join exchange that
+    partitions both sides reports combined figures.
+    """
 
-    def __init__(self, key: AttributeNames, partitions: int) -> None:
+    __slots__ = (
+        "key",
+        "partitions",
+        "memory_budget_mb",
+        "spill_directory",
+        "budget_tuples",
+        "peak_buffered_tuples",
+        "peak_buffered_blocks",
+        "spilled_tuples",
+        "spilled_blocks",
+        "spilled_partitions",
+    )
+
+    def __init__(
+        self,
+        key: AttributeNames,
+        partitions: int,
+        memory_budget_mb: Optional[float] = None,
+        spill_directory: Optional[str] = None,
+    ) -> None:
         key_schema = as_schema(key)
         if partitions < 1:
             raise ExecutionError(f"exchange needs at least one partition, got {partitions}")
         if len(key_schema) == 0:
             raise ExecutionError("exchange needs at least one partition-key attribute")
+        if memory_budget_mb is not None and memory_budget_mb <= 0:
+            raise ExecutionError(f"memory budget must be positive, got {memory_budget_mb}")
         self.key = key_schema
         self.partitions = partitions
+        self.memory_budget_mb = memory_budget_mb
+        self.spill_directory = spill_directory
+        #: The budget converted to tuples (estimated from a sample of the
+        #: first chunk; ``None`` until the first budgeted partition pass).
+        self.budget_tuples: Optional[int] = None
+        self.peak_buffered_tuples = 0
+        self.peak_buffered_blocks = 0
+        self.spilled_tuples = 0
+        self.spilled_blocks = 0
+        self.spilled_partitions = 0
 
-    def partition(self, source: PhysicalOperator) -> list[list[tuple[Any, ...]]]:
+    def partition(self, source: PhysicalOperator) -> list[PartitionBlock]:
         """Consume ``source`` into ``partitions`` buckets of aligned tuples.
 
         Tuples are aligned with ``source.schema`` so a
         :class:`PartitionSource` over the bucket reproduces the source
         exactly.  With one partition the hash pass is skipped entirely —
-        the zero-overhead serial fallback.
+        the zero-overhead serial fallback.  Spilling never changes a
+        bucket's content or order: a spilled bucket streams back exactly
+        the tuples the in-memory list would have held.
         """
         schema = source.schema
+        if self.memory_budget_mb is not None:
+            return self._partition_with_budget(source)
         if self.partitions == 1:
             return [[values for chunk in source.chunks() for values in chunk.aligned(schema).tuples]]
         key_of = TupleProjector(self.key)
@@ -94,6 +154,85 @@ class HashPartitionExchange:
             for values, key in zip(aligned.tuples, key_of.keys_of(aligned)):
                 buckets[hash(key) % count].append(values)
         return buckets
+
+    def _partition_with_budget(self, source: PhysicalOperator) -> list[PartitionBlock]:
+        """The spill-aware partition pass (budget set)."""
+        from repro.storage.spill import SPILL_BLOCK_TUPLES, SpillWriter
+
+        if self.spill_directory is None:
+            raise ExecutionError(
+                "exchange has a memory budget but no spill directory; "
+                "run it through a partitioned operator (or set spill_directory)"
+            )
+        schema = source.schema
+        names = schema.names
+        count = self.partitions
+        key_of = TupleProjector(self.key) if count > 1 else None
+        buckets: list[list[tuple[Any, ...]]] = [[] for _ in range(count)]
+        writers: list[Optional[SpillWriter]] = [None] * count
+        buffered = 0
+        peak = self.peak_buffered_tuples
+        for chunk in source.chunks():
+            aligned = chunk.aligned(schema)
+            if key_of is None:
+                buckets[0].extend(aligned.tuples)
+            else:
+                for values, key in zip(aligned.tuples, key_of.keys_of(aligned)):
+                    buckets[hash(key) % count].append(values)
+            buffered += len(aligned.tuples)
+            if self.budget_tuples is None and aligned.tuples:
+                self.budget_tuples = self._budget_in_tuples(aligned.tuples)
+            if buffered > peak:
+                peak = buffered
+            # Flush the largest buffered bucket until back under budget;
+            # a bucket flushes as a whole, so the loop always terminates.
+            while self.budget_tuples is not None and buffered > self.budget_tuples:
+                index = max(range(count), key=lambda i: len(buckets[i]))
+                bucket = buckets[index]
+                if not bucket:
+                    break
+                writer = writers[index]
+                if writer is None:
+                    writer = writers[index] = SpillWriter(
+                        self.spill_directory, f"partition-{id(self):x}-{index:04d}", names
+                    )
+                blocks_before = writer.spilled_blocks
+                writer.spill(bucket)
+                self.spilled_blocks += writer.spilled_blocks - blocks_before
+                self.spilled_tuples += len(bucket)
+                buffered -= len(bucket)
+                buckets[index] = []
+        self.peak_buffered_tuples = peak
+        self.peak_buffered_blocks = -(-peak // SPILL_BLOCK_TUPLES)
+        results: list[PartitionBlock] = []
+        for index in range(count):
+            writer = writers[index]
+            if writer is None:
+                results.append(buckets[index])
+                continue
+            # Append the unflushed tail so the handle streams the full
+            # bucket in original order, then seal the file.
+            writer.spill(buckets[index])
+            results.append(writer.finish())
+            self.spilled_partitions += 1
+        return results
+
+    def _budget_in_tuples(self, sample: list[tuple[Any, ...]]) -> int:
+        """Convert the MB budget into a tuple count via a shallow sample.
+
+        Measures tuple + per-value ``sys.getsizeof`` over the leading
+        tuples of the first chunk — an estimate, but the budget is a
+        coarse knob and the floor of one tuple keeps progress guaranteed.
+        """
+        measured = sample[:64]
+        total = 0
+        for values in measured:
+            total += sys.getsizeof(values)
+            for value in values:
+                total += sys.getsizeof(value)
+        per_tuple = max(total // max(len(measured), 1), 1)
+        budget_bytes = int(self.memory_budget_mb * 1024 * 1024)
+        return max(budget_bytes // per_tuple, 1)
 
     def collect(self, source: PhysicalOperator) -> list[tuple[Any, ...]]:
         """Materialize ``source`` as one aligned block (broadcast side)."""

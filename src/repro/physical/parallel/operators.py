@@ -21,6 +21,8 @@ The wrappers record per-partition statistics after execution:
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from collections.abc import Iterator, Mapping, Sequence
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Optional
@@ -56,6 +58,12 @@ class PartitionedOperator(PhysicalOperator):
     #: Marks exchange operators for :meth:`PhysicalOperator.set_workers`.
     parallel = True
 
+    #: Spill budget in MB for the exchange's buffered partitions; ``None``
+    #: disables spilling.  Set per plan by
+    #: :meth:`PhysicalOperator.set_memory_budget` (driven by
+    #: ``connect(memory_budget_mb=...)``).
+    memory_budget_mb: Optional[float] = None
+
     def __init__(
         self,
         schema: Schema,
@@ -76,6 +84,14 @@ class PartitionedOperator(PhysicalOperator):
         self.partition_input_sizes: list[int] = []
         #: Per-partition sub-plan counters of the most recent execution.
         self.partition_statistics: list[dict[str, int]] = []
+        #: Spill counters of the most recent execution (empty without a
+        #: budget): spilled_blocks/tuples/partitions plus the buffered
+        #: high-water marks, summed over this operator's exchanges.
+        self.spill_statistics: dict[str, int] = {}
+        #: Exchanges built by the current ``_tasks()`` pass, and the spill
+        #: directory they write to (alive only while the tasks run).
+        self._exchanges: list[HashPartitionExchange] = []
+        self._spill_directory: Optional[str] = None
 
     @property
     def partition_key(self) -> Schema:
@@ -106,23 +122,69 @@ class PartitionedOperator(PhysicalOperator):
         """The serial operator over the *actual* children (single-partition)."""
         raise NotImplementedError
 
+    def _exchange(self) -> HashPartitionExchange:
+        """Build this pass's exchange, threading budget and spill directory."""
+        exchange = HashPartitionExchange(
+            self._key,
+            self.partitions,
+            memory_budget_mb=self.memory_budget_mb,
+            spill_directory=self._spill_directory,
+        )
+        self._exchanges.append(exchange)
+        return exchange
+
+    def _collect_spill_statistics(self) -> dict[str, int]:
+        if not any(exchange.memory_budget_mb is not None for exchange in self._exchanges):
+            return {}
+        return {
+            "budget_tuples": max(
+                (exchange.budget_tuples or 0 for exchange in self._exchanges), default=0
+            ),
+            "peak_buffered_tuples": max(
+                (exchange.peak_buffered_tuples for exchange in self._exchanges), default=0
+            ),
+            "peak_buffered_blocks": max(
+                (exchange.peak_buffered_blocks for exchange in self._exchanges), default=0
+            ),
+            "spilled_tuples": sum(exchange.spilled_tuples for exchange in self._exchanges),
+            "spilled_blocks": sum(exchange.spilled_blocks for exchange in self._exchanges),
+            "spilled_partitions": sum(
+                exchange.spilled_partitions for exchange in self._exchanges
+            ),
+        }
+
     def _produce_chunks(self) -> Iterator[Chunk]:
         self.partition_input_sizes = []
         self.partition_statistics = []
+        self.spill_statistics = {}
         if self.partitions == 1:
             # Zero-overhead serial fallback: no hash pass, no block
             # materialization, no pool — the serial operator streams
             # straight over the wrapper's children.
             yield from self._produce_inline()
             return
-        tasks = self._tasks()
+        self._exchanges = []
+        spill_directory: Optional[str] = None
+        if self.memory_budget_mb is not None:
+            spill_directory = tempfile.mkdtemp(prefix="repro-spill-")
+        self._spill_directory = spill_directory
+        try:
+            tasks = self._tasks()
+            self.spill_statistics = self._collect_spill_statistics()
+            # run_tasks drains the pool before returning, so this interval is
+            # exactly the time spent inside worker execution; explain(analyze)
+            # reports it as the coordinator/worker elapsed split.  Spill files
+            # are only read by the tasks, so the directory can go as soon as
+            # all results are in.
+            started = perf_counter()
+            results = run_tasks(tasks, self.workers)
+            self.worker_seconds += perf_counter() - started
+        finally:
+            self._spill_directory = None
+            self._exchanges = []
+            if spill_directory is not None:
+                shutil.rmtree(spill_directory, ignore_errors=True)
         schema = self._schema
-        # run_tasks drains the pool before returning, so this interval is
-        # exactly the time spent inside worker execution; explain(analyze)
-        # reports it as the coordinator/worker elapsed split.
-        started = perf_counter()
-        results = run_tasks(tasks, self.workers)
-        self.worker_seconds += perf_counter() - started
         for tuples, counters in results:
             self.partition_statistics.append(counters)
             yield from chunked(tuples, schema, self.batch_size)
@@ -139,7 +201,10 @@ class PartitionedOperator(PhysicalOperator):
         self.partition_statistics = [{f"00:{operator.name}": operator.tuples_out}]
 
     def _exchange_summary(self) -> str:
-        return f"partitions={self.partitions}, workers={self.workers}"
+        summary = f"partitions={self.partitions}, workers={self.workers}"
+        if self.memory_budget_mb is not None:
+            summary += f", budget={self.memory_budget_mb:g}MB"
+        return summary
 
 
 class PartitionedDivision(PartitionedOperator):
@@ -205,7 +270,7 @@ class PartitionedDivision(PartitionedOperator):
 
     def _tasks(self) -> list[PartitionTask]:
         dividend, divisor = self._children
-        exchange = HashPartitionExchange(self._key, self.partitions)
+        exchange = self._exchange()
         divisor_block = exchange.collect(divisor)
         buckets = exchange.partition(dividend)
         self.partition_input_sizes = [len(bucket) for bucket in buckets]
@@ -278,7 +343,7 @@ class PartitionedHashJoin(PartitionedOperator):
 
     def _tasks(self) -> list[PartitionTask]:
         left, right = self._children
-        exchange = HashPartitionExchange(self._key, self.partitions)
+        exchange = self._exchange()
         left_buckets = exchange.partition(left)
         right_buckets = exchange.partition(right)
         self.partition_input_sizes = [
@@ -349,7 +414,7 @@ class PartitionedAggregate(PartitionedOperator):
 
     def _tasks(self) -> list[PartitionTask]:
         (child,) = self._children
-        exchange = HashPartitionExchange(self._key, self.partitions)
+        exchange = self._exchange()
         buckets = exchange.partition(child)
         self.partition_input_sizes = [len(bucket) for bucket in buckets]
         child_names = child.schema.names

@@ -40,8 +40,12 @@ from repro.physical.parallel.exchange import PartitionSource
 
 __all__ = ["PartitionTask", "build_subplan", "execute_task", "run_tasks", "shutdown_pool"]
 
-#: One input of a partition task: (attribute names, aligned tuple block).
-InputBlock = tuple[tuple[str, ...], list[tuple[Any, ...]]]
+#: One input of a partition task: attribute names plus either an aligned
+#: in-memory tuple block or a picklable, block-streaming
+#: :class:`~repro.storage.spill.SpilledPartition` handle (when the
+#: exchange ran under a memory budget) — :class:`PartitionSource` accepts
+#: both, so workers re-stream spilled partitions from disk.
+InputBlock = tuple[tuple[str, ...], Any]
 
 
 @dataclass(frozen=True)

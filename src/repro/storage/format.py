@@ -1,0 +1,385 @@
+"""On-disk columnar block format for stored tables.
+
+A table file mirrors the in-memory :class:`~repro.physical.base.Chunk`
+layout: the tuples of one relation, in their saved (typically clustered)
+order, cut into fixed-size blocks.  Each block is stored column-major with
+per-column **dictionary pages** — a column whose values are hashable is
+encoded as integer codes into a table-wide value dictionary, exactly like
+the PR 3 dictionary-encoded chunk format — so repeated values cost one
+integer per occurrence.
+
+File layout::
+
+    MAGIC (8 bytes)
+    header length (8 bytes, big-endian)
+    header (pickled dict: attributes, block index, dictionary pages,
+            zone maps, statistics payload)
+    block payloads, concatenated (offsets in the header are relative
+    to the first payload byte)
+
+Every block's header entry carries a per-attribute ``(min, max)`` **zone
+map**, computed at save time; attributes whose block values are not
+mutually comparable are simply omitted from that block's zones, which keeps
+pruning conservative.  :func:`block_may_match` is the matching side: it
+walks a predicate structurally and answers "could any tuple in a block with
+these zones satisfy it?", defaulting to ``True`` whenever it cannot tell.
+
+This module is deliberately free of optimizer/physical imports — the
+statistics payload stays a plain dict here and is converted by
+:mod:`repro.storage.store`.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any, Callable, Iterator, Optional, Sequence, Union
+
+from repro.algebra.predicates import (
+    And,
+    AttributeRef,
+    Comparison,
+    FalsePredicate,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.errors import StorageError
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "TableReader",
+    "block_may_match",
+    "block_zones",
+    "build_dictionaries",
+    "decode_block",
+    "encode_block",
+    "write_table_file",
+]
+
+MAGIC = b"RPROBLK1"
+FORMAT_VERSION = 1
+
+#: Tuples per block.  4096 aligned tuples keeps a block in the hundreds of
+#: kilobytes for typical schemas — large enough that the per-block pickle
+#: overhead vanishes, small enough that zone maps prune at useful
+#: granularity on clustered tables.
+DEFAULT_BLOCK_SIZE = 4096
+
+_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Keys every header must carry; a file missing one is malformed.
+_HEADER_KEYS = ("format", "table", "attributes", "block_size", "tuple_count", "dictionaries", "blocks")
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def build_dictionaries(
+    attributes: Sequence[str], tuples: Sequence[tuple[Any, ...]]
+) -> dict[str, dict[Any, int]]:
+    """Value → code mapping per dictionary-encodable column.
+
+    A column qualifies when every value is hashable; columns with an
+    unhashable value anywhere are stored raw.  Codes are assigned in first
+    appearance order, so the page round-trips deterministically.
+    """
+    encodings: dict[str, dict[Any, int]] = {}
+    for position, name in enumerate(attributes):
+        mapping: dict[Any, int] = {}
+        try:
+            for values in tuples:
+                value = values[position]
+                if value not in mapping:
+                    mapping[value] = len(mapping)
+        except TypeError:
+            continue
+        encodings[name] = mapping
+    return encodings
+
+
+def encode_block(
+    attributes: Sequence[str],
+    tuples: Sequence[tuple[Any, ...]],
+    encodings: dict[str, dict[Any, int]],
+) -> bytes:
+    """One block, column-major, dictionary codes where a page exists."""
+    columns: list[list[Any]] = []
+    for position, name in enumerate(attributes):
+        mapping = encodings.get(name)
+        if mapping is None:
+            columns.append([values[position] for values in tuples])
+        else:
+            columns.append([mapping[values[position]] for values in tuples])
+    return pickle.dumps(columns, protocol=_PROTOCOL)
+
+
+def decode_block(
+    payload: bytes,
+    attributes: Sequence[str],
+    dictionaries: dict[str, list[Any]],
+) -> list[tuple[Any, ...]]:
+    """Inverse of :func:`encode_block`: payload bytes → aligned tuples."""
+    columns = pickle.loads(payload)
+    decoded: list[list[Any]] = []
+    for name, column in zip(attributes, columns):
+        page = dictionaries.get(name)
+        if page is not None:
+            column = [page[code] for code in column]
+        decoded.append(column)
+    return list(zip(*decoded))
+
+
+def block_zones(
+    attributes: Sequence[str], tuples: Sequence[tuple[Any, ...]]
+) -> dict[str, tuple[Any, Any]]:
+    """Per-attribute ``(min, max)`` over one block.
+
+    Attributes whose values are not mutually comparable (mixed types,
+    ``None``) are omitted — absence means "no pruning", never wrong
+    pruning.
+    """
+    zones: dict[str, tuple[Any, Any]] = {}
+    for position, name in enumerate(attributes):
+        column = [values[position] for values in tuples]
+        try:
+            zones[name] = (min(column), max(column))
+        except (TypeError, ValueError):
+            continue
+    return zones
+
+
+def write_table_file(
+    path: PathLike,
+    table: str,
+    attributes: Sequence[str],
+    tuples: Sequence[tuple[Any, ...]],
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    statistics: Optional[dict[str, Any]] = None,
+) -> Path:
+    """Write one table to ``path`` in the block format described above.
+
+    ``tuples`` are written in the order given — save a clustered relation
+    and the zone maps become disjoint ranges that prune hard.
+    """
+    if block_size < 1:
+        raise StorageError(f"block size must be at least 1, got {block_size}")
+    attributes = tuple(attributes)
+    encodings = build_dictionaries(attributes, tuples)
+    payloads: list[bytes] = []
+    index: list[dict[str, Any]] = []
+    offset = 0
+    for start in range(0, len(tuples), block_size):
+        block = tuples[start : start + block_size]
+        payload = encode_block(attributes, block, encodings)
+        index.append(
+            {
+                "offset": offset,
+                "length": len(payload),
+                "count": len(block),
+                "zones": block_zones(attributes, block),
+            }
+        )
+        payloads.append(payload)
+        offset += len(payload)
+    header = {
+        "format": FORMAT_VERSION,
+        "table": table,
+        "attributes": attributes,
+        "block_size": block_size,
+        "tuple_count": len(tuples),
+        "dictionaries": {name: list(mapping) for name, mapping in encodings.items()},
+        "blocks": index,
+        "statistics": statistics,
+    }
+    header_bytes = pickle.dumps(header, protocol=_PROTOCOL)
+    path = Path(path)
+    with open(path, "wb") as stream:
+        stream.write(MAGIC)
+        stream.write(len(header_bytes).to_bytes(8, "big"))
+        stream.write(header_bytes)
+        for payload in payloads:
+            stream.write(payload)
+    return path
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+class TableReader:
+    """Metadata-first reader for one table file.
+
+    Construction reads only the header (attributes, block index, zone
+    maps, dictionary pages, statistics payload); block payloads are
+    decoded on demand by :meth:`iter_blocks` / :meth:`read_block`.
+    """
+
+    __slots__ = ("_path", "_header", "_data_start")
+
+    def __init__(self, path: PathLike) -> None:
+        self._path = Path(path)
+        try:
+            with open(self._path, "rb") as stream:
+                magic = stream.read(len(MAGIC))
+                if magic != MAGIC:
+                    raise StorageError(f"{self._path} is not a stored table file (bad magic)")
+                header_length = int.from_bytes(stream.read(8), "big")
+                header_bytes = stream.read(header_length)
+                if len(header_bytes) != header_length:
+                    raise StorageError(f"{self._path} is truncated (header incomplete)")
+                try:
+                    header = pickle.loads(header_bytes)
+                except Exception as error:
+                    raise StorageError(f"{self._path} has an unreadable header: {error}") from None
+                self._data_start = len(MAGIC) + 8 + header_length
+        except OSError as error:
+            raise StorageError(f"cannot open stored table file {self._path}: {error}") from None
+        if not isinstance(header, dict) or any(key not in header for key in _HEADER_KEYS):
+            raise StorageError(f"{self._path} has a malformed header")
+        if header["format"] != FORMAT_VERSION:
+            raise StorageError(
+                f"{self._path} uses format version {header['format']}, expected {FORMAT_VERSION}"
+            )
+        self._header = header
+
+    # -- metadata (no block reads) -------------------------------------
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def table(self) -> str:
+        return self._header["table"]
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(self._header["attributes"])
+
+    @property
+    def tuple_count(self) -> int:
+        return self._header["tuple_count"]
+
+    @property
+    def block_size(self) -> int:
+        return self._header["block_size"]
+
+    @property
+    def blocks(self) -> list[dict[str, Any]]:
+        """The block index: offset/length/count/zones per block."""
+        return self._header["blocks"]
+
+    @property
+    def dictionaries(self) -> dict[str, list[Any]]:
+        return self._header["dictionaries"]
+
+    @property
+    def statistics_payload(self) -> Optional[dict[str, Any]]:
+        return self._header.get("statistics")
+
+    # -- block access ---------------------------------------------------
+    def read_block(self, meta: dict[str, Any]) -> list[tuple[Any, ...]]:
+        """Decode one block given its index entry."""
+        with open(self._path, "rb") as stream:
+            stream.seek(self._data_start + meta["offset"])
+            payload = stream.read(meta["length"])
+        return self._decode(meta, payload)
+
+    def _decode(self, meta: dict[str, Any], payload: bytes) -> list[tuple[Any, ...]]:
+        if len(payload) != meta["length"]:
+            raise StorageError(f"{self._path} is truncated (block payload incomplete)")
+        try:
+            return decode_block(payload, self.attributes, self.dictionaries)
+        except Exception as error:
+            raise StorageError(f"{self._path} has an unreadable block: {error}") from None
+
+    def iter_blocks(
+        self, should_read: Optional[Callable[[dict[str, Any]], bool]] = None
+    ) -> Iterator[tuple[dict[str, Any], list[tuple[Any, ...]]]]:
+        """Yield ``(index_entry, tuples)`` per block, in file order.
+
+        ``should_read`` sees each index entry (with its zone maps) before
+        the payload is touched; returning ``False`` skips the block
+        without any disk read beyond the already-loaded header.
+        """
+        with open(self._path, "rb") as stream:
+            for meta in self.blocks:
+                if should_read is not None and not should_read(meta):
+                    continue
+                stream.seek(self._data_start + meta["offset"])
+                payload = stream.read(meta["length"])
+                yield meta, self._decode(meta, payload)
+
+    def sample_tuples(self, limit: int) -> list[tuple[Any, ...]]:
+        """Up to ``limit`` tuples from the leading blocks (for type checks)."""
+        sample: list[tuple[Any, ...]] = []
+        for _meta, block in self.iter_blocks():
+            sample.extend(block[: limit - len(sample)])
+            if len(sample) >= limit:
+                break
+        return sample
+
+
+# ----------------------------------------------------------------------
+# zone-map matching
+# ----------------------------------------------------------------------
+def block_may_match(predicate: Predicate, zones: dict[str, tuple[Any, Any]]) -> bool:
+    """Could any tuple in a block with these zone maps satisfy ``predicate``?
+
+    Structural and conservative: unknown predicate shapes, missing zones
+    and incomparable values all answer ``True`` (read the block); only a
+    provably empty match answers ``False`` (skip it).
+    """
+    if isinstance(predicate, TruePredicate):
+        return True
+    if isinstance(predicate, FalsePredicate):
+        return False
+    if isinstance(predicate, And):
+        return all(block_may_match(operand, zones) for operand in predicate.operands)
+    if isinstance(predicate, Or):
+        return any(block_may_match(operand, zones) for operand in predicate.operands)
+    if isinstance(predicate, Not):
+        return block_may_match(predicate.operand.negate(), zones)
+    if isinstance(predicate, Comparison):
+        return _comparison_may_match(predicate, zones)
+    return True
+
+
+_MIRRORED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+def _comparison_may_match(predicate: Comparison, zones: dict[str, tuple[Any, Any]]) -> bool:
+    left, right = predicate.left, predicate.right
+    operator = predicate.operator
+    if isinstance(left, AttributeRef) and isinstance(right, Literal):
+        attribute, value = left.name, right.value
+    elif isinstance(left, Literal) and isinstance(right, AttributeRef):
+        attribute, value = right.name, left.value
+        operator = _MIRRORED[operator]
+    else:
+        return True
+    bounds = zones.get(attribute)
+    if bounds is None:
+        return True
+    low, high = bounds
+    try:
+        if operator == "=":
+            return low <= value <= high
+        if operator == "!=":
+            return not (low == high == value)
+        if operator == "<":
+            return low < value
+        if operator == "<=":
+            return low <= value
+        if operator == ">":
+            return high > value
+        if operator == ">=":
+            return high >= value
+    except TypeError:
+        return True
+    return True

@@ -1,0 +1,129 @@
+"""Spill-to-disk partitions for the hash-partition exchange.
+
+When an exchange runs under a memory budget
+(``connect(memory_budget_mb=...)``), buffered partitions that outgrow it
+are flushed to per-partition spill files and the task builders receive a
+:class:`SpilledPartition` handle instead of an in-memory tuple list.  The
+handle is picklable (it ships to pool workers), sized (``len``/``bool``
+behave like the list they replace), and streams its tuples back block by
+block — a worker re-reading a spilled partition never holds more than one
+block of it in memory.
+
+Spill files reuse the stored-table block encoding
+(:func:`repro.storage.format.encode_block` — column-major blocks of
+:data:`SPILL_BLOCK_TUPLES` tuples), just without dictionary pages: spills
+are written mid-stream, before any table-wide value dictionary could
+exist.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+from repro.errors import StorageError
+from repro.storage.format import PathLike, decode_block, encode_block
+
+__all__ = ["SPILL_BLOCK_TUPLES", "SpillWriter", "SpilledPartition"]
+
+#: Tuples per spill block — the unit the peak-buffered-blocks counters and
+#: the re-streaming granularity are measured in.
+SPILL_BLOCK_TUPLES = 4096
+
+#: No table-wide dictionaries exist for spill blocks.
+_NO_DICTIONARIES: dict[str, list[Any]] = {}
+
+
+class SpillWriter:
+    """Append-only writer for one partition's spill file."""
+
+    __slots__ = ("path", "attributes", "_stream", "_blocks", "tuple_count")
+
+    def __init__(self, directory: PathLike, label: str, attributes: Sequence[str]) -> None:
+        self.path = Path(directory) / f"{label}.spill"
+        self.attributes = tuple(attributes)
+        try:
+            self._stream = open(self.path, "wb")
+        except OSError as error:
+            raise StorageError(f"cannot create spill file {self.path}: {error}") from None
+        self._blocks: list[tuple[int, int, int]] = []
+        self.tuple_count = 0
+
+    @property
+    def spilled_blocks(self) -> int:
+        return len(self._blocks)
+
+    def append(self, tuples: Sequence[tuple[Any, ...]]) -> None:
+        """Write one block of aligned tuples (at most the caller's slice)."""
+        if not tuples:
+            return
+        payload = encode_block(self.attributes, tuples, {})
+        offset = self._stream.tell()
+        self._stream.write(payload)
+        self._blocks.append((offset, len(payload), len(tuples)))
+        self.tuple_count += len(tuples)
+
+    def spill(self, tuples: Sequence[tuple[Any, ...]]) -> None:
+        """Write a buffered partition, sliced into spill blocks."""
+        for start in range(0, len(tuples), SPILL_BLOCK_TUPLES):
+            self.append(tuples[start : start + SPILL_BLOCK_TUPLES])
+
+    def finish(self) -> "SpilledPartition":
+        """Close the file and return the re-streamable handle."""
+        self._stream.close()
+        return SpilledPartition(str(self.path), self.attributes, tuple(self._blocks))
+
+
+class SpilledPartition:
+    """A picklable, sized, block-streaming handle to one spilled partition.
+
+    Drop-in for the in-memory tuple list a bucket would otherwise be: the
+    task builders' ``len(bucket)`` / ``if bucket`` checks work unchanged,
+    and :class:`~repro.physical.parallel.exchange.PartitionSource` streams
+    :meth:`iter_blocks` instead of slicing a list.
+    """
+
+    __slots__ = ("path", "attributes", "blocks", "_count")
+
+    def __init__(
+        self,
+        path: str,
+        attributes: tuple[str, ...],
+        blocks: tuple[tuple[int, int, int], ...],
+    ) -> None:
+        self.path = path
+        self.attributes = attributes
+        self.blocks = blocks
+        self._count = sum(count for _offset, _length, count in blocks)
+
+    def __reduce__(self):
+        return (SpilledPartition, (self.path, self.attributes, self.blocks))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<SpilledPartition {self.path} {self._count} tuples "
+            f"in {len(self.blocks)} block(s)>"
+        )
+
+    def iter_blocks(self) -> Iterator[list[tuple[Any, ...]]]:
+        """Stream the spilled tuples back, one block at a time."""
+        if not self.blocks:
+            return
+        try:
+            with open(self.path, "rb") as stream:
+                for offset, length, _count in self.blocks:
+                    stream.seek(offset)
+                    payload = stream.read(length)
+                    yield decode_block(payload, self.attributes, _NO_DICTIONARIES)
+        except OSError as error:
+            raise StorageError(f"cannot read spill file {self.path}: {error}") from None
+
+    def read_all(self) -> list[tuple[Any, ...]]:
+        """Materialize the whole partition (tests and small consumers)."""
+        return [values for block in self.iter_blocks() for values in block]

@@ -1,0 +1,251 @@
+"""Directory stores: save a catalog to disk, reopen it lazily.
+
+A *store* is a directory holding one block file per table (see
+:mod:`repro.storage.format`) plus a small JSON manifest mapping table names
+to files and recording the catalog's declared keys and foreign keys, so a
+reopened store keeps the same rewrite-law preconditions available.
+
+Reopening yields :class:`StoredRelation` values: schema, cardinality and
+statistics come straight from the file headers (no data read), and the
+tuples materialize only if something actually asks for rows — the planner
+routes stored tables through :class:`~repro.storage.scan.StoredScan`,
+which streams blocks, so ordinary query execution never materializes them.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.algebra.catalog import Catalog
+from repro.errors import StorageError
+from repro.optimizer.statistics import TableStatistics
+from repro.relation.relation import Relation
+from repro.relation.row import Row
+from repro.relation.schema import Schema
+from repro.storage.format import DEFAULT_BLOCK_SIZE, PathLike, TableReader, write_table_file
+
+__all__ = [
+    "MANIFEST_NAME",
+    "StoredRelation",
+    "load_catalog",
+    "save_database",
+    "statistics_from_payload",
+    "statistics_payload",
+]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# statistics payload <-> TableStatistics
+# ----------------------------------------------------------------------
+def statistics_payload(statistics: TableStatistics) -> dict[str, Any]:
+    """A plain-dict rendering of exact table statistics for the file header."""
+    return {
+        "cardinality": statistics.cardinality,
+        "distinct_values": dict(statistics.distinct_values),
+        "minima": dict(statistics.minima),
+        "maxima": dict(statistics.maxima),
+        "sorted_attributes": sorted(statistics.sorted_attributes),
+        "lexicographic_prefix": list(statistics.lexicographic_prefix),
+        "top_frequencies": dict(statistics.top_frequencies),
+    }
+
+
+def statistics_from_payload(payload: dict[str, Any]) -> TableStatistics:
+    """Inverse of :func:`statistics_payload`."""
+    try:
+        return TableStatistics(
+            cardinality=payload["cardinality"],
+            distinct_values=dict(payload["distinct_values"]),
+            minima=dict(payload["minima"]),
+            maxima=dict(payload["maxima"]),
+            sorted_attributes=frozenset(payload["sorted_attributes"]),
+            lexicographic_prefix=tuple(payload["lexicographic_prefix"]),
+            top_frequencies=dict(payload["top_frequencies"]),
+        )
+    except (KeyError, TypeError) as error:
+        raise StorageError(f"malformed statistics payload in stored table: {error}") from None
+
+
+# ----------------------------------------------------------------------
+# lazy stored relations
+# ----------------------------------------------------------------------
+class StoredRelation(Relation):
+    """A relation backed by a stored table file, materialized on demand.
+
+    The subclass shadows the ``_rows``/``_tuples`` slots with properties,
+    so every inherited algebra method works unchanged — the first one that
+    actually touches rows triggers a full block read.  Length, schema and
+    :meth:`stored_statistics` are answered from the header alone, which is
+    what keeps ``repro.connect(path)`` and ``db.analyze()`` metadata-only.
+
+    Derived relations (projections, quotients, …) are always plain
+    in-memory :class:`Relation` values: the base class builds results via
+    ``Relation._from_parts`` explicitly.
+    """
+
+    __slots__ = ("_reader", "_cached_rows", "_cached_tuples")
+
+    def __init__(self, reader: TableReader) -> None:
+        self._schema = Schema.interned(reader.attributes)
+        self._reader = reader
+        self._cached_rows: Optional[frozenset[Row]] = None
+        self._cached_tuples: Optional[list[tuple[Any, ...]]] = None
+
+    # -- lazy materialization ------------------------------------------
+    @property
+    def _rows(self) -> frozenset[Row]:
+        rows = self._cached_rows
+        if rows is None:
+            schema = self._schema
+            from_schema = Row.from_schema
+            rows = frozenset(from_schema(schema, values) for values in self.aligned_tuples())
+            self._cached_rows = rows
+        return rows
+
+    @property
+    def _tuples(self) -> Optional[list[tuple[Any, ...]]]:
+        return self._cached_tuples
+
+    @_tuples.setter
+    def _tuples(self, value: Optional[list[tuple[Any, ...]]]) -> None:
+        self._cached_tuples = value
+
+    def aligned_tuples(self) -> list[tuple[Any, ...]]:
+        """All tuples in stored (block) order — reads every block, cached."""
+        tuples = self._cached_tuples
+        if tuples is None:
+            tuples = [values for _meta, block in self._reader.iter_blocks() for values in block]
+            self._cached_tuples = tuples
+        return tuples
+
+    # -- metadata-only answers -----------------------------------------
+    def __len__(self) -> int:
+        return self._reader.tuple_count
+
+    def __bool__(self) -> bool:
+        return self._reader.tuple_count > 0
+
+    @property
+    def reader(self) -> TableReader:
+        """The underlying block-file reader."""
+        return self._reader
+
+    @property
+    def is_loaded(self) -> bool:
+        """Whether the tuples have been materialized into memory."""
+        return self._cached_rows is not None or self._cached_tuples is not None
+
+    def stored_statistics(self) -> TableStatistics:
+        """Exact statistics from the file header — a metadata read.
+
+        :meth:`TableStatistics.from_relation` dispatches here for stored
+        relations, so ``ANALYZE`` on a stored table touches no block.
+        """
+        payload = self._reader.statistics_payload
+        if payload is None:
+            # Saved without statistics (foreign writer): one full read.
+            plain = Relation.from_aligned(self.attributes, self.aligned_tuples())
+            return TableStatistics.from_relation(plain)
+        return statistics_from_payload(payload)
+
+    def sample_tuples(self, limit: int) -> list[tuple[Any, ...]]:
+        """Up to ``limit`` leading tuples without materializing the table."""
+        if self._cached_tuples is not None:
+            return self._cached_tuples[:limit]
+        return self._reader.sample_tuples(limit)
+
+    def __repr__(self) -> str:
+        state = "loaded" if self.is_loaded else "on disk"
+        return (
+            f"<StoredRelation {self._reader.table!r} {self._schema.names!r} "
+            f"{len(self)} tuples, {len(self._reader.blocks)} blocks, {state}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# save / open
+# ----------------------------------------------------------------------
+def _table_filename(index: int, name: str) -> str:
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "_", name) or "table"
+    return f"{index:04d}-{safe}.rpb"
+
+
+def save_database(
+    path: PathLike,
+    catalog: Catalog,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> Path:
+    """Save every table of ``catalog`` to the store directory ``path``.
+
+    Tuples are written in each relation's scan order (so a pre-clustered
+    relation gets tight, disjoint zone maps), exact statistics are gathered
+    once and embedded in each file header, and the manifest — written last
+    — records the table files plus declared keys and foreign keys.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    tables: dict[str, str] = {}
+    for index, name in enumerate(sorted(catalog)):
+        relation = catalog[name]
+        statistics = TableStatistics.from_relation(relation)
+        filename = _table_filename(index, name)
+        write_table_file(
+            path / filename,
+            name,
+            relation.schema.names,
+            relation.aligned_tuples(),
+            block_size=block_size,
+            statistics=statistics_payload(statistics),
+        )
+        tables[name] = filename
+    manifest = {
+        "format": MANIFEST_VERSION,
+        "tables": tables,
+        "keys": {
+            name: [list(key) for key in keys]
+            for name, keys in catalog.declared_keys.items()
+        },
+        "foreign_keys": [
+            {
+                "table": fk.table,
+                "attributes": list(fk.attributes),
+                "ref_table": fk.ref_table,
+                "ref_attributes": list(fk.ref_attributes),
+            }
+            for fk in catalog.foreign_keys
+        ],
+    }
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_catalog(path: PathLike) -> Catalog:
+    """Reopen a store directory as a catalog of lazy stored relations."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise StorageError(f"{path} is not a saved store (no {MANIFEST_NAME})")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise StorageError(f"cannot read store manifest {manifest_path}: {error}") from None
+    if not isinstance(manifest, dict) or manifest.get("format") != MANIFEST_VERSION:
+        raise StorageError(f"{manifest_path} has an unsupported manifest format")
+    catalog = Catalog()
+    for name, filename in manifest.get("tables", {}).items():
+        reader = TableReader(path / filename)
+        catalog.add_table(name, StoredRelation(reader))
+    for name, keys in manifest.get("keys", {}).items():
+        for key in keys:
+            catalog.declare_key(name, key)
+    for fk in manifest.get("foreign_keys", []):
+        catalog.declare_foreign_key(
+            fk["table"], fk["attributes"], fk["ref_table"], fk["ref_attributes"]
+        )
+    return catalog

@@ -36,9 +36,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sql"])
 
-    def test_sql_db_choices_are_restricted(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["sql", "SELECT 1", "--db", "prod"])
+    def test_sql_db_accepts_store_paths(self, capsys):
+        # ``--db`` takes a built-in name or a saved-store path; an unknown
+        # value parses but fails at open time with a clear error.
+        args = build_parser().parse_args(["sql", "SELECT 1", "--db", "prod"])
+        assert args.db == "prod"
+        assert main(["sql", "SELECT p_no FROM parts", "--db", "prod"]) == 2
+        assert "error:" in capsys.readouterr().out
 
     def test_command_is_required(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,100 @@
+"""Range-predicate selectivity from min/max interpolation.
+
+Zone-map statistics give every stored (and analyzed) table exact per-column
+bounds; the estimator linearly interpolates ``attr < literal`` style
+predicates against them instead of falling back to the fixed default
+selectivity.  These tests pin the interpolation, the mirrored-operand and
+Rename handling, and the conservative fallbacks.
+"""
+
+import pytest
+
+from repro.algebra import builders as B
+from repro.algebra import predicates as P
+from repro.optimizer import CardinalityEstimator, StatisticsCatalog
+from repro.relation import Relation
+
+ROWS = 1000
+
+
+@pytest.fixture
+def estimator():
+    # ``k`` spans [0, 999] uniformly; ``flag`` is boolean.
+    relation = Relation.from_aligned(
+        ("k", "flag"), [(i, i % 2 == 0) for i in range(ROWS)]
+    )
+    return CardinalityEstimator(StatisticsCatalog.from_database({"t": relation}))
+
+
+def ref():
+    return B.ref("t", ["k", "flag"])
+
+
+def estimate(estimator, predicate, expression=None):
+    return estimator.cardinality(B.select(expression or ref(), predicate))
+
+
+class TestInterpolation:
+    @pytest.mark.parametrize(
+        "literal,expected_fraction",
+        [(100, 0.1), (500, 0.5), (900, 0.9)],
+    )
+    def test_less_than_scales_with_the_literal(self, estimator, literal, expected_fraction):
+        cardinality = estimate(estimator, P.less_than(P.attr("k"), literal))
+        assert cardinality == pytest.approx(ROWS * expected_fraction, rel=0.02)
+
+    def test_greater_than_is_the_complement(self, estimator):
+        low = estimate(estimator, P.greater_than(P.attr("k"), 900))
+        high = estimate(estimator, P.greater_than(P.attr("k"), 100))
+        assert low == pytest.approx(ROWS * 0.1, rel=0.02)
+        assert high == pytest.approx(ROWS * 0.9, rel=0.02)
+
+    def test_out_of_range_clamps_to_the_floor(self, estimator):
+        # Nothing is below the minimum, but the estimate never hits zero.
+        cardinality = estimate(estimator, P.less_than(P.attr("k"), 0))
+        assert 0 < cardinality <= ROWS * 0.001 + 1
+
+    def test_everything_in_range_clamps_to_one(self, estimator):
+        cardinality = estimate(estimator, P.less_equal(P.attr("k"), 99999))
+        assert cardinality == pytest.approx(ROWS)
+
+    def test_mirrored_literal_on_the_left(self, estimator):
+        # ``100 > k``  ≡  ``k < 100``.
+        mirrored = estimate(estimator, P.greater_than(100, P.attr("k")))
+        direct = estimate(estimator, P.less_than(P.attr("k"), 100))
+        assert mirrored == direct
+
+
+class TestStructureTraversal:
+    def test_bounds_survive_projection(self, estimator):
+        expression = B.project(ref(), ["k"])
+        cardinality = estimate(estimator, P.less_than(P.attr("k"), 100), expression)
+        # Projection caps at the distinct count but the range fraction holds.
+        assert cardinality <= ROWS * 0.1 + 1
+
+    def test_bounds_survive_rename(self, estimator):
+        expression = B.rename(ref(), {"k": "key"})
+        cardinality = estimator.cardinality(
+            B.select(expression, P.less_than(P.attr("key"), 100))
+        )
+        assert cardinality == pytest.approx(ROWS * 0.1, rel=0.02)
+
+
+class TestConservativeFallbacks:
+    def default(self, estimator):
+        from repro.optimizer.statistics import DEFAULT_SELECTIVITY
+
+        return ROWS * DEFAULT_SELECTIVITY
+
+    def test_boolean_columns_fall_back(self, estimator):
+        # Interpolating over booleans would be meaningless; use the default.
+        cardinality = estimate(estimator, P.less_than(P.attr("flag"), True))
+        assert cardinality == pytest.approx(self.default(estimator))
+
+    def test_unknown_attribute_falls_back(self, estimator):
+        cardinality = estimate(estimator, P.less_than(P.attr("ghost"), 10))
+        assert cardinality == pytest.approx(self.default(estimator))
+
+    def test_non_numeric_literal_falls_back(self, estimator):
+        cardinality = estimate(estimator, P.less_than(P.attr("k"), "zzz"))
+        assert cardinality == pytest.approx(self.default(estimator))

@@ -1,0 +1,143 @@
+"""The on-disk block format: encode/decode, zone maps, header integrity."""
+
+import pytest
+
+from repro.algebra import predicates as P
+from repro.errors import StorageError
+from repro.storage.format import (
+    DEFAULT_BLOCK_SIZE,
+    TableReader,
+    block_may_match,
+    build_dictionaries,
+    decode_block,
+    encode_block,
+    write_table_file,
+)
+
+ATTRIBUTES = ("k", "g", "s")
+
+
+def rows(count: int):
+    return [(i, i % 7, f"s{i % 3}") for i in range(count)]
+
+
+class TestBlockCodec:
+    def test_roundtrip_with_dictionaries(self):
+        tuples = rows(100)
+        encodings = build_dictionaries(ATTRIBUTES, tuples)
+        payload = encode_block(ATTRIBUTES, tuples, encodings)
+        dictionaries = {
+            name: [value for value, _code in sorted(mapping.items(), key=lambda kv: kv[1])]
+            for name, mapping in encodings.items()
+        }
+        assert decode_block(payload, ATTRIBUTES, dictionaries) == tuples
+
+    def test_roundtrip_without_dictionaries(self):
+        tuples = rows(10)
+        payload = encode_block(ATTRIBUTES, tuples, {})
+        assert decode_block(payload, ATTRIBUTES, {}) == tuples
+
+    def test_unhashable_column_is_stored_raw(self):
+        tuples = [([1, 2], "x"), ([3], "y")]
+        encodings = build_dictionaries(("a", "b"), tuples)
+        assert "a" not in encodings  # lists cannot be dictionary keys
+        assert "b" in encodings
+
+
+class TestTableFile:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.rpb"
+        tuples = rows(5000)
+        write_table_file(path, "t", ATTRIBUTES, tuples, block_size=512)
+        reader = TableReader(path)
+        assert reader.table == "t"
+        assert reader.attributes == ATTRIBUTES
+        assert reader.tuple_count == 5000
+        assert len(reader.blocks) == 10
+        streamed = [values for _meta, block in reader.iter_blocks() for values in block]
+        assert streamed == tuples
+
+    def test_default_block_size(self, tmp_path):
+        path = tmp_path / "t.rpb"
+        write_table_file(path, "t", ATTRIBUTES, rows(10))
+        assert TableReader(path).block_size == DEFAULT_BLOCK_SIZE
+
+    def test_zone_maps_recorded_per_block(self, tmp_path):
+        path = tmp_path / "t.rpb"
+        write_table_file(path, "t", ATTRIBUTES, rows(1024), block_size=256)
+        reader = TableReader(path)
+        for number, meta in enumerate(reader.blocks):
+            low, high = meta["zones"]["k"]
+            assert (low, high) == (number * 256, number * 256 + 255)
+
+    def test_selective_read_skips_blocks(self, tmp_path):
+        path = tmp_path / "t.rpb"
+        write_table_file(path, "t", ATTRIBUTES, rows(1024), block_size=256)
+        reader = TableReader(path)
+        read = list(reader.iter_blocks(lambda meta: meta["zones"]["k"][0] < 256))
+        assert len(read) == 1
+
+    def test_sample_tuples(self, tmp_path):
+        path = tmp_path / "t.rpb"
+        tuples = rows(1000)
+        write_table_file(path, "t", ATTRIBUTES, tuples, block_size=256)
+        assert TableReader(path).sample_tuples(10) == tuples[:10]
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "t.rpb"
+        path.write_bytes(b"NOTABLOCKFILE....")
+        with pytest.raises(StorageError):
+            TableReader(path)
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = tmp_path / "t.rpb"
+        write_table_file(path, "t", ATTRIBUTES, rows(100), block_size=32)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        reader = TableReader(path)  # header may still parse …
+        with pytest.raises(StorageError):  # … but block reads must not
+            list(reader.iter_blocks())
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            TableReader(tmp_path / "absent.rpb")
+
+
+class TestBlockMayMatch:
+    ZONES = {"k": (10, 20)}
+
+    @pytest.mark.parametrize(
+        "predicate,expected",
+        [
+            (P.equals(P.attr("k"), 15), True),
+            (P.equals(P.attr("k"), 5), False),
+            (P.equals(P.attr("k"), 25), False),
+            (P.less_than(P.attr("k"), 10), False),
+            (P.less_than(P.attr("k"), 11), True),
+            (P.less_equal(P.attr("k"), 10), True),
+            (P.greater_than(P.attr("k"), 20), False),
+            (P.greater_equal(P.attr("k"), 20), True),
+            (P.not_equals(P.attr("k"), 15), True),
+        ],
+    )
+    def test_comparisons(self, predicate, expected):
+        assert block_may_match(predicate, self.ZONES) is expected
+
+    def test_not_equals_prunes_single_valued_block(self):
+        assert block_may_match(P.not_equals(P.attr("k"), 7), {"k": (7, 7)}) is False
+
+    def test_mirrored_literal_on_the_left(self):
+        # 25 < k  ≡  k > 25: impossible when the block tops out at 20.
+        assert block_may_match(P.less_than(25, P.attr("k")), self.ZONES) is False
+
+    def test_conjunction_and_disjunction(self):
+        inside = P.equals(P.attr("k"), 15)
+        outside = P.equals(P.attr("k"), 99)
+        assert block_may_match(P.conjunction([inside, outside]), self.ZONES) is False
+        assert block_may_match(P.disjunction([inside, outside]), self.ZONES) is True
+
+    def test_unknown_attribute_is_conservative(self):
+        assert block_may_match(P.equals(P.attr("other"), 1), self.ZONES) is True
+
+    def test_incomparable_literal_is_conservative(self):
+        assert block_may_match(P.less_than(P.attr("k"), "zzz"), self.ZONES) is True

@@ -154,3 +154,69 @@ class TestCompareParallel:
         monkeypatch.setattr(module.os, "cpu_count", lambda: 1)
         _, failures = module.compare_parallel(run, workers=4)
         assert failures == []
+
+
+class TestMissingBaselineEntries:
+    """A scenario in the current run but absent from the committed baseline
+    must fail loudly, listing every missing name."""
+
+    def test_missing_names_are_listed(self):
+        module = load_module()
+        baseline = payload({"a": 1.0})
+        current = payload({"a": 1.0, "b": 1.0, "c": 1.0})
+        lines, failures = module.compare(baseline, current, threshold=0.25)
+        assert failures == [
+            "missing baseline entry for b",
+            "missing baseline entry for c",
+        ]
+        text = "\n".join(lines)
+        assert "  - b" in text and "  - c" in text
+        assert "bench-record" in text
+
+    def test_matching_scenario_sets_do_not_trip_the_check(self):
+        module = load_module()
+        same = payload({"a": 1.0, "b": 1.0})
+        _, failures = module.compare(same, same, threshold=0.25)
+        assert failures == []
+
+
+class TestCompareStorage:
+    """The stored-table gates: zone-map skipping and metadata ANALYZE."""
+
+    def run_payload(self, skip_speedup: float, analyze_speedup: float) -> dict:
+        return payload(
+            {
+                "test_selective_scan[selective-full]": 0.100,
+                "test_selective_scan[selective-skipping]": 0.100 / skip_speedup,
+                "test_cold_analyze[cold-fullscan]": 0.500,
+                "test_cold_analyze[cold-metadata]": 0.500 / analyze_speedup,
+            }
+        )
+
+    def test_fast_run_passes_both_gates(self):
+        module = load_module()
+        lines, failures = module.compare_storage(self.run_payload(20.0, 100.0))
+        assert failures == []
+        assert any("20.00x" in line for line in lines)
+        assert any("100.00x" in line for line in lines)
+
+    def test_slow_skipping_fails_the_scan_gate(self):
+        module = load_module()
+        _, failures = module.compare_storage(self.run_payload(2.0, 100.0))
+        assert len(failures) == 1 and "zone-map skipping" in failures[0]
+
+    def test_slow_metadata_analyze_fails_the_analyze_gate(self):
+        module = load_module()
+        _, failures = module.compare_storage(self.run_payload(20.0, 3.0))
+        assert len(failures) == 1 and "metadata ANALYZE" in failures[0]
+
+    def test_missing_scenarios_fail_loudly(self):
+        module = load_module()
+        _, failures = module.compare_storage(payload({"unrelated": 1.0}))
+        assert failures == ["missing scenarios"]
+
+    def test_missing_mode_fails(self):
+        module = load_module()
+        run = payload({"test_selective_scan[selective-full]": 0.1})
+        _, failures = module.compare_storage(run)
+        assert any("missing a mode" in failure for failure in failures)
