@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test lint lint-engine typecheck verify-plans bench-smoke bench bench-record bench-compare bench-parallel bench-compiled bench-storage
+.PHONY: check test lint lint-engine typecheck verify-plans bench-smoke bench bench-record bench-compare bench-parallel bench-compiled bench-storage bench-ivm
 
 ## Tier-1 gate: typecheck plus the full unit + benchmark-assertion suite.
 check: typecheck
@@ -21,11 +21,12 @@ lint: lint-engine
 lint-engine:
 	$(PYTHON) scripts/lint_engine.py
 
-## Strict typing gate for src/repro/analysis and src/repro/api (scoped in
-## mypy.ini); skipped with a notice when mypy is not installed.
+## Strict typing gate for src/repro/analysis, src/repro/api and
+## src/repro/views (scoped in mypy.ini); skipped with a notice when mypy
+## is not installed.
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
-		mypy --config-file mypy.ini src/repro/analysis src/repro/api; \
+		mypy --config-file mypy.ini src/repro/analysis src/repro/api src/repro/views; \
 	else \
 		echo "mypy not installed — skipping typecheck (pip install mypy)"; \
 	fi
@@ -62,6 +63,8 @@ bench-record:
 		--benchmark-json=BENCH_division.json
 	$(PYTHON) -m pytest benchmarks/test_bench_storage.py -q \
 		--benchmark-json=BENCH_storage.json
+	$(PYTHON) -m pytest benchmarks/test_bench_ivm.py -q \
+		--benchmark-json=BENCH_ivm.json
 
 ## Rerun the division microbenchmarks and fail on >25% relative regression
 ## against the committed BENCH_division.json (hardware-normalized).
@@ -83,3 +86,8 @@ bench-compiled:
 ## metadata-ANALYZE on stored tables (same-run timings, >=5x gates).
 bench-storage:
 	$(PYTHON) scripts/bench_compare.py --storage
+
+## Compare delta-maintained views vs recompute-per-edit on the churn
+## workload (same-run per-edit timings, >=10x gate).
+bench-ivm:
+	$(PYTHON) scripts/bench_compare.py --ivm

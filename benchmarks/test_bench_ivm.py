@@ -1,0 +1,193 @@
+"""Benchmarks for incremental view maintenance (the churn workload).
+
+The acceptance contract of the view subsystem: **1000 single-row edits
+against a ≥100k-tuple dividend, reading the quotient view after every
+edit, beat recompute-per-edit by ≥10× per edit**, measured same-run.
+Both arms pay the same copy-on-write mutation cost; the difference is
+the read after each edit — an O(delta) counter update plus a counter
+scan for the maintained view, a full division of the 100k-tuple
+dividend for the recompute baseline.
+
+The edit stream is delete/re-insert pairs over existing dividend rows,
+so every full pass restores the starting state (timed passes are
+repeatable) while still flipping quotient membership whenever the
+deleted row carries a divisor value.
+
+**The recompute arm is subsampled**: replaying all 1000 edits through
+full recomputes takes minutes, so it replays only the first
+``RECOMPUTE_EDITS`` edits (complete pairs) and the comparison is
+per-edit.  This cap is load-bearing for every consumer: the benchmark
+ids ``test_churn[edits-maintained]`` / ``test_churn[edits-recompute]``
+feed ``scripts/bench_compare.py --ivm``, which normalizes by the
+mirrored edit counts before applying the ≥10× gate.
+
+Wall-clock assertions use single timed passes (each runs seconds, far
+above scheduler noise) and are skipped under ``--benchmark-disable``
+(CI smoke on shared runners); the result-parity assertions always run.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.api import connect
+from repro.division import small_divide
+from repro.workloads import make_division_workload
+
+#: Maintained churn must beat recompute-per-edit by this factor, per edit.
+IVM_SPEEDUP_BOUND = 10.0
+#: Edits in one full churn pass (delete/re-insert pairs, state-restoring).
+MAINTAINED_EDITS = 1000
+#: The recompute arm replays only this prefix of the stream (whole pairs);
+#: timings are compared per-edit.  Mirrored in scripts/bench_compare.py.
+RECOMPUTE_EDITS = 20
+#: The dividend must be at least this large for the contract to mean much.
+ROWS_FLOOR = 100_000
+
+CHURN_MODES = ("maintained", "recompute")
+
+assert MAINTAINED_EDITS % 2 == 0 and RECOMPUTE_EDITS % 2 == 0
+
+
+@pytest.fixture(scope="session")
+def churn_workload():
+    """A ≥100k-tuple small-divide workload plus its churn edit stream."""
+    workload = make_division_workload(
+        num_groups=9000,
+        divisor_size=10,
+        containing_fraction=0.2,
+        extra_values_per_group=6,
+        seed=11,
+    )
+    assert len(workload.dividend) >= ROWS_FLOOR
+    rng = random.Random(17)
+    rows = rng.sample(sorted(workload.dividend.aligned_tuples()), MAINTAINED_EDITS // 2)
+    edits = []
+    for row in rows:
+        edits.append(("delete", row))
+        edits.append(("insert", row))
+    return workload, edits
+
+
+def _view_session(workload):
+    """A database with the workload under r1/r2 and a built maintained view."""
+    db = connect()
+    db.add_table("r1", workload.dividend)
+    db.add_table("r2", workload.divisor)
+    view = db.create_view("q", db.table("r1").divide(db.table("r2"), on=["b"]))
+    view.run()
+    assert view.maintained
+    return db, view
+
+
+def _recompute_session(workload):
+    """The baseline database: same tables, no view, recompute on read."""
+    db = connect()
+    db.add_table("r1", workload.dividend)
+    db.add_table("r2", workload.divisor)
+    return db, db.table("r1").divide(db.table("r2"), on=["b"])
+
+
+def _apply_edit(db, op, row):
+    if op == "insert":
+        db.insert("r1", [row])
+    else:
+        db.delete("r1", [row])
+
+
+def _maintained_pass(db, view, edits):
+    """Apply every edit and read the view after each one."""
+    for op, row in edits:
+        _apply_edit(db, op, row)
+        view.relation()
+
+
+def _recompute_pass(db, query, edits):
+    """Apply each edit and recompute the division from scratch after it.
+
+    ``clear_cache()`` makes "no incremental help" explicit — the mutation
+    already invalidates the version-keyed result cache and the prepared
+    plan, so this baseline is exactly the pay-full-price-per-edit path.
+    """
+    for op, row in edits:
+        _apply_edit(db, op, row)
+        db.clear_cache()
+        query.run()
+
+
+def _timing_enabled(request) -> bool:
+    """False under ``--benchmark-disable`` (CI smoke on shared runners)."""
+    return not request.config.getoption("--benchmark-disable")
+
+
+@pytest.mark.parametrize(
+    "mode", [pytest.param(mode, id=f"edits-{mode}") for mode in CHURN_MODES]
+)
+def test_churn(benchmark, churn_workload, mode):
+    """The churn workload, maintained vs recompute-per-edit (same names
+    feed ``scripts/bench_compare.py --ivm``, which divides each timing by
+    its arm's edit count before gating).
+
+    ``pedantic(rounds=1)``: a pass runs for seconds (far above jitter),
+    and auto-calibrated rounds would replay the multi-second stateful
+    stream dozens of times for no extra signal.
+    """
+    workload, edits = churn_workload
+    if mode == "maintained":
+        db, view = _view_session(workload)
+        benchmark.pedantic(
+            lambda: _maintained_pass(db, view, edits), rounds=1, iterations=1
+        )
+        result = view.relation()
+        deltas = view.deltas_applied
+        assert deltas >= MAINTAINED_EDITS
+    else:
+        db, query = _recompute_session(workload)
+        benchmark.pedantic(
+            lambda: _recompute_pass(db, query, edits[:RECOMPUTE_EDITS]),
+            rounds=1,
+            iterations=1,
+        )
+        result = query.run().relation
+    # Every pass is made of delete/re-insert pairs: the state is restored,
+    # so both arms must end at the workload's original quotient.
+    expected = small_divide(db.relation("r1"), db.relation("r2"))
+    assert result == expected
+    assert len(result) == workload.expected_quotient_size
+
+
+def test_ivm_speedup_bound(request, churn_workload):
+    """Same-run gate: maintained churn beats recompute-per-edit ≥10×.
+
+    Parity always: along the recompute prefix the maintained view and the
+    from-scratch division must agree after **every** edit.  Timing only
+    when enabled: one full maintained pass vs the subsampled recompute
+    pass, compared per-edit.
+    """
+    workload, edits = churn_workload
+    db, view = _view_session(workload)
+    base, query = _recompute_session(workload)
+    for op, row in edits[:RECOMPUTE_EDITS]:
+        _apply_edit(db, op, row)
+        _apply_edit(base, op, row)
+        base.clear_cache()
+        assert view.relation() == query.run().relation, (op, row)
+
+    if not _timing_enabled(request):
+        # --benchmark-disable (CI smoke): per-edit parity only.
+        return
+    start = time.perf_counter()
+    _maintained_pass(db, view, edits)
+    maintained_per_edit = (time.perf_counter() - start) / MAINTAINED_EDITS
+    start = time.perf_counter()
+    _recompute_pass(base, query, edits[:RECOMPUTE_EDITS])
+    recompute_per_edit = (time.perf_counter() - start) / RECOMPUTE_EDITS
+    speedup = recompute_per_edit / maintained_per_edit
+    assert speedup >= IVM_SPEEDUP_BOUND, (
+        f"maintained churn {maintained_per_edit * 1000:.2f} ms/edit "
+        f"({MAINTAINED_EDITS} edits) vs recompute "
+        f"{recompute_per_edit * 1000:.2f} ms/edit "
+        f"({RECOMPUTE_EDITS}-edit subsample) — only {speedup:.2f}x "
+        f"(need {IVM_SPEEDUP_BOUND}x)"
+    )

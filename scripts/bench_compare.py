@@ -36,6 +36,16 @@ zone-map block skipping must beat the full stored scan by ≥5× on the
 selective clustered scenario, and ``ANALYZE`` of a cold-opened store (a
 metadata read) must beat the full statistics scan by ≥5×.
 
+``--ivm`` switches to the view-maintenance comparison: it runs
+``benchmarks/test_bench_ivm.py`` once and gates the same-run churn
+timings — a delta-maintained quotient view under 1000 single-row edits
+(read after every edit) must beat recompute-per-edit by ≥10×.  The two
+arms time different edit counts (the recompute arm replays only a
+prefix of the stream — full recomputes per edit take minutes), so the
+comparison normalizes each timing by its arm's edit count first; the
+counts are mirrored from the benchmark file and printed with the
+ratios so the subsampling is never silent.
+
 Usage::
 
     python scripts/bench_compare.py [--baseline BENCH_division.json]
@@ -43,6 +53,7 @@ Usage::
     python scripts/bench_compare.py --parallel 2
     python scripts/bench_compare.py --compiled
     python scripts/bench_compare.py --storage
+    python scripts/bench_compare.py --ivm
 """
 
 from __future__ import annotations
@@ -61,6 +72,7 @@ BENCH_FILE = "benchmarks/test_bench_division_algorithms.py"
 PARALLEL_BENCH_FILE = "benchmarks/test_bench_parallel_division.py"
 COMPILED_BENCH_FILE = "benchmarks/test_bench_compiled.py"
 STORAGE_BENCH_FILE = "benchmarks/test_bench_storage.py"
+IVM_BENCH_FILE = "benchmarks/test_bench_ivm.py"
 
 #: workers=1 partitioned execution may cost at most this much over serial.
 PARALLEL_FALLBACK_OVERHEAD = 0.15
@@ -76,6 +88,15 @@ STORAGE_SKIP_SPEEDUP_BOUND = 5.0
 #: ANALYZE from save-time metadata must beat the full statistics scan by
 #: this factor on a cold-opened store.
 STORAGE_ANALYZE_SPEEDUP_BOUND = 5.0
+#: A delta-maintained view under churn must beat recompute-per-edit by
+#: this factor, per edit.
+IVM_SPEEDUP_BOUND = 10.0
+#: Edits per timed churn pass — mirrors MAINTAINED_EDITS / RECOMPUTE_EDITS
+#: in benchmarks/test_bench_ivm.py.  The maintained arm replays the full
+#: stream; the recompute arm only a prefix (a full recompute of the
+#: ≥100k-tuple dividend per edit takes minutes), so timings are divided
+#: by these counts before the gate is applied.
+IVM_EDITS = {"maintained": 1000, "recompute": 20}
 
 
 def load_times(payload: dict) -> dict[str, float]:
@@ -330,6 +351,43 @@ def compare_storage(payload: dict) -> tuple[list[str], list[str]]:
     return lines, failures
 
 
+def compare_ivm(payload: dict) -> tuple[list[str], list[str]]:
+    """Compare maintained-view vs recompute churn timings from one run.
+
+    Same process, same machine — but the two arms time **different edit
+    counts** (see ``IVM_EDITS``), so each timing is normalized to
+    milliseconds per edit before the ratio is taken.  Gate: the
+    delta-maintained view beats recompute-per-edit by
+    ≥``IVM_SPEEDUP_BOUND`` on every churn scenario.
+    """
+    times = load_times(payload)
+    churn = _mode_pairs(times, "test_churn")
+    if not churn:
+        return ["no churn scenarios in the benchmark run"], ["missing scenarios"]
+    lines: list[str] = []
+    failures: list[str] = []
+    for scenario in sorted(churn):
+        modes = churn[scenario]
+        if "maintained" not in modes or "recompute" not in modes:
+            failures.append(f"churn scenario {scenario} is missing a mode")
+            continue
+        per_edit = {mode: modes[mode] / IVM_EDITS[mode] for mode in IVM_EDITS}
+        speedup = per_edit["recompute"] / per_edit["maintained"]
+        lines.append(
+            f"churn {scenario}: maintained {per_edit['maintained'] * 1000:9.3f} ms/edit "
+            f"({IVM_EDITS['maintained']} edits), recompute "
+            f"{per_edit['recompute'] * 1000:9.3f} ms/edit "
+            f"({IVM_EDITS['recompute']}-edit subsample) ({speedup:.2f}x)"
+        )
+        if speedup < IVM_SPEEDUP_BOUND:
+            failures.append(
+                f"churn scenario {scenario}: the maintained view is only "
+                f"{speedup:.2f}x faster per edit than recompute "
+                f"(need {IVM_SPEEDUP_BOUND}x)"
+            )
+    return lines, failures
+
+
 def run_benchmarks(json_path: Path, bench_file: str = BENCH_FILE, extra: list[str] | None = None) -> None:
     """Run one benchmark file, recording stats to ``json_path``."""
     environment = dict(os.environ)
@@ -407,7 +465,32 @@ def main(argv: list[str] | None = None) -> int:
         f"{STORAGE_BENCH_FILE}) instead of comparing against the committed "
         "baseline",
     )
+    parser.add_argument(
+        "--ivm",
+        action="store_true",
+        help="compare delta-maintained views vs recompute-per-edit on the "
+        f"churn scenarios (same-run per-edit timings from {IVM_BENCH_FILE}) "
+        "instead of comparing against the committed baseline",
+    )
     args = parser.parse_args(argv)
+
+    if args.ivm:
+        if args.json is not None:
+            payload = json.loads(args.json.read_text())
+        else:
+            with tempfile.TemporaryDirectory() as tmp:
+                json_path = Path(tmp) / "bench_ivm.json"
+                run_benchmarks(json_path, IVM_BENCH_FILE)
+                payload = json.loads(json_path.read_text())
+        lines, failures = compare_ivm(payload)
+        print("\n".join(lines))
+        if failures:
+            print(f"\nFAIL: {len(failures)} view-maintenance check(s) failed:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("\nOK: maintained views within bounds vs recompute-per-edit.")
+        return 0
 
     if args.storage:
         if args.json is not None:

@@ -33,6 +33,7 @@ from repro.analysis.findings import (
     finding,
 )
 from repro.analysis.plan_verifier import verify_expression, verify_physical
+from repro.analysis.view_verifier import verify_view
 
 __all__ = [
     "FINDING_CODES",
@@ -50,4 +51,5 @@ __all__ = [
     "verify_physical",
     "verify_plan",
     "verify_prepared",
+    "verify_view",
 ]

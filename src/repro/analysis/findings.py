@@ -15,7 +15,9 @@ Code ranges
 * ``RP3xx`` — codegen audit of compiled-segment source;
 * ``RP4xx`` — engine-contract lint rules (``scripts/lint_engine.py``);
 * ``RP5xx`` — storage invariants (stored-scan headers, zone maps, spill
-  budgets).
+  budgets);
+* ``RP6xx`` — maintained-view invariants (counter-table/schema agreement,
+  delta-rule coverage, version monotonicity, view-over-view rejection).
 """
 
 from __future__ import annotations
@@ -84,6 +86,11 @@ FINDING_CODES: dict[str, tuple[Severity, str]] = {
     "RP503": (Severity.ERROR, "skip predicate references attributes outside the scan schema"),
     "RP504": (Severity.ERROR, "block index tuple counts disagree with the header tuple count"),
     "RP505": (Severity.ERROR, "exchange memory budget is not positive"),
+    # -- RP6xx: maintained-view invariants ---------------------------------
+    "RP601": (Severity.ERROR, "counter table disagrees with the view's quotient schema"),
+    "RP602": (Severity.ERROR, "maintained view lacks full delta-rule coverage"),
+    "RP603": (Severity.ERROR, "view's applied versions are not monotone with the tables"),
+    "RP604": (Severity.ERROR, "view is defined over another view"),
 }
 
 

@@ -13,7 +13,7 @@ result + statistics).
 from repro.api.database import Database, DatabaseSource, PreparedPlan, connect
 from repro.api.fingerprint import expression_fingerprint, plan_cache_key
 from repro.api.query import Query
-from repro.api.result import AnalyzeReport, CacheInfo, QueryResult
+from repro.api.result import AnalyzeReport, CacheInfo, MutationResult, QueryResult
 
 __all__ = [
     "connect",
@@ -22,6 +22,7 @@ __all__ = [
     "PreparedPlan",
     "Query",
     "QueryResult",
+    "MutationResult",
     "AnalyzeReport",
     "CacheInfo",
     "expression_fingerprint",

@@ -26,19 +26,21 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from collections.abc import Mapping
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Callable, Optional, Union
+from typing import TYPE_CHECKING, Any, Callable, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.findings import VerificationReport
+    from repro.views.view import MaintainedView
 
 from repro.algebra.catalog import Catalog
 from repro.algebra.expressions import Expression
+from repro.algebra.predicates import Predicate
 from repro.api.fingerprint import optimizer_signature, plan_cache_key
 from repro.api.query import Query
-from repro.api.result import AnalyzeReport, CacheInfo, QueryResult
-from repro.errors import ReproError, SchemaError
+from repro.api.result import AnalyzeReport, CacheInfo, MutationResult, QueryResult
+from repro.errors import ReproError, SchemaError, ViewError
 from repro.optimizer.cost import CostReport
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.physical_cost import PlanDecision
@@ -49,6 +51,7 @@ from repro.physical.base import PhysicalOperator
 from repro.physical.compile import CompilationReport
 from repro.physical.executor import execute_plan
 from repro.relation.relation import Relation
+from repro.relation.row import Row
 from repro.sql.translator import SQLTranslator
 
 __all__ = ["Database", "PreparedPlan", "connect"]
@@ -59,6 +62,55 @@ __all__ = ["Database", "PreparedPlan", "connect"]
 DatabaseSource = Union[
     Catalog, Mapping[str, Relation], Callable[[], object], str, "os.PathLike[str]", None
 ]
+
+#: Rows accepted by :meth:`Database.insert`: a Relation over the same
+#: attributes, or an iterable of Rows / name→value mappings / value tuples
+#: aligned with the table's schema order.
+RowsLike = Union[Relation, Iterable[Any]]
+
+#: What :meth:`Database.delete` accepts: a predicate AST node, any row
+#: callable, or the same row forms as :meth:`Database.insert`.
+DeleteSpec = Union[Predicate, Callable[[Row], bool], Relation, Iterable[Any]]
+
+
+def _coerce_rows(target: Relation, rows: RowsLike) -> Relation:
+    """Normalize mutation input to a Relation over the target's schema."""
+    schema = target.schema
+    if isinstance(rows, Relation):
+        if rows.schema.name_set != schema.name_set:
+            raise SchemaError(
+                f"mutation rows have attributes {rows.schema.names!r}, "
+                f"table has {schema.names!r}"
+            )
+        return Relation.from_aligned(schema, rows.to_tuples(schema.names))
+    names = schema.names
+    tuples: list[tuple[Any, ...]] = []
+    for row in rows:
+        if isinstance(row, Row):
+            tuples.append(row.values_for(names))
+        elif isinstance(row, Mapping):
+            missing = [name for name in names if name not in row]
+            if missing:
+                raise SchemaError(f"mutation row {row!r} misses attributes {missing!r}")
+            tuples.append(tuple(row[name] for name in names))
+        elif isinstance(row, (tuple, list)):
+            if len(row) != len(names):
+                raise SchemaError(
+                    f"mutation tuple {row!r} has {len(row)} values, "
+                    f"schema {names!r} needs {len(names)}"
+                )
+            tuples.append(tuple(row))
+        else:
+            raise ReproError(
+                f"cannot interpret {row!r} as a row; pass a Row, a mapping, "
+                "or a value tuple aligned with the schema"
+            )
+    return Relation.from_aligned(schema, tuples)
+
+
+def _empty_like(relation: Relation) -> Relation:
+    """An empty relation sharing the table's interned schema."""
+    return Relation.from_aligned(relation.schema, ())
 
 
 @dataclass(frozen=True)
@@ -75,6 +127,12 @@ class PreparedPlan:
     decisions: tuple[PlanDecision, ...] = ()
     #: Segment-compilation report for ``plan`` (``None`` = compilation off).
     compilation: Optional[CompilationReport] = None
+    #: Per-table version counters the plan was built against, sorted by
+    #: name.  A lookup whose current versions differ sees a stale entry:
+    #: the plan embedded the old relation contents at build time.
+    table_versions: tuple[tuple[str, int], ...] = ()
+    #: The full plan-cache key (fingerprint + optimizer configuration).
+    cache_key: str = ""
 
     @property
     def rewritten(self) -> Expression:
@@ -94,6 +152,7 @@ class _PlanCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
         self._entries: "OrderedDict[str, PreparedPlan]" = OrderedDict()
 
     def get(self, key: str) -> Optional[PreparedPlan]:
@@ -104,6 +163,23 @@ class _PlanCache:
         self._entries.move_to_end(key)
         self.hits += 1
         return entry
+
+    def lookup(
+        self, key: str, table_versions: tuple[tuple[str, int], ...]
+    ) -> Optional[PreparedPlan]:
+        """Version-checked lookup: a cached plan built against other table
+        versions is *stale* (its scans pinned the old relations) — it is
+        evicted, counted as an invalidation, and the lookup misses."""
+        entry = self._entries.get(key)
+        if entry is not None and entry.table_versions == table_versions:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        self.misses += 1
+        if entry is not None:
+            del self._entries[key]
+            self.invalidations += 1
+        return None
 
     def put(self, key: str, value: PreparedPlan) -> None:
         if self.maxsize == 0:
@@ -117,11 +193,62 @@ class _PlanCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
 
     def info(self) -> CacheInfo:
         return CacheInfo(
-            hits=self.hits, misses=self.misses, size=len(self._entries), maxsize=self.maxsize
+            hits=self.hits,
+            misses=self.misses,
+            size=len(self._entries),
+            maxsize=self.maxsize,
+            invalidations=self.invalidations,
         )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Result-cache key: (full plan-cache key, table versions at build time).
+_ResultKey = tuple[str, tuple[tuple[str, int], ...]]
+
+
+class _ResultCache:
+    """Version-keyed LRU of whole :class:`QueryResult` objects.
+
+    Keys embed the input-table versions, so a mutation *is* the
+    invalidation — the bumped version simply never matches again and the
+    stale entry ages out of the LRU.  ``maxsize=0`` disables caching.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 0:
+            raise ReproError(f"result cache size must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[_ResultKey, QueryResult]" = OrderedDict()
+
+    def get(self, key: _ResultKey) -> Optional[QueryResult]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: _ResultKey, value: QueryResult) -> None:
+        if self.maxsize == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -145,6 +272,11 @@ class Database:
         Default for the SQL frontend's universal-quantification recognizer.
     cache_size:
         Maximum number of prepared plans kept (LRU); 0 disables the cache.
+    result_cache_size:
+        Maximum number of whole :class:`QueryResult` objects kept, keyed
+        by (canonical fingerprint + configuration, input table versions);
+        a table mutation bumps the version so stale entries can never be
+        served.  0 disables result caching.
     batch_size:
         Chunk size used by the physical executor for every query this
         session runs (defaults to the engine-wide
@@ -179,6 +311,7 @@ class Database:
         allow_data_inspection: bool = True,
         recognize_division: bool = True,
         cache_size: int = 128,
+        result_cache_size: int = 64,
         batch_size: Optional[int] = None,
         workers: Optional[int] = None,
         compile: Union[None, bool, str] = None,
@@ -192,7 +325,14 @@ class Database:
             raise ReproError(f"memory budget must be positive, got {memory_budget_mb}")
         self.batch_size = batch_size
         self.memory_budget_mb = memory_budget_mb
-        self.catalog = _coerce_catalog(source)
+        stored_versions: dict[str, int] = {}
+        stored_views: list[dict[str, Any]] = []
+        if isinstance(source, (str, os.PathLike)):
+            from repro.storage.store import load_store
+
+            self.catalog, stored_versions, stored_views = load_store(source)
+        else:
+            self.catalog = _coerce_catalog(source)
         self.planner_options = planner_options or PlannerOptions()
         if workers is not None and self.planner_options.workers != workers:
             self.planner_options = replace(self.planner_options, workers=workers)
@@ -211,6 +351,21 @@ class Database:
             cost_based, self.planner_options, allow_data_inspection
         )
         self._cache = _PlanCache(cache_size)
+        self._result_cache = _ResultCache(result_cache_size)
+        #: Monotonically increasing per-table version counters.  The
+        #: Optimizer constructor above snapshotted statistics from the
+        #: catalog, so every table's statistics are fresh at its current
+        #: version right now.
+        self._versions: dict[str, int] = {
+            name: stored_versions.get(name, 0) for name in self.catalog
+        }
+        self._stats_versions: dict[str, int] = dict(self._versions)
+        self._views: "dict[str, MaintainedView]" = {}
+        if stored_views:
+            from repro.views.persist import view_from_payload
+
+            for payload in stored_views:
+                view_from_payload(self, payload)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -278,13 +433,139 @@ class Database:
     def add_table(self, name: str, relation: Relation, key=None) -> Query:
         """Register a relation; statistics and cached plans are refreshed."""
         self.catalog.add_table(name, relation, key=key)
+        self._versions.setdefault(name, 0)
         self._refresh(name)
         return self.table(name)
 
     def replace_table(self, name: str, relation: Relation) -> None:
-        """Swap a table's contents (same schema); invalidates cached plans."""
+        """Swap a table's contents (same schema); bumps the table version,
+        routes the effective delta to maintained views, and invalidates
+        cached plans."""
+        old = self.relation(name)
         self.catalog.replace_table(name, relation)
+        current = self.catalog[name]
+        self._note_mutation(name, current.difference(old), old.difference(current))
         self._refresh(name)
+
+    # ------------------------------------------------------------------
+    # mutations (copy-on-write, version-counted)
+    # ------------------------------------------------------------------
+    def insert(self, table: str, rows: "RowsLike") -> MutationResult:
+        """Insert rows into a table (set semantics: duplicates are no-ops).
+
+        The relation is immutable, so the mutation is a copy-on-write
+        union of the old row set with the effective delta; the table's
+        version counter bumps only when the delta is non-empty, and every
+        maintained view over the table incorporates the delta through its
+        counter table (O(delta), not O(table)).
+        """
+        current = self.relation(table)
+        addition = _coerce_rows(current, rows)
+        inserted = addition.difference(current)
+        empty = _empty_like(current)
+        if len(inserted):
+            self.catalog.replace_table(table, current.union(inserted))
+        version = self._note_mutation(table, inserted, empty)
+        return MutationResult(table=table, inserted=inserted, deleted=empty, version=version)
+
+    def delete(self, table: str, rows_or_predicate: "DeleteSpec") -> MutationResult:
+        """Delete rows from a table, by predicate/callable or by value.
+
+        ``rows_or_predicate`` may be a predicate AST node, any row
+        callable, or the same row forms :meth:`insert` accepts; rows not
+        currently present are no-ops (set semantics).  Copy-on-write like
+        :meth:`insert`: the new relation masks the deleted rows out.
+        """
+        current = self.relation(table)
+        if isinstance(rows_or_predicate, Predicate) or (
+            callable(rows_or_predicate) and not isinstance(rows_or_predicate, Relation)
+        ):
+            deleted = current.select(rows_or_predicate)
+        else:
+            requested = _coerce_rows(current, rows_or_predicate)
+            deleted = current.intersection(requested)
+        empty = _empty_like(current)
+        if len(deleted):
+            self.catalog.replace_table(table, current.difference(deleted))
+        version = self._note_mutation(table, empty, deleted)
+        return MutationResult(table=table, inserted=empty, deleted=deleted, version=version)
+
+    def table_version(self, name: str) -> int:
+        """The table's current version counter (0 = never mutated)."""
+        if name not in self.catalog:
+            raise SchemaError(f"table {name!r} is not defined")
+        return self._versions.get(name, 0)
+
+    @property
+    def versions(self) -> dict[str, int]:
+        """A snapshot of every table's version counter."""
+        return {name: self._versions.get(name, 0) for name in self.catalog}
+
+    def _note_mutation(self, name: str, inserted: Relation, deleted: Relation) -> int:
+        """Bump the version and notify views; empty deltas change nothing."""
+        if not len(inserted) and not len(deleted):
+            return self._versions.get(name, 0)
+        version = self._versions.get(name, 0) + 1
+        self._versions[name] = version
+        for view in self._views.values():
+            view.on_mutation(name, inserted, deleted, version)
+        return version
+
+    # ------------------------------------------------------------------
+    # maintained views
+    # ------------------------------------------------------------------
+    def create_view(
+        self, name: str, query: Union[Query, Expression, str]
+    ) -> "MaintainedView":
+        """Register a division query as a (delta-maintained) view.
+
+        When the query's shape supports all four delta rules of
+        :mod:`repro.laws.delta`, subsequent mutations of the base tables
+        update the view's counter table in O(delta) and reads answer from
+        it; otherwise the view recomputes on read (``view.explain()``
+        reports which).  Views over views are rejected (RP604) — maintain
+        the base-table view directly instead.
+        """
+        from repro.views.view import MaintainedView
+
+        if name in self._views:
+            raise ViewError(f"view {name!r} already exists")
+        if name in self.catalog:
+            raise ViewError(f"{name!r} is a table; view names must not shadow tables")
+        bound = self._as_query(query)
+        over_views = sorted(bound.expression.relation_names() & self._views.keys())
+        if over_views:
+            raise ViewError(
+                f"view {name!r} references view(s) {over_views!r}; views over "
+                "views are not maintainable (RP604) — define it over the base tables"
+            )
+        view = MaintainedView(name, self, bound)
+        self._views[name] = view
+        return view
+
+    def view(self, name: str) -> "MaintainedView":
+        """Look up a registered view."""
+        try:
+            return self._views[name]
+        except KeyError:
+            raise ViewError(f"view {name!r} is not defined") from None
+
+    @property
+    def views(self) -> tuple[str, ...]:
+        """Names of the registered views, in creation order."""
+        return tuple(self._views)
+
+    def drop_view(self, name: str) -> None:
+        """Unregister a view (its counter table is discarded)."""
+        if name not in self._views:
+            raise ViewError(f"view {name!r} is not defined")
+        del self._views[name]
+
+    def verify_view(self, name: str) -> "VerificationReport":
+        """Check a registered view's RP601–RP604 invariants."""
+        from repro.analysis.view_verifier import verify_view
+
+        return verify_view(self.view(name), self)
 
     def relation(self, name: str) -> Relation:
         """The current contents of a table."""
@@ -309,7 +590,12 @@ class Database:
         tables.
         """
         gathered = self._optimizer.analyze(list(names) or None)
+        for name in gathered:
+            self._stats_versions[name] = self._versions.get(name, 0)
+        # New statistics can flip planner decisions without any version
+        # movement; cached results carry the old decisions, so drop them too.
         self._cache.clear()
+        self._result_cache.clear()
         return AnalyzeReport(tables=gathered)
 
     def save(self, path: Union[str, "os.PathLike[str]"], *, block_size: Optional[int] = None) -> str:
@@ -321,25 +607,45 @@ class Database:
         same catalog lazily — tables stream from disk on demand and
         ``analyze()`` reads the save-time statistics without touching the
         blocks.  Returns the store directory path.
+
+        Mutated tables are already materialized relations, so unflushed
+        mutations persist naturally; table versions and registered views
+        go into the manifest so ``repro.connect(path)`` restores both.
+        Fallback (non-maintained) views have no counter-table form and
+        make the save **fail loudly** — drop them first or recreate them
+        after reopening.
         """
         from repro.storage.store import save_database
+        from repro.views.persist import view_payload
 
+        views = [view_payload(view) for view in self._views.values()]
+        extra: dict[str, Any] = {
+            "table_versions": dict(self._versions),
+            "views": views,
+        }
         if block_size is None:
-            save_database(path, self.catalog)
+            save_database(path, self.catalog, **extra)
         else:
-            save_database(path, self.catalog, block_size=block_size)
+            save_database(path, self.catalog, block_size=block_size, **extra)
         return os.fspath(path)
 
     # ------------------------------------------------------------------
     # plan cache
     # ------------------------------------------------------------------
     def cache_info(self) -> CacheInfo:
-        """Hit/miss counters and size of the prepared-plan cache."""
-        return self._cache.info()
+        """Hit/miss counters of the prepared-plan and result caches."""
+        return replace(
+            self._cache.info(),
+            result_hits=self._result_cache.hits,
+            result_misses=self._result_cache.misses,
+            result_size=len(self._result_cache),
+            result_maxsize=self._result_cache.maxsize,
+        )
 
     def clear_cache(self) -> None:
-        """Drop all prepared plans and reset the counters."""
+        """Drop all prepared plans and cached results; reset the counters."""
         self._cache.clear()
+        self._result_cache.clear()
 
     # ------------------------------------------------------------------
     # the single execution path (internal; Query delegates here)
@@ -348,10 +654,21 @@ class Database:
         return SQLTranslator(self.catalog, recognize_division=recognize_division).translate(sql)
 
     def _prepare(self, expression: Expression) -> tuple[PreparedPlan, bool]:
-        """Prepared plan for ``expression``; (plan, came_from_cache)."""
+        """Prepared plan for ``expression``; (plan, came_from_cache).
+
+        Version-checked: the plan records the versions of its input tables,
+        and a lookup after any of them mutated evicts the stale entry and
+        replans — the physical scans pin relation contents at build time,
+        so a stale plan would serve pre-mutation rows.  Statistics for the
+        referenced tables are refreshed first if their versions moved
+        (``analyze`` is lazy under mutations).
+        """
         canonical = expression.canonical()
+        names = sorted(canonical.relation_names() & set(self.catalog))
+        self._refresh_stale_statistics(names)
+        versions = tuple((name, self._versions.get(name, 0)) for name in names)
         key = plan_cache_key(canonical, self._configuration, assume_canonical=True)
-        cached = self._cache.get(key)
+        cached = self._cache.lookup(key, versions)
         if cached is not None:
             return cached, True
         rewrite_report = self._optimizer.rewrite(canonical)
@@ -365,9 +682,24 @@ class Database:
             plan=plan,
             decisions=self._optimizer.planner_decisions,
             compilation=self._optimizer.planner_compilation,
+            table_versions=versions,
+            cache_key=key,
         )
         self._cache.put(key, prepared)
         return prepared, False
+
+    def _refresh_stale_statistics(self, names: Iterable[str]) -> None:
+        """Recollect statistics for tables whose version moved past the
+        statistics snapshot (mutations defer this work to prepare time)."""
+        for name in names:
+            if name not in self.catalog:
+                continue
+            version = self._versions.get(name, 0)
+            if self._stats_versions.get(name) != version:
+                self._optimizer.statistics.add(
+                    name, TableStatistics.from_relation(self.catalog[name])
+                )
+                self._stats_versions[name] = version
 
     @property
     def workers(self) -> int:
@@ -377,13 +709,21 @@ class Database:
     def _run(self, query: Query) -> QueryResult:
         expression = query.expression
         prepared, cache_hit = self._prepare(expression)
+        result_key = (prepared.cache_key, prepared.table_versions)
+        cached = self._result_cache.get(result_key)
+        if cached is not None:
+            # The versions in the key were verified current by _prepare, so
+            # the cached relation is exact; no physical execution happens.
+            # ``cache_hit`` reflects *this* call's plan lookup, not the
+            # snapshot taken when the entry was first executed.
+            return replace(cached, cache_hit=cache_hit, result_cache_hit=True)
         execution = execute_plan(
             prepared.plan,
             batch_size=self.batch_size,
             workers=self.workers,
             memory_budget_mb=self.memory_budget_mb,
         )
-        return QueryResult(
+        result = QueryResult(
             relation=execution.relation,
             expression=expression,
             rewritten=prepared.rewritten,
@@ -395,6 +735,8 @@ class Database:
             estimated_cost_after=prepared.rewritten_cost.total_cost,
             decisions=prepared.decisions,
         )
+        self._result_cache.put(result_key, result)
+        return result
 
     def _as_query(self, query: Union[Query, Expression, str]) -> Query:
         if isinstance(query, Query):
@@ -416,7 +758,12 @@ class Database:
         plans may embed stale rewrite decisions and are dropped wholesale.
         """
         self._optimizer.statistics.add(name, TableStatistics.from_relation(self.catalog[name]))
+        self._stats_versions[name] = self._versions.get(name, 0)
+        # Catalog-level swaps can change layout (clustering) without moving
+        # the version counter, so version-keyed entries cannot be trusted:
+        # drop results along with the plans.
         self._cache.clear()
+        self._result_cache.clear()
 
     # ------------------------------------------------------------------
     # introspection

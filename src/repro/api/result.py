@@ -20,7 +20,7 @@ from repro.relation.relation import Relation
 from repro.relation.row import Row
 from repro.relation.schema import AttributeNames
 
-__all__ = ["AnalyzeReport", "CacheInfo", "QueryResult"]
+__all__ = ["AnalyzeReport", "CacheInfo", "MutationResult", "QueryResult"]
 
 
 @dataclass(frozen=True)
@@ -54,18 +54,63 @@ class AnalyzeReport:
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """Hit/miss counters of a database's prepared-plan cache."""
+    """Hit/miss counters of a database's caches.
+
+    The first four fields describe the prepared-plan LRU (PR 2); the
+    ``result_*`` fields describe the version-keyed result cache, and
+    ``invalidations`` counts plan-cache entries dropped because a table
+    version moved past them (both 0 on databases that never mutate).
+    """
 
     hits: int
     misses: int
     size: int
     maxsize: int
+    #: Plan-cache entries evicted by a table-version bump at lookup time.
+    invalidations: int = 0
+    #: Version-keyed result cache (QueryResults of non-view queries).
+    result_hits: int = 0
+    result_misses: int = 0
+    result_size: int = 0
+    result_maxsize: int = 0
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def result_hit_rate(self) -> float:
+        """Fraction of result lookups served from cache (0.0 when unused)."""
+        total = self.result_hits + self.result_misses
+        return self.result_hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class MutationResult:
+    """What one ``insert``/``delete`` statement actually changed.
+
+    ``inserted``/``deleted`` are the *effective* set deltas (rows already
+    present do not insert; rows already absent do not delete), and
+    ``version`` is the table's version counter after the statement —
+    unchanged when the delta was empty.
+    """
+
+    table: str
+    inserted: Relation
+    deleted: Relation
+    version: int
+
+    @property
+    def changed(self) -> bool:
+        return bool(len(self.inserted) or len(self.deleted))
+
+    def __repr__(self) -> str:
+        return (
+            f"<MutationResult {self.table!r} +{len(self.inserted)} "
+            f"-{len(self.deleted)} version={self.version}>"
+        )
 
 
 @dataclass(frozen=True)
@@ -91,6 +136,9 @@ class QueryResult:
     estimated_cost_after: float
     #: Algorithm decisions the cost-based planner made for this plan.
     decisions: tuple[PlanDecision, ...] = field(default=())
+    #: True if the whole QueryResult came from the version-keyed result
+    #: cache (no physical execution happened for this call).
+    result_cache_hit: bool = False
 
     # ------------------------------------------------------------------
     # statistics conveniences

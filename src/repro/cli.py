@@ -31,6 +31,11 @@ Commands
     executing anything (``--all-workloads`` sweeps every division
     algorithm × compile mode × worker count; ``--json`` emits the findings
     for CI gating; exit code 1 on any severity-``error`` finding).
+``views``
+    Maintained-view demo: register Q1 as a delta-maintained view over the
+    textbook database, churn single-row edits through it and compare
+    incremental maintenance against recompute-per-edit (``--edits N``
+    sets the churn length; the view is verified RP601–RP604 afterwards).
 ``claims``
     Re-check the paper's qualitative efficiency claims on synthetic
     workloads (deterministic tuple-count measurements).
@@ -195,6 +200,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the findings as JSON (the CI gate consumes this)",
     )
 
+    views = subparsers.add_parser(
+        "views", help="delta-maintained division views demo (insert/delete churn)"
+    )
+    views.add_argument(
+        "--edits",
+        type=int,
+        default=200,
+        metavar="N",
+        help="number of single-row edits to churn through the view",
+    )
+    views.add_argument("--seed", type=int, default=7, help="random seed for the edit stream")
+
     subparsers.add_parser("claims", help="verify the paper's qualitative claims")
 
     mine = subparsers.add_parser("mine", help="frequent itemset discovery demo")
@@ -297,6 +314,53 @@ def _command_check(db_name: str, all_workloads: bool, as_json: bool) -> int:
     return 0 if run.ok else 1
 
 
+def _command_views(edits: int, seed: int) -> int:
+    import random
+    import time
+
+    database = connect(textbook_catalog)
+    view = database.create_view("q1", database.sql(Q1))
+    print(view.explain())
+    print(render_relation(view.relation(), "initial contents of q1"))
+
+    suppliers = [f"s{i}" for i in range(1, 8)]
+    parts = [f"p{i}" for i in range(1, 6)]
+    rng = random.Random(seed)
+    stream = [
+        (rng.choice(["insert", "delete"]), (rng.choice(suppliers), rng.choice(parts)))
+        for _ in range(max(0, edits))
+    ]
+
+    started = time.perf_counter()
+    for operation, row in stream:
+        if operation == "insert":
+            database.insert("supplies", [row])
+        else:
+            database.delete("supplies", [row])
+        view.relation()  # read after every edit, like a dashboard would
+    maintained_elapsed = time.perf_counter() - started
+
+    baseline = connect(textbook_catalog)
+    started = time.perf_counter()
+    for operation, row in stream:
+        if operation == "insert":
+            baseline.insert("supplies", [row])
+        else:
+            baseline.delete("supplies", [row])
+        baseline.clear_cache()  # recompute-per-edit: no result cache
+        baseline.sql(Q1).run()
+    recompute_elapsed = time.perf_counter() - started
+
+    report = database.verify_view("q1")
+    speedup = recompute_elapsed / maintained_elapsed if maintained_elapsed else float("inf")
+    print(f"edits applied    : {len(stream)} (deltas routed={view.deltas_applied})")
+    print(f"maintained       : {maintained_elapsed * 1000:.1f} ms")
+    print(f"recompute/edit   : {recompute_elapsed * 1000:.1f} ms  ({speedup:.1f}x slower)")
+    print(f"view verification: {report.summary()}")
+    print(render_relation(view.relation(), "final contents of q1"))
+    return 0 if report.ok else 1
+
+
 def _command_claims() -> int:
     checks = all_claims()
     for check in checks:
@@ -343,6 +407,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_analyze(args.db, args.tables)
     if args.command == "check":
         return _command_check(args.db, args.all_workloads, args.json)
+    if args.command == "views":
+        return _command_views(args.edits, args.seed)
     if args.command == "claims":
         return _command_claims()
     if args.command == "mine":

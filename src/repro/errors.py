@@ -19,6 +19,7 @@ __all__ = [
     "PlanningError",
     "ExecutionError",
     "StorageError",
+    "ViewError",
     "VerificationError",
     "SQLSyntaxError",
     "SQLTranslationError",
@@ -92,6 +93,15 @@ class StorageError(ReproError):
     Raised by the persistent columnar format (:mod:`repro.storage`) when a
     file's magic/header/block index cannot be read, and by
     ``repro.connect(path)`` when ``path`` is not a saved store.
+    """
+
+
+class ViewError(ReproError):
+    """A maintained view cannot be created, updated, or persisted.
+
+    Raised by ``Database.create_view`` for invalid definitions (duplicate
+    names, views over views) and by ``Database.save`` when a registered
+    fallback view has no persistable counter-table form.
     """
 
 

@@ -62,6 +62,7 @@ from repro.physical.compile import (
     use_kernel,
 )
 from repro.physical.scans import RelationScan, TableScan
+from repro.physical.view_ops import CounterTableScan
 
 __all__ = [
     "division",
@@ -78,6 +79,7 @@ __all__ = [
     # leaves
     "RelationScan",
     "TableScan",
+    "CounterTableScan",
     # basic
     "Filter",
     "ProjectOp",

@@ -25,6 +25,7 @@ from repro.storage.spill import SPILL_BLOCK_TUPLES, SpilledPartition, SpillWrite
 from repro.storage.store import (
     StoredRelation,
     load_catalog,
+    load_store,
     save_database,
     statistics_from_payload,
     statistics_payload,
@@ -40,6 +41,7 @@ __all__ = [
     "TableReader",
     "block_may_match",
     "load_catalog",
+    "load_store",
     "save_database",
     "statistics_from_payload",
     "statistics_payload",

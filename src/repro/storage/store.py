@@ -31,6 +31,7 @@ __all__ = [
     "MANIFEST_NAME",
     "StoredRelation",
     "load_catalog",
+    "load_store",
     "save_database",
     "statistics_from_payload",
     "statistics_payload",
@@ -180,6 +181,8 @@ def save_database(
     path: PathLike,
     catalog: Catalog,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    table_versions: "dict[str, int] | None" = None,
+    views: "list[dict[str, object]] | None" = None,
 ) -> Path:
     """Save every table of ``catalog`` to the store directory ``path``.
 
@@ -187,6 +190,12 @@ def save_database(
     relation gets tight, disjoint zone maps), exact statistics are gathered
     once and embedded in each file header, and the manifest — written last
     — records the table files plus declared keys and foreign keys.
+
+    ``table_versions`` and ``views`` are the session layer's mutation
+    counters and maintained-view payloads (:mod:`repro.views.persist`);
+    both are optional manifest keys, so stores written by older code load
+    fine (``load_store`` defaults them) and the manifest format number is
+    unchanged.
     """
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
@@ -221,12 +230,34 @@ def save_database(
             for fk in catalog.foreign_keys
         ],
     }
+    if table_versions:
+        unknown = sorted(set(table_versions) - set(catalog))
+        if unknown:
+            raise StorageError(f"table_versions names unknown table(s) {unknown!r}")
+        manifest["table_versions"] = {
+            name: int(version) for name, version in table_versions.items()
+        }
+    if views:
+        manifest["views"] = list(views)
     (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     return path
 
 
 def load_catalog(path: PathLike) -> Catalog:
     """Reopen a store directory as a catalog of lazy stored relations."""
+    catalog, _versions, _views = load_store(path)
+    return catalog
+
+
+def load_store(
+    path: PathLike,
+) -> "tuple[Catalog, dict[str, int], list[dict[str, object]]]":
+    """Reopen a store: (catalog, table versions, maintained-view payloads).
+
+    ``table_versions`` and ``views`` are optional manifest keys (written
+    by sessions that mutated tables or registered views); stores from
+    older writers yield ``{}`` and ``[]``.
+    """
     path = Path(path)
     manifest_path = path / MANIFEST_NAME
     if not manifest_path.is_file():
@@ -248,4 +279,11 @@ def load_catalog(path: PathLike) -> Catalog:
         catalog.declare_foreign_key(
             fk["table"], fk["attributes"], fk["ref_table"], fk["ref_attributes"]
         )
-    return catalog
+    versions_raw = manifest.get("table_versions", {})
+    if not isinstance(versions_raw, dict):
+        raise StorageError(f"{manifest_path}: table_versions must be an object")
+    versions = {str(name): int(version) for name, version in versions_raw.items()}
+    views_raw = manifest.get("views", [])
+    if not isinstance(views_raw, list):
+        raise StorageError(f"{manifest_path}: views must be a list")
+    return catalog, versions, list(views_raw)

@@ -1,0 +1,173 @@
+"""Maintainable-shape analysis for division views.
+
+A view is delta-maintainable when both division inputs are *base tables
+under selections and renames*: a chain of ``Select``/``Rename`` nodes over
+a single ``RelationRef``.  For such inputs a table delta maps to an input
+delta by filtering through the (base-named) selection predicate and
+renaming — no joins, unions or projections stand between the table and the
+division, so set-semantics deltas stay deltas (Laws 3/4 of the paper:
+selection commutes with division on either side).
+
+Anything else — a projection (deleting through ``π`` needs multiplicity
+counts the engine does not keep), a join, a nested division — raises
+:class:`UnsupportedViewShape`, and ``Database.create_view`` registers the
+view in full-recompute fallback mode instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.algebra.expressions import (
+    Expression,
+    GreatDivide,
+    Project,
+    RelationRef,
+    Rename,
+    Select,
+    SmallDivide,
+)
+from repro.algebra.predicates import And, Predicate
+from repro.errors import ViewError
+
+__all__ = ["InputShape", "DivisionShape", "UnsupportedViewShape", "analyze_division"]
+
+
+class UnsupportedViewShape(ViewError):
+    """The view's expression has no delta-maintainable form.
+
+    ``reason`` is the human-readable explanation surfaced by
+    ``view.explain()`` (``maintained: no (<reason>)``).
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class InputShape:
+    """One division input normalized to σ/ρ over a base table.
+
+    ``renames`` maps *base* attribute names to the names the division sees
+    (identity pairs included, in base-schema order); ``predicate`` is the
+    conjunction of all selections, rewritten into base attribute names so
+    it can be evaluated directly on table delta rows.
+    """
+
+    table: str
+    renames: tuple[tuple[str, str], ...]
+    predicate: Optional[Predicate]
+
+    def rename_map(self) -> dict[str, str]:
+        """base name → view-side name."""
+        return dict(self.renames)
+
+    def inverse_map(self) -> dict[str, str]:
+        """view-side name → base name."""
+        return {view: base for base, view in self.renames}
+
+
+@dataclass(frozen=True)
+class DivisionShape:
+    """The full delta-routing metadata for a maintainable division view."""
+
+    kind: str  # "small" | "great"
+    dividend: InputShape
+    divisor: InputShape
+    #: View-side attribute names: quotient keys A (dividend order), shared
+    #: divisor attributes B (dividend order — both inputs encode B values
+    #: in this order so the dictionary bits line up), divisor-only group
+    #: keys C (divisor order; empty for small divide).
+    a_names: tuple[str, ...]
+    b_names: tuple[str, ...]
+    c_names: tuple[str, ...]
+    #: Output schema names of the quotient, as the expression infers them.
+    schema_names: tuple[str, ...]
+
+    @property
+    def tables(self) -> frozenset[str]:
+        return frozenset({self.dividend.table, self.divisor.table})
+
+
+def _analyze_input(node: Expression) -> InputShape:
+    """Normalize a σ/ρ chain over a base table; raise otherwise."""
+    if isinstance(node, RelationRef):
+        return InputShape(node.name, tuple((name, name) for name in node.schema.names), None)
+    if isinstance(node, Rename):
+        inner = _analyze_input(node.child)
+        mapping = node.mapping
+        renames = tuple((base, mapping.get(view, view)) for base, view in inner.renames)
+        return InputShape(inner.table, renames, inner.predicate)
+    if isinstance(node, Select):
+        inner = _analyze_input(node.child)
+        # The predicate references the child's (possibly renamed) names;
+        # store it over base names so it applies directly to table deltas.
+        rebased = node.predicate.rename(inner.inverse_map())
+        combined = rebased if inner.predicate is None else And(inner.predicate, rebased)
+        return InputShape(inner.table, inner.renames, combined)
+    raise UnsupportedViewShape(
+        f"{type(node).__name__} input is not a base table under selections/renames"
+    )
+
+
+def analyze_division(expression: Expression) -> DivisionShape:
+    """Extract the :class:`DivisionShape` of a maintainable division view.
+
+    Raises :class:`UnsupportedViewShape` when the expression is not a
+    small/great divide over σ/ρ-over-base-table inputs.  A chain of
+    top-level ``Rename`` and *identity* ``Project`` nodes above the
+    division (the SQL translator's output-alias wrapper) is peeled: a
+    rename relabels quotient attributes positionally and an identity
+    projection (same attributes, same order) keeps every tuple, so the
+    counter table serves the outer schema unchanged.  A *reordering*
+    projection is not peeled — the counters emit A-then-C order.
+    """
+    divide = expression
+    while True:
+        if isinstance(divide, Rename):
+            divide = divide.child
+        elif isinstance(divide, Project) and divide.attributes.names == divide.child.schema.names:
+            divide = divide.child
+        else:
+            break
+    if isinstance(divide, SmallDivide):
+        kind = "small"
+    elif isinstance(divide, GreatDivide):
+        kind = "great"
+    else:
+        raise UnsupportedViewShape(
+            f"top-level operator is {type(divide).__name__}, not a division"
+        )
+    dividend = _analyze_input(divide.left)
+    divisor = _analyze_input(divide.right)
+
+    dividend_schema = divide.left.schema
+    divisor_schema = divide.right.schema
+    shared = dividend_schema.name_set & divisor_schema.name_set
+    a_names = tuple(name for name in dividend_schema.names if name not in shared)
+    b_names = tuple(name for name in dividend_schema.names if name in shared)
+    c_names = (
+        tuple(name for name in divisor_schema.names if name not in shared)
+        if kind == "great"
+        else ()
+    )
+    if divide.schema.names != a_names + c_names:
+        # The counter table emits A-values then C-values; a quotient schema
+        # in any other order would need a post-permutation we don't build.
+        raise UnsupportedViewShape(
+            f"quotient schema {divide.schema.names!r} is not A+C ordered "
+            f"({a_names + c_names!r})"
+        )
+    # The view's output schema: the divide's, through any peeled renames.
+    schema_names = expression.schema.names
+    return DivisionShape(
+        kind=kind,
+        dividend=dividend,
+        divisor=divisor,
+        a_names=a_names,
+        b_names=b_names,
+        c_names=c_names,
+        schema_names=schema_names,
+    )

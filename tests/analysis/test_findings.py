@@ -9,7 +9,7 @@ from repro.analysis import FINDING_CODES, Finding, Severity, VerificationReport,
 
 class TestRegistry:
     def test_every_code_is_stable_and_described(self):
-        assert len(FINDING_CODES) == 29
+        assert len(FINDING_CODES) == 33
         for code, (severity, description) in FINDING_CODES.items():
             assert code.startswith("RP") and len(code) == 5
             assert isinstance(severity, Severity)
@@ -17,7 +17,7 @@ class TestRegistry:
 
     def test_code_ranges_map_to_passes(self):
         prefixes = {code[:3] for code in FINDING_CODES}
-        assert prefixes == {"RP1", "RP2", "RP3", "RP4", "RP5"}
+        assert prefixes == {"RP1", "RP2", "RP3", "RP4", "RP5", "RP6"}
 
     def test_sampled_warnings_stay_warnings(self):
         """RP112 (data-sampled types) and RP204 (degradable payloads) must

@@ -18,6 +18,7 @@ class TestParser:
             ["query", "Q1"],
             ["sql", "SELECT p_no FROM parts"],
             ["explain", "Q2"],
+            ["views"],
             ["claims"],
             ["mine"],
         ):
@@ -168,6 +169,15 @@ class TestExplainCommand:
     def test_explain_without_verbose_omits_segment_source(self, capsys):
         assert main(["explain", "Q2"]) == 0
         assert "def _segment" not in capsys.readouterr().out
+
+
+class TestViewsCommand:
+    def test_views_command(self, capsys):
+        assert main(["views", "--edits", "25", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "maintained  : yes" in output
+        assert "edits applied    : 25" in output
+        assert "view verification: clean" in output
 
 
 class TestClaimsCommand:

@@ -1,0 +1,188 @@
+"""The four delta rules: registry contract, matching, and delta equations.
+
+The delta equations are the paper's union/difference laws read as
+maintenance rules: ``(r1 ∪ Δ) ÷ r2`` from ``r1 ÷ r2`` by a per-group mask
+OR, and so on.  Each property test applies one rule's counter update and
+compares against the from-scratch division of the mutated inputs.
+"""
+
+from hypothesis import given, settings
+
+from repro.algebra import builders as B
+from repro.algebra.expressions import SmallDivide
+from repro.division import great_divide, small_divide
+from repro.laws import delta_rules
+from repro.laws.delta import (
+    DeltaRule,
+    DividendDeleteDelta,
+    DividendInsertDelta,
+    DivisorDeleteDelta,
+    DivisorInsertDelta,
+)
+from repro.laws.registry import all_rules, get_rule
+from repro.views.counters import CounterTable
+from tests.strategies import VALUES, dividends, divisors, great_divisors
+
+
+def small_expression():
+    return SmallDivide(B.ref("r1", ["a", "b"]), B.ref("r2", ["b"]))
+
+
+class TestRegistryContract:
+    def test_four_rules_with_full_coverage(self):
+        rules = delta_rules()
+        assert len(rules) == 4
+        assert {(rule.target, rule.operation) for rule in rules} == {
+            ("dividend", "insert"),
+            ("dividend", "delete"),
+            ("divisor", "insert"),
+            ("divisor", "delete"),
+        }
+
+    def test_delta_rules_stay_out_of_the_rewrite_registry(self):
+        # ``apply`` is the identity; in ``all_rules()`` they would pollute
+        # every fixpoint rewrite with no-op "rewrites".
+        rewrite_names = {rule.name for rule in all_rules()}
+        for rule in delta_rules():
+            assert rule.name not in rewrite_names
+
+    def test_get_rule_still_finds_them_by_name(self):
+        rule = get_rule("delta_dividend_insert")
+        assert isinstance(rule, DividendInsertDelta)
+
+    def test_conditions_declared_rp403_contract(self):
+        for rule in delta_rules():
+            assert rule.conditions, rule.name
+            assert rule.paper_reference
+            assert rule.description
+
+    def test_popcount_rules_declare_the_threshold_condition(self):
+        assert "popcount_threshold" in DivisorInsertDelta().conditions
+        assert "popcount_threshold" in DivisorDeleteDelta().conditions
+        assert "set_semantics" in DividendDeleteDelta().conditions
+
+
+class TestMatching:
+    def test_maintainable_shape_matches(self):
+        for rule in delta_rules():
+            assert rule.matches(small_expression())
+
+    def test_projection_input_does_not_match(self):
+        expression = SmallDivide(
+            B.project(B.ref("r1", ["a", "b"]), ["a", "b"]), B.ref("r2", ["b"])
+        )
+        for rule in delta_rules():
+            assert not rule.matches(expression)
+
+    def test_apply_is_the_identity(self):
+        expression = small_expression()
+        assert DividendInsertDelta().apply(expression) is expression
+
+    def test_apply_rejects_unmaintainable_shapes(self):
+        import pytest
+
+        from repro.errors import ReproError
+
+        expression = SmallDivide(
+            B.project(B.ref("r1", ["a", "b", "x"]), ["a", "b"]), B.ref("r2", ["b"])
+        )
+        with pytest.raises(ReproError):
+            DividendDeleteDelta().apply(expression)
+
+    def test_delta_rule_base_is_abstractly_empty(self):
+        assert DeltaRule.target == "" and DeltaRule.operation == ""
+
+
+# ----------------------------------------------------------------------
+# the delta equations, at the counter level
+# ----------------------------------------------------------------------
+def build_small(dividend, divisor):
+    counters = CounterTable("small", 1)
+    counters.rebuild(
+        ((row.values_for(("a",)), row.values_for(("b",))) for row in dividend),
+        ((row.values_for(("b",)), ()) for row in divisor),
+    )
+    return counters
+
+
+def build_great(dividend, divisor):
+    counters = CounterTable("great", 1, 1)
+    counters.rebuild(
+        ((row.values_for(("a",)), row.values_for(("b",))) for row in dividend),
+        ((row.values_for(("b",)), row.values_for(("c",))) for row in divisor),
+    )
+    return counters
+
+
+def small_quotient(dividend, divisor):
+    return {t for t in small_divide(dividend, divisor).aligned_tuples()}
+
+
+class TestSmallDivideDeltaEquations:
+    @settings(max_examples=25, deadline=None)
+    @given(dividend=dividends(), divisor=divisors(), a=VALUES, b=VALUES)
+    def test_dividend_insert_equation(self, dividend, divisor, a, b):
+        counters = build_small(dividend, divisor)
+        if ((a,), (b,)) not in set(
+            (row.values_for(("a",)), row.values_for(("b",))) for row in dividend
+        ):
+            counters.insert_dividend((a,), (b,))
+        mutated = dividend.union(type(dividend)(["a", "b"], [(a, b)]))
+        assert {t + () for t in counters.quotient_tuples()} == small_quotient(
+            mutated, divisor
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(dividend=dividends(min_rows=1), divisor=divisors())
+    def test_dividend_delete_equation(self, dividend, divisor):
+        victim = sorted(dividend.aligned_tuples())[0]
+        counters = build_small(dividend, divisor)
+        counters.delete_dividend((victim[0],), (victim[1],))
+        mutated = dividend.difference(type(dividend)(["a", "b"], [victim]))
+        assert {t for t in counters.quotient_tuples()} == small_quotient(
+            mutated, divisor
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(dividend=dividends(), divisor=divisors(), b=VALUES)
+    def test_divisor_insert_equation(self, dividend, divisor, b):
+        counters = build_small(dividend, divisor)
+        if (b,) not in set(row.values_for(("b",)) for row in divisor):
+            counters.insert_divisor((b,))
+        mutated = divisor.union(type(divisor)(["b"], [(b,)]))
+        assert {t for t in counters.quotient_tuples()} == small_quotient(
+            dividend, mutated
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(dividend=dividends(), divisor=divisors(min_rows=1))
+    def test_divisor_delete_equation(self, dividend, divisor):
+        victim = sorted(divisor.aligned_tuples())[0]
+        counters = build_small(dividend, divisor)
+        counters.delete_divisor((victim[0],))
+        mutated = divisor.difference(type(divisor)(["b"], [victim]))
+        assert {t for t in counters.quotient_tuples()} == small_quotient(
+            dividend, mutated
+        )
+
+
+class TestGreatDivideDeltaEquations:
+    @settings(max_examples=25, deadline=None)
+    @given(dividend=dividends(), divisor=great_divisors(), b=VALUES, c=VALUES)
+    def test_divisor_insert_equation(self, dividend, divisor, b, c):
+        counters = build_great(dividend, divisor)
+        if (b, c) not in set(divisor.aligned_tuples()):
+            counters.insert_divisor((b,), (c,))
+        mutated = divisor.union(type(divisor)(["b", "c"], [(b, c)]))
+        expected = {t for t in great_divide(dividend, mutated).aligned_tuples()}
+        assert counters.quotient_tuples() == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(dividend=dividends(), divisor=great_divisors(min_rows=1))
+    def test_divisor_delete_equation(self, dividend, divisor):
+        victim = sorted(divisor.aligned_tuples())[0]
+        counters = build_great(dividend, divisor)
+        counters.delete_divisor((victim[0],), (victim[1],))
+        mutated = divisor.difference(type(divisor)(["b", "c"], [victim]))
+        expected = {t for t in great_divide(dividend, mutated).aligned_tuples()}
+        assert counters.quotient_tuples() == expected

@@ -20,6 +20,7 @@ from repro.analysis import (
     verify_physical,
     verify_plan,
     verify_prepared,
+    verify_view,
 )
 from repro.optimizer import PhysicalPlanner, PlannerOptions
 from repro.physical import (
@@ -226,6 +227,96 @@ class TestCodegenCorruptions:
 
     def test_syntax_error_is_rp305(self):
         assert codes(audit_source(CLEAN_SOURCE[:40])) == ["RP305"]
+
+
+# ======================================================================
+# maintained-view corruptions (RP6xx)
+# ======================================================================
+def _view_database():
+    from repro.api.database import connect
+
+    database = connect()
+    database.add_table("r1", Relation(["a", "b"], R1.aligned_tuples()))
+    database.add_table("r2", Relation(["b"], R2.aligned_tuples()))
+    view = database.create_view("q", database.table("r1").divide(database.table("r2"), on=["b"]))
+    view.run()  # build the counter table
+    return database, view
+
+
+class TestViewCorruptions:
+    def test_clean_view_verifies_clean(self):
+        database, view = _view_database()
+        database.insert("r1", [(9, 1), (9, 2)])
+        database.delete("r2", [(2,)])
+        report = database.verify_view("q")
+        assert report.ok and report.findings == ()
+
+    def test_counter_width_drift_is_rp601(self):
+        _database, view = _view_database()
+        view.counters.a_width = 7  # what a buggy rebuild would leave behind
+        assert "RP601" in codes(verify_view(view).findings)
+
+    def test_counter_kind_drift_is_rp601(self):
+        _database, view = _view_database()
+        view.counters.kind = "great"
+        assert "RP601" in codes(verify_view(view).findings)
+
+    def test_malformed_quotient_tuple_is_rp601(self):
+        _database, view = _view_database()
+        view.counters._quotient = view.counters._quotient | {(1, 2, 3)}
+        assert "RP601" in codes(verify_view(view).findings)
+
+    def test_schema_not_a_plus_c_is_rp601(self):
+        _database, view = _view_database()
+        view.schema_names = ("b", "a")
+        assert "RP601" in codes(verify_view(view).findings)
+
+    def test_missing_delta_rule_is_rp602(self):
+        _database, view = _view_database()
+        del view.delta_rules[("divisor", "delete")]
+        findings = verify_view(view).findings
+        assert codes(findings) == ["RP602"]
+        assert "divisor delete" in findings[0].message
+
+    def test_rule_without_conditions_is_rp602(self, monkeypatch):
+        from repro.laws.delta import DividendInsertDelta
+
+        _database, view = _view_database()
+        monkeypatch.setattr(DividendInsertDelta, "conditions", ())
+        assert "RP602" in codes(verify_view(view).findings)
+
+    def test_view_ahead_of_table_is_rp603(self):
+        _database, view = _view_database()
+        view.applied_versions["r1"] = 99
+        assert "RP603" in codes(verify_view(view).findings)
+
+    def test_view_behind_table_is_rp603(self):
+        database, view = _view_database()
+        database.insert("r1", [(8, 1), (8, 2)])
+        assert database.verify_view("q").ok  # deltas were routed
+        view.applied_versions["r1"] = 0  # ... then the bookkeeping is lost
+        assert "RP603" in codes(verify_view(view).findings)
+
+    def test_unknown_table_in_versions_is_rp603(self):
+        _database, view = _view_database()
+        view.applied_versions["phantom"] = 1
+        assert "RP603" in codes(verify_view(view).findings)
+
+    def test_view_over_view_is_rp604(self):
+        database, view = _view_database()
+        # create_view refuses to shadow a table, so plant the alias the way
+        # a buggy loader would: a registered view named like a base table.
+        database._views["r2"] = view
+        assert "RP604" in codes(verify_view(view, database).findings)
+
+    def test_create_view_over_view_is_rejected_up_front(self):
+        import pytest
+
+        from repro.errors import ViewError
+
+        database, _view = _view_database()
+        with pytest.raises(ViewError, match="RP604"):
+            database.create_view("q2", database.query(B.ref("q", ["a"])))
 
 
 # ======================================================================

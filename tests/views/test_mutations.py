@@ -1,0 +1,130 @@
+"""Table mutations: set-semantics insert/delete, versions, copy-on-write."""
+
+import pytest
+
+from repro.algebra import predicates as P
+from repro.api import MutationResult, connect
+from repro.errors import SchemaError, ViewError
+from repro.relation import Relation
+
+
+@pytest.fixture
+def db():
+    database = connect()
+    database.add_table("r1", Relation(["a", "b"], [(1, 1), (1, 2), (2, 1)]))
+    database.add_table("r2", Relation(["b"], [(1,), (2,)]))
+    return database
+
+
+class TestInsert:
+    def test_insert_tuples_bumps_version(self, db):
+        result = db.insert("r1", [(3, 1), (3, 2)])
+        assert isinstance(result, MutationResult)
+        assert result.changed
+        assert result.version == 1 == db.table_version("r1")
+        assert len(result.inserted) == 2 and not len(result.deleted)
+        assert (3, 1) in {t for t in db.relation("r1").aligned_tuples()}
+
+    def test_duplicate_insert_is_a_noop(self, db):
+        db.insert("r1", [(1, 1)])
+        assert db.table_version("r1") == 0
+        result = db.insert("r1", [(1, 1), (9, 9)])
+        assert result.version == 1
+        assert result.inserted.aligned_tuples() == [(9, 9)]
+
+    def test_insert_mappings_align_by_name(self, db):
+        db.insert("r1", [{"b": 5, "a": 4}])
+        assert (4, 5) in set(db.relation("r1").aligned_tuples())
+
+    def test_insert_relation_realigns_by_schema(self, db):
+        delta = Relation(["b", "a"], [(7, 6)])
+        db.insert("r1", delta)
+        assert (6, 7) in set(db.relation("r1").aligned_tuples())
+
+    def test_insert_rows_from_another_result(self, db):
+        rows = list(db.relation("r1"))
+        db2 = connect()
+        db2.add_table("r1", Relation(["a", "b"], []))
+        db2.insert("r1", rows)
+        assert db2.relation("r1") == db.relation("r1")
+
+    def test_wrong_width_fails_loudly(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("r1", [(1, 2, 3)])
+
+    def test_wrong_attributes_fail_loudly(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("r1", Relation(["x", "y"], [(1, 2)]))
+        with pytest.raises(SchemaError):
+            db.insert("r1", [{"a": 1, "z": 2}])
+
+    def test_copy_on_write_leaves_old_relation_intact(self, db):
+        before = db.relation("r1")
+        size = len(before)
+        db.insert("r1", [(8, 8)])
+        assert len(before) == size
+        assert len(db.relation("r1")) == size + 1
+
+
+class TestDelete:
+    def test_delete_by_value(self, db):
+        result = db.delete("r1", [(1, 1)])
+        assert result.changed and result.version == 1
+        assert (1, 1) not in set(db.relation("r1").aligned_tuples())
+
+    def test_delete_missing_rows_is_a_noop(self, db):
+        result = db.delete("r1", [(99, 99)])
+        assert not result.changed
+        assert db.table_version("r1") == 0
+
+    def test_delete_by_predicate_ast(self, db):
+        db.delete("r1", P.Comparison(P.attr("a"), "=", 1))
+        remaining = set(db.relation("r1").aligned_tuples())
+        assert remaining == {(2, 1)}
+
+    def test_delete_by_callable(self, db):
+        db.delete("r1", lambda row: row["b"] == 1)
+        assert set(db.relation("r1").aligned_tuples()) == {(1, 2)}
+
+    def test_delete_everything_keeps_schema(self, db):
+        db.delete("r2", lambda row: True)
+        assert len(db.relation("r2")) == 0
+        assert db.relation("r2").attributes == ("b",)
+
+
+class TestVersions:
+    def test_versions_snapshot(self, db):
+        db.insert("r1", [(5, 5)])
+        db.insert("r1", [(6, 6)])
+        db.delete("r2", [(2,)])
+        assert db.versions == {"r1": 2, "r2": 1}
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(SchemaError):
+            db.table_version("phantom")
+        with pytest.raises((SchemaError, KeyError)):
+            db.insert("phantom", [(1,)])
+
+    def test_replace_table_bumps_version_and_routes_delta(self, db):
+        db.replace_table("r1", Relation(["a", "b"], [(1, 1), (9, 9)]))
+        assert db.table_version("r1") == 1
+        assert set(db.relation("r1").aligned_tuples()) == {(1, 1), (9, 9)}
+
+    def test_identical_replace_is_a_noop_version_wise(self, db):
+        db.replace_table("r1", db.relation("r1"))
+        assert db.table_version("r1") == 0
+
+
+class TestMutationResultRepr:
+    def test_repr_names_the_counts(self, db):
+        result = db.insert("r1", [(7, 7)])
+        text = repr(result)
+        assert "r1" in text and "+1" in text and "version=1" in text
+
+
+class TestViewErrorSurface:
+    def test_view_lookup_of_unknown_name(self, db):
+        with pytest.raises(ViewError):
+            db.view("missing")
+        with pytest.raises(ViewError):
+            db.drop_view("missing")
