@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test lint lint-engine typecheck verify-plans bench-smoke bench bench-record bench-compare bench-parallel bench-compiled bench-storage bench-ivm
+.PHONY: check test chaos lint lint-engine typecheck verify-plans bench-smoke bench bench-record bench-compare bench-parallel bench-compiled bench-storage bench-ivm bench-faults
 
 ## Tier-1 gate: typecheck plus the full unit + benchmark-assertion suite.
 check: typecheck
@@ -40,6 +40,16 @@ verify-plans:
 test:
 	$(PYTHON) -m pytest tests -x -q
 
+## Chaos suite: the deterministic fault-injection sweep (every registered
+## fault point x every division algorithm x worker counts) plus the
+## supervision, atomic-save and corrupted-store tests.  Proves the
+## fail-stop contract: under injected faults a query either returns the
+## bit-identical quotient or raises a documented typed error — never a
+## wrong answer.
+chaos:
+	$(PYTHON) -m pytest tests/faults tests/physical/test_pool_supervision.py \
+		tests/storage/test_atomic_save.py tests/storage/test_corrupted_store.py -q
+
 ## Benchmark smoke: run every benchmark once with timing disabled.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks -q --benchmark-disable
@@ -65,6 +75,8 @@ bench-record:
 		--benchmark-json=BENCH_storage.json
 	$(PYTHON) -m pytest benchmarks/test_bench_ivm.py -q \
 		--benchmark-json=BENCH_ivm.json
+	$(PYTHON) -m pytest benchmarks/test_bench_faults.py -q \
+		--benchmark-json=BENCH_faults.json
 
 ## Rerun the division microbenchmarks and fail on >25% relative regression
 ## against the committed BENCH_division.json (hardware-normalized).
@@ -91,3 +103,8 @@ bench-storage:
 ## workload (same-run per-edit timings, >=10x gate).
 bench-ivm:
 	$(PYTHON) scripts/bench_compare.py --ivm
+
+## Compare checksummed (v2) vs checksum-free (v1) storage and the
+## disarmed fault-point query path (same-run timings, <=5% overhead gate).
+bench-faults:
+	$(PYTHON) scripts/bench_compare.py --faults

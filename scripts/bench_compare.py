@@ -46,6 +46,15 @@ comparison normalizes each timing by its arm's edit count first; the
 counts are mirrored from the benchmark file and printed with the
 ratios so the subsampling is never silent.
 
+``--faults`` switches to the reliability-overhead comparison: it runs
+``benchmarks/test_bench_faults.py`` once and gates the same-run ratios —
+the checksummed v2 storage format (per-block CRC32 + header checksum) may
+cost at most ~5% over the checksum-free legacy format on both the read
+and the write path, with an absolute jitter floor so a microsecond of
+scheduler noise cannot trip the gate.  The disarmed fault-point check
+itself is a module-level ``None`` test; its query scenario is recorded
+for drift tracking rather than gated against a pair.
+
 Usage::
 
     python scripts/bench_compare.py [--baseline BENCH_division.json]
@@ -54,6 +63,7 @@ Usage::
     python scripts/bench_compare.py --compiled
     python scripts/bench_compare.py --storage
     python scripts/bench_compare.py --ivm
+    python scripts/bench_compare.py --faults
 """
 
 from __future__ import annotations
@@ -73,6 +83,7 @@ PARALLEL_BENCH_FILE = "benchmarks/test_bench_parallel_division.py"
 COMPILED_BENCH_FILE = "benchmarks/test_bench_compiled.py"
 STORAGE_BENCH_FILE = "benchmarks/test_bench_storage.py"
 IVM_BENCH_FILE = "benchmarks/test_bench_ivm.py"
+FAULTS_BENCH_FILE = "benchmarks/test_bench_faults.py"
 
 #: workers=1 partitioned execution may cost at most this much over serial.
 PARALLEL_FALLBACK_OVERHEAD = 0.15
@@ -97,6 +108,13 @@ IVM_SPEEDUP_BOUND = 10.0
 #: ≥100k-tuple dividend per edit takes minutes), so timings are divided
 #: by these counts before the gate is applied.
 IVM_EDITS = {"maintained": 1000, "recompute": 20}
+#: The checksummed (v2) storage format may cost at most this much over the
+#: checksum-free legacy format, read path and write path alike.
+FAULTS_OVERHEAD_BOUND = 0.05
+#: Absolute jitter floor for the faults gate: an overhead below this many
+#: seconds never fails, whatever the ratio says (the paired scenarios run
+#: tens of milliseconds; scheduler noise is well under this).
+FAULTS_FLOOR_SECONDS = 0.002
 
 
 def load_times(payload: dict) -> dict[str, float]:
@@ -388,6 +406,51 @@ def compare_ivm(payload: dict) -> tuple[list[str], list[str]]:
     return lines, failures
 
 
+def compare_faults(payload: dict) -> tuple[list[str], list[str]]:
+    """Compare checksum-free vs checksummed storage timings from one run.
+
+    Same process, same machine — the ``plain``/``guarded`` arms write and
+    read the identical table, differing only in the v1 (no checksums) vs
+    v2 (per-block CRC32 + header checksum) file format.  Gate: ``guarded``
+    costs at most ``FAULTS_OVERHEAD_BOUND`` over ``plain`` on each paired
+    scenario, with ``FAULTS_FLOOR_SECONDS`` shielding scheduler jitter.
+    The unpaired query scenario is reported for drift tracking only.
+    """
+    times = load_times(payload)
+    lines: list[str] = []
+    failures: list[str] = []
+    paired = 0
+    for prefix, label in (
+        ("test_stored_read", "read (full block decode)"),
+        ("test_table_write", "write (full table save)"),
+    ):
+        plain = times.get(f"{prefix}[plain]")
+        guarded = times.get(f"{prefix}[guarded]")
+        if plain is None or guarded is None:
+            failures.append(f"scenario {prefix} is missing an arm (plain/guarded)")
+            continue
+        paired += 1
+        overhead = guarded / plain - 1.0
+        lines.append(
+            f"{label}: plain {plain * 1000:9.3f} ms, guarded {guarded * 1000:9.3f} ms "
+            f"({overhead:+.1%} checksummed overhead)"
+        )
+        if overhead > FAULTS_OVERHEAD_BOUND and (guarded - plain) > FAULTS_FLOOR_SECONDS:
+            failures.append(
+                f"{label}: checksummed format costs {overhead:+.1%} over the legacy "
+                f"format (allowed {FAULTS_OVERHEAD_BOUND:+.0%})"
+            )
+    if not paired:
+        return ["no faults scenarios in the benchmark run"], ["missing scenarios"]
+    disarmed = times.get("test_query_fault_points_disarmed")
+    if disarmed is not None:
+        lines.append(
+            f"disarmed query path: {disarmed * 1000:9.3f} ms (informational — "
+            "tracked for drift, no paired gate)"
+        )
+    return lines, failures
+
+
 def run_benchmarks(json_path: Path, bench_file: str = BENCH_FILE, extra: list[str] | None = None) -> None:
     """Run one benchmark file, recording stats to ``json_path``."""
     environment = dict(os.environ)
@@ -472,7 +535,35 @@ def main(argv: list[str] | None = None) -> int:
         f"churn scenarios (same-run per-edit timings from {IVM_BENCH_FILE}) "
         "instead of comparing against the committed baseline",
     )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="compare the checksum-free legacy storage format vs the "
+        f"checksummed v2 format (same-run timings from {FAULTS_BENCH_FILE}) "
+        "instead of comparing against the committed baseline",
+    )
     args = parser.parse_args(argv)
+
+    if args.faults:
+        if args.json is not None:
+            payload = json.loads(args.json.read_text())
+        else:
+            with tempfile.TemporaryDirectory() as tmp:
+                json_path = Path(tmp) / "bench_faults.json"
+                run_benchmarks(json_path, FAULTS_BENCH_FILE)
+                payload = json.loads(json_path.read_text())
+        lines, failures = compare_faults(payload)
+        print("\n".join(lines))
+        if failures:
+            print(f"\nFAIL: {len(failures)} reliability-overhead check(s) failed:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(
+            f"\nOK: checksummed storage within {FAULTS_OVERHEAD_BOUND:.0%} of the "
+            "checksum-free format."
+        )
+        return 0
 
     if args.ivm:
         if args.json is not None:

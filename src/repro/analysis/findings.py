@@ -17,7 +17,9 @@ Code ranges
 * ``RP5xx`` — storage invariants (stored-scan headers, zone maps, spill
   budgets);
 * ``RP6xx`` — maintained-view invariants (counter-table/schema agreement,
-  delta-rule coverage, version monotonicity, view-over-view rejection).
+  delta-rule coverage, version monotonicity, view-over-view rejection);
+* ``RP7xx`` — fault-tolerance invariants (checksum coverage of stored
+  files, retry-policy sanity, fault-point registration).
 """
 
 from __future__ import annotations
@@ -91,6 +93,11 @@ FINDING_CODES: dict[str, tuple[Severity, str]] = {
     "RP602": (Severity.ERROR, "maintained view lacks full delta-rule coverage"),
     "RP603": (Severity.ERROR, "view's applied versions are not monotone with the tables"),
     "RP604": (Severity.ERROR, "view is defined over another view"),
+    # -- RP7xx: fault-tolerance invariants ---------------------------------
+    "RP701": (Severity.WARNING, "stored table file predates per-block checksums (legacy v1 format)"),
+    "RP702": (Severity.ERROR, "checksummed table file has a block without a CRC entry"),
+    "RP703": (Severity.ERROR, "operator retry policy is unsound (negative retries/backoff or non-positive timeout)"),
+    "RP704": (Severity.ERROR, "active fault plan targets an unregistered fault point"),
 }
 
 

@@ -52,6 +52,7 @@ from repro.algebra.expressions import (
 from repro.algebra.predicates import Predicate
 from repro.analysis.findings import Finding, finding
 from repro.errors import ExecutionError, ReproError
+from repro.faults import registry as fault_registry
 from repro.physical.aggregate import HashAggregate
 from repro.physical.base import PhysicalOperator, PhysicalProperties
 from repro.physical.basic import (
@@ -311,7 +312,30 @@ def verify_physical(plan: PhysicalOperator) -> tuple[list[Finding], int]:
         _check_operator_schema(operator, findings, where, type_cache)
         if isinstance(operator, PartitionedOperator):
             _check_exchange_contract(operator, findings, where)
+    _check_fault_plan(findings)
     return findings, count
+
+
+def _check_fault_plan(findings: list[Finding]) -> None:
+    """RP704: every point of the active fault plan must be registered.
+
+    A typo in a ``REPRO_FAULTS`` entry (``pool.worker`` misspelled as
+    ``pool.workers``) would otherwise arm a plan that silently never
+    fires — the chaos run would pass without testing anything.
+    """
+    plan = fault_registry.active_plan()
+    if plan is None:
+        return
+    for point in sorted(set(plan.points()) - fault_registry.FAULT_POINTS):
+        findings.append(
+            finding(
+                "RP704",
+                f"fault plan targets unregistered point {point!r}; "
+                f"registered points: {sorted(fault_registry.FAULT_POINTS)}",
+                "fault-plan",
+                "physical",
+            )
+        )
 
 
 def _check_properties_contract(
@@ -567,9 +591,22 @@ def _check_stored_scan(operator: StoredScan, findings: list[Finding], where: str
             f"table file header {sorted(stored)!r} ({reader.path})",
         )
         return
+    checksummed = reader.format_version >= 2
+    if not checksummed:
+        emit(
+            "RP701",
+            f"table file {reader.path} predates per-block checksums (format v1); "
+            "re-save the store to upgrade it to the checksummed v2 format",
+        )
     indexed = 0
     for number, meta in enumerate(reader.blocks):
         indexed += meta.get("count", 0)
+        if checksummed and not isinstance(meta.get("crc"), int):
+            emit(
+                "RP702",
+                f"block {number} of checksummed file {reader.path} has no CRC entry; "
+                "corruption in it would go undetected",
+            )
         zones = meta.get("zones") or {}
         for attribute, bounds in zones.items():
             if attribute not in stored:
@@ -629,6 +666,26 @@ def _check_exchange_contract(
             f"exchange shape invalid: partitions={operator.partitions}, "
             f"workers={operator.workers}",
         )
+
+    policy = getattr(operator, "retry_policy", None)
+    if policy is not None:
+        problems = []
+        if policy.max_retries < 0:
+            problems.append(f"max_retries={policy.max_retries} (must be >= 0)")
+        if policy.backoff_seconds < 0:
+            problems.append(f"backoff_seconds={policy.backoff_seconds} (must be >= 0)")
+        if policy.backoff_multiplier < 1.0:
+            problems.append(
+                f"backoff_multiplier={policy.backoff_multiplier} (must be >= 1)"
+            )
+        if policy.jitter < 0:
+            problems.append(f"jitter={policy.jitter} (must be >= 0)")
+        if policy.timeout_seconds is not None and policy.timeout_seconds <= 0:
+            problems.append(
+                f"timeout_seconds={policy.timeout_seconds} (must be positive or None)"
+            )
+        if problems:
+            emit("RP703", "retry policy is unsound: " + "; ".join(problems))
 
     registry: Optional[dict[str, type]] = None
     if isinstance(operator, PartitionedDivision):

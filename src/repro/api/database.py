@@ -41,6 +41,8 @@ from repro.api.fingerprint import optimizer_signature, plan_cache_key
 from repro.api.query import Query
 from repro.api.result import AnalyzeReport, CacheInfo, MutationResult, QueryResult
 from repro.errors import ReproError, SchemaError, ViewError
+from repro.faults import registry as fault_registry
+from repro.faults.plan import FaultPlan
 from repro.optimizer.cost import CostReport
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.physical_cost import PlanDecision
@@ -300,6 +302,13 @@ class Database:
         are spilled to disk in the columnar block format and re-streamed
         by the workers.  A pure runtime knob — results, per-operator tuple
         counts and plan choices are identical with or without it.
+    faults:
+        A :class:`~repro.faults.FaultPlan` to install process-wide for
+        deterministic fault injection (testing/chaos runs only): the
+        registered fault points in the pool, storage and spill layers
+        consult it and raise/delay/corrupt/crash according to the plan's
+        seeded streams.  ``None`` leaves the current plan (possibly armed
+        via the ``REPRO_FAULTS`` environment variable) untouched.
     """
 
     def __init__(
@@ -316,6 +325,7 @@ class Database:
         workers: Optional[int] = None,
         compile: Union[None, bool, str] = None,
         memory_budget_mb: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if batch_size is not None and batch_size < 1:
             raise ReproError(f"batch size must be positive, got {batch_size}")
@@ -323,6 +333,12 @@ class Database:
             raise ReproError(f"workers must be positive, got {workers}")
         if memory_budget_mb is not None and memory_budget_mb <= 0:
             raise ReproError(f"memory budget must be positive, got {memory_budget_mb}")
+        if faults is not None:
+            if not isinstance(faults, FaultPlan):
+                raise ReproError(
+                    f"faults must be a FaultPlan, got {type(faults).__name__}"
+                )
+            fault_registry.install_plan(faults)
         self.batch_size = batch_size
         self.memory_budget_mb = memory_budget_mb
         stored_versions: dict[str, int] = {}
@@ -795,7 +811,10 @@ def connect(source: DatabaseSource = None, **options) -> Database:
     ``repro.connect(catalog, workers=4)`` lets the planner parallelize
     large divisions/joins/aggregations over a 4-worker pool, and
     ``repro.connect(path, memory_budget_mb=64)`` makes those parallel
-    exchanges spill partitions to disk once they outgrow the budget.
+    exchanges spill partitions to disk once they outgrow the budget, and
+    ``repro.connect(catalog, faults=FaultPlan.parse("pool.worker:raise"))``
+    arms deterministic fault injection for chaos testing (also available
+    without code changes via the ``REPRO_FAULTS`` environment variable).
     """
     return Database(source, **options)
 

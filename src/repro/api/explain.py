@@ -136,6 +136,17 @@ def render_explain(
             f"elapsed = {execution.elapsed_seconds * 1000:.2f} ms "
             f"(coordinator {coordinator_ms:.2f} ms + workers {worker_ms:.2f} ms)"
         )
+        statistics = execution.statistics
+        if statistics.tasks_retried or statistics.tasks_degraded or statistics.faults_injected:
+            injected = ", ".join(
+                f"{point}={count}"
+                for point, count in sorted(statistics.faults_injected.items())
+            ) or "none"
+            lines.append(
+                f"supervision: {statistics.tasks_retried} task(s) retried, "
+                f"{statistics.tasks_degraded} degraded to inline, "
+                f"faults injected: {injected}"
+            )
     if verbose and compilation is not None and compilation.segments:
         lines.append("")
         lines.append("Compiled segments")

@@ -18,7 +18,11 @@ __all__ = [
     "RewriteError",
     "PlanningError",
     "ExecutionError",
+    "WorkerError",
+    "TaskTimeoutError",
     "StorageError",
+    "StorageCorruptionError",
+    "InjectedFaultError",
     "ViewError",
     "VerificationError",
     "SQLSyntaxError",
@@ -87,6 +91,36 @@ class ExecutionError(ReproError):
     """A physical operator failed during execution."""
 
 
+class WorkerError(ExecutionError):
+    """A pool worker failed a partition task after every retry.
+
+    Carries enough structure to locate the failed unit of work without
+    parsing the message: the task ``kind`` (``small_divide`` …), the
+    ``algorithm`` registry name, the ``partition`` index within the task
+    list, and how many ``attempts`` were made.  The last underlying
+    exception (if any) is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "",
+        algorithm: str = "",
+        partition: int = -1,
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.algorithm = algorithm
+        self.partition = partition
+        self.attempts = attempts
+
+
+class TaskTimeoutError(WorkerError):
+    """A partition task exceeded the retry policy's per-task timeout."""
+
+
 class StorageError(ReproError):
     """A stored table file or store directory is missing or malformed.
 
@@ -94,6 +128,46 @@ class StorageError(ReproError):
     file's magic/header/block index cannot be read, and by
     ``repro.connect(path)`` when ``path`` is not a saved store.
     """
+
+
+class StorageCorruptionError(StorageError):
+    """A stored file's content disagrees with its recorded checksums.
+
+    Raised when a block payload, file header or store manifest fails its
+    integrity check — a truncated, bit-flipped or torn write.  ``file``
+    names the damaged file, ``block`` the zero-based block number (or
+    ``None`` for header/manifest damage), and ``expected``/``actual`` the
+    mismatched checksums, so operators can report precisely what broke.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        file: str = "",
+        block: "int | None" = None,
+        expected: "int | str | None" = None,
+        actual: "int | str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.file = file
+        self.block = block
+        self.expected = expected
+        self.actual = actual
+
+
+class InjectedFaultError(ReproError):
+    """A deterministic fault raised by the fault-injection harness.
+
+    Only ever raised when a :class:`repro.faults.FaultPlan` is active (via
+    ``connect(faults=...)`` or the ``REPRO_FAULTS`` environment variable);
+    production code paths never construct it spontaneously.  ``point`` is
+    the registered fault-point name that fired.
+    """
+
+    def __init__(self, message: str, *, point: str = "") -> None:
+        super().__init__(message)
+        self.point = point
 
 
 class ViewError(ReproError):

@@ -166,6 +166,16 @@ class PlanStatistics:
     #: wall-clock seconds spent inside exchange worker pools (summed over
     #: exchanges; the coordinator share is ``elapsed_seconds`` minus this)
     worker_seconds: float = 0.0
+    #: partition-task resubmissions after transient worker failures
+    #: (summed over exchanges; see the pool supervisor's RetryPolicy)
+    tasks_retried: int = 0
+    #: partition tasks that fell back to inline execution after the pool
+    #: path exhausted its retry budget
+    tasks_degraded: int = 0
+    #: fault-point name → injections fired during this run (empty unless a
+    #: :mod:`repro.faults` plan is armed; filled by the executor from the
+    #: registry's counter delta)
+    faults_injected: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_tuples(self) -> int:
@@ -364,6 +374,11 @@ class PhysicalOperator:
     #: operators fill it; everything else stays at 0.0).
     worker_seconds = 0.0
 
+    #: Supervision tallies (exchange operators fill them from the pool
+    #: supervisor's report; everything else stays at 0).
+    tasks_retried = 0
+    tasks_degraded = 0
+
     #: Process-wide construction counter backing collision-free labels.
     _construction_ids = itertools.count()
 
@@ -553,6 +568,8 @@ class PhysicalOperator:
         for operator in self.walk():
             operator.tuples_out = 0
             operator.worker_seconds = 0.0
+            operator.tasks_retried = 0
+            operator.tasks_degraded = 0
 
     # ------------------------------------------------------------------
     # rendering
@@ -593,6 +610,8 @@ def collect_statistics(plan: PhysicalOperator) -> PlanStatistics:
     for index, operator in enumerate(plan.walk()):
         stats.tuples_by_operator[f"{index:02d}:{operator.name}"] = operator.tuples_out
         stats.worker_seconds += operator.worker_seconds
+        stats.tasks_retried += operator.tasks_retried
+        stats.tasks_degraded += operator.tasks_degraded
         for label, value in operator.partition_peaks().items():
             stats.partition_peaks[f"{index:02d}:{operator.name}/{label}"] = value
     return stats

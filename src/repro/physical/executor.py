@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.errors import VerificationError
+from repro.faults import registry as fault_registry
 from repro.physical.base import PhysicalOperator, PlanStatistics, collect_statistics
 from repro.relation.relation import Relation
 from repro.relation.row import Row
@@ -109,9 +110,18 @@ def execute_plan(
     should_verify = _DEBUG_VERIFY if verify is None else verify
     if should_verify:
         _verify_before_execution(plan)
+    faults_before = (
+        fault_registry.injection_counters() if fault_registry.active_plan() else {}
+    )
     start = time.perf_counter()
     relation = plan.execute()
     elapsed = time.perf_counter() - start
     statistics = collect_statistics(plan)
     statistics.elapsed_seconds = elapsed
+    if fault_registry.active_plan():
+        statistics.faults_injected = {
+            point: count - faults_before.get(point, 0)
+            for point, count in fault_registry.injection_counters().items()
+            if count - faults_before.get(point, 0) > 0
+        }
     return ExecutionResult(relation=relation, statistics=statistics)

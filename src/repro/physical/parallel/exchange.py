@@ -172,49 +172,58 @@ class HashPartitionExchange:
         writers: list[Optional[SpillWriter]] = [None] * count
         buffered = 0
         peak = self.peak_buffered_tuples
-        for chunk in source.chunks():
-            aligned = chunk.aligned(schema)
-            if key_of is None:
-                buckets[0].extend(aligned.tuples)
-            else:
-                for values, key in zip(aligned.tuples, key_of.keys_of(aligned)):
-                    buckets[hash(key) % count].append(values)
-            buffered += len(aligned.tuples)
-            if self.budget_tuples is None and aligned.tuples:
-                self.budget_tuples = self._budget_in_tuples(aligned.tuples)
-            if buffered > peak:
-                peak = buffered
-            # Flush the largest buffered bucket until back under budget;
-            # a bucket flushes as a whole, so the loop always terminates.
-            while self.budget_tuples is not None and buffered > self.budget_tuples:
-                index = max(range(count), key=lambda i: len(buckets[i]))
-                bucket = buckets[index]
-                if not bucket:
-                    break
+        try:
+            for chunk in source.chunks():
+                aligned = chunk.aligned(schema)
+                if key_of is None:
+                    buckets[0].extend(aligned.tuples)
+                else:
+                    for values, key in zip(aligned.tuples, key_of.keys_of(aligned)):
+                        buckets[hash(key) % count].append(values)
+                buffered += len(aligned.tuples)
+                if self.budget_tuples is None and aligned.tuples:
+                    self.budget_tuples = self._budget_in_tuples(aligned.tuples)
+                if buffered > peak:
+                    peak = buffered
+                # Flush the largest buffered bucket until back under budget;
+                # a bucket flushes as a whole, so the loop always terminates.
+                while self.budget_tuples is not None and buffered > self.budget_tuples:
+                    index = max(range(count), key=lambda i: len(buckets[i]))
+                    bucket = buckets[index]
+                    if not bucket:
+                        break
+                    writer = writers[index]
+                    if writer is None:
+                        writer = writers[index] = SpillWriter(
+                            self.spill_directory, f"partition-{id(self):x}-{index:04d}", names
+                        )
+                    blocks_before = writer.spilled_blocks
+                    writer.spill(bucket)
+                    self.spilled_blocks += writer.spilled_blocks - blocks_before
+                    self.spilled_tuples += len(bucket)
+                    buffered -= len(bucket)
+                    buckets[index] = []
+            self.peak_buffered_tuples = peak
+            self.peak_buffered_blocks = -(-peak // SPILL_BLOCK_TUPLES)
+            results: list[PartitionBlock] = []
+            for index in range(count):
                 writer = writers[index]
                 if writer is None:
-                    writer = writers[index] = SpillWriter(
-                        self.spill_directory, f"partition-{id(self):x}-{index:04d}", names
-                    )
-                blocks_before = writer.spilled_blocks
-                writer.spill(bucket)
-                self.spilled_blocks += writer.spilled_blocks - blocks_before
-                self.spilled_tuples += len(bucket)
-                buffered -= len(bucket)
-                buckets[index] = []
-        self.peak_buffered_tuples = peak
-        self.peak_buffered_blocks = -(-peak // SPILL_BLOCK_TUPLES)
-        results: list[PartitionBlock] = []
-        for index in range(count):
-            writer = writers[index]
-            if writer is None:
-                results.append(buckets[index])
-                continue
-            # Append the unflushed tail so the handle streams the full
-            # bucket in original order, then seal the file.
-            writer.spill(buckets[index])
-            results.append(writer.finish())
-            self.spilled_partitions += 1
+                    results.append(buckets[index])
+                    continue
+                # Append the unflushed tail so the handle streams the full
+                # bucket in original order, then seal the file.
+                writer.spill(buckets[index])
+                results.append(writer.finish())
+                self.spilled_partitions += 1
+        except BaseException:
+            # A failed spill (disk full, injected fault) must not leave
+            # half-written files behind: close and delete every writer
+            # before the error unwinds to the operator's teardown.
+            for writer in writers:
+                if writer is not None:
+                    writer.abort()
+            raise
         return results
 
     def _budget_in_tuples(self, sample: list[tuple[Any, ...]]) -> int:

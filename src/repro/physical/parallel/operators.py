@@ -37,7 +37,12 @@ from repro.physical.division.great_divide_ops import (
 from repro.physical.division.small_divide_ops import SMALL_DIVIDE_ALGORITHMS, _division_schemas
 from repro.physical.joins import JOIN_ALGORITHMS
 from repro.physical.parallel.exchange import HashPartitionExchange
-from repro.physical.parallel.pool import PartitionTask, run_tasks
+from repro.physical.parallel.pool import (
+    PartitionTask,
+    RetryPolicy,
+    SupervisionReport,
+    run_tasks,
+)
 from repro.relation.aggregates import Aggregate
 from repro.relation.schema import AttributeNames, Schema, as_schema
 
@@ -63,6 +68,11 @@ class PartitionedOperator(PhysicalOperator):
     #: :meth:`PhysicalOperator.set_memory_budget` (driven by
     #: ``connect(memory_budget_mb=...)``).
     memory_budget_mb: Optional[float] = None
+
+    #: Retry policy handed to the pool supervisor; ``None`` means
+    #: :data:`~repro.physical.parallel.pool.DEFAULT_RETRY_POLICY`.  The
+    #: RP703 verifier check validates an override's sanity statically.
+    retry_policy: Optional[RetryPolicy] = None
 
     def __init__(
         self,
@@ -177,8 +187,11 @@ class PartitionedOperator(PhysicalOperator):
             # are only read by the tasks, so the directory can go as soon as
             # all results are in.
             started = perf_counter()
-            results = run_tasks(tasks, self.workers)
+            report = SupervisionReport()
+            results = run_tasks(tasks, self.workers, policy=self.retry_policy, report=report)
             self.worker_seconds += perf_counter() - started
+            self.tasks_retried += report.tasks_retried
+            self.tasks_degraded += report.tasks_degraded
         finally:
             self._spill_directory = None
             self._exchanges = []

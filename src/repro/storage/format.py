@@ -8,14 +8,25 @@ encoded as integer codes into a table-wide value dictionary, exactly like
 the PR 3 dictionary-encoded chunk format — so repeated values cost one
 integer per occurrence.
 
-File layout::
+File layout (format 2, magic ``RPROBLK2``)::
 
     MAGIC (8 bytes)
     header length (8 bytes, big-endian)
+    header CRC32 (4 bytes, big-endian, over the pickled header)
     header (pickled dict: attributes, block index, dictionary pages,
-            zone maps, statistics payload)
+            zone maps, per-block CRC32 checksums, statistics payload)
     block payloads, concatenated (offsets in the header are relative
     to the first payload byte)
+
+Format-1 files (magic ``RPROBLK1``, no header CRC, no block checksums)
+remain fully readable; the header CRC sits *before* the pickled header so
+a torn header is rejected by checksum — never fed to ``pickle.loads`` —
+and a corrupted format field cannot masquerade as the other version
+(the magic, outside the checksummed region, picks the layout).  Block
+payload checksums are verified on every read; a mismatch raises
+:class:`~repro.errors.StorageCorruptionError` naming the file, block
+number and expected-vs-actual CRC.  The ``storage.block_read`` fault
+point (:mod:`repro.faults`) hooks each payload read.
 
 Every block's header entry carries a per-attribute ``(min, max)`` **zone
 map**, computed at save time; attributes whose block values are not
@@ -31,7 +42,9 @@ statistics payload stays a plain dict here and is converted by
 
 from __future__ import annotations
 
+import os
 import pickle
+import zlib
 from pathlib import Path
 from typing import Any, Callable, Iterator, Optional, Sequence, Union
 
@@ -46,11 +59,14 @@ from repro.algebra.predicates import (
     Predicate,
     TruePredicate,
 )
-from repro.errors import StorageError
+from repro.errors import StorageCorruptionError, StorageError
+from repro.faults import registry as fault_registry
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "FORMAT_VERSION",
+    "LEGACY_FORMAT_VERSION",
+    "LEGACY_MAGIC",
     "MAGIC",
     "TableReader",
     "block_may_match",
@@ -61,8 +77,12 @@ __all__ = [
     "write_table_file",
 ]
 
-MAGIC = b"RPROBLK1"
-FORMAT_VERSION = 1
+#: Format 1 (PR 8): no header CRC, no block checksums.  Still readable.
+LEGACY_MAGIC = b"RPROBLK1"
+LEGACY_FORMAT_VERSION = 1
+
+MAGIC = b"RPROBLK2"
+FORMAT_VERSION = 2
 
 #: Tuples per block.  4096 aligned tuples keeps a block in the hundreds of
 #: kilobytes for typical schemas — large enough that the per-block pickle
@@ -162,11 +182,19 @@ def write_table_file(
     tuples: Sequence[tuple[Any, ...]],
     block_size: int = DEFAULT_BLOCK_SIZE,
     statistics: Optional[dict[str, Any]] = None,
+    checksums: bool = True,
+    fsync: bool = True,
 ) -> Path:
     """Write one table to ``path`` in the block format described above.
 
     ``tuples`` are written in the order given — save a clustered relation
     and the zone maps become disjoint ranges that prune hard.
+
+    ``checksums=False`` writes the legacy format-1 layout (no header CRC,
+    no per-block checksums) — kept as the no-overhead baseline for the
+    ``--faults`` benchmark gate and to exercise the legacy read path;
+    ``fsync=False`` skips the flush-to-disk barrier (spill-grade scratch
+    data that never outlives the process).
     """
     if block_size < 1:
         raise StorageError(f"block size must be at least 1, got {block_size}")
@@ -178,18 +206,19 @@ def write_table_file(
     for start in range(0, len(tuples), block_size):
         block = tuples[start : start + block_size]
         payload = encode_block(attributes, block, encodings)
-        index.append(
-            {
-                "offset": offset,
-                "length": len(payload),
-                "count": len(block),
-                "zones": block_zones(attributes, block),
-            }
-        )
+        entry = {
+            "offset": offset,
+            "length": len(payload),
+            "count": len(block),
+            "zones": block_zones(attributes, block),
+        }
+        if checksums:
+            entry["crc"] = zlib.crc32(payload)
+        index.append(entry)
         payloads.append(payload)
         offset += len(payload)
     header = {
-        "format": FORMAT_VERSION,
+        "format": FORMAT_VERSION if checksums else LEGACY_FORMAT_VERSION,
         "table": table,
         "attributes": attributes,
         "block_size": block_size,
@@ -201,11 +230,16 @@ def write_table_file(
     header_bytes = pickle.dumps(header, protocol=_PROTOCOL)
     path = Path(path)
     with open(path, "wb") as stream:
-        stream.write(MAGIC)
+        stream.write(MAGIC if checksums else LEGACY_MAGIC)
         stream.write(len(header_bytes).to_bytes(8, "big"))
+        if checksums:
+            stream.write(zlib.crc32(header_bytes).to_bytes(4, "big"))
         stream.write(header_bytes)
         for payload in payloads:
             stream.write(payload)
+        if fsync:
+            stream.flush()
+            os.fsync(stream.fileno())
     return path
 
 
@@ -220,38 +254,69 @@ class TableReader:
     decoded on demand by :meth:`iter_blocks` / :meth:`read_block`.
     """
 
-    __slots__ = ("_path", "_header", "_data_start")
+    __slots__ = ("_path", "_header", "_data_start", "_format_version")
 
     def __init__(self, path: PathLike) -> None:
         self._path = Path(path)
         try:
             with open(self._path, "rb") as stream:
                 magic = stream.read(len(MAGIC))
-                if magic != MAGIC:
+                if magic == MAGIC:
+                    version = FORMAT_VERSION
+                elif magic == LEGACY_MAGIC:
+                    version = LEGACY_FORMAT_VERSION
+                else:
                     raise StorageError(f"{self._path} is not a stored table file (bad magic)")
                 header_length = int.from_bytes(stream.read(8), "big")
+                expected_crc: Optional[int] = None
+                if version == FORMAT_VERSION:
+                    crc_bytes = stream.read(4)
+                    if len(crc_bytes) != 4:
+                        raise StorageError(f"{self._path} is truncated (header incomplete)")
+                    expected_crc = int.from_bytes(crc_bytes, "big")
                 header_bytes = stream.read(header_length)
                 if len(header_bytes) != header_length:
                     raise StorageError(f"{self._path} is truncated (header incomplete)")
+                if expected_crc is not None:
+                    # Verified *before* unpickling: a torn header never
+                    # reaches pickle.loads, and the error names the CRCs.
+                    actual_crc = zlib.crc32(header_bytes)
+                    if actual_crc != expected_crc:
+                        raise StorageCorruptionError(
+                            f"{self._path} header checksum mismatch "
+                            f"(expected {expected_crc:#010x}, got {actual_crc:#010x})",
+                            file=str(self._path),
+                            expected=expected_crc,
+                            actual=actual_crc,
+                        )
                 try:
                     header = pickle.loads(header_bytes)
                 except Exception as error:
                     raise StorageError(f"{self._path} has an unreadable header: {error}") from None
-                self._data_start = len(MAGIC) + 8 + header_length
+                self._data_start = (
+                    len(MAGIC) + 8 + (4 if expected_crc is not None else 0) + header_length
+                )
         except OSError as error:
             raise StorageError(f"cannot open stored table file {self._path}: {error}") from None
         if not isinstance(header, dict) or any(key not in header for key in _HEADER_KEYS):
             raise StorageError(f"{self._path} has a malformed header")
-        if header["format"] != FORMAT_VERSION:
+        if header["format"] != version:
             raise StorageError(
-                f"{self._path} uses format version {header['format']}, expected {FORMAT_VERSION}"
+                f"{self._path} declares format version {header['format']}, "
+                f"but its magic says {version}"
             )
+        self._format_version = version
         self._header = header
 
     # -- metadata (no block reads) -------------------------------------
     @property
     def path(self) -> Path:
         return self._path
+
+    @property
+    def format_version(self) -> int:
+        """1 for legacy checksum-free files, 2 for checksummed files."""
+        return self._format_version
 
     @property
     def table(self) -> str:
@@ -291,12 +356,33 @@ class TableReader:
         return self._decode(meta, payload)
 
     def _decode(self, meta: dict[str, Any], payload: bytes) -> list[tuple[Any, ...]]:
+        payload = fault_registry.fire("storage.block_read", payload)
         if len(payload) != meta["length"]:
             raise StorageError(f"{self._path} is truncated (block payload incomplete)")
+        expected = meta.get("crc")
+        if expected is not None:
+            actual = zlib.crc32(payload)
+            if actual != expected:
+                block = self._block_number(meta)
+                raise StorageCorruptionError(
+                    f"{self._path} block {block} checksum mismatch "
+                    f"(expected {expected:#010x}, got {actual:#010x})",
+                    file=str(self._path),
+                    block=block,
+                    expected=expected,
+                    actual=actual,
+                )
         try:
             return decode_block(payload, self.attributes, self.dictionaries)
         except Exception as error:
             raise StorageError(f"{self._path} has an unreadable block: {error}") from None
+
+    def _block_number(self, meta: dict[str, Any]) -> Optional[int]:
+        """Zero-based index of ``meta`` in the block index (error paths)."""
+        for number, entry in enumerate(self.blocks):
+            if entry is meta:
+                return number
+        return None
 
     def iter_blocks(
         self, should_read: Optional[Callable[[dict[str, Any]], bool]] = None

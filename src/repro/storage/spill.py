@@ -14,14 +14,25 @@ Spill files reuse the stored-table block encoding
 :data:`SPILL_BLOCK_TUPLES` tuples), just without dictionary pages: spills
 are written mid-stream, before any table-wide value dictionary could
 exist.
+
+Every spill block carries a CRC32, verified on re-read: a spill file a
+worker re-streams is the *only* copy of that partition's data, so a torn
+or bit-flipped block must surface as a typed
+:class:`~repro.errors.StorageCorruptionError` rather than wrong tuples.
+A full disk mid-write raises :class:`~repro.errors.StorageError` from
+:meth:`SpillWriter.append` (the exchange aborts the writer and the
+operator tears the spill directory down), and the ``spill.write`` /
+``spill.read`` fault points (:mod:`repro.faults`) hook both directions.
 """
 
 from __future__ import annotations
 
+import zlib
 from pathlib import Path
 from typing import Any, Iterator, Sequence
 
-from repro.errors import StorageError
+from repro.errors import StorageCorruptionError, StorageError
+from repro.faults import registry as fault_registry
 from repro.storage.format import PathLike, decode_block, encode_block
 
 __all__ = ["SPILL_BLOCK_TUPLES", "SpillWriter", "SpilledPartition"]
@@ -32,6 +43,9 @@ SPILL_BLOCK_TUPLES = 4096
 
 #: No table-wide dictionaries exist for spill blocks.
 _NO_DICTIONARIES: dict[str, list[Any]] = {}
+
+#: Block index entry: (offset, payload length, tuple count, payload CRC32).
+BlockEntry = tuple[int, int, int, int]
 
 
 class SpillWriter:
@@ -46,7 +60,7 @@ class SpillWriter:
             self._stream = open(self.path, "wb")
         except OSError as error:
             raise StorageError(f"cannot create spill file {self.path}: {error}") from None
-        self._blocks: list[tuple[int, int, int]] = []
+        self._blocks: list[BlockEntry] = []
         self.tuple_count = 0
 
     @property
@@ -54,13 +68,28 @@ class SpillWriter:
         return len(self._blocks)
 
     def append(self, tuples: Sequence[tuple[Any, ...]]) -> None:
-        """Write one block of aligned tuples (at most the caller's slice)."""
+        """Write one block of aligned tuples (at most the caller's slice).
+
+        A failed write (disk full, quota, revoked mount) raises a typed
+        :class:`StorageError`; the file is in an undefined state after
+        that, so callers must :meth:`abort` the writer, never
+        :meth:`finish` it.
+        """
         if not tuples:
             return
         payload = encode_block(self.attributes, tuples, {})
-        offset = self._stream.tell()
-        self._stream.write(payload)
-        self._blocks.append((offset, len(payload), len(tuples)))
+        # The checksum is taken before the fault point so an injected
+        # corruption of the bytes that reach disk is caught on re-read.
+        crc = zlib.crc32(payload)
+        payload = fault_registry.fire("spill.write", payload)
+        try:
+            offset = self._stream.tell()
+            self._stream.write(payload)
+        except OSError as error:
+            raise StorageError(
+                f"cannot write spill file {self.path} (disk full?): {error}"
+            ) from None
+        self._blocks.append((offset, len(payload), len(tuples), crc))
         self.tuple_count += len(tuples)
 
     def spill(self, tuples: Sequence[tuple[Any, ...]]) -> None:
@@ -72,6 +101,17 @@ class SpillWriter:
         """Close the file and return the re-streamable handle."""
         self._stream.close()
         return SpilledPartition(str(self.path), self.attributes, tuple(self._blocks))
+
+    def abort(self) -> None:
+        """Close and delete a half-written spill file (error unwind)."""
+        try:
+            self._stream.close()
+        except OSError:
+            pass
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
 
 
 class SpilledPartition:
@@ -89,12 +129,12 @@ class SpilledPartition:
         self,
         path: str,
         attributes: tuple[str, ...],
-        blocks: tuple[tuple[int, int, int], ...],
+        blocks: tuple[BlockEntry, ...],
     ) -> None:
         self.path = path
         self.attributes = attributes
         self.blocks = blocks
-        self._count = sum(count for _offset, _length, count in blocks)
+        self._count = sum(entry[2] for entry in blocks)
 
     def __reduce__(self):
         return (SpilledPartition, (self.path, self.attributes, self.blocks))
@@ -112,14 +152,25 @@ class SpilledPartition:
         )
 
     def iter_blocks(self) -> Iterator[list[tuple[Any, ...]]]:
-        """Stream the spilled tuples back, one block at a time."""
+        """Stream the spilled tuples back, one checksummed block at a time."""
         if not self.blocks:
             return
         try:
             with open(self.path, "rb") as stream:
-                for offset, length, _count in self.blocks:
+                for number, (offset, length, _count, expected) in enumerate(self.blocks):
                     stream.seek(offset)
                     payload = stream.read(length)
+                    payload = fault_registry.fire("spill.read", payload)
+                    actual = zlib.crc32(payload)
+                    if len(payload) != length or actual != expected:
+                        raise StorageCorruptionError(
+                            f"spill file {self.path} block {number} checksum mismatch "
+                            f"(expected {expected:#010x}, got {actual:#010x})",
+                            file=self.path,
+                            block=number,
+                            expected=expected,
+                            actual=actual,
+                        )
                     yield decode_block(payload, self.attributes, _NO_DICTIONARIES)
         except OSError as error:
             raise StorageError(f"cannot read spill file {self.path}: {error}") from None

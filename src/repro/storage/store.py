@@ -5,6 +5,16 @@ A *store* is a directory holding one block file per table (see
 to files and recording the catalog's declared keys and foreign keys, so a
 reopened store keeps the same rewrite-law preconditions available.
 
+Saves are **crash-safe**: table files are written under fresh
+generation-suffixed names (never overwriting the files the current
+manifest references), fsynced, and the manifest — carrying a SHA-256
+content digest — is committed last via an atomic ``os.replace``.  A save
+interrupted at any point (see the ``storage.table_write`` and
+``storage.manifest_write`` fault points) leaves the previous manifest and
+its files untouched, so the store reopens at its pre-save state; files a
+failed or superseded save left behind are swept opportunistically after
+the next successful commit.
+
 Reopening yields :class:`StoredRelation` values: schema, cardinality and
 statistics come straight from the file headers (no data read), and the
 tuples materialize only if something actually asks for rows — the planner
@@ -14,13 +24,17 @@ which streams blocks, so ordinary query execution never materializes them.
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import json
+import os
 import re
 from pathlib import Path
 from typing import Any, Optional
 
 from repro.algebra.catalog import Catalog
-from repro.errors import StorageError
+from repro.errors import StorageCorruptionError, StorageError
+from repro.faults import registry as fault_registry
 from repro.optimizer.statistics import TableStatistics
 from repro.relation.relation import Relation
 from repro.relation.row import Row
@@ -172,9 +186,52 @@ class StoredRelation(Relation):
 # ----------------------------------------------------------------------
 # save / open
 # ----------------------------------------------------------------------
-def _table_filename(index: int, name: str) -> str:
+#: Monotone per-process save counter; with the pid it forms a generation
+#: tag that keeps every save's files distinct from the committed ones.
+_generation_counter = itertools.count(1)
+
+
+def _table_filename(index: int, name: str, generation: str) -> str:
     safe = re.sub(r"[^A-Za-z0-9_.-]", "_", name) or "table"
-    return f"{index:04d}-{safe}.rpb"
+    return f"{index:04d}-{safe}.g{generation}.rpb"
+
+
+def _manifest_digest(manifest: dict[str, Any]) -> str:
+    """SHA-256 over the manifest's canonical JSON (minus the digest itself)."""
+    body = {key: value for key, value in manifest.items() if key != "digest"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _fsync_directory(path: Path) -> None:
+    """Flush a directory's entry table; best-effort (not all OSes allow it)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _sweep_orphans(path: Path, keep: "set[str]") -> None:
+    """Remove block/temp files no manifest references (failed saves).
+
+    Runs only after a successful commit, so anything matching the store's
+    file patterns but absent from the just-committed manifest is debris
+    from an interrupted or superseded save.  Best-effort: a file that
+    vanishes or resists deletion is simply left for the next sweep.
+    """
+    for candidate in itertools.chain(path.glob("*.rpb"), path.glob(f"{MANIFEST_NAME}.g*.tmp")):
+        if candidate.name in keep:
+            continue
+        try:
+            candidate.unlink()
+        except OSError:
+            continue
 
 
 def save_database(
@@ -191,6 +248,12 @@ def save_database(
     once and embedded in each file header, and the manifest — written last
     — records the table files plus declared keys and foreign keys.
 
+    The save is atomic at the manifest boundary: every table file goes to
+    a fresh generation-suffixed name and is fsynced, the manifest (with
+    its content digest) is staged to a temp file and committed with
+    ``os.replace``, and any failure before the commit deletes this save's
+    files and leaves the previously committed store byte-identical.
+
     ``table_versions`` and ``views`` are the session layer's mutation
     counters and maintained-view payloads (:mod:`repro.views.persist`);
     both are optional manifest keys, so stores written by older code load
@@ -199,47 +262,73 @@ def save_database(
     """
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
+    generation = f"{os.getpid():x}-{next(_generation_counter):04x}"
+    staged_manifest = path / f"{MANIFEST_NAME}.g{generation}.tmp"
     tables: dict[str, str] = {}
-    for index, name in enumerate(sorted(catalog)):
-        relation = catalog[name]
-        statistics = TableStatistics.from_relation(relation)
-        filename = _table_filename(index, name)
-        write_table_file(
-            path / filename,
-            name,
-            relation.schema.names,
-            relation.aligned_tuples(),
-            block_size=block_size,
-            statistics=statistics_payload(statistics),
-        )
-        tables[name] = filename
-    manifest = {
-        "format": MANIFEST_VERSION,
-        "tables": tables,
-        "keys": {
-            name: [list(key) for key in keys]
-            for name, keys in catalog.declared_keys.items()
-        },
-        "foreign_keys": [
-            {
-                "table": fk.table,
-                "attributes": list(fk.attributes),
-                "ref_table": fk.ref_table,
-                "ref_attributes": list(fk.ref_attributes),
-            }
-            for fk in catalog.foreign_keys
-        ],
-    }
-    if table_versions:
-        unknown = sorted(set(table_versions) - set(catalog))
-        if unknown:
-            raise StorageError(f"table_versions names unknown table(s) {unknown!r}")
-        manifest["table_versions"] = {
-            name: int(version) for name, version in table_versions.items()
+    written: list[Path] = []
+    try:
+        for index, name in enumerate(sorted(catalog)):
+            relation = catalog[name]
+            statistics = TableStatistics.from_relation(relation)
+            filename = _table_filename(index, name, generation)
+            fault_registry.fire("storage.table_write")
+            written.append(path / filename)
+            write_table_file(
+                path / filename,
+                name,
+                relation.schema.names,
+                relation.aligned_tuples(),
+                block_size=block_size,
+                statistics=statistics_payload(statistics),
+            )
+            tables[name] = filename
+        manifest: dict[str, Any] = {
+            "format": MANIFEST_VERSION,
+            "tables": tables,
+            "keys": {
+                name: [list(key) for key in keys]
+                for name, keys in catalog.declared_keys.items()
+            },
+            "foreign_keys": [
+                {
+                    "table": fk.table,
+                    "attributes": list(fk.attributes),
+                    "ref_table": fk.ref_table,
+                    "ref_attributes": list(fk.ref_attributes),
+                }
+                for fk in catalog.foreign_keys
+            ],
         }
-    if views:
-        manifest["views"] = list(views)
-    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        if table_versions:
+            unknown = sorted(set(table_versions) - set(catalog))
+            if unknown:
+                raise StorageError(f"table_versions names unknown table(s) {unknown!r}")
+            manifest["table_versions"] = {
+                name: int(version) for name, version in table_versions.items()
+            }
+        if views:
+            manifest["views"] = list(views)
+        manifest["digest"] = _manifest_digest(manifest)
+        with open(staged_manifest, "w", encoding="utf-8") as stream:
+            stream.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+            stream.flush()
+            os.fsync(stream.fileno())
+        fault_registry.fire("storage.manifest_write")
+        os.replace(staged_manifest, path / MANIFEST_NAME)
+        _fsync_directory(path)
+    except BaseException:
+        # Undo this save's files; the committed store is untouched.
+        for file in written:
+            try:
+                file.unlink()
+            except OSError:
+                pass
+        try:
+            staged_manifest.unlink()
+        except OSError:
+            pass
+        raise
+    _sweep_orphans(path, keep=set(tables.values()))
     return path
 
 
@@ -263,11 +352,36 @@ def load_store(
     if not manifest_path.is_file():
         raise StorageError(f"{path} is not a saved store (no {MANIFEST_NAME})")
     try:
-        manifest = json.loads(manifest_path.read_text())
-    except (OSError, json.JSONDecodeError) as error:
+        raw = manifest_path.read_bytes()
+    except OSError as error:
+        raise StorageError(f"cannot read store manifest {manifest_path}: {error}") from None
+    raw = fault_registry.fire("storage.manifest_load", raw)
+    try:
+        manifest = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
         raise StorageError(f"cannot read store manifest {manifest_path}: {error}") from None
     if not isinstance(manifest, dict) or manifest.get("format") != MANIFEST_VERSION:
         raise StorageError(f"{manifest_path} has an unsupported manifest format")
+    # Structural checks first — a hand-edited manifest gets the precise
+    # field-level error; the digest check then catches any other content
+    # change *before* a single table file is opened.
+    versions_raw = manifest.get("table_versions", {})
+    if not isinstance(versions_raw, dict):
+        raise StorageError(f"{manifest_path}: table_versions must be an object")
+    views_raw = manifest.get("views", [])
+    if not isinstance(views_raw, list):
+        raise StorageError(f"{manifest_path}: views must be a list")
+    recorded = manifest.get("digest")
+    if recorded is not None:
+        recomputed = _manifest_digest(manifest)
+        if recorded != recomputed:
+            raise StorageCorruptionError(
+                f"{manifest_path} digest mismatch: manifest records {recorded}, "
+                f"content hashes to {recomputed}",
+                file=str(manifest_path),
+                expected=recorded,
+                actual=recomputed,
+            )
     catalog = Catalog()
     for name, filename in manifest.get("tables", {}).items():
         reader = TableReader(path / filename)
@@ -279,11 +393,5 @@ def load_store(
         catalog.declare_foreign_key(
             fk["table"], fk["attributes"], fk["ref_table"], fk["ref_attributes"]
         )
-    versions_raw = manifest.get("table_versions", {})
-    if not isinstance(versions_raw, dict):
-        raise StorageError(f"{manifest_path}: table_versions must be an object")
     versions = {str(name): int(version) for name, version in versions_raw.items()}
-    views_raw = manifest.get("views", [])
-    if not isinstance(views_raw, list):
-        raise StorageError(f"{manifest_path}: views must be a list")
     return catalog, versions, list(views_raw)

@@ -9,7 +9,7 @@ from repro.analysis import FINDING_CODES, Finding, Severity, VerificationReport,
 
 class TestRegistry:
     def test_every_code_is_stable_and_described(self):
-        assert len(FINDING_CODES) == 33
+        assert len(FINDING_CODES) == 37
         for code, (severity, description) in FINDING_CODES.items():
             assert code.startswith("RP") and len(code) == 5
             assert isinstance(severity, Severity)
@@ -17,13 +17,14 @@ class TestRegistry:
 
     def test_code_ranges_map_to_passes(self):
         prefixes = {code[:3] for code in FINDING_CODES}
-        assert prefixes == {"RP1", "RP2", "RP3", "RP4", "RP5", "RP6"}
+        assert prefixes == {"RP1", "RP2", "RP3", "RP4", "RP5", "RP6", "RP7"}
 
     def test_sampled_warnings_stay_warnings(self):
-        """RP112 (data-sampled types) and RP204 (degradable payloads) must
-        not gate CI; everything else is an error."""
+        """RP112 (data-sampled types), RP204 (degradable payloads) and RP701
+        (readable legacy files) must not gate CI; everything else is an
+        error."""
         warnings = {code for code, (sev, _) in FINDING_CODES.items() if sev is Severity.WARNING}
-        assert warnings == {"RP112", "RP204"}
+        assert warnings == {"RP112", "RP204", "RP701"}
 
     def test_factory_applies_registry_severity(self):
         f = finding("RP101", "boom", "node")

@@ -1,0 +1,205 @@
+"""The chaos sweep: every fault point x every division algorithm.
+
+The contract under injection is *fail-stop, never fail-wrong*: a run with
+an armed fault plan either produces the bit-identical quotient (faults
+absorbed by retries/degradation) or raises one of the documented typed
+errors — ``InjectedFaultError``, ``StorageError`` (including the
+corruption subclass) or ``WorkerError``.  A silently wrong quotient fails
+the sweep.
+"""
+
+import pytest
+
+from repro.errors import InjectedFaultError, StorageError, WorkerError
+from repro.faults import FaultPlan, FaultSpec, clear_plan, install_plan, reset_counters
+from repro.physical import (
+    GREAT_DIVIDE_ALGORITHMS,
+    SMALL_DIVIDE_ALGORITHMS,
+    PartitionedDivision,
+    RelationScan,
+    execute_plan,
+)
+from repro.physical.parallel import pool as pool_module
+from repro.relation import Relation
+from repro.storage.scan import StoredScan
+from repro.storage.store import load_store, save_database
+
+#: The fault points the sweep drives, with the action that exercises the
+#: most interesting recovery path at each: pool faults are retryable, a
+#: corrupted block/manifest must be *detected* (checksums), spill faults
+#: hit the out-of-core path.
+SWEEP = {
+    "pool.dispatch": "raise",
+    "pool.worker": "raise",
+    "storage.block_read": "corrupt",
+    "storage.manifest_load": "corrupt",
+    "spill.write": "raise",
+    "spill.read": "corrupt",
+}
+
+#: Errors the contract allows a chaos run to surface.
+TYPED_ERRORS = (InjectedFaultError, StorageError, WorkerError)
+
+ALGORITHMS = [("small", name) for name in sorted(SMALL_DIVIDE_ALGORITHMS)] + [
+    ("great", name) for name in sorted(GREAT_DIVIDE_ALGORITHMS)
+]
+
+PARTITIONS = 4
+
+
+def _dividend():
+    # 40 candidate groups, half of which contain the divisor.
+    rows = []
+    for a in range(40):
+        values = (1, 2, 3) if a % 2 else (1, 3)
+        rows.extend((a, b) for b in values)
+    return Relation(("a", "b"), rows)
+
+
+def _small_divisor():
+    return Relation(("b",), [(1,), (2,), (3,)])
+
+
+def _great_divisor():
+    return Relation(("b", "c"), [(1, 10), (2, 10), (1, 20), (3, 20)])
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    """A saved store plus the fault-free quotient for each division kind."""
+    path = tmp_path_factory.mktemp("chaos-store")
+    from repro.algebra.catalog import Catalog
+
+    catalog = Catalog()
+    catalog.add_table("dividend", _dividend())
+    catalog.add_table("small_divisor", _small_divisor())
+    catalog.add_table("great_divisor", _great_divisor())
+    save_database(path, catalog)
+    expected = {
+        "small": execute_plan(
+            SMALL_DIVIDE_ALGORITHMS["hash"](
+                RelationScan(_dividend()), RelationScan(_small_divisor())
+            )
+        ).relation,
+        "great": execute_plan(
+            GREAT_DIVIDE_ALGORITHMS["hash"](
+                RelationScan(_dividend()), RelationScan(_great_divisor())
+            )
+        ).relation,
+    }
+    return path, expected
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    clear_plan()
+    reset_counters()
+    yield
+    clear_plan()
+    reset_counters()
+
+
+def _build_plan(path, kind, algorithm, workers):
+    catalog, _versions, _views = load_store(path)
+    divisor = "small_divisor" if kind == "small" else "great_divisor"
+    return PartitionedDivision(
+        StoredScan(catalog["dividend"], table="dividend"),
+        StoredScan(catalog[divisor], table=divisor),
+        algorithm=algorithm,
+        kind=kind,
+        partitions=PARTITIONS,
+        workers=workers,
+    )
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+@pytest.mark.parametrize("kind,algorithm", ALGORITHMS)
+@pytest.mark.parametrize("point", sorted(SWEEP))
+def test_chaos_sweep(store, point, kind, algorithm, workers):
+    """Armed fault at ``point``: exact quotient or a documented typed error."""
+    path, expected = store
+    install_plan(
+        FaultPlan((FaultSpec(point=point, action=SWEEP[point], limit=3),), seed=17)
+    )
+    # A tiny budget forces the exchange through the spill path, so the
+    # spill.* points actually sit on the executed path.
+    budget = 0.01 if point.startswith("spill.") else None
+    try:
+        plan = _build_plan(path, kind, algorithm, workers)
+        result = execute_plan(plan, workers=workers, memory_budget_mb=budget)
+    except TYPED_ERRORS:
+        return  # fail-stop: detected and typed, never silent
+    assert result.relation == expected[kind]
+
+
+class TestRecoveryProducesExactQuotient:
+    """Bounded faults that the supervisor must fully absorb."""
+
+    def test_worker_raise_is_retried_to_success(self, store):
+        path, expected = store
+        install_plan(FaultPlan((FaultSpec(point="pool.worker", limit=2),), seed=3))
+        plan = _build_plan(path, "small", "hash", workers=4)
+        result = execute_plan(plan, workers=4)
+        assert result.relation == expected["small"]
+        assert result.statistics.tasks_retried >= 1
+        assert result.statistics.faults_injected.get("pool.worker", 0) >= 1
+
+    def test_worker_crash_rebuilds_pool_and_resubmits(self, store):
+        path, expected = store
+        install_plan(
+            FaultPlan((FaultSpec(point="pool.worker", action="crash", limit=1),), seed=3)
+        )
+        plan = _build_plan(path, "small", "merge_count", workers=4)
+        result = execute_plan(plan, workers=4)
+        assert result.relation == expected["small"]
+        assert result.statistics.tasks_retried >= 1
+        # The discarded pool must not leak into later queries.
+        clear_plan()
+        again = execute_plan(_build_plan(path, "small", "merge_count", workers=4), workers=4)
+        assert again.relation == expected["small"]
+
+    def test_exhausted_retries_degrade_inline(self, store):
+        """An unbounded dispatch fault still terminates — inline, correctly."""
+        path, expected = store
+        install_plan(FaultPlan((FaultSpec(point="pool.dispatch"),), seed=3))
+        plan = _build_plan(path, "great", "groupwise", workers=4)
+        result = execute_plan(plan, workers=4)
+        assert result.relation == expected["great"]
+        assert result.statistics.tasks_degraded == PARTITIONS
+
+    def test_inline_path_is_supervised_too(self, store):
+        path, expected = store
+        install_plan(FaultPlan((FaultSpec(point="pool.worker", limit=1),), seed=3))
+        plan = _build_plan(path, "small", "nested_loops", workers=1)
+        result = execute_plan(plan, workers=1)
+        assert result.relation == expected["small"]
+        assert result.statistics.tasks_retried == 1
+
+    def test_probabilistic_corruption_never_yields_wrong_blocks(self, store):
+        """50%-probability block corruption across many reads: every firing
+        is either absorbed (impossible for corrupt) or typed — and a clean
+        pass is bit-identical."""
+        path, expected = store
+        install_plan(
+            FaultPlan(
+                (FaultSpec(point="storage.block_read", action="corrupt", probability=0.5),),
+                seed=23,
+            )
+        )
+        outcomes = set()
+        for _ in range(6):
+            try:
+                plan = _build_plan(path, "small", "merge_sort", workers=1)
+                result = execute_plan(plan, workers=1)
+            except TYPED_ERRORS:
+                outcomes.add("typed")
+            else:
+                assert result.relation == expected["small"]
+                outcomes.add("exact")
+        assert "typed" in outcomes  # the plan did fire at least once
+
+
+@pytest.fixture(scope="module", autouse=True)
+def teardown_pool():
+    yield
+    pool_module.shutdown_pool()

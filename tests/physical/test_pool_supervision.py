@@ -1,0 +1,298 @@
+"""Supervision of the worker pool: retries, timeouts, leases, drain.
+
+These tests drive :func:`repro.physical.parallel.pool.run_tasks` and its
+helpers directly, with real process pools where the behavior under test is
+cross-process (crash recovery, error pickling) and hand-built futures where
+it is pure bookkeeping (the bounded-map drain contract).
+"""
+
+import pickle
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.errors import (
+    ExecutionError,
+    InjectedFaultError,
+    TaskTimeoutError,
+    WorkerError,
+)
+from repro.faults import FaultPlan, FaultSpec, clear_plan, install_plan, reset_counters
+from repro.physical.parallel import pool as pool_module
+from repro.physical.parallel.pool import (
+    PartitionTask,
+    RetryPolicy,
+    SupervisionReport,
+    _bounded_map,
+    _lease_pool,
+    _release_pool,
+    _WaveFailure,
+    execute_task,
+    run_tasks,
+    shutdown_pool,
+)
+
+#: A fast policy: real backoff math, negligible wall clock.
+FAST = RetryPolicy(max_retries=2, backoff_seconds=0.001, jitter=0.0)
+
+
+def make_tasks(count=4):
+    """``count`` small-divide partition tasks with known quotients."""
+    tasks = []
+    for partition in range(count):
+        base = partition * 10
+        dividend = [(base, 1), (base, 2), (base + 1, 1)]
+        tasks.append(
+            PartitionTask(
+                kind="small_divide",
+                algorithm="hash",
+                inputs=((("a", "b"), dividend), (("b",), [(1,), (2,)])),
+            )
+        )
+    return tasks
+
+
+def expected_results(tasks):
+    return [execute_task(task) for task in tasks]
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    clear_plan()
+    reset_counters()
+    yield
+    clear_plan()
+    reset_counters()
+
+
+# ----------------------------------------------------------------------
+# _bounded_map: the drain contract
+# ----------------------------------------------------------------------
+class FakePool:
+    """Hand-fed executor double: tests script each submitted future."""
+
+    def __init__(self, futures):
+        self.futures = list(futures)
+        self.submitted = []
+
+    def submit(self, fn, *args):
+        self.submitted.append(args)
+        return self.futures.pop(0)
+
+
+class TestBoundedMapDrain:
+    def test_failure_drains_running_and_cancels_pending(self):
+        """Regression: an early failure must not abandon in-flight futures.
+
+        Task 0 fails, task 1 is already running (uncancellable) and later
+        succeeds, tasks 2-3 were never submitted.  The wave failure must
+        carry all four outcomes — nothing abandoned, nothing lost.
+        """
+        failing = Future()
+        failing.set_exception(ExecutionError("task 0 exploded"))
+        running = Future()
+        assert running.set_running_or_notify_cancel()  # cancel() will fail
+        running.set_result("late result")
+        pool = FakePool([failing, running])
+        tasks = make_tasks(4)
+
+        with pytest.raises(_WaveFailure) as excinfo:
+            _bounded_map(pool, tasks, limit=2)
+        failure = excinfo.value
+        assert set(failure.failures) == {0}
+        assert isinstance(failure.failures[0], ExecutionError)
+        assert failure.completed == {1: "late result"}
+        assert failure.cancelled == {2, 3}
+        # Only the two in-flight tasks were ever submitted.
+        assert len(pool.submitted) == 2
+
+    def test_pending_future_is_cancelled_not_drained(self):
+        failing = Future()
+        failing.set_exception(ExecutionError("boom"))
+        pending = Future()  # never started: cancellable
+        pool = FakePool([failing, pending])
+
+        with pytest.raises(_WaveFailure) as excinfo:
+            _bounded_map(pool, make_tasks(2), limit=2)
+        assert excinfo.value.cancelled == {1}
+        assert pending.cancelled()
+
+    def test_clean_run_preserves_task_order(self):
+        futures = []
+        for marker in ("r0", "r1", "r2"):
+            future = Future()
+            future.set_result(marker)
+            futures.append(future)
+        pool = FakePool(futures)
+        assert _bounded_map(pool, make_tasks(3), limit=2) == ["r0", "r1", "r2"]
+
+    def test_submit_failure_marks_rebuild(self):
+        class DeadPool:
+            def submit(self, fn, *args):
+                raise RuntimeError("cannot schedule new futures after shutdown")
+
+        with pytest.raises(_WaveFailure) as excinfo:
+            _bounded_map(DeadPool(), make_tasks(3), limit=2)
+        assert excinfo.value.rebuild
+        assert excinfo.value.cancelled == {1, 2}
+
+
+# ----------------------------------------------------------------------
+# run_tasks: supervised pooled execution (real pools)
+# ----------------------------------------------------------------------
+class TestSupervisedRunTasks:
+    def test_clean_pooled_run_matches_inline(self):
+        tasks = make_tasks(4)
+        report = SupervisionReport()
+        assert run_tasks(tasks, workers=2, policy=FAST, report=report) == expected_results(tasks)
+        assert report.tasks_retried == 0 and report.tasks_degraded == 0
+
+    def test_injected_worker_fault_is_retried(self):
+        install_plan(FaultPlan((FaultSpec(point="pool.worker", limit=1),), seed=5))
+        tasks = make_tasks(4)
+        report = SupervisionReport()
+        assert run_tasks(tasks, workers=2, policy=FAST, report=report) == expected_results(tasks)
+        assert report.tasks_retried == 1
+
+    def test_worker_crash_rebuilds_pool_and_keeps_partials(self):
+        install_plan(
+            FaultPlan((FaultSpec(point="pool.worker", action="crash", limit=1),), seed=5)
+        )
+        tasks = make_tasks(4)
+        report = SupervisionReport()
+        assert run_tasks(tasks, workers=2, policy=FAST, report=report) == expected_results(tasks)
+        assert report.tasks_retried >= 1
+        # The shared pool still serves the next query after the rebuild.
+        clear_plan()
+        assert run_tasks(tasks, workers=2, policy=FAST) == expected_results(tasks)
+
+    def test_timeout_produces_typed_error_and_recovers(self):
+        install_plan(
+            FaultPlan(
+                (
+                    FaultSpec(
+                        point="pool.worker", action="delay", delay_seconds=30.0, limit=1
+                    ),
+                ),
+                seed=5,
+            )
+        )
+        tasks = make_tasks(4)
+        report = SupervisionReport()
+        policy = RetryPolicy(max_retries=2, backoff_seconds=0.001, timeout_seconds=0.25)
+        start = time.monotonic()
+        assert run_tasks(tasks, workers=2, policy=policy, report=report) == expected_results(tasks)
+        assert time.monotonic() - start < 25.0  # did not wait out the sleep
+        assert report.tasks_retried >= 1
+
+    def test_exhausted_retries_degrade_inline_to_success(self):
+        """Faults only the pool path sees: degradation still answers."""
+        # Unlimited worker raises would also fail the inline path; limit
+        # the firings so the two pooled waves (2 tasks x 2 attempts) burn
+        # them all and the inline fallback runs clean.
+        install_plan(FaultPlan((FaultSpec(point="pool.worker", limit=4),), seed=5))
+        tasks = make_tasks(2)
+        report = SupervisionReport()
+        policy = RetryPolicy(max_retries=1, backoff_seconds=0.001)
+        assert run_tasks(tasks, workers=2, policy=policy, report=report) == expected_results(tasks)
+        assert report.tasks_degraded >= 1
+
+    def test_unbounded_fault_surfaces_structured_worker_error(self):
+        install_plan(FaultPlan((FaultSpec(point="pool.worker"),), seed=5))
+        tasks = make_tasks(2)
+        with pytest.raises(WorkerError) as excinfo:
+            run_tasks(tasks, workers=1, policy=FAST)
+        error = excinfo.value
+        assert error.kind == "small_divide"
+        assert error.algorithm == "hash"
+        assert error.partition == 0
+        assert error.attempts == FAST.max_retries + 1
+
+    def test_deterministic_task_error_propagates_without_retry(self):
+        bad = PartitionTask(
+            kind="small_divide",
+            algorithm="no_such_algorithm",
+            inputs=((("a", "b"), [(1, 1)]), (("b",), [(1,)])),
+        )
+        tasks = make_tasks(3) + [bad]
+        report = SupervisionReport()
+        with pytest.raises(KeyError):
+            run_tasks(tasks, workers=2, policy=FAST, report=report)
+        assert report.tasks_retried == 0
+
+    def test_dispatch_fault_degrades_every_task_inline(self):
+        """Regression: with dispatch permanently failing, every task must
+        still complete (inline) instead of being dropped."""
+        install_plan(FaultPlan((FaultSpec(point="pool.dispatch"),), seed=5))
+        tasks = make_tasks(3)
+        report = SupervisionReport()
+        assert run_tasks(tasks, workers=2, policy=FAST, report=report) == expected_results(tasks)
+        assert report.tasks_degraded == len(tasks)
+
+
+# ----------------------------------------------------------------------
+# the lease guard (shutdown vs in-flight race)
+# ----------------------------------------------------------------------
+class TestPoolLease:
+    def test_shutdown_with_lease_outstanding_defers_teardown(self):
+        handle = _lease_pool(2)
+        try:
+            shutdown_pool()
+            # The leased executor still works: shutdown only retired it.
+            assert handle.retired
+            future = handle.executor.submit(execute_task, make_tasks(1)[0])
+            assert future.result(timeout=30) == expected_results(make_tasks(1))[0]
+        finally:
+            _release_pool(handle)
+        # Last release actually tore it down.
+        with pytest.raises(RuntimeError):
+            handle.executor.submit(execute_task, make_tasks(1)[0])
+
+    def test_growth_retires_rather_than_kills_the_leased_pool(self):
+        small = _lease_pool(1)
+        try:
+            large = _lease_pool(2)
+            try:
+                assert large is not small
+                assert small.retired and not large.retired
+                future = small.executor.submit(execute_task, make_tasks(1)[0])
+                assert future.result(timeout=30) == expected_results(make_tasks(1))[0]
+            finally:
+                _release_pool(large)
+        finally:
+            _release_pool(small)
+
+    def test_shutdown_idempotent_without_leases(self):
+        shutdown_pool()
+        shutdown_pool()
+        assert pool_module._handle is None
+
+
+# ----------------------------------------------------------------------
+# structured errors cross process boundaries intact
+# ----------------------------------------------------------------------
+class TestErrorStructure:
+    @pytest.mark.parametrize("cls", [WorkerError, TaskTimeoutError])
+    def test_worker_errors_pickle_with_attributes(self, cls):
+        error = cls("failed", kind="small_divide", algorithm="hash", partition=3, attempts=2)
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.kind == "small_divide"
+        assert clone.algorithm == "hash"
+        assert clone.partition == 3
+        assert clone.attempts == 2
+
+    def test_timeout_error_is_a_worker_error(self):
+        assert issubclass(TaskTimeoutError, WorkerError)
+        assert issubclass(WorkerError, ExecutionError)
+
+    def test_injected_fault_is_retryable_in_the_pool(self):
+        assert InjectedFaultError in pool_module._RETRYABLE or any(
+            issubclass(InjectedFaultError, t) for t in pool_module._RETRYABLE
+        )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def teardown_pool():
+    yield
+    shutdown_pool()
